@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: how much of the baseline collapse is NUMA?
+ *
+ * The paper's testbed is two 12-core sockets; DESIGN.md attributes the
+ * base kernel's bend past 12 cores partly to cross-socket line
+ * transfers. This bench re-runs the Figure 4(a) endpoints on a
+ * hypothetical single-socket (UMA) machine with identical per-op costs:
+ * if the attribution is right, UMA flattens the 12->24 decline for the
+ * baseline while barely moving Fastsocket (whose lines never travel).
+ */
+
+#include "bench_common.hh"
+#include "harness/calibration.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fsim;
+    BenchArgs args = BenchArgs::parse(argc, argv);
+
+    banner("Ablation: NUMA vs UMA at the Figure 4(a) endpoints",
+           "Same cycle costs; only the cross-socket transfer penalty "
+           "differs.");
+
+    TextTable table;
+    table.header({"kernel", "cores", "NUMA (2x12)", "UMA (1x24)",
+                  "UMA gain"});
+
+    for (int k = 0; k < 2; ++k) {
+        KernelConfig kernel =
+            k == 0 ? KernelConfig::base2632() : KernelConfig::fastsocket();
+        const char *kname = k == 0 ? "base-2.6.32" : "fastsocket";
+        for (int cores : {12, 24}) {
+            double cps[2];
+            for (int u = 0; u < 2; ++u) {
+                ExperimentConfig cfg;
+                cfg.app = AppKind::kNginx;
+                cfg.machine.cores = cores;
+                cfg.machine.kernel = kernel;
+                cfg.machine.costs = u == 0 ? calibratedCosts()
+                                           : umaCosts();
+                cfg.concurrencyPerCore = args.quick ? 100 : 300;
+                cfg.warmupSec = args.quick ? 0.02 : 0.04;
+                cfg.measureSec = args.quick ? 0.04 : 0.1;
+                cps[u] = runExperiment(cfg).cps;
+            }
+            char gain[16];
+            std::snprintf(gain, sizeof(gain), "%+.0f%%",
+                          100.0 * (cps[1] - cps[0]) / cps[0]);
+            table.row({kname, std::to_string(cores), kcps(cps[0]),
+                       kcps(cps[1]), gain});
+        }
+    }
+    table.print();
+    std::printf("\nExpected: UMA helps the shared-everything baseline "
+                "mostly at 24 cores (cross-socket traffic is its tax)\n"
+                "and helps Fastsocket least — partitioned state does not "
+                "cross sockets in the first place.\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench accepts `--quick` to shrink simulation windows (useful for
+ * smoke runs and CI) and prints the paper-format table plus the paper's
+ * reference numbers for side-by-side comparison.
+ */
+
+#ifndef FSIM_BENCH_BENCH_COMMON_HH
+#define FSIM_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "stats/stats.hh"
+#include "stats/table.hh"
+
+namespace fsim
+{
+
+/** Parse shared bench flags. */
+struct BenchArgs
+{
+    bool quick = false;
+
+    static BenchArgs
+    parse(int argc, char **argv)
+    {
+        BenchArgs a;
+        for (int i = 1; i < argc; ++i)
+            if (!std::strcmp(argv[i], "--quick"))
+                a.quick = true;
+        return a;
+    }
+};
+
+/** The three kernels Figure 4 compares. */
+struct KernelUnderTest
+{
+    const char *name;
+    KernelConfig config;
+};
+
+inline const KernelUnderTest kKernels[3] = {
+    {"base-2.6.32", KernelConfig::base2632()},
+    {"linux-3.13", KernelConfig::linux313()},
+    {"fastsocket", KernelConfig::fastsocket()},
+};
+
+/** Core counts of the Figure 4 sweep. */
+inline const int kCoreSweep[] = {1, 4, 8, 12, 16, 20, 24};
+
+inline std::string
+kcps(double cps)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0fK", cps / 1000.0);
+    return buf;
+}
+
+inline void
+banner(const char *title, const char *paper_note)
+{
+    std::printf("=== %s ===\n", title);
+    std::printf("%s\n\n", paper_note);
+}
+
+} // namespace fsim
+
+#endif // FSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Reproduces Table 1: lockstat contention counts for the HAProxy
+ * benchmark on 24 cores, as each Fastsocket component is enabled on top
+ * of the baseline:
+ *
+ *   V = Fastsocket-aware VFS, L = Local Listen Table,
+ *   R = Receive Flow Deliver, E = Local Established Table.
+ *
+ * Paper reference (60 s of baseline): dcache_lock 26.4M, inode_lock
+ * 4.3M, slock 422.7K, ep.lock 1.0M, base.lock 451.3K, ehash.lock 868;
+ * the Fastsocket column is all zeros except 8 stray base.lock hits.
+ * The paper also reports (section 1) that spin locks consume ~9% of CPU
+ * cycles in TCB management and ~11% in VFS on a loaded 8-core baseline;
+ * the second table prints the equivalent cycle shares.
+ *
+ * The simulated measurement window is shorter than 60 s; counts are
+ * printed raw and scaled to a 60 s equivalent for comparison.
+ */
+
+#include <vector>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+const char *kLockRows[] = {"dcache_lock", "inode_lock", "slock",
+                           "ep.lock", "base.lock", "ehash.lock"};
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace fsim;
+    BenchArgs args = BenchArgs::parse(argc, argv);
+
+    banner("Table 1: lock contention counts (HAProxy, 24 cores)",
+           "Counts scaled to the paper's 60s window. Expected shape: "
+           "dcache >> inode >> ep/base/slock >> ehash for the baseline;\n"
+           "+V zeroes the VFS locks, +L+R zero slock/ep/base, "
+           "+E zeroes ehash (full partition = all-zero column).");
+
+    struct Step
+    {
+        const char *name;
+        KernelConfig config;
+    };
+    std::vector<Step> steps;
+    steps.push_back({"Baseline", KernelConfig::base2632()});
+    {
+        KernelConfig c = KernelConfig::base2632();
+        c.fastVfs = true;
+        steps.push_back({"+V", c});
+        c.localListen = true;
+        steps.push_back({"+VL", c});
+        c.rfd = true;
+        steps.push_back({"+VLR", c});
+        c.localEstablished = true;
+        steps.push_back({"+VLRE", c});
+    }
+
+    double measure = args.quick ? 0.1 : 0.5;
+    double scale = 60.0 / measure;
+
+    TextTable table;
+    table.header({"lock", "Baseline", "+V", "+VL", "+VLR", "+VLRE(=FS)"});
+
+    std::vector<ExperimentResult> results;
+    std::vector<double> cps;
+    for (const Step &s : steps) {
+        ExperimentConfig cfg;
+        cfg.app = AppKind::kHaproxy;
+        cfg.machine.cores = 24;
+        cfg.machine.kernel = s.config;
+        cfg.concurrencyPerCore = args.quick ? 150 : 300;
+        cfg.warmupSec = args.quick ? 0.02 : 0.05;
+        cfg.measureSec = measure;
+        Testbed bed(cfg);
+        results.push_back(bed.run());
+        cps.push_back(results.back().cps);
+    }
+
+    for (const char *lock : kLockRows) {
+        std::vector<std::string> row{lock};
+        for (const ExperimentResult &r : results) {
+            auto it = r.locks.find(lock);
+            double cont = it == r.locks.end()
+                              ? 0.0
+                              : static_cast<double>(it->second.contentions);
+            row.push_back(formatCount(cont * scale));
+        }
+        table.row(row);
+    }
+    table.print();
+
+    std::printf("\nThroughput along the feature ladder:\n");
+    for (std::size_t i = 0; i < steps.size(); ++i)
+        std::printf("  %-10s %s cps\n", steps[i].name, kcps(cps[i]).c_str());
+
+    // Cycle-share table: the paper's section-1 profile ("spin lock
+    // consumes 9% of cycles in TCB management and 11% in VFS") was taken
+    // on an 8-core production HAProxy at partial load; replicate that
+    // setting rather than the saturated 24-core run.
+    std::printf("\nSpin-wait cycle share per lock class on an 8-core "
+                "baseline at ~50%% load\n(paper section 1: ~9%% TCB + "
+                "~11%% VFS):\n");
+    auto share = [](const ExperimentResult &r, const char *n) {
+        auto it = r.lockCycleShare.find(n);
+        return it == r.lockCycleShare.end() ? 0.0 : it->second;
+    };
+    {
+        ExperimentConfig cfg;
+        cfg.app = AppKind::kHaproxy;
+        cfg.machine.cores = 8;
+        cfg.machine.kernel = KernelConfig::base2632();
+        Testbed bed(cfg);
+        // Open-loop partial load, like the production traffic sample.
+        bed.load().startOpenLoop(75000.0);
+        bed.eventQueue().runUntil(ticksFromSeconds(args.quick ? 0.03
+                                                             : 0.06));
+        bed.markWindows();
+        bed.eventQueue().runUntil(bed.eventQueue().now() +
+                                  ticksFromSeconds(measure));
+        ExperimentResult r = bed.collect();
+        bed.load().stopOpenLoop();
+        double vfs = share(r, "dcache_lock") + share(r, "inode_lock");
+        double tcb = share(r, "slock") + share(r, "ep.lock") +
+                     share(r, "base.lock") + share(r, "ehash.lock") +
+                     share(r, "portbind.lock");
+        TextTable shares;
+        shares.header({"class", "cycle share", "paper"});
+        shares.row({"VFS (dcache+inode)", formatPercent(vfs), "~11%"});
+        shares.row({"TCB (slock/ep/base/ehash/bind)", formatPercent(tcb),
+                    "~9%"});
+        shares.row({"avg core utilization", formatPercent(r.avgUtil()),
+                    "~45%"});
+        shares.print();
+    }
+    return 0;
+}

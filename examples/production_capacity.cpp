@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Example: the production-operations view (paper section 4.2.1).
+ *
+ * Replays a rush-hour ramp (open-loop load) against an 8-core HAProxy
+ * machine and reports what an SRE watches: per-core utilization spread
+ * and the effective capacity implied by the hottest core and the SLA
+ * threshold. Run with "base" or "fast" to feel the difference that made
+ * Sina WeiBo deploy Fastsocket fleet-wide.
+ *
+ * Usage: production_capacity [base|fast]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "harness/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fsim;
+
+    bool fast = !(argc > 1 && !std::strcmp(argv[1], "base"));
+    const double sla_util = 0.75;   // paper: keep cores under 75%
+
+    ExperimentConfig cfg;
+    cfg.app = AppKind::kHaproxy;
+    cfg.machine.cores = 8;
+    cfg.machine.kernel =
+        fast ? KernelConfig::fastsocket() : KernelConfig::base2632();
+    cfg.backendCount = 8;
+
+    Testbed bed(cfg);
+    std::printf("8-core HAProxy, %s kernel, SLA: every core under %.0f%%\n",
+                fast ? "Fastsocket" : "base 2.6.32", sla_util * 100);
+    std::printf("%-10s %-10s %-10s %-10s %s\n", "load(cps)", "avg util",
+                "min util", "max util", "SLA headroom");
+
+    const double steps[] = {10000, 20000, 30000, 40000, 50000};
+    bed.load().startOpenLoop(steps[0]);
+    for (double rate : steps) {
+        bed.load().setOpenLoopRate(rate);
+        bed.eventQueue().runUntil(bed.eventQueue().now() +
+                                  ticksFromSeconds(0.03));
+        bed.machine().markWindow();
+        bed.eventQueue().runUntil(bed.eventQueue().now() +
+                                  ticksFromSeconds(0.08));
+        auto util = bed.machine().utilizationSinceMark();
+        double avg = 0, lo = 1e9, hi = 0;
+        for (double u : util) {
+            avg += u;
+            lo = std::min(lo, u);
+            hi = std::max(hi, u);
+        }
+        avg /= util.size();
+        std::printf("%-10.0f %-10.1f %-10.1f %-10.1f %+.1f%%\n", rate,
+                    avg * 100, lo * 100, hi * 100,
+                    (sla_util - hi) * 100);
+    }
+    bed.load().stopOpenLoop();
+
+    std::printf("\nEffective capacity is set by the hottest core (the "
+                "paper's 1/maxUtil rule): a balanced machine\nserves "
+                "more traffic before any single core violates the "
+                "latency SLA.\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Example: connection locality on a proxy, inspected socket by socket.
+ *
+ * Runs an HAProxy-style load balancer on 8 cores under three steering
+ * setups (RSS only, RFD software steering, RFD + FDir Perfect-Filtering)
+ * and then walks the live socket census — the same information a
+ * netstat/lsof user would see, which works because Fastsocket keeps the
+ * /proc-compatible skeletal VFS state (paper 3.4).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "harness/experiment.hh"
+
+namespace
+{
+
+void
+runSetup(const char *name, bool rfd, bool perfect)
+{
+    using namespace fsim;
+
+    ExperimentConfig cfg;
+    cfg.app = AppKind::kHaproxy;
+    cfg.machine.cores = 8;
+    KernelConfig kc = KernelConfig::base2632();
+    kc.fastVfs = true;
+    kc.localListen = true;
+    kc.rfd = rfd;
+    kc.localEstablished = rfd;
+    cfg.machine.kernel = kc;
+    if (perfect) {
+        cfg.machine.nic.fdirPerfect = true;
+        cfg.machine.nic.perfectPortMask = ReceiveFlowDeliver::hashMask(8);
+    }
+    cfg.concurrencyPerCore = 150;
+
+    Testbed bed(cfg);
+    bed.startLoad();
+    bed.eventQueue().runUntil(ticksFromSeconds(0.03));
+    bed.markWindows();
+    bed.eventQueue().runUntil(bed.eventQueue().now() +
+                              ticksFromSeconds(0.05));
+    ExperimentResult r = bed.collect();
+
+    // Socket census: how many cores touched each live connection?
+    std::map<int, int> touched;
+    std::map<std::string, int> states;
+    for (const Socket *s : bed.machine().kernel().allSockets()) {
+        if (s->kind != SockKind::kConnection)
+            continue;
+        ++touched[s->touchedCount()];
+        ++states[tcpStateName(s->state)];
+    }
+
+    std::printf("%s\n", name);
+    std::printf("  throughput %.0f conns/s, NIC-local active packets "
+                "%.1f%%, software-steered %llu\n",
+                r.cps, r.localPktProportion * 100.0,
+                static_cast<unsigned long long>(r.steeredPackets));
+    std::printf("  live connection sockets by #cores that touched them: ");
+    for (const auto &kv : touched)
+        std::printf("[%d core%s: %d] ", kv.first,
+                    kv.first == 1 ? "" : "s", kv.second);
+    std::printf("\n  states: ");
+    for (const auto &kv : states)
+        std::printf("%s=%d ", kv.first.c_str(), kv.second);
+    std::printf("\n\n");
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("HAProxy on 8 cores: passive client connections plus "
+                "active backend connections.\n\n");
+    runSetup("RSS only (no RFD): active replies land on random cores",
+             false, false);
+    runSetup("RFD, software steering: every packet processed on the "
+             "owning core", true, false);
+    runSetup("RFD + FDir Perfect-Filtering: the NIC itself delivers "
+             "100% locally", true, true);
+    std::printf("With RFD every connection socket is single-core "
+                "(complete connection locality, paper 3.3);\nwithout it, "
+                "active connections are touched by two or more cores and "
+                "bounce cache lines.\n");
+    return 0;
+}

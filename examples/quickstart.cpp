@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: build a simulated server machine, load it with short-lived
+ * HTTP connections, and compare the stock kernel against Fastsocket.
+ *
+ * Usage: quickstart [cores]            (default 8)
+ *
+ * This is the 60-second tour of the library:
+ *  - ExperimentConfig selects the application model, machine size and
+ *    kernel flavor;
+ *  - runExperiment() builds the testbed (cores + NIC + kernel + app +
+ *    client fleet), runs warmup and a measurement window, and returns
+ *    every metric the paper's evaluation uses.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fsim;
+
+    int cores = argc > 1 ? std::atoi(argv[1]) : 8;
+    if (cores < 1 || cores > 64) {
+        std::fprintf(stderr, "usage: %s [cores 1..64]\n", argv[0]);
+        return 1;
+    }
+
+    std::printf("Simulating an nginx-style web server on %d cores under "
+                "a short-lived-connection flood...\n\n", cores);
+
+    struct
+    {
+        const char *name;
+        KernelConfig kernel;
+    } kernels[] = {
+        {"base Linux 2.6.32", KernelConfig::base2632()},
+        {"Linux 3.13 + SO_REUSEPORT", KernelConfig::linux313()},
+        {"Fastsocket (V+L+R+E)", KernelConfig::fastsocket()},
+    };
+
+    for (const auto &k : kernels) {
+        ExperimentConfig cfg;
+        cfg.app = AppKind::kNginx;
+        cfg.machine.cores = cores;
+        cfg.machine.kernel = k.kernel;
+        cfg.concurrencyPerCore = 200;
+        cfg.warmupSec = 0.03;
+        cfg.measureSec = 0.08;
+
+        ExperimentResult r = runExperiment(cfg);
+
+        std::uint64_t contentions = 0;
+        for (const auto &kv : r.locks)
+            contentions += kv.second.contentions;
+
+        std::printf("%-28s %8.0f conns/s   L3 miss %5.2f%%   "
+                    "max core util %5.1f%%   lock contentions %llu\n",
+                    k.name, r.cps, r.l3MissRate * 100.0,
+                    r.maxUtil() * 100.0,
+                    static_cast<unsigned long long>(contentions));
+    }
+
+    std::printf("\nFastsocket's full partition of TCB management is what "
+                "drives the contention column to zero.\n"
+                "Next steps: examples/web_server_scaling, "
+                "examples/proxy_locality, bench/bench_fig4a_nginx.\n");
+    return 0;
+}

@@ -1,0 +1,144 @@
+#include "app/app_base.hh"
+
+#include "sim/logging.hh"
+
+namespace fsim
+{
+
+AppBase::AppBase(Machine &m)
+    : m_(m)
+{
+}
+
+AppBase::~AppBase() = default;
+
+void
+AppBase::start()
+{
+    KernelStack &k = m_.kernel();
+    const KernelConfig &kc = m_.config().kernel;
+
+    procs_.resize(m_.numCores());
+    for (int c = 0; c < m_.numCores(); ++c) {
+        ProcState &ps = procs_[c];
+        ps.proc = k.addProcess(c);
+        ps.core = c;
+    }
+
+    // The parent listens first (creating the global listen sockets), then
+    // each child registers: a reuseport clone (3.13), a shared watcher
+    // (baseline), or a local_listen() clone (Fastsocket).
+    for (ProcState &ps : procs_) {
+        for (IpAddr addr : m_.addrs()) {
+            int fd = k.listen(ps.proc, addr, m_.servicePort());
+            ps.listenFds.insert(fd);
+            if (kc.localListen)
+                k.localListen(ps.proc, addr, m_.servicePort());
+        }
+    }
+
+    k.onProcessReady = [this](int proc, bool remote) {
+        wake(proc, remote);
+    };
+}
+
+void
+AppBase::wake(int proc, bool remote)
+{
+    fsim_assert(proc >= 0 &&
+                static_cast<std::size_t>(proc) < procs_.size());
+    ProcState &ps = procs_[proc];
+    ps.remoteWake = ps.remoteWake || remote;
+    if (ps.wakePending)
+        return;
+    ps.wakePending = true;
+    std::size_t idx = static_cast<std::size_t>(proc);
+    m_.cpu().post(ps.core, TaskPrio::kProcess, [this, idx](Tick start) {
+        return runLoop(idx, start);
+    });
+}
+
+Tick
+AppBase::onAccepted(ProcState &ps, int fd, Tick t)
+{
+    return m_.kernel().epollAdd(ps.proc, t, fd);
+}
+
+Tick
+AppBase::runLoop(std::size_t idx, Tick start)
+{
+    ProcState &ps = procs_[idx];
+    ps.wakePending = false;
+    KernelStack &k = m_.kernel();
+
+    // Scheduler wakeup cost; a cross-core wake pays the IPI + resched.
+    Tick t = start + (ps.remoteWake ? m_.costs().schedWakeRemote
+                                    : m_.costs().schedWakeLocal);
+    ps.remoteWake = false;
+    std::vector<int> fds;
+    t = k.epollWait(ps.proc, t, fds);
+
+    // More events than maxevents? Come back for another round so one
+    // loop iteration stays a bounded unit of work.
+    if (k.process(ps.proc).epoll->hasReady())
+        wake(ps.proc);
+
+    bool rotateMutex = false;
+
+    // Listen fds deferred from the previous round (accept batch limit).
+    if (!ps.deferredAccept.empty()) {
+        std::vector<int> carry(ps.deferredAccept.begin(),
+                               ps.deferredAccept.end());
+        ps.deferredAccept.clear();
+        fds.insert(fds.begin(), carry.begin(), carry.end());
+    }
+
+    for (int fd : fds) {
+        if (ps.listenFds.count(fd)) {
+            Socket *lsock = k.sockFromFd(ps.proc, fd);
+            bool shared = lsock && !lsock->isLocalListen &&
+                          lsock->reuseportOwner < 0;
+            if (acceptMutex_ && shared && idx != mutexHolder_) {
+                // Another process holds the accept mutex: hand the event
+                // over (flag the holder's own listen fds so it actually
+                // drains the shared queues) and stay out of the accept
+                // path. Per-core listen queues (local_listen / reuseport
+                // clones) are exempt - only this process can drain them.
+                ProcState &holder = procs_[mutexHolder_];
+                holder.deferredAccept.insert(holder.listenFds.begin(),
+                                             holder.listenFds.end());
+                wake(static_cast<int>(mutexHolder_));
+                continue;
+            }
+            // Batch-accept until EAGAIN or the batch limit; real event
+            // loops bound the work done per event (nginx multi_accept,
+            // HAProxy maxaccept).
+            for (int i = 0; i < kAcceptBatch; ++i) {
+                KernelStack::AcceptResult r = k.accept(ps.proc, t, fd);
+                t = r.t;
+                if (!r.sock) {
+                    ps.deferredAccept.erase(fd);
+                    break;
+                }
+                t = onAccepted(ps, r.fd, t);
+                // The request may have raced ahead of accept(); serve
+                // immediately if bytes are already queued.
+                if (r.sock->rxPending > 0 || r.sock->peerFin)
+                    t = onConnReadable(ps, r.fd, t);
+                if (i == kAcceptBatch - 1) {
+                    // Come back for the rest next round.
+                    ps.deferredAccept.insert(fd);
+                    wake(ps.proc);
+                }
+            }
+            rotateMutex = rotateMutex || acceptMutex_;
+        } else {
+            t = onConnReadable(ps, fd, t);
+        }
+    }
+    if (rotateMutex)
+        mutexHolder_ = (mutexHolder_ + 1) % procs_.size();
+    return t;
+}
+
+} // namespace fsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Common machinery for event-loop server applications (nginx- and
+ * HAProxy-style): one process per core, pinned, epoll-driven, accepting
+ * from per-process or shared listen sockets depending on kernel flavor.
+ */
+
+#ifndef FSIM_APP_APP_BASE_HH
+#define FSIM_APP_APP_BASE_HH
+
+#include <unordered_set>
+#include <vector>
+
+#include "app/machine.hh"
+#include "sim/types.hh"
+
+namespace fsim
+{
+
+/** Base class for multi-process server applications. */
+class AppBase
+{
+  public:
+    explicit AppBase(Machine &m);
+    virtual ~AppBase();
+
+    /**
+     * Fork one process per core, listen() on every service address, and
+     * (in Fastsocket mode) local_listen() each of them.
+     */
+    void start();
+
+    /**
+     * Enable the nginx-style accept mutex: only one process at a time
+     * accepts from the shared listen sockets, rotating after each batch.
+     * The paper disables it for the Fastsocket runs (4.2.2) because the
+     * Local Listen Table removes the contention it works around.
+     */
+    void setAcceptMutex(bool on) { acceptMutex_ = on; }
+    bool acceptMutex() const { return acceptMutex_; }
+
+    /** Requests fully served (response written). */
+    std::uint64_t served() const { return served_; }
+
+    Machine &machine() { return m_; }
+
+  protected:
+    /** Max connections accepted per listen-fd event (HAProxy maxaccept). */
+    static constexpr int kAcceptBatch = 16;
+
+    struct ProcState
+    {
+        int proc = -1;
+        CoreId core = kInvalidCore;
+        std::unordered_set<int> listenFds;
+        std::unordered_set<int> deferredAccept;
+        bool wakePending = false;
+        bool remoteWake = false;
+    };
+
+    /** Handle a readable connection fd. @return the advanced tick. */
+    virtual Tick onConnReadable(ProcState &ps, int fd, Tick t) = 0;
+
+    /** A connection was just accepted; register interest etc. */
+    virtual Tick onAccepted(ProcState &ps, int fd, Tick t);
+
+    /** The application's per-request service cost in cycles. */
+    virtual Tick serviceCost() const = 0;
+
+    void wake(int proc, bool remote = false);
+    Tick runLoop(std::size_t idx, Tick start);
+
+    Machine &m_;
+    std::vector<ProcState> procs_;
+    std::uint64_t served_ = 0;
+    bool acceptMutex_ = false;
+    std::size_t mutexHolder_ = 0;
+};
+
+} // namespace fsim
+
+#endif // FSIM_APP_APP_BASE_HH

@@ -1,0 +1,45 @@
+#include "app/backend.hh"
+
+namespace fsim
+{
+
+BackendPool::BackendPool(EventQueue &eq, Wire &wire, IpAddr first,
+                         IpAddr last, std::uint32_t response_bytes,
+                         Tick service_delay)
+    : eq_(eq), wire_(wire), first_(first), last_(last),
+      responseBytes_(response_bytes), serviceDelay_(service_delay)
+{
+    wire_.attachRange(first_, last_,
+                      [this](const Packet &pkt) { onPacket(pkt); });
+}
+
+void
+BackendPool::onPacket(const Packet &pkt)
+{
+    Packet reply;
+    reply.tuple = pkt.tuple.reversed();
+    reply.connId = pkt.connId;
+
+    if (pkt.has(kSyn) && !pkt.has(kAck)) {
+        reply.flags = kSyn | kAck;
+        wire_.transmit(reply, eq_.now());
+        return;
+    }
+    if (pkt.payload > 0) {
+        // Serve the request; FIN rides on the response (server closes
+        // after replying, keep-alive off).
+        reply.flags = kAck | kPsh | kFin;
+        reply.payload = responseBytes_;
+        ++served_;
+        wire_.transmit(reply, eq_.now() + serviceDelay_);
+        return;
+    }
+    if (pkt.has(kFin)) {
+        reply.flags = kAck;
+        wire_.transmit(reply, eq_.now());
+        return;
+    }
+    // Bare ACKs need no reply.
+}
+
+} // namespace fsim

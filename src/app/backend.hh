@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ideal backend server pool.
+ *
+ * The paper saturates its proxy with Fastsocket-enabled backends; here the
+ * backends are ideal wire endpoints (no CPU model of their own) that speak
+ * just enough TCP: SYN -> SYN-ACK, request -> response carrying FIN
+ * (server closes after the reply, keep-alive off), FIN -> ACK.
+ */
+
+#ifndef FSIM_APP_BACKEND_HH
+#define FSIM_APP_BACKEND_HH
+
+#include <cstdint>
+
+#include "net/packet.hh"
+#include "net/wire.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace fsim
+{
+
+/** A range of ideal backend servers attached to the wire. */
+class BackendPool
+{
+  public:
+    /**
+     * @param first,last Inclusive address range served.
+     * @param service_delay Ticks between request in and response out.
+     */
+    BackendPool(EventQueue &eq, Wire &wire, IpAddr first, IpAddr last,
+                std::uint32_t response_bytes = 64,
+                Tick service_delay = ticksFromUsec(100));
+
+    std::uint64_t requestsServed() const { return served_; }
+
+    /** Addresses usable by a Proxy. */
+    IpAddr firstAddr() const { return first_; }
+    IpAddr lastAddr() const { return last_; }
+
+  private:
+    void onPacket(const Packet &pkt);
+
+    EventQueue &eq_;
+    Wire &wire_;
+    IpAddr first_;
+    IpAddr last_;
+    std::uint32_t responseBytes_;
+    Tick serviceDelay_;
+    std::uint64_t served_ = 0;
+};
+
+} // namespace fsim
+
+#endif // FSIM_APP_BACKEND_HH

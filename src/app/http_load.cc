@@ -1,0 +1,264 @@
+#include "app/http_load.hh"
+
+#include "sim/logging.hh"
+
+namespace fsim
+{
+
+HttpLoad::HttpLoad(EventQueue &eq, Wire &wire, const Config &cfg)
+    : eq_(eq), wire_(wire), cfg_(cfg), rng_(cfg.seed)
+{
+    fsim_assert(!cfg_.serverAddrs.empty());
+    fsim_assert(cfg_.clientIps > 0);
+    nextPort_.assign(cfg_.clientIps, 1024);
+    wire_.attachRange(cfg_.clientBase,
+                      cfg_.clientBase +
+                          static_cast<IpAddr>(cfg_.clientIps - 1),
+                      [this](const Packet &pkt) { onPacket(pkt); });
+}
+
+std::uint64_t
+HttpLoad::key(const FiveTuple &rx)
+{
+    // Key on the tuple of packets we *receive* (server -> client).
+    std::uint64_t k = (static_cast<std::uint64_t>(rx.saddr) << 32) ^
+                      rx.daddr;
+    k = k * 0x9e3779b97f4a7c15ULL ^
+        (static_cast<std::uint64_t>(rx.sport) << 16) ^ rx.dport;
+    return k;
+}
+
+void
+HttpLoad::start()
+{
+    closedLoop_ = true;
+    for (int i = 0; i < cfg_.concurrency; ++i) {
+        // Stagger the initial burst slightly so the first SYNs don't all
+        // collide on one tick.
+        eq_.scheduleIn(rng_.range(ticksFromUsec(200) + 1),
+                       [this] { launch(); });
+    }
+}
+
+void
+HttpLoad::startOpenLoop(double per_second)
+{
+    closedLoop_ = false;
+    openLoopActive_ = true;
+    openLoopRate_ = per_second;
+    scheduleOpenLoop();
+}
+
+void
+HttpLoad::setOpenLoopRate(double per_second)
+{
+    openLoopRate_ = per_second;
+}
+
+void
+HttpLoad::stopOpenLoop()
+{
+    openLoopActive_ = false;
+}
+
+void
+HttpLoad::scheduleOpenLoop()
+{
+    if (!openLoopActive_ || openLoopRate_ <= 0.0)
+        return;
+    double gap_s = rng_.exponential(1.0 / openLoopRate_);
+    eq_.scheduleIn(ticksFromSeconds(gap_s), [this] {
+        if (!openLoopActive_)
+            return;
+        launch();
+        scheduleOpenLoop();
+    });
+}
+
+void
+HttpLoad::launch()
+{
+    IpAddr server = cfg_.serverAddrs[serverCursor_++ %
+                                     cfg_.serverAddrs.size()];
+    std::size_t ci = clientCursor_++ % cfg_.clientIps;
+    IpAddr client = cfg_.clientBase + static_cast<IpAddr>(ci);
+    Port sport = nextPort_[ci];
+    nextPort_[ci] = sport >= 65535 ? 1024 : static_cast<Port>(sport + 1);
+
+    Conn conn;
+    conn.tx = FiveTuple{client, server, sport, cfg_.serverPort};
+    conn.remaining = cfg_.requestsPerConn > 0 ? cfg_.requestsPerConn : 1;
+    conn.epoch = nextEpoch_++;
+    std::uint64_t k = key(conn.tx.reversed());
+    if (conns_.count(k)) {
+        // Tuple still in flight (port space wrapped); just pick another.
+        launch();
+        return;
+    }
+    conns_.emplace(k, conn);
+    ++started_;
+
+    if (cfg_.timeout > 0) {
+        std::uint64_t epoch = conn.epoch;
+        eq_.scheduleIn(cfg_.timeout, [this, k, epoch] {
+            auto it = conns_.find(k);
+            if (it == conns_.end() || it->second.epoch != epoch)
+                return;   // finished (or tuple reused) in time
+            ++timeouts_;
+            finish(k, false);
+        });
+    }
+
+    Packet syn;
+    syn.tuple = conn.tx;
+    syn.flags = kSyn;
+    syn.connId = k;
+    wire_.transmit(syn, eq_.now());
+}
+
+void
+HttpLoad::finish(std::uint64_t k, bool ok)
+{
+    conns_.erase(k);
+    if (ok)
+        ++completed_;
+    else
+        ++failed_;
+    if (closedLoop_)
+        launch();
+}
+
+void
+HttpLoad::onPacket(const Packet &pkt)
+{
+    std::uint64_t k = key(pkt.tuple);
+    auto it = conns_.find(k);
+    if (it == conns_.end())
+        return;   // late packet of a finished connection
+    Conn &c = it->second;
+
+    if (pkt.has(kRst)) {
+        finish(k, false);
+        return;
+    }
+
+    switch (c.state) {
+      case State::kSynSent:
+        if (pkt.has(kSyn) && pkt.has(kAck)) {
+            // ACK completes the handshake; the request follows at once
+            // (both on the wire back to back, like a real client that
+            // writes immediately after connect()).
+            Packet ack;
+            ack.tuple = c.tx;
+            ack.flags = kAck;
+            ack.connId = k;
+            wire_.transmit(ack, eq_.now());
+
+            sendRequest(c, k);
+            c.state = State::kWaitResponse;
+        }
+        break;
+
+      case State::kWaitResponse:
+        if (pkt.payload > 0) {
+            c.gotData = true;
+            ++responses_;
+            --c.remaining;
+            if (c.remaining > 0 && !pkt.has(kFin)) {
+                // Keep-alive: issue the next request on the same
+                // connection.
+                sendRequest(c, k);
+                break;
+            }
+        }
+        if (pkt.has(kFin)) {
+            // Server closed (keep-alive off). ACK its FIN and send ours.
+            Packet finack;
+            finack.tuple = c.tx;
+            finack.flags = kAck | kFin;
+            finack.connId = k;
+            wire_.transmit(finack, eq_.now());
+            c.state = State::kWaitLastAck;
+        } else if (c.gotData && c.remaining <= 0) {
+            if (cfg_.requestsPerConn > 1) {
+                // Long-lived mode: the client closes first.
+                Packet fin;
+                fin.tuple = c.tx;
+                fin.flags = kAck | kFin;
+                fin.connId = k;
+                wire_.transmit(fin, eq_.now());
+                c.state = State::kClosing;
+            } else {
+                c.state = State::kWaitFin;
+            }
+        }
+        break;
+
+      case State::kWaitFin:
+        if (pkt.has(kFin)) {
+            Packet finack;
+            finack.tuple = c.tx;
+            finack.flags = kAck | kFin;
+            finack.connId = k;
+            wire_.transmit(finack, eq_.now());
+            c.state = State::kWaitLastAck;
+        }
+        break;
+
+      case State::kWaitLastAck:
+        if (pkt.has(kAck) && !pkt.has(kFin))
+            finish(k, c.gotData);
+        break;
+
+      case State::kClosing:
+        if (pkt.has(kFin)) {
+            // Server answered our FIN with its own; final ACK and done.
+            Packet ack;
+            ack.tuple = c.tx;
+            ack.flags = kAck;
+            ack.connId = k;
+            wire_.transmit(ack, eq_.now());
+            finish(k, c.gotData);
+        }
+        break;
+    }
+}
+
+void
+HttpLoad::sendRequest(const Conn &c, std::uint64_t k)
+{
+    Packet req;
+    req.tuple = c.tx;
+    req.flags = kAck | kPsh;
+    req.payload = cfg_.requestBytes;
+    req.connId = k;
+    wire_.transmit(req, eq_.now());
+}
+
+void
+HttpLoad::markWindow()
+{
+    windowStart_ = eq_.now();
+    completedAtMark_ = completed_;
+    responsesAtMark_ = responses_;
+}
+
+double
+HttpLoad::throughputSinceMark() const
+{
+    double span = secondsFromTicks(eq_.now() - windowStart_);
+    if (span <= 0.0)
+        return 0.0;
+    return static_cast<double>(completed_ - completedAtMark_) / span;
+}
+
+double
+HttpLoad::requestThroughputSinceMark() const
+{
+    double span = secondsFromTicks(eq_.now() - windowStart_);
+    if (span <= 0.0)
+        return 0.0;
+    return static_cast<double>(responses_ - responsesAtMark_) / span;
+}
+
+} // namespace fsim

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * http_load-style workload generator (closed loop) with an additional
+ * open-loop mode for the production-trace experiment.
+ *
+ * Closed loop: keeps `concurrency` connections in flight; whenever one
+ * finishes, a new one starts — the discipline the paper uses (concurrency
+ * 500 x cores). Each connection is one short-lived HTTP exchange:
+ *
+ *     SYN -> (SYN-ACK) -> ACK + request -> (response) -> (server FIN)
+ *         -> ACK+FIN -> (final ACK) -> done
+ *
+ * The client is ideal (no CPU model): the paper runs clients on separate
+ * Fastsocket-boosted machines precisely so the server under test is the
+ * bottleneck.
+ */
+
+#ifndef FSIM_APP_HTTP_LOAD_HH
+#define FSIM_APP_HTTP_LOAD_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hh"
+#include "net/wire.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace fsim
+{
+
+/** Closed- or open-loop HTTP client fleet. */
+class HttpLoad
+{
+  public:
+    struct Config
+    {
+        std::vector<IpAddr> serverAddrs;
+        Port serverPort = 80;
+        /** Closed-loop outstanding connections (paper: 500 x cores). */
+        int concurrency = 500;
+        std::uint32_t requestBytes = 600;    //!< typical WeiBo request
+        /** Requests pipelined per connection (1 = short-lived, the
+         *  paper's default; >1 = HTTP keep-alive / long-lived mode,
+         *  where the client closes first after the last response). */
+        int requestsPerConn = 1;
+        IpAddr clientBase = 0xac100001;      //!< 172.16.0.1
+        int clientIps = 256;
+        std::uint64_t seed = 7;
+        /** Per-connection give-up timeout (0 = none). A timed-out
+         *  connection counts as failed and is relaunched in closed
+         *  loop — http_load's -timeout behavior, and the recovery
+         *  mechanism under injected packet loss. */
+        Tick timeout = 0;
+    };
+
+    HttpLoad(EventQueue &eq, Wire &wire, const Config &cfg);
+
+    /** Start the closed-loop fleet. */
+    void start();
+
+    /**
+     * Open-loop mode: start connections at @p per_second (Poisson) until
+     * stopOpenLoop(); completions do not trigger new starts.
+     */
+    void startOpenLoop(double per_second);
+    void setOpenLoopRate(double per_second);
+    void stopOpenLoop();
+
+    /** @name Statistics */
+    /** @{ */
+    std::uint64_t started() const { return started_; }
+    std::uint64_t completed() const { return completed_; }
+    std::uint64_t failed() const { return failed_; }
+    /** Responses received (== completed x requestsPerConn at quiesce). */
+    std::uint64_t responses() const { return responses_; }
+    /** Connections abandoned by the give-up timer. */
+    std::uint64_t timeouts() const { return timeouts_; }
+    std::uint64_t inFlight() const { return conns_.size(); }
+
+    /** Begin a throughput window. */
+    void markWindow();
+    /** Completed connections per simulated second since markWindow(). */
+    double throughputSinceMark() const;
+    /** Responses per simulated second since markWindow(). */
+    double requestThroughputSinceMark() const;
+    /** @} */
+
+  private:
+    enum class State
+    {
+        kSynSent,
+        kWaitResponse,   //!< request out, waiting for data
+        kWaitFin,        //!< response in, waiting for server FIN
+        kWaitLastAck,    //!< our ACK+FIN out, waiting for final ACK
+        kClosing,        //!< keep-alive done: our FIN out, await server's
+    };
+
+    struct Conn
+    {
+        State state = State::kSynSent;
+        FiveTuple tx;    //!< tuple of packets we send (client -> server)
+        bool gotData = false;
+        int remaining = 1;   //!< requests still to issue on this conn
+        std::uint64_t epoch = 0;   //!< distinguishes timeout reuse
+    };
+
+    static std::uint64_t key(const FiveTuple &rx);
+
+    void launch();
+    void onPacket(const Packet &pkt);
+    void finish(std::uint64_t k, bool ok);
+    void scheduleOpenLoop();
+
+    EventQueue &eq_;
+    Wire &wire_;
+    Config cfg_;
+    Rng rng_;
+
+    bool closedLoop_ = true;
+    bool openLoopActive_ = false;
+    double openLoopRate_ = 0.0;
+
+    std::size_t serverCursor_ = 0;
+    std::size_t clientCursor_ = 0;
+    std::vector<Port> nextPort_;    //!< per client IP
+
+    std::unordered_map<std::uint64_t, Conn> conns_;
+
+    void sendRequest(const Conn &c, std::uint64_t k);
+
+    std::uint64_t started_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t failed_ = 0;
+    std::uint64_t responses_ = 0;
+    std::uint64_t timeouts_ = 0;
+    std::uint64_t nextEpoch_ = 1;
+
+    Tick windowStart_ = 0;
+    std::uint64_t completedAtMark_ = 0;
+    std::uint64_t responsesAtMark_ = 0;
+};
+
+} // namespace fsim
+
+#endif // FSIM_APP_HTTP_LOAD_HH

@@ -1,0 +1,115 @@
+#include "app/proxy.hh"
+
+#include "sim/logging.hh"
+
+namespace fsim
+{
+
+Proxy::Proxy(Machine &m, std::vector<IpAddr> backends, Port backend_port,
+             std::uint32_t response_bytes)
+    : AppBase(m), backends_(std::move(backends)),
+      backendPort_(backend_port), responseBytes_(response_bytes)
+{
+    fsim_assert(!backends_.empty());
+}
+
+Tick
+Proxy::serviceCost() const
+{
+    return m_.costs().appServiceProxy;
+}
+
+Tick
+Proxy::closeSession(ProcState &ps, Session *s, Tick t)
+{
+    KernelStack &k = m_.kernel();
+    if (s->backendFd >= 0) {
+        sessions_.erase(skey(ps.proc, s->backendFd));
+        if (k.sockFromFd(ps.proc, s->backendFd))
+            t = k.close(ps.proc, t, s->backendFd);
+    }
+    if (s->clientFd >= 0) {
+        sessions_.erase(skey(ps.proc, s->clientFd));
+        if (k.sockFromFd(ps.proc, s->clientFd))
+            t = k.close(ps.proc, t, s->clientFd);
+    }
+    delete s;
+    return t;
+}
+
+Tick
+Proxy::onConnReadable(ProcState &ps, int fd, Tick t)
+{
+    KernelStack &k = m_.kernel();
+    Socket *sock = k.sockFromFd(ps.proc, fd);
+    if (!sock)
+        return t;
+
+    auto it = sessions_.find(skey(ps.proc, fd));
+    Session *s = nullptr;
+    if (it == sessions_.end()) {
+        // First event on a freshly accepted client connection.
+        s = new Session();
+        s->clientFd = fd;
+        sessions_[skey(ps.proc, fd)] = s;
+    } else {
+        s = it->second;
+    }
+
+    if (fd == s->clientFd) {
+        KernelStack::ReadResult r = k.read(ps.proc, t, fd);
+        t = r.t;
+        if (r.bytes > 0 && s->backendFd < 0) {
+            // Got the request: pick a backend and connect (non-blocking).
+            s->requestBytes = r.bytes;
+            t += serviceCost();
+            IpAddr backend = backends_[backendCursor_++ % backends_.size()];
+            KernelStack::ConnectResult cr =
+                k.connect(ps.proc, t, backend, backendPort_);
+            t = cr.t;
+            if (!cr.sock) {
+                ++connectFailures_;
+                return closeSession(ps, s, t);
+            }
+            s->backendFd = cr.fd;
+            s->phase = Phase::kBackendConnect;
+            sessions_[skey(ps.proc, cr.fd)] = s;
+            t = k.epollAdd(ps.proc, t, cr.fd);
+        } else if (r.finSeen && r.bytes == 0) {
+            // Client hung up.
+            return closeSession(ps, s, t);
+        }
+        return t;
+    }
+
+    // Backend fd.
+    if (s->phase == Phase::kBackendConnect) {
+        Socket *bs = k.sockFromFd(ps.proc, fd);
+        if (bs && bs->state == TcpState::kEstablished) {
+            // Connect completed: forward the request.
+            t = k.write(ps.proc, t, fd, s->requestBytes);
+            s->phase = Phase::kBackendWait;
+        }
+        if (bs && bs->rxPending == 0 && !bs->peerFin)
+            return t;
+        // Fall through when the response already raced in.
+    }
+
+    KernelStack::ReadResult r = k.read(ps.proc, t, fd);
+    t = r.t;
+    if (r.bytes > 0) {
+        // Relay the response to the client and tear the session down:
+        // passive close toward the backend (it FINed with the response),
+        // active close toward the client.
+        t = k.write(ps.proc, t, s->clientFd, responseBytes_);
+        ++served_;
+        return closeSession(ps, s, t);
+    }
+    if (r.finSeen) {
+        // Backend closed without data: give up on the session.
+        return closeSession(ps, s, t);
+    }
+    return t;
+}
+
+} // namespace fsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * HAProxy-like HTTP load-balancer model.
+ *
+ * For every client request the proxy opens an *active* connection to a
+ * backend, forwards the request, relays the response back, and closes
+ * both sides (keep-alive off, as in the paper's production deployment).
+ * The active side is what exercises Receive Flow Deliver: without it the
+ * backend's reply lands on an RSS-random core.
+ */
+
+#ifndef FSIM_APP_PROXY_HH
+#define FSIM_APP_PROXY_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "app/app_base.hh"
+
+namespace fsim
+{
+
+/** HTTP proxy (one process per core, active connections to backends). */
+class Proxy : public AppBase
+{
+  public:
+    /**
+     * @param backends Backend server addresses (port 80 assumed so RFD
+     *        rule 1 classifies replies as active incoming).
+     */
+    Proxy(Machine &m, std::vector<IpAddr> backends, Port backend_port = 80,
+          std::uint32_t response_bytes = 64);
+
+    /** Active connections the proxy failed to open (port exhaustion). */
+    std::uint64_t connectFailures() const { return connectFailures_; }
+
+  protected:
+    Tick onConnReadable(ProcState &ps, int fd, Tick t) override;
+    Tick serviceCost() const override;
+
+  private:
+    enum class Phase
+    {
+        kClientWait,     //!< client fd, waiting for the request
+        kBackendConnect, //!< backend fd, waiting for SYN-ACK
+        kBackendWait,    //!< backend fd, waiting for the response
+    };
+
+    struct Session
+    {
+        int clientFd = -1;
+        int backendFd = -1;
+        Phase phase = Phase::kClientWait;
+        std::uint32_t requestBytes = 0;
+    };
+
+    /** Key sessions by (process, fd). */
+    static std::uint64_t
+    skey(int proc, int fd)
+    {
+        return (static_cast<std::uint64_t>(proc) << 32) |
+               static_cast<std::uint32_t>(fd);
+    }
+
+    Tick closeSession(ProcState &ps, Session *s, Tick t);
+
+    std::vector<IpAddr> backends_;
+    Port backendPort_;
+    std::uint32_t responseBytes_;
+    std::size_t backendCursor_ = 0;
+    std::uint64_t connectFailures_ = 0;
+    std::unordered_map<std::uint64_t, Session *> sessions_;
+};
+
+} // namespace fsim
+
+#endif // FSIM_APP_PROXY_HH

@@ -1,0 +1,47 @@
+#include "app/web_server.hh"
+
+namespace fsim
+{
+
+WebServer::WebServer(Machine &m, std::uint32_t response_bytes,
+                     bool keep_alive)
+    : AppBase(m), responseBytes_(response_bytes), keepAlive_(keep_alive)
+{
+}
+
+Tick
+WebServer::serviceCost() const
+{
+    return m_.costs().appServiceWeb;
+}
+
+Tick
+WebServer::onConnReadable(ProcState &ps, int fd, Tick t)
+{
+    KernelStack &k = m_.kernel();
+    Socket *sock = k.sockFromFd(ps.proc, fd);
+    if (!sock)
+        return t;   // already closed earlier in this loop iteration
+
+    KernelStack::ReadResult r = k.read(ps.proc, t, fd);
+    t = r.t;
+
+    if (r.bytes > 0) {
+        // Parse request + build response from the in-memory cache.
+        t += serviceCost();
+        t = k.write(ps.proc, t, fd, responseBytes_);
+        ++served_;
+        if (!keepAlive_) {
+            // keep-alive off: active close right after the response.
+            t = k.close(ps.proc, t, fd);
+        } else if (r.finSeen) {
+            t = k.close(ps.proc, t, fd);
+        }
+    } else if (r.finSeen) {
+        // Client closed (keep-alive) or went away before the request.
+        t = k.close(ps.proc, t, fd);
+    }
+    return t;
+}
+
+} // namespace fsim

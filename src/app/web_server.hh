@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Nginx-like static web server model.
+ *
+ * Serves a cached 64-byte page per request (the paper's Nginx benchmark:
+ * 64 B file, in memory, HTTP keep-alive disabled). Each request is one
+ * packet; after writing the response the server closes the connection
+ * ("Connection: close"), taking the active-close path through FIN_WAIT
+ * and TIME_WAIT.
+ */
+
+#ifndef FSIM_APP_WEB_SERVER_HH
+#define FSIM_APP_WEB_SERVER_HH
+
+#include "app/app_base.hh"
+
+namespace fsim
+{
+
+/** Static web server (one process per core). */
+class WebServer : public AppBase
+{
+  public:
+    /**
+     * @param response_bytes Served page size (paper: 64).
+     * @param keep_alive Serve multiple requests per connection; the
+     *        client closes (the paper's experiments disable this).
+     */
+    explicit WebServer(Machine &m, std::uint32_t response_bytes = 64,
+                       bool keep_alive = false);
+
+  protected:
+    Tick onConnReadable(ProcState &ps, int fd, Tick t) override;
+    Tick serviceCost() const override;
+
+  private:
+    std::uint32_t responseBytes_;
+    bool keepAlive_;
+};
+
+} // namespace fsim
+
+#endif // FSIM_APP_WEB_SERVER_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Simulated CPU cores and their run-to-completion task scheduler.
+ *
+ * Each core executes tasks serially. A task is a closure that receives its
+ * start tick and returns its finish tick; inside, it charges cycle costs,
+ * acquires simulated locks (which may extend its timeline by spin waiting)
+ * and performs cache-model accesses. Two priority levels model the kernel's
+ * execution contexts: SoftIRQ work always preempts (runs before) queued
+ * process-context work, like NET_RX SoftIRQ does in Linux.
+ */
+
+#ifndef FSIM_CPU_CORE_HH
+#define FSIM_CPU_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "cpu/cache_model.hh"
+#include "cpu/cycle_costs.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace fsim
+{
+
+/** Scheduling class of a task. Lower value runs first. */
+enum class TaskPrio
+{
+    kSoftIrq = 0,  //!< NET_RX SoftIRQ / timer SoftIRQ context
+    kProcess = 1,  //!< application process context
+};
+
+/** A unit of work: start tick in, finish tick out. */
+using Task = std::function<Tick(Tick)>;
+
+class CpuModel;
+
+/** One simulated CPU core. */
+class Core
+{
+  public:
+    CoreId id() const { return id_; }
+
+    /** Cycles this core spent executing tasks since construction. */
+    std::uint64_t busyTicks() const { return busyTicks_; }
+
+    /** Number of tasks executed. */
+    std::uint64_t tasksRun() const { return tasksRun_; }
+
+    /** Tick at which the currently queued work will have drained. */
+    Tick busyUntil() const { return busyUntil_; }
+
+    /** Queued but not yet started tasks. */
+    std::size_t backlog() const
+    {
+        return queues_[0].size() + queues_[1].size();
+    }
+
+  private:
+    friend class CpuModel;
+
+    CoreId id_ = kInvalidCore;
+    std::deque<Task> queues_[2];
+    bool running_ = false;
+    Tick busyUntil_ = 0;
+    std::uint64_t busyTicks_ = 0;
+    std::uint64_t tasksRun_ = 0;
+};
+
+/** The set of cores of one simulated machine. */
+class CpuModel
+{
+  public:
+    CpuModel(EventQueue &eq, CacheModel &cache, const CycleCosts &costs,
+             int n_cores);
+
+    int numCores() const { return static_cast<int>(cores_.size()); }
+    Core &core(CoreId c) { return cores_.at(c); }
+    const Core &core(CoreId c) const { return cores_.at(c); }
+
+    /**
+     * Enqueue @p task on core @p c.
+     *
+     * The task starts as soon as the core is free and no higher-priority
+     * work is pending.
+     */
+    void post(CoreId c, TaskPrio prio, Task task);
+
+    /** Sum of busyTicks over all cores. */
+    std::uint64_t totalBusyTicks() const;
+
+    EventQueue &eventQueue() { return eq_; }
+    CacheModel &cache() { return cache_; }
+    const CycleCosts &costs() const { return costs_; }
+
+  private:
+    void runNext(CoreId c);
+
+    EventQueue &eq_;
+    CacheModel &cache_;
+    const CycleCosts &costs_;
+    std::vector<Core> cores_;
+};
+
+} // namespace fsim
+
+#endif // FSIM_CPU_CORE_HH

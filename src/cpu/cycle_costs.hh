@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Calibrated cycle costs of every modeled kernel and application operation.
+ *
+ * One CycleCosts instance is owned by each simulated Machine. The defaults
+ * are calibrated (see src/harness/calibration.hh and EXPERIMENTS.md) so that
+ * single-core nginx throughput lands near the paper's ~23 K connections/s;
+ * every multi-core effect (lock collapse, cache bouncing, O(n) listener
+ * walks) must then emerge from the simulation rather than from constants.
+ */
+
+#ifndef FSIM_CPU_CYCLE_COSTS_HH
+#define FSIM_CPU_CYCLE_COSTS_HH
+
+#include "sim/types.hh"
+
+namespace fsim
+{
+
+/** Cycle cost table. All values are in core clock cycles. */
+struct CycleCosts
+{
+    /** @name Memory system */
+    /** @{ */
+    /** Remote cache-line transfer (L3/ coherence miss) penalty. */
+    Tick cacheMissPenalty = 400;
+    /** Cross-NUMA-node (socket interconnect) transfer penalty. */
+    Tick numaRemotePenalty = 1000;
+    /** Cores per NUMA node (the paper's testbed: 2 x 12 cores). */
+    int numaNodeSize = 12;
+    /** One implicit LLC-level access is charged per this many cycles of
+     *  useful work (L1/L2 filter the rest), so modeled miss *rates* stay
+     *  in a realistic band. */
+    Tick cyclesPerLocalAccess = 300;
+    /** Fraction of implicit accesses that miss anyway (cold app/kernel
+     *  working set); anchors the absolute L3 miss rate of Figure 5(a). */
+    double backgroundMissRate = 0.05;
+    /** Cache lines a TCB access touches (sock struct, queues, skbs). */
+    int tcbLines = 3;
+    /** @} */
+
+    /** @name Interrupt and SoftIRQ path (per packet) */
+    /** @{ */
+    Tick irqPerPacket = 600;     //!< hardirq + NAPI dispatch
+    Tick netRxBase = 1800;       //!< driver + IP layer processing
+    Tick txPacket = 1300;        //!< qdisc + driver transmit
+    Tick steerCost = 550;        //!< RFD software steering to another core
+    /** @} */
+
+    /** @name TCP layer */
+    /** @{ */
+    Tick listenLookupBase = 150;     //!< hash + first bucket probe
+    Tick listenLookupPerEntry = 140; //!< per extra socket walked (reuseport)
+    Tick synProcess = 2600;          //!< request sock create + SYN-ACK build
+    Tick establish = 3600;           //!< full TCB create on final ACK
+    Tick ehashLookup = 220;          //!< established table probe
+    Tick ehashInsertHold = 260;      //!< bucket lock hold for insert/remove
+    Tick acceptQueuePushHold = 320;  //!< listen slock hold to enqueue
+    Tick slockHoldRx = 650;          //!< TCB processing under slock (softirq)
+    Tick slockHoldApp = 520;         //!< TCB processing under slock (app ctx)
+    Tick dataSegment = 2300;         //!< TCP data segment receive processing
+    Tick timerOpHold = 260;          //!< timer wheel add/mod/del under lock
+    Tick timerTickCost = 150;        //!< per-jiffy timer SoftIRQ base cost
+    Tick portAllocCost = 500;        //!< ephemeral source port selection
+    Tick portBindHold = 900;         //!< global bind-hash lock hold
+                                     //!< (inet_csk_get_port, 2.6.32)
+    Tick synQueueHold = 300;         //!< listen slock hold for SYN queue add
+    Tick rstCost = 800;              //!< build + send an RST
+    /** @} */
+
+    /** @name Epoll */
+    /** @{ */
+    Tick epollWakeHold = 360;    //!< ready-list push under ep.lock
+    Tick epollCtl = 750;         //!< EPOLL_CTL_ADD/DEL
+    Tick epollWaitBase = 900;    //!< epoll_wait syscall + drain loop
+    /** @} */
+
+    /** @name VFS */
+    /** @{ */
+    Tick vfsAllocHeavy = 2600;   //!< dentry+inode alloc/init (outside locks)
+    Tick vfsFreeHeavy = 2100;    //!< dentry+inode teardown (outside locks)
+    Tick dcacheLockHold = 2600;  //!< global dcache_lock hold per op
+                                 //!< (hash chain + LRU + refcount work,
+                                 //!< all under the one 2.6.32 lock)
+    Tick inodeLockHold = 350;    //!< global inode_lock hold per op
+    Tick vfsFineLockHold = 180;  //!< 3.13-style per-bucket lock hold
+    Tick vfsAllocFast = 650;     //!< Fastsocket-aware VFS fast-path alloc
+    Tick vfsFreeFast = 550;      //!< Fastsocket-aware VFS fast-path free
+    Tick fdBitmapCost = 180;     //!< lowest-fd bitmap scan + set
+    /** @} */
+
+    /** @name Syscall and application layer */
+    /** @{ */
+    Tick syscallOverhead = 300;
+    Tick schedWakeLocal = 800;   //!< wakeup of a process on this core
+    Tick schedWakeRemote = 2600; //!< cross-core wakeup (IPI + resched)
+    Tick acceptCost = 1500;      //!< accept() excluding VFS and locks
+    Tick connectCost = 2400;     //!< connect() excluding port alloc
+    Tick readCost = 1600;
+    Tick writeCost = 1900;
+    Tick closeCost = 1300;
+    Tick appServiceWeb = 45000;  //!< nginx: parse + log + serve cached page
+    Tick appServiceProxy = 12000; //!< haproxy: parse + forwarding decision
+    /** @} */
+
+    /** @name Locks */
+    /** @{ */
+    Tick lockAcquireBase = 40;   //!< uncontended acquire+release cost
+    /** Extra serialized cycles per already-spinning core on a contended
+     *  handoff: every waiter re-reads the lock line when it is released,
+     *  so handoff latency grows with the spinner count. This is the
+     *  superlinear-collapse term for hot global spinlocks. */
+    Tick lockHandoffStorm = 250;
+    /** @} */
+};
+
+} // namespace fsim
+
+#endif // FSIM_CPU_CYCLE_COSTS_HH

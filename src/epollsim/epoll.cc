@@ -1,0 +1,77 @@
+#include "epollsim/epoll.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace fsim
+{
+
+EventPoll::EventPoll(LockRegistry &locks, CacheModel &cache,
+                     const CycleCosts &costs)
+    : cache_(cache), costs_(costs)
+{
+    epLock_.init(locks.getClass("ep.lock"), &cache_,
+                 costs_.lockAcquireBase, costs_.lockHandoffStorm);
+    readyListObj_ = cache_.newObject();
+}
+
+Tick
+EventPoll::ctlAdd(CoreId c, Tick t, int fd)
+{
+    t += costs_.epollCtl;
+    Tick end = epLock_.runLocked(c, t, costs_.epollWakeHold);
+    interest_[fd] = false;
+    return end;
+}
+
+Tick
+EventPoll::ctlDel(CoreId c, Tick t, int fd)
+{
+    t += costs_.epollCtl;
+    Tick end = epLock_.runLocked(c, t, costs_.epollWakeHold);
+    auto it = interest_.find(fd);
+    if (it != interest_.end()) {
+        if (it->second)
+            ready_.erase(std::remove(ready_.begin(), ready_.end(), fd),
+                         ready_.end());
+        interest_.erase(it);
+    }
+    return end;
+}
+
+Tick
+EventPoll::wake(CoreId c, Tick t, int fd)
+{
+    auto it = interest_.find(fd);
+    if (it == interest_.end())
+        return t;    // not watched; nothing to do
+    Tick penalty = cache_.access(c, readyListObj_, /*write=*/true);
+    Tick end = epLock_.runLocked(c, t, costs_.epollWakeHold + penalty);
+    if (!it->second) {
+        it->second = true;
+        ready_.push_back(fd);
+    }
+    return end;
+}
+
+Tick
+EventPoll::wait(CoreId c, Tick t, std::vector<int> &out, int max_events)
+{
+    t += costs_.epollWaitBase;
+    Tick penalty = cache_.access(c, readyListObj_, /*write=*/true);
+    Tick end = epLock_.runLocked(c, t, costs_.epollWakeHold + penalty);
+    while (!ready_.empty() &&
+           static_cast<int>(out.size()) < max_events) {
+        int fd = ready_.front();
+        ready_.pop_front();
+        auto it = interest_.find(fd);
+        if (it != interest_.end()) {
+            it->second = false;
+            out.push_back(fd);
+        }
+    }
+    return end;
+}
+
+} // namespace fsim

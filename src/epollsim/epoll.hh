@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Simulated epoll instance.
+ *
+ * The ready list is guarded by ep.lock, which in the stock kernel is taken
+ * from the SoftIRQ context (socket wakeups) *and* from the process context
+ * (epoll_wait drain, epoll_ctl) — so without connection locality the two
+ * contexts run on different cores and contend, which is the ep.lock row of
+ * the paper's Table 1.
+ */
+
+#ifndef FSIM_EPOLLSIM_EPOLL_HH
+#define FSIM_EPOLLSIM_EPOLL_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/cache_model.hh"
+#include "cpu/cycle_costs.hh"
+#include "sim/types.hh"
+#include "sync/lock_registry.hh"
+#include "sync/spinlock.hh"
+
+namespace fsim
+{
+
+/** One epoll instance (each simulated process owns one). */
+class EventPoll
+{
+  public:
+    EventPoll(LockRegistry &locks, CacheModel &cache,
+              const CycleCosts &costs);
+
+    /** EPOLL_CTL_ADD. @return completion tick. */
+    Tick ctlAdd(CoreId c, Tick t, int fd);
+
+    /** EPOLL_CTL_DEL; also removes any pending ready entry. */
+    Tick ctlDel(CoreId c, Tick t, int fd);
+
+    /**
+     * Kernel-side wakeup: mark @p fd ready.
+     *
+     * Duplicate wakeups while the fd is already on the ready list collapse,
+     * like the epoll item linked state does.
+     *
+     * @return completion tick.
+     */
+    Tick wake(CoreId c, Tick t, int fd);
+
+    /**
+     * Process-side epoll_wait: drain up to @p max_events ready fds into
+     * @p out (the maxevents argument of the real syscall).
+     *
+     * @return completion tick.
+     */
+    Tick wait(CoreId c, Tick t, std::vector<int> &out,
+              int max_events = 64);
+
+    bool hasReady() const { return !ready_.empty(); }
+    std::size_t interestCount() const { return interest_.size(); }
+    bool watching(int fd) const { return interest_.count(fd) != 0; }
+
+  private:
+    CacheModel &cache_;
+    const CycleCosts &costs_;
+    SimSpinLock epLock_;
+    std::uint64_t readyListObj_;
+
+    /** fd -> currently linked on the ready list? */
+    std::unordered_map<int, bool> interest_;
+    std::deque<int> ready_;
+};
+
+} // namespace fsim
+
+#endif // FSIM_EPOLLSIM_EPOLL_HH

@@ -1,0 +1,48 @@
+#include "fastsocket/local_tables.hh"
+
+#include "sim/logging.hh"
+
+namespace fsim
+{
+
+LocalListenTable::LocalListenTable(int n_cores, CacheModel &cache)
+    : tables_(n_cores)
+{
+    fsim_assert(n_cores > 0);
+    cacheObjs_.reserve(n_cores);
+    for (int i = 0; i < n_cores; ++i)
+        cacheObjs_.push_back(cache.newObject());
+}
+
+std::size_t
+LocalListenTable::totalSockets() const
+{
+    std::size_t n = 0;
+    for (const ListenTable &t : tables_)
+        n += t.size();
+    return n;
+}
+
+LocalEstablishedTable::LocalEstablishedTable(int n_cores, int n_buckets,
+                                             LockRegistry &locks,
+                                             CacheModel &cache,
+                                             const CycleCosts &costs)
+{
+    fsim_assert(n_cores > 0);
+    tables_.reserve(n_cores);
+    for (int i = 0; i < n_cores; ++i) {
+        tables_.push_back(std::make_unique<EstablishedTable>(
+            n_buckets, locks, cache, costs, "ehash.lock"));
+    }
+}
+
+std::size_t
+LocalEstablishedTable::totalSockets() const
+{
+    std::size_t n = 0;
+    for (const auto &t : tables_)
+        n += t->size();
+    return n;
+}
+
+} // namespace fsim

@@ -1,0 +1,189 @@
+#include "harness/experiment.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace fsim
+{
+
+double
+ExperimentResult::maxUtil() const
+{
+    double m = 0.0;
+    for (double u : coreUtil)
+        m = std::max(m, u);
+    return m;
+}
+
+double
+ExperimentResult::minUtil() const
+{
+    if (coreUtil.empty())
+        return 0.0;
+    double m = coreUtil.front();
+    for (double u : coreUtil)
+        m = std::min(m, u);
+    return m;
+}
+
+double
+ExperimentResult::avgUtil() const
+{
+    if (coreUtil.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double u : coreUtil)
+        s += u;
+    return s / static_cast<double>(coreUtil.size());
+}
+
+std::map<std::string, LockClassStats>
+lockDelta(const std::map<std::string, LockClassStats> &before,
+          const std::map<std::string, LockClassStats> &after)
+{
+    std::map<std::string, LockClassStats> out;
+    for (const auto &kv : after) {
+        LockClassStats d = kv.second;
+        auto it = before.find(kv.first);
+        if (it != before.end()) {
+            d.acquisitions -= it->second.acquisitions;
+            d.contentions -= it->second.contentions;
+            d.waitTicks -= it->second.waitTicks;
+            d.holdTicks -= it->second.holdTicks;
+        }
+        out[kv.first] = d;
+    }
+    return out;
+}
+
+Testbed::Testbed(const ExperimentConfig &cfg)
+    : cfg_(cfg)
+{
+    eq_ = std::make_unique<EventQueue>();
+    wire_ = std::make_unique<Wire>(*eq_, cfg_.wireDelay);
+    if (cfg_.lossRate > 0.0)
+        wire_->setLossRate(cfg_.lossRate, cfg_.machine.seed ^ 0x10ad);
+    machine_ = std::make_unique<Machine>(*eq_, *wire_, cfg_.machine);
+
+    if (cfg_.app == AppKind::kHaproxy) {
+        IpAddr bfirst = 0x0a010001;   // 10.1.0.1
+        IpAddr blast = bfirst + static_cast<IpAddr>(cfg_.backendCount - 1);
+        backends_ = std::make_unique<BackendPool>(
+            *eq_, *wire_, bfirst, blast, cfg_.responseBytes,
+            ticksFromUsec(100));
+        std::vector<IpAddr> baddrs;
+        for (IpAddr a = bfirst; a <= blast; ++a)
+            baddrs.push_back(a);
+        app_ = std::make_unique<Proxy>(*machine_, baddrs,
+                                       cfg_.backendPort,
+                                       cfg_.responseBytes);
+    } else {
+        app_ = std::make_unique<WebServer>(*machine_, cfg_.responseBytes,
+                                           cfg_.requestsPerConn > 1);
+    }
+    app_->setAcceptMutex(cfg_.acceptMutex);
+    app_->start();
+
+    HttpLoad::Config lc;
+    lc.serverAddrs = machine_->addrs();
+    lc.serverPort = machine_->servicePort();
+    lc.concurrency = cfg_.concurrencyPerCore * machine_->numCores();
+    lc.requestBytes = cfg_.requestBytes;
+    lc.requestsPerConn = cfg_.requestsPerConn;
+    lc.timeout = cfg_.clientTimeout;
+    lc.seed = cfg_.machine.seed ^ 0xabcdef;
+    load_ = std::make_unique<HttpLoad>(*eq_, *wire_, lc);
+}
+
+Testbed::~Testbed() = default;
+
+void
+Testbed::startLoad()
+{
+    if (loadStarted_)
+        return;
+    loadStarted_ = true;
+    load_->start();
+}
+
+void
+Testbed::markWindows()
+{
+    machine_->markWindow();
+    load_->markWindow();
+    lockMark_ = machine_->locks().snapshot();
+    accessesMark_ = machine_->cache().totalAccesses();
+    missesMark_ = machine_->cache().totalMisses();
+    servedMark_ = app_->served();
+    const KernelStats &ks = machine_->kernel().stats();
+    slowMark_ = ks.slowPathAccepts;
+    steerMark_ = ks.steeredPackets;
+    rxMark_ = ks.rxPackets;
+    activeLocalMark_ = ks.activePktLocal;
+    activeTotalMark_ = ks.activePktTotal;
+    failedMark_ = load_->failed();
+    markTick_ = eq_->now();
+}
+
+ExperimentResult
+Testbed::collect()
+{
+    ExperimentResult r;
+    r.cps = load_->throughputSinceMark();
+    r.rps = load_->requestThroughputSinceMark();
+    r.coreUtil = machine_->utilizationSinceMark();
+    r.locks = lockDelta(lockMark_, machine_->locks().snapshot());
+
+    std::uint64_t acc = machine_->cache().totalAccesses() - accessesMark_;
+    std::uint64_t mis = machine_->cache().totalMisses() - missesMark_;
+    r.l3MissRate = acc ? static_cast<double>(mis) /
+                         static_cast<double>(acc)
+                       : 0.0;
+
+    const KernelStats &ks = machine_->kernel().stats();
+    std::uint64_t at = ks.activePktTotal - activeTotalMark_;
+    std::uint64_t al = ks.activePktLocal - activeLocalMark_;
+    r.localPktProportion = at ? static_cast<double>(al) /
+                                static_cast<double>(at)
+                              : 0.0;
+
+    r.served = app_->served() - servedMark_;
+    r.clientFailures = load_->failed() - failedMark_;
+    r.slowPathAccepts = ks.slowPathAccepts - slowMark_;
+    r.steeredPackets = ks.steeredPackets - steerMark_;
+    r.rxPackets = ks.rxPackets - rxMark_;
+
+    // Lock cycle shares: spin-wait cycles per class over the window's
+    // total core-cycles (the "spin lock consumes 9%/11% of CPU cycles"
+    // framing of section 1).
+    Tick span = eq_->now() - markTick_;
+    double total_cycles = static_cast<double>(span) *
+                          machine_->numCores();
+    if (total_cycles > 0) {
+        for (const auto &kv : r.locks) {
+            r.lockCycleShare[kv.first] =
+                static_cast<double>(kv.second.waitTicks) / total_cycles;
+        }
+    }
+    return r;
+}
+
+ExperimentResult
+Testbed::run()
+{
+    startLoad();
+    eq_->runUntil(eq_->now() + ticksFromSeconds(cfg_.warmupSec));
+    markWindows();
+    eq_->runUntil(eq_->now() + ticksFromSeconds(cfg_.measureSec));
+    return collect();
+}
+
+ExperimentResult
+runExperiment(const ExperimentConfig &cfg)
+{
+    Testbed bed(cfg);
+    return bed.run();
+}
+
+} // namespace fsim

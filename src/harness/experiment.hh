@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Experiment harness: builds a machine + application + client fleet,
+ * runs warmup and measurement windows, and collects the metrics every
+ * figure/table of the paper is expressed in (connections/s, per-core
+ * utilization, L3 miss rate, local-packet proportion, lockstat deltas).
+ */
+
+#ifndef FSIM_HARNESS_EXPERIMENT_HH
+#define FSIM_HARNESS_EXPERIMENT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/backend.hh"
+#include "app/http_load.hh"
+#include "app/machine.hh"
+#include "app/proxy.hh"
+#include "app/web_server.hh"
+#include "kernel/kernel_config.hh"
+#include "sync/lock_registry.hh"
+
+namespace fsim
+{
+
+/** Which server application runs on the machine under test. */
+enum class AppKind
+{
+    kNginx,     //!< WebServer (passive connections only)
+    kHaproxy,   //!< Proxy (passive + active connections)
+};
+
+/** One experiment's setup. */
+struct ExperimentConfig
+{
+    AppKind app = AppKind::kNginx;
+    MachineConfig machine;
+    /** http_load concurrency multiplier (paper: 500 x cores). */
+    int concurrencyPerCore = 500;
+    double warmupSec = 0.03;
+    double measureSec = 0.12;
+    /** Number of ideal backend servers (HAProxy experiments). */
+    int backendCount = 16;
+    /** One-way wire latency. */
+    Tick wireDelay = ticksFromUsec(50);
+    /** Backend service port (a non-well-known port exercises RFD rule
+     *  3, the precise listener probe). */
+    Port backendPort = 80;
+    /** nginx accept mutex (paper 4.2.2 disables it under Fastsocket). */
+    bool acceptMutex = false;
+    std::uint32_t responseBytes = 64;
+    std::uint32_t requestBytes = 600;
+    /** Requests per connection (1 = short-lived; >1 enables HTTP
+     *  keep-alive on the web server and long-lived client behavior). */
+    int requestsPerConn = 1;
+    /** Wire packet-loss probability (failure injection; 0 = off). */
+    double lossRate = 0.0;
+    /** Client give-up timeout (0 = none; required if lossRate > 0). */
+    Tick clientTimeout = 0;
+};
+
+/** Measured outcome of one experiment. */
+struct ExperimentResult
+{
+    double cps = 0.0;                   //!< connections per second
+    double rps = 0.0;                   //!< responses (requests) per sec
+    double l3MissRate = 0.0;            //!< window L3 miss rate
+    double localPktProportion = 0.0;    //!< Figure 5(b) metric
+    std::vector<double> coreUtil;       //!< per-core utilization
+    /** Window deltas of every lock class (acquisitions/contentions...). */
+    std::map<std::string, LockClassStats> locks;
+    std::uint64_t served = 0;           //!< app-level responses in window
+    std::uint64_t clientFailures = 0;
+    std::uint64_t slowPathAccepts = 0;
+    std::uint64_t steeredPackets = 0;
+    std::uint64_t rxPackets = 0;
+    /** Fraction of measured cycles spent spinning on each lock class. */
+    std::map<std::string, double> lockCycleShare;
+
+    double maxUtil() const;
+    double avgUtil() const;
+    double minUtil() const;
+};
+
+/**
+ * A fully wired simulated testbed. Exposed (rather than hidden inside a
+ * run() function) so examples can drive it interactively.
+ */
+class Testbed
+{
+  public:
+    explicit Testbed(const ExperimentConfig &cfg);
+    ~Testbed();
+
+    EventQueue &eventQueue() { return *eq_; }
+    Wire &wire() { return *wire_; }
+    Machine &machine() { return *machine_; }
+    AppBase &app() { return *app_; }
+    HttpLoad &load() { return *load_; }
+    BackendPool *backends() { return backends_.get(); }
+
+    /** Run warmup + measurement, return the measured window. */
+    ExperimentResult run();
+
+    /** Start the client fleet (done by run(); for manual driving). */
+    void startLoad();
+
+    /** Snapshot-and-measure helper for manual driving. */
+    void markWindows();
+    ExperimentResult collect();
+
+  private:
+    ExperimentConfig cfg_;
+    std::unique_ptr<EventQueue> eq_;
+    std::unique_ptr<Wire> wire_;
+    std::unique_ptr<Machine> machine_;
+    std::unique_ptr<BackendPool> backends_;
+    std::unique_ptr<AppBase> app_;
+    std::unique_ptr<HttpLoad> load_;
+
+    bool loadStarted_ = false;
+    std::map<std::string, LockClassStats> lockMark_;
+    std::uint64_t accessesMark_ = 0;
+    std::uint64_t missesMark_ = 0;
+    std::uint64_t servedMark_ = 0;
+    std::uint64_t failedMark_ = 0;
+    std::uint64_t slowMark_ = 0;
+    std::uint64_t steerMark_ = 0;
+    std::uint64_t rxMark_ = 0;
+    std::uint64_t activeLocalMark_ = 0;
+    std::uint64_t activeTotalMark_ = 0;
+    Tick markTick_ = 0;
+};
+
+/** Convenience: build a testbed, run it, return the result. */
+ExperimentResult runExperiment(const ExperimentConfig &cfg);
+
+/** Subtract two lock-stat snapshots (per class). */
+std::map<std::string, LockClassStats> lockDelta(
+    const std::map<std::string, LockClassStats> &before,
+    const std::map<std::string, LockClassStats> &after);
+
+} // namespace fsim
+
+#endif // FSIM_HARNESS_EXPERIMENT_HH

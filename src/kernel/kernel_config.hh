@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Kernel flavor and feature configuration.
+ *
+ * Three presets correspond to the paper's evaluation subjects:
+ *
+ *  - base2632():  the baseline Linux 2.6.32 stack (global listen table,
+ *    single shared listen socket per (addr, port), global established
+ *    table, global VFS locks, no steering beyond RSS).
+ *  - linux313():  Linux 3.13 with SO_REUSEPORT (per-process listen clones
+ *    chained in the global table — O(n) lookup — plus finer-grained VFS
+ *    locks), still no connection locality.
+ *  - fastsocket(): all four Fastsocket components (V, L, R, E).
+ *
+ * The four feature bits can also be toggled individually on top of the
+ * baseline, which is how the Table 1 ablation (+V, +L, +R, +E) is run.
+ */
+
+#ifndef FSIM_KERNEL_KERNEL_CONFIG_HH
+#define FSIM_KERNEL_KERNEL_CONFIG_HH
+
+#include <cstdint>
+
+#include "vfs/vfs.hh"
+
+namespace fsim
+{
+
+/** Which kernel the simulated machine boots. */
+enum class KernelFlavor
+{
+    kBase2632,      //!< stock CentOS-6-era 2.6.32
+    kLinux313,      //!< 3.13 with SO_REUSEPORT
+    kFastsocket,    //!< 2.6.32 + Fastsocket module
+};
+
+/** Full kernel configuration. */
+struct KernelConfig
+{
+    KernelFlavor flavor = KernelFlavor::kBase2632;
+
+    /** @name Fastsocket feature bits (paper Table 1 columns) */
+    /** @{ */
+    bool fastVfs = false;           //!< V: Fastsocket-aware VFS
+    bool localListen = false;       //!< L: Local Listen Table
+    bool rfd = false;               //!< R: Receive Flow Deliver
+    bool localEstablished = false;  //!< E: Local Established Table
+    /** @} */
+
+    /** Use RFD rule 3 (listener probe) for ambiguous packets. */
+    bool rfdPrecise = true;
+    /** Randomize the RFD hash bits (security hardening extension). */
+    bool rfdRandomBits = false;
+
+    /** Buckets of the global established table (power of two). */
+    int ehashBuckets = 16384;
+    /** Buckets of each per-core local established table. */
+    int localEhashBuckets = 2048;
+    /** Fine-grained VFS bucket count (3.13 flavor). */
+    int vfsFineBuckets = 64;
+
+    /** Jiffy length in milliseconds (HZ=1000). */
+    double jiffyMsec = 1.0;
+    /** Shortened 2*MSL for TIME_WAIT reaping, in jiffies. */
+    std::uint64_t timeWaitJiffies = 20;
+    /** Idle/keepalive timer horizon armed per data segment, jiffies. */
+    std::uint64_t keepaliveJiffies = 3000;
+
+    /** Derived VFS mode. */
+    VfsMode
+    vfsMode() const
+    {
+        if (fastVfs)
+            return VfsMode::kFastsocket;
+        if (flavor == KernelFlavor::kLinux313)
+            return VfsMode::kFineGrained;
+        return VfsMode::kGlobalLocks;
+    }
+
+    /** SO_REUSEPORT-style listen clones? (3.13 flavor only) */
+    bool reuseport() const { return flavor == KernelFlavor::kLinux313; }
+
+    static KernelConfig
+    base2632()
+    {
+        return KernelConfig{};
+    }
+
+    static KernelConfig
+    linux313()
+    {
+        KernelConfig c;
+        c.flavor = KernelFlavor::kLinux313;
+        return c;
+    }
+
+    static KernelConfig
+    fastsocket()
+    {
+        KernelConfig c;
+        c.flavor = KernelFlavor::kFastsocket;
+        c.fastVfs = true;
+        c.localListen = true;
+        c.rfd = true;
+        c.localEstablished = true;
+        return c;
+    }
+};
+
+} // namespace fsim
+
+#endif // FSIM_KERNEL_KERNEL_CONFIG_HH

@@ -1,0 +1,993 @@
+#include "kernel/kernel_stack.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace fsim
+{
+
+KernelStack::KernelStack(const Deps &deps, const KernelConfig &cfg)
+    : d_(deps), cfg_(cfg)
+{
+    fsim_assert(d_.eq && d_.cpu && d_.cache && d_.locks && d_.costs &&
+                d_.nic && d_.wire && d_.rng);
+
+    if (cfg_.localEstablished && !cfg_.rfd)
+        fsim_fatal("Local Established Table requires Receive Flow Deliver: "
+                   "without steering, active-connection packets can land on "
+                   "a core whose local table lacks the socket (paper 2.1)");
+    if (cfg_.localEstablished && !cfg_.localListen)
+        fsim_fatal("Local Established Table requires the Local Listen Table "
+                   "for complete connection locality (paper 3.3)");
+
+    int ncores = d_.cpu->numCores();
+
+    vfs_ = std::make_unique<VfsLayer>(cfg_.vfsMode(), *d_.locks, *d_.cache,
+                                      *d_.costs, cfg_.vfsFineBuckets);
+    globalEhash_ = std::make_unique<EstablishedTable>(
+        cfg_.ehashBuckets, *d_.locks, *d_.cache, *d_.costs, "ehash.lock");
+
+    if (cfg_.localListen)
+        localListen_ = std::make_unique<LocalListenTable>(ncores, *d_.cache);
+    if (cfg_.localEstablished)
+        localEhash_ = std::make_unique<LocalEstablishedTable>(
+            ncores, cfg_.localEhashBuckets, *d_.locks, *d_.cache, *d_.costs);
+    if (cfg_.rfd) {
+        rfd_ = std::make_unique<ReceiveFlowDeliver>(ncores,
+                                                    cfg_.rfdPrecise);
+        if (cfg_.rfdRandomBits)
+            rfd_->randomizeBits(*d_.rng);
+    }
+
+    portBindLock_.init(d_.locks->getClass("portbind.lock"), d_.cache,
+                       d_.costs->lockAcquireBase,
+                       d_.costs->lockHandoffStorm);
+
+    Tick jiffy_ticks = ticksFromMsec(cfg_.jiffyMsec);
+    timerBases_.reserve(ncores);
+    for (int c = 0; c < ncores; ++c) {
+        timerBases_.push_back(std::make_unique<TimerBase>());
+        timerBases_.back()->init(c, *d_.locks, *d_.cache, *d_.costs,
+                                 *d_.cpu, jiffy_ticks);
+    }
+}
+
+KernelStack::~KernelStack() = default;
+
+// ---------------------------------------------------------------------
+// Setup-phase API
+// ---------------------------------------------------------------------
+
+int
+KernelStack::addProcess(CoreId core)
+{
+    fsim_assert(core >= 0 && core < d_.cpu->numCores());
+    auto p = std::make_unique<KProcess>();
+    p->id = static_cast<int>(procs_.size());
+    p->core = core;
+    p->epoll = std::make_unique<EventPoll>(*d_.locks, *d_.cache, *d_.costs);
+    procs_.push_back(std::move(p));
+    return procs_.back()->id;
+}
+
+void
+KernelStack::killProcess(int proc)
+{
+    KProcess &p = *procs_.at(proc);
+    if (!p.alive)
+        return;
+    p.alive = false;
+
+    // The kernel destroys listen sockets owned by the dying process: its
+    // reuseport clones and its local listen clones. This is exactly the
+    // fault the Local Listen Table slow path exists for (section 3.2.1).
+    for (Socket *clone : p.localListens) {
+        fsim_assert(localListen_);
+        localListen_->table(clone->homeCore).remove(clone);
+        for (Socket *queued : clone->acceptQueue)
+            destroySocket(clone->homeCore, 0, queued);
+        clone->acceptQueue.clear();
+        sockets_.erase(clone->id);
+    }
+    p.localListens.clear();
+
+    for (Socket *clone : p.reuseClones) {
+        globalListen_.remove(clone);
+        for (Socket *queued : clone->acceptQueue)
+            destroySocket(p.core, 0, queued);
+        clone->acceptQueue.clear();
+        sockets_.erase(clone->id);
+    }
+    p.reuseClones.clear();
+
+    // Drop the process from shared listen-socket wait queues.
+    for (Socket *ls : globalListen_.all()) {
+        auto &w = ls->watchers;
+        w.erase(std::remove_if(w.begin(), w.end(),
+                               [proc](const std::pair<int, int> &e) {
+                                   return e.first == proc;
+                               }),
+                w.end());
+    }
+}
+
+int
+KernelStack::listen(int proc, IpAddr addr, Port port)
+{
+    KProcess &p = *procs_.at(proc);
+
+    Socket *lsock = nullptr;
+    if (cfg_.reuseport()) {
+        // SO_REUSEPORT: every process inserts its own clone; NET_RX picks
+        // one clone at random per SYN.
+        lsock = newSocket();
+        lsock->kind = SockKind::kListen;
+        lsock->state = TcpState::kListen;
+        lsock->bindAddr = addr;
+        lsock->bindPort = port;
+        lsock->reuseportOwner = proc;
+        globalListen_.insert(lsock);
+        p.reuseClones.push_back(lsock);
+    } else {
+        lsock = globalListen_.findExact(addr, port);
+        if (!lsock) {
+            lsock = newSocket();
+            lsock->kind = SockKind::kListen;
+            lsock->state = TcpState::kListen;
+            lsock->bindAddr = addr;
+            lsock->bindPort = port;
+            globalListen_.insert(lsock);
+        }
+    }
+
+    SocketFile *file = nullptr;
+    vfs_->allocSocketFile(p.core, 0, lsock, &file);
+    int fd = p.fds.alloc();
+    file->fd = fd;
+    file->owner = proc;
+    p.files[fd] = file;
+    lsock->watchers.emplace_back(proc, fd);
+    p.epoll->ctlAdd(p.core, 0, fd);
+
+    if (std::find(localAddrs_.begin(), localAddrs_.end(), addr) ==
+        localAddrs_.end())
+        localAddrs_.push_back(addr);
+    return fd;
+}
+
+void
+KernelStack::localListen(int proc, IpAddr addr, Port port)
+{
+    if (!cfg_.localListen)
+        fsim_fatal("local_listen() without CONFIG local listen table");
+    KProcess &p = *procs_.at(proc);
+
+    Socket *global = globalListen_.findExact(addr, port);
+    if (!global)
+        fsim_fatal("local_listen() before listen() on %u:%u", addr, port);
+
+    Socket *clone = newSocket();
+    clone->kind = SockKind::kListen;
+    clone->state = TcpState::kListen;
+    clone->bindAddr = addr;
+    clone->bindPort = port;
+    clone->isLocalListen = true;
+    clone->homeCore = p.core;
+    clone->globalParent = global;
+    localListen_->table(p.core).insert(clone);
+    p.localListens.push_back(clone);
+
+    // Re-point the process's listen fd at the clone: accept() checks the
+    // global parent's queue first anyway (the starvation-avoidance order
+    // of section 3.2.1).
+    for (auto &kv : p.files) {
+        if (kv.second->priv == global) {
+            kv.second->priv = clone;
+            clone->watchers.emplace_back(proc, kv.first);
+            auto &w = global->watchers;
+            w.erase(std::remove(w.begin(), w.end(),
+                                std::make_pair(proc, kv.first)),
+                    w.end());
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Socket lifecycle helpers
+// ---------------------------------------------------------------------
+
+Socket *
+KernelStack::newSocket()
+{
+    auto s = std::make_unique<Socket>();
+    s->id = nextSockId_++;
+    s->cacheObj = d_.cache->newObject();
+    s->slock.init(d_.locks->getClass("slock"), d_.cache,
+                  d_.costs->lockAcquireBase, d_.costs->lockHandoffStorm);
+    Socket *raw = s.get();
+    sockets_.emplace(raw->id, std::move(s));
+    return raw;
+}
+
+Tick
+KernelStack::destroySocket(CoreId core, Tick t, Socket *sock)
+{
+    if (sock->timer != TimerWheel::kInvalidTimer) {
+        t = cancelConnTimer(core, t, sock);
+    }
+    if (sock->ehashHome) {
+        t = sock->ehashHome->remove(core, t, sock);
+        sock->ehashHome = nullptr;
+    }
+    if (sock->kind == SockKind::kConnection && !sock->passive &&
+        sock->rxTuple.dport != 0) {
+        // Active connection: give the ephemeral source port back (under
+        // the global bind lock on the legacy kernels).
+        if (cfg_.flavor == KernelFlavor::kBase2632 && !cfg_.fastVfs &&
+            !cfg_.localListen && !cfg_.rfd)
+            t = portBindLock_.runLocked(core, t,
+                                        d_.costs->portBindHold / 2);
+        ports_.release(sock->rxTuple.saddr, sock->rxTuple.sport,
+                       sock->rxTuple.dport);
+    }
+    d_.cache->freeObject(sock->cacheObj);
+    ++stats_.socketsDestroyed;
+    sockets_.erase(sock->id);
+    return t;
+}
+
+Tick
+KernelStack::armConnTimer(CoreId c, Tick t, Socket *sock,
+                          std::uint64_t delay_jiffies)
+{
+    TimerBase &base = *timerBases_.at(sock->timerCore);
+    if (sock->timer != TimerWheel::kInvalidTimer)
+        return base.mod(c, t, sock->timer, delay_jiffies);
+    return base.arm(c, t, delay_jiffies,
+                    [sock](CoreId, Tick fire_t) {
+                        // Keepalive horizon reached: nothing to do for
+                        // short-lived connections, just drop the handle.
+                        sock->timer = TimerWheel::kInvalidTimer;
+                        return fire_t;
+                    },
+                    &sock->timer);
+}
+
+Tick
+KernelStack::cancelConnTimer(CoreId c, Tick t, Socket *sock)
+{
+    if (sock->timer == TimerWheel::kInvalidTimer)
+        return t;
+    TimerBase &base = *timerBases_.at(sock->timerCore);
+    t = base.cancel(c, t, sock->timer);
+    sock->timer = TimerWheel::kInvalidTimer;
+    return t;
+}
+
+Tick
+KernelStack::sendPacket(CoreId core, Tick t, Socket *sock,
+                        std::uint8_t flags, std::uint32_t payload)
+{
+    Packet pkt;
+    pkt.tuple = sock->rxTuple.reversed();
+    pkt.flags = flags;
+    pkt.payload = payload;
+    pkt.connId = sock->id;
+    t += d_.costs->txPacket;
+    d_.nic->noteTx(pkt, core);   // XPS: transmit on the local queue
+    d_.wire->transmit(pkt, t);
+    ++stats_.txPackets;
+    return t;
+}
+
+// ---------------------------------------------------------------------
+// Wakeups
+// ---------------------------------------------------------------------
+
+void
+KernelStack::notifyReady(int proc, bool remote)
+{
+    if (onProcessReady && procs_.at(proc)->alive)
+        onProcessReady(proc, remote);
+}
+
+Tick
+KernelStack::wakeSocket(CoreId core, Tick t, Socket *sock, int fd_hint)
+{
+    int proc = sock->ownerProcess;
+    if (proc < 0 || !sock->file)
+        return t;   // not yet attached to a process; data waits in the TCB
+    KProcess &p = *procs_.at(proc);
+    int fd = fd_hint >= 0 ? fd_hint : sock->file->fd;
+    t = p.epoll->wake(core, t, fd);
+    if (p.epoll->hasReady())
+        notifyReady(proc, core != p.core);
+    return t;
+}
+
+Tick
+KernelStack::wakeListen(CoreId core, Tick t, Socket *listener)
+{
+    const std::pair<int, int> *target = nullptr;
+
+    if (!listener->watchers.empty()) {
+        if (listener->watchers.size() == 1) {
+            target = &listener->watchers.front();
+        } else {
+            // Shared (baseline) listen socket: the kernel's exclusive wake
+            // hands the event to an effectively arbitrary waiter.
+            std::size_t pick = d_.rng->range(listener->watchers.size());
+            target = &listener->watchers[pick];
+        }
+    } else if (localListen_) {
+        // Slow path: a connection landed on the *global* listen socket
+        // (its local clone was missing). Nobody waits on the global socket
+        // in Fastsocket mode; nudge a random live process serving this
+        // port so its next accept() drains the global queue first.
+        std::size_t n = procs_.size();
+        std::size_t start = d_.rng->range(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            KProcess &p = *procs_[(start + i) % n];
+            if (!p.alive)
+                continue;
+            for (Socket *clone : p.localListens) {
+                if (clone->bindPort == listener->bindPort &&
+                    !clone->watchers.empty()) {
+                    target = &clone->watchers.front();
+                    break;
+                }
+            }
+            if (target)
+                break;
+        }
+    }
+
+    if (!target)
+        return t;
+
+    KProcess &p = *procs_.at(target->first);
+    t = p.epoll->wake(core, t, target->second);
+    if (p.epoll->hasReady())
+        notifyReady(target->first, core != p.core);
+    return t;
+}
+
+// ---------------------------------------------------------------------
+// RX path
+// ---------------------------------------------------------------------
+
+void
+KernelStack::packetArrived(const Packet &pkt)
+{
+    int queue = d_.nic->classifyRx(pkt);
+    CoreId core = queue;   // 1:1 IRQ affinity
+    Packet copy = pkt;
+    d_.cpu->post(core, TaskPrio::kSoftIrq, [this, core, copy](Tick start) {
+        Tick t = start + d_.costs->irqPerPacket;
+        return netRx(core, copy, t, /*steered=*/false);
+    });
+}
+
+KernelStack::ListenLookup
+KernelStack::lookupListener(CoreId core, IpAddr addr, Port port, Tick t)
+{
+    ListenLookup out;
+    ++stats_.listenLookups;
+
+    if (cfg_.localListen) {
+        t += d_.costs->listenLookupBase;
+        t += d_.cache->access(core, localListen_->cacheObj(core),
+                              /*write=*/false);
+        ListenTable::Lookup l =
+            localListen_->table(core).lookup(addr, port, *d_.rng);
+        ++stats_.listenChainWalked;
+        if (l.sock) {
+            out.sock = l.sock;
+            out.viaLocalTable = true;
+            out.t = t;
+            return out;
+        }
+        // Fall through to the global table (robustness slow path).
+    }
+
+    ListenTable::Lookup l = globalListen_.lookup(addr, port, *d_.rng);
+    t += d_.costs->listenLookupBase;
+    if (l.walked > 1 && l.chain) {
+        // O(n) reuseport chain walk (inet_lookup_listener, section 2.1):
+        // every clone in the bucket is scored, and each clone's TCB line
+        // lives in its owner's cache, so the walk is a string of remote
+        // misses — this is why the paper measures 24.2% of per-core
+        // cycles here at 24 cores.
+        t += d_.costs->listenLookupPerEntry *
+             static_cast<Tick>(l.walked - 1);
+        for (Socket *clone : *l.chain)
+            t += d_.cache->access(core, clone->cacheObj, /*write=*/false);
+    }
+    stats_.listenChainWalked += static_cast<std::uint64_t>(
+        l.walked > 0 ? l.walked : 1);
+    out.sock = l.sock;
+    out.t = t;
+    return out;
+}
+
+EstablishedTable &
+KernelStack::ehashFor(CoreId core)
+{
+    if (cfg_.localEstablished)
+        return localEhash_->table(core);
+    return *globalEhash_;
+}
+
+Tick
+KernelStack::netRx(CoreId core, const Packet &pkt, Tick t, bool steered)
+{
+    if (!steered) {
+        ++stats_.rxPackets;
+        t += d_.costs->netRxBase;
+    }
+
+    // Receive Flow Deliver: classify, then steer active incoming packets
+    // to the core their destination port encodes (section 3.3).
+    if (cfg_.rfd && !steered) {
+        PacketClass cls = rfd_->classify(
+            pkt, [this](IpAddr a, Port p) {
+                if (globalListen_.chainLength(a, p) > 0 ||
+                    globalListen_.chainLength(0, p) > 0)
+                    return true;
+                if (localListen_) {
+                    for (int c = 0; c < localListen_->numCores(); ++c)
+                        if (localListen_->table(c).chainLength(a, p) > 0)
+                            return true;
+                }
+                return false;
+            });
+        CoreId target = rfd_->steerTarget(pkt, cls);
+        if (target != kInvalidCore && target != core) {
+            // Hand the packet to the right core's SoftIRQ backlog.
+            t += d_.costs->steerCost;
+            ++stats_.steeredPackets;
+            Packet copy = pkt;
+            d_.cpu->post(target, TaskPrio::kSoftIrq,
+                         [this, target, copy](Tick start) {
+                             return netRx(target, copy, start,
+                                          /*steered=*/true);
+                         });
+            return t;
+        }
+    }
+
+    if (pkt.has(kSyn) && !pkt.has(kAck))
+        return handleSyn(core, pkt, t);
+
+    // Established (or handshaking) connection traffic.
+    EstablishedTable::Lookup l = ehashFor(core).lookup(core, t, pkt.tuple);
+    t = l.t;
+    if (!l.sock && cfg_.localEstablished && globalEhash_->size() > 0) {
+        EstablishedTable::Lookup g = globalEhash_->lookup(core, t,
+                                                          pkt.tuple);
+        t = g.t;
+        l.sock = g.sock;
+    }
+
+    if (!l.sock) {
+        if (!pkt.has(kRst)) {
+            t += d_.costs->rstCost;
+            ++stats_.rstSent;
+            Packet rst;
+            rst.tuple = pkt.tuple.reversed();
+            rst.flags = kRst;
+            d_.wire->transmit(rst, t);
+        }
+        return t;
+    }
+
+    // Figure 5(b) accounting: for active connections, a packet is "local"
+    // iff the NIC already delivered it to the owning core.
+    if (!l.sock->passive && l.sock->kind == SockKind::kConnection) {
+        ++stats_.activePktTotal;
+        CoreId arrived = steered ? kInvalidCore : core;
+        if (arrived == l.sock->ownerCore)
+            ++stats_.activePktLocal;
+    }
+
+    return handleEstablishedPacket(core, l.sock, pkt, t);
+}
+
+Tick
+KernelStack::handleSyn(CoreId core, const Packet &pkt, Tick t)
+{
+    // Duplicate SYN (client retransmission): the connection may already
+    // be in the handshake; just re-answer instead of minting a second
+    // TCB for the same tuple.
+    EstablishedTable::Lookup dup = ehashFor(core).lookup(core, t,
+                                                         pkt.tuple);
+    t = dup.t;
+    if (dup.sock) {
+        if (dup.sock->state == TcpState::kSynRcvd)
+            return sendPacket(core, t, dup.sock, kSyn | kAck, 0);
+        return t;   // stale SYN into a live connection: drop
+    }
+
+    ListenLookup l = lookupListener(core, pkt.tuple.daddr,
+                                    pkt.tuple.dport, t);
+    t = l.t;
+    if (!l.sock) {
+        // No listener: reject with RST.
+        t += d_.costs->rstCost;
+        ++stats_.rstSent;
+        Packet rst;
+        rst.tuple = pkt.tuple.reversed();
+        rst.flags = kRst;
+        d_.wire->transmit(rst, t);
+        return t;
+    }
+
+    Socket *listener = l.sock;
+    listener->touch(core);
+
+    // Create the connection TCB and queue it on the listener's SYN queue
+    // (under the listener's slock, the baseline's hot lock).
+    Socket *conn = newSocket();
+    conn->kind = SockKind::kConnection;
+    conn->state = TcpState::kSynRcvd;
+    conn->rxTuple = pkt.tuple;
+    conn->passive = true;
+    conn->parentListen = listener;
+    conn->timerCore = core;
+    conn->touch(core);
+    t += d_.costs->synProcess;
+    t = listener->slock.runLocked(core, t, d_.costs->synQueueHold);
+
+    t = ehashFor(core).insert(core, t, conn);
+    conn->ehashHome = &ehashFor(core);
+
+    return sendPacket(core, t, conn, kSyn | kAck, 0);
+}
+
+Tick
+KernelStack::handleEstablishedPacket(CoreId core, Socket *sock,
+                                     const Packet &pkt, Tick t)
+{
+    sock->touch(core);
+    t += d_.cache->access(core, sock->cacheObj, /*write=*/true,
+                          d_.costs->tcbLines);
+
+    TcpState prev_state = sock->state;
+    bool wake_owner = false;
+    bool wake_listener = false;
+    bool destroy = false;
+    Tick hold = d_.costs->slockHoldRx;
+
+    switch (sock->state) {
+      case TcpState::kSynRcvd:
+        if (pkt.has(kAck)) {
+            sock->state = TcpState::kEstablished;
+            if (pkt.payload) {
+                sock->rxPending += pkt.payload;
+                hold += d_.costs->dataSegment;
+            }
+            wake_listener = true;
+        }
+        break;
+
+      case TcpState::kSynSent:
+        if (pkt.has(kSyn) && pkt.has(kAck)) {
+            sock->state = TcpState::kEstablished;
+            wake_owner = true;
+        } else if (pkt.has(kRst)) {
+            destroy = true;
+        }
+        break;
+
+      case TcpState::kEstablished:
+        if (pkt.payload) {
+            sock->rxPending += pkt.payload;
+            hold += d_.costs->dataSegment;
+            wake_owner = true;
+        }
+        if (pkt.has(kFin)) {
+            sock->state = TcpState::kCloseWait;
+            sock->peerFin = true;
+            wake_owner = true;
+        }
+        break;
+
+      case TcpState::kFinWait1:
+        if (pkt.payload) {
+            sock->rxPending += pkt.payload;
+            hold += d_.costs->dataSegment;
+        }
+        if (pkt.has(kFin)) {
+            sock->state = TcpState::kTimeWait;
+        } else if (pkt.has(kAck)) {
+            sock->state = TcpState::kFinWait2;
+        }
+        break;
+
+      case TcpState::kFinWait2:
+        if (pkt.has(kFin))
+            sock->state = TcpState::kTimeWait;
+        break;
+
+      case TcpState::kLastAck:
+        if (pkt.has(kAck))
+            destroy = true;
+        break;
+
+      case TcpState::kCloseWait:
+      case TcpState::kTimeWait:
+      case TcpState::kClosed:
+      case TcpState::kListen:
+        break;
+    }
+
+    bool entered_time_wait = sock->state == TcpState::kTimeWait &&
+                             prev_state != TcpState::kTimeWait;
+    bool send_ack = pkt.has(kFin) && !destroy;
+
+    t = sock->slock.runLocked(core, t, hold);
+
+    if (pkt.payload && sock->state == TcpState::kEstablished) {
+        // Refresh the connection's idle timer on every data segment; in
+        // the stock kernel this hits the creating core's timer base from
+        // whatever core runs NET_RX — base.lock cross-core traffic.
+        t = armConnTimer(core, t, sock, cfg_.keepaliveJiffies);
+    }
+
+    if (wake_listener && sock->parentListen) {
+        Socket *listener = sock->parentListen;
+        t = listener->slock.runLocked(core, t,
+                                      d_.costs->acceptQueuePushHold);
+        if (listener->acceptQueue.size() >= listener->backlog) {
+            // Accept-queue overflow (somaxconn): reject the connection.
+            ++stats_.acceptOverflows;
+            t += d_.costs->rstCost;
+            Packet rst;
+            rst.tuple = sock->rxTuple.reversed();
+            rst.flags = kRst;
+            d_.wire->transmit(rst, t);
+            return destroySocket(core, t, sock);
+        }
+        listener->acceptQueue.push_back(sock);
+        t = wakeListen(core, t, listener);
+    }
+
+    if (wake_owner)
+        t = wakeSocket(core, t, sock, -1);
+
+    if (send_ack)
+        t = sendPacket(core, t, sock, kAck, 0);
+
+    if (entered_time_wait) {
+        // Cancel the idle timer and arm the (shortened) 2*MSL reaper on
+        // this core's base.
+        t = cancelConnTimer(core, t, sock);
+        sock->timerCore = core;
+        TimerBase &base = *timerBases_.at(core);
+        t = base.arm(core, t, cfg_.timeWaitJiffies,
+                     [this, sock](CoreId c, Tick fire_t) {
+                         sock->timer = TimerWheel::kInvalidTimer;
+                         ++stats_.timeWaitReaped;
+                         return destroySocket(c, fire_t, sock);
+                     },
+                     &sock->timer);
+    }
+
+    if (destroy)
+        t = destroySocket(core, t, sock);
+
+    return t;
+}
+
+// ---------------------------------------------------------------------
+// Syscalls
+// ---------------------------------------------------------------------
+
+Socket *
+KernelStack::sockFromFd(int proc, int fd)
+{
+    KProcess &p = *procs_.at(proc);
+    auto it = p.files.find(fd);
+    if (it == p.files.end())
+        return nullptr;
+    return static_cast<Socket *>(it->second->priv);
+}
+
+KernelStack::AcceptResult
+KernelStack::accept(int proc, Tick t, int listen_fd)
+{
+    AcceptResult out;
+    KProcess &p = *procs_.at(proc);
+    CoreId core = p.core;
+    Socket *lsock = sockFromFd(proc, listen_fd);
+    fsim_assert(lsock && lsock->kind == SockKind::kListen);
+
+    t += d_.costs->syscallOverhead + d_.costs->acceptCost;
+    // accept() writes the listener TCB (queue heads, counters), keeping
+    // its cache line homed on the accepting core.
+    t += d_.cache->access(core, lsock->cacheObj, /*write=*/true);
+
+    Socket *conn = nullptr;
+    Socket *global = lsock->isLocalListen ? lsock->globalParent : lsock;
+
+    // Section 3.2.1: the *global* accept queue is checked first (a single
+    // lock-free read when empty) so slow-path connections cannot starve
+    // behind the always-busy local queue.
+    if (lsock->isLocalListen && !global->acceptQueue.empty()) {
+        t = global->slock.runLocked(core, t,
+                                    d_.costs->acceptQueuePushHold);
+        if (!global->acceptQueue.empty()) {
+            conn = global->acceptQueue.front();
+            global->acceptQueue.pop_front();
+            ++stats_.slowPathAccepts;
+        }
+    }
+
+    if (!conn) {
+        t = lsock->slock.runLocked(core, t,
+                                   d_.costs->acceptQueuePushHold);
+        if (!lsock->acceptQueue.empty()) {
+            conn = lsock->acceptQueue.front();
+            lsock->acceptQueue.pop_front();
+        }
+    }
+
+    if (!conn) {
+        out.t = t;
+        return out;   // EAGAIN
+    }
+
+    conn->touch(core);
+    t += d_.cache->access(core, conn->cacheObj, /*write=*/true,
+                          d_.costs->tcbLines);
+
+    SocketFile *file = nullptr;
+    t = vfs_->allocSocketFile(core, t, conn, &file);
+    int fd = p.fds.alloc();
+    t += d_.costs->fdBitmapCost;
+    file->fd = fd;
+    file->owner = proc;
+    p.files[fd] = file;
+    conn->file = file;
+    conn->ownerProcess = proc;
+    conn->ownerCore = core;
+    ++stats_.acceptedConns;
+
+    out.sock = conn;
+    out.fd = fd;
+    out.t = t;
+    return out;
+}
+
+KernelStack::ConnectResult
+KernelStack::connect(int proc, Tick t, IpAddr dst, Port dport)
+{
+    ConnectResult out;
+    KProcess &p = *procs_.at(proc);
+    CoreId core = p.core;
+
+    if (localAddrs_.empty())
+        fsim_fatal("connect() with no local address configured");
+    IpAddr src = localAddrs_.front();
+
+    t += d_.costs->syscallOverhead + d_.costs->connectCost +
+         d_.costs->portAllocCost;
+
+    Port psrc = 0;
+    if (cfg_.rfd) {
+        // RFD source-port selection: hash(psrc) must equal this core.
+        std::uint32_t count = rfd_->candidateCount();
+        std::uint64_t ck = (static_cast<std::uint64_t>(dst) << 20) ^
+                           (static_cast<std::uint64_t>(dport) << 6) ^
+                           static_cast<std::uint64_t>(core);
+        std::uint32_t &cursor = rfdPortCursor_[ck];
+        for (std::uint32_t i = 0; i < count; ++i) {
+            Port cand = rfd_->portCandidate(core,
+                                            (cursor + i) % count);
+            if (cand <= kWellKnownPortMax)
+                continue;
+            if (!ports_.inUse(dst, dport, cand) &&
+                ports_.claim(dst, dport, cand)) {
+                psrc = cand;
+                cursor = (cursor + i + 1) % count;
+                break;
+            }
+        }
+    } else {
+        // The stock 2.6.32 path serializes the ephemeral port search on
+        // the bind-hash lock — a hot spot for proxies opening active
+        // connections from every core. 3.13 made it fine-grained, and
+        // the Fastsocket build (any feature bit) patches it per-core.
+        bool stock = cfg_.flavor == KernelFlavor::kBase2632 &&
+                     !cfg_.fastVfs && !cfg_.localListen;
+        if (stock)
+            t = portBindLock_.runLocked(core, t, d_.costs->portBindHold);
+        else
+            t += d_.costs->portBindHold / 4;
+        psrc = ports_.alloc(dst, dport);
+    }
+    if (psrc == 0) {
+        out.t = t;
+        return out;   // EADDRNOTAVAIL
+    }
+
+    Socket *sock = newSocket();
+    sock->kind = SockKind::kConnection;
+    sock->state = TcpState::kSynSent;
+    sock->passive = false;
+    sock->rxTuple = FiveTuple{dst, src, dport, psrc};
+    sock->ownerProcess = proc;
+    sock->ownerCore = core;
+    sock->timerCore = core;
+    sock->touch(core);
+
+    SocketFile *file = nullptr;
+    t = vfs_->allocSocketFile(core, t, sock, &file);
+    int fd = p.fds.alloc();
+    t += d_.costs->fdBitmapCost;
+    file->fd = fd;
+    file->owner = proc;
+    p.files[fd] = file;
+    sock->file = file;
+
+    t = ehashFor(core).insert(core, t, sock);
+    sock->ehashHome = &ehashFor(core);
+
+    t = sendPacket(core, t, sock, kSyn, 0);
+    ++stats_.activeConns;
+
+    out.sock = sock;
+    out.fd = fd;
+    out.t = t;
+    return out;
+}
+
+Tick
+KernelStack::epollWait(int proc, Tick t, std::vector<int> &fds)
+{
+    KProcess &p = *procs_.at(proc);
+    return p.epoll->wait(p.core, t, fds);
+}
+
+Tick
+KernelStack::epollAdd(int proc, Tick t, int fd)
+{
+    KProcess &p = *procs_.at(proc);
+    return p.epoll->ctlAdd(p.core, t, fd);
+}
+
+KernelStack::ReadResult
+KernelStack::read(int proc, Tick t, int fd)
+{
+    ReadResult out;
+    KProcess &p = *procs_.at(proc);
+    CoreId core = p.core;
+    Socket *sock = sockFromFd(proc, fd);
+    fsim_assert(sock != nullptr);
+
+    t += d_.costs->syscallOverhead + d_.costs->readCost;
+    t += d_.cache->access(core, sock->cacheObj, /*write=*/true,
+                          d_.costs->tcbLines);
+    sock->touch(core);
+
+    t = sock->slock.runLocked(core, t, d_.costs->slockHoldApp);
+    out.bytes = sock->rxPending;
+    sock->rxPending = 0;
+    out.finSeen = sock->peerFin;
+    out.t = t;
+    return out;
+}
+
+Tick
+KernelStack::write(int proc, Tick t, int fd, std::uint32_t bytes)
+{
+    KProcess &p = *procs_.at(proc);
+    CoreId core = p.core;
+    Socket *sock = sockFromFd(proc, fd);
+    fsim_assert(sock != nullptr);
+
+    t += d_.costs->syscallOverhead + d_.costs->writeCost;
+    t += d_.cache->access(core, sock->cacheObj, /*write=*/true,
+                          d_.costs->tcbLines);
+    sock->touch(core);
+
+    t = sock->slock.runLocked(core, t, d_.costs->slockHoldApp);
+
+    // Arm/refresh the retransmission timer from process context; without
+    // locality this crosses cores into the SoftIRQ core's base.
+    t = armConnTimer(core, t, sock, cfg_.keepaliveJiffies);
+
+    return sendPacket(core, t, sock, kAck | kPsh, bytes);
+}
+
+Tick
+KernelStack::close(int proc, Tick t, int fd)
+{
+    KProcess &p = *procs_.at(proc);
+    CoreId core = p.core;
+    auto it = p.files.find(fd);
+    fsim_assert(it != p.files.end());
+    SocketFile *file = it->second;
+    Socket *sock = static_cast<Socket *>(file->priv);
+
+    t += d_.costs->syscallOverhead + d_.costs->closeCost;
+    sock->touch(core);
+
+    // fd release + epoll interest teardown (ep.lock) + VFS teardown.
+    t = p.epoll->ctlDel(core, t, fd);
+    p.fds.free(fd);
+    t += d_.costs->fdBitmapCost;
+    p.files.erase(it);
+    t = vfs_->freeSocketFile(core, t, file);
+    sock->file = nullptr;
+
+    if (sock->kind == SockKind::kListen) {
+        // Closing a listener: detach this process; destroy when unused.
+        auto &w = sock->watchers;
+        w.erase(std::remove_if(w.begin(), w.end(),
+                               [proc](const std::pair<int, int> &e) {
+                                   return e.first == proc;
+                               }),
+                w.end());
+        return t;
+    }
+
+    t = sock->slock.runLocked(core, t, d_.costs->slockHoldApp);
+    TcpState st = sock->state;
+
+    switch (st) {
+      case TcpState::kEstablished:
+        // Active close: FIN, wait for the peer's ACK/FIN.
+        sock->state = TcpState::kFinWait1;
+        t = sendPacket(core, t, sock, kFin | kAck, 0);
+        break;
+      case TcpState::kCloseWait:
+        // Passive close: our FIN answers the peer's.
+        sock->state = TcpState::kLastAck;
+        t = sendPacket(core, t, sock, kFin | kAck, 0);
+        break;
+      case TcpState::kSynSent:
+      case TcpState::kSynRcvd:
+        t = destroySocket(core, t, sock);
+        break;
+      default:
+        break;
+    }
+    return t;
+}
+
+std::vector<const Socket *>
+KernelStack::allSockets() const
+{
+    std::vector<const Socket *> out;
+    out.reserve(sockets_.size());
+    for (const auto &kv : sockets_)
+        out.push_back(kv.second.get());
+    return out;
+}
+
+std::vector<std::string>
+KernelStack::netstat() const
+{
+    std::vector<std::string> rows;
+    auto emit = [&rows](const Socket *s) {
+        char buf[128];
+        if (s->kind == SockKind::kListen) {
+            std::snprintf(buf, sizeof(buf), "tcp  %-12s %u:%u",
+                          tcpStateName(s->state),
+                          s->bindAddr, s->bindPort);
+        } else {
+            std::snprintf(buf, sizeof(buf), "tcp  %-12s %s",
+                          tcpStateName(s->state), s->rxTuple.str().c_str());
+        }
+        rows.push_back(buf);
+    };
+    for (const auto &kv : sockets_)
+        emit(kv.second.get());
+    return rows;
+}
+
+} // namespace fsim

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * The simulated kernel TCP/IP stack: NIC interrupt entry, NET_RX SoftIRQ
+ * packet processing, TCB management (global or Fastsocket-partitioned),
+ * VFS socket files, epoll, timers, and the BSD-socket-style syscall
+ * surface the application models program against.
+ *
+ * One KernelStack instance is the kernel of one simulated Machine. All
+ * syscall-like methods take the calling core and the current tick and
+ * return the tick at which the call completes, charging cycle costs,
+ * simulated locks and cache traffic along the way.
+ */
+
+#ifndef FSIM_KERNEL_KERNEL_STACK_HH
+#define FSIM_KERNEL_KERNEL_STACK_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "epollsim/epoll.hh"
+#include "fastsocket/local_tables.hh"
+#include "fastsocket/rfd.hh"
+#include "kernel/kernel_config.hh"
+#include "kernel/timer_base.hh"
+#include "net/nic.hh"
+#include "net/wire.hh"
+#include "sim/rng.hh"
+#include "tcp/established_table.hh"
+#include "tcp/listen_table.hh"
+#include "tcp/port_alloc.hh"
+#include "tcp/socket.hh"
+#include "vfs/fd_table.hh"
+#include "vfs/vfs.hh"
+
+namespace fsim
+{
+
+/** Kernel-side state of one simulated process. */
+struct KProcess
+{
+    int id = -1;
+    CoreId core = kInvalidCore;
+    bool alive = true;
+    FdTable fds;
+    std::unique_ptr<EventPoll> epoll;
+    std::unordered_map<int, SocketFile *> files;   //!< fd -> file
+    /** Local listen clones created by this process (for crash cleanup). */
+    std::vector<Socket *> localListens;
+    /** Reuseport clones created by this process. */
+    std::vector<Socket *> reuseClones;
+};
+
+/** Aggregated kernel statistics. */
+struct KernelStats
+{
+    std::uint64_t rxPackets = 0;
+    std::uint64_t txPackets = 0;
+    std::uint64_t steeredPackets = 0;       //!< RFD software-steered
+    std::uint64_t rstSent = 0;
+    std::uint64_t acceptedConns = 0;
+    std::uint64_t activeConns = 0;          //!< connect() calls
+    std::uint64_t slowPathAccepts = 0;      //!< via global listen socket
+    std::uint64_t listenChainWalked = 0;    //!< reuseport O(n) entries
+    std::uint64_t listenLookups = 0;
+    /** Active-connection packets that arrived from the NIC on the core
+     *  that owns the connection (Figure 5(b) numerator/denominator). */
+    std::uint64_t activePktLocal = 0;
+    std::uint64_t activePktTotal = 0;
+    std::uint64_t timeWaitReaped = 0;
+    std::uint64_t socketsDestroyed = 0;
+    std::uint64_t acceptOverflows = 0;  //!< somaxconn rejections
+};
+
+/** The simulated kernel. */
+class KernelStack
+{
+  public:
+    /** External components the kernel is wired to. */
+    struct Deps
+    {
+        EventQueue *eq;
+        CpuModel *cpu;
+        CacheModel *cache;
+        LockRegistry *locks;
+        const CycleCosts *costs;
+        Nic *nic;
+        Wire *wire;
+        Rng *rng;
+    };
+
+    KernelStack(const Deps &deps, const KernelConfig &cfg);
+    ~KernelStack();
+
+    KernelStack(const KernelStack &) = delete;
+    KernelStack &operator=(const KernelStack &) = delete;
+
+    /** @name Setup-phase API (not cycle-accounted) */
+    /** @{ */
+
+    /** Create a process pinned to @p core. @return process id. */
+    int addProcess(CoreId core);
+
+    /**
+     * Simulate a process crash: its local listen clones and reuseport
+     * clones are destroyed by the kernel, like exit() would (the paper's
+     * robustness scenario, section 3.2.1).
+     */
+    void killProcess(int proc);
+
+    /**
+     * listen() on (addr, port) by @p proc.
+     *
+     * Baseline: the first caller creates the global listen socket, later
+     * callers share it. Linux 3.13: every caller inserts a reuseport
+     * clone. Returns the fd registered in the caller's epoll interest.
+     */
+    int listen(int proc, IpAddr addr, Port port);
+
+    /**
+     * Fastsocket local_listen(): clone the global listener for (addr,
+     * port) into the calling process's core-local listen table.
+     * Requires cfg.localListen.
+     */
+    void localListen(int proc, IpAddr addr, Port port);
+
+    /** Callback fired when a process's epoll becomes ready. The flag
+     *  says whether the wakeup came from another core (IPI + resched
+     *  cost is then paid by the woken side). */
+    std::function<void(int proc, bool remote)> onProcessReady;
+
+    /** @} */
+
+    /** @name Packet entry */
+    /** @{ */
+
+    /** Deliver a packet from the wire: NIC classify + SoftIRQ dispatch. */
+    void packetArrived(const Packet &pkt);
+
+    /** @} */
+
+    /** @name Syscall surface (cycle-accounted) */
+    /** @{ */
+
+    struct AcceptResult
+    {
+        Socket *sock = nullptr;
+        int fd = -1;
+        Tick t = 0;
+    };
+
+    /** Non-blocking accept() on listen fd @p listen_fd. */
+    AcceptResult accept(int proc, Tick t, int listen_fd);
+
+    struct ConnectResult
+    {
+        Socket *sock = nullptr;
+        int fd = -1;
+        Tick t = 0;
+    };
+
+    /** Non-blocking connect() to @p dst : @p dport. */
+    ConnectResult connect(int proc, Tick t, IpAddr dst, Port dport);
+
+    /** epoll_wait(): drain ready fds. */
+    Tick epollWait(int proc, Tick t, std::vector<int> &fds);
+
+    /** EPOLL_CTL_ADD @p fd to the process's epoll. */
+    Tick epollAdd(int proc, Tick t, int fd);
+
+    struct ReadResult
+    {
+        std::uint32_t bytes = 0;
+        bool finSeen = false;    //!< read() would return 0 (EOF)
+        Tick t = 0;
+    };
+
+    /** read(): drain the socket receive queue. */
+    ReadResult read(int proc, Tick t, int fd);
+
+    /** write(): transmit @p bytes as one data segment. */
+    Tick write(int proc, Tick t, int fd, std::uint32_t bytes);
+
+    /** close(): release fd/file, send FIN if needed. */
+    Tick close(int proc, Tick t, int fd);
+
+    /** @} */
+
+    /** @name Introspection */
+    /** @{ */
+    Socket *sockFromFd(int proc, int fd);
+    KProcess &process(int proc) { return *procs_.at(proc); }
+    int numProcesses() const { return static_cast<int>(procs_.size()); }
+
+    const KernelStats &stats() const { return stats_; }
+    VfsLayer &vfs() { return *vfs_; }
+    const KernelConfig &config() const { return cfg_; }
+    ReceiveFlowDeliver *rfd() { return rfd_.get(); }
+
+    /** Live sockets (leak checks / netstat example). */
+    std::size_t liveSockets() const { return sockets_.size(); }
+
+    /** netstat-style dump rows: "proto state tuple". */
+    std::vector<std::string> netstat() const;
+
+    /** All live sockets (tests and tooling examples). */
+    std::vector<const Socket *> allSockets() const;
+    /** @} */
+
+  private:
+    /** SoftIRQ-context packet processing on @p core. */
+    Tick netRx(CoreId core, const Packet &pkt, Tick t, bool steered);
+
+    Tick handleSyn(CoreId core, const Packet &pkt, Tick t);
+    Tick handleEstablishedPacket(CoreId core, Socket *sock,
+                                 const Packet &pkt, Tick t);
+
+    /** Pick the listener for an incoming SYN; charges lookup costs. */
+    struct ListenLookup
+    {
+        Socket *sock = nullptr;
+        bool viaLocalTable = false;
+        Tick t = 0;
+    };
+    ListenLookup lookupListener(CoreId core, IpAddr addr, Port port,
+                                Tick t);
+
+    /** Insert/lookup/remove in the right established table. */
+    EstablishedTable &ehashFor(CoreId core);
+
+    Socket *newSocket();
+    Tick destroySocket(CoreId core, Tick t, Socket *sock);
+
+    Tick sendPacket(CoreId core, Tick t, Socket *sock, std::uint8_t flags,
+                    std::uint32_t payload);
+
+    /** Wake the epoll watcher(s) of @p sock; returns completion tick. */
+    Tick wakeSocket(CoreId core, Tick t, Socket *sock, int fd_hint);
+
+    /** Wake policy for listen sockets (new connection ready). */
+    Tick wakeListen(CoreId core, Tick t, Socket *listener);
+
+    void notifyReady(int proc, bool remote);
+
+    Tick armConnTimer(CoreId c, Tick t, Socket *sock,
+                      std::uint64_t delay_jiffies);
+    Tick cancelConnTimer(CoreId c, Tick t, Socket *sock);
+
+    Deps d_;
+    KernelConfig cfg_;
+    KernelStats stats_;
+
+    std::unique_ptr<VfsLayer> vfs_;
+    ListenTable globalListen_;
+    std::unique_ptr<EstablishedTable> globalEhash_;
+    std::unique_ptr<LocalListenTable> localListen_;
+    std::unique_ptr<LocalEstablishedTable> localEhash_;
+    std::unique_ptr<ReceiveFlowDeliver> rfd_;
+    PortAllocator ports_;
+    /** Global bind-hash lock serializing ephemeral port allocation in
+     *  the legacy kernels; RFD's per-core port stripes bypass it. */
+    SimSpinLock portBindLock_;
+    std::vector<std::unique_ptr<TimerBase>> timerBases_;
+
+    std::vector<std::unique_ptr<KProcess>> procs_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Socket>> sockets_;
+    std::uint64_t nextSockId_ = 1;
+
+    /** Local IPs this kernel serves (set by listen()). */
+    std::vector<IpAddr> localAddrs_;
+    /** Per (dst, dport, core) rotation cursor for RFD port candidates. */
+    std::unordered_map<std::uint64_t, std::uint32_t> rfdPortCursor_;
+    /** Round-robin cursor for baseline listen-socket wakeups. */
+    std::size_t wakeCursor_ = 0;
+};
+
+} // namespace fsim
+
+#endif // FSIM_KERNEL_KERNEL_STACK_HH

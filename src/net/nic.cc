@@ -1,0 +1,101 @@
+#include "net/nic.hh"
+
+#include "sim/logging.hh"
+
+namespace fsim
+{
+
+namespace
+{
+
+constexpr std::uint32_t kIndirectionSize = 128;
+
+bool
+isPow2(std::uint32_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // anonymous namespace
+
+Nic::Nic(const NicConfig &cfg)
+    : cfg_(cfg),
+      indirection_(kIndirectionSize),
+      rxCount_(cfg.numQueues, 0)
+{
+    if (cfg_.numQueues <= 0 || cfg_.numQueues > 255)
+        fsim_fatal("NIC queue count %d out of range", cfg_.numQueues);
+    if (cfg_.fdirAtr && !isPow2(cfg_.atrTableSize))
+        fsim_fatal("ATR table size must be a power of two");
+    if (cfg_.fdirAtr && cfg_.atrSampleRate <= 0)
+        fsim_fatal("ATR sample rate must be positive");
+
+    for (std::uint32_t i = 0; i < kIndirectionSize; ++i)
+        indirection_[i] = static_cast<std::uint8_t>(i % cfg_.numQueues);
+
+    if (cfg_.fdirAtr)
+        atrTable_.resize(cfg_.atrTableSize);
+}
+
+int
+Nic::rssQueue(const FiveTuple &t) const
+{
+    return indirection_[flowHash(t) % kIndirectionSize];
+}
+
+int
+Nic::classifyRx(const Packet &pkt)
+{
+    int queue = -1;
+
+    // Perfect filters have the highest match priority. The programmed rule
+    // is RFD's: active incoming packets (source port in the well-known
+    // range, i.e. replies from origin servers) are steered by the port
+    // hash encoded in the destination port.
+    if (cfg_.fdirPerfect && pkt.tuple.sport <= kWellKnownPortMax) {
+        int q = pkt.tuple.dport & cfg_.perfectPortMask;
+        if (q < cfg_.numQueues) {
+            queue = q;
+            ++perfectHits_;
+        }
+    }
+
+    if (queue < 0 && cfg_.fdirAtr) {
+        std::uint32_t h = flowHash(pkt.tuple);
+        const AtrEntry &e = atrTable_[h & (cfg_.atrTableSize - 1)];
+        if (e.valid && e.signature == h) {
+            queue = e.queue;
+            ++atrHits_;
+        }
+    }
+
+    if (queue < 0)
+        queue = rssQueue(pkt.tuple);
+
+    ++rxCount_[queue];
+    return queue;
+}
+
+void
+Nic::noteTx(const Packet &pkt, int tx_queue)
+{
+    if (!cfg_.fdirAtr)
+        return;
+    // Like ixgbe's ATR: outgoing SYNs (connection setup) always try to
+    // install a filter; other packets are sampled 1-in-atrSampleRate.
+    ++txSampleCounter_;
+    if (!pkt.has(kSyn) && txSampleCounter_ % cfg_.atrSampleRate != 0)
+        return;
+
+    // Key the entry on the tuple the *reply* will carry.
+    std::uint32_t h = flowHash(pkt.tuple.reversed());
+    AtrEntry &e = atrTable_[h & (cfg_.atrTableSize - 1)];
+    if (e.valid && e.signature != h)
+        ++atrEvictions_;
+    e.signature = h;
+    e.queue = tx_queue;
+    e.valid = true;
+    ++atrInstalls_;
+}
+
+} // namespace fsim

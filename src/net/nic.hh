@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Model of a multi-queue NIC in the style of the Intel 82599.
+ *
+ * Implements the three RX steering mechanisms the paper evaluates:
+ *
+ *  - RSS: flow hash through a 128-entry indirection table.
+ *  - FDir ATR (Application Target Routing): the NIC samples outgoing
+ *    packets (one in every sampleRate) and installs flow->tx-queue entries
+ *    in a finite signature table; matching RX packets bypass RSS. Because
+ *    the table is sampled and finite, steering is best-effort (paper 2.2).
+ *  - FDir Perfect-Filtering: a programmable rule; Fastsocket programs the
+ *    RFD port-mask hash so active incoming packets land exactly on the core
+ *    that owns the connection (paper 3.3).
+ *
+ * Queue q raises its interrupt on core q (1:1 affinity, as configured in
+ * the paper's testbed, 4.1).
+ */
+
+#ifndef FSIM_NET_NIC_HH
+#define FSIM_NET_NIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/types.hh"
+
+namespace fsim
+{
+
+/** RX steering configuration for a Nic. */
+struct NicConfig
+{
+    int numQueues = 1;
+    /** Enable FDir ATR sampling of TX packets. */
+    bool fdirAtr = false;
+    /** One in this many non-SYN TX packets installs an ATR flow entry
+     *  (outgoing SYNs always install, like ixgbe's setup-triggered ATR). */
+    int atrSampleRate = 20;
+    /** ATR signature-table size (entries); power of two. Finite like the
+     *  82599's flow director table, so concurrent flows evict each
+     *  other — ATR stays best-effort (paper 2.2). */
+    std::uint32_t atrTableSize = 8192;
+    /** Enable the programmed Perfect-Filtering rule. */
+    bool fdirPerfect = false;
+    /** Port mask programmed by RFD: queue = dport & perfectPortMask. */
+    Port perfectPortMask = 0;
+};
+
+/** Multi-queue NIC with RSS and FDir. */
+class Nic
+{
+  public:
+    explicit Nic(const NicConfig &cfg);
+
+    /**
+     * Classify an incoming packet to an RX queue.
+     *
+     * Order of precedence mirrors the 82599: Perfect filters, then the ATR
+     * signature table, then RSS.
+     */
+    int classifyRx(const Packet &pkt);
+
+    /**
+     * Observe a transmitted packet leaving through @p tx_queue.
+     *
+     * In ATR mode this samples the flow and may install a signature entry
+     * keyed on the *reverse* tuple, so replies come back to the sender's
+     * queue.
+     */
+    void noteTx(const Packet &pkt, int tx_queue);
+
+    /** RSS fallback classification (also used directly by tests). */
+    int rssQueue(const FiveTuple &t) const;
+
+    int numQueues() const { return cfg_.numQueues; }
+    const NicConfig &config() const { return cfg_; }
+
+    /** @name Statistics */
+    /** @{ */
+    std::uint64_t rxCount(int queue) const { return rxCount_.at(queue); }
+    std::uint64_t atrHits() const { return atrHits_; }
+    std::uint64_t atrInstalls() const { return atrInstalls_; }
+    std::uint64_t atrEvictions() const { return atrEvictions_; }
+    std::uint64_t perfectHits() const { return perfectHits_; }
+    /** @} */
+
+  private:
+    struct AtrEntry
+    {
+        std::uint32_t signature = 0;
+        int queue = -1;
+        bool valid = false;
+    };
+
+    NicConfig cfg_;
+    std::vector<std::uint8_t> indirection_;   //!< RSS indirection table
+    std::vector<AtrEntry> atrTable_;
+    std::uint64_t txSampleCounter_ = 0;
+    std::vector<std::uint64_t> rxCount_;
+    std::uint64_t atrHits_ = 0;
+    std::uint64_t atrInstalls_ = 0;
+    std::uint64_t atrEvictions_ = 0;
+    std::uint64_t perfectHits_ = 0;
+};
+
+} // namespace fsim
+
+#endif // FSIM_NET_NIC_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Packet and flow-identity types.
+ *
+ * Only the header fields that steering and TCP state transitions depend on
+ * are modeled; payload is a byte count. The protocol is always TCP.
+ */
+
+#ifndef FSIM_NET_PACKET_HH
+#define FSIM_NET_PACKET_HH
+
+#include <cstdint>
+#include <string>
+
+namespace fsim
+{
+
+/** IPv4 address in host order. */
+using IpAddr = std::uint32_t;
+/** TCP port. */
+using Port = std::uint16_t;
+
+/** Last port of the well-known range (paper's RFD rule 1/2 boundary). */
+constexpr Port kWellKnownPortMax = 1023;
+
+/** TCP header flags. */
+enum TcpFlag : std::uint8_t
+{
+    kSyn = 1 << 0,
+    kAck = 1 << 1,
+    kFin = 1 << 2,
+    kRst = 1 << 3,
+    kPsh = 1 << 4,
+};
+
+/** Connection 4-tuple (TCP implied) as seen in a packet header. */
+struct FiveTuple
+{
+    IpAddr saddr = 0;
+    IpAddr daddr = 0;
+    Port sport = 0;
+    Port dport = 0;
+
+    bool
+    operator==(const FiveTuple &o) const
+    {
+        return saddr == o.saddr && daddr == o.daddr &&
+               sport == o.sport && dport == o.dport;
+    }
+
+    /** The same flow seen from the other endpoint. */
+    FiveTuple
+    reversed() const
+    {
+        return FiveTuple{daddr, saddr, dport, sport};
+    }
+
+    std::string str() const;
+};
+
+/** Stateless 32-bit flow hash (Toeplitz stand-in) used by RSS and tables. */
+std::uint32_t flowHash(const FiveTuple &t);
+
+/** One TCP/IP packet on the simulated network. */
+struct Packet
+{
+    FiveTuple tuple;
+    std::uint8_t flags = 0;
+    std::uint32_t payload = 0;   //!< TCP payload bytes
+    std::uint64_t connId = 0;    //!< debugging / endpoint matching aid
+
+    bool has(TcpFlag f) const { return flags & f; }
+    std::string str() const;
+};
+
+} // namespace fsim
+
+#endif // FSIM_NET_PACKET_HH

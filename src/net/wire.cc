@@ -1,0 +1,73 @@
+#include "net/wire.hh"
+
+#include "sim/logging.hh"
+
+namespace fsim
+{
+
+Wire::Wire(EventQueue &eq, Tick one_way_delay)
+    : eq_(eq), delay_(one_way_delay)
+{
+}
+
+void
+Wire::attach(IpAddr addr, Endpoint handler)
+{
+    endpoints_[addr] = std::move(handler);
+}
+
+void
+Wire::attachRange(IpAddr first, IpAddr last, Endpoint handler)
+{
+    fsim_assert(first <= last);
+    ranges_.push_back(Range{first, last, std::move(handler)});
+}
+
+const Wire::Endpoint *
+Wire::lookup(IpAddr addr) const
+{
+    auto it = endpoints_.find(addr);
+    if (it != endpoints_.end())
+        return &it->second;
+    for (const Range &r : ranges_) {
+        if (addr >= r.first && addr <= r.last)
+            return &r.handler;
+    }
+    return nullptr;
+}
+
+void
+Wire::setLossRate(double rate, std::uint64_t seed)
+{
+    fsim_assert(rate >= 0.0 && rate < 1.0);
+    lossRate_ = rate;
+    lossRng_ = Rng(seed);
+}
+
+void
+Wire::transmit(const Packet &pkt, Tick when)
+{
+    const Endpoint *ep = lookup(pkt.tuple.daddr);
+    if (!ep) {
+        ++dropped_;
+        return;
+    }
+    if (lossRate_ > 0.0 && lossRng_.chance(lossRate_)) {
+        ++lost_;
+        return;
+    }
+    // Copy the handler pointer is unsafe if maps rehash; copy the target
+    // address and re-resolve at delivery time instead.
+    Packet copy = pkt;
+    eq_.schedule(when + delay_, [this, copy] {
+        const Endpoint *handler = lookup(copy.tuple.daddr);
+        if (!handler) {
+            ++dropped_;
+            return;
+        }
+        ++delivered_;
+        (*handler)(copy);
+    });
+}
+
+} // namespace fsim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The simulated network fabric between machines/endpoints.
+ *
+ * The wire delivers packets to the endpoint registered for the destination
+ * IP after a fixed one-way delay. Bandwidth is not a bottleneck in the
+ * paper's short-lived-connection experiments (64 B pages on 10GbE), so the
+ * wire models latency only.
+ */
+
+#ifndef FSIM_NET_WIRE_HH
+#define FSIM_NET_WIRE_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/packet.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace fsim
+{
+
+/** Latency-only packet fabric. */
+class Wire
+{
+  public:
+    using Endpoint = std::function<void(const Packet &)>;
+
+    /**
+     * @param eq Driving event queue.
+     * @param one_way_delay Propagation delay per direction, in ticks.
+     */
+    Wire(EventQueue &eq, Tick one_way_delay);
+
+    /** Attach the receive handler for a destination IP. */
+    void attach(IpAddr addr, Endpoint handler);
+
+    /** Attach one handler for a contiguous range [first, last]. */
+    void attachRange(IpAddr first, IpAddr last, Endpoint handler);
+
+    /**
+     * Drop each packet independently with probability @p rate (failure
+     * injection; 0 disables). Deterministic given the seed.
+     */
+    void setLossRate(double rate, std::uint64_t seed = 99);
+
+    /**
+     * Transmit @p pkt at tick @p when (>= now).
+     *
+     * Delivery happens at @p when + delay. Packets to unknown addresses
+     * are dropped and counted.
+     */
+    void transmit(const Packet &pkt, Tick when);
+
+    std::uint64_t delivered() const { return delivered_; }
+    std::uint64_t dropped() const { return dropped_; }
+    std::uint64_t lost() const { return lost_; }
+    Tick delay() const { return delay_; }
+
+  private:
+    const Endpoint *lookup(IpAddr addr) const;
+
+    struct Range
+    {
+        IpAddr first;
+        IpAddr last;
+        Endpoint handler;
+    };
+
+    EventQueue &eq_;
+    Tick delay_;
+    double lossRate_ = 0.0;
+    Rng lossRng_{99};
+    std::unordered_map<IpAddr, Endpoint> endpoints_;
+    std::vector<Range> ranges_;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t lost_ = 0;
+};
+
+} // namespace fsim
+
+#endif // FSIM_NET_WIRE_HH

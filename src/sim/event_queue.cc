@@ -1,0 +1,54 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace fsim
+{
+
+void
+EventQueue::schedule(Tick when, Handler fn)
+{
+    if (when < now_)
+        fsim_panic("scheduling into the past (%llu < %llu)",
+                   (unsigned long long)when, (unsigned long long)now_);
+    heap_.push(Item{when, nextSeq_++, std::move(fn)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move the handler out via const_cast,
+    // which is safe because we pop immediately and never touch the key.
+    Item &top = const_cast<Item &>(heap_.top());
+    Tick when = top.when;
+    Handler fn = std::move(top.fn);
+    heap_.pop();
+    now_ = when;
+    ++executed_;
+    fn();
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit)
+        runOne();
+    if (now_ < limit)
+        now_ = limit;
+}
+
+std::uint64_t
+EventQueue::runAll()
+{
+    std::uint64_t n = 0;
+    while (runOne())
+        ++n;
+    return n;
+}
+
+} // namespace fsim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The discrete-event simulation core.
+ *
+ * A single EventQueue drives one experiment. Events are closures scheduled
+ * at absolute ticks; ties are broken in FIFO scheduling order so runs are
+ * fully deterministic.
+ */
+
+#ifndef FSIM_SIM_EVENT_QUEUE_HH
+#define FSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace fsim
+{
+
+/** Minimum-time-first discrete event queue. */
+class EventQueue
+{
+  public:
+    using Handler = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule a handler at an absolute time.
+     *
+     * @param when Absolute tick; must not be in the past.
+     */
+    void schedule(Tick when, Handler fn);
+
+    /** Schedule a handler @p delta ticks from now. */
+    void scheduleIn(Tick delta, Handler fn) { schedule(now_ + delta, fn); }
+
+    /**
+     * Run the earliest pending event.
+     *
+     * @return false if the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run events until simulated time would exceed @p limit.
+     *
+     * Events scheduled exactly at @p limit still run; afterwards now() is
+     * advanced to @p limit even if the queue drained earlier.
+     */
+    void runUntil(Tick limit);
+
+    /** Run until the queue drains. @return number of events executed. */
+    std::uint64_t runAll();
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Total events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Item
+    {
+        Tick when;
+        std::uint64_t seq;
+        Handler fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace fsim
+
+#endif // FSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks, core ids, frequency conversions.
+ *
+ * A Tick is one cycle of the simulated CPU clock. All simulated machines in
+ * fastsocket-sim run their cores at a single fixed frequency (the paper's
+ * testbed uses 2.7 GHz Xeon E5-2697v2 parts; we round to 2.5 GHz, which only
+ * scales absolute cycle costs, never shapes).
+ */
+
+#ifndef FSIM_SIM_TYPES_HH
+#define FSIM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace fsim
+{
+
+/** Simulated time, in CPU cycles. */
+using Tick = std::uint64_t;
+
+/** Identifier of a simulated CPU core. */
+using CoreId = int;
+
+/** Sentinel meaning "no core". */
+constexpr CoreId kInvalidCore = -1;
+
+/** Simulated core clock frequency in Hz. */
+constexpr double kCoreHz = 2.5e9;
+
+/** Largest representable tick; used as "never". */
+constexpr Tick kTickMax = ~Tick{0};
+
+/** Convert seconds of simulated wall time to ticks. */
+constexpr Tick
+ticksFromSeconds(double s)
+{
+    return static_cast<Tick>(s * kCoreHz);
+}
+
+/** Convert microseconds of simulated wall time to ticks. */
+constexpr Tick
+ticksFromUsec(double us)
+{
+    return static_cast<Tick>(us * (kCoreHz / 1e6));
+}
+
+/** Convert milliseconds of simulated wall time to ticks. */
+constexpr Tick
+ticksFromMsec(double ms)
+{
+    return static_cast<Tick>(ms * (kCoreHz / 1e3));
+}
+
+/** Convert ticks to seconds of simulated wall time. */
+constexpr double
+secondsFromTicks(Tick t)
+{
+    return static_cast<double>(t) / kCoreHz;
+}
+
+} // namespace fsim
+
+#endif // FSIM_SIM_TYPES_HH

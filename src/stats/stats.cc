@@ -1,0 +1,31 @@
+#include "stats/stats.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fsim
+{
+
+std::string
+formatCount(double v)
+{
+    char buf[32];
+    double a = std::fabs(v);
+    if (a >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.1fM", v / 1e6);
+    else if (a >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.1fK", v / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+    return buf;
+}
+
+} // namespace fsim

@@ -1,0 +1,72 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+
+namespace fsim
+{
+
+void
+TextTable::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+TextTable::row(std::vector<std::string> cols)
+{
+    rows_.push_back(std::move(cols));
+}
+
+std::string
+TextTable::str() const
+{
+    std::size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+
+    std::vector<std::size_t> width(ncols, 0);
+    auto widen = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    std::string out;
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < ncols; ++i) {
+            std::string cell = i < r.size() ? r[i] : "";
+            cell.resize(width[i], ' ');
+            out += cell;
+            if (i + 1 < ncols)
+                out += "  ";
+        }
+        while (!out.empty() && out.back() == ' ')
+            out.pop_back();
+        out += '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        std::string rule;
+        for (std::size_t i = 0; i < ncols; ++i) {
+            rule += std::string(width[i], '-');
+            if (i + 1 < ncols)
+                rule += "  ";
+        }
+        out += rule + '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return out;
+}
+
+void
+TextTable::print(std::FILE *out) const
+{
+    std::string s = str();
+    std::fwrite(s.data(), 1, s.size(), out);
+}
+
+} // namespace fsim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fixed-width text table printer used by the benchmark harness to emit
+ * paper-style tables and series.
+ */
+
+#ifndef FSIM_STATS_TABLE_HH
+#define FSIM_STATS_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fsim
+{
+
+/** Accumulates rows of strings and prints them with aligned columns. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cols);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cols);
+
+    /** Render to the given stream (default stdout). */
+    void print(std::FILE *out = stdout) const;
+
+    /** Render to a string (used by tests). */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fsim
+
+#endif // FSIM_STATS_TABLE_HH

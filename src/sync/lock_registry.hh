@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Lockstat-style accounting of simulated lock classes.
+ *
+ * Like Linux's lockstat, statistics are aggregated per lock *class*
+ * (e.g. all per-socket "slock" instances feed one row), which is exactly
+ * the granularity of the paper's Table 1.
+ */
+
+#ifndef FSIM_SYNC_LOCK_REGISTRY_HH
+#define FSIM_SYNC_LOCK_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace fsim
+{
+
+/** Aggregated statistics for one class of locks. */
+struct LockClassStats
+{
+    std::string name;
+    std::uint64_t acquisitions = 0;
+    std::uint64_t contentions = 0;   //!< acquisitions that had to wait
+    std::uint64_t waitTicks = 0;     //!< total cycles spent spinning
+    std::uint64_t holdTicks = 0;     //!< total cycles held
+    Tick maxWaitTicks = 0;
+};
+
+/** Registry mapping class names to their aggregated statistics. */
+class LockRegistry
+{
+  public:
+    /** Fetch (creating on first use) the stats row for @p name. */
+    LockClassStats *getClass(const std::string &name);
+
+    /** All classes in registration order. */
+    std::vector<const LockClassStats *> classes() const;
+
+    /** Copy of the current counters, for window (before/after) diffing. */
+    std::map<std::string, LockClassStats> snapshot() const;
+
+    /**
+     * Contention-count delta of class @p name between @p before and the
+     * current counters. Returns 0 for unknown classes.
+     */
+    std::uint64_t contentionDelta(
+        const std::map<std::string, LockClassStats> &before,
+        const std::string &name) const;
+
+  private:
+    std::vector<std::unique_ptr<LockClassStats>> order_;
+    std::map<std::string, LockClassStats *> byName_;
+};
+
+} // namespace fsim
+
+#endif // FSIM_SYNC_LOCK_REGISTRY_HH

@@ -1,0 +1,88 @@
+#include "tcp/established_table.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace fsim
+{
+
+EstablishedTable::EstablishedTable(int n_buckets, LockRegistry &locks,
+                                   CacheModel &cache,
+                                   const CycleCosts &costs,
+                                   const char *lock_class)
+    : cache_(cache), costs_(costs)
+{
+    fsim_assert(n_buckets > 0 && (n_buckets & (n_buckets - 1)) == 0);
+    buckets_.resize(n_buckets);
+    mask_ = static_cast<std::uint32_t>(n_buckets - 1);
+    LockClassStats *cls = locks.getClass(lock_class);
+    for (Bucket &b : buckets_) {
+        b.lock.init(cls, &cache_, costs_.lockAcquireBase,
+                    costs_.lockHandoffStorm);
+        b.cacheObj = cache_.newObject();
+    }
+}
+
+EstablishedTable::Bucket &
+EstablishedTable::bucketFor(const FiveTuple &tuple)
+{
+    return buckets_[flowHash(tuple) & mask_];
+}
+
+Tick
+EstablishedTable::insert(CoreId c, Tick t, Socket *sock)
+{
+    Bucket &b = bucketFor(sock->rxTuple);
+    // The bucket line is written inside the critical section; its
+    // transfer penalty extends the hold the next waiter sees.
+    Tick penalty = cache_.access(c, b.cacheObj, /*write=*/true);
+    Tick end = b.lock.runLocked(c, t, costs_.ehashInsertHold + penalty);
+    b.chain.push_back(sock);
+    ++size_;
+    return end;
+}
+
+Tick
+EstablishedTable::remove(CoreId c, Tick t, Socket *sock)
+{
+    Bucket &b = bucketFor(sock->rxTuple);
+    Tick penalty = cache_.access(c, b.cacheObj, /*write=*/true);
+    Tick end = b.lock.runLocked(c, t, costs_.ehashInsertHold + penalty);
+    auto pos = std::find(b.chain.begin(), b.chain.end(), sock);
+    if (pos != b.chain.end()) {
+        b.chain.erase(pos);
+        --size_;
+    }
+    return end;
+}
+
+EstablishedTable::Lookup
+EstablishedTable::lookup(CoreId c, Tick t, const FiveTuple &tuple)
+{
+    Bucket &b = bucketFor(tuple);
+    Lookup out;
+    t += costs_.ehashLookup;
+    t += cache_.access(c, b.cacheObj, /*write=*/false);
+    for (Socket *s : b.chain) {
+        if (s->rxTuple == tuple) {
+            out.sock = s;
+            break;
+        }
+    }
+    out.t = t;
+    return out;
+}
+
+std::vector<Socket *>
+EstablishedTable::all() const
+{
+    std::vector<Socket *> out;
+    out.reserve(size_);
+    for (const Bucket &b : buckets_)
+        for (Socket *s : b.chain)
+            out.push_back(s);
+    return out;
+}
+
+} // namespace fsim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The established-connection hash table ("ehash").
+ *
+ * The stock kernel keeps one machine-wide instance whose buckets are
+ * protected by per-bucket locks (the ehash.lock row of Table 1); Fastsocket
+ * instead creates one instance per core (the Local Established Table,
+ * section 3.2.2) — the same class is reused, and because each per-core
+ * instance is only ever touched by its owning core, its lock acquisitions
+ * never contend, exactly as the paper's design argues.
+ */
+
+#ifndef FSIM_TCP_ESTABLISHED_TABLE_HH
+#define FSIM_TCP_ESTABLISHED_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/cache_model.hh"
+#include "cpu/cycle_costs.hh"
+#include "net/packet.hh"
+#include "sim/types.hh"
+#include "sync/lock_registry.hh"
+#include "sync/spinlock.hh"
+#include "tcp/socket.hh"
+
+namespace fsim
+{
+
+/** Hash table of established (and handshaking) connection sockets. */
+class EstablishedTable
+{
+  public:
+    /**
+     * @param n_buckets Power-of-two bucket count.
+     * @param lock_class Lockstat class name ("ehash.lock").
+     */
+    EstablishedTable(int n_buckets, LockRegistry &locks, CacheModel &cache,
+                     const CycleCosts &costs,
+                     const char *lock_class = "ehash.lock");
+
+    /**
+     * Insert @p sock keyed by its rxTuple; charges the bucket lock.
+     *
+     * @return completion tick.
+     */
+    Tick insert(CoreId c, Tick t, Socket *sock);
+
+    /**
+     * Remove @p sock; charges the bucket lock.
+     *
+     * @return completion tick (unchanged if the socket was absent).
+     */
+    Tick remove(CoreId c, Tick t, Socket *sock);
+
+    /** Lookup result plus the tick after the probe cost. */
+    struct Lookup
+    {
+        Socket *sock = nullptr;
+        Tick t = 0;
+    };
+
+    /** Find the socket matching an incoming packet's tuple. */
+    Lookup lookup(CoreId c, Tick t, const FiveTuple &tuple);
+
+    std::size_t size() const { return size_; }
+
+    /** All sockets (slow; for /proc walks and leak checks in tests). */
+    std::vector<Socket *> all() const;
+
+  private:
+    struct Bucket
+    {
+        std::vector<Socket *> chain;
+        SimSpinLock lock;
+        std::uint64_t cacheObj = 0;
+    };
+
+    Bucket &bucketFor(const FiveTuple &tuple);
+
+    CacheModel &cache_;
+    const CycleCosts &costs_;
+    std::vector<Bucket> buckets_;
+    std::uint32_t mask_;
+    std::size_t size_ = 0;
+};
+
+} // namespace fsim
+
+#endif // FSIM_TCP_ESTABLISHED_TABLE_HH

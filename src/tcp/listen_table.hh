@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The listen socket hash table.
+ *
+ * One instance serves as the *global* listen table (all kernel flavors
+ * keep it; Fastsocket keeps it for robustness, section 3.2.1); Fastsocket
+ * additionally instantiates one per core as the Local Listen Table.
+ *
+ * Under SO_REUSEPORT (Linux 3.13 flavor) every process inserts a clone for
+ * the same (addr, port), so a lookup must walk the chain and pick one clone
+ * at random — the O(n) cost the paper measures at 24.2% of cycles on 24
+ * cores (section 2.1). lookup() reports how many chain entries it walked so
+ * the kernel can charge that cost.
+ */
+
+#ifndef FSIM_TCP_LISTEN_TABLE_HH
+#define FSIM_TCP_LISTEN_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/rng.hh"
+#include "tcp/socket.hh"
+
+namespace fsim
+{
+
+/** Hash table of listen sockets keyed by (bind address, port). */
+class ListenTable
+{
+  public:
+    /** Result of a listener lookup. */
+    struct Lookup
+    {
+        Socket *sock = nullptr;
+        /** Chain entries examined (drives the O(n) reuseport cost). */
+        int walked = 0;
+        /** The bucket chain that was walked (for per-entry cache
+         *  charging by the caller); null when nothing matched. */
+        const std::vector<Socket *> *chain = nullptr;
+    };
+
+    /** Insert a listen socket (multiple per key allowed: SO_REUSEPORT). */
+    void insert(Socket *sock);
+
+    /**
+     * Remove a listen socket.
+     *
+     * @return false if the socket was not present.
+     */
+    bool remove(Socket *sock);
+
+    /**
+     * Find a listener for a packet destined to @p addr : @p port.
+     *
+     * Tries the exact (addr, port) key first, then the wildcard
+     * (INADDR_ANY, port). When several clones share the key, one is chosen
+     * uniformly at random via @p rng, matching the reuseport behavior in
+     * NET_RX SoftIRQ.
+     */
+    Lookup lookup(IpAddr addr, Port port, Rng &rng) const;
+
+    /** Number of listen sockets bound to (addr, port). */
+    std::size_t chainLength(IpAddr addr, Port port) const;
+
+    /** First listener bound exactly to (addr, port), or null. */
+    Socket *findExact(IpAddr addr, Port port) const;
+
+    /** Total listen sockets in the table. */
+    std::size_t size() const { return size_; }
+
+    /** All sockets (for /proc-style walks in tests/examples). */
+    std::vector<Socket *> all() const;
+
+  private:
+    static std::uint64_t
+    key(IpAddr addr, Port port)
+    {
+        return (static_cast<std::uint64_t>(addr) << 16) | port;
+    }
+
+    std::unordered_map<std::uint64_t, std::vector<Socket *>> buckets_;
+    std::size_t size_ = 0;
+};
+
+} // namespace fsim
+
+#endif // FSIM_TCP_LISTEN_TABLE_HH

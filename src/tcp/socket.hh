@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The TCP Control Block (TCB), represented — as in Linux — by a socket.
+ *
+ * A Socket is either a listen socket (possibly a per-core *local* listen
+ * socket cloned from a global one, in Fastsocket mode) or a connection
+ * socket created passively (accept path) or actively (connect path).
+ * Every socket carries its own slock, the per-socket spinlock that the
+ * stock kernel contends on whenever SoftIRQ context (packet processing)
+ * and process context (syscalls) run on different cores.
+ */
+
+#ifndef FSIM_TCP_SOCKET_HH
+#define FSIM_TCP_SOCKET_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/types.hh"
+#include "sync/spinlock.hh"
+#include "timerwheel/timer_wheel.hh"
+
+namespace fsim
+{
+
+struct SocketFile;
+
+/** TCP connection states (RFC 793 subset exercised by the simulator). */
+enum class TcpState
+{
+    kClosed,
+    kListen,
+    kSynSent,
+    kSynRcvd,
+    kEstablished,
+    kFinWait1,
+    kFinWait2,
+    kCloseWait,
+    kLastAck,
+    kTimeWait,
+};
+
+/** Human-readable state name (used by the netstat example and tests). */
+const char *tcpStateName(TcpState s);
+
+/** Whether the socket is a listener or a connection endpoint. */
+enum class SockKind
+{
+    kListen,
+    kConnection,
+};
+
+/** A socket / TCB. */
+struct Socket
+{
+    std::uint64_t id = 0;
+    SockKind kind = SockKind::kConnection;
+    TcpState state = TcpState::kClosed;
+
+    /** @name Listen sockets */
+    /** @{ */
+    IpAddr bindAddr = 0;
+    Port bindPort = 0;
+    /** True for a per-core clone in a Local Listen Table. */
+    bool isLocalListen = false;
+    /** Owning core of a local listen socket (else kInvalidCore). */
+    CoreId homeCore = kInvalidCore;
+    /** For a local listen socket: the global listen socket it clones. */
+    Socket *globalParent = nullptr;
+    /** Connections that completed the handshake, awaiting accept(). */
+    std::deque<Socket *> acceptQueue;
+    /** Accept-queue capacity (somaxconn); overflow rejects connections. */
+    std::size_t backlog = 512;
+    /** SO_REUSEPORT clone owner process (kLinux313 flavor). */
+    int reuseportOwner = -1;
+    /** Processes watching this listen socket: (process, fd) pairs. */
+    std::vector<std::pair<int, int>> watchers;
+    /** @} */
+
+    /** @name Connection sockets */
+    /** @{ */
+    /** Expected tuple of *incoming* packets (saddr/sport = peer). */
+    FiveTuple rxTuple;
+    /** True if created by the accept path, false for connect(). */
+    bool passive = true;
+    /** Core of the application process using this connection. */
+    CoreId ownerCore = kInvalidCore;
+    /** Process using this connection (-1 before accept()). */
+    int ownerProcess = -1;
+    /** Listen socket this connection was spawned from (passive only). */
+    Socket *parentListen = nullptr;
+    /** VFS file, once attached to a process. */
+    SocketFile *file = nullptr;
+    /** Bytes received and not yet read by the application. */
+    std::uint32_t rxPending = 0;
+    /** Peer sent FIN (connection is half-closed). */
+    bool peerFin = false;
+    /** Pending retransmission/keepalive timer (0 = none). */
+    TimerWheel::TimerId timer = TimerWheel::kInvalidTimer;
+    /** Core whose timer base holds the pending timer. */
+    CoreId timerCore = kInvalidCore;
+    /** Opaque application-level context. */
+    void *appCtx = nullptr;
+    /** Established table this socket currently lives in (null if none). */
+    class EstablishedTable *ehashHome = nullptr;
+    /** @} */
+
+    /** Per-socket lock (the paper's "slock" row). */
+    SimSpinLock slock;
+    /** Cache object of the TCB itself. */
+    std::uint64_t cacheObj = 0;
+
+    /** @name Cross-core census (for locality property checks) */
+    /** @{ */
+    /** Cores that ever executed work touching this socket (bitmask). */
+    std::uint64_t coresTouched = 0;
+
+    void
+    touch(CoreId c)
+    {
+        if (c >= 0 && c < 64)
+            coresTouched |= 1ull << c;
+    }
+
+    /** Number of distinct cores that touched this socket. */
+    int touchedCount() const;
+    /** @} */
+};
+
+} // namespace fsim
+
+#endif // FSIM_TCP_SOCKET_HH

@@ -1,0 +1,132 @@
+#include "timerwheel/timer_wheel.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace fsim
+{
+
+TimerWheel::TimerWheel(std::uint64_t start_jiffy)
+    : jiffy_(start_jiffy)
+{
+}
+
+TimerWheel::TimerId
+TimerWheel::add(std::uint64_t expires, Callback cb)
+{
+    TimerId id = nextId_++;
+    nodes_.emplace(id, Node{expires, std::move(cb)});
+    ++liveCount_;
+    place(id, expires);
+    return id;
+}
+
+bool
+TimerWheel::cancel(TimerId id)
+{
+    auto it = nodes_.find(id);
+    if (it == nodes_.end())
+        return false;
+    // The slot vectors may still hold stale references to this id; they are
+    // skipped lazily when their slot is visited.
+    nodes_.erase(it);
+    --liveCount_;
+    return true;
+}
+
+bool
+TimerWheel::modify(TimerId id, std::uint64_t expires)
+{
+    auto it = nodes_.find(id);
+    if (it == nodes_.end())
+        return false;
+    it->second.expires = expires;
+    place(id, expires);
+    return true;
+}
+
+void
+TimerWheel::place(TimerId id, std::uint64_t expires)
+{
+    // Clamp far-future timers into the outermost level, like the kernel.
+    constexpr std::uint64_t kMaxDelta =
+        (1ull << (kTv1Bits + kLevels * kTvnBits)) - 1;
+    if (expires > jiffy_ + kMaxDelta)
+        expires = jiffy_ + kMaxDelta;
+
+    std::uint64_t delta =
+        expires > jiffy_ ? expires - jiffy_ : 0;
+
+    if (delta == 0) {
+        // Already (or about to be) expired: fire on the next tick.
+        tv1_[(jiffy_ + 1) & (kTv1Size - 1)].push_back(id);
+    } else if (delta < kTv1Size) {
+        tv1_[expires & (kTv1Size - 1)].push_back(id);
+    } else {
+        for (std::uint32_t level = 0; level < kLevels; ++level) {
+            std::uint32_t shift = kTv1Bits + (level + 1) * kTvnBits;
+            if (delta < (1ull << shift) || level == kLevels - 1) {
+                std::uint32_t idx =
+                    (expires >> (shift - kTvnBits)) & (kTvnSize - 1);
+                tvn_[level][idx].push_back(id);
+                return;
+            }
+        }
+    }
+}
+
+void
+TimerWheel::cascade(std::uint32_t level, std::uint32_t index)
+{
+    Slot moved = std::move(tvn_[level][index]);
+    tvn_[level][index].clear();
+    for (TimerId id : moved) {
+        auto it = nodes_.find(id);
+        if (it == nodes_.end())
+            continue;   // cancelled or already fired
+        place(id, it->second.expires);
+    }
+}
+
+void
+TimerWheel::tickOnce()
+{
+    ++jiffy_;
+    std::uint32_t idx1 = jiffy_ & (kTv1Size - 1);
+    if (idx1 == 0) {
+        for (std::uint32_t level = 0; level < kLevels; ++level) {
+            std::uint32_t shift = kTv1Bits + level * kTvnBits;
+            std::uint32_t idx = (jiffy_ >> shift) & (kTvnSize - 1);
+            cascade(level, idx);
+            if (idx != 0)
+                break;
+        }
+    }
+
+    Slot due = std::move(tv1_[idx1]);
+    tv1_[idx1].clear();
+    for (TimerId id : due) {
+        auto it = nodes_.find(id);
+        if (it == nodes_.end())
+            continue;   // stale reference
+        if (it->second.expires > jiffy_)
+            continue;   // re-armed to a later time; real entry elsewhere
+        Callback cb = std::move(it->second.cb);
+        nodes_.erase(it);
+        --liveCount_;
+        ++fired_;
+        cb();
+    }
+}
+
+std::size_t
+TimerWheel::advance(std::uint64_t to_jiffy)
+{
+    std::size_t before = fired_;
+    while (jiffy_ < to_jiffy)
+        tickOnce();
+    return fired_ - before;
+}
+
+} // namespace fsim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Linux-style hierarchical (cascading) timing wheel.
+ *
+ * The structure mirrors the classic kernel timer wheel: one 256-slot base
+ * level (tv1) and four 64-slot cascade levels (tv2..tv5), advancing one
+ * jiffy at a time and cascading a higher-level slot down whenever the lower
+ * index wraps. Each simulated core owns one wheel ("timer base"), protected
+ * by the base.lock the paper's Table 1 reports on.
+ */
+
+#ifndef FSIM_TIMERWHEEL_TIMER_WHEEL_HH
+#define FSIM_TIMERWHEEL_TIMER_WHEEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace fsim
+{
+
+/** Cascading timer wheel keyed in jiffies. */
+class TimerWheel
+{
+  public:
+    using Callback = std::function<void()>;
+    using TimerId = std::uint64_t;
+
+    /** Sentinel for "no timer". */
+    static constexpr TimerId kInvalidTimer = 0;
+
+    explicit TimerWheel(std::uint64_t start_jiffy = 0);
+
+    /**
+     * Arm a timer.
+     *
+     * @param expires Absolute jiffy; values in the past fire on the next
+     *                advance.
+     * @return Handle usable with cancel()/modify().
+     */
+    TimerId add(std::uint64_t expires, Callback cb);
+
+    /**
+     * Cancel a pending timer.
+     *
+     * @return true if the timer was still pending.
+     */
+    bool cancel(TimerId id);
+
+    /**
+     * Re-arm a pending timer to a new expiry (like mod_timer()).
+     *
+     * @return true if the timer was still pending and has been moved.
+     */
+    bool modify(TimerId id, std::uint64_t expires);
+
+    /**
+     * Advance time to @p to_jiffy inclusive, firing expired callbacks in
+     * jiffy order.
+     *
+     * @return number of timers fired.
+     */
+    std::size_t advance(std::uint64_t to_jiffy);
+
+    /** Currently pending (armed, not cancelled) timers. */
+    std::size_t pending() const { return liveCount_; }
+
+    std::uint64_t currentJiffy() const { return jiffy_; }
+
+  private:
+    struct Node
+    {
+        std::uint64_t expires = 0;
+        Callback cb;
+    };
+
+    static constexpr std::uint32_t kTv1Bits = 8;
+    static constexpr std::uint32_t kTvnBits = 6;
+    static constexpr std::uint32_t kTv1Size = 1u << kTv1Bits;   // 256
+    static constexpr std::uint32_t kTvnSize = 1u << kTvnBits;   // 64
+    static constexpr std::uint32_t kLevels = 4;                 // tv2..tv5
+
+    using Slot = std::vector<TimerId>;
+
+    void place(TimerId id, std::uint64_t expires);
+    void cascade(std::uint32_t level, std::uint32_t index);
+    void tickOnce();
+
+    std::uint64_t jiffy_;
+    TimerId nextId_ = 1;
+    std::size_t liveCount_ = 0;
+    std::size_t fired_ = 0;
+
+    Slot tv1_[kTv1Size];
+    Slot tvn_[kLevels][kTvnSize];
+    std::unordered_map<TimerId, Node> nodes_;
+};
+
+} // namespace fsim
+
+#endif // FSIM_TIMERWHEEL_TIMER_WHEEL_HH

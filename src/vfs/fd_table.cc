@@ -1,0 +1,70 @@
+#include "vfs/fd_table.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace fsim
+{
+
+FdTable::FdTable(int first_fd)
+    : firstFd_(first_fd)
+{
+    fsim_assert(first_fd >= 0);
+    bits_.resize(4, 0);
+    // Mark everything below firstFd_ as permanently taken.
+    for (int fd = 0; fd < firstFd_; ++fd)
+        bits_[fd / kBitsPerWord] |= 1ull << (fd % kBitsPerWord);
+    highWater_ = firstFd_;
+}
+
+int
+FdTable::alloc()
+{
+    for (std::size_t w = 0; w < bits_.size(); ++w) {
+        if (bits_[w] == ~0ull)
+            continue;
+        int bit = std::countr_one(bits_[w]);
+        int fd = static_cast<int>(w) * kBitsPerWord + bit;
+        bits_[w] |= 1ull << bit;
+        ++openCount_;
+        if (fd + 1 > highWater_)
+            highWater_ = fd + 1;
+        return fd;
+    }
+    // All words full: grow and take the first new bit.
+    int fd = static_cast<int>(bits_.size()) * kBitsPerWord;
+    bits_.push_back(1);
+    ++openCount_;
+    highWater_ = fd + 1;
+    return fd;
+}
+
+bool
+FdTable::free(int fd)
+{
+    if (fd < firstFd_)
+        return false;
+    std::size_t w = static_cast<std::size_t>(fd) / kBitsPerWord;
+    if (w >= bits_.size())
+        return false;
+    std::uint64_t mask = 1ull << (fd % kBitsPerWord);
+    if (!(bits_[w] & mask))
+        return false;
+    bits_[w] &= ~mask;
+    --openCount_;
+    return true;
+}
+
+bool
+FdTable::inUse(int fd) const
+{
+    if (fd < 0)
+        return false;
+    std::size_t w = static_cast<std::size_t>(fd) / kBitsPerWord;
+    if (w >= bits_.size())
+        return false;
+    return bits_[w] & (1ull << (fd % kBitsPerWord));
+}
+
+} // namespace fsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Per-process file-descriptor table implementing the POSIX
+ * lowest-available-fd rule with a bitmap scan, like the kernel's fd_set
+ * based allocator.
+ *
+ * The paper (section 5, "Relaxing System Call Restrictions") explains why
+ * Fastsocket keeps this rule: applications such as HAProxy index per
+ * connection arrays by fd and rely on fds staying dense.
+ */
+
+#ifndef FSIM_VFS_FD_TABLE_HH
+#define FSIM_VFS_FD_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace fsim
+{
+
+/** Bitmap-based lowest-available file descriptor allocator. */
+class FdTable
+{
+  public:
+    /** @param first_fd Lowest fd handed out (3 leaves room for std fds). */
+    explicit FdTable(int first_fd = 3);
+
+    /** Allocate the lowest available descriptor. */
+    int alloc();
+
+    /**
+     * Release a descriptor.
+     *
+     * @return false if the fd was not allocated (double close).
+     */
+    bool free(int fd);
+
+    bool inUse(int fd) const;
+
+    /** Number of currently open descriptors. */
+    int openCount() const { return openCount_; }
+
+    /** One past the highest fd ever allocated. */
+    int highWater() const { return highWater_; }
+
+  private:
+    static constexpr int kBitsPerWord = 64;
+
+    int firstFd_;
+    int openCount_ = 0;
+    int highWater_ = 0;
+    std::vector<std::uint64_t> bits_;
+};
+
+} // namespace fsim
+
+#endif // FSIM_VFS_FD_TABLE_HH

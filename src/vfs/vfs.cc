@@ -1,0 +1,131 @@
+#include "vfs/vfs.hh"
+
+#include "sim/logging.hh"
+
+namespace fsim
+{
+
+VfsLayer::VfsLayer(VfsMode mode, LockRegistry &locks, CacheModel &cache,
+                   const CycleCosts &costs, int fine_buckets)
+    : mode_(mode), cache_(cache), costs_(costs)
+{
+    fsim_assert(fine_buckets > 0);
+    LockClassStats *dcache = locks.getClass("dcache_lock");
+    LockClassStats *inode = locks.getClass("inode_lock");
+    switch (mode_) {
+      case VfsMode::kGlobalLocks:
+        dcacheLock_.init(dcache, &cache_, costs_.lockAcquireBase,
+                         costs_.lockHandoffStorm);
+        inodeLock_.init(inode, &cache_, costs_.lockAcquireBase,
+                        costs_.lockHandoffStorm);
+        break;
+      case VfsMode::kFineGrained:
+        dcacheBuckets_.resize(fine_buckets);
+        inodeBuckets_.resize(fine_buckets);
+        for (auto &l : dcacheBuckets_)
+            l.init(dcache, &cache_, costs_.lockAcquireBase,
+                   costs_.lockHandoffStorm);
+        for (auto &l : inodeBuckets_)
+            l.init(inode, &cache_, costs_.lockAcquireBase,
+                   costs_.lockHandoffStorm);
+        break;
+      case VfsMode::kFastsocket:
+        // No dentry/inode locks on the socket fast path.
+        break;
+    }
+}
+
+VfsLayer::~VfsLayer() = default;
+
+SimSpinLock &
+VfsLayer::dcacheBucket(std::uint64_t ino)
+{
+    return dcacheBuckets_[ino % dcacheBuckets_.size()];
+}
+
+SimSpinLock &
+VfsLayer::inodeBucket(std::uint64_t ino)
+{
+    return inodeBuckets_[ino % inodeBuckets_.size()];
+}
+
+Tick
+VfsLayer::allocSocketFile(CoreId c, Tick t, void *sock, SocketFile **out)
+{
+    auto file = std::make_unique<SocketFile>();
+    file->ino = nextIno_++;
+    file->priv = sock;
+    file->cacheObj = cache_.newObject();
+    t += cache_.access(c, file->cacheObj, /*write=*/true);
+    ++totalAllocs_;
+
+    switch (mode_) {
+      case VfsMode::kGlobalLocks:
+        // Full dentry + inode initialization, linked into the global
+        // tables under the two global locks.
+        t += costs_.vfsAllocHeavy;
+        t = dcacheLock_.runLocked(c, t, costs_.dcacheLockHold);
+        t = inodeLock_.runLocked(c, t, costs_.inodeLockHold);
+        break;
+      case VfsMode::kFineGrained:
+        t += costs_.vfsAllocHeavy;
+        t = dcacheBucket(file->ino).runLocked(c, t, costs_.vfsFineLockHold);
+        t = inodeBucket(file->ino).runLocked(c, t, costs_.vfsFineLockHold);
+        break;
+      case VfsMode::kFastsocket:
+        // Skip dentry/inode init; keep only the skeletal state needed by
+        // the /proc file system (section 3.4).
+        t += costs_.vfsAllocFast;
+        file->fastPath = true;
+        break;
+    }
+
+    SocketFile *raw = file.get();
+    files_.emplace(raw->ino, std::move(file));
+    *out = raw;
+    return t;
+}
+
+Tick
+VfsLayer::freeSocketFile(CoreId c, Tick t, SocketFile *file)
+{
+    fsim_assert(file != nullptr);
+    auto it = files_.find(file->ino);
+    if (it == files_.end())
+        fsim_panic("double free of socket file ino=%llu",
+                   (unsigned long long)file->ino);
+
+    t += cache_.access(c, file->cacheObj, /*write=*/true);
+
+    switch (mode_) {
+      case VfsMode::kGlobalLocks:
+        t += costs_.vfsFreeHeavy;
+        t = dcacheLock_.runLocked(c, t, costs_.dcacheLockHold);
+        t = inodeLock_.runLocked(c, t, costs_.inodeLockHold);
+        break;
+      case VfsMode::kFineGrained:
+        t += costs_.vfsFreeHeavy;
+        t = dcacheBucket(file->ino).runLocked(c, t, costs_.vfsFineLockHold);
+        t = inodeBucket(file->ino).runLocked(c, t, costs_.vfsFineLockHold);
+        break;
+      case VfsMode::kFastsocket:
+        t += costs_.vfsFreeFast;
+        break;
+    }
+
+    cache_.freeObject(file->cacheObj);
+    files_.erase(it);
+    return t;
+}
+
+std::vector<const SocketFile *>
+VfsLayer::procWalk() const
+{
+    std::vector<const SocketFile *> out;
+    out.reserve(files_.size());
+    for (const auto &kv : files_)
+        out.push_back(kv.second.get());
+    return out;
+}
+
+} // namespace fsim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the ideal backend pool's wire protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "app/backend.hh"
+
+namespace fsim
+{
+namespace
+{
+
+struct BackendFixture : public ::testing::Test
+{
+    EventQueue eq;
+    Wire wire{eq, ticksFromUsec(10)};
+    BackendPool pool{eq, wire, 100, 110, 64, ticksFromUsec(100)};
+    std::vector<Packet> rx;
+    std::vector<Tick> rxAt;
+
+    void
+    SetUp() override
+    {
+        wire.attach(7, [this](const Packet &p) {
+            rx.push_back(p);
+            rxAt.push_back(eq.now());
+        });
+    }
+
+    void
+    send(std::uint8_t flags, std::uint32_t payload = 0, IpAddr dst = 100)
+    {
+        Packet p;
+        p.tuple = FiveTuple{7, dst, 40001, 80};
+        p.flags = flags;
+        p.payload = payload;
+        wire.transmit(p, eq.now());
+    }
+};
+
+TEST_F(BackendFixture, SynGetsSynAck)
+{
+    send(kSyn);
+    eq.runAll();
+    ASSERT_EQ(rx.size(), 1u);
+    EXPECT_TRUE(rx[0].has(kSyn));
+    EXPECT_TRUE(rx[0].has(kAck));
+    EXPECT_EQ(rx[0].tuple.saddr, 100u);
+    EXPECT_EQ(rx[0].tuple.daddr, 7u);
+    EXPECT_EQ(rx[0].tuple.sport, 80);
+    EXPECT_EQ(rx[0].tuple.dport, 40001);
+}
+
+TEST_F(BackendFixture, RequestGetsResponseWithFinAfterServiceDelay)
+{
+    send(kAck | kPsh, 600);
+    Tick sent_at = eq.now();
+    eq.runAll();
+    ASSERT_EQ(rx.size(), 1u);
+    EXPECT_EQ(rx[0].payload, 64u);
+    EXPECT_TRUE(rx[0].has(kFin)) << "backend closes after the reply";
+    // one-way delay out + service + one-way delay back
+    EXPECT_GE(rxAt[0], sent_at + 2 * ticksFromUsec(10) +
+                           ticksFromUsec(100));
+    EXPECT_EQ(pool.requestsServed(), 1u);
+}
+
+TEST_F(BackendFixture, FinGetsAck)
+{
+    send(kFin | kAck);
+    eq.runAll();
+    ASSERT_EQ(rx.size(), 1u);
+    EXPECT_TRUE(rx[0].has(kAck));
+    EXPECT_FALSE(rx[0].has(kFin));
+    EXPECT_EQ(rx[0].payload, 0u);
+}
+
+TEST_F(BackendFixture, BareAckIgnored)
+{
+    send(kAck);
+    eq.runAll();
+    EXPECT_TRUE(rx.empty());
+}
+
+TEST_F(BackendFixture, WholeRangeAnswers)
+{
+    send(kSyn, 0, 100);
+    send(kSyn, 0, 105);
+    send(kSyn, 0, 110);
+    eq.runAll();
+    EXPECT_EQ(rx.size(), 3u);
+}
+
+TEST_F(BackendFixture, FullExchangeSequence)
+{
+    // SYN -> SYNACK -> REQ -> RESP+FIN -> FIN -> ACK: the exact script a
+    // proxy's active connection runs against the pool.
+    send(kSyn);
+    eq.runAll();
+    send(kAck | kPsh, 600);
+    eq.runAll();
+    send(kFin | kAck);
+    eq.runAll();
+    ASSERT_EQ(rx.size(), 3u);
+    EXPECT_TRUE(rx[0].has(kSyn));
+    EXPECT_TRUE(rx[1].has(kFin));
+    EXPECT_GT(rx[1].payload, 0u);
+    EXPECT_TRUE(rx[2].has(kAck));
+    EXPECT_FALSE(rx[2].has(kFin));
+}
+
+} // anonymous namespace
+} // namespace fsim

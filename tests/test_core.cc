@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the per-core run-to-completion scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/core.hh"
+
+namespace fsim
+{
+namespace
+{
+
+struct CoreFixture : public ::testing::Test
+{
+    EventQueue eq;
+    CacheModel cache{4, 400};
+    CycleCosts costs;
+    CpuModel cpu{eq, cache, costs, 4};
+};
+
+TEST_F(CoreFixture, TasksRunSeriallyOnOneCore)
+{
+    std::vector<std::pair<Tick, Tick>> spans;
+    for (int i = 0; i < 3; ++i) {
+        cpu.post(0, TaskPrio::kProcess, [&spans](Tick start) {
+            spans.emplace_back(start, start + 1000);
+            return start + 1000;
+        });
+    }
+    eq.runAll();
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_EQ(spans[0].first, 0u);
+    EXPECT_EQ(spans[1].first, 1000u);
+    EXPECT_EQ(spans[2].first, 2000u);
+    EXPECT_EQ(cpu.core(0).busyTicks(), 3000u);
+    EXPECT_EQ(cpu.core(0).tasksRun(), 3u);
+}
+
+TEST_F(CoreFixture, CoresRunInParallel)
+{
+    std::vector<Tick> starts;
+    for (int c = 0; c < 4; ++c) {
+        cpu.post(c, TaskPrio::kProcess, [&starts](Tick start) {
+            starts.push_back(start);
+            return start + 500;
+        });
+    }
+    eq.runAll();
+    for (Tick s : starts)
+        EXPECT_EQ(s, 0u);
+    EXPECT_EQ(cpu.totalBusyTicks(), 2000u);
+}
+
+TEST_F(CoreFixture, SoftIrqPreemptsQueuedProcessWork)
+{
+    std::vector<int> order;
+    // Occupy the core so both tasks end up queued.
+    cpu.post(0, TaskPrio::kProcess, [](Tick t) { return t + 100; });
+    cpu.post(0, TaskPrio::kProcess, [&](Tick t) {
+        order.push_back(1);
+        return t + 10;
+    });
+    cpu.post(0, TaskPrio::kSoftIrq, [&](Tick t) {
+        order.push_back(0);
+        return t + 10;
+    });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST_F(CoreFixture, IdleGapsDoNotCountAsBusy)
+{
+    cpu.post(0, TaskPrio::kProcess, [](Tick t) { return t + 100; });
+    eq.runAll();
+    eq.schedule(10000, [this] {
+        cpu.post(0, TaskPrio::kProcess, [](Tick t) { return t + 100; });
+    });
+    eq.runAll();
+    EXPECT_EQ(cpu.core(0).busyTicks(), 200u);
+    // The second task executed at its event time; its cost extends the
+    // core's horizon, not the event clock.
+    EXPECT_EQ(eq.now(), 10000u);
+    EXPECT_EQ(cpu.core(0).busyUntil(), 10100u);
+}
+
+TEST_F(CoreFixture, TaskCanPostMoreWork)
+{
+    int runs = 0;
+    std::function<Tick(Tick)> task = [&](Tick t) -> Tick {
+        if (++runs < 5)
+            cpu.post(0, TaskPrio::kProcess, task);
+        return t + 10;
+    };
+    cpu.post(0, TaskPrio::kProcess, task);
+    eq.runAll();
+    EXPECT_EQ(runs, 5);
+    EXPECT_EQ(cpu.core(0).busyUntil(), 50u);
+}
+
+TEST_F(CoreFixture, BacklogReported)
+{
+    cpu.post(1, TaskPrio::kProcess, [](Tick t) { return t + 10; });
+    cpu.post(1, TaskPrio::kProcess, [](Tick t) { return t + 10; });
+    cpu.post(1, TaskPrio::kSoftIrq, [](Tick t) { return t + 10; });
+    EXPECT_EQ(cpu.core(1).backlog(), 3u);
+    eq.runAll();
+    EXPECT_EQ(cpu.core(1).backlog(), 0u);
+}
+
+TEST_F(CoreFixture, ImplicitLocalAccessesCharged)
+{
+    cpu.post(0, TaskPrio::kProcess,
+             [](Tick t) { return t + 3000; });
+    eq.runAll();
+    // 3000 cycles / cyclesPerLocalAccess(300) = 10 implicit accesses.
+    EXPECT_EQ(cache.accesses(0), 10u);
+}
+
+TEST_F(CoreFixture, ZeroLengthTaskAllowed)
+{
+    cpu.post(2, TaskPrio::kProcess, [](Tick t) { return t; });
+    eq.runAll();
+    EXPECT_EQ(cpu.core(2).busyTicks(), 0u);
+    EXPECT_EQ(cpu.core(2).tasksRun(), 1u);
+}
+
+TEST(CoreDeath, TaskFinishingInThePastPanics)
+{
+    EventQueue eq;
+    CacheModel cache(1, 400);
+    CycleCosts costs;
+    CpuModel cpu(eq, cache, costs, 1);
+    cpu.post(0, TaskPrio::kProcess, [](Tick t) { return t + 100; });
+    eq.runAll();
+    cpu.post(0, TaskPrio::kProcess, [](Tick) { return Tick{0}; });
+    EXPECT_DEATH(eq.runAll(), "finished before");
+}
+
+} // anonymous namespace
+} // namespace fsim

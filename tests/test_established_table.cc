@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the established-connection hash table (ehash).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cpu/cache_model.hh"
+#include "tcp/established_table.hh"
+
+namespace fsim
+{
+namespace
+{
+
+struct EhashFixture : public ::testing::Test
+{
+    LockRegistry locks;
+    CacheModel cache{4, 400};
+    CycleCosts costs;
+    EstablishedTable table{64, locks, cache, costs};
+
+    std::vector<std::unique_ptr<Socket>> owned;
+
+    Socket *
+    conn(IpAddr s, Port sp, IpAddr d, Port dp)
+    {
+        owned.push_back(std::make_unique<Socket>());
+        Socket *sock = owned.back().get();
+        sock->kind = SockKind::kConnection;
+        sock->rxTuple = FiveTuple{s, d, sp, dp};
+        return sock;
+    }
+};
+
+TEST_F(EhashFixture, InsertThenLookup)
+{
+    Socket *s = conn(1, 1000, 2, 80);
+    Tick t = table.insert(0, 0, s);
+    EXPECT_GT(t, 0u);
+    auto l = table.lookup(0, t, s->rxTuple);
+    EXPECT_EQ(l.sock, s);
+    EXPECT_GT(l.t, t);
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST_F(EhashFixture, LookupMissReturnsNull)
+{
+    auto l = table.lookup(0, 0, FiveTuple{9, 9, 9, 9});
+    EXPECT_EQ(l.sock, nullptr);
+}
+
+TEST_F(EhashFixture, RemoveMakesUnfindable)
+{
+    Socket *s = conn(1, 1000, 2, 80);
+    table.insert(0, 0, s);
+    table.remove(0, 0, s);
+    EXPECT_EQ(table.lookup(0, 0, s->rxTuple).sock, nullptr);
+    EXPECT_EQ(table.size(), 0u);
+}
+
+TEST_F(EhashFixture, RemoveAbsentIsBenign)
+{
+    Socket *s = conn(1, 1000, 2, 80);
+    Tick t = table.remove(0, 0, s);
+    EXPECT_GT(t, 0u);   // still charges the probe + lock
+    EXPECT_EQ(table.size(), 0u);
+}
+
+TEST_F(EhashFixture, CollidingTuplesShareBucketButResolve)
+{
+    // Force collisions with a tiny table.
+    EstablishedTable tiny(2, locks, cache, costs);
+    std::vector<Socket *> socks;
+    for (int i = 0; i < 16; ++i) {
+        Socket *s = conn(1, static_cast<Port>(1000 + i), 2, 80);
+        tiny.insert(0, 0, s);
+        socks.push_back(s);
+    }
+    for (Socket *s : socks)
+        EXPECT_EQ(tiny.lookup(0, 0, s->rxTuple).sock, s);
+}
+
+TEST_F(EhashFixture, EhashLockChargedPerInsertAndRemove)
+{
+    Socket *s = conn(1, 1000, 2, 80);
+    table.insert(0, 0, s);
+    table.remove(0, 0, s);
+    EXPECT_EQ(locks.getClass("ehash.lock")->acquisitions, 2u);
+}
+
+TEST_F(EhashFixture, LookupDoesNotTakeTheLock)
+{
+    Socket *s = conn(1, 1000, 2, 80);
+    table.insert(0, 0, s);
+    auto before = locks.getClass("ehash.lock")->acquisitions;
+    table.lookup(1, 0, s->rxTuple);
+    EXPECT_EQ(locks.getClass("ehash.lock")->acquisitions, before);
+}
+
+TEST_F(EhashFixture, SingleCoreUseNeverContends)
+{
+    // The Local Established Table argument (paper 3.2.2): one core only,
+    // so the per-bucket locks never contend.
+    Tick t = 0;
+    for (int i = 0; i < 500; ++i) {
+        Socket *s = conn(1, static_cast<Port>(1024 + i), 2, 80);
+        t = table.insert(0, t, s);
+        t = table.remove(0, t, s);
+    }
+    EXPECT_EQ(locks.getClass("ehash.lock")->contentions, 0u);
+}
+
+TEST_F(EhashFixture, AllEnumeratesEverySocket)
+{
+    for (int i = 0; i < 10; ++i)
+        table.insert(0, 0, conn(1, static_cast<Port>(2000 + i), 2, 80));
+    EXPECT_EQ(table.all().size(), 10u);
+}
+
+TEST_F(EhashFixture, DistinctTuplesDistinctSockets)
+{
+    Socket *a = conn(1, 1000, 2, 80);
+    Socket *b = conn(1, 1000, 2, 81);   // same except dport
+    table.insert(0, 0, a);
+    table.insert(0, 0, b);
+    EXPECT_EQ(table.lookup(0, 0, a->rxTuple).sock, a);
+    EXPECT_EQ(table.lookup(0, 0, b->rxTuple).sock, b);
+}
+
+} // anonymous namespace
+} // namespace fsim

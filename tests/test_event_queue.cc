@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace fsim
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtTimeZeroEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.runOne());
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakInSchedulingOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NowAdvancesToEventTime)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(42, [&] { seen = eq.now(); });
+    eq.runOne();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.runOne();
+    Tick seen = 0;
+    eq.scheduleIn(5, [&] { seen = eq.now(); });
+    eq.runOne();
+    EXPECT_EQ(seen, 105u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 5)
+            eq.scheduleIn(10, chain);
+    };
+    eq.schedule(0, chain);
+    EXPECT_EQ(eq.runAll(), 5u);
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimitInclusive)
+{
+    EventQueue eq;
+    std::vector<Tick> fired;
+    for (Tick t : {10u, 20u, 30u, 40u})
+        eq.schedule(t, [&fired, t] { fired.push_back(t); });
+    eq.runUntil(20);
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 20}));
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.pending(), 2u);
+}
+
+TEST(EventQueue, RunUntilAdvancesNowWhenDrained)
+{
+    EventQueue eq;
+    eq.runUntil(500);
+    EXPECT_EQ(eq.now(), 500u);
+}
+
+TEST(EventQueue, ExecutedCountsAcrossRuns)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(i, [] {});
+    eq.runUntil(3);
+    EXPECT_EQ(eq.executed(), 4u);
+    eq.runAll();
+    EXPECT_EQ(eq.executed(), 7u);
+}
+
+TEST(EventQueueDeath, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.runOne();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+/** Property: with random schedule times, execution is monotone in time. */
+class EventQueueOrderProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(EventQueueOrderProperty, MonotoneExecution)
+{
+    EventQueue eq;
+    std::vector<Tick> fired;
+    unsigned seed = GetParam();
+    std::uint64_t state = seed * 2654435761u + 1;
+    for (int i = 0; i < 200; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        Tick when = (state >> 33) % 10000;
+        eq.schedule(when, [&fired, when] { fired.push_back(when); });
+    }
+    eq.runAll();
+    ASSERT_EQ(fired.size(), 200u);
+    for (std::size_t i = 1; i < fired.size(); ++i)
+        EXPECT_LE(fired[i - 1], fired[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueOrderProperty,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+} // anonymous namespace
+} // namespace fsim

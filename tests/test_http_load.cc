@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the http_load-style client fleet, against a scripted
+ * fake server endpoint (no kernel involved).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "app/http_load.hh"
+
+namespace fsim
+{
+namespace
+{
+
+/** A minimal short-lived-HTTP server endpoint on the wire. */
+struct FakeServer
+{
+    EventQueue &eq;
+    Wire &wire;
+    std::uint64_t requests = 0;
+    std::uint64_t syns = 0;
+    bool sendRst = false;
+    std::set<std::uint32_t> seenSports;
+
+    FakeServer(EventQueue &e, Wire &w, IpAddr addr)
+        : eq(e), wire(w)
+    {
+        wire.attach(addr, [this](const Packet &p) { onPacket(p); });
+    }
+
+    void
+    reply(const Packet &in, std::uint8_t flags, std::uint32_t payload = 0)
+    {
+        Packet out;
+        out.tuple = in.tuple.reversed();
+        out.flags = flags;
+        out.payload = payload;
+        wire.transmit(out, eq.now());
+    }
+
+    void
+    onPacket(const Packet &p)
+    {
+        if (p.has(kSyn)) {
+            ++syns;
+            seenSports.insert((static_cast<std::uint32_t>(p.tuple.saddr)
+                               << 16) ^ p.tuple.sport);
+            reply(p, sendRst ? kRst : (kSyn | kAck));
+            return;
+        }
+        if (p.payload > 0) {
+            ++requests;
+            // Serve then close: response followed by FIN.
+            reply(p, kAck | kPsh, 64);
+            reply(p, kFin | kAck);
+            return;
+        }
+        if (p.has(kFin))
+            reply(p, kAck);
+    }
+};
+
+struct LoadFixture : public ::testing::Test
+{
+    EventQueue eq;
+    Wire wire{eq, ticksFromUsec(10)};
+    FakeServer server{eq, wire, 500};
+
+    HttpLoad::Config
+    config(int concurrency)
+    {
+        HttpLoad::Config c;
+        c.serverAddrs = {500};
+        c.concurrency = concurrency;
+        return c;
+    }
+};
+
+TEST_F(LoadFixture, CompletesFullExchange)
+{
+    HttpLoad load(eq, wire, config(1));
+    load.start();
+    eq.runUntil(ticksFromMsec(5));
+    EXPECT_GT(load.completed(), 0u);
+    EXPECT_EQ(load.failed(), 0u);
+    EXPECT_GT(server.requests, 0u);
+}
+
+TEST_F(LoadFixture, ClosedLoopMaintainsConcurrency)
+{
+    HttpLoad load(eq, wire, config(10));
+    load.start();
+    eq.runUntil(ticksFromMsec(3));
+    // Each completion relaunches: started = completed + in flight.
+    EXPECT_EQ(load.started(), load.completed() + load.inFlight());
+    EXPECT_EQ(load.inFlight(), 10u);
+    EXPECT_GT(load.completed(), 20u);
+}
+
+TEST_F(LoadFixture, RstCountsAsFailureAndRelaunches)
+{
+    server.sendRst = true;
+    HttpLoad load(eq, wire, config(2));
+    load.start();
+    eq.runUntil(ticksFromMsec(2));
+    EXPECT_GT(load.failed(), 0u);
+    EXPECT_EQ(load.completed(), 0u);
+    EXPECT_EQ(load.inFlight(), 2u) << "failures relaunch in closed loop";
+}
+
+TEST_F(LoadFixture, DistinctTuplesPerConnection)
+{
+    HttpLoad load(eq, wire, config(16));
+    load.start();
+    eq.runUntil(ticksFromMsec(3));
+    EXPECT_EQ(server.seenSports.size(), server.syns)
+        << "no (ip,port) reuse while connections are in flight";
+}
+
+TEST_F(LoadFixture, OpenLoopRateIsRoughlyHonored)
+{
+    HttpLoad load(eq, wire, config(1));
+    load.startOpenLoop(50000.0);
+    eq.runUntil(ticksFromMsec(40));
+    load.stopOpenLoop();
+    double secs = 0.040;
+    EXPECT_NEAR(static_cast<double>(load.started()), 50000.0 * secs,
+                50000.0 * secs * 0.25);
+}
+
+TEST_F(LoadFixture, StopOpenLoopHaltsNewStarts)
+{
+    HttpLoad load(eq, wire, config(1));
+    load.startOpenLoop(50000.0);
+    eq.runUntil(ticksFromMsec(5));
+    load.stopOpenLoop();
+    std::uint64_t at_stop = load.started();
+    eq.runUntil(ticksFromMsec(20));
+    EXPECT_LE(load.started(), at_stop + 1);
+}
+
+TEST_F(LoadFixture, ThroughputWindowing)
+{
+    HttpLoad load(eq, wire, config(8));
+    load.start();
+    eq.runUntil(ticksFromMsec(2));
+    load.markWindow();
+    std::uint64_t before = load.completed();
+    eq.runUntil(ticksFromMsec(6));
+    double cps = load.throughputSinceMark();
+    double expect = static_cast<double>(load.completed() - before) / 0.004;
+    EXPECT_NEAR(cps, expect, expect * 0.01 + 1);
+}
+
+struct KeepAliveServer : FakeServer
+{
+    using FakeServer::FakeServer;
+
+    void
+    onPacket(const Packet &p)
+    {
+        // Keep-alive: respond without FIN; close only after client FIN.
+        if (p.has(kSyn)) {
+            ++syns;
+            reply(p, kSyn | kAck);
+        } else if (p.payload > 0) {
+            ++requests;
+            reply(p, kAck | kPsh, 64);
+        } else if (p.has(kFin)) {
+            reply(p, kFin | kAck);   // our FIN rides with the ACK
+        }
+    }
+};
+
+TEST(HttpLoadKeepAlive, IssuesAllRequestsThenCloses)
+{
+    EventQueue eq;
+    Wire wire(eq, ticksFromUsec(10));
+    KeepAliveServer server(eq, wire, 500);
+    wire.attach(500, [&server](const Packet &p) { server.onPacket(p); });
+
+    HttpLoad::Config c;
+    c.serverAddrs = {500};
+    c.concurrency = 1;
+    c.requestsPerConn = 5;
+    HttpLoad load(eq, wire, c);
+    load.start();
+    eq.runUntil(ticksFromMsec(4));
+    ASSERT_GT(load.completed(), 2u);
+    // Each completed connection carried exactly 5 requests.
+    EXPECT_GE(load.responses(), load.completed() * 5);
+    EXPECT_NEAR(static_cast<double>(server.requests),
+                static_cast<double>(load.completed()) * 5.0, 6.0);
+}
+
+} // anonymous namespace
+} // namespace fsim

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for packets, flow hashing and the NIC steering model
+ * (RSS, FDir ATR, FDir Perfect-Filtering).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/nic.hh"
+#include "net/packet.hh"
+
+namespace fsim
+{
+namespace
+{
+
+FiveTuple
+tuple(IpAddr s, Port sp, IpAddr d, Port dp)
+{
+    return FiveTuple{s, d, sp, dp};
+}
+
+TEST(Packet, FlagsAndHelpers)
+{
+    Packet p;
+    p.flags = kSyn | kAck;
+    EXPECT_TRUE(p.has(kSyn));
+    EXPECT_TRUE(p.has(kAck));
+    EXPECT_FALSE(p.has(kFin));
+}
+
+TEST(Packet, ReversedSwapsEndpoints)
+{
+    FiveTuple t = tuple(1, 1000, 2, 80);
+    FiveTuple r = t.reversed();
+    EXPECT_EQ(r.saddr, 2u);
+    EXPECT_EQ(r.daddr, 1u);
+    EXPECT_EQ(r.sport, 80);
+    EXPECT_EQ(r.dport, 1000);
+    EXPECT_EQ(r.reversed(), t);
+}
+
+TEST(FlowHash, DeterministicAndSensitive)
+{
+    FiveTuple t = tuple(10, 1234, 20, 80);
+    EXPECT_EQ(flowHash(t), flowHash(t));
+    EXPECT_NE(flowHash(t), flowHash(tuple(10, 1235, 20, 80)));
+    EXPECT_NE(flowHash(t), flowHash(tuple(11, 1234, 20, 80)));
+}
+
+TEST(Rss, SpreadsFlowsEvenly)
+{
+    NicConfig cfg;
+    cfg.numQueues = 8;
+    Nic nic(cfg);
+    std::map<int, int> counts;
+    for (int i = 0; i < 8000; ++i) {
+        Packet p;
+        p.tuple = tuple(0xac100000u + (i % 64), 1024 + i, 10, 80);
+        ++counts[nic.classifyRx(p)];
+    }
+    ASSERT_EQ(counts.size(), 8u);
+    for (auto &kv : counts)
+        EXPECT_NEAR(kv.second, 1000, 320);
+}
+
+TEST(Rss, SameFlowSameQueue)
+{
+    NicConfig cfg;
+    cfg.numQueues = 16;
+    Nic nic(cfg);
+    Packet p;
+    p.tuple = tuple(1, 5555, 2, 80);
+    int q = nic.classifyRx(p);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(nic.classifyRx(p), q);
+}
+
+TEST(FdirAtr, SampledTxInstallsReverseFlow)
+{
+    NicConfig cfg;
+    cfg.numQueues = 8;
+    cfg.fdirAtr = true;
+    cfg.atrSampleRate = 1;   // sample every packet
+    Nic nic(cfg);
+
+    Packet out;
+    out.tuple = tuple(10, 80, 20, 5555);   // server -> client reply
+    nic.noteTx(out, 3);
+    EXPECT_EQ(nic.atrInstalls(), 1u);
+
+    Packet in;
+    in.tuple = out.tuple.reversed();
+    EXPECT_EQ(nic.classifyRx(in), 3);
+    EXPECT_EQ(nic.atrHits(), 1u);
+}
+
+TEST(FdirAtr, SampleRateThins)
+{
+    NicConfig cfg;
+    cfg.numQueues = 4;
+    cfg.fdirAtr = true;
+    cfg.atrSampleRate = 20;
+    Nic nic(cfg);
+    for (int i = 0; i < 100; ++i) {
+        Packet out;
+        out.tuple = tuple(10, 80, 20, static_cast<Port>(2000 + i));
+        nic.noteTx(out, 1);
+    }
+    EXPECT_EQ(nic.atrInstalls(), 5u);
+}
+
+TEST(FdirAtr, TableCollisionEvicts)
+{
+    NicConfig cfg;
+    cfg.numQueues = 4;
+    cfg.fdirAtr = true;
+    cfg.atrSampleRate = 1;
+    cfg.atrTableSize = 2;   // force collisions
+    Nic nic(cfg);
+    for (int i = 0; i < 64; ++i) {
+        Packet out;
+        out.tuple = tuple(10, 80, 20 + i, static_cast<Port>(3000 + i));
+        nic.noteTx(out, i % 4);
+    }
+    EXPECT_GT(nic.atrEvictions(), 0u);
+}
+
+TEST(FdirAtr, MissFallsBackToRss)
+{
+    NicConfig cfg;
+    cfg.numQueues = 8;
+    cfg.fdirAtr = true;
+    Nic nic(cfg);
+    Packet in;
+    in.tuple = tuple(7, 4444, 9, 80);
+    EXPECT_EQ(nic.classifyRx(in), nic.rssQueue(in.tuple));
+    EXPECT_EQ(nic.atrHits(), 0u);
+}
+
+TEST(FdirPerfect, StersActiveIncomingByPortMask)
+{
+    NicConfig cfg;
+    cfg.numQueues = 16;
+    cfg.fdirPerfect = true;
+    cfg.perfectPortMask = 15;
+    Nic nic(cfg);
+    // Reply from an origin server (well-known source port).
+    Packet in;
+    in.tuple = tuple(9, 80, 7, 16384 + 5);   // dport & 15 == 5
+    EXPECT_EQ(nic.classifyRx(in), 5);
+    EXPECT_EQ(nic.perfectHits(), 1u);
+}
+
+TEST(FdirPerfect, PassiveTrafficUnaffected)
+{
+    NicConfig cfg;
+    cfg.numQueues = 16;
+    cfg.fdirPerfect = true;
+    cfg.perfectPortMask = 15;
+    Nic nic(cfg);
+    // Client SYN to our port 80: source port is ephemeral, so the
+    // perfect rule must not fire (it would break passive locality).
+    Packet in;
+    in.tuple = tuple(9, 40000, 7, 80);
+    EXPECT_EQ(nic.classifyRx(in), nic.rssQueue(in.tuple));
+    EXPECT_EQ(nic.perfectHits(), 0u);
+}
+
+TEST(FdirPerfect, OutOfRangeQueueFallsBack)
+{
+    NicConfig cfg;
+    cfg.numQueues = 12;           // mask 15 can address 16
+    cfg.fdirPerfect = true;
+    cfg.perfectPortMask = 15;
+    Nic nic(cfg);
+    Packet in;
+    in.tuple = tuple(9, 80, 7, 16384 + 13);   // hash 13 >= 12 queues
+    EXPECT_EQ(nic.classifyRx(in), nic.rssQueue(in.tuple));
+}
+
+TEST(Nic, PerQueueRxCounting)
+{
+    NicConfig cfg;
+    cfg.numQueues = 2;
+    Nic nic(cfg);
+    std::uint64_t total = 0;
+    for (int i = 0; i < 50; ++i) {
+        Packet p;
+        p.tuple = tuple(1, static_cast<Port>(1024 + i), 2, 80);
+        nic.classifyRx(p);
+    }
+    total = nic.rxCount(0) + nic.rxCount(1);
+    EXPECT_EQ(total, 50u);
+}
+
+TEST(NicDeath, BadConfigRejected)
+{
+    NicConfig cfg;
+    cfg.numQueues = 0;
+    EXPECT_DEATH({ Nic nic(cfg); (void)nic; }, "queue count");
+    NicConfig cfg2;
+    cfg2.numQueues = 4;
+    cfg2.fdirAtr = true;
+    cfg2.atrTableSize = 1000;   // not a power of two
+    EXPECT_DEATH({ Nic nic(cfg2); (void)nic; }, "power of two");
+}
+
+} // anonymous namespace
+} // namespace fsim

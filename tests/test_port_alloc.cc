@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the ephemeral port allocator, including the RFD
+ * core-encoding policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tcp/port_alloc.hh"
+
+namespace fsim
+{
+namespace
+{
+
+TEST(PortAlloc, AllocatesUniquePorts)
+{
+    PortAllocator pa(32768, 32867);   // 100 ports
+    std::set<Port> got;
+    for (int i = 0; i < 100; ++i) {
+        Port p = pa.alloc(1, 80);
+        ASSERT_NE(p, 0);
+        EXPECT_TRUE(got.insert(p).second);
+        EXPECT_GE(p, 32768);
+        EXPECT_LE(p, 32867);
+    }
+    EXPECT_EQ(pa.alloc(1, 80), 0) << "range exhausted";
+    EXPECT_EQ(pa.inUseCount(), 100u);
+}
+
+TEST(PortAlloc, PerDestinationIndependence)
+{
+    PortAllocator pa(32768, 32769);   // 2 ports
+    EXPECT_NE(pa.alloc(1, 80), 0);
+    EXPECT_NE(pa.alloc(1, 80), 0);
+    EXPECT_EQ(pa.alloc(1, 80), 0);
+    // A different destination has its own namespace (four-tuple reuse).
+    EXPECT_NE(pa.alloc(2, 80), 0);
+    EXPECT_NE(pa.alloc(1, 443), 0);
+}
+
+TEST(PortAlloc, ReleaseMakesReusable)
+{
+    PortAllocator pa(32768, 32769);
+    Port a = pa.alloc(1, 80);
+    Port b = pa.alloc(1, 80);
+    (void)b;
+    EXPECT_EQ(pa.alloc(1, 80), 0);
+    EXPECT_TRUE(pa.release(1, 80, a));
+    EXPECT_FALSE(pa.release(1, 80, a));
+    Port c = pa.alloc(1, 80);
+    EXPECT_EQ(c, a);
+}
+
+TEST(PortAlloc, ClaimSpecificPort)
+{
+    PortAllocator pa;
+    EXPECT_TRUE(pa.claim(1, 80, 40000));
+    EXPECT_FALSE(pa.claim(1, 80, 40000));
+    EXPECT_TRUE(pa.inUse(1, 80, 40000));
+    EXPECT_TRUE(pa.release(1, 80, 40000));
+    EXPECT_FALSE(pa.inUse(1, 80, 40000));
+}
+
+TEST(PortAlloc, InUseReflectsState)
+{
+    PortAllocator pa;
+    Port p = pa.alloc(5, 80);
+    EXPECT_TRUE(pa.inUse(5, 80, p));
+    EXPECT_FALSE(pa.inUse(6, 80, p));
+}
+
+/** Property: allocForCore always satisfies (p & mask) == core. */
+class PortForCore : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PortForCore, EncodingHolds)
+{
+    int ncores = GetParam();
+    Port mask = 1;
+    while (static_cast<int>(mask) + 1 < ncores)
+        mask = static_cast<Port>((mask << 1) | 1);
+    if (ncores == 1)
+        mask = 0;
+
+    PortAllocator pa;
+    for (CoreId c = 0; c < ncores; ++c) {
+        for (int i = 0; i < 50; ++i) {
+            Port p = pa.allocForCore(9, 80, c, mask);
+            ASSERT_NE(p, 0);
+            EXPECT_EQ(p & mask, c)
+                << "hash(psrc) must equal the initiating core";
+            EXPECT_GE(p, pa.lo());
+            EXPECT_LE(p, pa.hi());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, PortForCore,
+                         ::testing::Values(1, 2, 8, 12, 24));
+
+TEST(PortAlloc, AllocForCoreExhaustsItsStripeOnly)
+{
+    // mask 3 -> stride 4; range of 8 ports holds 2 per core.
+    PortAllocator pa(32768, 32775);
+    EXPECT_NE(pa.allocForCore(1, 80, 0, 3), 0);
+    EXPECT_NE(pa.allocForCore(1, 80, 0, 3), 0);
+    EXPECT_EQ(pa.allocForCore(1, 80, 0, 3), 0);
+    // Other cores unaffected.
+    EXPECT_NE(pa.allocForCore(1, 80, 1, 3), 0);
+}
+
+TEST(PortAlloc, MixedPoliciesCoexist)
+{
+    PortAllocator pa(32768, 33000);
+    Port rfd = pa.allocForCore(1, 80, 2, 7);
+    Port any = pa.alloc(1, 80);
+    EXPECT_NE(rfd, any);
+    EXPECT_TRUE(pa.inUse(1, 80, rfd));
+    EXPECT_TRUE(pa.inUse(1, 80, any));
+}
+
+} // anonymous namespace
+} // namespace fsim

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for Receive Flow Deliver: the hash, the three classification
+ * rules, steering targets and port-candidate generation (including the
+ * randomized-bits hardening).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fastsocket/rfd.hh"
+
+namespace fsim
+{
+namespace
+{
+
+Packet
+pkt(Port sport, Port dport)
+{
+    Packet p;
+    p.tuple = FiveTuple{1, 2, sport, dport};
+    return p;
+}
+
+TEST(Rfd, HashMaskRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(ReceiveFlowDeliver::hashMask(1), 0);
+    EXPECT_EQ(ReceiveFlowDeliver::hashMask(2), 1);
+    EXPECT_EQ(ReceiveFlowDeliver::hashMask(8), 7);
+    EXPECT_EQ(ReceiveFlowDeliver::hashMask(12), 15);
+    EXPECT_EQ(ReceiveFlowDeliver::hashMask(24), 31);
+}
+
+TEST(Rfd, DefaultHashIsLowBits)
+{
+    ReceiveFlowDeliver rfd(16);
+    EXPECT_EQ(rfd.hash(0x1230), 0);
+    EXPECT_EQ(rfd.hash(0x1235), 5);
+    EXPECT_EQ(rfd.hash(0x123F), 15);
+}
+
+TEST(Rfd, Rule1WellKnownSourceIsActive)
+{
+    ReceiveFlowDeliver rfd(8);
+    // Reply from an origin server on port 80.
+    EXPECT_EQ(rfd.classify(pkt(80, 40000), nullptr),
+              PacketClass::kActiveIncoming);
+    EXPECT_EQ(rfd.classify(pkt(1023, 40000), nullptr),
+              PacketClass::kActiveIncoming);
+}
+
+TEST(Rfd, Rule2WellKnownDestinationIsPassive)
+{
+    ReceiveFlowDeliver rfd(8);
+    EXPECT_EQ(rfd.classify(pkt(40000, 80), nullptr),
+              PacketClass::kPassiveIncoming);
+}
+
+TEST(Rfd, Rule1TakesPrecedenceOverRule2)
+{
+    ReceiveFlowDeliver rfd(8);
+    // Both ports well-known: rule 1 fires first.
+    EXPECT_EQ(rfd.classify(pkt(80, 443), nullptr),
+              PacketClass::kActiveIncoming);
+}
+
+TEST(Rfd, Rule3ProbesListeners)
+{
+    ReceiveFlowDeliver rfd(8, /*precise=*/true);
+    auto has_listener = [](IpAddr, Port p) { return p == 8080; };
+    EXPECT_EQ(rfd.classify(pkt(40000, 8080), has_listener),
+              PacketClass::kPassiveIncoming);
+    EXPECT_EQ(rfd.classify(pkt(40000, 9090), has_listener),
+              PacketClass::kActiveIncoming);
+}
+
+TEST(Rfd, ImpreciseModeSkipsProbe)
+{
+    ReceiveFlowDeliver rfd(8, /*precise=*/false);
+    bool probed = false;
+    auto has_listener = [&](IpAddr, Port) {
+        probed = true;
+        return true;
+    };
+    rfd.classify(pkt(40000, 8080), has_listener);
+    EXPECT_FALSE(probed);
+}
+
+TEST(Rfd, SteerTargetOnlyForActive)
+{
+    ReceiveFlowDeliver rfd(8);
+    Packet p = pkt(80, 40005);
+    EXPECT_EQ(rfd.steerTarget(p, PacketClass::kActiveIncoming),
+              rfd.hash(40005));
+    EXPECT_EQ(rfd.steerTarget(p, PacketClass::kPassiveIncoming),
+              kInvalidCore);
+}
+
+TEST(Rfd, SteerTargetWrapsForeignPorts)
+{
+    // 12 cores, mask 15: hashes 12..15 never produced by our allocator
+    // but must map somewhere sane for stray traffic.
+    ReceiveFlowDeliver rfd(12);
+    Packet p = pkt(80, 13);   // hash 13 >= 12
+    CoreId t = rfd.steerTarget(p, PacketClass::kActiveIncoming);
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 12);
+}
+
+TEST(Rfd, SingleCoreAlwaysHashesToZero)
+{
+    ReceiveFlowDeliver rfd(1);
+    for (Port p : {0, 1, 12345, 65535})
+        EXPECT_EQ(rfd.hash(p), 0);
+    EXPECT_EQ(rfd.candidateCount(), 1u << 16);
+}
+
+/** Property: every port candidate hashes back to its core. */
+class RfdCandidates : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RfdCandidates, RoundTrip)
+{
+    int ncores = GetParam();
+    ReceiveFlowDeliver rfd(ncores);
+    for (CoreId c = 0; c < ncores; ++c) {
+        std::set<Port> seen;
+        for (std::uint32_t i = 0; i < 64 && i < rfd.candidateCount();
+             ++i) {
+            Port p = rfd.portCandidate(c, i);
+            EXPECT_EQ(rfd.hash(p), c);
+            EXPECT_TRUE(seen.insert(p).second)
+                << "candidates must be distinct";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, RfdCandidates,
+                         ::testing::Values(1, 2, 8, 12, 24, 64));
+
+TEST(Rfd, RandomizedBitsStillRoundTrip)
+{
+    Rng rng(1234);
+    ReceiveFlowDeliver rfd(16);
+    rfd.randomizeBits(rng);
+    EXPECT_EQ(rfd.hashBits().size(), 4u);
+    // Bits must be distinct positions within a 16-bit port.
+    std::set<int> bits(rfd.hashBits().begin(), rfd.hashBits().end());
+    EXPECT_EQ(bits.size(), 4u);
+    for (int b : bits) {
+        EXPECT_GE(b, 0);
+        EXPECT_LT(b, 16);
+    }
+    for (CoreId c = 0; c < 16; ++c)
+        for (std::uint32_t i = 0; i < 32; ++i)
+            EXPECT_EQ(rfd.hash(rfd.portCandidate(c, i)), c);
+}
+
+TEST(Rfd, RandomizedBitsDifferAcrossSeeds)
+{
+    ReceiveFlowDeliver a(16), b(16);
+    Rng ra(1), rb(2);
+    a.randomizeBits(ra);
+    b.randomizeBits(rb);
+    // Not guaranteed different for every pair of seeds, but these are.
+    EXPECT_NE(a.hashBits(), b.hashBits());
+}
+
+TEST(Rfd, CandidateCountMatchesFreeBits)
+{
+    ReceiveFlowDeliver rfd(24);   // 5 hash bits
+    EXPECT_EQ(rfd.candidateCount(), 1u << 11);
+}
+
+} // anonymous namespace
+} // namespace fsim

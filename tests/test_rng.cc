@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/rng.hh"
+
+namespace fsim
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedStillWorks)
+{
+    Rng r(0);
+    // SplitMix expansion guarantees non-degenerate state.
+    std::set<std::uint64_t> vals;
+    for (int i = 0; i < 16; ++i)
+        vals.insert(r.next());
+    EXPECT_GT(vals.size(), 14u);
+}
+
+TEST(Rng, RangeStaysInBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.range(13), 13u);
+}
+
+TEST(Rng, RangeOfOneIsAlwaysZero)
+{
+    Rng r(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.range(1), 0u);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+/** Property over seeds: distribution moments are sane. */
+class RngMoments : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngMoments, UniformMeanNearHalf)
+{
+    Rng r(GetParam());
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST_P(RngMoments, ExponentialMeanMatches)
+{
+    Rng r(GetParam());
+    const double mean = 250.0;
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double x = r.exponential(mean);
+        EXPECT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, mean, mean * 0.05);
+}
+
+TEST_P(RngMoments, RangeIsRoughlyUniform)
+{
+    Rng r(GetParam());
+    const std::uint64_t buckets = 8;
+    int counts[8] = {};
+    const int n = 16000;
+    for (int i = 0; i < n; ++i)
+        ++counts[r.range(buckets)];
+    for (int b = 0; b < 8; ++b)
+        EXPECT_NEAR(counts[b], n / 8, n / 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngMoments,
+                         ::testing::Values(1, 42, 1234567, 0xdeadbeef));
+
+} // anonymous namespace
+} // namespace fsim

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Scalability-shape tests: the qualitative results of the paper's
+ * evaluation must hold in the simulation (who wins, roughly by how much,
+ * where locality appears). Uses moderate core counts to stay fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace fsim
+{
+namespace
+{
+
+ExperimentResult
+run(AppKind app, const KernelConfig &kc, int cores,
+    NicConfig nic = NicConfig{})
+{
+    ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.machine.cores = cores;
+    cfg.machine.kernel = kc;
+    cfg.machine.nic = nic;
+    cfg.concurrencyPerCore = 120;
+    cfg.warmupSec = 0.02;
+    cfg.measureSec = 0.05;
+    return runExperiment(cfg);
+}
+
+TEST(Scaling, SingleCoreThroughputsAreClose)
+{
+    // Paper 4.2.3: "the single CPU core throughputs are very close among
+    // all the three kernels".
+    double base = run(AppKind::kNginx, KernelConfig::base2632(), 1).cps;
+    double l313 = run(AppKind::kNginx, KernelConfig::linux313(), 1).cps;
+    double fast = run(AppKind::kNginx, KernelConfig::fastsocket(), 1).cps;
+    EXPECT_NEAR(l313, base, base * 0.2);
+    EXPECT_NEAR(fast, base, base * 0.25);
+}
+
+TEST(Scaling, FastsocketWinsAtEightCoresNginx)
+{
+    double base = run(AppKind::kNginx, KernelConfig::base2632(), 8).cps;
+    double l313 = run(AppKind::kNginx, KernelConfig::linux313(), 8).cps;
+    double fast = run(AppKind::kNginx, KernelConfig::fastsocket(), 8).cps;
+    EXPECT_GT(fast, l313);
+    EXPECT_GT(fast, base * 1.2);
+}
+
+TEST(Scaling, FastsocketScalesNearLinearly)
+{
+    double one = run(AppKind::kNginx, KernelConfig::fastsocket(), 1).cps;
+    double eight = run(AppKind::kNginx, KernelConfig::fastsocket(), 8).cps;
+    EXPECT_GT(eight, one * 6.0) << "near-linear scaling expected";
+}
+
+TEST(Scaling, BaselineSaturatesWellBelowLinear)
+{
+    double one = run(AppKind::kNginx, KernelConfig::base2632(), 1).cps;
+    double twelve = run(AppKind::kNginx, KernelConfig::base2632(), 12).cps;
+    EXPECT_LT(twelve, one * 11.0) << "global locks must hurt";
+    EXPECT_GT(twelve, one * 2.0) << "but not collapse to nothing";
+}
+
+TEST(Scaling, HaproxyFastsocketBeatsOthersAtEight)
+{
+    double base = run(AppKind::kHaproxy, KernelConfig::base2632(), 8).cps;
+    double l313 = run(AppKind::kHaproxy, KernelConfig::linux313(), 8).cps;
+    double fast = run(AppKind::kHaproxy, KernelConfig::fastsocket(), 8).cps;
+    EXPECT_GT(fast, l313);
+    EXPECT_GT(l313, base * 0.9);
+    EXPECT_GT(fast, base * 1.3);
+}
+
+TEST(Locality, RssLocalProportionIsOneOverCores)
+{
+    // Figure 5(b), leftmost bar: with RSS only, ~1/16 = 6.2% of active
+    // incoming packets land on the owning core.
+    ExperimentResult r = run(AppKind::kHaproxy, KernelConfig::fastsocket(),
+                             8);
+    EXPECT_NEAR(r.localPktProportion, 1.0 / 8, 0.06);
+}
+
+TEST(Locality, PerfectFilteringReachesFullLocality)
+{
+    NicConfig nic;
+    nic.fdirPerfect = true;
+    nic.perfectPortMask = ReceiveFlowDeliver::hashMask(8);
+    ExperimentResult r = run(AppKind::kHaproxy, KernelConfig::fastsocket(),
+                             8, nic);
+    EXPECT_GT(r.localPktProportion, 0.999);
+}
+
+TEST(Locality, AtrIsBestEffortBetween)
+{
+    NicConfig nic;
+    nic.fdirAtr = true;
+    ExperimentResult rssr = run(AppKind::kHaproxy,
+                                KernelConfig::fastsocket(), 8);
+    ExperimentResult atr = run(AppKind::kHaproxy,
+                               KernelConfig::fastsocket(), 8, nic);
+    EXPECT_GT(atr.localPktProportion, rssr.localPktProportion);
+    EXPECT_LT(atr.localPktProportion, 1.0);
+}
+
+TEST(Locality, RfdReducesL3MissRate)
+{
+    // Figure 5(a): steering to the owning core cuts coherence misses.
+    ExperimentResult fast = run(AppKind::kHaproxy,
+                                KernelConfig::fastsocket(), 8);
+    KernelConfig no_loc = KernelConfig::base2632();
+    ExperimentResult base = run(AppKind::kHaproxy, no_loc, 8);
+    EXPECT_LT(fast.l3MissRate, base.l3MissRate);
+}
+
+TEST(LockProfile, BaselineOrderingMatchesTable1)
+{
+    // Table 1 ordering: dcache_lock is by far the hottest class, ehash
+    // by far the coldest.
+    ExperimentResult r = run(AppKind::kHaproxy, KernelConfig::base2632(),
+                             8);
+    auto cont = [&r](const char *name) {
+        auto it = r.locks.find(name);
+        return it == r.locks.end() ? 0ull : it->second.contentions;
+    };
+    EXPECT_GT(cont("dcache_lock"), cont("ehash.lock"));
+    EXPECT_GT(cont("dcache_lock") + cont("inode_lock") + cont("slock") +
+                  cont("ep.lock") + cont("base.lock"),
+              0ull);
+}
+
+TEST(LockProfile, FastsocketZeroContentionEverywhere)
+{
+    ExperimentResult r = run(AppKind::kHaproxy,
+                             KernelConfig::fastsocket(), 8);
+    for (const auto &kv : r.locks)
+        EXPECT_EQ(kv.second.contentions, 0u) << kv.first;
+}
+
+TEST(LockProfile, FeatureBitsRemoveTheirLocks)
+{
+    // +V alone kills dcache/inode acquisitions but leaves slock traffic.
+    KernelConfig v = KernelConfig::base2632();
+    v.fastVfs = true;
+    ExperimentResult r = run(AppKind::kHaproxy, v, 4);
+    EXPECT_EQ(r.locks.at("dcache_lock").acquisitions, 0u);
+    EXPECT_EQ(r.locks.at("inode_lock").acquisitions, 0u);
+    EXPECT_GT(r.locks.at("slock").acquisitions, 0u);
+}
+
+TEST(Scaling, ReuseportWalkCostGrowsWithProcesses)
+{
+    // Section 2.1: inet_lookup_listener walks the whole clone chain.
+    ExperimentConfig cfg;
+    cfg.machine.cores = 8;
+    cfg.machine.kernel = KernelConfig::linux313();
+    cfg.concurrencyPerCore = 60;
+    cfg.warmupSec = 0.01;
+    cfg.measureSec = 0.03;
+    Testbed bed(cfg);
+    bed.run();
+    const KernelStats &ks = bed.machine().kernel().stats();
+    // Average walked entries per lookup ~ number of clones (8).
+    double avg = static_cast<double>(ks.listenChainWalked) /
+                 static_cast<double>(ks.listenLookups);
+    EXPECT_GT(avg, 6.0);
+}
+
+} // anonymous namespace
+} // namespace fsim

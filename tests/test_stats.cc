@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for counters, distributions and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.hh"
+#include "stats/table.hh"
+#include "sync/lock_registry.hh"
+
+namespace fsim
+{
+namespace
+{
+
+TEST(Counter, IncrementsAndResets)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(9);
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Distribution, EmptyIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.min(), 0.0);
+    EXPECT_EQ(d.max(), 0.0);
+    EXPECT_EQ(d.variance(), 0.0);
+}
+
+TEST(Distribution, MomentsMatchHandComputation)
+{
+    Distribution d;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(x);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    // Sample variance with Bessel correction: 32/7.
+    EXPECT_NEAR(d.variance(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(Distribution, ResetClears)
+{
+    Distribution d;
+    d.sample(1.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    d.sample(3.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(d.min(), 3.0);
+}
+
+TEST(Format, CountSuffixes)
+{
+    EXPECT_EQ(formatCount(26400000), "26.4M");
+    EXPECT_EQ(formatCount(422700), "422.7K");
+    EXPECT_EQ(formatCount(868), "868");
+    EXPECT_EQ(formatCount(0), "0");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(formatPercent(0.242), "24.2%");
+    EXPECT_EQ(formatPercent(0.0026), "0.3%");
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer", "22"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("name    value"), std::string::npos);
+    EXPECT_NE(s.find("a       1"), std::string::npos);
+    EXPECT_NE(s.find("longer  22"), std::string::npos);
+    EXPECT_NE(s.find("------  -----"), std::string::npos);
+}
+
+TEST(TextTable, HandlesRaggedRows)
+{
+    TextTable t;
+    t.header({"a"});
+    t.row({"x", "extra"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("extra"), std::string::npos);
+}
+
+TEST(TextTable, NoHeaderNoRule)
+{
+    TextTable t;
+    t.row({"only", "data"});
+    std::string s = t.str();
+    EXPECT_EQ(s.find('-'), std::string::npos);
+}
+
+TEST(LockRegistry, CreatesAndReusesClasses)
+{
+    LockRegistry reg;
+    LockClassStats *a = reg.getClass("slock");
+    LockClassStats *b = reg.getClass("slock");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a->name, "slock");
+    reg.getClass("ehash.lock");
+    EXPECT_EQ(reg.classes().size(), 2u);
+}
+
+TEST(LockRegistry, SnapshotAndDelta)
+{
+    LockRegistry reg;
+    LockClassStats *a = reg.getClass("dcache_lock");
+    a->contentions = 5;
+    auto before = reg.snapshot();
+    a->contentions = 30;
+    EXPECT_EQ(reg.contentionDelta(before, "dcache_lock"), 25u);
+    EXPECT_EQ(reg.contentionDelta(before, "missing"), 0u);
+}
+
+} // anonymous namespace
+} // namespace fsim

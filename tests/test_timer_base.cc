@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the per-core timer base (base.lock + wheel + SoftIRQ).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "kernel/timer_base.hh"
+
+namespace fsim
+{
+namespace
+{
+
+struct TimerBaseFixture : public ::testing::Test
+{
+    EventQueue eq;
+    CacheModel cache{2, 400};
+    CycleCosts costs;
+    CpuModel cpu{eq, cache, costs, 2};
+    LockRegistry locks;
+    TimerBase base;
+    Tick jiffy = ticksFromMsec(1.0);
+
+    void
+    SetUp() override
+    {
+        base.init(0, locks, cache, costs, cpu, jiffy);
+    }
+};
+
+TEST_F(TimerBaseFixture, ArmedTimerFiresOnItsCore)
+{
+    TimerWheel::TimerId id;
+    CoreId fired_on = kInvalidCore;
+    Tick fired_at = 0;
+    base.arm(0, 0, 5, [&](CoreId c, Tick t) {
+        fired_on = c;
+        fired_at = t;
+        return t + 100;
+    }, &id);
+    EXPECT_NE(id, TimerWheel::kInvalidTimer);
+    eq.runAll();
+    EXPECT_EQ(fired_on, 0);
+    EXPECT_GE(fired_at, 5 * jiffy);
+}
+
+TEST_F(TimerBaseFixture, CancelStopsFiring)
+{
+    TimerWheel::TimerId id;
+    bool fired = false;
+    base.arm(0, 0, 5, [&](CoreId, Tick t) {
+        fired = true;
+        return t;
+    }, &id);
+    base.cancel(0, 100, id);
+    eq.runAll();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(base.pending(), 0u);
+}
+
+TEST_F(TimerBaseFixture, ModPostpones)
+{
+    TimerWheel::TimerId id;
+    Tick fired_at = 0;
+    base.arm(0, 0, 3, [&](CoreId, Tick t) {
+        fired_at = t;
+        return t;
+    }, &id);
+    base.mod(0, 100, id, 10);
+    eq.runAll();
+    EXPECT_GE(fired_at, 10 * jiffy);
+}
+
+TEST_F(TimerBaseFixture, BaseLockChargedPerOperation)
+{
+    TimerWheel::TimerId id;
+    base.arm(1, 0, 100, [](CoreId, Tick t) { return t; }, &id);
+    base.mod(1, 1000, id, 200);
+    base.cancel(1, 2000, id);
+    LockClassStats *cls = locks.getClass("base.lock");
+    EXPECT_EQ(cls->acquisitions, 3u);
+}
+
+TEST_F(TimerBaseFixture, TickerStopsWhenNoTimersPending)
+{
+    TimerWheel::TimerId id;
+    base.arm(0, 0, 2, [](CoreId, Tick t) { return t; }, &id);
+    eq.runAll();   // would never terminate if the ticker kept running
+    EXPECT_EQ(base.pending(), 0u);
+    // Re-arming restarts the ticker.
+    bool fired = false;
+    base.arm(0, eq.now(), 2, [&](CoreId, Tick t) {
+        fired = true;
+        return t;
+    }, &id);
+    eq.runAll();
+    EXPECT_TRUE(fired);
+}
+
+TEST_F(TimerBaseFixture, CallbackWorkCountsAsCoreBusyTime)
+{
+    TimerWheel::TimerId id;
+    base.arm(0, 0, 1, [](CoreId, Tick t) { return t + 50000; }, &id);
+    eq.runAll();
+    EXPECT_GE(cpu.core(0).busyTicks(), 50000u);
+}
+
+TEST_F(TimerBaseFixture, CatchesUpAfterBacklog)
+{
+    // Arm a timer, then wedge the core with a long task so the first
+    // timer SoftIRQ runs far past several jiffy boundaries.
+    TimerWheel::TimerId id;
+    Tick fired_at = 0;
+    base.arm(0, 0, 3, [&](CoreId, Tick t) {
+        fired_at = t;
+        return t;
+    }, &id);
+    cpu.post(0, TaskPrio::kSoftIrq,
+             [this](Tick t) { return t + 10 * jiffy; });
+    eq.runAll();
+    EXPECT_GT(fired_at, 0u);
+    // The catch-up must not require 10 more jiffies of ticking.
+    EXPECT_LE(fired_at, 12 * jiffy);
+}
+
+TEST_F(TimerBaseFixture, ManyTimersSameJiffyAllFire)
+{
+    int fired = 0;
+    for (int i = 0; i < 50; ++i) {
+        TimerWheel::TimerId id;
+        base.arm(0, 0, 4, [&](CoreId, Tick t) {
+            ++fired;
+            return t + 10;
+        }, &id);
+    }
+    eq.runAll();
+    EXPECT_EQ(fired, 50);
+}
+
+} // anonymous namespace
+} // namespace fsim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Multi-machine integration: a proxy machine and a real backend machine
+ * composed on one wire. Checks end-to-end service, conservation, and
+ * that Fastsocket's invariants hold on *both* tiers simultaneously.
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/http_load.hh"
+#include "app/proxy.hh"
+#include "app/web_server.hh"
+#include "harness/experiment.hh"
+
+namespace fsim
+{
+namespace
+{
+
+struct TwoTier
+{
+    EventQueue eq;
+    Wire wire{eq, ticksFromUsec(50)};
+    std::unique_ptr<Machine> backendM;
+    std::unique_ptr<Machine> proxyM;
+    std::unique_ptr<WebServer> web;
+    std::unique_ptr<Proxy> proxy;
+    std::unique_ptr<HttpLoad> load;
+
+    explicit TwoTier(const KernelConfig &kernel, int cores = 2)
+    {
+        MachineConfig bc;
+        bc.cores = cores;
+        bc.kernel = kernel;
+        bc.baseAddr = 0x0a090001;
+        bc.seed = 11;
+        backendM = std::make_unique<Machine>(eq, wire, bc);
+        web = std::make_unique<WebServer>(*backendM, 64);
+        web->start();
+
+        MachineConfig pc;
+        pc.cores = cores;
+        pc.kernel = kernel;
+        pc.seed = 12;
+        proxyM = std::make_unique<Machine>(eq, wire, pc);
+        proxy = std::make_unique<Proxy>(*proxyM, backendM->addrs(),
+                                        backendM->servicePort(), 64);
+        proxy->start();
+
+        HttpLoad::Config lc;
+        lc.serverAddrs = proxyM->addrs();
+        lc.concurrency = 40 * cores;
+        load = std::make_unique<HttpLoad>(eq, wire, lc);
+    }
+};
+
+TEST(TwoTier, EndToEndServiceThroughBothMachines)
+{
+    TwoTier t(KernelConfig::fastsocket());
+    t.load->start();
+    t.eq.runUntil(ticksFromSeconds(0.05));
+
+    EXPECT_GT(t.load->completed(), 300u);
+    EXPECT_EQ(t.load->failed(), 0u);
+    EXPECT_GT(t.web->served(), 300u);
+    EXPECT_GT(t.proxy->served(), 300u);
+    // Every client completion went through both tiers.
+    EXPECT_GE(t.web->served() + 50, t.proxy->served());
+    EXPECT_EQ(t.load->started(),
+              t.load->completed() + t.load->failed() +
+                  t.load->inFlight());
+}
+
+TEST(TwoTier, FastsocketInvariantsHoldOnBothTiers)
+{
+    TwoTier t(KernelConfig::fastsocket(), 4);
+    t.load->start();
+    t.eq.runUntil(ticksFromSeconds(0.04));
+    ASSERT_GT(t.load->completed(), 200u);
+
+    for (Machine *m : {t.proxyM.get(), t.backendM.get()}) {
+        for (const auto &cls : m->locks().classes())
+            EXPECT_EQ(cls->contentions, 0u)
+                << cls->name << " contended";
+        for (const Socket *s : m->kernel().allSockets()) {
+            if (s->kind == SockKind::kConnection)
+                EXPECT_LE(s->touchedCount(), 1);
+        }
+    }
+}
+
+TEST(TwoTier, BaselineWorksJustSlower)
+{
+    TwoTier base(KernelConfig::base2632());
+    base.load->start();
+    base.eq.runUntil(ticksFromSeconds(0.05));
+    EXPECT_GT(base.load->completed(), 100u);
+    EXPECT_EQ(base.load->failed(), 0u);
+
+    TwoTier fast(KernelConfig::fastsocket());
+    fast.load->start();
+    fast.eq.runUntil(ticksFromSeconds(0.05));
+    EXPECT_GT(fast.load->completed(), base.load->completed());
+}
+
+} // anonymous namespace
+} // namespace fsim

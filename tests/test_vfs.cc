@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the three VFS flavors (2.6.32 global locks, 3.13
+ * fine-grained, Fastsocket-aware fast path).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/cache_model.hh"
+#include "vfs/vfs.hh"
+
+namespace fsim
+{
+namespace
+{
+
+struct VfsFixture
+{
+    LockRegistry locks;
+    CacheModel cache{4, 400};
+    CycleCosts costs;
+};
+
+TEST(Vfs, GlobalModeChargesGlobalLocks)
+{
+    VfsFixture f;
+    VfsLayer vfs(VfsMode::kGlobalLocks, f.locks, f.cache, f.costs);
+    SocketFile *file = nullptr;
+    Tick t = vfs.allocSocketFile(0, 0, nullptr, &file);
+    EXPECT_GT(t, f.costs.vfsAllocHeavy);
+    EXPECT_EQ(f.locks.getClass("dcache_lock")->acquisitions, 1u);
+    EXPECT_EQ(f.locks.getClass("inode_lock")->acquisitions, 1u);
+    t = vfs.freeSocketFile(0, t, file);
+    EXPECT_EQ(f.locks.getClass("dcache_lock")->acquisitions, 2u);
+    EXPECT_EQ(f.locks.getClass("inode_lock")->acquisitions, 2u);
+}
+
+TEST(Vfs, FastsocketModeSkipsDentryInodeLocks)
+{
+    VfsFixture f;
+    VfsLayer vfs(VfsMode::kFastsocket, f.locks, f.cache, f.costs);
+    SocketFile *file = nullptr;
+    Tick t = vfs.allocSocketFile(0, 0, nullptr, &file);
+    EXPECT_TRUE(file->fastPath);
+    vfs.freeSocketFile(0, t, file);
+    EXPECT_EQ(f.locks.getClass("dcache_lock")->acquisitions, 0u);
+    EXPECT_EQ(f.locks.getClass("inode_lock")->acquisitions, 0u);
+}
+
+TEST(Vfs, FastPathIsCheaper)
+{
+    VfsFixture f;
+    VfsLayer heavy(VfsMode::kGlobalLocks, f.locks, f.cache, f.costs);
+    VfsLayer fast(VfsMode::kFastsocket, f.locks, f.cache, f.costs);
+    SocketFile *hf = nullptr;
+    SocketFile *ff = nullptr;
+    Tick th = heavy.allocSocketFile(0, 0, nullptr, &hf);
+    Tick tf = fast.allocSocketFile(0, 0, nullptr, &ff);
+    EXPECT_LT(tf, th);
+    EXPECT_LT(fast.freeSocketFile(0, 0, ff) ,
+              heavy.freeSocketFile(0, 0, hf));
+}
+
+TEST(Vfs, FineGrainedUsesSameClassesButBucketLocks)
+{
+    VfsFixture f;
+    VfsLayer vfs(VfsMode::kFineGrained, f.locks, f.cache, f.costs, 8);
+    SocketFile *file = nullptr;
+    for (int i = 0; i < 16; ++i)
+        vfs.allocSocketFile(0, 0, nullptr, &file);
+    EXPECT_EQ(f.locks.getClass("dcache_lock")->acquisitions, 16u);
+}
+
+TEST(Vfs, ProcWalkSeesSocketsInEveryMode)
+{
+    for (VfsMode mode : {VfsMode::kGlobalLocks, VfsMode::kFineGrained,
+                         VfsMode::kFastsocket}) {
+        VfsFixture f;
+        VfsLayer vfs(mode, f.locks, f.cache, f.costs);
+        int marker = 7;
+        SocketFile *a = nullptr;
+        SocketFile *b = nullptr;
+        vfs.allocSocketFile(0, 0, &marker, &a);
+        vfs.allocSocketFile(1, 0, nullptr, &b);
+        auto walk = vfs.procWalk();
+        // netstat/lsof compatibility (paper 3.4): every socket visible,
+        // fast path included.
+        EXPECT_EQ(walk.size(), 2u);
+        bool found = false;
+        for (const SocketFile *sf : walk)
+            if (sf->priv == &marker)
+                found = true;
+        EXPECT_TRUE(found);
+        vfs.freeSocketFile(0, 0, a);
+        EXPECT_EQ(vfs.procWalk().size(), 1u);
+    }
+}
+
+TEST(Vfs, LiveFilesTracksPopulation)
+{
+    VfsFixture f;
+    VfsLayer vfs(VfsMode::kFastsocket, f.locks, f.cache, f.costs);
+    SocketFile *files[10];
+    for (auto &file : files)
+        vfs.allocSocketFile(0, 0, nullptr, &file);
+    EXPECT_EQ(vfs.liveFiles(), 10u);
+    EXPECT_EQ(vfs.totalAllocs(), 10u);
+    for (auto *file : files)
+        vfs.freeSocketFile(0, 0, file);
+    EXPECT_EQ(vfs.liveFiles(), 0u);
+    EXPECT_EQ(vfs.totalAllocs(), 10u);
+}
+
+TEST(Vfs, InodeNumbersUnique)
+{
+    VfsFixture f;
+    VfsLayer vfs(VfsMode::kGlobalLocks, f.locks, f.cache, f.costs);
+    SocketFile *a = nullptr;
+    SocketFile *b = nullptr;
+    vfs.allocSocketFile(0, 0, nullptr, &a);
+    vfs.allocSocketFile(0, 0, nullptr, &b);
+    EXPECT_NE(a->ino, b->ino);
+}
+
+TEST(VfsDeath, DoubleFreePanics)
+{
+    VfsFixture f;
+    VfsLayer vfs(VfsMode::kFastsocket, f.locks, f.cache, f.costs);
+    SocketFile *file = nullptr;
+    vfs.allocSocketFile(0, 0, nullptr, &file);
+    SocketFile copy = *file;
+    vfs.freeSocketFile(0, 0, file);
+    EXPECT_DEATH(vfs.freeSocketFile(0, 0, &copy), "double free");
+}
+
+/** Property: cross-core alloc/free churn keeps tables consistent. */
+class VfsChurn : public ::testing::TestWithParam<VfsMode>
+{
+};
+
+TEST_P(VfsChurn, BalancedChurnLeavesNothing)
+{
+    VfsFixture f;
+    VfsLayer vfs(GetParam(), f.locks, f.cache, f.costs);
+    std::vector<SocketFile *> live;
+    Tick t = 0;
+    for (int i = 0; i < 500; ++i) {
+        SocketFile *file = nullptr;
+        t = vfs.allocSocketFile(i % 4, t, nullptr, &file);
+        live.push_back(file);
+        if (live.size() > 32) {
+            t = vfs.freeSocketFile((i + 1) % 4, t, live.front());
+            live.erase(live.begin());
+        }
+    }
+    for (SocketFile *file : live)
+        t = vfs.freeSocketFile(0, t, file);
+    EXPECT_EQ(vfs.liveFiles(), 0u);
+    EXPECT_EQ(vfs.totalAllocs(), 500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, VfsChurn,
+                         ::testing::Values(VfsMode::kGlobalLocks,
+                                           VfsMode::kFineGrained,
+                                           VfsMode::kFastsocket));
+
+} // anonymous namespace
+} // namespace fsim
