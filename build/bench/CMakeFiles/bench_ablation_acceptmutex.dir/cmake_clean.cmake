@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_acceptmutex.dir/bench_ablation_acceptmutex.cc.o"
+  "CMakeFiles/bench_ablation_acceptmutex.dir/bench_ablation_acceptmutex.cc.o.d"
+  "bench_ablation_acceptmutex"
+  "bench_ablation_acceptmutex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_acceptmutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

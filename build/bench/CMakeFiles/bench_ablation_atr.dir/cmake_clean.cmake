@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_atr.dir/bench_ablation_atr.cc.o"
+  "CMakeFiles/bench_ablation_atr.dir/bench_ablation_atr.cc.o.d"
+  "bench_ablation_atr"
+  "bench_ablation_atr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_atr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_backlog.dir/bench_ablation_backlog.cc.o"
+  "CMakeFiles/bench_ablation_backlog.dir/bench_ablation_backlog.cc.o.d"
+  "bench_ablation_backlog"
+  "bench_ablation_backlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_backlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

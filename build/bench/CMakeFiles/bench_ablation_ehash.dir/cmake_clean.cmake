@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ehash.dir/bench_ablation_ehash.cc.o"
+  "CMakeFiles/bench_ablation_ehash.dir/bench_ablation_ehash.cc.o.d"
+  "bench_ablation_ehash"
+  "bench_ablation_ehash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ehash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_numa.dir/bench_ablation_numa.cc.o"
+  "CMakeFiles/bench_ablation_numa.dir/bench_ablation_numa.cc.o.d"
+  "bench_ablation_numa"
+  "bench_ablation_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

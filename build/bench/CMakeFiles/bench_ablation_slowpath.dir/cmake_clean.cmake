@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_slowpath.dir/bench_ablation_slowpath.cc.o"
+  "CMakeFiles/bench_ablation_slowpath.dir/bench_ablation_slowpath.cc.o.d"
+  "bench_ablation_slowpath"
+  "bench_ablation_slowpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_slowpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

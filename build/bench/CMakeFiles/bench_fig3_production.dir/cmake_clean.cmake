@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_production.dir/bench_fig3_production.cc.o"
+  "CMakeFiles/bench_fig3_production.dir/bench_fig3_production.cc.o.d"
+  "bench_fig3_production"
+  "bench_fig3_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4a_nginx.dir/bench_fig4a_nginx.cc.o"
+  "CMakeFiles/bench_fig4a_nginx.dir/bench_fig4a_nginx.cc.o.d"
+  "bench_fig4a_nginx"
+  "bench_fig4a_nginx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_nginx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_haproxy.dir/bench_fig4b_haproxy.cc.o"
+  "CMakeFiles/bench_fig4b_haproxy.dir/bench_fig4b_haproxy.cc.o.d"
+  "bench_fig4b_haproxy"
+  "bench_fig4b_haproxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_haproxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

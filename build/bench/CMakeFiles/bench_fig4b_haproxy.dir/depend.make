@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4b_haproxy.
+# This may be replaced when dependencies are built.

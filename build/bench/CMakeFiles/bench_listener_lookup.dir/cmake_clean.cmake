@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_listener_lookup.dir/bench_listener_lookup.cc.o"
+  "CMakeFiles/bench_listener_lookup.dir/bench_listener_lookup.cc.o.d"
+  "bench_listener_lookup"
+  "bench_listener_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_listener_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_longlived.dir/bench_longlived.cc.o"
+  "CMakeFiles/bench_longlived.dir/bench_longlived.cc.o.d"
+  "bench_longlived"
+  "bench_longlived.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_longlived.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_structures.dir/bench_micro_structures.cc.o"
+  "CMakeFiles/bench_micro_structures.dir/bench_micro_structures.cc.o.d"
+  "bench_micro_structures"
+  "bench_micro_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_locks.dir/bench_table1_locks.cc.o"
+  "CMakeFiles/bench_table1_locks.dir/bench_table1_locks.cc.o.d"
+  "bench_table1_locks"
+  "bench_table1_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netstat_tool.dir/netstat_tool.cpp.o"
+  "CMakeFiles/netstat_tool.dir/netstat_tool.cpp.o.d"
+  "netstat_tool"
+  "netstat_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netstat_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

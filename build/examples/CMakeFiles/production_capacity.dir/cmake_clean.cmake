@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_capacity.dir/production_capacity.cpp.o"
+  "CMakeFiles/production_capacity.dir/production_capacity.cpp.o.d"
+  "production_capacity"
+  "production_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

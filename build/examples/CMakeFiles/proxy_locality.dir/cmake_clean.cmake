@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_locality.dir/proxy_locality.cpp.o"
+  "CMakeFiles/proxy_locality.dir/proxy_locality.cpp.o.d"
+  "proxy_locality"
+  "proxy_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

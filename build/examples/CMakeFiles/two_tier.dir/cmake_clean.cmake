@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_tier.dir/two_tier.cpp.o"
+  "CMakeFiles/two_tier.dir/two_tier.cpp.o.d"
+  "two_tier"
+  "two_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_server_scaling.dir/web_server_scaling.cpp.o"
+  "CMakeFiles/web_server_scaling.dir/web_server_scaling.cpp.o.d"
+  "web_server_scaling"
+  "web_server_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_server_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_app.dir/app_base.cc.o"
+  "CMakeFiles/fsim_app.dir/app_base.cc.o.d"
+  "CMakeFiles/fsim_app.dir/backend.cc.o"
+  "CMakeFiles/fsim_app.dir/backend.cc.o.d"
+  "CMakeFiles/fsim_app.dir/http_load.cc.o"
+  "CMakeFiles/fsim_app.dir/http_load.cc.o.d"
+  "CMakeFiles/fsim_app.dir/machine.cc.o"
+  "CMakeFiles/fsim_app.dir/machine.cc.o.d"
+  "CMakeFiles/fsim_app.dir/proxy.cc.o"
+  "CMakeFiles/fsim_app.dir/proxy.cc.o.d"
+  "CMakeFiles/fsim_app.dir/web_server.cc.o"
+  "CMakeFiles/fsim_app.dir/web_server.cc.o.d"
+  "libfsim_app.a"
+  "libfsim_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

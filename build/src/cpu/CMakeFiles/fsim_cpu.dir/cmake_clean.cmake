@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_cpu.dir/cache_model.cc.o"
+  "CMakeFiles/fsim_cpu.dir/cache_model.cc.o.d"
+  "CMakeFiles/fsim_cpu.dir/core.cc.o"
+  "CMakeFiles/fsim_cpu.dir/core.cc.o.d"
+  "libfsim_cpu.a"
+  "libfsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/epollsim/epoll.cc" "src/epollsim/CMakeFiles/fsim_epollsim.dir/epoll.cc.o" "gcc" "src/epollsim/CMakeFiles/fsim_epollsim.dir/epoll.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sync/CMakeFiles/fsim_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/fsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

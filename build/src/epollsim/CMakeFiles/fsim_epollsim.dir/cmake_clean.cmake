@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_epollsim.dir/epoll.cc.o"
+  "CMakeFiles/fsim_epollsim.dir/epoll.cc.o.d"
+  "libfsim_epollsim.a"
+  "libfsim_epollsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_epollsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

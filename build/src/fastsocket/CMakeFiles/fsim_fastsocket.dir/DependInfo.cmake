@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fastsocket/local_tables.cc" "src/fastsocket/CMakeFiles/fsim_fastsocket.dir/local_tables.cc.o" "gcc" "src/fastsocket/CMakeFiles/fsim_fastsocket.dir/local_tables.cc.o.d"
+  "/root/repo/src/fastsocket/rfd.cc" "src/fastsocket/CMakeFiles/fsim_fastsocket.dir/rfd.cc.o" "gcc" "src/fastsocket/CMakeFiles/fsim_fastsocket.dir/rfd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/fsim_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/fsim_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/fsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/timerwheel/CMakeFiles/fsim_timerwheel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

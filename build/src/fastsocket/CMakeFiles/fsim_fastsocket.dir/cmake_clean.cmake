@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_fastsocket.dir/local_tables.cc.o"
+  "CMakeFiles/fsim_fastsocket.dir/local_tables.cc.o.d"
+  "CMakeFiles/fsim_fastsocket.dir/rfd.cc.o"
+  "CMakeFiles/fsim_fastsocket.dir/rfd.cc.o.d"
+  "libfsim_fastsocket.a"
+  "libfsim_fastsocket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_fastsocket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

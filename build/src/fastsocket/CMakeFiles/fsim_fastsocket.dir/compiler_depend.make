@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fsim_fastsocket.
+# This may be replaced when dependencies are built.

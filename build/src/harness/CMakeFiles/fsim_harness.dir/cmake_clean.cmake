@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_harness.dir/experiment.cc.o"
+  "CMakeFiles/fsim_harness.dir/experiment.cc.o.d"
+  "libfsim_harness.a"
+  "libfsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

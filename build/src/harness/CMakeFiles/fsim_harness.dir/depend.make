@@ -1,0 +1,2 @@
+# Empty dependencies file for fsim_harness.
+# This may be replaced when dependencies are built.

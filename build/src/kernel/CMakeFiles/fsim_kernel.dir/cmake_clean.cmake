@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_kernel.dir/kernel_stack.cc.o"
+  "CMakeFiles/fsim_kernel.dir/kernel_stack.cc.o.d"
+  "CMakeFiles/fsim_kernel.dir/timer_base.cc.o"
+  "CMakeFiles/fsim_kernel.dir/timer_base.cc.o.d"
+  "libfsim_kernel.a"
+  "libfsim_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

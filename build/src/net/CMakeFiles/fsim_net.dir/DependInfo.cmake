@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/nic.cc" "src/net/CMakeFiles/fsim_net.dir/nic.cc.o" "gcc" "src/net/CMakeFiles/fsim_net.dir/nic.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/fsim_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/fsim_net.dir/packet.cc.o.d"
+  "/root/repo/src/net/wire.cc" "src/net/CMakeFiles/fsim_net.dir/wire.cc.o" "gcc" "src/net/CMakeFiles/fsim_net.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

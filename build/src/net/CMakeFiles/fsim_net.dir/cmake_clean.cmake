@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_net.dir/nic.cc.o"
+  "CMakeFiles/fsim_net.dir/nic.cc.o.d"
+  "CMakeFiles/fsim_net.dir/packet.cc.o"
+  "CMakeFiles/fsim_net.dir/packet.cc.o.d"
+  "CMakeFiles/fsim_net.dir/wire.cc.o"
+  "CMakeFiles/fsim_net.dir/wire.cc.o.d"
+  "libfsim_net.a"
+  "libfsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/fsim_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/fsim_sim.dir/logging.cc.o"
+  "CMakeFiles/fsim_sim.dir/logging.cc.o.d"
+  "CMakeFiles/fsim_sim.dir/rng.cc.o"
+  "CMakeFiles/fsim_sim.dir/rng.cc.o.d"
+  "libfsim_sim.a"
+  "libfsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfsim_sim.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_stats.dir/stats.cc.o"
+  "CMakeFiles/fsim_stats.dir/stats.cc.o.d"
+  "CMakeFiles/fsim_stats.dir/table.cc.o"
+  "CMakeFiles/fsim_stats.dir/table.cc.o.d"
+  "libfsim_stats.a"
+  "libfsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_sync.dir/lock_registry.cc.o"
+  "CMakeFiles/fsim_sync.dir/lock_registry.cc.o.d"
+  "CMakeFiles/fsim_sync.dir/spinlock.cc.o"
+  "CMakeFiles/fsim_sync.dir/spinlock.cc.o.d"
+  "libfsim_sync.a"
+  "libfsim_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

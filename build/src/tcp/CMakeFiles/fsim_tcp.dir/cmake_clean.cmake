@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_tcp.dir/established_table.cc.o"
+  "CMakeFiles/fsim_tcp.dir/established_table.cc.o.d"
+  "CMakeFiles/fsim_tcp.dir/listen_table.cc.o"
+  "CMakeFiles/fsim_tcp.dir/listen_table.cc.o.d"
+  "CMakeFiles/fsim_tcp.dir/port_alloc.cc.o"
+  "CMakeFiles/fsim_tcp.dir/port_alloc.cc.o.d"
+  "CMakeFiles/fsim_tcp.dir/socket.cc.o"
+  "CMakeFiles/fsim_tcp.dir/socket.cc.o.d"
+  "libfsim_tcp.a"
+  "libfsim_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_timerwheel.dir/timer_wheel.cc.o"
+  "CMakeFiles/fsim_timerwheel.dir/timer_wheel.cc.o.d"
+  "libfsim_timerwheel.a"
+  "libfsim_timerwheel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_timerwheel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfs/fd_table.cc" "src/vfs/CMakeFiles/fsim_vfs.dir/fd_table.cc.o" "gcc" "src/vfs/CMakeFiles/fsim_vfs.dir/fd_table.cc.o.d"
+  "/root/repo/src/vfs/vfs.cc" "src/vfs/CMakeFiles/fsim_vfs.dir/vfs.cc.o" "gcc" "src/vfs/CMakeFiles/fsim_vfs.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sync/CMakeFiles/fsim_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/fsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_vfs.dir/fd_table.cc.o"
+  "CMakeFiles/fsim_vfs.dir/fd_table.cc.o.d"
+  "CMakeFiles/fsim_vfs.dir/vfs.cc.o"
+  "CMakeFiles/fsim_vfs.dir/vfs.cc.o.d"
+  "libfsim_vfs.a"
+  "libfsim_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backend.dir/test_backend.cc.o"
+  "CMakeFiles/test_backend.dir/test_backend.cc.o.d"
+  "test_backend"
+  "test_backend.pdb"
+  "test_backend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_model.dir/test_cache_model.cc.o"
+  "CMakeFiles/test_cache_model.dir/test_cache_model.cc.o.d"
+  "test_cache_model"
+  "test_cache_model.pdb"
+  "test_cache_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epoll.dir/test_epoll.cc.o"
+  "CMakeFiles/test_epoll.dir/test_epoll.cc.o.d"
+  "test_epoll"
+  "test_epoll.pdb"
+  "test_epoll[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epoll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_established_table.dir/test_established_table.cc.o"
+  "CMakeFiles/test_established_table.dir/test_established_table.cc.o.d"
+  "test_established_table"
+  "test_established_table.pdb"
+  "test_established_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_established_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

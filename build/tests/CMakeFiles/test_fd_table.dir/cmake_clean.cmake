@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fd_table.dir/test_fd_table.cc.o"
+  "CMakeFiles/test_fd_table.dir/test_fd_table.cc.o.d"
+  "test_fd_table"
+  "test_fd_table.pdb"
+  "test_fd_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fd_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_features.dir/test_features.cc.o"
+  "CMakeFiles/test_features.dir/test_features.cc.o.d"
+  "test_features"
+  "test_features.pdb"
+  "test_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_http_load.dir/test_http_load.cc.o"
+  "CMakeFiles/test_http_load.dir/test_http_load.cc.o.d"
+  "test_http_load"
+  "test_http_load.pdb"
+  "test_http_load[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_http_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

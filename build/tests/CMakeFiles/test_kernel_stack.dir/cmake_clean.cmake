@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_stack.dir/test_kernel_stack.cc.o"
+  "CMakeFiles/test_kernel_stack.dir/test_kernel_stack.cc.o.d"
+  "test_kernel_stack"
+  "test_kernel_stack.pdb"
+  "test_kernel_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

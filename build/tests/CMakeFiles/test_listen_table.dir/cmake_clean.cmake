@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_listen_table.dir/test_listen_table.cc.o"
+  "CMakeFiles/test_listen_table.dir/test_listen_table.cc.o.d"
+  "test_listen_table"
+  "test_listen_table.pdb"
+  "test_listen_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_listen_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_port_alloc.dir/test_port_alloc.cc.o"
+  "CMakeFiles/test_port_alloc.dir/test_port_alloc.cc.o.d"
+  "test_port_alloc"
+  "test_port_alloc.pdb"
+  "test_port_alloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_port_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rfd.dir/test_rfd.cc.o"
+  "CMakeFiles/test_rfd.dir/test_rfd.cc.o.d"
+  "test_rfd"
+  "test_rfd.pdb"
+  "test_rfd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spinlock.dir/test_spinlock.cc.o"
+  "CMakeFiles/test_spinlock.dir/test_spinlock.cc.o.d"
+  "test_spinlock"
+  "test_spinlock.pdb"
+  "test_spinlock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spinlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

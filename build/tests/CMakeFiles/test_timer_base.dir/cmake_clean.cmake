@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timer_base.dir/test_timer_base.cc.o"
+  "CMakeFiles/test_timer_base.dir/test_timer_base.cc.o.d"
+  "test_timer_base"
+  "test_timer_base.pdb"
+  "test_timer_base[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timer_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

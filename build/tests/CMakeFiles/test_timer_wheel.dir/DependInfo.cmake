@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_timer_wheel.cc" "tests/CMakeFiles/test_timer_wheel.dir/test_timer_wheel.cc.o" "gcc" "tests/CMakeFiles/test_timer_wheel.dir/test_timer_wheel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/fsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/fsim_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/fsim_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fastsocket/CMakeFiles/fsim_fastsocket.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/fsim_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/fsim_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/epollsim/CMakeFiles/fsim_epollsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/timerwheel/CMakeFiles/fsim_timerwheel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/fsim_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/fsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

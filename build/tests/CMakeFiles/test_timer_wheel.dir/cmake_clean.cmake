@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timer_wheel.dir/test_timer_wheel.cc.o"
+  "CMakeFiles/test_timer_wheel.dir/test_timer_wheel.cc.o.d"
+  "test_timer_wheel"
+  "test_timer_wheel.pdb"
+  "test_timer_wheel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timer_wheel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

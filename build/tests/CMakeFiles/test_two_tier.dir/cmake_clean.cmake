@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_two_tier.dir/test_two_tier.cc.o"
+  "CMakeFiles/test_two_tier.dir/test_two_tier.cc.o.d"
+  "test_two_tier"
+  "test_two_tier.pdb"
+  "test_two_tier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_two_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

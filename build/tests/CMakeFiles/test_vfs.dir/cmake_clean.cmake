@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vfs.dir/test_vfs.cc.o"
+  "CMakeFiles/test_vfs.dir/test_vfs.cc.o.d"
+  "test_vfs"
+  "test_vfs.pdb"
+  "test_vfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_cache_model[1]_include.cmake")
+include("/root/repo/build/tests/test_spinlock[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_timer_wheel[1]_include.cmake")
+include("/root/repo/build/tests/test_timer_base[1]_include.cmake")
+include("/root/repo/build/tests/test_fd_table[1]_include.cmake")
+include("/root/repo/build/tests/test_vfs[1]_include.cmake")
+include("/root/repo/build/tests/test_epoll[1]_include.cmake")
+include("/root/repo/build/tests/test_nic[1]_include.cmake")
+include("/root/repo/build/tests/test_wire[1]_include.cmake")
+include("/root/repo/build/tests/test_listen_table[1]_include.cmake")
+include("/root/repo/build/tests/test_established_table[1]_include.cmake")
+include("/root/repo/build/tests/test_port_alloc[1]_include.cmake")
+include("/root/repo/build/tests/test_rfd[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_stack[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_experiment[1]_include.cmake")
+include("/root/repo/build/tests/test_scaling[1]_include.cmake")
+include("/root/repo/build/tests/test_features[1]_include.cmake")
+include("/root/repo/build/tests/test_backend[1]_include.cmake")
+include("/root/repo/build/tests/test_http_load[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_two_tier[1]_include.cmake")
