@@ -25,6 +25,7 @@ main(int argc, char **argv)
     table.header({"kernel", "accept mutex", "throughput", "max util",
                   "min util"});
 
+    BenchJsonReport json("ablation_acceptmutex");
     for (int k = 0; k < 2; ++k) {
         KernelConfig kernel =
             k == 0 ? KernelConfig::base2632() : KernelConfig::fastsocket();
@@ -39,6 +40,9 @@ main(int argc, char **argv)
             cfg.warmupSec = args.quick ? 0.02 : 0.04;
             cfg.measureSec = args.quick ? 0.04 : 0.1;
             ExperimentResult r = runExperiment(cfg);
+            json.addRow(std::string(kname) +
+                            (mutex ? "-mutex-on" : "-mutex-off"),
+                        cfg, r);
             table.row({kname, mutex ? "on" : "off", kcps(r.cps),
                        formatPercent(r.maxUtil()),
                        formatPercent(r.minUtil())});
@@ -48,5 +52,6 @@ main(int argc, char **argv)
     std::printf("\nExpected: the mutex costs throughput whenever accept "
                 "is a shared resource; under Fastsocket\nthe listen path "
                 "is already per-core, so serializing it is pure loss.\n");
+    finishJson(args, json);
     return 0;
 }

@@ -20,6 +20,7 @@ main(int argc, char **argv)
            "HAProxy on 16 cores, Fastsocket V+L (no RFD), FDir ATR. "
            "Paper measures 76.5% local packets with default ATR.");
 
+    BenchJsonReport json("ablation_atr");
     auto run_one = [&](int sample_rate, std::uint32_t table_size) {
         ExperimentConfig cfg;
         cfg.app = AppKind::kHaproxy;
@@ -34,7 +35,11 @@ main(int argc, char **argv)
         cfg.concurrencyPerCore = args.quick ? 100 : 250;
         cfg.warmupSec = args.quick ? 0.02 : 0.04;
         cfg.measureSec = args.quick ? 0.04 : 0.1;
-        return runExperiment(cfg);
+        ExperimentResult r = runExperiment(cfg);
+        json.addRow("rate-1/" + std::to_string(sample_rate) + "-table-" +
+                        std::to_string(table_size),
+                    cfg, r);
+        return r;
     };
 
     TextTable rate_table;
@@ -62,5 +67,6 @@ main(int argc, char **argv)
                 "local share up, but never to 100%% — only\nRFD's "
                 "deterministic port encoding (Perfect-Filtering) "
                 "achieves complete locality.\n");
+    finishJson(args, json);
     return 0;
 }

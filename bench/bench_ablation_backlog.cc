@@ -24,6 +24,7 @@ main(int argc, char **argv)
     table.header({"backlog", "throughput", "overflows", "client failures",
                   "served"});
 
+    BenchJsonReport json("ablation_backlog");
     for (std::size_t backlog : {16u, 64u, 256u, 1024u}) {
         ExperimentConfig cfg;
         cfg.app = AppKind::kNginx;
@@ -39,6 +40,7 @@ main(int argc, char **argv)
                 const_cast<Socket *>(s)->backlog = backlog;
         }
         ExperimentResult r = bed.run();
+        json.addRow("backlog-" + std::to_string(backlog), cfg, r);
         const KernelStats &ks = bed.machine().kernel().stats();
         table.row({std::to_string(backlog), kcps(r.cps),
                    formatCount(static_cast<double>(ks.acceptOverflows)),
@@ -48,5 +50,6 @@ main(int argc, char **argv)
     table.print();
     std::printf("\nExpected: small backlogs shed load with RSTs; larger "
                 "ones absorb the closed-loop burst with no failures.\n");
+    finishJson(args, json);
     return 0;
 }

@@ -41,15 +41,20 @@ main(int argc, char **argv)
         return cfg;
     };
 
+    BenchJsonReport json("ablation_ehash");
     for (int buckets : {64, 1024, 16384}) {
-        ExperimentResult r = runExperiment(base_cfg(buckets, false));
+        ExperimentConfig cfg = base_cfg(buckets, false);
+        ExperimentResult r = runExperiment(cfg);
+        json.addRow("global-" + std::to_string(buckets), cfg, r);
         table.row({"global, " + std::to_string(buckets) + " buckets",
                    formatCount(static_cast<double>(
                        r.locks.at("ehash.lock").contentions)),
                    kcps(r.cps)});
     }
     {
-        ExperimentResult r = runExperiment(base_cfg(16384, true));
+        ExperimentConfig cfg = base_cfg(16384, true);
+        ExperimentResult r = runExperiment(cfg);
+        json.addRow("per-core-local", cfg, r);
         table.row({"per-core local tables",
                    formatCount(static_cast<double>(
                        r.locks.at("ehash.lock").contentions)),
@@ -59,5 +64,6 @@ main(int argc, char **argv)
     std::printf("\nExpected: finer buckets reduce but never eliminate "
                 "contention; the per-core partition is exactly zero\n"
                 "(Table 1's E column), independent of core count.\n");
+    finishJson(args, json);
     return 0;
 }

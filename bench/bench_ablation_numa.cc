@@ -27,6 +27,7 @@ main(int argc, char **argv)
     table.header({"kernel", "cores", "NUMA (2x12)", "UMA (1x24)",
                   "UMA gain"});
 
+    BenchJsonReport json("ablation_numa");
     for (int k = 0; k < 2; ++k) {
         KernelConfig kernel =
             k == 0 ? KernelConfig::base2632() : KernelConfig::fastsocket();
@@ -43,7 +44,12 @@ main(int argc, char **argv)
                 cfg.concurrencyPerCore = args.quick ? 100 : 300;
                 cfg.warmupSec = args.quick ? 0.02 : 0.04;
                 cfg.measureSec = args.quick ? 0.04 : 0.1;
-                cps[u] = runExperiment(cfg).cps;
+                ExperimentResult r = runExperiment(cfg);
+                json.addRow(std::string(kname) + "@" +
+                                std::to_string(cores) +
+                                (u == 0 ? "-numa" : "-uma"),
+                            cfg, r);
+                cps[u] = r.cps;
             }
             char gain[16];
             std::snprintf(gain, sizeof(gain), "%+.0f%%",
@@ -57,5 +63,6 @@ main(int argc, char **argv)
                 "mostly at 24 cores (cross-socket traffic is its tax)\n"
                 "and helps Fastsocket least — partitioned state does not "
                 "cross sockets in the first place.\n");
+    finishJson(args, json);
     return 0;
 }

@@ -25,6 +25,7 @@ main(int argc, char **argv)
     table.header({"killed procs", "throughput", "slow-path accepts",
                   "slow share", "RSTs", "client failures"});
 
+    BenchJsonReport json("ablation_slowpath");
     for (int killed : {0, 1, 2, 4}) {
         ExperimentConfig cfg;
         cfg.app = AppKind::kNginx;
@@ -38,6 +39,7 @@ main(int argc, char **argv)
         for (int p = 0; p < killed; ++p)
             bed.machine().kernel().killProcess(p);
         ExperimentResult r = bed.run();
+        json.addRow("killed-" + std::to_string(killed), cfg, r);
 
         const KernelStats &ks = bed.machine().kernel().stats();
         double slow_share =
@@ -54,5 +56,6 @@ main(int argc, char **argv)
     table.print();
     std::printf("\nExpected: slow share ~= killed/8, zero RSTs from "
                 "orphaned cores, graceful throughput degradation.\n");
+    finishJson(args, json);
     return 0;
 }

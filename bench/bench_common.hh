@@ -3,8 +3,9 @@
  * Shared helpers for the figure/table reproduction benches.
  *
  * Every bench accepts `--quick` to shrink simulation windows (useful for
- * smoke runs and CI) and prints the paper-format table plus the paper's
- * reference numbers for side-by-side comparison.
+ * smoke runs and CI) and `--json=<path>` to export every experiment row
+ * as a versioned JSON document, and prints the paper-format table plus
+ * the paper's reference numbers for side-by-side comparison.
  */
 
 #ifndef FSIM_BENCH_BENCH_COMMON_HH
@@ -14,6 +15,7 @@
 #include <cstring>
 #include <string>
 
+#include "harness/bench_json.hh"
 #include "harness/experiment.hh"
 #include "stats/stats.hh"
 #include "stats/table.hh"
@@ -25,17 +27,38 @@ namespace fsim
 struct BenchArgs
 {
     bool quick = false;
+    bool trace = true;      //!< --notrace disables event/phase recording
+    std::string jsonPath;   //!< --json=<path>; empty = no export
 
     static BenchArgs
     parse(int argc, char **argv)
     {
         BenchArgs a;
-        for (int i = 1; i < argc; ++i)
+        for (int i = 1; i < argc; ++i) {
             if (!std::strcmp(argv[i], "--quick"))
                 a.quick = true;
+            else if (!std::strcmp(argv[i], "--notrace"))
+                a.trace = false;
+            else if (!std::strncmp(argv[i], "--json=", 7))
+                a.jsonPath = argv[i] + 7;
+        }
         return a;
     }
 };
+
+/** Write the accumulated report if --json was given. */
+inline void
+finishJson(const BenchArgs &args, const BenchJsonReport &report)
+{
+    if (args.jsonPath.empty())
+        return;
+    if (report.writeFile(args.jsonPath))
+        std::printf("\nwrote %s (%zu rows)\n", args.jsonPath.c_str(),
+                    report.rowCount());
+    else
+        std::fprintf(stderr, "error: could not write %s\n",
+                     args.jsonPath.c_str());
+}
 
 /** The three kernels Figure 4 compares. */
 struct KernelUnderTest

@@ -57,6 +57,7 @@ main(int argc, char **argv)
         {"fastsocket", KernelConfig::fastsocket(), {}, {}, {}},
     };
 
+    BenchJsonReport json("fig3_production");
     for (Server &srv : servers) {
         ExperimentConfig cfg;
         cfg.app = AppKind::kHaproxy;
@@ -71,19 +72,17 @@ main(int argc, char **argv)
             // Short settle, then measure the hour window.
             bed.eventQueue().runUntil(bed.eventQueue().now() +
                                       ticksFromSeconds(hour_sim * 0.3));
-            bed.machine().markWindow();
+            bed.markWindows();
             bed.eventQueue().runUntil(bed.eventQueue().now() +
                                       ticksFromSeconds(hour_sim));
-            auto util = bed.machine().utilizationSinceMark();
-            double a = 0, lo = 1e9, hi = 0;
-            for (double u : util) {
-                a += u;
-                lo = std::min(lo, u);
-                hi = std::max(hi, u);
-            }
-            srv.avg.push_back(a / util.size());
-            srv.lo.push_back(lo);
-            srv.hi.push_back(hi);
+            ExperimentResult r = bed.collect();
+            srv.avg.push_back(r.avgUtil());
+            srv.lo.push_back(r.minUtil());
+            srv.hi.push_back(r.maxUtil());
+            char label[32];
+            std::snprintf(label, sizeof(label), "%s@%02d:00", srv.name,
+                          hour);
+            json.addRow(label, cfg, r);
         }
         bed.load().stopOpenLoop();
     }
@@ -125,5 +124,6 @@ main(int argc, char **argv)
                 formatPercent(cpu_gain).c_str());
     std::printf("  effective capacity gain: %s   (paper: 53.5%%)\n",
                 formatPercent(capacity_gain).c_str());
+    finishJson(args, json);
     return 0;
 }

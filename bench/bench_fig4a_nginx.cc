@@ -29,6 +29,7 @@ main(int argc, char **argv)
     table.header({"cores", "base-2.6.32", "linux-3.13", "fastsocket",
                   "fast/base"});
 
+    BenchJsonReport json("fig4a_nginx");
     double speedup_base[3] = {0, 0, 0};
     for (int cores : kCoreSweep) {
         double cps[3];
@@ -37,10 +38,14 @@ main(int argc, char **argv)
             cfg.app = AppKind::kNginx;
             cfg.machine.cores = cores;
             cfg.machine.kernel = kKernels[k].config;
+            cfg.machine.traceEnabled = args.trace;
             cfg.concurrencyPerCore = args.quick ? 150 : 400;
             cfg.warmupSec = args.quick ? 0.02 : 0.05;
             cfg.measureSec = args.quick ? 0.05 : 0.15;
             ExperimentResult r = runExperiment(cfg);
+            json.addRow(std::string(kKernels[k].name) + "@" +
+                            std::to_string(cores),
+                        cfg, r);
             cps[k] = r.cps;
             if (cores == 1)
                 speedup_base[k] = r.cps;
@@ -67,5 +72,6 @@ main(int argc, char **argv)
                     "fastsocket 20.0x)\n",
                     kKernels[k].name, at24 / speedup_base[k]);
     }
+    finishJson(args, json);
     return 0;
 }

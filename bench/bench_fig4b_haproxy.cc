@@ -27,6 +27,7 @@ main(int argc, char **argv)
     table.header({"cores", "base-2.6.32", "linux-3.13", "fastsocket",
                   "fast-313", "fast-base"});
 
+    BenchJsonReport json("fig4b_haproxy");
     for (int cores : kCoreSweep) {
         double cps[3];
         for (int k = 0; k < 3; ++k) {
@@ -38,7 +39,11 @@ main(int argc, char **argv)
             cfg.backendCount = 16;
             cfg.warmupSec = args.quick ? 0.02 : 0.05;
             cfg.measureSec = args.quick ? 0.05 : 0.15;
-            cps[k] = runExperiment(cfg).cps;
+            ExperimentResult r = runExperiment(cfg);
+            json.addRow(std::string(kKernels[k].name) + "@" +
+                            std::to_string(cores),
+                        cfg, r);
+            cps[k] = r.cps;
         }
         table.row({std::to_string(cores), kcps(cps[0]), kcps(cps[1]),
                    kcps(cps[2]), kcps(cps[2] - cps[1]),
@@ -47,5 +52,6 @@ main(int argc, char **argv)
     table.print();
     std::printf("\nPaper at 24 cores: fastsocket beats 3.13 by 139K cps "
                 "and base by 370K cps.\n");
+    finishJson(args, json);
     return 0;
 }

@@ -51,6 +51,7 @@ main(int argc, char **argv)
     table.header({"config", "throughput", "L3 miss", "local pkts",
                   "sw-steered"});
 
+    BenchJsonReport json("fig5_locality");
     for (const Config &c : configs) {
         ExperimentConfig cfg;
         cfg.app = AppKind::kHaproxy;
@@ -71,11 +72,13 @@ main(int argc, char **argv)
         cfg.warmupSec = args.quick ? 0.02 : 0.06;
         cfg.measureSec = args.quick ? 0.05 : 0.15;
         ExperimentResult r = runExperiment(cfg);
+        json.addRow(c.name, cfg, r);
 
         table.row({c.name, kcps(r.cps), formatPercent(r.l3MissRate),
                    formatPercent(r.localPktProportion),
                    formatCount(static_cast<double>(r.steeredPackets))});
     }
     table.print();
+    finishJson(args, json);
     return 0;
 }

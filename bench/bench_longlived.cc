@@ -28,6 +28,7 @@ main(int argc, char **argv)
     table.header({"reqs/conn", "base-2.6.32 rps", "fastsocket rps",
                   "fast/base"});
 
+    BenchJsonReport json("longlived");
     for (int reqs : {1, 4, 16, 64}) {
         double rps[2];
         for (int k = 0; k < 2; ++k) {
@@ -41,6 +42,9 @@ main(int argc, char **argv)
             cfg.warmupSec = args.quick ? 0.02 : 0.04;
             cfg.measureSec = args.quick ? 0.05 : 0.12;
             ExperimentResult r = runExperiment(cfg);
+            json.addRow(std::string(k == 0 ? "base-2.6.32" : "fastsocket") +
+                            "-reqs-" + std::to_string(reqs),
+                        cfg, r);
             rps[k] = r.rps;
         }
         char ratio[16];
@@ -50,5 +54,6 @@ main(int argc, char **argv)
                    ratio});
     }
     table.print();
+    finishJson(args, json);
     return 0;
 }

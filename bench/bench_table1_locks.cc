@@ -67,6 +67,7 @@ main(int argc, char **argv)
     TextTable table;
     table.header({"lock", "Baseline", "+V", "+VL", "+VLR", "+VLRE(=FS)"});
 
+    BenchJsonReport json("table1_locks");
     std::vector<ExperimentResult> results;
     std::vector<double> cps;
     for (const Step &s : steps) {
@@ -77,8 +78,12 @@ main(int argc, char **argv)
         cfg.concurrencyPerCore = args.quick ? 150 : 300;
         cfg.warmupSec = args.quick ? 0.02 : 0.05;
         cfg.measureSec = measure;
+        // Four sub-windows expose how contention evolves inside the
+        // measurement window.
+        cfg.statWindows = 4;
         Testbed bed(cfg);
         results.push_back(bed.run());
+        json.addRow(s.name, cfg, results.back());
         cps.push_back(results.back().cps);
     }
 
@@ -137,6 +142,8 @@ main(int argc, char **argv)
         shares.row({"avg core utilization", formatPercent(r.avgUtil()),
                     "~45%"});
         shares.print();
+        json.addRow("8core-partial-load", cfg, r);
     }
+    finishJson(args, json);
     return 0;
 }

@@ -71,6 +71,10 @@ AppBase::runLoop(std::size_t idx, Tick start)
     ps.wakePending = false;
     KernelStack &k = m_.kernel();
 
+    m_.tracer().emit(ps.core, TraceEventType::kAppWake, start,
+                     ps.remoteWake ? 1u : 0u,
+                     static_cast<std::uint16_t>(ps.proc));
+
     // Scheduler wakeup cost; a cross-core wake pays the IPI + resched.
     Tick t = start + (ps.remoteWake ? m_.costs().schedWakeRemote
                                     : m_.costs().schedWakeLocal);

@@ -12,12 +12,19 @@ Machine::Machine(EventQueue &eq, Wire &wire, const MachineConfig &cfg)
     if (cfg_.listenIps <= 0)
         cfg_.listenIps = cfg_.cores;
 
+    tracer_ = std::make_unique<Tracer>(cfg_.cores,
+                                       cfg_.traceRingCapacity);
+    tracer_->setEnabled(cfg_.traceEnabled);
+
     cache_ = std::make_unique<CacheModel>(cfg_.cores,
                                           costs_.cacheMissPenalty,
                                           costs_.numaNodeSize,
                                           costs_.numaRemotePenalty);
     cache_->setBackgroundMissRate(costs_.backgroundMissRate);
+    cache_->setTracer(tracer_.get());
     cpu_ = std::make_unique<CpuModel>(eq_, *cache_, costs_, cfg_.cores);
+    cpu_->setTracer(tracer_.get());
+    locks_.setTracer(tracer_.get());
 
     NicConfig nic_cfg = cfg_.nic;
     nic_cfg.numQueues = cfg_.cores;
@@ -32,6 +39,7 @@ Machine::Machine(EventQueue &eq, Wire &wire, const MachineConfig &cfg)
     deps.nic = nic_.get();
     deps.wire = &wire;
     deps.rng = &rng_;
+    deps.tracer = tracer_.get();
     kernel_ = std::make_unique<KernelStack>(deps, cfg_.kernel);
 
     for (int i = 0; i < cfg_.listenIps; ++i) {

@@ -21,6 +21,7 @@
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "sync/lock_registry.hh"
+#include "trace/tracer.hh"
 
 namespace fsim
 {
@@ -37,6 +38,10 @@ struct MachineConfig
     int listenIps = 0;
     Port servicePort = 80;
     std::uint64_t seed = 1;
+    /** Leave the trace subsystem on (cheap; overhead bench gates it). */
+    bool traceEnabled = true;
+    /** Per-core trace ring capacity in events. */
+    std::size_t traceRingCapacity = Tracer::kDefaultRingCapacity;
 };
 
 /** One simulated server machine. */
@@ -52,6 +57,8 @@ class Machine
     KernelStack &kernel() { return *kernel_; }
     CpuModel &cpu() { return *cpu_; }
     CacheModel &cache() { return *cache_; }
+    Tracer &tracer() { return *tracer_; }
+    const Tracer &tracer() const { return *tracer_; }
     LockRegistry &locks() { return locks_; }
     Nic &nic() { return *nic_; }
     Rng &rng() { return rng_; }
@@ -75,6 +82,7 @@ class Machine
     MachineConfig cfg_;
     CycleCosts costs_;
     Rng rng_;
+    std::unique_ptr<Tracer> tracer_;
     std::unique_ptr<CacheModel> cache_;
     std::unique_ptr<CpuModel> cpu_;
     LockRegistry locks_;

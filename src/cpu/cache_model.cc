@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "sim/logging.hh"
+#include "trace/tracer.hh"
 
 namespace fsim
 {
@@ -61,7 +62,10 @@ CacheModel::access(CoreId c, std::uint64_t obj, bool write, int lines)
         penalty = remotePenalty_;   // cross-socket transfer
     if (write || own == kInvalidCore)
         own = c;
-    return penalty * static_cast<Tick>(lines);
+    Tick stall = penalty * static_cast<Tick>(lines);
+    if (tracer_)
+        tracer_->noteCacheStall(c, stall);
+    return stall;
 }
 
 void

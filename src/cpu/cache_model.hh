@@ -22,6 +22,8 @@
 namespace fsim
 {
 
+class Tracer;
+
 /** Per-machine cache coherence model and L3 statistics. */
 class CacheModel
 {
@@ -65,6 +67,10 @@ class CacheModel
     /** Set the background miss rate charged by noteLocalAccesses. */
     void setBackgroundMissRate(double rate) { bgMissRate_ = rate; }
 
+    /** Attach the machine tracer: transfer penalties are then charged
+     *  to the cache-stall phase of the accessing core. */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
     /** @name Statistics */
     /** @{ */
     std::uint64_t accesses(CoreId c) const { return accesses_[c]; }
@@ -89,6 +95,7 @@ class CacheModel
     Tick remotePenalty_;
     int nodeSize_;
     double bgMissRate_ = 0.0;
+    Tracer *tracer_ = nullptr;
     std::vector<CoreId> owner_;
     std::vector<std::uint64_t> freeIds_;
     std::vector<double> bgAccum_;

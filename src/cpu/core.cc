@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "trace/tracer.hh"
 
 namespace fsim
 {
@@ -21,6 +22,15 @@ CpuModel::post(CoreId c, TaskPrio prio, Task task)
 {
     Core &core = cores_.at(c);
     core.queues_[static_cast<int>(prio)].push_back(std::move(task));
+    if (tracer_) {
+        auto qid = prio == TaskPrio::kSoftIrq
+                       ? TraceQueueId::kSoftirqBacklog
+                       : TraceQueueId::kProcessBacklog;
+        tracer_->emit(c, TraceEventType::kQueueEnqueue, eq_.now(),
+                      static_cast<std::uint32_t>(
+                          core.queues_[static_cast<int>(prio)].size()),
+                      static_cast<std::uint16_t>(qid));
+    }
     if (!core.running_) {
         core.running_ = true;
         Tick start = std::max(eq_.now(), core.busyUntil_);
@@ -43,6 +53,7 @@ CpuModel::runNext(CoreId c)
         return;
     }
 
+    bool softirq = q == &core.queues_[0];
     Task task = std::move(q->front());
     q->pop_front();
 
@@ -51,9 +62,27 @@ CpuModel::runNext(CoreId c)
         fsim_panic("core %d task overlap: start=%llu busyUntil=%llu",
                    c, (unsigned long long)start,
                    (unsigned long long)core.busyUntil_);
+    if (tracer_) {
+        tracer_->emit(c, TraceEventType::kQueueDequeue, start,
+                      static_cast<std::uint32_t>(q->size()),
+                      static_cast<std::uint16_t>(
+                          softirq ? TraceQueueId::kSoftirqBacklog
+                                  : TraceQueueId::kProcessBacklog));
+        if (softirq)
+            tracer_->emit(c, TraceEventType::kSoftirqEnter, start);
+        // The root frame: everything the task does nests under it, so
+        // attributed cycles partition the core's busy time exactly.
+        tracer_->pushPhase(c, softirq ? Phase::kSoftirq : Phase::kApp,
+                           start);
+    }
     Tick end = task(start);
     if (end < start)
         fsim_panic("task finished before it started");
+    if (tracer_) {
+        tracer_->popPhase(c, end);
+        if (softirq)
+            tracer_->emit(c, TraceEventType::kSoftirqExit, end);
+    }
 
     Tick work = end - start;
     core.busyTicks_ += work;

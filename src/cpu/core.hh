@@ -26,6 +26,8 @@
 namespace fsim
 {
 
+class Tracer;
+
 /** Scheduling class of a task. Lower value runs first. */
 enum class TaskPrio
 {
@@ -96,12 +98,23 @@ class CpuModel
     CacheModel &cache() { return cache_; }
     const CycleCosts &costs() const { return costs_; }
 
+    /**
+     * Attach the machine tracer. Every task then runs under a root
+     * phase frame (SoftIRQ tasks under softirq, process tasks under
+     * app), which is what makes the cycle-attribution sum equal the
+     * measured busy cycles, and backlog depths are recorded as queue
+     * events.
+     */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+    Tracer *tracer() { return tracer_; }
+
   private:
     void runNext(CoreId c);
 
     EventQueue &eq_;
     CacheModel &cache_;
     const CycleCosts &costs_;
+    Tracer *tracer_ = nullptr;
     std::vector<Core> cores_;
 };
 

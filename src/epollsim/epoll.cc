@@ -3,13 +3,14 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "trace/tracer.hh"
 
 namespace fsim
 {
 
 EventPoll::EventPoll(LockRegistry &locks, CacheModel &cache,
                      const CycleCosts &costs)
-    : cache_(cache), costs_(costs)
+    : cache_(cache), costs_(costs), tracer_(locks.tracer())
 {
     epLock_.init(locks.getClass("ep.lock"), &cache_,
                  costs_.lockAcquireBase, costs_.lockHandoffStorm);
@@ -51,6 +52,9 @@ EventPoll::wake(CoreId c, Tick t, int fd)
     if (!it->second) {
         it->second = true;
         ready_.push_back(fd);
+        if (tracer_)
+            tracer_->emit(c, TraceEventType::kEpollWake, end,
+                          static_cast<std::uint32_t>(fd));
     }
     return end;
 }

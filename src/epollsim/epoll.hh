@@ -26,6 +26,8 @@
 namespace fsim
 {
 
+class Tracer;
+
 /** One epoll instance (each simulated process owns one). */
 class EventPoll
 {
@@ -65,6 +67,7 @@ class EventPoll
   private:
     CacheModel &cache_;
     const CycleCosts &costs_;
+    Tracer *tracer_;   //!< borrowed from the lock registry; may be null
     SimSpinLock epLock_;
     std::uint64_t readyListObj_;
 

@@ -1,0 +1,203 @@
+#include "harness/bench_json.hh"
+
+#include <cstdio>
+#include <utility>
+
+#include "trace/json_writer.hh"
+
+namespace fsim
+{
+
+namespace
+{
+
+void
+writeLockClass(JsonWriter &w, const LockClassStats &s)
+{
+    w.beginObject();
+    w.key("acquisitions").value(s.acquisitions);
+    w.key("contentions").value(s.contentions);
+    w.key("wait_ticks").value(s.waitTicks);
+    w.key("hold_ticks").value(s.holdTicks);
+    w.key("max_wait_ticks").value(static_cast<std::uint64_t>(
+        s.maxWaitTicks));
+    w.endObject();
+}
+
+} // namespace
+
+const char *
+kernelFlavorName(KernelFlavor f)
+{
+    switch (f) {
+      case KernelFlavor::kBase2632:
+        return "base-2.6.32";
+      case KernelFlavor::kLinux313:
+        return "linux-3.13";
+      case KernelFlavor::kFastsocket:
+        return "fastsocket";
+    }
+    return "unknown";
+}
+
+BenchJsonReport::BenchJsonReport(std::string bench_name)
+    : name_(std::move(bench_name))
+{
+}
+
+void
+BenchJsonReport::addRow(const std::string &label,
+                        const ExperimentConfig &cfg,
+                        const ExperimentResult &r)
+{
+    rows_.push_back(Row{label, cfg, r});
+}
+
+std::string
+BenchJsonReport::str() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema_version").value(kSchemaVersion);
+    w.key("bench").value(name_);
+    w.key("rows").beginArray();
+
+    for (const Row &row : rows_) {
+        const ExperimentConfig &cfg = row.cfg;
+        const ExperimentResult &r = row.res;
+
+        w.beginObject();
+        w.key("label").value(row.label);
+
+        w.key("config").beginObject();
+        w.key("app").value(cfg.app == AppKind::kHaproxy ? "haproxy"
+                                                        : "nginx");
+        w.key("cores").value(cfg.machine.cores);
+        w.key("flavor").value(kernelFlavorName(cfg.machine.kernel.flavor));
+        w.key("fast_vfs").value(cfg.machine.kernel.fastVfs);
+        w.key("local_listen").value(cfg.machine.kernel.localListen);
+        w.key("rfd").value(cfg.machine.kernel.rfd);
+        w.key("local_established")
+            .value(cfg.machine.kernel.localEstablished);
+        w.key("concurrency_per_core").value(cfg.concurrencyPerCore);
+        w.key("measure_sec").value(cfg.measureSec);
+        w.key("trace_enabled").value(cfg.machine.traceEnabled);
+        w.endObject();
+
+        w.key("metrics").beginObject();
+        w.key("cps").value(r.cps);
+        w.key("rps").value(r.rps);
+        w.key("l3_miss_rate").value(r.l3MissRate);
+        w.key("local_pkt_proportion").value(r.localPktProportion);
+        w.key("served").value(r.served);
+        w.key("client_failures").value(r.clientFailures);
+        w.key("slow_path_accepts").value(r.slowPathAccepts);
+        w.key("steered_packets").value(r.steeredPackets);
+        w.key("rx_packets").value(r.rxPackets);
+        w.key("avg_util").value(r.avgUtil());
+        w.key("max_util").value(r.maxUtil());
+        w.key("core_util").beginArray();
+        for (double u : r.coreUtil)
+            w.value(u);
+        w.endArray();
+        w.endObject();
+
+        w.key("phases").beginObject();
+        w.key("names").beginArray();
+        for (int p = 0; p < kNumPhases; ++p)
+            w.value(phaseName(static_cast<Phase>(p)));
+        w.endArray();
+        w.key("per_core").beginArray();
+        for (const auto &core : r.phases.fractions) {
+            w.beginArray();
+            for (double f : core)
+                w.value(f);
+            w.endArray();
+        }
+        w.endArray();
+        w.key("machine").beginObject();
+        for (int p = 0; p < kNumPhases; ++p) {
+            auto ph = static_cast<Phase>(p);
+            w.key(phaseName(ph)).value(r.phases.total(ph));
+        }
+        w.endObject();
+        w.endObject();
+
+        w.key("folded_stacks").beginArray();
+        for (const auto &fs : r.foldedStacks) {
+            w.beginObject();
+            w.key("stack").value(fs.first);
+            w.key("cycles").value(fs.second);
+            w.endObject();
+        }
+        w.endArray();
+
+        w.key("locks").beginObject();
+        for (const auto &kv : r.locks) {
+            w.key(kv.first);
+            writeLockClass(w, kv.second);
+        }
+        w.endObject();
+
+        w.key("lock_cycle_share").beginObject();
+        for (const auto &kv : r.lockCycleShare)
+            w.key(kv.first).value(kv.second);
+        w.endObject();
+
+        w.key("lock_windows").beginArray();
+        for (const LockWindow &lw : r.lockWindows) {
+            w.beginObject();
+            w.key("start").value(static_cast<std::uint64_t>(lw.start));
+            w.key("end").value(static_cast<std::uint64_t>(lw.end));
+            w.key("locks").beginObject();
+            for (const auto &kv : lw.locks) {
+                w.key(kv.first);
+                writeLockClass(w, kv.second);
+            }
+            w.endObject();
+            w.endObject();
+        }
+        w.endArray();
+
+        w.key("queue_timelines").beginObject();
+        for (const auto &kv : r.queueTimelines) {
+            w.key(kv.first).beginArray();
+            for (const QueueSample &s : kv.second) {
+                w.beginArray();
+                w.value(static_cast<std::uint64_t>(s.tick));
+                w.value(static_cast<std::uint64_t>(s.depth));
+                w.endArray();
+            }
+            w.endArray();
+        }
+        w.endObject();
+
+        w.key("trace").beginObject();
+        w.key("window_span").value(static_cast<std::uint64_t>(
+            r.windowSpan));
+        w.key("events_recorded").value(r.traceEventsRecorded);
+        w.key("events_overwritten").value(r.traceEventsOverwritten);
+        w.key("untracked_cycles").value(r.phaseCycles.untracked);
+        w.endObject();
+
+        w.endObject();
+    }
+
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+BenchJsonReport::writeFile(const std::string &path) const
+{
+    std::string doc = str();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    bool ok = n == doc.size() && std::fputc('\n', f) != EOF;
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace fsim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Versioned JSON export of bench results.
+ *
+ * Every bench binary accumulates one BenchJsonReport row per experiment
+ * it runs and, when invoked with --json=<path>, writes the whole report
+ * to disk. The schema is versioned so downstream tooling (plot scripts,
+ * the CI validator) can reject documents it does not understand.
+ */
+
+#ifndef FSIM_HARNESS_BENCH_JSON_HH
+#define FSIM_HARNESS_BENCH_JSON_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace fsim
+{
+
+/** Accumulates experiment rows and renders the versioned document. */
+class BenchJsonReport
+{
+  public:
+    /** Bump when the document layout changes incompatibly. */
+    static constexpr int kSchemaVersion = 1;
+
+    explicit BenchJsonReport(std::string bench_name);
+
+    /** Record one experiment under display label @p label. */
+    void addRow(const std::string &label, const ExperimentConfig &cfg,
+                const ExperimentResult &r);
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render the full JSON document. */
+    std::string str() const;
+
+    /** Render and write to @p path. @return false on I/O error. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    struct Row
+    {
+        std::string label;
+        ExperimentConfig cfg;
+        ExperimentResult res;
+    };
+
+    std::string name_;
+    std::vector<Row> rows_;
+};
+
+/** Stable flavor name ("base-2.6.32", "linux-3.13", "fastsocket"). */
+const char *kernelFlavorName(KernelFlavor f);
+
+} // namespace fsim
+
+#endif // FSIM_HARNESS_BENCH_JSON_HH

@@ -113,6 +113,7 @@ Testbed::markWindows()
     machine_->markWindow();
     load_->markWindow();
     lockMark_ = machine_->locks().snapshot();
+    phaseMark_ = machine_->tracer().phaseSnapshot();
     accessesMark_ = machine_->cache().totalAccesses();
     missesMark_ = machine_->cache().totalMisses();
     servedMark_ = app_->served();
@@ -166,6 +167,23 @@ Testbed::collect()
                 static_cast<double>(kv.second.waitTicks) / total_cycles;
         }
     }
+
+    // Trace-derived breakdowns: where did every window cycle go?
+    const Tracer &tr = machine_->tracer();
+    r.windowSpan = span;
+    r.phaseCycles = phaseDelta(phaseMark_, tr.phaseSnapshot());
+    r.phases = phaseBreakdown(r.phaseCycles, span);
+    r.foldedStacks = foldedStacks(r.phaseCycles);
+    for (int q = 0; q <= static_cast<int>(TraceQueueId::kProcessBacklog);
+         ++q) {
+        auto qid = static_cast<TraceQueueId>(q);
+        std::vector<QueueSample> tl = queueTimeline(tr, qid,
+                                                    /*max_samples=*/512);
+        if (!tl.empty())
+            r.queueTimelines[traceQueueName(qid)] = std::move(tl);
+    }
+    r.traceEventsRecorded = tr.eventsRecorded();
+    r.traceEventsOverwritten = tr.eventsOverwritten();
     return r;
 }
 
@@ -175,8 +193,31 @@ Testbed::run()
     startLoad();
     eq_->runUntil(eq_->now() + ticksFromSeconds(cfg_.warmupSec));
     markWindows();
-    eq_->runUntil(eq_->now() + ticksFromSeconds(cfg_.measureSec));
-    return collect();
+
+    // Split the measurement into statWindows sub-windows, snapshotting
+    // lockstat at each boundary so contention evolution is visible.
+    int wins = std::max(1, cfg_.statWindows);
+    Tick begin = eq_->now();
+    Tick measure = ticksFromSeconds(cfg_.measureSec);
+    std::vector<LockWindow> lock_windows;
+    std::map<std::string, LockClassStats> prev =
+        machine_->locks().snapshot();
+    for (int w = 0; w < wins; ++w) {
+        Tick wstart = eq_->now();
+        eq_->runUntil(begin + measure * (w + 1) / wins);
+        std::map<std::string, LockClassStats> cur =
+            machine_->locks().snapshot();
+        LockWindow lw;
+        lw.start = wstart;
+        lw.end = eq_->now();
+        lw.locks = lockDelta(prev, cur);
+        lock_windows.push_back(std::move(lw));
+        prev = std::move(cur);
+    }
+
+    ExperimentResult r = collect();
+    r.lockWindows = std::move(lock_windows);
+    return r;
 }
 
 ExperimentResult

@@ -21,6 +21,7 @@
 #include "app/web_server.hh"
 #include "kernel/kernel_config.hh"
 #include "sync/lock_registry.hh"
+#include "trace/trace_report.hh"
 
 namespace fsim
 {
@@ -59,6 +60,17 @@ struct ExperimentConfig
     double lossRate = 0.0;
     /** Client give-up timeout (0 = none; required if lossRate > 0). */
     Tick clientTimeout = 0;
+    /** Sub-windows the measurement window is split into for per-window
+     *  lockstat deltas (1 = a single whole-window delta). */
+    int statWindows = 1;
+};
+
+/** Lock-stat deltas of one measurement sub-window. */
+struct LockWindow
+{
+    Tick start = 0;
+    Tick end = 0;
+    std::map<std::string, LockClassStats> locks;
 };
 
 /** Measured outcome of one experiment. */
@@ -78,6 +90,24 @@ struct ExperimentResult
     std::uint64_t rxPackets = 0;
     /** Fraction of measured cycles spent spinning on each lock class. */
     std::map<std::string, double> lockCycleShare;
+
+    /** @name Trace-derived observability (window-scoped) */
+    /** @{ */
+    /** Measurement window length in ticks. */
+    Tick windowSpan = 0;
+    /** Raw per-core phase-cycle deltas over the window. */
+    PhaseSnapshot phaseCycles;
+    /** Normalized per-core phase fractions (each row sums to 1). */
+    PhaseBreakdown phases;
+    /** Folded stacks ("softirq;lock-spin cycles"), heaviest first. */
+    std::vector<std::pair<std::string, std::uint64_t>> foldedStacks;
+    /** Per-window lockstat deltas (cfg.statWindows sub-windows). */
+    std::vector<LockWindow> lockWindows;
+    /** Accept/backlog queue-depth timelines, keyed by queue name. */
+    std::map<std::string, std::vector<QueueSample>> queueTimelines;
+    std::uint64_t traceEventsRecorded = 0;
+    std::uint64_t traceEventsOverwritten = 0;
+    /** @} */
 
     double maxUtil() const;
     double avgUtil() const;
@@ -122,6 +152,7 @@ class Testbed
 
     bool loadStarted_ = false;
     std::map<std::string, LockClassStats> lockMark_;
+    PhaseSnapshot phaseMark_;
     std::uint64_t accessesMark_ = 0;
     std::uint64_t missesMark_ = 0;
     std::uint64_t servedMark_ = 0;

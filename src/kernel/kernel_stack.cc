@@ -4,9 +4,74 @@
 #include <cstdio>
 
 #include "sim/logging.hh"
+#include "trace/tracer.hh"
 
 namespace fsim
 {
+
+namespace
+{
+
+/**
+ * Brackets one syscall: enter/exit trace events plus a kSyscall phase
+ * frame so the syscall's cycles (minus nested lock-spin/cache-stall
+ * charges) show up as "sys" in the phase breakdown. done() must be
+ * called with the syscall's completion tick; if a path forgets, the
+ * destructor closes the frame with zero self time rather than
+ * corrupting the phase stack.
+ */
+struct SyscallScope
+{
+    SyscallScope(Tracer *tr, CoreId core, SyscallId id, Tick begin)
+        : tr_(tr), core_(core), id_(id), begin_(begin)
+    {
+        if (tr_) {
+            tr_->emit(core_, TraceEventType::kSyscallEnter, begin_, 0,
+                      static_cast<std::uint16_t>(id_));
+            tr_->pushPhase(core_, Phase::kSyscall, begin_);
+        }
+    }
+
+    Tick
+    done(Tick end)
+    {
+        if (tr_) {
+            tr_->popPhase(core_, end);
+            tr_->emit(core_, TraceEventType::kSyscallExit, end, 0,
+                      static_cast<std::uint16_t>(id_));
+            tr_ = nullptr;
+        }
+        return end;
+    }
+
+    ~SyscallScope()
+    {
+        if (tr_)
+            done(begin_);
+    }
+
+    SyscallScope(const SyscallScope &) = delete;
+    SyscallScope &operator=(const SyscallScope &) = delete;
+
+  private:
+    Tracer *tr_;
+    CoreId core_;
+    SyscallId id_;
+    Tick begin_;
+};
+
+/** Which accept queue a listener represents, for queue-depth traces. */
+TraceQueueId
+acceptQueueIdOf(const Socket *listener)
+{
+    if (listener->isLocalListen)
+        return TraceQueueId::kAcceptLocal;
+    if (listener->reuseportOwner >= 0)
+        return TraceQueueId::kAcceptReuseport;
+    return TraceQueueId::kAcceptShared;
+}
+
+} // namespace
 
 KernelStack::KernelStack(const Deps &deps, const KernelConfig &cfg)
     : d_(deps), cfg_(cfg)
@@ -235,6 +300,9 @@ KernelStack::destroySocket(CoreId core, Tick t, Socket *sock)
     }
     d_.cache->freeObject(sock->cacheObj);
     ++stats_.socketsDestroyed;
+    if (d_.tracer && sock->kind == SockKind::kConnection)
+        d_.tracer->emit(core, TraceEventType::kConnClosed, t,
+                        static_cast<std::uint32_t>(sock->id));
     sockets_.erase(sock->id);
     return t;
 }
@@ -449,6 +517,9 @@ KernelStack::netRx(CoreId core, const Packet &pkt, Tick t, bool steered)
             // Hand the packet to the right core's SoftIRQ backlog.
             t += d_.costs->steerCost;
             ++stats_.steeredPackets;
+            if (d_.tracer)
+                d_.tracer->emit(core, TraceEventType::kPacketSteered, t,
+                                static_cast<std::uint32_t>(target));
             Packet copy = pkt;
             d_.cpu->post(target, TaskPrio::kSoftIrq,
                          [this, target, copy](Tick start) {
@@ -628,6 +699,11 @@ KernelStack::handleEstablishedPacket(CoreId core, Socket *sock,
                              prev_state != TcpState::kTimeWait;
     bool send_ack = pkt.has(kFin) && !destroy;
 
+    if (d_.tracer && sock->state == TcpState::kEstablished &&
+        prev_state != TcpState::kEstablished)
+        d_.tracer->emit(core, TraceEventType::kConnEstablished, t,
+                        static_cast<std::uint32_t>(sock->id));
+
     t = sock->slock.runLocked(core, t, hold);
 
     if (pkt.payload && sock->state == TcpState::kEstablished) {
@@ -652,6 +728,11 @@ KernelStack::handleEstablishedPacket(CoreId core, Socket *sock,
             return destroySocket(core, t, sock);
         }
         listener->acceptQueue.push_back(sock);
+        if (d_.tracer)
+            d_.tracer->emit(
+                core, TraceEventType::kQueueEnqueue, t,
+                static_cast<std::uint32_t>(listener->acceptQueue.size()),
+                static_cast<std::uint16_t>(acceptQueueIdOf(listener)));
         t = wakeListen(core, t, listener);
     }
 
@@ -705,6 +786,7 @@ KernelStack::accept(int proc, Tick t, int listen_fd)
     Socket *lsock = sockFromFd(proc, listen_fd);
     fsim_assert(lsock && lsock->kind == SockKind::kListen);
 
+    SyscallScope sc(d_.tracer, core, SyscallId::kAccept, t);
     t += d_.costs->syscallOverhead + d_.costs->acceptCost;
     // accept() writes the listener TCB (queue heads, counters), keeping
     // its cache line homed on the accepting core.
@@ -723,6 +805,11 @@ KernelStack::accept(int proc, Tick t, int listen_fd)
             conn = global->acceptQueue.front();
             global->acceptQueue.pop_front();
             ++stats_.slowPathAccepts;
+            if (d_.tracer)
+                d_.tracer->emit(
+                    core, TraceEventType::kQueueDequeue, t,
+                    static_cast<std::uint32_t>(global->acceptQueue.size()),
+                    static_cast<std::uint16_t>(acceptQueueIdOf(global)));
         }
     }
 
@@ -732,11 +819,16 @@ KernelStack::accept(int proc, Tick t, int listen_fd)
         if (!lsock->acceptQueue.empty()) {
             conn = lsock->acceptQueue.front();
             lsock->acceptQueue.pop_front();
+            if (d_.tracer)
+                d_.tracer->emit(
+                    core, TraceEventType::kQueueDequeue, t,
+                    static_cast<std::uint32_t>(lsock->acceptQueue.size()),
+                    static_cast<std::uint16_t>(acceptQueueIdOf(lsock)));
         }
     }
 
     if (!conn) {
-        out.t = t;
+        out.t = sc.done(t);
         return out;   // EAGAIN
     }
 
@@ -758,7 +850,7 @@ KernelStack::accept(int proc, Tick t, int listen_fd)
 
     out.sock = conn;
     out.fd = fd;
-    out.t = t;
+    out.t = sc.done(t);
     return out;
 }
 
@@ -773,6 +865,7 @@ KernelStack::connect(int proc, Tick t, IpAddr dst, Port dport)
         fsim_fatal("connect() with no local address configured");
     IpAddr src = localAddrs_.front();
 
+    SyscallScope sc(d_.tracer, core, SyscallId::kConnect, t);
     t += d_.costs->syscallOverhead + d_.costs->connectCost +
          d_.costs->portAllocCost;
 
@@ -810,7 +903,7 @@ KernelStack::connect(int proc, Tick t, IpAddr dst, Port dport)
         psrc = ports_.alloc(dst, dport);
     }
     if (psrc == 0) {
-        out.t = t;
+        out.t = sc.done(t);
         return out;   // EADDRNOTAVAIL
     }
 
@@ -841,7 +934,7 @@ KernelStack::connect(int proc, Tick t, IpAddr dst, Port dport)
 
     out.sock = sock;
     out.fd = fd;
-    out.t = t;
+    out.t = sc.done(t);
     return out;
 }
 
@@ -849,14 +942,16 @@ Tick
 KernelStack::epollWait(int proc, Tick t, std::vector<int> &fds)
 {
     KProcess &p = *procs_.at(proc);
-    return p.epoll->wait(p.core, t, fds);
+    SyscallScope sc(d_.tracer, p.core, SyscallId::kEpollWait, t);
+    return sc.done(p.epoll->wait(p.core, t, fds));
 }
 
 Tick
 KernelStack::epollAdd(int proc, Tick t, int fd)
 {
     KProcess &p = *procs_.at(proc);
-    return p.epoll->ctlAdd(p.core, t, fd);
+    SyscallScope sc(d_.tracer, p.core, SyscallId::kEpollCtl, t);
+    return sc.done(p.epoll->ctlAdd(p.core, t, fd));
 }
 
 KernelStack::ReadResult
@@ -868,6 +963,7 @@ KernelStack::read(int proc, Tick t, int fd)
     Socket *sock = sockFromFd(proc, fd);
     fsim_assert(sock != nullptr);
 
+    SyscallScope sc(d_.tracer, core, SyscallId::kRead, t);
     t += d_.costs->syscallOverhead + d_.costs->readCost;
     t += d_.cache->access(core, sock->cacheObj, /*write=*/true,
                           d_.costs->tcbLines);
@@ -877,7 +973,7 @@ KernelStack::read(int proc, Tick t, int fd)
     out.bytes = sock->rxPending;
     sock->rxPending = 0;
     out.finSeen = sock->peerFin;
-    out.t = t;
+    out.t = sc.done(t);
     return out;
 }
 
@@ -889,6 +985,7 @@ KernelStack::write(int proc, Tick t, int fd, std::uint32_t bytes)
     Socket *sock = sockFromFd(proc, fd);
     fsim_assert(sock != nullptr);
 
+    SyscallScope sc(d_.tracer, core, SyscallId::kWrite, t);
     t += d_.costs->syscallOverhead + d_.costs->writeCost;
     t += d_.cache->access(core, sock->cacheObj, /*write=*/true,
                           d_.costs->tcbLines);
@@ -900,7 +997,7 @@ KernelStack::write(int proc, Tick t, int fd, std::uint32_t bytes)
     // locality this crosses cores into the SoftIRQ core's base.
     t = armConnTimer(core, t, sock, cfg_.keepaliveJiffies);
 
-    return sendPacket(core, t, sock, kAck | kPsh, bytes);
+    return sc.done(sendPacket(core, t, sock, kAck | kPsh, bytes));
 }
 
 Tick
@@ -913,6 +1010,7 @@ KernelStack::close(int proc, Tick t, int fd)
     SocketFile *file = it->second;
     Socket *sock = static_cast<Socket *>(file->priv);
 
+    SyscallScope sc(d_.tracer, core, SyscallId::kClose, t);
     t += d_.costs->syscallOverhead + d_.costs->closeCost;
     sock->touch(core);
 
@@ -932,7 +1030,7 @@ KernelStack::close(int proc, Tick t, int fd)
                                    return e.first == proc;
                                }),
                 w.end());
-        return t;
+        return sc.done(t);
     }
 
     t = sock->slock.runLocked(core, t, d_.costs->slockHoldApp);
@@ -956,7 +1054,7 @@ KernelStack::close(int proc, Tick t, int fd)
       default:
         break;
     }
-    return t;
+    return sc.done(t);
 }
 
 std::vector<const Socket *>

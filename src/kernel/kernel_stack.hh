@@ -90,6 +90,8 @@ class KernelStack
         Nic *nic;
         Wire *wire;
         Rng *rng;
+        /** Optional observability hook; null disables kernel tracing. */
+        Tracer *tracer = nullptr;
     };
 
     KernelStack(const Deps &deps, const KernelConfig &cfg);

@@ -12,8 +12,18 @@ LockRegistry::getClass(const std::string &name)
     order_.push_back(std::make_unique<LockClassStats>());
     LockClassStats *cls = order_.back().get();
     cls->name = name;
+    cls->traceId = static_cast<std::uint16_t>(order_.size() - 1);
+    cls->tracer = tracer_;
     byName_[name] = cls;
     return cls;
+}
+
+void
+LockRegistry::setTracer(Tracer *tracer)
+{
+    tracer_ = tracer;
+    for (const auto &p : order_)
+        p->tracer = tracer;
 }
 
 std::vector<const LockClassStats *>

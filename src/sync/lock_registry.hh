@@ -21,6 +21,8 @@
 namespace fsim
 {
 
+class Tracer;
+
 /** Aggregated statistics for one class of locks. */
 struct LockClassStats
 {
@@ -30,6 +32,12 @@ struct LockClassStats
     std::uint64_t waitTicks = 0;     //!< total cycles spent spinning
     std::uint64_t holdTicks = 0;     //!< total cycles held
     Tick maxWaitTicks = 0;
+    /** Small stable id carried by kLockSpinBegin/End trace events. */
+    std::uint16_t traceId = 0;
+    /** Machine tracer (set via LockRegistry::setTracer; may be null).
+     *  Locks reach the tracer through their class row so that the many
+     *  SimSpinLock::init call sites keep their signature. */
+    Tracer *tracer = nullptr;
 };
 
 /** Registry mapping class names to their aggregated statistics. */
@@ -38,6 +46,14 @@ class LockRegistry
   public:
     /** Fetch (creating on first use) the stats row for @p name. */
     LockClassStats *getClass(const std::string &name);
+
+    /**
+     * Attach the machine's tracer: existing and future classes get the
+     * pointer, and components constructed with a LockRegistry reference
+     * (epoll, VFS) use this as their tracer rendezvous too.
+     */
+    void setTracer(Tracer *tracer);
+    Tracer *tracer() const { return tracer_; }
 
     /** All classes in registration order. */
     std::vector<const LockClassStats *> classes() const;
@@ -56,6 +72,7 @@ class LockRegistry
   private:
     std::vector<std::unique_ptr<LockClassStats>> order_;
     std::map<std::string, LockClassStats *> byName_;
+    Tracer *tracer_ = nullptr;
 };
 
 } // namespace fsim

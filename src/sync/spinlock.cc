@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "trace/tracer.hh"
 
 namespace fsim
 {
@@ -86,6 +87,8 @@ SimSpinLock::runLocked(CoreId c, Tick t, Tick hold)
             wait = static_cast<Tick>(w);
             cls_->waitTicks += wait;
             cls_->maxWaitTicks = std::max(cls_->maxWaitTicks, wait);
+            if (cls_->tracer)
+                cls_->tracer->noteLockSpin(c, t, wait, cls_->traceId);
             // Contention counting: demand-driven spins count at rate rho
             // (PASTA); true instantaneous races count fully; skew echoes
             // barely count.
@@ -126,7 +129,7 @@ SimRwLock::init(LockClassStats *cls, CacheModel *cache, Tick base_cost,
 }
 
 Tick
-SimRwLock::contendedGrant(Tick t, Tick busy_until, Tick hold)
+SimRwLock::contendedGrant(CoreId c, Tick t, Tick busy_until, Tick hold)
 {
     int max_queue = cache_ ? cache_->numCores() : 32;
     if (busy_until <= t) {
@@ -142,6 +145,8 @@ SimRwLock::contendedGrant(Tick t, Tick busy_until, Tick hold)
                          serialized * static_cast<Tick>(streak_));
     cls_->waitTicks += wait;
     cls_->maxWaitTicks = std::max(cls_->maxWaitTicks, wait);
+    if (cls_->tracer)
+        cls_->tracer->noteLockSpin(c, t, wait + storm, cls_->traceId);
     return t + wait + storm;
 }
 
@@ -150,7 +155,7 @@ SimRwLock::runReadLocked(CoreId c, Tick t, Tick hold)
 {
     fsim_assert(cls_ != nullptr);
     ++cls_->acquisitions;
-    Tick grant = contendedGrant(t, writeFreeAt_, hold);
+    Tick grant = contendedGrant(c, t, writeFreeAt_, hold);
     grant += baseCost_;
     if (hasLine_)
         grant += cache_->access(c, lineId_, /*write=*/false);
@@ -165,7 +170,8 @@ SimRwLock::runWriteLocked(CoreId c, Tick t, Tick hold)
 {
     fsim_assert(cls_ != nullptr);
     ++cls_->acquisitions;
-    Tick grant = contendedGrant(t, std::max(writeFreeAt_, readFreeAt_),
+    Tick grant = contendedGrant(c, t,
+                                std::max(writeFreeAt_, readFreeAt_),
                                 hold);
     grant += baseCost_;
     if (hasLine_)

@@ -100,7 +100,7 @@ class SimRwLock
     bool hasLine_ = false;
     Tick baseCost_ = 0;
 
-    Tick contendedGrant(Tick t, Tick busy_until, Tick hold);
+    Tick contendedGrant(CoreId c, Tick t, Tick busy_until, Tick hold);
 
     Tick stormCost_ = 0;
     Tick writeFreeAt_ = 0;   //!< last exclusive section end

@@ -1,0 +1,198 @@
+#include "trace/json_writer.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace fsim
+{
+
+void
+JsonWriter::prepareValue()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;
+    }
+    fsim_assert(scopes_.empty() || scopes_.back() == 'a');
+    if (needComma_)
+        out_ += ',';
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    prepareValue();
+    out_ += '{';
+    scopes_.push_back('o');
+    needComma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    fsim_assert(!scopes_.empty() && scopes_.back() == 'o' &&
+                !pendingKey_);
+    scopes_.pop_back();
+    out_ += '}';
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    prepareValue();
+    out_ += '[';
+    scopes_.push_back('a');
+    needComma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    fsim_assert(!scopes_.empty() && scopes_.back() == 'a');
+    scopes_.pop_back();
+    out_ += ']';
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    fsim_assert(!scopes_.empty() && scopes_.back() == 'o' &&
+                !pendingKey_);
+    if (needComma_)
+        out_ += ',';
+    escape(k);
+    out_ += ':';
+    pendingKey_ = true;
+    needComma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    prepareValue();
+    escape(v);
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v))
+        return null();
+    prepareValue();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out_ += buf;
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    prepareValue();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)v);
+    out_ += buf;
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    prepareValue();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", (long long)v);
+    out_ += buf;
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    prepareValue();
+    out_ += v ? "true" : "false";
+    needComma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    prepareValue();
+    out_ += "null";
+    needComma_ = true;
+    return *this;
+}
+
+void
+JsonWriter::escape(const std::string &s)
+{
+    out_ += '"';
+    for (char ch : s) {
+        switch (ch) {
+          case '"':  out_ += "\\\""; break;
+          case '\\': out_ += "\\\\"; break;
+          case '\n': out_ += "\\n"; break;
+          case '\r': out_ += "\\r"; break;
+          case '\t': out_ += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out_ += buf;
+            } else {
+                out_ += ch;
+            }
+        }
+    }
+    out_ += '"';
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    fsim_assert(scopes_.empty() && !pendingKey_);
+    return out_;
+}
+
+bool
+JsonWriter::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::string &doc = str();
+    std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    bool ok = n == doc.size();
+    ok = std::fputc('\n', f) != EOF && ok;
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
+}
+
+} // namespace fsim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal dependency-free JSON emitter for the bench exporter.
+ *
+ * A push API mirroring the document structure: beginObject/endObject,
+ * beginArray/endArray, key(), and typed value writers. The writer tracks
+ * nesting to place commas and validate balanced close calls, and
+ * normalizes doubles (NaN/Inf become null, which strict parsers require).
+ */
+
+#ifndef FSIM_TRACE_JSON_WRITER_HH
+#define FSIM_TRACE_JSON_WRITER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fsim
+{
+
+/** Streaming JSON document builder. */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next value call is its value. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** The finished document; asserts all scopes are closed. */
+    const std::string &str() const;
+
+    /** Write the document to @p path. @return false on I/O error. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    void prepareValue();
+    void escape(const std::string &s);
+
+    std::string out_;
+    /** Open scopes: 'o' = object, 'a' = array. */
+    std::vector<char> scopes_;
+    bool needComma_ = false;
+    bool pendingKey_ = false;
+};
+
+} // namespace fsim
+
+#endif // FSIM_TRACE_JSON_WRITER_HH

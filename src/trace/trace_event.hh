@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Trace event and phase vocabulary of the simulated perf/ftrace layer.
+ *
+ * Events are typed records emitted at named kernel hook points (syscall
+ * entry/exit, SoftIRQ entry/exit, lock spins, queue operations,
+ * connection lifecycle) into per-core rings; phases are the buckets the
+ * PhaseAccounting layer attributes every simulated cycle to, reproducing
+ * the paper's Figure 5-style CPU breakdowns for any workload.
+ */
+
+#ifndef FSIM_TRACE_TRACE_EVENT_HH
+#define FSIM_TRACE_TRACE_EVENT_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace fsim
+{
+
+/**
+ * Execution phase a simulated cycle is charged to.
+ *
+ * kIdle is derived (window span minus attributed cycles) rather than
+ * charged, so it is last and excluded from kNumChargedPhases.
+ */
+enum class Phase : std::uint8_t
+{
+    kApp = 0,        //!< process-context application work
+    kSyscall,        //!< kernel syscall surface (accept/read/write/...)
+    kSoftirq,        //!< NET_RX / timer SoftIRQ context
+    kLockSpin,       //!< spinning on a simulated lock
+    kCacheStall,     //!< remote cache-line transfer penalties
+    kIdle,           //!< derived: core had no work
+};
+
+/** Number of phases that receive direct cycle charges. */
+constexpr int kNumChargedPhases = static_cast<int>(Phase::kIdle);
+
+/** Total number of phases including the derived idle phase. */
+constexpr int kNumPhases = kNumChargedPhases + 1;
+
+/** Stable lowercase phase name ("app", "syscall", "lock-spin", ...). */
+const char *phaseName(Phase p);
+
+/** Typed trace event kinds, one per named hook point. */
+enum class TraceEventType : std::uint8_t
+{
+    kSyscallEnter = 0,   //!< id = SyscallId
+    kSyscallExit,        //!< id = SyscallId
+    kSoftirqEnter,       //!< SoftIRQ task starts on this core
+    kSoftirqExit,
+    kLockSpinBegin,      //!< id = lock class id, arg = spin cycles
+    kLockSpinEnd,        //!< id = lock class id
+    kQueueEnqueue,       //!< id = TraceQueueId, arg = depth after push
+    kQueueDequeue,       //!< id = TraceQueueId, arg = depth after pop
+    kConnEstablished,    //!< arg = low 32 bits of socket id
+    kConnClosed,         //!< arg = low 32 bits of socket id
+    kPacketSteered,      //!< RFD software steer, arg = target core
+    kEpollWake,          //!< arg = fd made ready
+    kAppWake,            //!< id = process, arg = 1 if remote wakeup
+};
+
+/** Stable event-type name used by reports and the JSON exporter. */
+const char *traceEventName(TraceEventType t);
+
+/** Syscall identifiers carried by kSyscallEnter/Exit events. */
+enum class SyscallId : std::uint16_t
+{
+    kAccept = 0,
+    kConnect,
+    kRead,
+    kWrite,
+    kClose,
+    kEpollWait,
+    kEpollCtl,
+};
+
+/** Queue identifiers carried by kQueueEnqueue/Dequeue events. */
+enum class TraceQueueId : std::uint16_t
+{
+    kAcceptShared = 0,   //!< global/shared listen socket accept queue
+    kAcceptLocal,        //!< Local Listen Table clone accept queue
+    kAcceptReuseport,    //!< SO_REUSEPORT clone accept queue
+    kSoftirqBacklog,     //!< per-core SoftIRQ task backlog
+    kProcessBacklog,     //!< per-core process-context task backlog
+};
+
+/** Stable queue name used by reports and the JSON exporter. */
+const char *traceQueueName(TraceQueueId q);
+
+/** One recorded trace event (16 bytes; rings preallocate these). */
+struct TraceEvent
+{
+    Tick tick = 0;                 //!< simulated time of the event
+    std::uint32_t arg = 0;         //!< event-specific payload
+    std::uint16_t id = 0;          //!< event-specific identifier
+    TraceEventType type = TraceEventType::kSyscallEnter;
+};
+
+static_assert(sizeof(TraceEvent) <= 16, "TraceEvent must stay compact");
+
+} // namespace fsim
+
+#endif // FSIM_TRACE_TRACE_EVENT_HH

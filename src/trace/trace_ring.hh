@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fixed-capacity per-core trace event ring.
+ *
+ * The ring is preallocated at construction and never allocates on the
+ * hot path; when full it overwrites the oldest event (ftrace's default
+ * overwrite mode), so the ring always holds the most recent window of
+ * activity. Total pushes are counted, so the number of overwritten
+ * events is always recoverable.
+ */
+
+#ifndef FSIM_TRACE_TRACE_RING_HH
+#define FSIM_TRACE_TRACE_RING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace_event.hh"
+
+namespace fsim
+{
+
+/** One core's event ring (overwrite-oldest semantics). */
+class TraceRing
+{
+  public:
+    explicit TraceRing(std::size_t capacity)
+        : buf_(capacity)
+    {
+    }
+
+    /** Record @p ev, overwriting the oldest event when full. */
+    void
+    push(const TraceEvent &ev)
+    {
+        buf_[pushed_ % buf_.size()] = ev;
+        ++pushed_;
+    }
+
+    std::size_t capacity() const { return buf_.size(); }
+
+    /** Events currently held (≤ capacity). */
+    std::size_t
+    size() const
+    {
+        return pushed_ < buf_.size() ? static_cast<std::size_t>(pushed_)
+                                     : buf_.size();
+    }
+
+    /** Total events ever pushed. */
+    std::uint64_t pushed() const { return pushed_; }
+
+    /** Events lost to overwriting (pushed - size). */
+    std::uint64_t overwritten() const { return pushed_ - size(); }
+
+    /** The @p i -th retained event, oldest first (0 ≤ i < size()). */
+    const TraceEvent &
+    at(std::size_t i) const
+    {
+        std::uint64_t oldest = pushed_ - size();
+        return buf_[(oldest + i) % buf_.size()];
+    }
+
+    void
+    clear()
+    {
+        pushed_ = 0;
+    }
+
+  private:
+    std::vector<TraceEvent> buf_;
+    std::uint64_t pushed_ = 0;
+};
+
+} // namespace fsim
+
+#endif // FSIM_TRACE_TRACE_RING_HH

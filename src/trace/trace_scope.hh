@@ -1,0 +1,69 @@
+/**
+ * @file
+ * RAII phase-frame guard.
+ *
+ * The simulator threads virtual time through explicit tick cursors, so a
+ * scope cannot learn its end tick from the destructor alone: callers
+ * close() with the final cursor (which also forwards the tick, so
+ * `return ts.close(t);` reads naturally). A scope destroyed without
+ * close() — an early return that predates instrumentation — closes at
+ * its start plus whatever nested work was charged, attributing zero
+ * self time rather than corrupting the stack.
+ */
+
+#ifndef FSIM_TRACE_TRACE_SCOPE_HH
+#define FSIM_TRACE_TRACE_SCOPE_HH
+
+#include "trace/tracer.hh"
+
+namespace fsim
+{
+
+/** Opens a phase frame for the lifetime of a lexical scope. */
+class TraceScope
+{
+  public:
+    /**
+     * Open a frame of @p p on core @p c at tick @p begin. A null
+     * @p tracer makes the scope a no-op (components under unit test
+     * without a machine).
+     */
+    TraceScope(Tracer *tracer, CoreId c, Phase p, Tick begin)
+        : tracer_(tracer), core_(c), begin_(begin)
+    {
+        if (tracer_)
+            tracer_->pushPhase(core_, p, begin_);
+    }
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+    /** Close the frame at tick @p end. @return @p end for chaining. */
+    Tick
+    close(Tick end)
+    {
+        if (tracer_ && open_) {
+            open_ = false;
+            tracer_->popPhase(core_, end);
+        }
+        return end;
+    }
+
+    ~TraceScope()
+    {
+        // Unclosed scope: pop with zero self time (begin_ is a floor;
+        // PhaseAccounting extends to cover any nested charges).
+        if (tracer_ && open_)
+            tracer_->popPhase(core_, begin_);
+    }
+
+  private:
+    Tracer *tracer_;
+    CoreId core_;
+    Tick begin_;
+    bool open_ = true;
+};
+
+} // namespace fsim
+
+#endif // FSIM_TRACE_TRACE_SCOPE_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The per-machine tracer: the simulator's perf + ftrace + /proc/lockstat.
+ *
+ * Owns one TraceRing per core and the PhaseAccounting layer. Emission is
+ * branch-cheap and allocation-free, so instrumentation stays enabled in
+ * every run; components reached through long init chains (locks, epoll,
+ * VFS) find the tracer through the LockRegistry instead of growing their
+ * constructor signatures.
+ */
+
+#ifndef FSIM_TRACE_TRACER_HH
+#define FSIM_TRACE_TRACER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/types.hh"
+#include "trace/phase_accounting.hh"
+#include "trace/trace_event.hh"
+#include "trace/trace_ring.hh"
+
+namespace fsim
+{
+
+/** Per-machine trace subsystem. */
+class Tracer
+{
+  public:
+    /** Default per-core ring capacity (events). */
+    static constexpr std::size_t kDefaultRingCapacity = 8192;
+
+    explicit Tracer(int n_cores,
+                    std::size_t ring_capacity = kDefaultRingCapacity);
+
+    /** Master switch; rings and phase charges both honor it. */
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    /** Record an event into core @p c's ring. */
+    void
+    emit(CoreId c, TraceEventType type, Tick tick, std::uint32_t arg = 0,
+         std::uint16_t id = 0)
+    {
+        if (!enabled_)
+            return;
+        TraceEvent ev;
+        ev.tick = tick;
+        ev.arg = arg;
+        ev.id = id;
+        ev.type = type;
+        rings_[c].push(ev);
+    }
+
+    /** @name Phase attribution (see PhaseAccounting) */
+    /** @{ */
+    void
+    pushPhase(CoreId c, Phase p, Tick t)
+    {
+        if (enabled_)
+            phases_.push(c, p, t);
+    }
+
+    void
+    popPhase(CoreId c, Tick t)
+    {
+        if (enabled_)
+            phases_.pop(c, t);
+    }
+
+    void
+    chargePhase(CoreId c, Phase p, Tick cycles)
+    {
+        if (enabled_)
+            phases_.charge(c, p, cycles);
+    }
+    /** @} */
+
+    /** Convenience hook for lock spins: event pair + phase charge. */
+    void
+    noteLockSpin(CoreId c, Tick t, Tick spin, std::uint16_t lock_class)
+    {
+        if (!enabled_ || spin == 0)
+            return;
+        emit(c, TraceEventType::kLockSpinBegin, t,
+             static_cast<std::uint32_t>(spin), lock_class);
+        emit(c, TraceEventType::kLockSpinEnd, t + spin, 0, lock_class);
+        phases_.charge(c, Phase::kLockSpin, spin);
+    }
+
+    /** Convenience hook for cache stalls: phase charge only (too hot
+     *  for per-access events). */
+    void
+    noteCacheStall(CoreId c, Tick cycles)
+    {
+        if (enabled_)
+            phases_.charge(c, Phase::kCacheStall, cycles);
+    }
+
+    const TraceRing &ring(CoreId c) const { return rings_.at(c); }
+    int numCores() const { return static_cast<int>(rings_.size()); }
+
+    PhaseSnapshot phaseSnapshot() const { return phases_.snapshot(); }
+    const PhaseAccounting &phases() const { return phases_; }
+
+    /** Total events recorded / overwritten across all rings. */
+    std::uint64_t eventsRecorded() const;
+    std::uint64_t eventsOverwritten() const;
+
+  private:
+    bool enabled_ = true;
+    std::vector<TraceRing> rings_;
+    PhaseAccounting phases_;
+};
+
+} // namespace fsim
+
+#endif // FSIM_TRACE_TRACER_HH

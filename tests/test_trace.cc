@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for the trace subsystem: ring overflow semantics, phase
+ * attribution arithmetic, the cycle-conservation invariant against the
+ * CPU model, and the versioned bench JSON schema.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "harness/bench_json.hh"
+#include "harness/experiment.hh"
+#include "trace/phase_accounting.hh"
+#include "trace/trace_report.hh"
+#include "trace/trace_ring.hh"
+#include "trace/trace_scope.hh"
+#include "trace/tracer.hh"
+
+namespace fsim
+{
+namespace
+{
+
+TraceEvent
+ev(Tick tick, TraceEventType type = TraceEventType::kSyscallEnter)
+{
+    TraceEvent e;
+    e.tick = tick;
+    e.type = type;
+    return e;
+}
+
+TEST(TraceRing, FillsBelowCapacityInOrder)
+{
+    TraceRing ring(8);
+    for (Tick t = 0; t < 3; ++t)
+        ring.push(ev(t));
+    EXPECT_EQ(ring.capacity(), 8u);
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.pushed(), 3u);
+    EXPECT_EQ(ring.overwritten(), 0u);
+    for (std::size_t i = 0; i < ring.size(); ++i)
+        EXPECT_EQ(ring.at(i).tick, static_cast<Tick>(i));
+}
+
+TEST(TraceRing, OverwritesOldestWhenFull)
+{
+    TraceRing ring(4);
+    for (Tick t = 0; t < 10; ++t)
+        ring.push(ev(t));
+    // ftrace overwrite mode: the newest window survives.
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.pushed(), 10u);
+    EXPECT_EQ(ring.overwritten(), 6u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(ring.at(i).tick, static_cast<Tick>(6 + i));
+
+    ring.clear();
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.overwritten(), 0u);
+}
+
+/** Folded map keyed by decoded stack string, for readable asserts. */
+std::map<std::string, std::uint64_t>
+decodedFolded(const PhaseSnapshot &s)
+{
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &kv : s.folded)
+        out[decodeFoldedKey(kv.first)] += kv.second;
+    return out;
+}
+
+TEST(PhaseAccounting, NestedFramesAndChargesSumToSpan)
+{
+    PhaseAccounting pa(1);
+    pa.push(0, Phase::kApp, 0);
+    pa.charge(0, Phase::kLockSpin, 10);
+    pa.push(0, Phase::kSyscall, 100);
+    pa.charge(0, Phase::kCacheStall, 5);
+    pa.pop(0, 150);   // syscall frame: span 50, self 45
+    pa.pop(0, 200);   // app frame: span 200, children 10 + 50, self 140
+    EXPECT_EQ(pa.depth(0), 0);
+
+    PhaseSnapshot s = pa.snapshot();
+    auto &c = s.perCore.at(0);
+    EXPECT_EQ(c[static_cast<int>(Phase::kApp)], 140u);
+    EXPECT_EQ(c[static_cast<int>(Phase::kSyscall)], 45u);
+    EXPECT_EQ(c[static_cast<int>(Phase::kLockSpin)], 10u);
+    EXPECT_EQ(c[static_cast<int>(Phase::kCacheStall)], 5u);
+
+    // Attribution is conservative: charges partition the outer span.
+    std::uint64_t sum = 0;
+    for (int p = 0; p < kNumChargedPhases; ++p)
+        sum += c[p];
+    EXPECT_EQ(sum, 200u);
+
+    auto folded = decodedFolded(s);
+    EXPECT_EQ(folded["app"], 140u);
+    EXPECT_EQ(folded["app;lock-spin"], 10u);
+    EXPECT_EQ(folded["app;syscall"], 45u);
+    EXPECT_EQ(folded["app;syscall;cache-stall"], 5u);
+    EXPECT_EQ(s.untracked, 0u);
+}
+
+TEST(PhaseAccounting, ChargeOutsideAnyFrameIsUntracked)
+{
+    PhaseAccounting pa(2);
+    pa.charge(1, Phase::kLockSpin, 42);
+    PhaseSnapshot s = pa.snapshot();
+    EXPECT_EQ(s.untracked, 42u);
+    for (const auto &core : s.perCore)
+        for (std::uint64_t v : core)
+            EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(s.folded.empty());
+}
+
+TEST(PhaseAccounting, DeltaSubtractsAndSaturates)
+{
+    PhaseAccounting pa(1);
+    pa.push(0, Phase::kApp, 0);
+    pa.pop(0, 100);
+    PhaseSnapshot before = pa.snapshot();
+    pa.push(0, Phase::kApp, 100);
+    pa.charge(0, Phase::kLockSpin, 30);
+    pa.pop(0, 200);
+    PhaseSnapshot d = phaseDelta(before, pa.snapshot());
+    EXPECT_EQ(d.perCore[0][static_cast<int>(Phase::kApp)], 70u);
+    EXPECT_EQ(d.perCore[0][static_cast<int>(Phase::kLockSpin)], 30u);
+    // Window totals: exactly the 100 ticks of the second frame.
+    EXPECT_EQ(decodedFolded(d)["app"], 70u);
+}
+
+TEST(TraceScope, UnclosedScopeAttributesZeroSelfTime)
+{
+    Tracer tr(1, 16);
+    {
+        TraceScope outer(&tr, 0, Phase::kApp, 0);
+        {
+            TraceScope sc(&tr, 0, Phase::kSyscall, 10);
+            tr.chargePhase(0, Phase::kLockSpin, 7);
+            // No close(): an early-return path. The destructor pops
+            // with zero self time but keeps the nested charge.
+        }
+        outer.close(100);
+    }
+    PhaseSnapshot s = tr.phaseSnapshot();
+    EXPECT_EQ(s.perCore[0][static_cast<int>(Phase::kSyscall)], 0u);
+    EXPECT_EQ(s.perCore[0][static_cast<int>(Phase::kLockSpin)], 7u);
+    EXPECT_EQ(s.perCore[0][static_cast<int>(Phase::kApp)], 93u);
+    EXPECT_EQ(tr.phases().depth(0), 0);
+}
+
+TEST(Tracer, NoteLockSpinEmitsEventPairAndCharges)
+{
+    Tracer tr(1, 16);
+    tr.pushPhase(0, Phase::kSoftirq, 0);
+    tr.noteLockSpin(0, 50, 25, 3);
+    tr.noteLockSpin(0, 80, 0, 3);   // zero spin: no events, no charge
+    tr.popPhase(0, 200);
+
+    const TraceRing &ring = tr.ring(0);
+    ASSERT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring.at(0).type, TraceEventType::kLockSpinBegin);
+    EXPECT_EQ(ring.at(0).tick, 50u);
+    EXPECT_EQ(ring.at(0).arg, 25u);
+    EXPECT_EQ(ring.at(0).id, 3u);
+    EXPECT_EQ(ring.at(1).type, TraceEventType::kLockSpinEnd);
+    EXPECT_EQ(ring.at(1).tick, 75u);
+
+    PhaseSnapshot s = tr.phaseSnapshot();
+    EXPECT_EQ(s.perCore[0][static_cast<int>(Phase::kLockSpin)], 25u);
+    EXPECT_EQ(s.perCore[0][static_cast<int>(Phase::kSoftirq)], 175u);
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing)
+{
+    Tracer tr(2, 16);
+    tr.setEnabled(false);
+    tr.emit(0, TraceEventType::kConnEstablished, 10);
+    tr.pushPhase(1, Phase::kApp, 0);
+    tr.chargePhase(1, Phase::kLockSpin, 5);
+    tr.noteLockSpin(1, 10, 9, 0);
+    tr.popPhase(1, 100);
+    EXPECT_EQ(tr.eventsRecorded(), 0u);
+    PhaseSnapshot s = tr.phaseSnapshot();
+    for (const auto &core : s.perCore)
+        for (std::uint64_t v : core)
+            EXPECT_EQ(v, 0u);
+    EXPECT_EQ(s.untracked, 0u);
+}
+
+/** Small-but-real experiment config used by the integration tests. */
+ExperimentConfig
+smallConfig()
+{
+    ExperimentConfig cfg;
+    cfg.machine.cores = 4;
+    cfg.concurrencyPerCore = 40;
+    cfg.warmupSec = 0.005;
+    cfg.measureSec = 0.01;
+    return cfg;
+}
+
+TEST(PhaseAttribution, ChargedCyclesEqualMeasuredBusyTicks)
+{
+    // The conservation invariant: every busy cycle the CPU model
+    // measures is attributed to exactly one phase, because runNext
+    // wraps every task in a root frame and nested charges are contained
+    // in their enclosing frame's span.
+    Testbed bed(smallConfig());
+    bed.run();
+
+    Machine &m = bed.machine();
+    PhaseSnapshot s = m.tracer().phaseSnapshot();
+    std::uint64_t attributed = 0;
+    for (const auto &core : s.perCore)
+        for (std::uint64_t v : core)
+            attributed += v;
+    EXPECT_EQ(attributed, m.cpu().totalBusyTicks());
+    for (int c = 0; c < m.tracer().numCores(); ++c)
+        EXPECT_EQ(m.tracer().phases().depth(c), 0);
+}
+
+TEST(PhaseAttribution, BreakdownFractionsSumToOne)
+{
+    Testbed bed(smallConfig());
+    ExperimentResult r = bed.run();
+    ASSERT_EQ(static_cast<int>(r.phases.fractions.size()), 4);
+    for (const auto &core : r.phases.fractions) {
+        double sum = 0;
+        for (double f : core) {
+            EXPECT_GE(f, 0.0);
+            sum += f;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-6);
+    }
+    // A loaded run attributes real work, not just idle.
+    EXPECT_GT(r.phases.total(Phase::kApp), 0.0);
+    EXPECT_GT(r.phases.total(Phase::kSyscall), 0.0);
+    EXPECT_GT(r.traceEventsRecorded, 0u);
+}
+
+TEST(QueueTimelines, AcceptQueueDepthsAreRecovered)
+{
+    Testbed bed(smallConfig());
+    ExperimentResult r = bed.run();
+    // The default kernel funnels everything through the shared queue.
+    auto it = r.queueTimelines.find("accept-shared");
+    ASSERT_NE(it, r.queueTimelines.end());
+    ASSERT_FALSE(it->second.empty());
+    Tick prev = 0;
+    for (const QueueSample &qs : it->second) {
+        EXPECT_GE(qs.tick, prev);
+        prev = qs.tick;
+        EXPECT_EQ(qs.queue, TraceQueueId::kAcceptShared);
+    }
+}
+
+TEST(BenchJson, DocumentCarriesSchemaVersionAndRequiredKeys)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.statWindows = 2;
+    Testbed bed(cfg);
+    ExperimentResult r = bed.run();
+
+    BenchJsonReport report("unit_test");
+    report.addRow("row-0", cfg, r);
+    EXPECT_EQ(report.rowCount(), 1u);
+
+    std::string doc = report.str();
+    // Golden schema: version stamp plus every top-level and per-row key
+    // the downstream validator requires.
+    EXPECT_NE(doc.find("\"schema_version\":1"), std::string::npos);
+    EXPECT_NE(doc.find("\"bench\":\"unit_test\""), std::string::npos);
+    for (const char *key :
+         {"\"rows\"", "\"label\"", "\"config\"", "\"metrics\"",
+          "\"cps\"", "\"phases\"", "\"per_core\"", "\"folded_stacks\"",
+          "\"locks\"", "\"lock_windows\"", "\"queue_timelines\"",
+          "\"trace\"", "\"events_recorded\"", "\"window_span\""})
+        EXPECT_NE(doc.find(key), std::string::npos) << key;
+    // statWindows=2 produced two per-window lock-stat deltas.
+    EXPECT_EQ(r.lockWindows.size(), 2u);
+}
+
+} // namespace
+} // namespace fsim

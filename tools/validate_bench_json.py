@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate a bench --json export against the versioned schema.
+
+Usage: validate_bench_json.py <file.json> [<file.json> ...]
+
+Checks (stdlib only, used by CI and by hand after editing the exporter):
+  - schema_version is the known version
+  - required top-level / per-row keys are present with sane types
+  - per-core phase fractions each sum to 1.0 +/- 1e-6
+  - folded stacks and lock windows are structurally well-formed
+Exit status 0 iff every document passes.
+"""
+
+import json
+import sys
+
+KNOWN_SCHEMA_VERSION = 1
+
+ROW_KEYS = ("label", "config", "metrics", "phases", "folded_stacks",
+            "locks", "lock_windows", "queue_timelines", "trace")
+CONFIG_KEYS = ("app", "cores", "flavor")
+METRIC_KEYS = ("cps", "rps", "served", "core_util")
+PHASE_KEYS = ("names", "per_core", "machine")
+TRACE_KEYS = ("window_span", "events_recorded", "events_overwritten")
+
+
+def fail(path, msg):
+    print(f"{path}: FAIL: {msg}")
+    return False
+
+
+def require(obj, keys, path, where):
+    for k in keys:
+        if k not in obj:
+            return fail(path, f"{where} missing key '{k}'")
+    return True
+
+
+def validate(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("schema_version") != KNOWN_SCHEMA_VERSION:
+        return fail(path, f"schema_version {doc.get('schema_version')!r}, "
+                          f"expected {KNOWN_SCHEMA_VERSION}")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        return fail(path, "missing/empty 'bench' name")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        return fail(path, "'rows' missing or empty")
+
+    for i, row in enumerate(rows):
+        where = f"rows[{i}]"
+        if not require(row, ROW_KEYS, path, where):
+            return False
+        if not require(row["config"], CONFIG_KEYS, path, f"{where}.config"):
+            return False
+        if not require(row["metrics"], METRIC_KEYS, path,
+                       f"{where}.metrics"):
+            return False
+        if not require(row["phases"], PHASE_KEYS, path, f"{where}.phases"):
+            return False
+        if not require(row["trace"], TRACE_KEYS, path, f"{where}.trace"):
+            return False
+
+        names = row["phases"]["names"]
+        for c, fracs in enumerate(row["phases"]["per_core"]):
+            if len(fracs) != len(names):
+                return fail(path, f"{where} core {c}: {len(fracs)} "
+                                  f"fractions vs {len(names)} names")
+            total = sum(fracs)
+            if abs(total - 1.0) > 1e-6:
+                return fail(path, f"{where} core {c}: phase fractions "
+                                  f"sum to {total!r}, not 1.0")
+        for fs in row["folded_stacks"]:
+            if "stack" not in fs or "cycles" not in fs:
+                return fail(path, f"{where}: malformed folded stack {fs!r}")
+        for w, win in enumerate(row["lock_windows"]):
+            if not all(k in win for k in ("start", "end", "locks")):
+                return fail(path, f"{where}.lock_windows[{w}] malformed")
+            if win["end"] < win["start"]:
+                return fail(path, f"{where}.lock_windows[{w}] end < start")
+        for qname, samples in row["queue_timelines"].items():
+            ticks = [s[0] for s in samples]
+            if ticks != sorted(ticks):
+                return fail(path, f"{where}.queue_timelines[{qname}] "
+                                  f"ticks not monotonic")
+
+    print(f"{path}: OK ({doc['bench']}, {len(rows)} rows, "
+          f"schema v{doc['schema_version']})")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    return 0 if all(validate(p) for p in argv[1:]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
