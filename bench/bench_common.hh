@@ -28,6 +28,7 @@ struct BenchArgs
 {
     bool quick = false;
     bool trace = true;      //!< --notrace disables event/phase recording
+    bool fingerprint = false;   //!< --fingerprint prints per-row hashes
     std::string jsonPath;   //!< --json=<path>; empty = no export
 
     static BenchArgs
@@ -39,6 +40,8 @@ struct BenchArgs
                 a.quick = true;
             else if (!std::strcmp(argv[i], "--notrace"))
                 a.trace = false;
+            else if (!std::strcmp(argv[i], "--fingerprint"))
+                a.fingerprint = true;
             else if (!std::strncmp(argv[i], "--json=", 7))
                 a.jsonPath = argv[i] + 7;
         }
@@ -46,10 +49,24 @@ struct BenchArgs
     }
 };
 
-/** Write the accumulated report if --json was given. */
+/**
+ * Shared bench epilogue: print per-row determinism fingerprints when
+ * --fingerprint was given (same seed + config must reprint identical
+ * values, with or without --notrace) and write the JSON report when
+ * --json was given.
+ */
 inline void
 finishJson(const BenchArgs &args, const BenchJsonReport &report)
 {
+    if (args.fingerprint) {
+        std::printf("\nfingerprints:\n");
+        for (std::size_t i = 0; i < report.rowCount(); ++i)
+            std::printf("  %-32s 0x%016llx  [%s]\n",
+                        report.rowLabel(i).c_str(),
+                        static_cast<unsigned long long>(
+                            report.rowFingerprint(i)),
+                        report.rowInvariants(i).summary().c_str());
+    }
     if (args.jsonPath.empty())
         return;
     if (report.writeFile(args.jsonPath))

@@ -78,6 +78,8 @@ HttpLoad::scheduleOpenLoop()
 void
 HttpLoad::launch()
 {
+    if (cfg_.maxConns > 0 && started_ >= cfg_.maxConns)
+        return;   // bounded workload exhausted; let the loop drain
     IpAddr server = cfg_.serverAddrs[serverCursor_++ %
                                      cfg_.serverAddrs.size()];
     std::size_t ci = clientCursor_++ % cfg_.clientIps;
@@ -163,6 +165,7 @@ HttpLoad::onPacket(const Packet &pkt)
         if (pkt.payload > 0) {
             c.gotData = true;
             ++responses_;
+            bytesReceived_ += pkt.payload;
             --c.remaining;
             if (c.remaining > 0 && !pkt.has(kFin)) {
                 // Keep-alive: issue the next request on the same

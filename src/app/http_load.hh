@@ -54,6 +54,11 @@ class HttpLoad
          *  loop — http_load's -timeout behavior, and the recovery
          *  mechanism under injected packet loss. */
         Tick timeout = 0;
+        /** Bounded workload: stop launching after this many connections
+         *  have been started (0 = unlimited). With a bound the closed
+         *  loop drains and the run quiesces — the mode the differential
+         *  oracle and quiesce-leak checks rely on. */
+        std::uint64_t maxConns = 0;
     };
 
     HttpLoad(EventQueue &eq, Wire &wire, const Config &cfg);
@@ -79,6 +84,8 @@ class HttpLoad
     /** Connections abandoned by the give-up timer. */
     std::uint64_t timeouts() const { return timeouts_; }
     std::uint64_t inFlight() const { return conns_.size(); }
+    /** Response payload bytes received (the "bytes served" oracle). */
+    std::uint64_t bytesReceived() const { return bytesReceived_; }
 
     /** Begin a throughput window. */
     void markWindow();
@@ -136,6 +143,7 @@ class HttpLoad
     std::uint64_t failed_ = 0;
     std::uint64_t responses_ = 0;
     std::uint64_t timeouts_ = 0;
+    std::uint64_t bytesReceived_ = 0;
     std::uint64_t nextEpoch_ = 1;
 
     Tick windowStart_ = 0;

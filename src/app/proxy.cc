@@ -1,5 +1,7 @@
 #include "app/proxy.hh"
 
+#include <unordered_set>
+
 #include "sim/logging.hh"
 
 namespace fsim
@@ -11,6 +13,17 @@ Proxy::Proxy(Machine &m, std::vector<IpAddr> backends, Port backend_port,
       backendPort_(backend_port), responseBytes_(response_bytes)
 {
     fsim_assert(!backends_.empty());
+}
+
+Proxy::~Proxy()
+{
+    // Sessions still in flight when the run ends are owned here; each
+    // may be keyed under both its client and backend fd, so dedupe.
+    std::unordered_set<Session *> live;
+    for (const auto &kv : sessions_)
+        live.insert(kv.second);
+    for (Session *s : live)
+        delete s;
 }
 
 Tick

@@ -30,6 +30,7 @@ class Proxy : public AppBase
      */
     Proxy(Machine &m, std::vector<IpAddr> backends, Port backend_port = 80,
           std::uint32_t response_bytes = 64);
+    ~Proxy() override;
 
     /** Active connections the proxy failed to open (port exhaustion). */
     std::uint64_t connectFailures() const { return connectFailures_; }

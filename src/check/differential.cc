@@ -1,0 +1,143 @@
+#include "check/differential.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fsim
+{
+
+namespace
+{
+
+KernelTotals
+runOneKernel(const DifferentialWorkload &wl, const KernelConfig &kc,
+             const std::string &name)
+{
+    ExperimentConfig cfg;
+    cfg.app = wl.app;
+    cfg.machine.cores = wl.cores;
+    cfg.machine.kernel = kc;
+    cfg.machine.seed = wl.seed;
+    cfg.concurrencyPerCore = wl.concurrencyPerCore;
+    cfg.requestsPerConn = wl.requestsPerConn;
+    cfg.maxConns = wl.maxConns;
+    cfg.checkLevel = CheckLevel::kPeriodic;
+
+    Testbed bed(cfg);
+    // Quiesce (leak) checks live in their own registry: they only hold
+    // once the run drains, so they must not join the periodic passes
+    // bed.checks() performs mid-run.
+    InvariantRegistry quiesce;
+    registerQuiesceInvariants(quiesce, bed.machine(), bed.load());
+
+    EventQueue &eq = bed.eventQueue();
+    HttpLoad &load = bed.load();
+    Tick cap = ticksFromSeconds(wl.maxSimSec);
+    Tick chunk = ticksFromSeconds(0.01);
+
+    bed.startLoad();
+    while (eq.now() < cap &&
+           (load.inFlight() > 0 || load.started() < wl.maxConns))
+        bed.runUntilChecked(std::min(cap, eq.now() + chunk));
+
+    KernelTotals t;
+    t.kernel = name;
+    t.drained = load.inFlight() == 0 && load.started() >= wl.maxConns;
+    t.drainTick = eq.now();
+
+    // Let the kernel finish housekeeping (TIME_WAIT reaping, timer
+    // bases going idle) so the leak checks see the true final state.
+    // Bounded workloads quiesce: timer bases only reschedule their
+    // jiffy tick while timers are pending.
+    if (t.drained) {
+        eq.runAll();
+        quiesce.runAll(eq.now());
+    }
+    bed.checks().runAll(eq.now());
+
+    t.started = load.started();
+    t.completed = load.completed();
+    t.failed = load.failed();
+    t.timeouts = load.timeouts();
+    t.responses = load.responses();
+    t.bytesReceived = load.bytesReceived();
+    t.served = bed.app().served();
+    t.lockWaitTicks = 0;
+    for (const auto &kv : bed.machine().locks().snapshot())
+        t.lockWaitTicks += kv.second.waitTicks;
+    t.busyTicks = bed.machine().cpu().totalBusyTicks();
+    t.fingerprint = bed.currentFingerprint();
+    t.invariants = bed.checks().report();
+    t.invariants.merge(quiesce.report());
+    return t;
+}
+
+void
+diffField(std::vector<std::string> &out, const char *name,
+          std::uint64_t base, std::uint64_t fast)
+{
+    if (base == fast)
+        return;
+    std::ostringstream os;
+    os << name << ": " << base << " (base) vs " << fast << " (fastsocket)";
+    out.push_back(os.str());
+}
+
+} // namespace
+
+DifferentialOutcome
+runDifferential(const DifferentialWorkload &wl)
+{
+    DifferentialOutcome out;
+    out.base = runOneKernel(wl, KernelConfig::base2632(), "base-2.6.32");
+    out.fast = runOneKernel(wl, KernelConfig::fastsocket(), "fastsocket");
+
+    diffField(out.mismatches, "started", out.base.started,
+              out.fast.started);
+    diffField(out.mismatches, "completed", out.base.completed,
+              out.fast.completed);
+    diffField(out.mismatches, "failed", out.base.failed, out.fast.failed);
+    diffField(out.mismatches, "timeouts", out.base.timeouts,
+              out.fast.timeouts);
+    diffField(out.mismatches, "responses", out.base.responses,
+              out.fast.responses);
+    diffField(out.mismatches, "bytesReceived", out.base.bytesReceived,
+              out.fast.bytesReceived);
+    diffField(out.mismatches, "served", out.base.served, out.fast.served);
+
+    // Perf direction: on a contended machine Fastsocket must either
+    // finish the fixed workload sooner or burn fewer lock-wait cycles
+    // doing it (in practice both). Single-digit-core runs can tie, so
+    // only assert from 4 cores up.
+    if (wl.cores >= 4 && out.base.drained && out.fast.drained) {
+        bool faster = out.fast.drainTick <= out.base.drainTick;
+        bool cheaper = out.fast.lockWaitTicks < out.base.lockWaitTicks;
+        out.perfDirectionOk = faster || cheaper;
+        std::ostringstream os;
+        os << "drain " << out.base.drainTick << " -> "
+           << out.fast.drainTick << " ticks, lock-wait "
+           << out.base.lockWaitTicks << " -> " << out.fast.lockWaitTicks;
+        out.perfDetail = os.str();
+    }
+    return out;
+}
+
+std::string
+DifferentialOutcome::summary() const
+{
+    std::ostringstream os;
+    os << "app " << (appMatch() ? "MATCH" : "MISMATCH");
+    for (const std::string &m : mismatches)
+        os << "\n  " << m;
+    if (!base.drained || !fast.drained)
+        os << "\n  non-drain: base=" << (base.drained ? "ok" : "STUCK")
+           << " fastsocket=" << (fast.drained ? "ok" : "STUCK");
+    os << "\nperf " << (perfDirectionOk ? "OK" : "WRONG-DIRECTION");
+    if (!perfDetail.empty())
+        os << " (" << perfDetail << ")";
+    os << "\ninvariants base: " << base.invariants.summary()
+       << "\ninvariants fastsocket: " << fast.invariants.summary();
+    return os.str();
+}
+
+} // namespace fsim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Differential oracle: run the SAME bounded workload under the baseline
+ * 2.6.32 kernel and under Fastsocket, then compare.
+ *
+ * The paper's whole claim is that Fastsocket changes *how fast* the
+ * kernel serves connections without changing *what* it serves. That
+ * split is directly checkable in the simulator: application-level
+ * observables (connections completed, responses, bytes delivered to
+ * clients) must be bit-identical across kernels, while performance
+ * observables (drain time, lock wait cycles) must differ in the paper's
+ * direction once enough cores are contended.
+ *
+ * Any app-level mismatch means one of the kernel models corrupted,
+ * dropped, or duplicated work — exactly the class of bug a throughput
+ * benchmark can never see.
+ */
+
+#ifndef FSIM_CHECK_DIFFERENTIAL_HH
+#define FSIM_CHECK_DIFFERENTIAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/invariants.hh"
+#include "harness/experiment.hh"
+
+namespace fsim
+{
+
+/** A bounded workload both kernels must serve to completion. */
+struct DifferentialWorkload
+{
+    AppKind app = AppKind::kNginx;
+    int cores = 4;
+    /** Total connections; bounded so both runs quiesce. */
+    std::uint64_t maxConns = 2000;
+    int concurrencyPerCore = 50;
+    int requestsPerConn = 1;
+    std::uint64_t seed = 1;
+    /** Hard sim-time cap; exceeding it is reported as a non-drain. */
+    double maxSimSec = 20.0;
+};
+
+/** What one kernel produced for the workload. */
+struct KernelTotals
+{
+    std::string kernel;              //!< "base-2.6.32" / "fastsocket"
+    bool drained = false;            //!< quiesced under the cap
+
+    /** @name Application-level observables (must match across kernels) */
+    /** @{ */
+    std::uint64_t started = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t responses = 0;
+    std::uint64_t bytesReceived = 0;
+    std::uint64_t served = 0;        //!< server-side response count
+    /** @} */
+
+    /** @name Performance observables (expected to differ) */
+    /** @{ */
+    Tick drainTick = 0;              //!< sim time at quiesce
+    std::uint64_t lockWaitTicks = 0; //!< spin-wait cycles, all classes
+    std::uint64_t busyTicks = 0;     //!< total core busy cycles
+    /** @} */
+
+    std::uint64_t fingerprint = 0;
+    InvariantReport invariants;
+};
+
+/** Result of one differential run. */
+struct DifferentialOutcome
+{
+    KernelTotals base;
+    KernelTotals fast;
+    /** App-level observables that differ ("completed: 2000 vs 1999"). */
+    std::vector<std::string> mismatches;
+    /** Perf moved in the paper's direction (only asserted >= 4 cores:
+     *  below that the baseline is not meaningfully contended). */
+    bool perfDirectionOk = true;
+    std::string perfDetail;
+
+    bool appMatch() const { return mismatches.empty(); }
+    bool ok() const
+    {
+        return appMatch() && perfDirectionOk && base.invariants.ok() &&
+               fast.invariants.ok() && base.drained && fast.drained;
+    }
+    std::string summary() const;
+};
+
+/** Run @p wl under both kernels and diff the outcomes. */
+DifferentialOutcome runDifferential(const DifferentialWorkload &wl);
+
+} // namespace fsim
+
+#endif // FSIM_CHECK_DIFFERENTIAL_HH

@@ -1,0 +1,51 @@
+#include "check/fingerprint.hh"
+
+#include <cstdio>
+#include <cstring>
+
+namespace fsim
+{
+
+void
+Fingerprint::mix(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+}
+
+void
+Fingerprint::mix(const std::string &s)
+{
+    mix(static_cast<std::uint64_t>(s.size()));
+    std::uint64_t word = 0;
+    int n = 0;
+    for (char c : s) {
+        word = (word << 8) | static_cast<unsigned char>(c);
+        if (++n == 8) {
+            mix(word);
+            word = 0;
+            n = 0;
+        }
+    }
+    if (n)
+        mix(word);
+}
+
+std::string
+Fingerprint::hex() const
+{
+    return hex(h_);
+}
+
+std::string
+Fingerprint::hex(std::uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace fsim

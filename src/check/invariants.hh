@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Runtime invariant checking for the simulator.
+ *
+ * The whole reproduction rests on the DES being *conservative*: packets,
+ * connections, sockets, fds and cycles must never appear or vanish
+ * unaccounted. An InvariantRegistry holds named conservation checks that
+ * the harness evaluates at configurable sim-time intervals and at the end
+ * of a run (ExperimentConfig::checkLevel); violations are recorded — with
+ * the sim tick and a human-readable detail line — instead of aborting, so
+ * the fuzzer can shrink a failing scenario and tests can assert on the
+ * report.
+ */
+
+#ifndef FSIM_CHECK_INVARIANTS_HH
+#define FSIM_CHECK_INVARIANTS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace fsim
+{
+
+class Machine;
+class HttpLoad;
+class Wire;
+
+/** How much invariant checking a run performs. */
+enum class CheckLevel
+{
+    kOff = 0,       //!< no checks
+    kFinal = 1,     //!< one pass at the end of the run (cheap default)
+    kPeriodic = 2,  //!< passes at checkInterval through the run + final
+};
+
+/** One failed check instance. */
+struct InvariantViolation
+{
+    std::string name;     //!< registered check name
+    std::string detail;   //!< what was expected vs observed
+    Tick tick = 0;        //!< sim time of the failing pass
+};
+
+/** Outcome of all passes of one run. */
+struct InvariantReport
+{
+    /** Individual check evaluations performed (checks x passes). */
+    std::uint64_t checksRun = 0;
+    /** Total violations observed (may exceed violations.size()). */
+    std::uint64_t violationCount = 0;
+    /** First kMaxStored violations, in detection order. */
+    std::vector<InvariantViolation> violations;
+
+    bool ok() const { return violationCount == 0; }
+    /** One-line summary ("ok, 42 checks" / "2 violations: ..."). */
+    std::string summary() const;
+    /** Fold another report into this one (stored list stays capped). */
+    void merge(const InvariantReport &other);
+};
+
+/**
+ * A named set of invariant checks over externally owned state.
+ *
+ * Checks are observers: they must not mutate simulation state or charge
+ * simulated cycles. A check returns true if the invariant holds and fills
+ * @p why with the expected-vs-observed detail otherwise.
+ */
+class InvariantRegistry
+{
+  public:
+    using Check = std::function<bool(Tick t, std::string &why)>;
+
+    /** Cap on stored (not counted) violations, to bound memory. */
+    static constexpr std::size_t kMaxStored = 32;
+
+    /** Register a check under @p name. */
+    void add(std::string name, Check fn);
+
+    /**
+     * Evaluate every registered check at sim time @p t.
+     *
+     * @return Number of violations detected in this pass.
+     */
+    std::size_t runAll(Tick t);
+
+    std::size_t size() const { return checks_.size(); }
+    const InvariantReport &report() const { return report_; }
+
+    /** Forget accumulated results (checks stay registered). */
+    void resetReport() { report_ = InvariantReport{}; }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        Check fn;
+    };
+
+    std::vector<Entry> checks_;
+    InvariantReport report_;
+};
+
+/**
+ * Register the standard cross-subsystem conservation checks:
+ *
+ *  - packet-conservation: wire transmitted == delivered + lost +
+ *    dropped + in-flight
+ *  - connection-conservation: client connections started == completed +
+ *    failed + in-flight
+ *  - socket-conservation: kernel sockets created == destroyed + live
+ *  - cycle-conservation: phase-attributed cycles == CpuModel busy ticks
+ *    (only registered when the machine's tracer is enabled)
+ *  - fd-consistency: per-process open fd counts == file map sizes, and
+ *    their sum == VFS live files (leak detection)
+ *  - accept-queue-bounds: no listen socket's accept queue exceeds its
+ *    backlog
+ */
+void registerStandardInvariants(InvariantRegistry &reg, Machine &machine,
+                                HttpLoad &load, Wire &wire);
+
+/**
+ * Register teardown-only checks for a *drained* bounded workload (client
+ * finished, event queue quiesced): no connection sockets may remain (all
+ * survivors are listeners) and the VFS must hold exactly the listen
+ * files. Used by the differential oracle and the scenario fuzzer.
+ */
+void registerQuiesceInvariants(InvariantRegistry &reg, Machine &machine,
+                               HttpLoad &load);
+
+} // namespace fsim
+
+#endif // FSIM_CHECK_INVARIANTS_HH

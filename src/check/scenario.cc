@@ -1,0 +1,433 @@
+#include "check/scenario.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "harness/calibration.hh"
+
+namespace fsim
+{
+
+ExperimentConfig
+Scenario::toConfig() const
+{
+    ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.machine.cores = cores;
+    cfg.machine.seed = seed;
+    cfg.machine.traceEnabled = traceEnabled;
+    cfg.machine.costs = uma ? umaCosts() : calibratedCosts();
+    if (kernel == "base2632") {
+        cfg.machine.kernel = KernelConfig::base2632();
+    } else if (kernel == "linux313") {
+        cfg.machine.kernel = KernelConfig::linux313();
+    } else if (kernel == "fastsocket") {
+        cfg.machine.kernel = KernelConfig::fastsocket();
+    } else {
+        // "custom": feature bits on top of the 2.6.32 baseline, the
+        // Table 1 ablation style.
+        KernelConfig kc = KernelConfig::base2632();
+        kc.fastVfs = fastVfs;
+        kc.localListen = localListen;
+        kc.rfd = rfd;
+        kc.localEstablished = localEstablished;
+        cfg.machine.kernel = kc;
+    }
+    cfg.concurrencyPerCore = concurrencyPerCore;
+    cfg.requestsPerConn = requestsPerConn;
+    cfg.maxConns = maxConns;
+    cfg.lossRate = lossRate;
+    cfg.clientTimeout = ticksFromSeconds(clientTimeoutSec);
+    cfg.listenBacklog = listenBacklog;
+    cfg.acceptMutex = acceptMutex;
+    cfg.checkLevel = CheckLevel::kPeriodic;
+    return cfg;
+}
+
+Scenario
+randomScenario(Rng &rng)
+{
+    Scenario s;
+    s.seed = rng.next() | 1;   // never the all-zero degenerate seed
+    s.cores = 1 + static_cast<int>(rng.range(8));
+    s.app = rng.chance(0.5) ? AppKind::kHaproxy : AppKind::kNginx;
+
+    switch (rng.range(4)) {
+      case 0: s.kernel = "base2632"; break;
+      case 1: s.kernel = "linux313"; break;
+      case 2: s.kernel = "fastsocket"; break;
+      default:
+        s.kernel = "custom";
+        s.fastVfs = rng.chance(0.5);
+        s.localListen = rng.chance(0.5);
+        s.rfd = rng.chance(0.5);
+        // Feature lattice: E needs complete locality (L and R).
+        s.localEstablished = s.localListen && s.rfd && rng.chance(0.5);
+        break;
+    }
+
+    s.concurrencyPerCore = 8 + static_cast<int>(rng.range(93));
+    s.requestsPerConn = 1 + static_cast<int>(rng.range(4));
+    s.maxConns = 200 + rng.range(1801);
+    if (rng.chance(0.3)) {
+        s.lossRate = rng.uniform() * 0.05;
+        // Loss demands a give-up timer or stuck connections never drain.
+        s.clientTimeoutSec = 0.05 + rng.uniform() * 0.1;
+    }
+    static const std::size_t kBacklogs[] = {0, 8, 32, 512};
+    s.listenBacklog = kBacklogs[rng.range(4)];
+    s.uma = rng.chance(0.5);
+    s.acceptMutex = rng.chance(0.25);
+    s.traceEnabled = rng.chance(0.75);
+    return s;
+}
+
+std::string
+serializeScenario(const Scenario &s)
+{
+    std::ostringstream os;
+    // Doubles must round-trip bit-exactly: a reproducer that perturbs
+    // lossRate in the 17th digit may no longer reproduce.
+    os.precision(17);
+    os << "# fsim fuzz scenario (replay: fuzz_scenarios --replay=FILE)\n";
+    os << "seed = " << s.seed << "\n";
+    os << "cores = " << s.cores << "\n";
+    os << "app = " << (s.app == AppKind::kHaproxy ? "haproxy" : "nginx")
+       << "\n";
+    os << "kernel = " << s.kernel << "\n";
+    if (s.kernel == "custom") {
+        os << "fastVfs = " << (s.fastVfs ? 1 : 0) << "\n";
+        os << "localListen = " << (s.localListen ? 1 : 0) << "\n";
+        os << "rfd = " << (s.rfd ? 1 : 0) << "\n";
+        os << "localEstablished = " << (s.localEstablished ? 1 : 0)
+           << "\n";
+    }
+    os << "concurrencyPerCore = " << s.concurrencyPerCore << "\n";
+    os << "requestsPerConn = " << s.requestsPerConn << "\n";
+    os << "maxConns = " << s.maxConns << "\n";
+    os << "lossRate = " << s.lossRate << "\n";
+    os << "clientTimeoutSec = " << s.clientTimeoutSec << "\n";
+    os << "listenBacklog = " << s.listenBacklog << "\n";
+    os << "uma = " << (s.uma ? 1 : 0) << "\n";
+    os << "acceptMutex = " << (s.acceptMutex ? 1 : 0) << "\n";
+    os << "traceEnabled = " << (s.traceEnabled ? 1 : 0) << "\n";
+    os << "maxSimSec = " << s.maxSimSec << "\n";
+    return os.str();
+}
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+} // anonymous namespace
+
+bool
+parseScenario(const std::string &text, Scenario &out, std::string &err)
+{
+    Scenario s;   // start from defaults; keys override
+    std::istringstream is(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        std::string t = trim(line);
+        if (t.empty() || t[0] == '#')
+            continue;
+        std::size_t eq = t.find('=');
+        if (eq == std::string::npos) {
+            err = "line " + std::to_string(lineno) + ": expected key = "
+                  "value";
+            return false;
+        }
+        std::string key = trim(t.substr(0, eq));
+        std::string val = trim(t.substr(eq + 1));
+        if (key.empty() || val.empty()) {
+            err = "line " + std::to_string(lineno) + ": empty key or "
+                  "value";
+            return false;
+        }
+        try {
+            if (key == "seed")
+                s.seed = std::stoull(val);
+            else if (key == "cores")
+                s.cores = std::stoi(val);
+            else if (key == "app")
+                s.app = val == "haproxy" ? AppKind::kHaproxy
+                                         : AppKind::kNginx;
+            else if (key == "kernel")
+                s.kernel = val;
+            else if (key == "fastVfs")
+                s.fastVfs = std::stoi(val) != 0;
+            else if (key == "localListen")
+                s.localListen = std::stoi(val) != 0;
+            else if (key == "rfd")
+                s.rfd = std::stoi(val) != 0;
+            else if (key == "localEstablished")
+                s.localEstablished = std::stoi(val) != 0;
+            else if (key == "concurrencyPerCore")
+                s.concurrencyPerCore = std::stoi(val);
+            else if (key == "requestsPerConn")
+                s.requestsPerConn = std::stoi(val);
+            else if (key == "maxConns")
+                s.maxConns = std::stoull(val);
+            else if (key == "lossRate")
+                s.lossRate = std::stod(val);
+            else if (key == "clientTimeoutSec")
+                s.clientTimeoutSec = std::stod(val);
+            else if (key == "listenBacklog")
+                s.listenBacklog = std::stoull(val);
+            else if (key == "uma")
+                s.uma = std::stoi(val) != 0;
+            else if (key == "acceptMutex")
+                s.acceptMutex = std::stoi(val) != 0;
+            else if (key == "traceEnabled")
+                s.traceEnabled = std::stoi(val) != 0;
+            else if (key == "maxSimSec")
+                s.maxSimSec = std::stod(val);
+            // Unknown keys are ignored (forward compatibility).
+        } catch (const std::exception &) {
+            err = "line " + std::to_string(lineno) + ": bad value for " +
+                  key;
+            return false;
+        }
+    }
+
+    // Validity: the same constraints randomScenario() builds in.
+    if (s.cores < 1 || s.cores > 64) {
+        err = "cores out of range";
+        return false;
+    }
+    if (s.kernel != "base2632" && s.kernel != "linux313" &&
+        s.kernel != "fastsocket" && s.kernel != "custom") {
+        err = "unknown kernel '" + s.kernel + "'";
+        return false;
+    }
+    if (s.localEstablished && !(s.localListen && s.rfd)) {
+        err = "localEstablished requires localListen and rfd";
+        return false;
+    }
+    if (s.lossRate > 0.0 && s.clientTimeoutSec <= 0.0) {
+        err = "lossRate > 0 requires clientTimeoutSec > 0";
+        return false;
+    }
+    if (s.maxConns == 0) {
+        err = "maxConns must be > 0 (fuzz runs must quiesce)";
+        return false;
+    }
+    out = s;
+    return true;
+}
+
+namespace
+{
+
+struct OneRun
+{
+    bool drained = false;
+    std::uint64_t fingerprint = 0;
+    InvariantReport invariants;
+};
+
+OneRun
+runOnce(const Scenario &s)
+{
+    ExperimentConfig cfg = s.toConfig();
+    Testbed bed(cfg);
+
+    // Leak checks are only meaningful when every client connection runs
+    // to a clean close: under injected loss, abandoned handshakes
+    // legitimately strand server-side TCBs until their (long) keepalive
+    // horizon, which is model behavior, not a leak.
+    InvariantRegistry quiesce;
+    if (s.lossRate == 0.0)
+        registerQuiesceInvariants(quiesce, bed.machine(), bed.load());
+
+    EventQueue &eq = bed.eventQueue();
+    HttpLoad &load = bed.load();
+    Tick cap = ticksFromSeconds(s.maxSimSec);
+    Tick chunk = ticksFromSeconds(0.01);
+
+    bed.startLoad();
+    while (eq.now() < cap &&
+           (load.inFlight() > 0 || load.started() < s.maxConns))
+        bed.runUntilChecked(std::min(cap, eq.now() + chunk));
+
+    OneRun r;
+    r.drained = load.inFlight() == 0 && load.started() >= s.maxConns;
+    if (r.drained) {
+        eq.runAll();
+        quiesce.runAll(eq.now());
+    }
+    bed.checks().runAll(eq.now());
+    r.fingerprint = bed.currentFingerprint();
+    r.invariants = bed.checks().report();
+    r.invariants.merge(quiesce.report());
+    return r;
+}
+
+} // anonymous namespace
+
+ScenarioResult
+runScenario(const Scenario &s)
+{
+    OneRun a = runOnce(s);
+    OneRun b = runOnce(s);
+
+    ScenarioResult r;
+    r.drained = a.drained;
+    r.fingerprint = a.fingerprint;
+    r.fingerprint2 = b.fingerprint;
+    r.deterministic = a.fingerprint == b.fingerprint;
+    r.invariants = a.invariants;
+    return r;
+}
+
+std::string
+ScenarioResult::summary() const
+{
+    std::ostringstream os;
+    if (ok()) {
+        os << "ok (" << invariants.checksRun << " checks, fingerprint 0x"
+           << std::hex << fingerprint << ")";
+        return os.str();
+    }
+    if (!drained)
+        os << "NOT-DRAINED ";
+    if (!deterministic)
+        os << "NON-DETERMINISTIC (0x" << std::hex << fingerprint
+           << " vs 0x" << fingerprint2 << std::dec << ") ";
+    if (!invariants.ok())
+        os << invariants.summary();
+    return os.str();
+}
+
+namespace
+{
+
+/** Single-step shrink candidates of @p s, most aggressive first. */
+std::vector<Scenario>
+shrinkCandidates(const Scenario &s)
+{
+    std::vector<Scenario> out;
+    auto push = [&out](Scenario c) { out.push_back(std::move(c)); };
+
+    if (s.maxConns > 50) {
+        Scenario c = s;
+        c.maxConns = std::max<std::uint64_t>(50, s.maxConns / 2);
+        push(c);
+    }
+    if (s.cores > 1) {
+        Scenario c = s;
+        c.cores = std::max(1, s.cores / 2);
+        push(c);
+        if (s.cores - 1 != c.cores) {
+            Scenario d = s;
+            d.cores = s.cores - 1;
+            push(d);
+        }
+    }
+    if (s.concurrencyPerCore > 4) {
+        Scenario c = s;
+        c.concurrencyPerCore = std::max(4, s.concurrencyPerCore / 2);
+        push(c);
+    }
+    if (s.lossRate > 0.0) {
+        Scenario c = s;
+        c.lossRate = 0.0;
+        c.clientTimeoutSec = 0.0;
+        push(c);
+    }
+    if (s.requestsPerConn > 1) {
+        Scenario c = s;
+        c.requestsPerConn = 1;
+        push(c);
+    }
+    if (s.listenBacklog != 0) {
+        Scenario c = s;
+        c.listenBacklog = 0;
+        push(c);
+    }
+    if (s.acceptMutex) {
+        Scenario c = s;
+        c.acceptMutex = false;
+        push(c);
+    }
+    if (s.uma) {
+        Scenario c = s;
+        c.uma = false;
+        push(c);
+    }
+    if (s.traceEnabled) {
+        Scenario c = s;
+        c.traceEnabled = false;
+        push(c);
+    }
+    // Kernel shrinks toward the baseline: presets drop to base2632;
+    // custom sheds one feature at a time, top of the lattice first.
+    if (s.kernel == "fastsocket" || s.kernel == "linux313") {
+        Scenario c = s;
+        c.kernel = "base2632";
+        push(c);
+    } else if (s.kernel == "custom") {
+        if (s.localEstablished) {
+            Scenario c = s;
+            c.localEstablished = false;
+            push(c);
+        } else if (s.rfd) {
+            Scenario c = s;
+            c.rfd = false;
+            push(c);
+        } else if (s.localListen) {
+            Scenario c = s;
+            c.localListen = false;
+            push(c);
+        } else if (s.fastVfs) {
+            Scenario c = s;
+            c.fastVfs = false;
+            push(c);
+        } else {
+            Scenario c = s;
+            c.kernel = "base2632";
+            push(c);
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+Scenario
+shrinkScenario(const Scenario &failing,
+               const std::function<bool(const Scenario &)> &fails,
+               int budget)
+{
+    Scenario cur = failing;
+    int tried = 0;
+    bool progress = true;
+    while (progress && tried < budget) {
+        progress = false;
+        for (const Scenario &cand : shrinkCandidates(cur)) {
+            if (tried >= budget)
+                break;
+            ++tried;
+            if (fails(cand)) {
+                cur = cand;
+                progress = true;
+                break;   // restart from the shrunk scenario
+            }
+        }
+    }
+    return cur;
+}
+
+} // namespace fsim

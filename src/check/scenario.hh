@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Property-based scenario fuzzing for the simulator.
+ *
+ * A Scenario is a compact, serializable description of one bounded
+ * experiment: core count, application, kernel flavor/features, load
+ * shape, loss injection, backlog and NUMA knobs. Scenarios are generated
+ * valid-by-construction from a seed (the Fastsocket feature lattice is
+ * respected: E requires L and R), run with all invariants armed at
+ * kPeriodic plus a same-seed determinism double-run, and — on violation —
+ * greedily shrunk toward a minimal reproducer that can be committed to
+ * tests/corpus/ and replayed as a regression test.
+ */
+
+#ifndef FSIM_CHECK_SCENARIO_HH
+#define FSIM_CHECK_SCENARIO_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "check/invariants.hh"
+#include "harness/experiment.hh"
+#include "sim/rng.hh"
+
+namespace fsim
+{
+
+/** One fuzzable experiment description (key=value serializable). */
+struct Scenario
+{
+    std::uint64_t seed = 1;         //!< machine + load RNG seed
+    int cores = 4;
+    AppKind app = AppKind::kNginx;
+    /** Kernel preset: "base2632", "linux313", "fastsocket", or "custom"
+     *  (base 2.6.32 flavor + the feature bits below). */
+    std::string kernel = "fastsocket";
+    bool fastVfs = false;
+    bool localListen = false;
+    bool rfd = false;
+    bool localEstablished = false;
+
+    int concurrencyPerCore = 50;
+    int requestsPerConn = 1;
+    std::uint64_t maxConns = 1000;  //!< bounded so the run quiesces
+    double lossRate = 0.0;
+    double clientTimeoutSec = 0.0;  //!< required > 0 when lossRate > 0
+    std::size_t listenBacklog = 0;  //!< 0 = socket default
+    bool uma = false;               //!< UMA costs instead of calibrated
+    bool acceptMutex = false;
+    bool traceEnabled = true;
+    double maxSimSec = 30.0;        //!< drain cap
+
+    /** Materialize the harness config this scenario describes. */
+    ExperimentConfig toConfig() const;
+};
+
+/** Draw a valid random scenario from @p rng. */
+Scenario randomScenario(Rng &rng);
+
+/** One-line-per-field "key = value" text form (reproducer files). */
+std::string serializeScenario(const Scenario &s);
+
+/**
+ * Parse serializeScenario() output (unknown keys and blank/#-comment
+ * lines are ignored). @return false and fills @p err on malformed input.
+ */
+bool parseScenario(const std::string &text, Scenario &out,
+                   std::string &err);
+
+/** Outcome of fuzzing one scenario. */
+struct ScenarioResult
+{
+    bool drained = false;        //!< quiesced under the sim-time cap
+    bool deterministic = false;  //!< double-run fingerprints matched
+    std::uint64_t fingerprint = 0;
+    std::uint64_t fingerprint2 = 0;
+    InvariantReport invariants;  //!< periodic + final + quiesce checks
+
+    bool ok() const { return drained && deterministic && invariants.ok(); }
+    std::string summary() const;
+};
+
+/**
+ * Run @p s twice with all invariants armed (periodic conservation plus
+ * quiesce leak checks) and compare the two fingerprints.
+ */
+ScenarioResult runScenario(const Scenario &s);
+
+/**
+ * Greedily shrink @p failing while @p fails still returns true, trying
+ * at most @p budget candidate scenarios. Shrink moves: drop features
+ * toward the baseline kernel, zero loss, shrink cores / concurrency /
+ * maxConns / backlog, disable trace. Returns the smallest still-failing
+ * scenario found (possibly @p failing itself).
+ */
+Scenario shrinkScenario(const Scenario &failing,
+                        const std::function<bool(const Scenario &)> &fails,
+                        int budget);
+
+} // namespace fsim
+
+#endif // FSIM_CHECK_SCENARIO_HH

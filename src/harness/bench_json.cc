@@ -53,6 +53,24 @@ BenchJsonReport::addRow(const std::string &label,
     rows_.push_back(Row{label, cfg, r});
 }
 
+const std::string &
+BenchJsonReport::rowLabel(std::size_t i) const
+{
+    return rows_.at(i).label;
+}
+
+std::uint64_t
+BenchJsonReport::rowFingerprint(std::size_t i) const
+{
+    return rows_.at(i).res.fingerprint;
+}
+
+const InvariantReport &
+BenchJsonReport::rowInvariants(std::size_t i) const
+{
+    return rows_.at(i).res.invariants;
+}
+
 std::string
 BenchJsonReport::str() const
 {
@@ -178,6 +196,20 @@ BenchJsonReport::str() const
         w.key("events_recorded").value(r.traceEventsRecorded);
         w.key("events_overwritten").value(r.traceEventsOverwritten);
         w.key("untracked_cycles").value(r.phaseCycles.untracked);
+        w.endObject();
+
+        char fphex[24];
+        std::snprintf(fphex, sizeof(fphex), "0x%016llx",
+                      static_cast<unsigned long long>(r.fingerprint));
+        w.key("fingerprint").value(fphex);
+
+        w.key("invariants").beginObject();
+        w.key("checks_run").value(r.invariants.checksRun);
+        w.key("violations").value(r.invariants.violationCount);
+        w.key("failed").beginArray();
+        for (const InvariantViolation &v : r.invariants.violations)
+            w.value(v.name);
+        w.endArray();
         w.endObject();
 
         w.endObject();

@@ -23,8 +23,9 @@ namespace fsim
 class BenchJsonReport
 {
   public:
-    /** Bump when the document layout changes incompatibly. */
-    static constexpr int kSchemaVersion = 1;
+    /** Bump when the document layout changes incompatibly.
+     *  v2: per-row "fingerprint" (hex string) and "invariants" object. */
+    static constexpr int kSchemaVersion = 2;
 
     explicit BenchJsonReport(std::string bench_name);
 
@@ -33,6 +34,13 @@ class BenchJsonReport
                 const ExperimentResult &r);
 
     std::size_t rowCount() const { return rows_.size(); }
+
+    /** @name Per-row access (the --fingerprint bench flag) */
+    /** @{ */
+    const std::string &rowLabel(std::size_t i) const;
+    std::uint64_t rowFingerprint(std::size_t i) const;
+    const InvariantReport &rowInvariants(std::size_t i) const;
+    /** @} */
 
     /** Render the full JSON document. */
     std::string str() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/fingerprint.hh"
 #include "sim/logging.hh"
 
 namespace fsim
@@ -93,10 +94,73 @@ Testbed::Testbed(const ExperimentConfig &cfg)
     lc.requestsPerConn = cfg_.requestsPerConn;
     lc.timeout = cfg_.clientTimeout;
     lc.seed = cfg_.machine.seed ^ 0xabcdef;
+    lc.maxConns = cfg_.maxConns;
     load_ = std::make_unique<HttpLoad>(*eq_, *wire_, lc);
+
+    if (cfg_.listenBacklog > 0) {
+        for (const Socket *s : machine_->kernel().allSockets())
+            if (s->kind == SockKind::kListen)
+                const_cast<Socket *>(s)->backlog = cfg_.listenBacklog;
+    }
+
+    if (cfg_.checkLevel != CheckLevel::kOff)
+        registerStandardInvariants(checks_, *machine_, *load_, *wire_);
 }
 
 Testbed::~Testbed() = default;
+
+void
+Testbed::runUntilChecked(Tick limit)
+{
+    if (cfg_.checkLevel != CheckLevel::kPeriodic) {
+        eq_->runUntil(limit);
+        return;
+    }
+    Tick step = ticksFromSeconds(cfg_.checkIntervalSec);
+    if (step == 0)
+        step = 1;
+    while (eq_->now() < limit) {
+        eq_->runUntil(std::min(limit, eq_->now() + step));
+        checks_.runAll(eq_->now());
+    }
+}
+
+std::uint64_t
+Testbed::currentFingerprint() const
+{
+    // The wire's delivery-sequence hash already pins the entire network
+    // behavior of the run; fold the simulator's independent counters on
+    // top so a bookkeeping divergence (client, kernel, clock) changes
+    // the fingerprint even if it never reached the wire. Everything
+    // folded here is simulated state — trace configuration must not
+    // move any of it.
+    Fingerprint fp;
+    fp.mix(wire_->seqHash());
+    fp.mix(eq_->now());
+    fp.mix(load_->started());
+    fp.mix(load_->completed());
+    fp.mix(load_->failed());
+    fp.mix(load_->responses());
+    fp.mix(load_->timeouts());
+    fp.mix(load_->bytesReceived());
+    fp.mix(app_->served());
+    const KernelStats &ks = machine_->kernel().stats();
+    fp.mix(ks.rxPackets);
+    fp.mix(ks.txPackets);
+    fp.mix(ks.steeredPackets);
+    fp.mix(ks.rstSent);
+    fp.mix(ks.acceptedConns);
+    fp.mix(ks.activeConns);
+    fp.mix(ks.slowPathAccepts);
+    fp.mix(ks.socketsCreated);
+    fp.mix(ks.socketsDestroyed);
+    fp.mix(ks.acceptOverflows);
+    fp.mix(ks.timeWaitReaped);
+    fp.mix(machine_->cpu().totalBusyTicks());
+    fp.mix(machine_->cache().totalAccesses());
+    fp.mix(machine_->cache().totalMisses());
+    return fp.value();
+}
 
 void
 Testbed::startLoad()
@@ -130,6 +194,11 @@ Testbed::markWindows()
 ExperimentResult
 Testbed::collect()
 {
+    // Every collection point doubles as an invariant pass (the kFinal
+    // default): manual drivers get checked exactly where they measure.
+    if (cfg_.checkLevel != CheckLevel::kOff)
+        checks_.runAll(eq_->now());
+
     ExperimentResult r;
     r.cps = load_->throughputSinceMark();
     r.rps = load_->requestThroughputSinceMark();
@@ -184,6 +253,9 @@ Testbed::collect()
     }
     r.traceEventsRecorded = tr.eventsRecorded();
     r.traceEventsOverwritten = tr.eventsOverwritten();
+
+    r.fingerprint = currentFingerprint();
+    r.invariants = checks_.report();
     return r;
 }
 
@@ -191,7 +263,7 @@ ExperimentResult
 Testbed::run()
 {
     startLoad();
-    eq_->runUntil(eq_->now() + ticksFromSeconds(cfg_.warmupSec));
+    runUntilChecked(eq_->now() + ticksFromSeconds(cfg_.warmupSec));
     markWindows();
 
     // Split the measurement into statWindows sub-windows, snapshotting
@@ -204,7 +276,7 @@ Testbed::run()
         machine_->locks().snapshot();
     for (int w = 0; w < wins; ++w) {
         Tick wstart = eq_->now();
-        eq_->runUntil(begin + measure * (w + 1) / wins);
+        runUntilChecked(begin + measure * (w + 1) / wins);
         std::map<std::string, LockClassStats> cur =
             machine_->locks().snapshot();
         LockWindow lw;

@@ -19,6 +19,7 @@
 #include "app/machine.hh"
 #include "app/proxy.hh"
 #include "app/web_server.hh"
+#include "check/invariants.hh"
 #include "kernel/kernel_config.hh"
 #include "sync/lock_registry.hh"
 #include "trace/trace_report.hh"
@@ -63,6 +64,18 @@ struct ExperimentConfig
     /** Sub-windows the measurement window is split into for per-window
      *  lockstat deltas (1 = a single whole-window delta). */
     int statWindows = 1;
+    /** Invariant checking intensity (src/check). The final-pass default
+     *  is cheap enough to stay on everywhere; the fuzzer runs
+     *  kPeriodic. */
+    CheckLevel checkLevel = CheckLevel::kFinal;
+    /** Sim-time between periodic invariant passes (kPeriodic only). */
+    double checkIntervalSec = 0.005;
+    /** Override the accept-queue backlog (somaxconn) of every listen
+     *  socket (0 = keep the Socket default). */
+    std::size_t listenBacklog = 0;
+    /** Bounded workload: total connections the client fleet may start
+     *  (0 = unlimited closed loop). See HttpLoad::Config::maxConns. */
+    std::uint64_t maxConns = 0;
 };
 
 /** Lock-stat deltas of one measurement sub-window. */
@@ -109,6 +122,16 @@ struct ExperimentResult
     std::uint64_t traceEventsOverwritten = 0;
     /** @} */
 
+    /** @name Correctness (src/check) */
+    /** @{ */
+    /** Determinism fingerprint: wire delivery-sequence hash folded with
+     *  the run's final simulated counters. Same seed + config => same
+     *  fingerprint, with or without tracing. */
+    std::uint64_t fingerprint = 0;
+    /** Invariant evaluations of this run (empty when checkLevel=kOff). */
+    InvariantReport invariants;
+    /** @} */
+
     double maxUtil() const;
     double avgUtil() const;
     double minUtil() const;
@@ -130,6 +153,7 @@ class Testbed
     AppBase &app() { return *app_; }
     HttpLoad &load() { return *load_; }
     BackendPool *backends() { return backends_.get(); }
+    InvariantRegistry &checks() { return checks_; }
 
     /** Run warmup + measurement, return the measured window. */
     ExperimentResult run();
@@ -141,6 +165,16 @@ class Testbed
     void markWindows();
     ExperimentResult collect();
 
+    /**
+     * Advance simulated time to @p limit, interleaving periodic
+     * invariant passes when cfg.checkLevel == kPeriodic. Slicing is
+     * behavior-neutral: events execute at identical ticks either way.
+     */
+    void runUntilChecked(Tick limit);
+
+    /** Current determinism fingerprint (wire sequence + live counters). */
+    std::uint64_t currentFingerprint() const;
+
   private:
     ExperimentConfig cfg_;
     std::unique_ptr<EventQueue> eq_;
@@ -149,6 +183,7 @@ class Testbed
     std::unique_ptr<BackendPool> backends_;
     std::unique_ptr<AppBase> app_;
     std::unique_ptr<HttpLoad> load_;
+    InvariantRegistry checks_;
 
     bool loadStarted_ = false;
     std::map<std::string, LockClassStats> lockMark_;

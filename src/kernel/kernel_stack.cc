@@ -154,6 +154,7 @@ KernelStack::killProcess(int proc)
         for (Socket *queued : clone->acceptQueue)
             destroySocket(clone->homeCore, 0, queued);
         clone->acceptQueue.clear();
+        ++stats_.socketsDestroyed;
         sockets_.erase(clone->id);
     }
     p.localListens.clear();
@@ -163,6 +164,7 @@ KernelStack::killProcess(int proc)
         for (Socket *queued : clone->acceptQueue)
             destroySocket(p.core, 0, queued);
         clone->acceptQueue.clear();
+        ++stats_.socketsDestroyed;
         sockets_.erase(clone->id);
     }
     p.reuseClones.clear();
@@ -268,6 +270,7 @@ Socket *
 KernelStack::newSocket()
 {
     auto s = std::make_unique<Socket>();
+    ++stats_.socketsCreated;
     s->id = nextSockId_++;
     s->cacheObj = d_.cache->newObject();
     s->slock.init(d_.locks->getClass("slock"), d_.cache,
@@ -720,6 +723,7 @@ KernelStack::handleEstablishedPacket(CoreId core, Socket *sock,
         if (listener->acceptQueue.size() >= listener->backlog) {
             // Accept-queue overflow (somaxconn): reject the connection.
             ++stats_.acceptOverflows;
+            ++stats_.rstSent;
             t += d_.costs->rstCost;
             Packet rst;
             rst.tuple = sock->rxTuple.reversed();

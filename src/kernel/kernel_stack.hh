@@ -71,6 +71,7 @@ struct KernelStats
     std::uint64_t activePktLocal = 0;
     std::uint64_t activePktTotal = 0;
     std::uint64_t timeWaitReaped = 0;
+    std::uint64_t socketsCreated = 0;   //!< every newSocket() call
     std::uint64_t socketsDestroyed = 0;
     std::uint64_t acceptOverflows = 0;  //!< somaxconn rejections
 };

@@ -47,6 +47,7 @@ Wire::setLossRate(double rate, std::uint64_t seed)
 void
 Wire::transmit(const Packet &pkt, Tick when)
 {
+    ++transmitted_;
     const Endpoint *ep = lookup(pkt.tuple.daddr);
     if (!ep) {
         ++dropped_;
@@ -59,13 +60,22 @@ Wire::transmit(const Packet &pkt, Tick when)
     // Copy the handler pointer is unsafe if maps rehash; copy the target
     // address and re-resolve at delivery time instead.
     Packet copy = pkt;
+    ++inFlight_;
     eq_.schedule(when + delay_, [this, copy] {
+        --inFlight_;
         const Endpoint *handler = lookup(copy.tuple.daddr);
         if (!handler) {
             ++dropped_;
             return;
         }
         ++delivered_;
+        seqHash_.mix(eq_.now());
+        seqHash_.mix((static_cast<std::uint64_t>(copy.tuple.saddr) << 32) |
+                     copy.tuple.daddr);
+        seqHash_.mix((static_cast<std::uint64_t>(copy.tuple.sport) << 48) |
+                     (static_cast<std::uint64_t>(copy.tuple.dport) << 32) |
+                     (static_cast<std::uint64_t>(copy.flags) << 24));
+        seqHash_.mix(static_cast<std::uint64_t>(copy.payload));
         (*handler)(copy);
     });
 }

@@ -15,6 +15,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "check/fingerprint.hh"
 #include "net/packet.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
@@ -60,6 +61,21 @@ class Wire
     std::uint64_t lost() const { return lost_; }
     Tick delay() const { return delay_; }
 
+    /** @name Conservation + determinism instrumentation (src/check) */
+    /** @{ */
+    /** Packets handed to transmit(), before any drop/loss decision. */
+    std::uint64_t transmitted() const { return transmitted_; }
+    /** Packets scheduled on the wire but not yet delivered/dropped. */
+    std::uint64_t inFlight() const { return inFlight_; }
+    /**
+     * Rolling hash over the delivery sequence: every delivered packet's
+     * (tick, tuple, flags, payload) in delivery order. Two same-seed
+     * runs must agree on this value bit-for-bit; tracing must never
+     * perturb it.
+     */
+    std::uint64_t seqHash() const { return seqHash_.value(); }
+    /** @} */
+
   private:
     const Endpoint *lookup(IpAddr addr) const;
 
@@ -79,6 +95,9 @@ class Wire
     std::uint64_t delivered_ = 0;
     std::uint64_t dropped_ = 0;
     std::uint64_t lost_ = 0;
+    std::uint64_t transmitted_ = 0;
+    std::uint64_t inFlight_ = 0;
+    Fingerprint seqHash_;
 };
 
 } // namespace fsim

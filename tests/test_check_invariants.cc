@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for src/check: InvariantRegistry mechanics, the Fingerprint
+ * hash, and the standard conservation checks run against real testbeds
+ * (including one deliberately corrupted to prove violations are caught).
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/fingerprint.hh"
+#include "check/invariants.hh"
+#include "harness/experiment.hh"
+
+namespace fsim
+{
+namespace
+{
+
+TEST(InvariantRegistry, RecordsViolationsWithTickAndDetail)
+{
+    InvariantRegistry reg;
+    reg.add("always-ok", [](Tick, std::string &) { return true; });
+    reg.add("always-bad", [](Tick, std::string &why) {
+        why = "expected 1 but got 2";
+        return false;
+    });
+
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_EQ(reg.runAll(123), 1u);
+    EXPECT_EQ(reg.runAll(456), 1u);
+
+    const InvariantReport &r = reg.report();
+    EXPECT_EQ(r.checksRun, 4u);
+    EXPECT_EQ(r.violationCount, 2u);
+    ASSERT_EQ(r.violations.size(), 2u);
+    EXPECT_EQ(r.violations[0].name, "always-bad");
+    EXPECT_EQ(r.violations[0].detail, "expected 1 but got 2");
+    EXPECT_EQ(r.violations[0].tick, 123u);
+    EXPECT_EQ(r.violations[1].tick, 456u);
+    EXPECT_FALSE(r.ok());
+
+    reg.resetReport();
+    EXPECT_TRUE(reg.report().ok());
+    EXPECT_EQ(reg.report().checksRun, 0u);
+}
+
+TEST(InvariantRegistry, StoredViolationsAreCappedButAllCounted)
+{
+    InvariantRegistry reg;
+    reg.add("bad", [](Tick, std::string &) { return false; });
+    for (int i = 0; i < 100; ++i)
+        reg.runAll(i);
+    EXPECT_EQ(reg.report().violationCount, 100u);
+    EXPECT_EQ(reg.report().violations.size(),
+              InvariantRegistry::kMaxStored);
+}
+
+TEST(InvariantReport, MergeAddsCountsAndKeepsCap)
+{
+    InvariantRegistry a;
+    a.add("a-bad", [](Tick, std::string &) { return false; });
+    a.runAll(1);
+    InvariantRegistry b;
+    b.add("b-bad", [](Tick, std::string &) { return false; });
+    b.add("b-ok", [](Tick, std::string &) { return true; });
+    b.runAll(2);
+
+    InvariantReport merged = a.report();
+    merged.merge(b.report());
+    EXPECT_EQ(merged.checksRun, 3u);
+    EXPECT_EQ(merged.violationCount, 2u);
+    ASSERT_EQ(merged.violations.size(), 2u);
+    EXPECT_EQ(merged.violations[1].name, "b-bad");
+}
+
+TEST(InvariantReport, SummaryNamesTheFailedChecks)
+{
+    InvariantRegistry reg;
+    reg.add("packet-conservation",
+            [](Tick, std::string &) { return false; });
+    reg.runAll(0);
+    std::string s = reg.report().summary();
+    EXPECT_NE(s.find("1 violation"), std::string::npos);
+    EXPECT_NE(s.find("packet-conservation"), std::string::npos);
+}
+
+TEST(Fingerprint, SensitiveToValueAndOrder)
+{
+    Fingerprint a;
+    a.mix(std::uint64_t{1});
+    a.mix(std::uint64_t{2});
+    Fingerprint b;
+    b.mix(std::uint64_t{2});
+    b.mix(std::uint64_t{1});
+    Fingerprint c;
+    c.mix(std::uint64_t{1});
+    c.mix(std::uint64_t{2});
+    EXPECT_NE(a.value(), b.value());
+    EXPECT_EQ(a.value(), c.value());
+
+    Fingerprint d;
+    d.mix(std::uint64_t{1});
+    EXPECT_NE(a.value(), d.value());
+}
+
+TEST(Fingerprint, MixesDoublesAndStrings)
+{
+    Fingerprint a;
+    a.mix(1.5);
+    a.mix(std::string("hello"));
+    Fingerprint b;
+    b.mix(1.5);
+    b.mix(std::string("hellp"));
+    EXPECT_NE(a.value(), b.value());
+
+    EXPECT_EQ(a.hex().substr(0, 2), "0x");
+    EXPECT_EQ(a.hex().size(), 18u);
+}
+
+TEST(StandardInvariants, HoldOnShortNginxRun)
+{
+    ExperimentConfig cfg;
+    cfg.machine.cores = 2;
+    cfg.warmupSec = 0.005;
+    cfg.measureSec = 0.02;
+    cfg.concurrencyPerCore = 50;
+    cfg.checkLevel = CheckLevel::kPeriodic;
+    cfg.checkIntervalSec = 0.002;
+    ExperimentResult r = runExperiment(cfg);
+    EXPECT_TRUE(r.invariants.ok()) << r.invariants.summary();
+    EXPECT_GT(r.invariants.checksRun, 6u) << "periodic passes expected";
+    EXPECT_NE(r.fingerprint, 0u);
+}
+
+TEST(StandardInvariants, HoldOnHaproxyWithLoss)
+{
+    ExperimentConfig cfg;
+    cfg.app = AppKind::kHaproxy;
+    cfg.machine.cores = 2;
+    cfg.warmupSec = 0.005;
+    cfg.measureSec = 0.02;
+    cfg.concurrencyPerCore = 50;
+    cfg.lossRate = 0.02;
+    cfg.clientTimeout = ticksFromMsec(50);
+    cfg.checkLevel = CheckLevel::kPeriodic;
+    ExperimentResult r = runExperiment(cfg);
+    EXPECT_TRUE(r.invariants.ok()) << r.invariants.summary();
+}
+
+TEST(StandardInvariants, CheckLevelOffRunsNothing)
+{
+    ExperimentConfig cfg;
+    cfg.machine.cores = 1;
+    cfg.warmupSec = 0.005;
+    cfg.measureSec = 0.01;
+    cfg.concurrencyPerCore = 20;
+    cfg.checkLevel = CheckLevel::kOff;
+    ExperimentResult r = runExperiment(cfg);
+    EXPECT_EQ(r.invariants.checksRun, 0u);
+    EXPECT_NE(r.fingerprint, 0u) << "fingerprint is always computed";
+}
+
+TEST(StandardInvariants, CorruptedCounterIsDetected)
+{
+    ExperimentConfig cfg;
+    cfg.machine.cores = 1;
+    cfg.warmupSec = 0.005;
+    cfg.measureSec = 0.01;
+    cfg.concurrencyPerCore = 20;
+    Testbed bed(cfg);
+    bed.startLoad();
+    bed.eventQueue().runUntil(ticksFromSeconds(0.01));
+
+    // Sanity: the live system passes...
+    EXPECT_EQ(bed.checks().runAll(bed.eventQueue().now()), 0u)
+        << bed.checks().report().summary();
+
+    // ...then fake a lost socket by bumping the created counter behind
+    // the registry's back: socket-conservation must notice.
+    const_cast<KernelStats &>(bed.machine().kernel().stats())
+        .socketsCreated += 1;
+    EXPECT_GE(bed.checks().runAll(bed.eventQueue().now()), 1u);
+    bool found = false;
+    for (const InvariantViolation &v : bed.checks().report().violations)
+        if (v.name == "socket-conservation")
+            found = true;
+    EXPECT_TRUE(found) << bed.checks().report().summary();
+}
+
+TEST(QuiesceInvariants, BoundedRunLeaksNothing)
+{
+    ExperimentConfig cfg;
+    cfg.machine.cores = 2;
+    cfg.concurrencyPerCore = 25;
+    cfg.maxConns = 300;
+    Testbed bed(cfg);
+    InvariantRegistry quiesce;
+    registerQuiesceInvariants(quiesce, bed.machine(), bed.load());
+
+    bed.startLoad();
+    bed.eventQueue().runAll();   // bounded: drains to quiescence
+
+    EXPECT_EQ(bed.load().inFlight(), 0u);
+    EXPECT_EQ(bed.load().completed(), 300u);
+    EXPECT_EQ(quiesce.runAll(bed.eventQueue().now()), 0u)
+        << quiesce.report().summary();
+    EXPECT_EQ(bed.checks().runAll(bed.eventQueue().now()), 0u)
+        << bed.checks().report().summary();
+}
+
+} // anonymous namespace
+} // namespace fsim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Determinism regression tests: the fingerprint of a run is a pure
+ * function of (config, seed). Same seed => bit-identical fingerprints;
+ * tracing on/off must not move it (tracing charges no simulated
+ * cycles); different seeds must diverge.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace fsim
+{
+namespace
+{
+
+ExperimentConfig
+smallConfig(AppKind app, std::uint64_t seed)
+{
+    ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.machine.cores = 2;
+    cfg.machine.seed = seed;
+    cfg.warmupSec = 0.005;
+    cfg.measureSec = 0.02;
+    cfg.concurrencyPerCore = 50;
+    return cfg;
+}
+
+TEST(Determinism, SameSeedSameFingerprintNginx)
+{
+    ExperimentResult a = runExperiment(smallConfig(AppKind::kNginx, 11));
+    ExperimentResult b = runExperiment(smallConfig(AppKind::kNginx, 11));
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_DOUBLE_EQ(a.cps, b.cps);
+    EXPECT_EQ(a.served, b.served);
+}
+
+TEST(Determinism, SameSeedSameFingerprintHaproxy)
+{
+    ExperimentResult a =
+        runExperiment(smallConfig(AppKind::kHaproxy, 11));
+    ExperimentResult b =
+        runExperiment(smallConfig(AppKind::kHaproxy, 11));
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.served, b.served);
+}
+
+TEST(Determinism, DifferentSeedsDiverge)
+{
+    ExperimentResult a = runExperiment(smallConfig(AppKind::kNginx, 11));
+    ExperimentResult b = runExperiment(smallConfig(AppKind::kNginx, 12));
+    EXPECT_NE(a.fingerprint, b.fingerprint);
+}
+
+TEST(Determinism, AppsDiverge)
+{
+    ExperimentResult a = runExperiment(smallConfig(AppKind::kNginx, 11));
+    ExperimentResult b =
+        runExperiment(smallConfig(AppKind::kHaproxy, 11));
+    EXPECT_NE(a.fingerprint, b.fingerprint);
+}
+
+TEST(Determinism, TraceOnOffIsBitIdentical)
+{
+    // Tracing is pure observation: it charges no simulated cycles, so
+    // enabling or disabling it must not perturb a single event.
+    for (AppKind app : {AppKind::kNginx, AppKind::kHaproxy}) {
+        ExperimentConfig on = smallConfig(app, 7);
+        on.machine.traceEnabled = true;
+        ExperimentConfig off = smallConfig(app, 7);
+        off.machine.traceEnabled = false;
+        ExperimentResult a = runExperiment(on);
+        ExperimentResult b = runExperiment(off);
+        EXPECT_EQ(a.fingerprint, b.fingerprint)
+            << "tracing perturbed the simulation (app "
+            << static_cast<int>(app) << ")";
+        EXPECT_EQ(a.served, b.served);
+    }
+}
+
+TEST(Determinism, CheckLevelIsBehaviorNeutral)
+{
+    // Periodic checking slices runUntil into intervals; events still
+    // execute at identical ticks, so the fingerprint must not move.
+    ExperimentConfig off = smallConfig(AppKind::kNginx, 7);
+    off.checkLevel = CheckLevel::kOff;
+    ExperimentConfig periodic = smallConfig(AppKind::kNginx, 7);
+    periodic.checkLevel = CheckLevel::kPeriodic;
+    periodic.checkIntervalSec = 0.001;
+    ExperimentResult a = runExperiment(off);
+    ExperimentResult b = runExperiment(periodic);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+}
+
+TEST(Determinism, FingerprintTracksKernelFeatures)
+{
+    ExperimentConfig base = smallConfig(AppKind::kNginx, 7);
+    ExperimentConfig fast = smallConfig(AppKind::kNginx, 7);
+    fast.machine.kernel = KernelConfig::fastsocket();
+    ExperimentResult a = runExperiment(base);
+    ExperimentResult b = runExperiment(fast);
+    EXPECT_NE(a.fingerprint, b.fingerprint)
+        << "different kernels must produce different event sequences";
+}
+
+} // anonymous namespace
+} // namespace fsim

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Scenario fuzzer tests: generation validity, serialize/parse
+ * round-trips, rejection of invalid reproducers, shrinking against
+ * synthetic predicates, and a real end-to-end fuzzed run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/scenario.hh"
+
+namespace fsim
+{
+namespace
+{
+
+TEST(Scenario, RandomScenariosAreValidByConstruction)
+{
+    Rng rng(99);
+    for (int i = 0; i < 200; ++i) {
+        Scenario s = randomScenario(rng);
+        EXPECT_GE(s.cores, 1);
+        EXPECT_LE(s.cores, 8);
+        EXPECT_GT(s.maxConns, 0u);
+        EXPECT_GT(s.concurrencyPerCore, 0);
+        EXPECT_GE(s.requestsPerConn, 1);
+        EXPECT_LE(s.lossRate, 0.05);
+        if (s.lossRate > 0.0)
+            EXPECT_GT(s.clientTimeoutSec, 0.0)
+                << "loss without a client timeout cannot drain";
+        if (s.localEstablished)
+            EXPECT_TRUE(s.localListen && s.rfd)
+                << "feature lattice: E requires L and R";
+        // Round-trip through the reproducer format.
+        Scenario back;
+        std::string err;
+        ASSERT_TRUE(parseScenario(serializeScenario(s), back, err))
+            << err;
+        EXPECT_EQ(back.seed, s.seed);
+        EXPECT_EQ(back.cores, s.cores);
+        EXPECT_EQ(back.kernel, s.kernel);
+        EXPECT_EQ(back.maxConns, s.maxConns);
+        EXPECT_EQ(back.listenBacklog, s.listenBacklog);
+        EXPECT_EQ(back.uma, s.uma);
+        EXPECT_DOUBLE_EQ(back.lossRate, s.lossRate);
+    }
+}
+
+TEST(Scenario, GeneratorCoversTheSpace)
+{
+    Rng rng(5);
+    bool sawHaproxy = false, sawLoss = false, sawBacklog = false;
+    bool sawCustom = false, sawUma = false;
+    for (int i = 0; i < 100; ++i) {
+        Scenario s = randomScenario(rng);
+        sawHaproxy |= s.app == AppKind::kHaproxy;
+        sawLoss |= s.lossRate > 0.0;
+        sawBacklog |= s.listenBacklog != 0;
+        sawCustom |= s.kernel == "custom";
+        sawUma |= s.uma;
+    }
+    EXPECT_TRUE(sawHaproxy && sawLoss && sawBacklog && sawCustom &&
+                sawUma);
+}
+
+TEST(Scenario, ParseIgnoresCommentsAndUnknownKeys)
+{
+    Scenario s;
+    std::string err;
+    ASSERT_TRUE(parseScenario("# comment\n\nseed = 5\ncores=3\n"
+                              "futureKnob = 1\nmaxConns = 10\n",
+                              s, err))
+        << err;
+    EXPECT_EQ(s.seed, 5u);
+    EXPECT_EQ(s.cores, 3);
+}
+
+TEST(Scenario, ParseRejectsInvalidInput)
+{
+    Scenario s;
+    std::string err;
+    EXPECT_FALSE(parseScenario("not a key value line\n", s, err));
+    EXPECT_FALSE(parseScenario("cores = banana\n", s, err));
+    EXPECT_FALSE(parseScenario("cores = 0\n", s, err));
+    EXPECT_FALSE(parseScenario("kernel = windows\n", s, err));
+    EXPECT_FALSE(parseScenario("maxConns = 0\n", s, err));
+    EXPECT_FALSE(
+        parseScenario("kernel = custom\nlocalEstablished = 1\n", s, err))
+        << "E without L and R must be rejected";
+    EXPECT_FALSE(parseScenario("lossRate = 0.1\n", s, err))
+        << "loss without a timeout must be rejected";
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Scenario, ToConfigAppliesEveryKnob)
+{
+    Scenario s;
+    s.cores = 6;
+    s.kernel = "custom";
+    s.fastVfs = true;
+    s.localListen = true;
+    s.rfd = false;
+    s.app = AppKind::kHaproxy;
+    s.maxConns = 777;
+    s.listenBacklog = 32;
+    s.uma = true;
+    s.acceptMutex = true;
+    s.traceEnabled = false;
+    ExperimentConfig cfg = s.toConfig();
+    EXPECT_EQ(cfg.machine.cores, 6);
+    EXPECT_TRUE(cfg.machine.kernel.fastVfs);
+    EXPECT_TRUE(cfg.machine.kernel.localListen);
+    EXPECT_FALSE(cfg.machine.kernel.rfd);
+    EXPECT_EQ(cfg.machine.kernel.flavor, KernelFlavor::kBase2632);
+    EXPECT_EQ(cfg.maxConns, 777u);
+    EXPECT_EQ(cfg.listenBacklog, 32u);
+    EXPECT_TRUE(cfg.acceptMutex);
+    EXPECT_FALSE(cfg.machine.traceEnabled);
+    EXPECT_EQ(cfg.machine.costs.numaNodeSize, 0) << "uma costs";
+    EXPECT_EQ(cfg.checkLevel, CheckLevel::kPeriodic);
+
+    s.kernel = "fastsocket";
+    EXPECT_EQ(s.toConfig().machine.kernel.flavor,
+              KernelFlavor::kFastsocket);
+}
+
+TEST(Scenario, ShrinkConvergesOnSyntheticPredicate)
+{
+    // "Fails whenever cores >= 3": the shrinker must walk everything
+    // else to its floor and stop cores right at the boundary.
+    Scenario big;
+    big.cores = 8;
+    big.kernel = "fastsocket";
+    big.maxConns = 2000;
+    big.concurrencyPerCore = 100;
+    big.lossRate = 0.03;
+    big.clientTimeoutSec = 0.1;
+    big.requestsPerConn = 4;
+    big.listenBacklog = 512;
+    big.acceptMutex = true;
+    big.uma = true;
+    auto fails = [](const Scenario &s) { return s.cores >= 3; };
+    Scenario small = shrinkScenario(big, fails, 500);
+    EXPECT_EQ(small.cores, 3);
+    EXPECT_EQ(small.maxConns, 50u);
+    EXPECT_EQ(small.lossRate, 0.0);
+    EXPECT_EQ(small.requestsPerConn, 1);
+    EXPECT_EQ(small.listenBacklog, 0u);
+    EXPECT_FALSE(small.acceptMutex);
+    EXPECT_FALSE(small.uma);
+    EXPECT_EQ(small.kernel, "base2632");
+    EXPECT_TRUE(fails(small));
+}
+
+TEST(Scenario, ShrinkRespectsBudget)
+{
+    Scenario big;
+    big.cores = 8;
+    big.maxConns = 2000;
+    int calls = 0;
+    auto fails = [&calls](const Scenario &) {
+        ++calls;
+        return true;
+    };
+    shrinkScenario(big, fails, 7);
+    EXPECT_LE(calls, 7);
+}
+
+TEST(Scenario, ShrinkKeepsOriginalWhenNothingSmallerFails)
+{
+    Scenario s;   // defaults are already near the floor
+    s.cores = 2;
+    s.maxConns = 60;
+    auto fails = [&s](const Scenario &c) {
+        // Only the exact original fails.
+        return c.cores == s.cores && c.maxConns == s.maxConns;
+    };
+    Scenario out = shrinkScenario(s, fails, 100);
+    EXPECT_EQ(out.cores, 2);
+    EXPECT_EQ(out.maxConns, 60u);
+}
+
+TEST(Scenario, RunScenarioEndToEnd)
+{
+    Scenario s;
+    s.seed = 123;
+    s.cores = 2;
+    s.maxConns = 200;
+    s.concurrencyPerCore = 20;
+    s.kernel = "fastsocket";
+    ScenarioResult r = runScenario(s);
+    EXPECT_TRUE(r.ok()) << r.summary();
+    EXPECT_TRUE(r.drained);
+    EXPECT_TRUE(r.deterministic);
+    EXPECT_EQ(r.fingerprint, r.fingerprint2);
+    EXPECT_GT(r.invariants.checksRun, 0u);
+}
+
+} // anonymous namespace
+} // namespace fsim

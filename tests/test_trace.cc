@@ -273,14 +273,18 @@ TEST(BenchJson, DocumentCarriesSchemaVersionAndRequiredKeys)
     std::string doc = report.str();
     // Golden schema: version stamp plus every top-level and per-row key
     // the downstream validator requires.
-    EXPECT_NE(doc.find("\"schema_version\":1"), std::string::npos);
+    EXPECT_NE(doc.find("\"schema_version\":2"), std::string::npos);
     EXPECT_NE(doc.find("\"bench\":\"unit_test\""), std::string::npos);
     for (const char *key :
          {"\"rows\"", "\"label\"", "\"config\"", "\"metrics\"",
           "\"cps\"", "\"phases\"", "\"per_core\"", "\"folded_stacks\"",
           "\"locks\"", "\"lock_windows\"", "\"queue_timelines\"",
-          "\"trace\"", "\"events_recorded\"", "\"window_span\""})
+          "\"trace\"", "\"events_recorded\"", "\"window_span\"",
+          "\"fingerprint\"", "\"invariants\"", "\"checks_run\"",
+          "\"violations\"", "\"failed\""})
         EXPECT_NE(doc.find(key), std::string::npos) << key;
+    // v2: fingerprints render as fixed-width hex strings.
+    EXPECT_NE(doc.find("\"fingerprint\":\"0x"), std::string::npos);
     // statWindows=2 produced two per-window lock-stat deltas.
     EXPECT_EQ(r.lockWindows.size(), 2u);
 }

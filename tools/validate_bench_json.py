@@ -8,20 +8,27 @@ Checks (stdlib only, used by CI and by hand after editing the exporter):
   - required top-level / per-row keys are present with sane types
   - per-core phase fractions each sum to 1.0 +/- 1e-6
   - folded stacks and lock windows are structurally well-formed
+  - (v2) fingerprint is a 16-hex-digit string and the invariants
+    object is consistent (violations == 0 <=> failed list empty)
 Exit status 0 iff every document passes.
 """
 
 import json
+import re
 import sys
 
-KNOWN_SCHEMA_VERSION = 1
+KNOWN_SCHEMA_VERSION = 2
 
 ROW_KEYS = ("label", "config", "metrics", "phases", "folded_stacks",
-            "locks", "lock_windows", "queue_timelines", "trace")
+            "locks", "lock_windows", "queue_timelines", "trace",
+            "fingerprint", "invariants")
 CONFIG_KEYS = ("app", "cores", "flavor")
 METRIC_KEYS = ("cps", "rps", "served", "core_util")
 PHASE_KEYS = ("names", "per_core", "machine")
 TRACE_KEYS = ("window_span", "events_recorded", "events_overwritten")
+INVARIANT_KEYS = ("checks_run", "violations", "failed")
+
+FINGERPRINT_RE = re.compile(r"^0x[0-9a-f]{16}$")
 
 
 def fail(path, msg):
@@ -85,6 +92,25 @@ def validate(path):
             if ticks != sorted(ticks):
                 return fail(path, f"{where}.queue_timelines[{qname}] "
                                   f"ticks not monotonic")
+
+        fp = row["fingerprint"]
+        if not isinstance(fp, str) or not FINGERPRINT_RE.match(fp):
+            return fail(path, f"{where}.fingerprint {fp!r} is not a "
+                              f"0x + 16-hex-digit string")
+        inv = row["invariants"]
+        if not require(inv, INVARIANT_KEYS, path, f"{where}.invariants"):
+            return False
+        if not isinstance(inv["checks_run"], int) or inv["checks_run"] < 0:
+            return fail(path, f"{where}.invariants.checks_run malformed")
+        if not isinstance(inv["violations"], int) or inv["violations"] < 0:
+            return fail(path, f"{where}.invariants.violations malformed")
+        if not isinstance(inv["failed"], list) or any(
+                not isinstance(n, str) for n in inv["failed"]):
+            return fail(path, f"{where}.invariants.failed malformed")
+        if (inv["violations"] == 0) != (len(inv["failed"]) == 0):
+            return fail(path, f"{where}.invariants: violations="
+                              f"{inv['violations']} but failed list has "
+                              f"{len(inv['failed'])} entries")
 
     print(f"{path}: OK ({doc['bench']}, {len(rows)} rows, "
           f"schema v{doc['schema_version']})")
