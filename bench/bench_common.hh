@@ -11,10 +11,13 @@
 #ifndef FSIM_BENCH_BENCH_COMMON_HH
 #define FSIM_BENCH_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "fault/fault_plan.hh"
 #include "harness/bench_json.hh"
 #include "harness/experiment.hh"
 #include "stats/stats.hh"
@@ -30,6 +33,8 @@ struct BenchArgs
     bool trace = true;      //!< --notrace disables event/phase recording
     bool fingerprint = false;   //!< --fingerprint prints per-row hashes
     std::string jsonPath;   //!< --json=<path>; empty = no export
+    std::string faultsSpec; //!< --faults=<plan>; raw text for the report
+    FaultPlan faults;       //!< parsed --faults plan (empty = none)
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -44,8 +49,44 @@ struct BenchArgs
                 a.fingerprint = true;
             else if (!std::strncmp(argv[i], "--json=", 7))
                 a.jsonPath = argv[i] + 7;
+            else if (!std::strncmp(argv[i], "--faults=", 9)) {
+                a.faultsSpec = argv[i] + 9;
+                std::string err;
+                if (!parseFaultPlan(a.faultsSpec, a.faults, err)) {
+                    std::fprintf(stderr, "--faults: %s\n", err.c_str());
+                    std::fprintf(stderr,
+                                 "valid fault event kinds: loss_burst, "
+                                 "reorder, duplicate, syn_flood, "
+                                 "backend_slow, backend_down, "
+                                 "atr_shrink\n");
+                    std::exit(2);
+                }
+            }
         }
         return a;
+    }
+
+    /**
+     * Arm the parsed --faults plan on @p cfg. Call after the row's
+     * kernel config is final. Fault runs get a client give-up timeout
+     * (stuck connections must not wedge the closed loop), and a SYN
+     * flood additionally arms the embryonic-TCB reaper so the SYN queue
+     * drains once the attack window closes.
+     */
+    void
+    applyFaults(ExperimentConfig &cfg) const
+    {
+        if (faults.empty())
+            return;
+        cfg.faults = faults;
+        // Cap the give-up at half the measurement window so --quick
+        // runs (70ms end to end) still recycle wedged slots in-run.
+        if (cfg.clientTimeout == 0)
+            cfg.clientTimeout = ticksFromSeconds(
+                std::min(0.1, cfg.measureSec / 2.0));
+        if (faults.has(FaultKind::kSynFlood) &&
+            cfg.machine.kernel.synRcvdJiffies == 0)
+            cfg.machine.kernel.synRcvdJiffies = 300;
     }
 };
 

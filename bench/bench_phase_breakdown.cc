@@ -38,6 +38,8 @@ main(int argc, char **argv)
         cfg.concurrencyPerCore = args.quick ? 150 : 400;
         cfg.warmupSec = args.quick ? 0.02 : 0.05;
         cfg.measureSec = args.quick ? 0.05 : 0.15;
+        cfg.statWindows = 5;
+        args.applyFaults(cfg);
         ExperimentResult r = runExperiment(cfg);
         json.addRow(k.name, cfg, r);
 
@@ -55,9 +57,26 @@ main(int argc, char **argv)
         double spin = r.phases.total(Phase::kLockSpin);
         double busy = 1.0 - r.phases.total(Phase::kIdle);
         std::printf("\nlock-spin share: %s of all cycles, %s of busy "
-                    "cycles\n\n",
+                    "cycles\n",
                     formatPercent(spin).c_str(),
                     formatPercent(busy > 0 ? spin / busy : 0.0).c_str());
+
+        // SYN-path health per sub-window: all-zero on a clean run;
+        // --faults=syn_flood@... makes retransmits/cookies/RSTs show up.
+        std::printf("\nper-window SYN deltas (completed | syn-retx "
+                    "cookies-sent cookies-ok rst):\n");
+        for (std::size_t i = 0; i < r.lockWindows.size(); ++i) {
+            const LockWindow &lw = r.lockWindows[i];
+            std::printf("  w%zu: %8llu | %6llu %6llu %6llu %6llu\n", i,
+                        static_cast<unsigned long long>(lw.completed),
+                        static_cast<unsigned long long>(lw.synRetransmits),
+                        static_cast<unsigned long long>(lw.synCookiesSent),
+                        static_cast<unsigned long long>(
+                            lw.synCookiesValidated),
+                        static_cast<unsigned long long>(
+                            lw.acceptQueueRsts));
+        }
+        std::printf("\n");
     }
 
     finishJson(args, json);

@@ -7,8 +7,23 @@
  * application-level output (connections, responses, bytes), different
  * performance (drain time / lock-wait cycles, from 4 cores up).
  *
+ * The nginx workload also runs a lossy pass (skip with --nofaults):
+ * wire fault fates are pure content hashes, so both kernels face the
+ * exact same packet losses and the equality bar holds under faults too.
+ * Three conditions make that argument airtight:
+ *   - the fault window covers the whole run, so window membership never
+ *     depends on when a kernel happens to transmit a packet;
+ *   - the client RTO (20ms) sits far above worst-case service latency,
+ *     so every retransmission decision is loss-driven, never
+ *     speed-driven, and give-up classification compares quantized
+ *     retransmission offsets against the timeout, never near-ties;
+ *   - the workload is passive-only (nginx). haproxy is excluded: the
+ *     proxy's backend connections use kernel-chosen ephemeral ports, so
+ *     the two kernels emit differently-identified packets and draw
+ *     genuinely different fates.
+ *
  * Usage: diff_oracle [--cores=N] [--conns=N] [--seed=S] [--app=nginx|
- * haproxy|both]
+ * haproxy|both] [--nofaults]
  */
 
 #include <cstdio>
@@ -24,11 +39,25 @@ int
 runOne(const fsim::DifferentialWorkload &wl, const char *name)
 {
     using namespace fsim;
-    std::printf("=== %s, %d cores, %llu connections ===\n", name,
-                wl.cores, static_cast<unsigned long long>(wl.maxConns));
+    std::printf("=== %s, %d cores, %llu connections%s%s ===\n", name,
+                wl.cores, static_cast<unsigned long long>(wl.maxConns),
+                wl.faultPlan.empty() ? "" : ", faults ",
+                wl.faultPlan.c_str());
     DifferentialOutcome out = runDifferential(wl);
     std::printf("%s\n\n", out.summary().c_str());
     return out.ok() ? 0 : 1;
+}
+
+/** The lossy pass: whole-run random drops both kernels must absorb
+ *  with byte-identical application output (see the file comment for
+ *  why the window must cover the entire run). */
+fsim::DifferentialWorkload
+withLossBurst(fsim::DifferentialWorkload wl)
+{
+    wl.faultPlan = "loss_burst@0-10:rate=0.25";
+    wl.clientTimeoutSec = 0.1;
+    wl.clientRtoMsec = 20.0;
+    return wl;
 }
 
 } // anonymous namespace
@@ -40,6 +69,7 @@ main(int argc, char **argv)
 
     DifferentialWorkload wl;
     std::string app = "both";
+    bool faults = true;
     for (int i = 1; i < argc; ++i) {
         if (!std::strncmp(argv[i], "--cores=", 8))
             wl.cores = std::atoi(argv[i] + 8);
@@ -49,10 +79,12 @@ main(int argc, char **argv)
             wl.seed = std::strtoull(argv[i] + 7, nullptr, 10);
         else if (!std::strncmp(argv[i], "--app=", 6))
             app = argv[i] + 6;
+        else if (!std::strcmp(argv[i], "--nofaults"))
+            faults = false;
         else {
             std::fprintf(stderr,
                          "usage: %s [--cores=N] [--conns=N] [--seed=S] "
-                         "[--app=nginx|haproxy|both]\n",
+                         "[--app=nginx|haproxy|both] [--nofaults]\n",
                          argv[0]);
             return 2;
         }
@@ -62,10 +94,14 @@ main(int argc, char **argv)
     if (app == "nginx" || app == "both") {
         wl.app = AppKind::kNginx;
         rc |= runOne(wl, "nginx");
+        if (faults)
+            rc |= runOne(withLossBurst(wl), "nginx+loss-burst");
     }
     if (app == "haproxy" || app == "both") {
         wl.app = AppKind::kHaproxy;
         rc |= runOne(wl, "haproxy");
+        // No lossy pass: backend-leg ephemeral ports are kernel-chosen,
+        // so the two kernels' packets draw different content-hash fates.
     }
     if (rc == 0)
         std::printf("differential oracle: PASS\n");

@@ -14,8 +14,41 @@ BackendPool::BackendPool(EventQueue &eq, Wire &wire, IpAddr first,
 }
 
 void
+BackendPool::addOutage(int target, Tick start, Tick end)
+{
+    faults_.push_back(FaultWindow{target, start, end, true, 1.0});
+}
+
+void
+BackendPool::addSlowdown(int target, Tick start, Tick end, double factor)
+{
+    faults_.push_back(FaultWindow{target, start, end, false, factor});
+}
+
+void
 BackendPool::onPacket(const Packet &pkt)
 {
+    // A packet addressed to a backend in an outage window vanishes (the
+    // crashed host answers nothing, not even RST). Slowdown windows
+    // stretch the service delay instead.
+    const int index = static_cast<int>(pkt.tuple.daddr - first_);
+    const Tick now = eq_.now();
+    double slow = 1.0;
+    for (const FaultWindow &w : faults_) {
+        if (w.target != -1 && w.target != index)
+            continue;
+        if (now < w.start || now >= w.end)
+            continue;
+        if (w.down) {
+            ++outageDrops_;
+            return;
+        }
+        if (w.factor > slow)
+            slow = w.factor;
+    }
+    const Tick service =
+        static_cast<Tick>(static_cast<double>(serviceDelay_) * slow);
+
     Packet reply;
     reply.tuple = pkt.tuple.reversed();
     reply.connId = pkt.connId;
@@ -31,7 +64,7 @@ BackendPool::onPacket(const Packet &pkt)
         reply.flags = kAck | kPsh | kFin;
         reply.payload = responseBytes_;
         ++served_;
-        wire_.transmit(reply, eq_.now() + serviceDelay_);
+        wire_.transmit(reply, eq_.now() + service);
         return;
     }
     if (pkt.has(kFin)) {

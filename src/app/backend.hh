@@ -12,6 +12,7 @@
 #define FSIM_APP_BACKEND_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "net/packet.hh"
 #include "net/wire.hh"
@@ -34,12 +35,34 @@ class BackendPool
                 Tick service_delay = ticksFromUsec(100));
 
     std::uint64_t requestsServed() const { return served_; }
+    /** Packets swallowed by outage windows. */
+    std::uint64_t outageDrops() const { return outageDrops_; }
 
     /** Addresses usable by a Proxy. */
     IpAddr firstAddr() const { return first_; }
     IpAddr lastAddr() const { return last_; }
 
+    /** @name Fault injection */
+    /** @{ */
+    /**
+     * Backend @p target (index from firstAddr; -1 = every backend) drops
+     * all packets during [start, end) — a crash with recovery at @p end.
+     */
+    void addOutage(int target, Tick start, Tick end);
+    /** Same targeting, but service delay is multiplied by @p factor. */
+    void addSlowdown(int target, Tick start, Tick end, double factor);
+    /** @} */
+
   private:
+    struct FaultWindow
+    {
+        int target;         //!< backend index, -1 = all
+        Tick start;
+        Tick end;
+        bool down;          //!< outage vs slowdown
+        double factor;      //!< slowdown multiplier
+    };
+
     void onPacket(const Packet &pkt);
 
     EventQueue &eq_;
@@ -48,7 +71,9 @@ class BackendPool
     IpAddr last_;
     std::uint32_t responseBytes_;
     Tick serviceDelay_;
+    std::vector<FaultWindow> faults_;
     std::uint64_t served_ = 0;
+    std::uint64_t outageDrops_ = 0;
 };
 
 } // namespace fsim

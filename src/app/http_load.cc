@@ -97,11 +97,12 @@ HttpLoad::launch()
         launch();
         return;
     }
-    conns_.emplace(k, conn);
+    auto emplaced = conns_.emplace(k, conn);
+    Conn &c = emplaced.first->second;
     ++started_;
 
     if (cfg_.timeout > 0) {
-        std::uint64_t epoch = conn.epoch;
+        std::uint64_t epoch = c.epoch;
         eq_.scheduleIn(cfg_.timeout, [this, k, epoch] {
             auto it = conns_.find(k);
             if (it == conns_.end() || it->second.epoch != epoch)
@@ -111,11 +112,56 @@ HttpLoad::launch()
         });
     }
 
-    Packet syn;
-    syn.tuple = conn.tx;
-    syn.flags = kSyn;
-    syn.connId = k;
-    wire_.transmit(syn, eq_.now());
+    send(c, k, kSyn, 0);
+    if (cfg_.rtoBase > 0)
+        armRetx(k, c.epoch, State::kSynSent, 0, cfg_.rtoBase);
+}
+
+void
+HttpLoad::send(Conn &c, std::uint64_t k, std::uint8_t flags,
+               std::uint32_t payload)
+{
+    Packet pkt;
+    pkt.tuple = c.tx;
+    pkt.flags = flags;
+    pkt.payload = payload;
+    pkt.connId = k;
+    pkt.cookie = c.cookie;
+    pkt.txSeq = c.txSeq++;
+    wire_.transmit(pkt, eq_.now());
+}
+
+void
+HttpLoad::armRetx(std::uint64_t k, std::uint64_t epoch, State armed_state,
+                  std::uint64_t progress, Tick rto)
+{
+    eq_.scheduleIn(rto, [this, k, epoch, armed_state, progress, rto] {
+        auto it = conns_.find(k);
+        if (it == conns_.end() || it->second.epoch != epoch)
+            return;   // connection finished (or tuple reused)
+        Conn &c = it->second;
+        if (c.state != armed_state)
+            return;   // moved on; the retx concern is gone
+        if (armed_state == State::kWaitResponse &&
+            c.rxResponses != progress)
+            return;   // response arrived since the request went out
+        if (c.retx >= cfg_.maxRetx) {
+            ++retxGiveups_;
+            finish(k, false);
+            return;
+        }
+        ++c.retx;
+        if (armed_state == State::kSynSent) {
+            ++synRetx_;
+            send(c, k, kSyn, 0);
+        } else {
+            ++reqRetx_;
+            send(c, k, kAck | kPsh, cfg_.requestBytes);
+        }
+        Tick cap = cfg_.rtoMax > 0 ? cfg_.rtoMax : 8 * cfg_.rtoBase;
+        Tick next = rto * 2 > cap ? cap : rto * 2;
+        armRetx(k, epoch, armed_state, progress, next);
+    });
 }
 
 void
@@ -140,22 +186,27 @@ HttpLoad::onPacket(const Packet &pkt)
     Conn &c = it->second;
 
     if (pkt.has(kRst)) {
-        finish(k, false);
+        // An RST during teardown (after the full response landed) is the
+        // server aborting an already-served exchange; don't let it turn a
+        // success into a failure.
+        bool late = c.gotData && (c.state == State::kWaitFin ||
+                                  c.state == State::kWaitLastAck ||
+                                  c.state == State::kClosing);
+        finish(k, late);
         return;
     }
 
     switch (c.state) {
       case State::kSynSent:
         if (pkt.has(kSyn) && pkt.has(kAck)) {
+            // A cookie-carrying SYN-ACK means the server kept no state;
+            // echo the cookie on everything we send from here on.
+            if (pkt.cookie != 0)
+                c.cookie = pkt.cookie;
             // ACK completes the handshake; the request follows at once
             // (both on the wire back to back, like a real client that
             // writes immediately after connect()).
-            Packet ack;
-            ack.tuple = c.tx;
-            ack.flags = kAck;
-            ack.connId = k;
-            wire_.transmit(ack, eq_.now());
-
+            send(c, k, kAck, 0);
             sendRequest(c, k);
             c.state = State::kWaitResponse;
         }
@@ -165,6 +216,7 @@ HttpLoad::onPacket(const Packet &pkt)
         if (pkt.payload > 0) {
             c.gotData = true;
             ++responses_;
+            ++c.rxResponses;
             bytesReceived_ += pkt.payload;
             --c.remaining;
             if (c.remaining > 0 && !pkt.has(kFin)) {
@@ -176,20 +228,12 @@ HttpLoad::onPacket(const Packet &pkt)
         }
         if (pkt.has(kFin)) {
             // Server closed (keep-alive off). ACK its FIN and send ours.
-            Packet finack;
-            finack.tuple = c.tx;
-            finack.flags = kAck | kFin;
-            finack.connId = k;
-            wire_.transmit(finack, eq_.now());
+            send(c, k, kAck | kFin, 0);
             c.state = State::kWaitLastAck;
         } else if (c.gotData && c.remaining <= 0) {
             if (cfg_.requestsPerConn > 1) {
                 // Long-lived mode: the client closes first.
-                Packet fin;
-                fin.tuple = c.tx;
-                fin.flags = kAck | kFin;
-                fin.connId = k;
-                wire_.transmit(fin, eq_.now());
+                send(c, k, kAck | kFin, 0);
                 c.state = State::kClosing;
             } else {
                 c.state = State::kWaitFin;
@@ -199,11 +243,7 @@ HttpLoad::onPacket(const Packet &pkt)
 
       case State::kWaitFin:
         if (pkt.has(kFin)) {
-            Packet finack;
-            finack.tuple = c.tx;
-            finack.flags = kAck | kFin;
-            finack.connId = k;
-            wire_.transmit(finack, eq_.now());
+            send(c, k, kAck | kFin, 0);
             c.state = State::kWaitLastAck;
         }
         break;
@@ -216,11 +256,7 @@ HttpLoad::onPacket(const Packet &pkt)
       case State::kClosing:
         if (pkt.has(kFin)) {
             // Server answered our FIN with its own; final ACK and done.
-            Packet ack;
-            ack.tuple = c.tx;
-            ack.flags = kAck;
-            ack.connId = k;
-            wire_.transmit(ack, eq_.now());
+            send(c, k, kAck, 0);
             finish(k, c.gotData);
         }
         break;
@@ -228,14 +264,12 @@ HttpLoad::onPacket(const Packet &pkt)
 }
 
 void
-HttpLoad::sendRequest(const Conn &c, std::uint64_t k)
+HttpLoad::sendRequest(Conn &c, std::uint64_t k)
 {
-    Packet req;
-    req.tuple = c.tx;
-    req.flags = kAck | kPsh;
-    req.payload = cfg_.requestBytes;
-    req.connId = k;
-    wire_.transmit(req, eq_.now());
+    send(c, k, kAck | kPsh, cfg_.requestBytes);
+    if (cfg_.rtoBase > 0)
+        armRetx(k, c.epoch, State::kWaitResponse, c.rxResponses,
+                cfg_.rtoBase);
 }
 
 void

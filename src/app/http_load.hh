@@ -59,6 +59,16 @@ class HttpLoad
          *  loop drains and the run quiesces — the mode the differential
          *  oracle and quiesce-leak checks rely on. */
         std::uint64_t maxConns = 0;
+
+        /** @name SYN/request retransmission (0 = disabled) */
+        /** @{ */
+        /** Initial retransmission timeout; doubles per attempt. */
+        Tick rtoBase = 0;
+        /** Backoff cap (0 = 8 x rtoBase). */
+        Tick rtoMax = 0;
+        /** Give up (connection fails) after this many retransmissions. */
+        int maxRetx = 6;
+        /** @} */
     };
 
     HttpLoad(EventQueue &eq, Wire &wire, const Config &cfg);
@@ -83,6 +93,12 @@ class HttpLoad
     std::uint64_t responses() const { return responses_; }
     /** Connections abandoned by the give-up timer. */
     std::uint64_t timeouts() const { return timeouts_; }
+    /** SYN retransmissions sent (client-side backoff). */
+    std::uint64_t synRetransmits() const { return synRetx_; }
+    /** Request retransmissions sent. */
+    std::uint64_t requestRetransmits() const { return reqRetx_; }
+    /** Connections abandoned after maxRetx retransmissions. */
+    std::uint64_t retxGiveups() const { return retxGiveups_; }
     std::uint64_t inFlight() const { return conns_.size(); }
     /** Response payload bytes received (the "bytes served" oracle). */
     std::uint64_t bytesReceived() const { return bytesReceived_; }
@@ -112,6 +128,10 @@ class HttpLoad
         bool gotData = false;
         int remaining = 1;   //!< requests still to issue on this conn
         std::uint64_t epoch = 0;   //!< distinguishes timeout reuse
+        std::uint32_t cookie = 0;  //!< SYN cookie echoed to the server
+        std::uint32_t txSeq = 0;   //!< next transmit ordinal
+        std::uint64_t rxResponses = 0; //!< progress marker for retx
+        int retx = 0;              //!< retransmissions so far
     };
 
     static std::uint64_t key(const FiveTuple &rx);
@@ -120,6 +140,16 @@ class HttpLoad
     void onPacket(const Packet &pkt);
     void finish(std::uint64_t k, bool ok);
     void scheduleOpenLoop();
+    /** Build + transmit one packet on @p c, stamping cookie and txSeq. */
+    void send(Conn &c, std::uint64_t k, std::uint8_t flags,
+              std::uint32_t payload);
+    /**
+     * Arm a retransmission check: fires after @p rto and re-sends if the
+     * connection is still in @p armed_state with no progress (for
+     * requests, @p progress = responses seen when the request went out).
+     */
+    void armRetx(std::uint64_t k, std::uint64_t epoch, State armed_state,
+                 std::uint64_t progress, Tick rto);
 
     EventQueue &eq_;
     Wire &wire_;
@@ -136,13 +166,16 @@ class HttpLoad
 
     std::unordered_map<std::uint64_t, Conn> conns_;
 
-    void sendRequest(const Conn &c, std::uint64_t k);
+    void sendRequest(Conn &c, std::uint64_t k);
 
     std::uint64_t started_ = 0;
     std::uint64_t completed_ = 0;
     std::uint64_t failed_ = 0;
     std::uint64_t responses_ = 0;
     std::uint64_t timeouts_ = 0;
+    std::uint64_t synRetx_ = 0;
+    std::uint64_t reqRetx_ = 0;
+    std::uint64_t retxGiveups_ = 0;
     std::uint64_t bytesReceived_ = 0;
     std::uint64_t nextEpoch_ = 1;
 

@@ -13,6 +13,7 @@ Proxy::Proxy(Machine &m, std::vector<IpAddr> backends, Port backend_port,
       backendPort_(backend_port), responseBytes_(response_bytes)
 {
     fsim_assert(!backends_.empty());
+    health_.resize(backends_.size());
 }
 
 Proxy::~Proxy()
@@ -46,8 +47,128 @@ Proxy::closeSession(ProcState &ps, Session *s, Tick t)
         if (k.sockFromFd(ps.proc, s->clientFd))
             t = k.close(ps.proc, t, s->clientFd);
     }
+    byId_.erase(s->id);
     delete s;
     return t;
+}
+
+std::size_t
+Proxy::pickBackend()
+{
+    // Plain rotation, skipping ejected backends. An ejected backend whose
+    // sit-out elapsed is readmitted half-open: it gets real traffic again
+    // but one more failure re-ejects it immediately.
+    const std::size_t n = backends_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t bi = backendCursor_++ % n;
+        Health &h = health_[bi];
+        if (!h.ejected)
+            return bi;
+        if (m_.eventQueue().now() >= h.retryAt) {
+            h.ejected = false;
+            h.consecFails = tuning_.ejectThreshold > 0
+                                ? tuning_.ejectThreshold - 1
+                                : 0;
+            ++backendReadmissions_;
+            return bi;
+        }
+    }
+    // Everything ejected: no better choice than plain rotation.
+    return backendCursor_++ % n;
+}
+
+void
+Proxy::noteBackendFailure(std::size_t bi)
+{
+    Health &h = health_[bi];
+    ++h.consecFails;
+    if (!h.ejected && tuning_.ejectThreshold > 0 &&
+        h.consecFails >= tuning_.ejectThreshold) {
+        h.ejected = true;
+        Tick period = tuning_.ejectPeriod > 0 ? tuning_.ejectPeriod
+                                              : 4 * tuning_.backendTimeout;
+        h.retryAt = m_.eventQueue().now() + period;
+        ++backendEjections_;
+    }
+}
+
+Tick
+Proxy::connectBackend(ProcState &ps, Session *s, Tick t)
+{
+    KernelStack &k = m_.kernel();
+    std::size_t bi = pickBackend();
+    ++s->attempts;
+    s->backendIdx = bi;
+    KernelStack::ConnectResult cr =
+        k.connect(ps.proc, t, backends_[bi], backendPort_);
+    t = cr.t;
+    if (!cr.sock) {
+        ++connectFailures_;
+        return closeSession(ps, s, t);
+    }
+    s->backendFd = cr.fd;
+    s->phase = Phase::kBackendConnect;
+    sessions_[skey(ps.proc, cr.fd)] = s;
+    t = k.epollAdd(ps.proc, t, cr.fd);
+    if (tuning_.backendTimeout > 0)
+        armBackendTimeout(s->id, s->attempts);
+    return t;
+}
+
+void
+Proxy::armBackendTimeout(std::uint64_t sid, int attempt)
+{
+    m_.eventQueue().scheduleIn(tuning_.backendTimeout,
+                               [this, sid, attempt] {
+        auto it = byId_.find(sid);
+        if (it == byId_.end())
+            return;   // session finished in time
+        Session *s = it->second;
+        if (s->attempts != attempt)
+            return;   // a newer attempt owns the timeout now
+        if (s->phase != Phase::kBackendConnect &&
+            s->phase != Phase::kBackendWait)
+            return;
+        ++backendTimeouts_;
+        // The timeout fires in "kernel event" context; the proxy reacts
+        // from process context, so post the recovery work to the owning
+        // core where it is cycle-accounted like any other app work.
+        ProcState &ps = procs_.at(s->procIdx);
+        m_.cpu().post(ps.core, TaskPrio::kProcess,
+                      [this, sid](Tick start) {
+                          return onBackendTimeout(sid, start);
+                      });
+    });
+}
+
+Tick
+Proxy::onBackendTimeout(std::uint64_t sid, Tick t)
+{
+    auto it = byId_.find(sid);
+    if (it == byId_.end())
+        return t;   // raced with completion
+    Session *s = it->second;
+    if (s->phase != Phase::kBackendConnect &&
+        s->phase != Phase::kBackendWait)
+        return t;
+    ProcState &ps = procs_.at(s->procIdx);
+    KernelStack &k = m_.kernel();
+
+    noteBackendFailure(s->backendIdx);
+    if (s->backendFd >= 0) {
+        // Abandon the stuck backend connection.
+        sessions_.erase(skey(ps.proc, s->backendFd));
+        if (k.sockFromFd(ps.proc, s->backendFd))
+            t = k.close(ps.proc, t, s->backendFd);
+        s->backendFd = -1;
+    }
+    if (s->attempts > tuning_.maxRetries) {
+        ++sessionFailures_;
+        return closeSession(ps, s, t);
+    }
+    ++backendRetries_;
+    t += serviceCost() / 2;   // re-dispatch decision
+    return connectBackend(ps, s, t);
 }
 
 Tick
@@ -63,8 +184,11 @@ Proxy::onConnReadable(ProcState &ps, int fd, Tick t)
     if (it == sessions_.end()) {
         // First event on a freshly accepted client connection.
         s = new Session();
+        s->id = nextSessionId_++;
+        s->procIdx = static_cast<std::size_t>(&ps - procs_.data());
         s->clientFd = fd;
         sessions_[skey(ps.proc, fd)] = s;
+        byId_[s->id] = s;
     } else {
         s = it->second;
     }
@@ -76,18 +200,7 @@ Proxy::onConnReadable(ProcState &ps, int fd, Tick t)
             // Got the request: pick a backend and connect (non-blocking).
             s->requestBytes = r.bytes;
             t += serviceCost();
-            IpAddr backend = backends_[backendCursor_++ % backends_.size()];
-            KernelStack::ConnectResult cr =
-                k.connect(ps.proc, t, backend, backendPort_);
-            t = cr.t;
-            if (!cr.sock) {
-                ++connectFailures_;
-                return closeSession(ps, s, t);
-            }
-            s->backendFd = cr.fd;
-            s->phase = Phase::kBackendConnect;
-            sessions_[skey(ps.proc, cr.fd)] = s;
-            t = k.epollAdd(ps.proc, t, cr.fd);
+            return connectBackend(ps, s, t);
         } else if (r.finSeen && r.bytes == 0) {
             // Client hung up.
             return closeSession(ps, s, t);
@@ -114,6 +227,7 @@ Proxy::onConnReadable(ProcState &ps, int fd, Tick t)
         // Relay the response to the client and tear the session down:
         // passive close toward the backend (it FINed with the response),
         // active close toward the client.
+        health_[s->backendIdx].consecFails = 0;
         t = k.write(ps.proc, t, s->clientFd, responseBytes_);
         ++served_;
         return closeSession(ps, s, t);

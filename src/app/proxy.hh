@@ -32,8 +32,36 @@ class Proxy : public AppBase
           std::uint32_t response_bytes = 64);
     ~Proxy() override;
 
+    /** Backend fault-tolerance knobs. Defaults keep every legacy path:
+     *  no timeout, no retries, no health ejection. */
+    struct Tuning
+    {
+        /** Per-attempt backend timeout (0 = disabled). */
+        Tick backendTimeout = 0;
+        /** Retries after the first attempt before the session fails. */
+        int maxRetries = 2;
+        /** Consecutive failures that eject a backend from rotation. */
+        int ejectThreshold = 3;
+        /** Ejection duration (0 = 4 x backendTimeout). */
+        Tick ejectPeriod = 0;
+    };
+
+    void setTuning(const Tuning &t) { tuning_ = t; }
+
     /** Active connections the proxy failed to open (port exhaustion). */
     std::uint64_t connectFailures() const { return connectFailures_; }
+    /** @name Backend-fault statistics */
+    /** @{ */
+    std::uint64_t backendTimeouts() const { return backendTimeouts_; }
+    std::uint64_t backendRetries() const { return backendRetries_; }
+    std::uint64_t backendEjections() const { return backendEjections_; }
+    std::uint64_t backendReadmissions() const
+    {
+        return backendReadmissions_;
+    }
+    /** Sessions abandoned after exhausting retries. */
+    std::uint64_t sessionFailures() const { return sessionFailures_; }
+    /** @} */
 
   protected:
     Tick onConnReadable(ProcState &ps, int fd, Tick t) override;
@@ -49,10 +77,22 @@ class Proxy : public AppBase
 
     struct Session
     {
+        std::uint64_t id = 0;
+        std::size_t procIdx = 0;
         int clientFd = -1;
         int backendFd = -1;
         Phase phase = Phase::kClientWait;
         std::uint32_t requestBytes = 0;
+        int attempts = 0;           //!< backend connects tried so far
+        std::size_t backendIdx = 0; //!< backend of the current attempt
+    };
+
+    /** Per-backend circuit-breaker state. */
+    struct Health
+    {
+        int consecFails = 0;
+        bool ejected = false;
+        Tick retryAt = 0;   //!< when an ejected backend may be probed
     };
 
     /** Key sessions by (process, fd). */
@@ -64,13 +104,27 @@ class Proxy : public AppBase
     }
 
     Tick closeSession(ProcState &ps, Session *s, Tick t);
+    Tick connectBackend(ProcState &ps, Session *s, Tick t);
+    Tick onBackendTimeout(std::uint64_t sid, Tick t);
+    void armBackendTimeout(std::uint64_t sid, int attempt);
+    std::size_t pickBackend();
+    void noteBackendFailure(std::size_t bi);
 
     std::vector<IpAddr> backends_;
     Port backendPort_;
     std::uint32_t responseBytes_;
+    Tuning tuning_;
+    std::vector<Health> health_;
     std::size_t backendCursor_ = 0;
     std::uint64_t connectFailures_ = 0;
+    std::uint64_t backendTimeouts_ = 0;
+    std::uint64_t backendRetries_ = 0;
+    std::uint64_t backendEjections_ = 0;
+    std::uint64_t backendReadmissions_ = 0;
+    std::uint64_t sessionFailures_ = 0;
+    std::uint64_t nextSessionId_ = 1;
     std::unordered_map<std::uint64_t, Session *> sessions_;
+    std::unordered_map<std::uint64_t, Session *> byId_;
 };
 
 } // namespace fsim

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "fault/fault_plan.hh"
+#include "sim/logging.hh"
+
 namespace fsim
 {
 
@@ -22,13 +25,25 @@ runOneKernel(const DifferentialWorkload &wl, const KernelConfig &kc,
     cfg.requestsPerConn = wl.requestsPerConn;
     cfg.maxConns = wl.maxConns;
     cfg.checkLevel = CheckLevel::kPeriodic;
+    cfg.clientTimeout = ticksFromSeconds(wl.clientTimeoutSec);
+    cfg.clientRtoBase = ticksFromUsec(
+        static_cast<std::uint64_t>(wl.clientRtoMsec * 1000.0));
+    if (!wl.faultPlan.empty()) {
+        std::string err;
+        bool ok = parseFaultPlan(wl.faultPlan, cfg.faults, err);
+        fsim_assert(ok);
+        fsim_assert(wl.clientTimeoutSec > 0.0);
+    }
 
     Testbed bed(cfg);
     // Quiesce (leak) checks live in their own registry: they only hold
     // once the run drains, so they must not join the periodic passes
-    // bed.checks() performs mid-run.
+    // bed.checks() performs mid-run. Under faults, abandoned handshakes
+    // legitimately strand server TCBs until their keepalive horizon, so
+    // the leak bar only applies to fault-free runs.
     InvariantRegistry quiesce;
-    registerQuiesceInvariants(quiesce, bed.machine(), bed.load());
+    if (wl.faultPlan.empty())
+        registerQuiesceInvariants(quiesce, bed.machine(), bed.load());
 
     EventQueue &eq = bed.eventQueue();
     HttpLoad &load = bed.load();

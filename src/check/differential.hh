@@ -41,6 +41,17 @@ struct DifferentialWorkload
     std::uint64_t seed = 1;
     /** Hard sim-time cap; exceeding it is reported as a non-drain. */
     double maxSimSec = 20.0;
+
+    /**
+     * Fault plan (parseFaultPlan text, empty = none). Wire-fault fates
+     * are pure content hashes, so both kernels see the identical fault
+     * pattern and the app-observable equality bar still applies. Pick a
+     * client RTO well above worst-case latency (default 20ms) so
+     * retransmission decisions cannot depend on kernel speed.
+     */
+    std::string faultPlan;
+    double clientTimeoutSec = 0.0;  //!< required > 0 with a fault plan
+    double clientRtoMsec = 0.0;     //!< client retx base RTO (0 = off)
 };
 
 /** What one kernel produced for the workload. */

@@ -87,11 +87,14 @@ registerStandardInvariants(InvariantRegistry &reg, Machine &machine,
                            HttpLoad &load, Wire &wire)
 {
     reg.add("packet-conservation", [&wire](Tick, std::string &why) {
+        // Every injected duplicate adds one extra delivery, so it sits on
+        // the "sent" side of the ledger next to transmitted().
+        std::uint64_t sent = wire.transmitted() + wire.duplicated();
         std::uint64_t accounted = wire.delivered() + wire.lost() +
                                   wire.dropped() + wire.inFlight();
-        if (wire.transmitted() == accounted)
+        if (sent == accounted)
             return true;
-        why = eqDetail("transmitted", wire.transmitted(),
+        why = eqDetail("transmitted+duplicated", sent,
                        "delivered+lost+dropped+inflight", accounted);
         return false;
     });

@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <sstream>
 
+#include "fault/fault_plan.hh"
 #include "harness/calibration.hh"
+#include "sim/logging.hh"
 
 namespace fsim
 {
@@ -42,6 +44,19 @@ Scenario::toConfig() const
     cfg.listenBacklog = listenBacklog;
     cfg.acceptMutex = acceptMutex;
     cfg.checkLevel = CheckLevel::kPeriodic;
+    cfg.synCookies = synCookies;
+    cfg.synBacklog = synBacklog;
+    cfg.clientRtoBase = ticksFromUsec(
+        static_cast<std::uint64_t>(clientRtoMsec * 1000.0));
+    if (!faultPlan.empty()) {
+        std::string err;
+        bool ok = parseFaultPlan(faultPlan, cfg.faults, err);
+        fsim_assert(ok);   // validity was enforced at parse/generate time
+        // A flood fills a bounded SYN queue with half-opens nobody will
+        // ever complete; the embryonic reaper is what lets it drain.
+        if (cfg.faults.has(FaultKind::kSynFlood))
+            cfg.machine.kernel.synRcvdJiffies = 300;
+    }
     return cfg;
 }
 
@@ -80,6 +95,64 @@ randomScenario(Rng &rng)
     s.uma = rng.chance(0.5);
     s.acceptMutex = rng.chance(0.25);
     s.traceEnabled = rng.chance(0.75);
+
+    if (rng.chance(0.25)) {
+        // Fault plans: 1-2 scheduled windows early in the run, so a
+        // bounded workload still sees them. Backend faults only make
+        // sense against the proxy.
+        FaultPlan plan;
+        plan.seed = rng.next() | 1;
+        int n = 1 + static_cast<int>(rng.range(2));
+        for (int i = 0; i < n; ++i) {
+            FaultEvent ev;
+            ev.startSec = 0.002 + rng.uniform() * 0.03;
+            ev.endSec = ev.startSec + 0.005 + rng.uniform() * 0.03;
+            int pick = static_cast<int>(
+                rng.range(s.app == AppKind::kHaproxy ? 7 : 5));
+            switch (pick) {
+              case 0:
+                ev.kind = FaultKind::kLossBurst;
+                ev.rate = 0.05 + rng.uniform() * 0.4;
+                break;
+              case 1:
+                ev.kind = FaultKind::kReorder;
+                ev.rate = 0.05 + rng.uniform() * 0.4;
+                ev.jitterUsec = 20.0 + rng.uniform() * 400.0;
+                break;
+              case 2:
+                ev.kind = FaultKind::kDuplicate;
+                ev.rate = 0.05 + rng.uniform() * 0.3;
+                break;
+              case 3:
+                ev.kind = FaultKind::kSynFlood;
+                ev.rate = 50000.0 + rng.uniform() * 200000.0;
+                s.synBacklog = 128u << rng.range(3);
+                s.synCookies = rng.chance(0.5);
+                break;
+              case 4:
+                ev.kind = FaultKind::kAtrShrink;
+                ev.tableSize = 16u << rng.range(4);
+                break;
+              case 5:
+                ev.kind = FaultKind::kBackendSlow;
+                ev.factor = 2.0 + rng.uniform() * 6.0;
+                ev.target = rng.chance(0.5) ? -1 : 0;
+                break;
+              default:
+                ev.kind = FaultKind::kBackendDown;
+                ev.target = rng.chance(0.5) ? -1 : 0;
+                break;
+            }
+            plan.events.push_back(ev);
+        }
+        s.faultPlan = serializeFaultPlan(plan);
+        // Any fault can strand a connection; the give-up timer (and,
+        // half the time, client retransmission) is the way out.
+        if (s.clientTimeoutSec <= 0.0)
+            s.clientTimeoutSec = 0.05 + rng.uniform() * 0.1;
+        if (rng.chance(0.5))
+            s.clientRtoMsec = 2.0 + rng.uniform() * 10.0;
+    }
     return s;
 }
 
@@ -113,6 +186,14 @@ serializeScenario(const Scenario &s)
     os << "acceptMutex = " << (s.acceptMutex ? 1 : 0) << "\n";
     os << "traceEnabled = " << (s.traceEnabled ? 1 : 0) << "\n";
     os << "maxSimSec = " << s.maxSimSec << "\n";
+    if (!s.faultPlan.empty())
+        os << "faultPlan = " << s.faultPlan << "\n";
+    if (s.synCookies)
+        os << "synCookies = 1\n";
+    if (s.synBacklog != 0)
+        os << "synBacklog = " << s.synBacklog << "\n";
+    if (s.clientRtoMsec > 0.0)
+        os << "clientRtoMsec = " << s.clientRtoMsec << "\n";
     return os.str();
 }
 
@@ -194,6 +275,14 @@ parseScenario(const std::string &text, Scenario &out, std::string &err)
                 s.traceEnabled = std::stoi(val) != 0;
             else if (key == "maxSimSec")
                 s.maxSimSec = std::stod(val);
+            else if (key == "faultPlan")
+                s.faultPlan = val;
+            else if (key == "synCookies")
+                s.synCookies = std::stoi(val) != 0;
+            else if (key == "synBacklog")
+                s.synBacklog = std::stoull(val);
+            else if (key == "clientRtoMsec")
+                s.clientRtoMsec = std::stod(val);
             // Unknown keys are ignored (forward compatibility).
         } catch (const std::exception &) {
             err = "line " + std::to_string(lineno) + ": bad value for " +
@@ -224,6 +313,18 @@ parseScenario(const std::string &text, Scenario &out, std::string &err)
         err = "maxConns must be > 0 (fuzz runs must quiesce)";
         return false;
     }
+    if (!s.faultPlan.empty()) {
+        FaultPlan plan;
+        std::string perr;
+        if (!parseFaultPlan(s.faultPlan, plan, perr)) {
+            err = "faultPlan: " + perr;
+            return false;
+        }
+        if (s.clientTimeoutSec <= 0.0) {
+            err = "a fault plan requires clientTimeoutSec > 0";
+            return false;
+        }
+    }
     out = s;
     return true;
 }
@@ -249,7 +350,7 @@ runOnce(const Scenario &s)
     // legitimately strand server-side TCBs until their (long) keepalive
     // horizon, which is model behavior, not a leak.
     InvariantRegistry quiesce;
-    if (s.lossRate == 0.0)
+    if (s.lossRate == 0.0 && s.faultPlan.empty())
         registerQuiesceInvariants(quiesce, bed.machine(), bed.load());
 
     EventQueue &eq = bed.eventQueue();
@@ -341,10 +442,27 @@ shrinkCandidates(const Scenario &s)
         c.concurrencyPerCore = std::max(4, s.concurrencyPerCore / 2);
         push(c);
     }
+    if (!s.faultPlan.empty()) {
+        // Drop the whole plan first, then the hardening knobs that only
+        // existed because of it.
+        Scenario c = s;
+        c.faultPlan.clear();
+        c.synCookies = false;
+        c.synBacklog = 0;
+        c.clientRtoMsec = 0.0;
+        if (s.lossRate == 0.0)
+            c.clientTimeoutSec = 0.0;
+        push(c);
+    } else if (s.clientRtoMsec > 0.0) {
+        Scenario c = s;
+        c.clientRtoMsec = 0.0;
+        push(c);
+    }
     if (s.lossRate > 0.0) {
         Scenario c = s;
         c.lossRate = 0.0;
-        c.clientTimeoutSec = 0.0;
+        if (s.faultPlan.empty())
+            c.clientTimeoutSec = 0.0;
         push(c);
     }
     if (s.requestsPerConn > 1) {

@@ -51,6 +51,14 @@ struct Scenario
     bool traceEnabled = true;
     double maxSimSec = 30.0;        //!< drain cap
 
+    /** Fault plan in parseFaultPlan() text form (empty = no faults).
+     *  A non-empty plan requires clientTimeoutSec > 0 so stuck
+     *  connections still drain. */
+    std::string faultPlan;
+    bool synCookies = false;        //!< server answers full SYN queues
+    std::size_t synBacklog = 0;     //!< SYN-queue cap (0 = kernel default)
+    double clientRtoMsec = 0.0;     //!< client retx base RTO (0 = off)
+
     /** Materialize the harness config this scenario describes. */
     ExperimentConfig toConfig() const;
 };

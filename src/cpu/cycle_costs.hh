@@ -65,6 +65,7 @@ struct CycleCosts
     Tick portBindHold = 900;         //!< global bind-hash lock hold
                                      //!< (inet_csk_get_port, 2.6.32)
     Tick synQueueHold = 300;         //!< listen slock hold for SYN queue add
+    Tick synCookieCost = 900;        //!< encode or validate a SYN cookie
     Tick rstCost = 800;              //!< build + send an RST
     /** @} */
 

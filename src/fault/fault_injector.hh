@@ -1,0 +1,69 @@
+/**
+ * @file
+ * FaultInjector: arms a FaultPlan against a wired testbed.
+ *
+ * Wire events (loss bursts, reordering, duplication) become data windows
+ * the Wire consults at transmit time; NIC events schedule ATR-table
+ * clamps on the event queue; syn_flood windows instantiate a SynFlood
+ * attacker endpoint; backend events register outage/slowdown windows
+ * with the BackendPool. Everything is scheduled up front from the plan,
+ * so an armed injector adds no per-packet RNG draws and cannot perturb
+ * the workload's random streams.
+ */
+
+#ifndef FSIM_FAULT_FAULT_INJECTOR_HH
+#define FSIM_FAULT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "app/backend.hh"
+#include "app/syn_flood.hh"
+#include "fault/fault_plan.hh"
+#include "net/nic.hh"
+#include "net/wire.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace fsim
+{
+
+/** Arms one FaultPlan against one testbed's wire/NIC/backends. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param backends May be null (nginx runs); backend_* events are
+     *        then counted as ignored instead of armed.
+     */
+    FaultInjector(EventQueue &eq, Wire &wire, Nic &nic,
+                  BackendPool *backends, const FaultPlan &plan);
+
+    /**
+     * Schedule every event. Must be called once, before the run starts.
+     *
+     * @param server_addrs,server_port SYN-flood victim addresses.
+     */
+    void arm(const std::vector<IpAddr> &server_addrs, Port server_port);
+
+    const FaultPlan &plan() const { return plan_; }
+    /** The attacker, when the plan floods (else null). */
+    SynFlood *flood() { return flood_.get(); }
+    /** Events skipped because their target is absent (no backends). */
+    int ignoredEvents() const { return ignoredEvents_; }
+
+  private:
+    EventQueue &eq_;
+    Wire &wire_;
+    Nic &nic_;
+    BackendPool *backends_;
+    FaultPlan plan_;
+    std::unique_ptr<SynFlood> flood_;
+    bool armed_ = false;
+    int ignoredEvents_ = 0;
+};
+
+} // namespace fsim
+
+#endif // FSIM_FAULT_FAULT_INJECTOR_HH

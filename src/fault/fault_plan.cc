@@ -1,0 +1,281 @@
+#include "fault/fault_plan.hh"
+
+#include <sstream>
+
+namespace fsim
+{
+
+namespace
+{
+
+struct KindName
+{
+    FaultKind kind;
+    const char *name;
+};
+
+constexpr KindName kKinds[] = {
+    {FaultKind::kLossBurst, "loss_burst"},
+    {FaultKind::kReorder, "reorder"},
+    {FaultKind::kDuplicate, "duplicate"},
+    {FaultKind::kSynFlood, "syn_flood"},
+    {FaultKind::kBackendSlow, "backend_slow"},
+    {FaultKind::kBackendDown, "backend_down"},
+    {FaultKind::kAtrShrink, "atr_shrink"},
+};
+
+std::string
+validKindList()
+{
+    std::string s;
+    for (const KindName &k : kKinds) {
+        if (!s.empty())
+            s += ", ";
+        s += k.name;
+    }
+    return s;
+}
+
+bool
+kindFromName(const std::string &name, FaultKind &out)
+{
+    for (const KindName &k : kKinds) {
+        if (name == k.name) {
+            out = k.kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string part;
+    while (std::getline(is, part, sep))
+        out.push_back(part);
+    return out;
+}
+
+/** Compact double formatting that round-trips through parse. */
+std::string
+numStr(double v)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+} // anonymous namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    for (const KindName &k : kKinds)
+        if (k.kind == kind)
+            return k.name;
+    return "?";
+}
+
+bool
+FaultPlan::has(FaultKind kind) const
+{
+    for (const FaultEvent &e : events)
+        if (e.kind == kind)
+            return true;
+    return false;
+}
+
+bool
+parseFaultPlan(const std::string &text, FaultPlan &out, std::string &err)
+{
+    FaultPlan plan;
+    for (const std::string &raw : split(text, ';')) {
+        std::string item = trim(raw);
+        if (item.empty())
+            continue;
+
+        // Plan-level seed: a bare "seed=N" element.
+        if (item.compare(0, 5, "seed=") == 0) {
+            try {
+                plan.seed = std::stoull(trim(item.substr(5)));
+            } catch (const std::exception &) {
+                err = "bad fault plan seed '" + item + "'";
+                return false;
+            }
+            continue;
+        }
+
+        std::size_t at = item.find('@');
+        if (at == std::string::npos) {
+            err = "fault event '" + item + "' missing '@start-end'; "
+                  "expected kind@startSec-endSec[:param=value,...]";
+            return false;
+        }
+        FaultEvent ev;
+        std::string kind = trim(item.substr(0, at));
+        if (!kindFromName(kind, ev.kind)) {
+            err = "unknown fault kind '" + kind + "'; valid kinds: " +
+                  validKindList();
+            return false;
+        }
+
+        std::string rest = item.substr(at + 1);
+        std::size_t colon = rest.find(':');
+        std::string window = trim(colon == std::string::npos
+                                      ? rest
+                                      : rest.substr(0, colon));
+        std::size_t dash = window.find('-');
+        if (dash == std::string::npos) {
+            err = "fault event '" + item + "': window must be "
+                  "startSec-endSec";
+            return false;
+        }
+        try {
+            ev.startSec = std::stod(trim(window.substr(0, dash)));
+            ev.endSec = std::stod(trim(window.substr(dash + 1)));
+        } catch (const std::exception &) {
+            err = "fault event '" + item + "': bad window time";
+            return false;
+        }
+        if (ev.startSec < 0.0 || ev.endSec <= ev.startSec) {
+            err = "fault event '" + item + "': window must satisfy "
+                  "0 <= start < end";
+            return false;
+        }
+
+        if (colon != std::string::npos) {
+            for (const std::string &p : split(rest.substr(colon + 1),
+                                              ',')) {
+                std::string kv = trim(p);
+                if (kv.empty())
+                    continue;
+                std::size_t eq = kv.find('=');
+                if (eq == std::string::npos) {
+                    err = "fault event '" + item + "': parameter '" + kv +
+                          "' is not key=value";
+                    return false;
+                }
+                std::string key = trim(kv.substr(0, eq));
+                std::string val = trim(kv.substr(eq + 1));
+                try {
+                    if (key == "rate")
+                        ev.rate = std::stod(val);
+                    else if (key == "factor")
+                        ev.factor = std::stod(val);
+                    else if (key == "target")
+                        ev.target = std::stoi(val);
+                    else if (key == "jitter")
+                        ev.jitterUsec = std::stod(val);
+                    else if (key == "size")
+                        ev.tableSize = static_cast<std::uint32_t>(
+                            std::stoul(val));
+                    else {
+                        err = "fault event '" + item + "': unknown "
+                              "parameter '" + key + "' (valid: rate, "
+                              "factor, target, jitter, size)";
+                        return false;
+                    }
+                } catch (const std::exception &) {
+                    err = "fault event '" + item + "': bad value for '" +
+                          key + "'";
+                    return false;
+                }
+            }
+        }
+
+        // Per-kind validity so armed plans cannot misbehave silently.
+        switch (ev.kind) {
+          case FaultKind::kLossBurst:
+          case FaultKind::kReorder:
+          case FaultKind::kDuplicate:
+            if (ev.rate <= 0.0 || ev.rate >= 1.0) {
+                err = "fault event '" + item + "': rate must be in "
+                      "(0, 1)";
+                return false;
+            }
+            break;
+          case FaultKind::kSynFlood:
+            if (ev.rate <= 0.0) {
+                err = "fault event '" + item + "': syn_flood needs "
+                      "rate > 0 (SYNs per second)";
+                return false;
+            }
+            break;
+          case FaultKind::kBackendSlow:
+            if (ev.factor <= 1.0) {
+                err = "fault event '" + item + "': backend_slow needs "
+                      "factor > 1";
+                return false;
+            }
+            break;
+          case FaultKind::kBackendDown:
+            break;
+          case FaultKind::kAtrShrink:
+            if (ev.tableSize == 0 ||
+                (ev.tableSize & (ev.tableSize - 1)) != 0) {
+                err = "fault event '" + item + "': size must be a "
+                      "power of two";
+                return false;
+            }
+            break;
+        }
+        plan.events.push_back(ev);
+    }
+    out = plan;
+    return true;
+}
+
+std::string
+serializeFaultPlan(const FaultPlan &plan)
+{
+    if (plan.empty())
+        return "";
+    std::string s;
+    for (const FaultEvent &e : plan.events) {
+        if (!s.empty())
+            s += ";";
+        s += faultKindName(e.kind);
+        s += "@" + numStr(e.startSec) + "-" + numStr(e.endSec);
+        switch (e.kind) {
+          case FaultKind::kLossBurst:
+          case FaultKind::kReorder:
+          case FaultKind::kDuplicate:
+            s += ":rate=" + numStr(e.rate);
+            if (e.kind == FaultKind::kReorder)
+                s += ",jitter=" + numStr(e.jitterUsec);
+            break;
+          case FaultKind::kSynFlood:
+            s += ":rate=" + numStr(e.rate);
+            break;
+          case FaultKind::kBackendSlow:
+            s += ":factor=" + numStr(e.factor) + ",target=" +
+                 std::to_string(e.target);
+            break;
+          case FaultKind::kBackendDown:
+            s += ":target=" + std::to_string(e.target);
+            break;
+          case FaultKind::kAtrShrink:
+            s += ":size=" + std::to_string(e.tableSize);
+            break;
+        }
+    }
+    if (plan.seed != FaultPlan{}.seed)
+        s += ";seed=" + std::to_string(plan.seed);
+    return s;
+}
+
+} // namespace fsim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic fault plans: time-scheduled fault events for a run.
+ *
+ * A FaultPlan is pure data — a list of fault windows plus a seed — with a
+ * single-line text form so plans travel through bench flags
+ * (`--faults=<plan>`), fuzz-scenario files and JSON reports unchanged:
+ *
+ *     kind@startSec-endSec[:param=value[,param=value...]] [; ...] [; seed=N]
+ *
+ * e.g. `loss_burst@0.05-0.08:rate=0.3;syn_flood@0.05-0.08:rate=200000`.
+ *
+ * Every fault decision downstream (wire loss/reorder/duplication fates,
+ * flood SYN arrival ticks, backend outage membership) is a pure function
+ * of the plan and packet content, never of wall-clock or RNG draws shared
+ * with the workload, so armed plans keep same-seed runs bit-identical.
+ */
+
+#ifndef FSIM_FAULT_FAULT_PLAN_HH
+#define FSIM_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fsim
+{
+
+/** What a FaultEvent does while its window is open. */
+enum class FaultKind
+{
+    kLossBurst,     //!< wire: drop packets with probability `rate`
+    kReorder,       //!< wire: delay packets extra jitter with prob `rate`
+    kDuplicate,     //!< wire: deliver packets twice with prob `rate`
+    kSynFlood,      //!< attacker: `rate` SYNs/sec, handshakes never finish
+    kBackendSlow,   //!< backend `target`: service delay x `factor`
+    kBackendDown,   //!< backend `target`: crashed (requests vanish)
+    kAtrShrink,     //!< NIC: clamp the ATR flow table to `tableSize`
+};
+
+/** Text name of @p kind (the token the plan grammar uses). */
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled fault window. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::kLossBurst;
+    double startSec = 0.0;          //!< window open (absolute sim time)
+    double endSec = 0.0;            //!< window close (exclusive)
+    /** Loss/reorder/duplicate probability, or syn_flood SYNs per second. */
+    double rate = 0.0;
+    /** backend_slow service-delay multiplier. */
+    double factor = 4.0;
+    /** Backend index for backend_* events (-1 = every backend). */
+    int target = -1;
+    /** Extra reorder delay bound, microseconds. */
+    double jitterUsec = 200.0;
+    /** atr_shrink table clamp, entries. */
+    std::uint32_t tableSize = 64;
+};
+
+/** A run's complete fault schedule. */
+struct FaultPlan
+{
+    std::vector<FaultEvent> events;
+    /** Folded into every content-hash fault decision. */
+    std::uint64_t seed = 0xfa17;
+
+    bool empty() const { return events.empty(); }
+    bool has(FaultKind kind) const;
+};
+
+/**
+ * Parse the single-line plan grammar above.
+ *
+ * @return false and fill @p err (listing the valid event kinds when the
+ *         kind token is unknown) on malformed input. An empty/whitespace
+ *         @p text parses to an empty plan.
+ */
+bool parseFaultPlan(const std::string &text, FaultPlan &out,
+                    std::string &err);
+
+/** Inverse of parseFaultPlan(); "" for an empty plan. */
+std::string serializeFaultPlan(const FaultPlan &plan);
+
+} // namespace fsim
+
+#endif // FSIM_FAULT_FAULT_PLAN_HH

@@ -162,11 +162,24 @@ BenchJsonReport::str() const
             w.key(kv.first).value(kv.second);
         w.endObject();
 
+        w.key("faults").beginObject();
+        w.key("plan").value(serializeFaultPlan(cfg.faults));
+        w.key("armed").value(!cfg.faults.empty());
+        w.key("syn_cookies").value(cfg.synCookies ||
+                                   cfg.machine.kernel.synCookies);
+        w.endObject();
+
         w.key("lock_windows").beginArray();
         for (const LockWindow &lw : r.lockWindows) {
             w.beginObject();
             w.key("start").value(static_cast<std::uint64_t>(lw.start));
             w.key("end").value(static_cast<std::uint64_t>(lw.end));
+            w.key("completed").value(lw.completed);
+            w.key("goodput").value(lw.goodput);
+            w.key("syn_retransmits").value(lw.synRetransmits);
+            w.key("syn_cookies_sent").value(lw.synCookiesSent);
+            w.key("syn_cookies_validated").value(lw.synCookiesValidated);
+            w.key("accept_queue_rsts").value(lw.acceptQueueRsts);
             w.key("locks").beginObject();
             for (const auto &kv : lw.locks) {
                 w.key(kv.first);

@@ -24,8 +24,10 @@ class BenchJsonReport
 {
   public:
     /** Bump when the document layout changes incompatibly.
-     *  v2: per-row "fingerprint" (hex string) and "invariants" object. */
-    static constexpr int kSchemaVersion = 2;
+     *  v2: per-row "fingerprint" (hex string) and "invariants" object.
+     *  v3: per-row "faults" block (armed fault plan) and per-window
+     *  "completed"/"goodput" + SYN-counter deltas in "lock_windows". */
+    static constexpr int kSchemaVersion = 3;
 
     explicit BenchJsonReport(std::string bench_name);
 

@@ -61,6 +61,13 @@ lockDelta(const std::map<std::string, LockClassStats> &before,
 Testbed::Testbed(const ExperimentConfig &cfg)
     : cfg_(cfg)
 {
+    // Hardening shorthands fold into the kernel config before the
+    // machine exists; defaults leave it untouched.
+    if (cfg_.synCookies)
+        cfg_.machine.kernel.synCookies = true;
+    if (cfg_.synBacklog > 0)
+        cfg_.machine.kernel.synBacklog = cfg_.synBacklog;
+
     eq_ = std::make_unique<EventQueue>();
     wire_ = std::make_unique<Wire>(*eq_, cfg_.wireDelay);
     if (cfg_.lossRate > 0.0)
@@ -76,9 +83,15 @@ Testbed::Testbed(const ExperimentConfig &cfg)
         std::vector<IpAddr> baddrs;
         for (IpAddr a = bfirst; a <= blast; ++a)
             baddrs.push_back(a);
-        app_ = std::make_unique<Proxy>(*machine_, baddrs,
-                                       cfg_.backendPort,
-                                       cfg_.responseBytes);
+        auto proxy = std::make_unique<Proxy>(*machine_, baddrs,
+                                             cfg_.backendPort,
+                                             cfg_.responseBytes);
+        if (cfg_.backendTimeout > 0) {
+            Proxy::Tuning pt;
+            pt.backendTimeout = cfg_.backendTimeout;
+            proxy->setTuning(pt);
+        }
+        app_ = std::move(proxy);
     } else {
         app_ = std::make_unique<WebServer>(*machine_, cfg_.responseBytes,
                                            cfg_.requestsPerConn > 1);
@@ -95,7 +108,18 @@ Testbed::Testbed(const ExperimentConfig &cfg)
     lc.timeout = cfg_.clientTimeout;
     lc.seed = cfg_.machine.seed ^ 0xabcdef;
     lc.maxConns = cfg_.maxConns;
+    lc.rtoBase = cfg_.clientRtoBase;
+    lc.rtoMax = cfg_.clientRtoMax;
+    lc.maxRetx = cfg_.clientMaxRetx;
     load_ = std::make_unique<HttpLoad>(*eq_, *wire_, lc);
+
+    if (!cfg_.faults.empty()) {
+        faults_ = std::make_unique<FaultInjector>(*eq_, *wire_,
+                                                  machine_->nic(),
+                                                  backends_.get(),
+                                                  cfg_.faults);
+        faults_->arm(machine_->addrs(), machine_->servicePort());
+    }
 
     if (cfg_.listenBacklog > 0) {
         for (const Socket *s : machine_->kernel().allSockets())
@@ -156,6 +180,16 @@ Testbed::currentFingerprint() const
     fp.mix(ks.socketsDestroyed);
     fp.mix(ks.acceptOverflows);
     fp.mix(ks.timeWaitReaped);
+    fp.mix(ks.synRetransmits);
+    fp.mix(ks.synDropped);
+    fp.mix(ks.synCookiesSent);
+    fp.mix(ks.synCookiesValidated);
+    fp.mix(ks.synRcvdReaped);
+    fp.mix(ks.acceptQueueRsts);
+    fp.mix(wire_->duplicated());
+    fp.mix(load_->synRetransmits());
+    fp.mix(load_->requestRetransmits());
+    fp.mix(load_->retxGiveups());
     fp.mix(machine_->cpu().totalBusyTicks());
     fp.mix(machine_->cache().totalAccesses());
     fp.mix(machine_->cache().totalMisses());
@@ -274,6 +308,8 @@ Testbed::run()
     std::vector<LockWindow> lock_windows;
     std::map<std::string, LockClassStats> prev =
         machine_->locks().snapshot();
+    std::uint64_t completed_prev = load_->completed();
+    KernelStats ks_prev = machine_->kernel().stats();
     for (int w = 0; w < wins; ++w) {
         Tick wstart = eq_->now();
         runUntilChecked(begin + measure * (w + 1) / wins);
@@ -283,8 +319,20 @@ Testbed::run()
         lw.start = wstart;
         lw.end = eq_->now();
         lw.locks = lockDelta(prev, cur);
+        lw.completed = load_->completed() - completed_prev;
+        double wsec = secondsFromTicks(lw.end - lw.start);
+        lw.goodput = wsec > 0.0 ? static_cast<double>(lw.completed) / wsec
+                                : 0.0;
+        const KernelStats &ksc = machine_->kernel().stats();
+        lw.synRetransmits = ksc.synRetransmits - ks_prev.synRetransmits;
+        lw.synCookiesSent = ksc.synCookiesSent - ks_prev.synCookiesSent;
+        lw.synCookiesValidated =
+            ksc.synCookiesValidated - ks_prev.synCookiesValidated;
+        lw.acceptQueueRsts = ksc.acceptQueueRsts - ks_prev.acceptQueueRsts;
         lock_windows.push_back(std::move(lw));
         prev = std::move(cur);
+        completed_prev = load_->completed();
+        ks_prev = ksc;
     }
 
     ExperimentResult r = collect();

@@ -20,6 +20,8 @@
 #include "app/proxy.hh"
 #include "app/web_server.hh"
 #include "check/invariants.hh"
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan.hh"
 #include "kernel/kernel_config.hh"
 #include "sync/lock_registry.hh"
 #include "trace/trace_report.hh"
@@ -76,6 +78,26 @@ struct ExperimentConfig
     /** Bounded workload: total connections the client fleet may start
      *  (0 = unlimited closed loop). See HttpLoad::Config::maxConns. */
     std::uint64_t maxConns = 0;
+
+    /** @name Fault injection + hardening (src/fault) */
+    /** @{ */
+    /** Scheduled fault plan; empty = no injection. */
+    FaultPlan faults;
+    /** Enable SYN cookies on the server kernel (shorthand for
+     *  machine.kernel.synCookies). */
+    bool synCookies = false;
+    /** Override the kernel's SYN-queue capacity (0 = kernel default). */
+    std::size_t synBacklog = 0;
+    /** Client SYN/request retransmission base RTO (0 = off). */
+    Tick clientRtoBase = 0;
+    /** Backoff cap (0 = 8 x clientRtoBase). */
+    Tick clientRtoMax = 0;
+    /** Client retransmissions before giving up. */
+    int clientMaxRetx = 6;
+    /** Proxy per-attempt backend timeout (0 = off); enables retry with
+     *  backend health ejection (haproxy app only). */
+    Tick backendTimeout = 0;
+    /** @} */
 };
 
 /** Lock-stat deltas of one measurement sub-window. */
@@ -84,6 +106,18 @@ struct LockWindow
     Tick start = 0;
     Tick end = 0;
     std::map<std::string, LockClassStats> locks;
+    /** Client connections completed in this sub-window. */
+    std::uint64_t completed = 0;
+    /** completed / sub-window seconds: the goodput-over-time curve the
+     *  resilience benchmark plots. */
+    double goodput = 0.0;
+    /** @name Kernel counter deltas (fault visibility) */
+    /** @{ */
+    std::uint64_t synRetransmits = 0;
+    std::uint64_t synCookiesSent = 0;
+    std::uint64_t synCookiesValidated = 0;
+    std::uint64_t acceptQueueRsts = 0;
+    /** @} */
 };
 
 /** Measured outcome of one experiment. */
@@ -153,6 +187,7 @@ class Testbed
     AppBase &app() { return *app_; }
     HttpLoad &load() { return *load_; }
     BackendPool *backends() { return backends_.get(); }
+    FaultInjector *faults() { return faults_.get(); }
     InvariantRegistry &checks() { return checks_; }
 
     /** Run warmup + measurement, return the measured window. */
@@ -183,6 +218,7 @@ class Testbed
     std::unique_ptr<BackendPool> backends_;
     std::unique_ptr<AppBase> app_;
     std::unique_ptr<HttpLoad> load_;
+    std::unique_ptr<FaultInjector> faults_;
     InvariantRegistry checks_;
 
     bool loadStarted_ = false;

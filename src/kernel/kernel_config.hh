@@ -59,6 +59,26 @@ struct KernelConfig
     /** Fine-grained VFS bucket count (3.13 flavor). */
     int vfsFineBuckets = 64;
 
+    /** @name SYN-flood hardening */
+    /** @{ */
+    /**
+     * Answer SYNs statelessly with SYN cookies once a listener's SYN
+     * queue is full (Linux tcp_syncookies). Off by default: the stock
+     * baseline drops SYNs when the queue fills, which is exactly the
+     * collapse mode the resilience benchmark demonstrates.
+     */
+    bool synCookies = false;
+    /** Per-listener SYN (request-sock) queue capacity. The default is
+     *  high enough that legitimate closed-loop load never trips it;
+     *  flood scenarios lower it (tcp_max_syn_backlog). */
+    std::size_t synBacklog = 65536;
+    /** SYN_RECV sockets are reaped after this many jiffies without the
+     *  final ACK (collapsed stand-in for SYN-ACK retries + timeout).
+     *  0 = never reap (stock model behavior); flood scenarios enable it
+     *  so the SYN queue drains once the attack stops. */
+    std::uint64_t synRcvdJiffies = 0;
+    /** @} */
+
     /** Jiffy length in milliseconds (HZ=1000). */
     double jiffyMsec = 1.0;
     /** Shortened 2*MSL for TIME_WAIT reaping, in jiffies. */

@@ -145,6 +145,34 @@ KernelStack::killProcess(int proc)
         return;
     p.alive = false;
 
+    // Embryonic (SYN_RECV) children still point at the dying clones as
+    // their parent listener; reap them first so no TCB is left with a
+    // dangling parent pointer.
+    {
+        auto dying = [&p](const Socket *parent) {
+            for (const Socket *c : p.localListens)
+                if (c == parent)
+                    return true;
+            for (const Socket *c : p.reuseClones)
+                if (c == parent)
+                    return true;
+            return false;
+        };
+        std::vector<Socket *> embryos;
+        for (auto &kv : sockets_) {
+            Socket *s = kv.second.get();
+            if (s->kind == SockKind::kConnection && s->passive &&
+                s->state == TcpState::kSynRcvd && s->parentListen &&
+                dying(s->parentListen))
+                embryos.push_back(s);
+        }
+        for (Socket *s : embryos) {
+            if (s->parentListen->synQueueLen > 0)
+                --s->parentListen->synQueueLen;
+            destroySocket(p.core, 0, s);
+        }
+    }
+
     // The kernel destroys listen sockets owned by the dying process: its
     // reuseport clones and its local listen clones. This is exactly the
     // fault the Local Listen Table slow path exists for (section 3.2.1).
@@ -318,10 +346,22 @@ KernelStack::armConnTimer(CoreId c, Tick t, Socket *sock,
     if (sock->timer != TimerWheel::kInvalidTimer)
         return base.mod(c, t, sock->timer, delay_jiffies);
     return base.arm(c, t, delay_jiffies,
-                    [sock](CoreId, Tick fire_t) {
+                    [this, sock](CoreId cb_core, Tick fire_t) {
+                        sock->timer = TimerWheel::kInvalidTimer;
+                        if (sock->passive &&
+                            sock->state == TcpState::kSynRcvd) {
+                            // Embryonic timeout: the final ACK never came
+                            // (lost, or a flood SYN with no client behind
+                            // it). Reap the half-open TCB so a SYN flood
+                            // cannot pin memory forever.
+                            if (sock->parentListen &&
+                                sock->parentListen->synQueueLen > 0)
+                                --sock->parentListen->synQueueLen;
+                            ++stats_.synRcvdReaped;
+                            return destroySocket(cb_core, fire_t, sock);
+                        }
                         // Keepalive horizon reached: nothing to do for
                         // short-lived connections, just drop the handle.
-                        sock->timer = TimerWheel::kInvalidTimer;
                         return fire_t;
                     },
                     &sock->timer);
@@ -347,6 +387,7 @@ KernelStack::sendPacket(CoreId core, Tick t, Socket *sock,
     pkt.flags = flags;
     pkt.payload = payload;
     pkt.connId = sock->id;
+    pkt.txSeq = sock->txSeqCounter++;
     t += d_.costs->txPacket;
     d_.nic->noteTx(pkt, core);   // XPS: transmit on the local queue
     d_.wire->transmit(pkt, t);
@@ -547,6 +588,19 @@ KernelStack::netRx(CoreId core, const Packet &pkt, Tick t, bool steered)
     }
 
     if (!l.sock) {
+        // SYN-cookie ACK: no TCB exists (the SYN was answered
+        // statelessly), but a pure ACK whose echoed cookie matches the
+        // flow mints the established socket right here — the stateless
+        // half of Linux's tcp_v4_syncookie path.
+        if (cfg_.synCookies && pkt.cookie != 0 && pkt.has(kAck) &&
+            !pkt.has(kSyn) && !pkt.has(kRst) && !pkt.has(kFin) &&
+            pkt.cookie == cookieFor(pkt.tuple)) {
+            ListenLookup ll = lookupListener(core, pkt.tuple.daddr,
+                                             pkt.tuple.dport, t);
+            t = ll.t;
+            if (ll.sock)
+                return establishFromCookie(core, ll.sock, pkt, t);
+        }
         if (!pkt.has(kRst)) {
             t += d_.costs->rstCost;
             ++stats_.rstSent;
@@ -580,8 +634,10 @@ KernelStack::handleSyn(CoreId core, const Packet &pkt, Tick t)
                                                          pkt.tuple);
     t = dup.t;
     if (dup.sock) {
-        if (dup.sock->state == TcpState::kSynRcvd)
+        if (dup.sock->state == TcpState::kSynRcvd) {
+            ++stats_.synRetransmits;
             return sendPacket(core, t, dup.sock, kSyn | kAck, 0);
+        }
         return t;   // stale SYN into a live connection: drop
     }
 
@@ -602,6 +658,33 @@ KernelStack::handleSyn(CoreId core, const Packet &pkt, Tick t)
     Socket *listener = l.sock;
     listener->touch(core);
 
+    if (listener->synQueueLen >= cfg_.synBacklog) {
+        if (!cfg_.synCookies) {
+            // SYN queue full and no cookies: the kernel silently drops
+            // the SYN (tcp_v4_conn_request with the request queue full).
+            // Under a flood this is where legitimate clients starve.
+            ++stats_.synDropped;
+            return t;
+        }
+        // SYN cookies: answer statelessly. The SYN-ACK carries a value
+        // derived purely from the flow tuple; no TCB or queue entry is
+        // created until an ACK echoes the cookie back.
+        t += d_.costs->synCookieCost;
+        ++stats_.synCookiesSent;
+        Packet synack;
+        synack.tuple = pkt.tuple.reversed();
+        synack.flags = kSyn | kAck;
+        synack.cookie = cookieFor(pkt.tuple);
+        // Inherit the SYN's transmit ordinal so a retried SYN draws an
+        // independent wire-fault fate for its reply too.
+        synack.txSeq = pkt.txSeq;
+        t += d_.costs->txPacket;
+        d_.nic->noteTx(synack, core);
+        d_.wire->transmit(synack, t);
+        ++stats_.txPackets;
+        return t;
+    }
+
     // Create the connection TCB and queue it on the listener's SYN queue
     // (under the listener's slock, the baseline's hot lock).
     Socket *conn = newSocket();
@@ -614,11 +697,74 @@ KernelStack::handleSyn(CoreId core, const Packet &pkt, Tick t)
     conn->touch(core);
     t += d_.costs->synProcess;
     t = listener->slock.runLocked(core, t, d_.costs->synQueueHold);
+    ++listener->synQueueLen;
 
     t = ehashFor(core).insert(core, t, conn);
     conn->ehashHome = &ehashFor(core);
 
+    // Collapsed SYN-ACK-retries + timeout: if the final ACK never shows
+    // up, the embryonic TCB is reaped (see armConnTimer's callback).
+    if (cfg_.synRcvdJiffies > 0)
+        t = armConnTimer(core, t, conn, cfg_.synRcvdJiffies);
+
     return sendPacket(core, t, conn, kSyn | kAck, 0);
+}
+
+std::uint32_t
+KernelStack::cookieFor(const FiveTuple &flow)
+{
+    std::uint32_t h = flowHash(flow) * 0x9e3779b9u;
+    h ^= h >> 16;
+    return h | 1u;   // nonzero by construction: 0 means "no cookie"
+}
+
+Tick
+KernelStack::establishFromCookie(CoreId core, Socket *listener,
+                                 const Packet &pkt, Tick t)
+{
+    listener->touch(core);
+    t += d_.costs->synCookieCost + d_.costs->establish;
+    ++stats_.synCookiesValidated;
+
+    Socket *conn = newSocket();
+    conn->kind = SockKind::kConnection;
+    conn->state = TcpState::kEstablished;
+    conn->rxTuple = pkt.tuple;
+    conn->passive = true;
+    conn->parentListen = listener;
+    conn->timerCore = core;
+    conn->touch(core);
+    if (pkt.payload) {
+        conn->rxPending += pkt.payload;
+        t += d_.costs->dataSegment;
+    }
+
+    t = ehashFor(core).insert(core, t, conn);
+    conn->ehashHome = &ehashFor(core);
+
+    if (d_.tracer)
+        d_.tracer->emit(core, TraceEventType::kConnEstablished, t,
+                        static_cast<std::uint32_t>(conn->id));
+
+    t = listener->slock.runLocked(core, t, d_.costs->acceptQueuePushHold);
+    if (listener->acceptQueue.size() >= listener->backlog) {
+        ++stats_.acceptOverflows;
+        ++stats_.acceptQueueRsts;
+        ++stats_.rstSent;
+        t += d_.costs->rstCost;
+        Packet rst;
+        rst.tuple = pkt.tuple.reversed();
+        rst.flags = kRst;
+        d_.wire->transmit(rst, t);
+        return destroySocket(core, t, conn);
+    }
+    listener->acceptQueue.push_back(conn);
+    if (d_.tracer)
+        d_.tracer->emit(
+            core, TraceEventType::kQueueEnqueue, t,
+            static_cast<std::uint32_t>(listener->acceptQueue.size()),
+            static_cast<std::uint16_t>(acceptQueueIdOf(listener)));
+    return wakeListen(core, t, listener);
 }
 
 Tick
@@ -639,6 +785,8 @@ KernelStack::handleEstablishedPacket(CoreId core, Socket *sock,
       case TcpState::kSynRcvd:
         if (pkt.has(kAck)) {
             sock->state = TcpState::kEstablished;
+            if (sock->parentListen && sock->parentListen->synQueueLen > 0)
+                --sock->parentListen->synQueueLen;
             if (pkt.payload) {
                 sock->rxPending += pkt.payload;
                 hold += d_.costs->dataSegment;
@@ -723,6 +871,7 @@ KernelStack::handleEstablishedPacket(CoreId core, Socket *sock,
         if (listener->acceptQueue.size() >= listener->backlog) {
             // Accept-queue overflow (somaxconn): reject the connection.
             ++stats_.acceptOverflows;
+            ++stats_.acceptQueueRsts;
             ++stats_.rstSent;
             t += d_.costs->rstCost;
             Packet rst;

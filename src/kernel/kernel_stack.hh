@@ -74,6 +74,16 @@ struct KernelStats
     std::uint64_t socketsCreated = 0;   //!< every newSocket() call
     std::uint64_t socketsDestroyed = 0;
     std::uint64_t acceptOverflows = 0;  //!< somaxconn rejections
+
+    /** @name SYN-flood / fault-injection visibility */
+    /** @{ */
+    std::uint64_t synRetransmits = 0;     //!< duplicate SYN re-answered
+    std::uint64_t synDropped = 0;         //!< SYN-queue full, no cookies
+    std::uint64_t synCookiesSent = 0;     //!< stateless SYN-ACKs
+    std::uint64_t synCookiesValidated = 0; //!< TCBs minted from cookies
+    std::uint64_t synRcvdReaped = 0;      //!< embryonic timeouts
+    std::uint64_t acceptQueueRsts = 0;    //!< RSTs from accept overflow
+    /** @} */
 };
 
 /** The simulated kernel. */
@@ -220,6 +230,9 @@ class KernelStack
     Tick handleSyn(CoreId core, const Packet &pkt, Tick t);
     Tick handleEstablishedPacket(CoreId core, Socket *sock,
                                  const Packet &pkt, Tick t);
+    /** Mint an established TCB from a validated SYN-cookie ACK. */
+    Tick establishFromCookie(CoreId core, Socket *listener,
+                             const Packet &pkt, Tick t);
 
     /** Pick the listener for an incoming SYN; charges lookup costs. */
     struct ListenLookup
@@ -251,6 +264,9 @@ class KernelStack
     Tick armConnTimer(CoreId c, Tick t, Socket *sock,
                       std::uint64_t delay_jiffies);
     Tick cancelConnTimer(CoreId c, Tick t, Socket *sock);
+
+    /** Stateless SYN-cookie value for a flow (nonzero by construction). */
+    static std::uint32_t cookieFor(const FiveTuple &flow);
 
     Deps d_;
     KernelConfig cfg_;

@@ -37,6 +37,42 @@ Nic::Nic(const NicConfig &cfg)
         atrTable_.resize(cfg_.atrTableSize);
 }
 
+std::uint32_t
+Nic::atrCapacity() const
+{
+    if (atrClamp_ != 0 && atrClamp_ < cfg_.atrTableSize)
+        return atrClamp_;
+    return cfg_.atrTableSize;
+}
+
+void
+Nic::atrRebuild(std::uint32_t new_slots)
+{
+    std::vector<AtrEntry> old = std::move(atrTable_);
+    atrTable_.assign(cfg_.atrTableSize, AtrEntry{});
+    for (const AtrEntry &e : old) {
+        if (!e.valid)
+            continue;
+        AtrEntry &slot = atrTable_[e.signature & (new_slots - 1)];
+        if (slot.valid)
+            ++atrEvictions_;   // collision in the shrunken index space
+        slot = e;
+    }
+}
+
+void
+Nic::setAtrCapacityClamp(std::uint32_t entries)
+{
+    if (!cfg_.fdirAtr)
+        return;
+    if (entries != 0 && !isPow2(entries))
+        fsim_fatal("ATR capacity clamp must be a power of two");
+    if (entries == atrClamp_)
+        return;
+    atrClamp_ = entries;
+    atrRebuild(atrCapacity());
+}
+
 int
 Nic::rssQueue(const FiveTuple &t) const
 {
@@ -62,10 +98,12 @@ Nic::classifyRx(const Packet &pkt)
 
     if (queue < 0 && cfg_.fdirAtr) {
         std::uint32_t h = flowHash(pkt.tuple);
-        const AtrEntry &e = atrTable_[h & (cfg_.atrTableSize - 1)];
+        const AtrEntry &e = atrTable_[h & (atrCapacity() - 1)];
         if (e.valid && e.signature == h) {
             queue = e.queue;
             ++atrHits_;
+        } else {
+            ++rssFallbacks_;
         }
     }
 
@@ -89,12 +127,12 @@ Nic::noteTx(const Packet &pkt, int tx_queue)
 
     // Key the entry on the tuple the *reply* will carry.
     std::uint32_t h = flowHash(pkt.tuple.reversed());
-    AtrEntry &e = atrTable_[h & (cfg_.atrTableSize - 1)];
+    AtrEntry &e = atrTable_[h & (atrCapacity() - 1)];
     if (e.valid && e.signature != h)
         ++atrEvictions_;
+    e.valid = true;
     e.signature = h;
     e.queue = tx_queue;
-    e.valid = true;
     ++atrInstalls_;
 }
 

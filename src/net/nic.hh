@@ -74,6 +74,18 @@ class Nic
     /** RSS fallback classification (also used directly by tests). */
     int rssQueue(const FiveTuple &t) const;
 
+    /**
+     * Fault injection: clamp the effective ATR slot count to
+     * min(atrTableSize, @p entries); 0 removes the clamp. @p entries must
+     * be a power of two (or 0). Live entries are re-indexed into the
+     * smaller table; the ones that collide are evicted on the spot, so a
+     * churning flow set genuinely falls back to RSS (table exhaustion).
+     */
+    void setAtrCapacityClamp(std::uint32_t entries);
+
+    /** Current effective ATR capacity (after any clamp). */
+    std::uint32_t atrCapacity() const;
+
     int numQueues() const { return cfg_.numQueues; }
     const NicConfig &config() const { return cfg_; }
 
@@ -83,25 +95,36 @@ class Nic
     std::uint64_t atrHits() const { return atrHits_; }
     std::uint64_t atrInstalls() const { return atrInstalls_; }
     std::uint64_t atrEvictions() const { return atrEvictions_; }
+    /** RX packets that missed the ATR table and took the RSS path
+     *  while ATR steering was enabled. */
+    std::uint64_t rssFallbacks() const { return rssFallbacks_; }
     std::uint64_t perfectHits() const { return perfectHits_; }
     /** @} */
 
   private:
     struct AtrEntry
     {
+        bool valid = false;
         std::uint32_t signature = 0;
         int queue = -1;
-        bool valid = false;
     };
+
+    /** Re-home live entries after a capacity change (collisions evict). */
+    void atrRebuild(std::uint32_t new_slots);
 
     NicConfig cfg_;
     std::vector<std::uint8_t> indirection_;   //!< RSS indirection table
+    /** Direct-mapped ATR signature table, indexed h & (capacity-1). A
+     *  colliding install replaces the slot's occupant — the least
+     *  recently installed entry for that signature set. */
     std::vector<AtrEntry> atrTable_;
+    std::uint32_t atrClamp_ = 0;              //!< 0 = no clamp
     std::uint64_t txSampleCounter_ = 0;
     std::vector<std::uint64_t> rxCount_;
     std::uint64_t atrHits_ = 0;
     std::uint64_t atrInstalls_ = 0;
     std::uint64_t atrEvictions_ = 0;
+    std::uint64_t rssFallbacks_ = 0;
     std::uint64_t perfectHits_ = 0;
 };
 

@@ -68,6 +68,8 @@ struct Packet
     std::uint8_t flags = 0;
     std::uint32_t payload = 0;   //!< TCP payload bytes
     std::uint64_t connId = 0;    //!< debugging / endpoint matching aid
+    std::uint32_t cookie = 0;    //!< SYN-cookie echo (0 = none)
+    std::uint32_t txSeq = 0;     //!< per-connection transmit ordinal
 
     bool has(TcpFlag f) const { return flags & f; }
     std::string str() const;

@@ -45,6 +45,75 @@ Wire::setLossRate(double rate, std::uint64_t seed)
 }
 
 void
+Wire::addFaultWindow(const FaultWindow &w)
+{
+    fsim_assert(w.start < w.end);
+    fsim_assert(w.lossRate >= 0.0 && w.lossRate < 1.0);
+    fsim_assert(w.reorderRate >= 0.0 && w.reorderRate < 1.0);
+    fsim_assert(w.dupRate >= 0.0 && w.dupRate < 1.0);
+    faultWindows_.push_back(w);
+}
+
+std::uint64_t
+Wire::faultHash(const Packet &pkt, std::uint64_t salt) const
+{
+    // splitmix64 over packet identity. Deliberately excludes time so the
+    // fate of a packet is invariant to when the sending kernel got around
+    // to transmitting it.
+    std::uint64_t x = faultSeed_ ^ (salt * 0x9e3779b97f4a7c15ULL);
+    x ^= (static_cast<std::uint64_t>(pkt.tuple.saddr) << 32) |
+         pkt.tuple.daddr;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= (static_cast<std::uint64_t>(pkt.tuple.sport) << 48) |
+         (static_cast<std::uint64_t>(pkt.tuple.dport) << 32) |
+         (static_cast<std::uint64_t>(pkt.flags) << 24) | pkt.txSeq;
+    x *= 0x94d049bb133111ebULL;
+    x ^= static_cast<std::uint64_t>(pkt.payload);
+    x ^= x >> 31;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+bool
+Wire::faultChance(const Packet &pkt, std::uint64_t salt, double rate) const
+{
+    if (rate <= 0.0)
+        return false;
+    // Top 53 bits -> uniform double in [0, 1).
+    double u = static_cast<double>(faultHash(pkt, salt) >> 11) *
+               (1.0 / 9007199254740992.0);
+    return u < rate;
+}
+
+void
+Wire::deliverAt(const Packet &pkt, Tick when)
+{
+    ++inFlight_;
+    // Copying the handler pointer is unsafe if maps rehash; copy the
+    // target address and re-resolve at delivery time instead.
+    eq_.schedule(when, [this, pkt] {
+        --inFlight_;
+        const Endpoint *handler = lookup(pkt.tuple.daddr);
+        if (!handler) {
+            ++dropped_;
+            return;
+        }
+        ++delivered_;
+        seqHash_.mix(eq_.now());
+        seqHash_.mix((static_cast<std::uint64_t>(pkt.tuple.saddr) << 32) |
+                     pkt.tuple.daddr);
+        seqHash_.mix((static_cast<std::uint64_t>(pkt.tuple.sport) << 48) |
+                     (static_cast<std::uint64_t>(pkt.tuple.dport) << 32) |
+                     (static_cast<std::uint64_t>(pkt.flags) << 24));
+        seqHash_.mix(static_cast<std::uint64_t>(pkt.payload));
+        (*handler)(pkt);
+    });
+}
+
+void
 Wire::transmit(const Packet &pkt, Tick when)
 {
     ++transmitted_;
@@ -57,27 +126,35 @@ Wire::transmit(const Packet &pkt, Tick when)
         ++lost_;
         return;
     }
-    // Copy the handler pointer is unsafe if maps rehash; copy the target
-    // address and re-resolve at delivery time instead.
-    Packet copy = pkt;
-    ++inFlight_;
-    eq_.schedule(when + delay_, [this, copy] {
-        --inFlight_;
-        const Endpoint *handler = lookup(copy.tuple.daddr);
-        if (!handler) {
-            ++dropped_;
-            return;
+    // Combine all fault windows covering the transmit tick. Rates combine
+    // via max so overlapping windows stay within [0, 1).
+    double loss = 0.0, reorder = 0.0, dup = 0.0;
+    Tick jitter = 0;
+    for (const FaultWindow &w : faultWindows_) {
+        if (when < w.start || when >= w.end)
+            continue;
+        if (w.lossRate > loss)
+            loss = w.lossRate;
+        if (w.reorderRate > reorder) {
+            reorder = w.reorderRate;
+            jitter = w.reorderJitter;
         }
-        ++delivered_;
-        seqHash_.mix(eq_.now());
-        seqHash_.mix((static_cast<std::uint64_t>(copy.tuple.saddr) << 32) |
-                     copy.tuple.daddr);
-        seqHash_.mix((static_cast<std::uint64_t>(copy.tuple.sport) << 48) |
-                     (static_cast<std::uint64_t>(copy.tuple.dport) << 32) |
-                     (static_cast<std::uint64_t>(copy.flags) << 24));
-        seqHash_.mix(static_cast<std::uint64_t>(copy.payload));
-        (*handler)(copy);
-    });
+        if (w.dupRate > dup)
+            dup = w.dupRate;
+    }
+    if (faultChance(pkt, 0x1055, loss)) {
+        ++lost_;
+        return;
+    }
+    Tick extra = 0;
+    if (faultChance(pkt, 0x4e04de4, reorder) && jitter > 0)
+        extra = 1 + static_cast<Tick>(faultHash(pkt, 0x1177e4) %
+                                      static_cast<std::uint64_t>(jitter));
+    deliverAt(pkt, when + delay_ + extra);
+    if (faultChance(pkt, 0xd0bbe1, dup)) {
+        ++duplicated_;
+        deliverAt(pkt, when + delay_ + extra + 1);
+    }
 }
 
 } // namespace fsim

@@ -49,6 +49,32 @@ class Wire
     void setLossRate(double rate, std::uint64_t seed = 99);
 
     /**
+     * A scheduled wire-fault window [start, end): packets transmitted
+     * inside it are subject to loss / reordering / duplication.
+     *
+     * Unlike setLossRate()'s sequential RNG draw, window fates are pure
+     * content hashes of the packet (tuple, flags, payload, txSeq) and the
+     * fault seed. The fate of a given packet therefore does not depend on
+     * how many other packets preceded it, which keeps fates identical
+     * across kernels that interleave transmissions differently — the
+     * property the differential oracle relies on.
+     */
+    struct FaultWindow
+    {
+        Tick start = 0;
+        Tick end = 0;
+        double lossRate = 0.0;    //!< drop probability
+        double reorderRate = 0.0; //!< extra-delay probability
+        double dupRate = 0.0;     //!< duplicate-delivery probability
+        Tick reorderJitter = 0;   //!< max extra delay for reordered packets
+    };
+
+    void addFaultWindow(const FaultWindow &w);
+
+    /** Seed folded into every content-hash fault decision. */
+    void setFaultSeed(std::uint64_t seed) { faultSeed_ = seed; }
+
+    /**
      * Transmit @p pkt at tick @p when (>= now).
      *
      * Delivery happens at @p when + delay. Packets to unknown addresses
@@ -59,6 +85,8 @@ class Wire
     std::uint64_t delivered() const { return delivered_; }
     std::uint64_t dropped() const { return dropped_; }
     std::uint64_t lost() const { return lost_; }
+    /** Extra copies created by duplicate-fault windows. */
+    std::uint64_t duplicated() const { return duplicated_; }
     Tick delay() const { return delay_; }
 
     /** @name Conservation + determinism instrumentation (src/check) */
@@ -78,6 +106,10 @@ class Wire
 
   private:
     const Endpoint *lookup(IpAddr addr) const;
+    void deliverAt(const Packet &pkt, Tick when);
+    std::uint64_t faultHash(const Packet &pkt, std::uint64_t salt) const;
+    bool faultChance(const Packet &pkt, std::uint64_t salt,
+                     double rate) const;
 
     struct Range
     {
@@ -90,11 +122,14 @@ class Wire
     Tick delay_;
     double lossRate_ = 0.0;
     Rng lossRng_{99};
+    std::vector<FaultWindow> faultWindows_;
+    std::uint64_t faultSeed_ = 0;
     std::unordered_map<IpAddr, Endpoint> endpoints_;
     std::vector<Range> ranges_;
     std::uint64_t delivered_ = 0;
     std::uint64_t dropped_ = 0;
     std::uint64_t lost_ = 0;
+    std::uint64_t duplicated_ = 0;
     std::uint64_t transmitted_ = 0;
     std::uint64_t inFlight_ = 0;
     Fingerprint seqHash_;

@@ -77,6 +77,8 @@ struct Socket
     std::size_t backlog = 512;
     /** SO_REUSEPORT clone owner process (kLinux313 flavor). */
     int reuseportOwner = -1;
+    /** Embryonic (SYN_RECV) children not yet established. */
+    std::size_t synQueueLen = 0;
     /** Processes watching this listen socket: (process, fd) pairs. */
     std::vector<std::pair<int, int>> watchers;
     /** @} */
@@ -107,6 +109,9 @@ struct Socket
     void *appCtx = nullptr;
     /** Established table this socket currently lives in (null if none). */
     class EstablishedTable *ehashHome = nullptr;
+    /** Next transmit ordinal stamped into outgoing packets (wire-fault
+     *  decisions hash it so retransmissions draw independent fates). */
+    std::uint32_t txSeqCounter = 0;
     /** @} */
 
     /** Per-socket lock (the paper's "slock" row). */

@@ -421,5 +421,125 @@ TEST_F(KernelFixture, DataWakesOwnerViaEpoll)
     EXPECT_NE(std::find(fds.begin(), fds.end(), r.fd), fds.end());
 }
 
+TEST_F(KernelFixture, DuplicateSynIsReansweredNotDuplicated)
+{
+    build(KernelConfig::base2632());
+    KernelStack &k = m->kernel();
+    int proc = k.addProcess(0);
+    int lfd = k.listen(proc, srv(), 80);
+
+    FiveTuple t = tupleForQueue(0);
+    send(t, kSyn);
+    eq.runAll();
+    std::uint64_t created = k.stats().socketsCreated;
+    clientRx.clear();
+
+    // Client retransmits the SYN (e.g. the SYN-ACK was lost): the kernel
+    // must re-answer from the existing embryonic TCB, not mint a second.
+    send(t, kSyn);
+    eq.runAll();
+    EXPECT_EQ(k.stats().synRetransmits, 1u);
+    EXPECT_EQ(k.stats().socketsCreated, created);
+    ASSERT_FALSE(clientRx.empty());
+    EXPECT_TRUE(clientRx.back().has(kSyn));
+    EXPECT_TRUE(clientRx.back().has(kAck));
+
+    // The handshake still completes into exactly one accepted conn.
+    send(t, kAck);
+    eq.runAll();
+    auto r = k.accept(proc, eq.now(), lfd);
+    ASSERT_NE(r.sock, nullptr);
+    EXPECT_EQ(k.stats().acceptedConns, 1u);
+}
+
+TEST_F(KernelFixture, SynQueueFullWithoutCookiesDropsSilently)
+{
+    KernelConfig kc = KernelConfig::base2632();
+    kc.synBacklog = 0;   // every SYN sees a "full" queue
+    build(kc);
+    KernelStack &k = m->kernel();
+    k.listen(k.addProcess(0), srv(), 80);
+
+    send(tupleForQueue(0), kSyn);
+    eq.runAll();
+    EXPECT_EQ(k.stats().synDropped, 1u);
+    EXPECT_TRUE(clientRx.empty()) << "drop is silent: no SYN-ACK, no RST";
+}
+
+TEST_F(KernelFixture, SynCookieHandshakeEndToEnd)
+{
+    KernelConfig kc = KernelConfig::base2632();
+    kc.synBacklog = 0;   // force the stateless path
+    kc.synCookies = true;
+    build(kc);
+    KernelStack &k = m->kernel();
+    int proc = k.addProcess(0);
+    int lfd = k.listen(proc, srv(), 80);
+
+    FiveTuple t = tupleForQueue(0);
+    std::uint64_t created = k.stats().socketsCreated;
+    send(t, kSyn);
+    eq.runAll();
+    EXPECT_EQ(k.stats().synCookiesSent, 1u);
+    EXPECT_EQ(k.stats().socketsCreated, created) << "stateless SYN-ACK";
+    ASSERT_FALSE(clientRx.empty());
+    const Packet &synack = clientRx.back();
+    ASSERT_TRUE(synack.has(kSyn));
+    ASSERT_NE(synack.cookie, 0u);
+
+    // ACK echoing the cookie mints the established TCB on the spot.
+    Packet ack;
+    ack.tuple = t;
+    ack.flags = kAck;
+    ack.cookie = synack.cookie;
+    wire.transmit(ack, eq.now());
+    eq.runAll();
+    EXPECT_EQ(k.stats().synCookiesValidated, 1u);
+
+    auto r = k.accept(proc, eq.now(), lfd);
+    ASSERT_NE(r.sock, nullptr);
+    EXPECT_EQ(r.sock->state, TcpState::kEstablished);
+}
+
+TEST_F(KernelFixture, BadCookieAckIsReset)
+{
+    KernelConfig kc = KernelConfig::base2632();
+    kc.synBacklog = 0;
+    kc.synCookies = true;
+    build(kc);
+    KernelStack &k = m->kernel();
+    k.listen(k.addProcess(0), srv(), 80);
+
+    Packet ack;
+    ack.tuple = tupleForQueue(0);
+    ack.flags = kAck;
+    ack.cookie = 0xdeadbeef | 1u;   // forged: does not match the flow
+    wire.transmit(ack, eq.now());
+    eq.runAll();
+    EXPECT_EQ(k.stats().synCookiesValidated, 0u);
+    EXPECT_TRUE(clientSaw(kRst));
+}
+
+TEST_F(KernelFixture, EmbryonicTcbIsReapedAfterSynRcvdTimeout)
+{
+    KernelConfig kc = KernelConfig::base2632();
+    kc.synRcvdJiffies = 300;
+    build(kc);
+    KernelStack &k = m->kernel();
+    k.listen(k.addProcess(0), srv(), 80);
+
+    FiveTuple t = tupleForQueue(0);
+    send(t, kSyn);
+    eq.runAll();   // drains past the embryonic timeout: TCB reaped
+    EXPECT_EQ(k.stats().synRcvdReaped, 1u);
+
+    // The late final ACK finds no connection and is refused.
+    clientRx.clear();
+    send(t, kAck);
+    eq.runAll();
+    EXPECT_TRUE(clientSaw(kRst));
+    EXPECT_EQ(k.stats().acceptedConns, 0u);
+}
+
 } // anonymous namespace
 } // namespace fsim

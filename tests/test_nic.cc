@@ -128,6 +128,90 @@ TEST(FdirAtr, TableCollisionEvicts)
     EXPECT_GT(nic.atrEvictions(), 0u);
 }
 
+TEST(FdirAtr, CapacityClampRehomesAndEvicts)
+{
+    NicConfig cfg;
+    cfg.numQueues = 4;
+    cfg.fdirAtr = true;
+    cfg.atrSampleRate = 1;
+    cfg.atrTableSize = 64;
+    Nic nic(cfg);
+    for (int i = 0; i < 40; ++i) {
+        Packet out;
+        out.tuple = tuple(10, 80, 20 + i, static_cast<Port>(3000 + i));
+        nic.noteTx(out, i % 4);
+    }
+    EXPECT_EQ(nic.atrCapacity(), 64u);
+
+    // Far more live entries than 4 slots: re-homing must evict.
+    std::uint64_t before = nic.atrEvictions();
+    nic.setAtrCapacityClamp(4);
+    EXPECT_EQ(nic.atrCapacity(), 4u);
+    EXPECT_GT(nic.atrEvictions(), before);
+
+    // At most 4 of the 40 flows can still be steered; every miss must
+    // classify exactly where plain RSS would.
+    int hits = 0;
+    for (int i = 0; i < 40; ++i) {
+        Packet in;
+        in.tuple = tuple(20 + i, static_cast<Port>(3000 + i), 10, 80);
+        std::uint64_t h0 = nic.atrHits();
+        int q = nic.classifyRx(in);
+        if (nic.atrHits() > h0)
+            ++hits;
+        else
+            EXPECT_EQ(q, nic.rssQueue(in.tuple));
+    }
+    EXPECT_LE(hits, 4);
+}
+
+TEST(FdirAtr, LiftingClampRestoresFullCapacity)
+{
+    NicConfig cfg;
+    cfg.numQueues = 4;
+    cfg.fdirAtr = true;
+    cfg.atrSampleRate = 1;
+    cfg.atrTableSize = 64;
+    Nic nic(cfg);
+    nic.setAtrCapacityClamp(4);
+    EXPECT_EQ(nic.atrCapacity(), 4u);
+    nic.setAtrCapacityClamp(0);
+    EXPECT_EQ(nic.atrCapacity(), 64u);
+
+    // Fresh installs steer again at full capacity.
+    Packet out;
+    out.tuple = tuple(10, 80, 99, 4321);
+    nic.noteTx(out, 2);
+    Packet in;
+    in.tuple = out.tuple.reversed();
+    EXPECT_EQ(nic.classifyRx(in), 2);
+    EXPECT_GT(nic.atrHits(), 0u);
+}
+
+TEST(FdirAtr, ClampIsNoOpWithoutAtr)
+{
+    NicConfig cfg;
+    cfg.numQueues = 4;
+    Nic nic(cfg);
+    nic.setAtrCapacityClamp(8);   // must not crash or steer anything
+    Packet in;
+    in.tuple = tuple(7, 4444, 9, 80);
+    EXPECT_EQ(nic.classifyRx(in), nic.rssQueue(in.tuple));
+}
+
+TEST(FdirAtr, MissCountsRssFallback)
+{
+    NicConfig cfg;
+    cfg.numQueues = 8;
+    cfg.fdirAtr = true;
+    Nic nic(cfg);
+    Packet in;
+    in.tuple = tuple(7, 4444, 9, 80);
+    nic.classifyRx(in);
+    EXPECT_EQ(nic.rssFallbacks(), 1u);
+    EXPECT_EQ(nic.atrHits(), 0u);
+}
+
 TEST(FdirAtr, MissFallsBackToRss)
 {
     NicConfig cfg;
@@ -206,6 +290,15 @@ TEST(NicDeath, BadConfigRejected)
     cfg2.fdirAtr = true;
     cfg2.atrTableSize = 1000;   // not a power of two
     EXPECT_DEATH({ Nic nic(cfg2); (void)nic; }, "power of two");
+    NicConfig cfg3;
+    cfg3.numQueues = 4;
+    cfg3.fdirAtr = true;
+    EXPECT_DEATH(
+        {
+            Nic nic(cfg3);
+            nic.setAtrCapacityClamp(6);   // not a power of two
+        },
+        "power of two");
 }
 
 } // anonymous namespace

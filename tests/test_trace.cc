@@ -273,7 +273,7 @@ TEST(BenchJson, DocumentCarriesSchemaVersionAndRequiredKeys)
     std::string doc = report.str();
     // Golden schema: version stamp plus every top-level and per-row key
     // the downstream validator requires.
-    EXPECT_NE(doc.find("\"schema_version\":2"), std::string::npos);
+    EXPECT_NE(doc.find("\"schema_version\":3"), std::string::npos);
     EXPECT_NE(doc.find("\"bench\":\"unit_test\""), std::string::npos);
     for (const char *key :
          {"\"rows\"", "\"label\"", "\"config\"", "\"metrics\"",
@@ -285,6 +285,14 @@ TEST(BenchJson, DocumentCarriesSchemaVersionAndRequiredKeys)
         EXPECT_NE(doc.find(key), std::string::npos) << key;
     // v2: fingerprints render as fixed-width hex strings.
     EXPECT_NE(doc.find("\"fingerprint\":\"0x"), std::string::npos);
+    // v3: per-row faults block (disarmed here) and per-window goodput
+    // plus SYN-counter deltas.
+    for (const char *key :
+         {"\"faults\"", "\"plan\":\"\"", "\"armed\":false",
+          "\"syn_cookies\":false", "\"completed\"", "\"goodput\"",
+          "\"syn_retransmits\"", "\"syn_cookies_sent\"",
+          "\"syn_cookies_validated\"", "\"accept_queue_rsts\""})
+        EXPECT_NE(doc.find(key), std::string::npos) << key;
     // statWindows=2 produced two per-window lock-stat deltas.
     EXPECT_EQ(r.lockWindows.size(), 2u);
 }

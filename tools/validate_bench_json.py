@@ -10,6 +10,9 @@ Checks (stdlib only, used by CI and by hand after editing the exporter):
   - folded stacks and lock windows are structurally well-formed
   - (v2) fingerprint is a 16-hex-digit string and the invariants
     object is consistent (violations == 0 <=> failed list empty)
+  - (v3) per-row faults block is present and consistent (armed <=>
+    non-empty plan) and lock windows carry completed/goodput plus the
+    SYN-counter deltas
 Exit status 0 iff every document passes.
 """
 
@@ -17,7 +20,12 @@ import json
 import re
 import sys
 
-KNOWN_SCHEMA_VERSION = 2
+KNOWN_SCHEMA_VERSIONS = (2, 3)
+
+V3_WINDOW_KEYS = ("completed", "goodput", "syn_retransmits",
+                  "syn_cookies_sent", "syn_cookies_validated",
+                  "accept_queue_rsts")
+FAULTS_KEYS = ("plan", "armed", "syn_cookies")
 
 ROW_KEYS = ("label", "config", "metrics", "phases", "folded_stacks",
             "locks", "lock_windows", "queue_timelines", "trace",
@@ -47,9 +55,10 @@ def validate(path):
     with open(path) as f:
         doc = json.load(f)
 
-    if doc.get("schema_version") != KNOWN_SCHEMA_VERSION:
-        return fail(path, f"schema_version {doc.get('schema_version')!r}, "
-                          f"expected {KNOWN_SCHEMA_VERSION}")
+    version = doc.get("schema_version")
+    if version not in KNOWN_SCHEMA_VERSIONS:
+        return fail(path, f"schema_version {version!r}, expected one of "
+                          f"{KNOWN_SCHEMA_VERSIONS}")
     if not isinstance(doc.get("bench"), str) or not doc["bench"]:
         return fail(path, "missing/empty 'bench' name")
     rows = doc.get("rows")
@@ -87,6 +96,26 @@ def validate(path):
                 return fail(path, f"{where}.lock_windows[{w}] malformed")
             if win["end"] < win["start"]:
                 return fail(path, f"{where}.lock_windows[{w}] end < start")
+            if version >= 3:
+                missing = [k for k in V3_WINDOW_KEYS if k not in win]
+                if missing:
+                    return fail(path, f"{where}.lock_windows[{w}] missing "
+                                      f"v3 keys {missing}")
+                if win["goodput"] < 0 or win["completed"] < 0:
+                    return fail(path, f"{where}.lock_windows[{w}] "
+                                      f"negative completed/goodput")
+
+        if version >= 3:
+            faults = row.get("faults")
+            if not isinstance(faults, dict) or not require(
+                    faults, FAULTS_KEYS, path, f"{where}.faults"):
+                return fail(path, f"{where}.faults missing or malformed")
+            if not isinstance(faults["plan"], str):
+                return fail(path, f"{where}.faults.plan is not a string")
+            if bool(faults["armed"]) != bool(faults["plan"]):
+                return fail(path, f"{where}.faults: armed="
+                                  f"{faults['armed']!r} inconsistent with "
+                                  f"plan {faults['plan']!r}")
         for qname, samples in row["queue_timelines"].items():
             ticks = [s[0] for s in samples]
             if ticks != sorted(ticks):
