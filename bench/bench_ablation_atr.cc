@@ -35,7 +35,7 @@ main(int argc, char **argv)
         cfg.concurrencyPerCore = args.quick ? 100 : 250;
         cfg.warmupSec = args.quick ? 0.02 : 0.04;
         cfg.measureSec = args.quick ? 0.04 : 0.1;
-        args.applyFaults(cfg);
+        args.apply(cfg);
         ExperimentResult r = runExperiment(cfg);
         json.addRow("rate-1/" + std::to_string(sample_rate) + "-table-" +
                         std::to_string(table_size),

@@ -44,7 +44,7 @@ main(int argc, char **argv)
     BenchJsonReport json("ablation_ehash");
     for (int buckets : {64, 1024, 16384}) {
         ExperimentConfig cfg = base_cfg(buckets, false);
-        args.applyFaults(cfg);
+        args.apply(cfg);
         ExperimentResult r = runExperiment(cfg);
         json.addRow("global-" + std::to_string(buckets), cfg, r);
         table.row({"global, " + std::to_string(buckets) + " buckets",
@@ -54,7 +54,7 @@ main(int argc, char **argv)
     }
     {
         ExperimentConfig cfg = base_cfg(16384, true);
-        args.applyFaults(cfg);
+        args.apply(cfg);
         ExperimentResult r = runExperiment(cfg);
         json.addRow("per-core-local", cfg, r);
         table.row({"per-core local tables",

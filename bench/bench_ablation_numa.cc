@@ -44,7 +44,7 @@ main(int argc, char **argv)
                 cfg.concurrencyPerCore = args.quick ? 100 : 300;
                 cfg.warmupSec = args.quick ? 0.02 : 0.04;
                 cfg.measureSec = args.quick ? 0.04 : 0.1;
-                args.applyFaults(cfg);
+                args.apply(cfg);
                 ExperimentResult r = runExperiment(cfg);
                 json.addRow(std::string(kname) + "@" +
                                 std::to_string(cores) +

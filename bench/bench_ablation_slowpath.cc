@@ -35,7 +35,7 @@ main(int argc, char **argv)
         cfg.warmupSec = args.quick ? 0.02 : 0.04;
         cfg.measureSec = args.quick ? 0.05 : 0.1;
 
-        args.applyFaults(cfg);
+        args.apply(cfg);
         Testbed bed(cfg);
         for (int p = 0; p < killed; ++p)
             bed.machine().kernel().killProcess(p);

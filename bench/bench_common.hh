@@ -16,17 +16,25 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "fault/fault_plan.hh"
 #include "harness/bench_json.hh"
 #include "harness/experiment.hh"
+#include "overload/overload_config.hh"
 #include "stats/stats.hh"
 #include "stats/table.hh"
 
 namespace fsim
 {
 
-/** Parse shared bench flags. */
+/**
+ * Parse shared bench flags.
+ *
+ * All flag handling lives here so a new shared flag lands in every bench
+ * at once; bench-specific flags are consumed from `extra` (see
+ * extraFlag/extraValue) instead of each bench re-walking argv.
+ */
 struct BenchArgs
 {
     bool quick = false;
@@ -35,6 +43,11 @@ struct BenchArgs
     std::string jsonPath;   //!< --json=<path>; empty = no export
     std::string faultsSpec; //!< --faults=<plan>; raw text for the report
     FaultPlan faults;       //!< parsed --faults plan (empty = none)
+    std::string overloadSpec;   //!< --overload=<spec>; raw text
+    OverloadConfig overload;    //!< parsed --overload knobs
+    std::uint64_t seed = 0;     //!< --seed=<n>; 0 = bench default
+    /** Arguments no shared flag matched (bench-specific flags). */
+    std::vector<std::string> extra;
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -49,6 +62,8 @@ struct BenchArgs
                 a.fingerprint = true;
             else if (!std::strncmp(argv[i], "--json=", 7))
                 a.jsonPath = argv[i] + 7;
+            else if (!std::strncmp(argv[i], "--seed=", 7))
+                a.seed = std::strtoull(argv[i] + 7, nullptr, 10);
             else if (!std::strncmp(argv[i], "--faults=", 9)) {
                 a.faultsSpec = argv[i] + 9;
                 std::string err;
@@ -61,9 +76,64 @@ struct BenchArgs
                                  "atr_shrink\n");
                     std::exit(2);
                 }
+            } else if (!std::strncmp(argv[i], "--overload=", 11)) {
+                a.overloadSpec = argv[i] + 11;
+                std::string err;
+                if (!parseOverloadSpec(a.overloadSpec, a.overload,
+                                       err)) {
+                    std::fprintf(stderr, "--overload: %s\n",
+                                 err.c_str());
+                    std::fprintf(stderr,
+                                 "keys: budget, gate, deadline_ms, "
+                                 "deadline_us, cap, brownout, "
+                                 "brownout_bytes, brownout_divisor, "
+                                 "health_bytes, high, critical, low\n");
+                    std::exit(2);
+                }
+            } else {
+                a.extra.push_back(argv[i]);
             }
         }
         return a;
+    }
+
+    /** Bench-specific boolean flag, e.g. extraFlag("--nofaults"). */
+    bool
+    extraFlag(const char *name) const
+    {
+        for (const std::string &e : extra)
+            if (e == name)
+                return true;
+        return false;
+    }
+
+    /** Bench-specific value flag, e.g. extraValue("--runs=", out). */
+    bool
+    extraValue(const char *prefix, std::string &out) const
+    {
+        std::size_t n = std::strlen(prefix);
+        bool found = false;
+        for (const std::string &e : extra)
+            if (!e.compare(0, n, prefix)) {
+                out = e.substr(n);
+                found = true;   // last occurrence wins, like argv scans
+            }
+        return found;
+    }
+
+    /**
+     * Apply every shared knob to one experiment config: the fault plan,
+     * the overload spec, and the seed override. Call once per row after
+     * the bench's own config is final.
+     */
+    void
+    apply(ExperimentConfig &cfg) const
+    {
+        applyFaults(cfg);
+        if (!overloadSpec.empty())
+            cfg.machine.overload = overload;
+        if (seed != 0)
+            cfg.machine.seed = seed;
     }
 
     /**
@@ -116,6 +186,49 @@ finishJson(const BenchArgs &args, const BenchJsonReport &report)
     else
         std::fprintf(stderr, "error: could not write %s\n",
                      args.jsonPath.c_str());
+}
+
+/**
+ * Exact command that reruns a failing row's configuration: shared flags,
+ * the row's seed, and its fault/overload specs. Gate-enforcing benches
+ * print this next to every FAIL so a failure is reproducible without
+ * reverse-engineering the row from the bench source.
+ */
+inline std::string
+reproducerCommand(const char *bench, const BenchArgs &args,
+                  const ExperimentConfig &cfg)
+{
+    std::string cmd = "./bench/";
+    cmd += bench;
+    if (args.quick)
+        cmd += " --quick";
+    if (!args.trace)
+        cmd += " --notrace";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " --seed=%llu",
+                  static_cast<unsigned long long>(cfg.machine.seed));
+    cmd += buf;
+    std::string plan = serializeFaultPlan(cfg.faults);
+    if (!plan.empty())
+        cmd += " '--faults=" + plan + "'";
+    std::string ospec = serializeOverloadSpec(cfg.machine.overload);
+    if (!ospec.empty())
+        cmd += " '--overload=" + ospec + "'";
+    return cmd;
+}
+
+/** Print one gate failure with seed, specs, and the reproducer line. */
+inline void
+printGateFailure(const char *bench, const BenchArgs &args,
+                 const ExperimentConfig &cfg, const std::string &what)
+{
+    std::printf("  FAIL: %s\n", what.c_str());
+    std::printf("    seed=%llu faults=\"%s\" overload=\"%s\"\n",
+                static_cast<unsigned long long>(cfg.machine.seed),
+                serializeFaultPlan(cfg.faults).c_str(),
+                serializeOverloadSpec(cfg.machine.overload).c_str());
+    std::printf("    reproduce: %s\n",
+                reproducerCommand(bench, args, cfg).c_str());
 }
 
 /** The three kernels Figure 4 compares. */

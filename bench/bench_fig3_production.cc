@@ -64,7 +64,7 @@ main(int argc, char **argv)
         cfg.machine.cores = 8;
         cfg.machine.kernel = srv.kernel;
         cfg.backendCount = 8;
-        args.applyFaults(cfg);
+        args.apply(cfg);
         Testbed bed(cfg);
         bed.load().startOpenLoop(peak_rate * kDiurnal[0]);
 

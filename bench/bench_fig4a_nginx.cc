@@ -42,7 +42,7 @@ main(int argc, char **argv)
             cfg.concurrencyPerCore = args.quick ? 150 : 400;
             cfg.warmupSec = args.quick ? 0.02 : 0.05;
             cfg.measureSec = args.quick ? 0.05 : 0.15;
-            args.applyFaults(cfg);
+            args.apply(cfg);
             ExperimentResult r = runExperiment(cfg);
             json.addRow(std::string(kKernels[k].name) + "@" +
                             std::to_string(cores),
@@ -68,7 +68,7 @@ main(int argc, char **argv)
         cfg.concurrencyPerCore = args.quick ? 150 : 400;
         cfg.warmupSec = args.quick ? 0.02 : 0.05;
         cfg.measureSec = args.quick ? 0.05 : 0.15;
-        args.applyFaults(cfg);
+        args.apply(cfg);
         double at24 = runExperiment(cfg).cps;
         std::printf("  %-12s %5.1fx   (paper: base 7.5x, 3.13 ~12x, "
                     "fastsocket 20.0x)\n",

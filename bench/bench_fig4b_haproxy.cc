@@ -39,7 +39,7 @@ main(int argc, char **argv)
             cfg.backendCount = 16;
             cfg.warmupSec = args.quick ? 0.02 : 0.05;
             cfg.measureSec = args.quick ? 0.05 : 0.15;
-            args.applyFaults(cfg);
+            args.apply(cfg);
             ExperimentResult r = runExperiment(cfg);
             json.addRow(std::string(kKernels[k].name) + "@" +
                             std::to_string(cores),

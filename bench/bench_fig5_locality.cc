@@ -71,7 +71,7 @@ main(int argc, char **argv)
         cfg.concurrencyPerCore = args.quick ? 150 : 400;
         cfg.warmupSec = args.quick ? 0.02 : 0.06;
         cfg.measureSec = args.quick ? 0.05 : 0.15;
-        args.applyFaults(cfg);
+        args.apply(cfg);
         ExperimentResult r = runExperiment(cfg);
         json.addRow(c.name, cfg, r);
 

@@ -41,7 +41,7 @@ main(int argc, char **argv)
             cfg.concurrencyPerCore = args.quick ? 100 : 250;
             cfg.warmupSec = args.quick ? 0.02 : 0.04;
             cfg.measureSec = args.quick ? 0.05 : 0.12;
-            args.applyFaults(cfg);
+            args.apply(cfg);
             ExperimentResult r = runExperiment(cfg);
             json.addRow(std::string(k == 0 ? "base-2.6.32" : "fastsocket") +
                             "-reqs-" + std::to_string(reqs),

@@ -39,7 +39,7 @@ main(int argc, char **argv)
         cfg.warmupSec = args.quick ? 0.02 : 0.05;
         cfg.measureSec = args.quick ? 0.05 : 0.15;
         cfg.statWindows = 5;
-        args.applyFaults(cfg);
+        args.apply(cfg);
         ExperimentResult r = runExperiment(cfg);
         json.addRow(k.name, cfg, r);
 

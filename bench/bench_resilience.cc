@@ -157,7 +157,7 @@ main(int argc, char **argv)
             if (sc.backendRetry)
                 cfg.backendTimeout = ticksFromUsec(10000);
             if (userPlan)
-                args.applyFaults(cfg);
+                args.apply(cfg);
 
             Testbed bed(cfg);
             ExperimentResult r = bed.run();
@@ -198,18 +198,24 @@ main(int argc, char **argv)
                         100.0 * ratio, r.invariants.summary().c_str());
 
             if (r.invariants.violationCount > 0) {
-                std::printf("  FAIL: invariant violations\n");
+                printGateFailure("bench_resilience", args, cfg,
+                                 "invariant violations: " +
+                                     r.invariants.summary());
                 rc = 1;
             }
             if (!userPlan) {
+                char msg[128];
                 if (ratio < 0.9) {
-                    std::printf("  FAIL: post-fault goodput %.0f%% of "
-                                "pre-fault (< 90%%)\n", 100.0 * ratio);
+                    std::snprintf(msg, sizeof(msg),
+                                  "post-fault goodput %.0f%% of "
+                                  "pre-fault (< 90%%)", 100.0 * ratio);
+                    printGateFailure("bench_resilience", args, cfg, msg);
                     rc = 1;
                 }
                 if (sc.duringNonzero && during <= 0.0) {
-                    std::printf("  FAIL: goodput hit zero during the "
-                                "fault window\n");
+                    printGateFailure("bench_resilience", args, cfg,
+                                     "goodput hit zero during the "
+                                     "fault window");
                     rc = 1;
                 }
             }

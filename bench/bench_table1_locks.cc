@@ -81,7 +81,7 @@ main(int argc, char **argv)
         // Four sub-windows expose how contention evolves inside the
         // measurement window.
         cfg.statWindows = 4;
-        args.applyFaults(cfg);
+        args.apply(cfg);
         Testbed bed(cfg);
         results.push_back(bed.run());
         json.addRow(s.name, cfg, results.back());
@@ -121,7 +121,7 @@ main(int argc, char **argv)
         cfg.app = AppKind::kHaproxy;
         cfg.machine.cores = 8;
         cfg.machine.kernel = KernelConfig::base2632();
-        args.applyFaults(cfg);
+        args.apply(cfg);
         Testbed bed(cfg);
         // Open-loop partial load, like the production traffic sample.
         bed.load().startOpenLoop(75000.0);

@@ -30,6 +30,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench_common.hh"
 #include "check/differential.hh"
 
 namespace
@@ -67,21 +68,24 @@ main(int argc, char **argv)
 {
     using namespace fsim;
 
+    // Shared flags (--seed) come from BenchArgs; oracle-specific flags
+    // are consumed from its leftover-argument list.
+    BenchArgs args = BenchArgs::parse(argc, argv);
     DifferentialWorkload wl;
     std::string app = "both";
-    bool faults = true;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strncmp(argv[i], "--cores=", 8))
-            wl.cores = std::atoi(argv[i] + 8);
-        else if (!std::strncmp(argv[i], "--conns=", 8))
-            wl.maxConns = std::strtoull(argv[i] + 8, nullptr, 10);
-        else if (!std::strncmp(argv[i], "--seed=", 7))
-            wl.seed = std::strtoull(argv[i] + 7, nullptr, 10);
-        else if (!std::strncmp(argv[i], "--app=", 6))
-            app = argv[i] + 6;
-        else if (!std::strcmp(argv[i], "--nofaults"))
-            faults = false;
-        else {
+    bool faults = !args.extraFlag("--nofaults");
+    if (args.seed != 0)
+        wl.seed = args.seed;
+    std::string v;
+    if (args.extraValue("--cores=", v))
+        wl.cores = std::atoi(v.c_str());
+    if (args.extraValue("--conns=", v))
+        wl.maxConns = std::strtoull(v.c_str(), nullptr, 10);
+    if (args.extraValue("--app=", v))
+        app = v;
+    for (const std::string &e : args.extra) {
+        if (e != "--nofaults" && e.compare(0, 8, "--cores=") &&
+            e.compare(0, 8, "--conns=") && e.compare(0, 6, "--app=")) {
             std::fprintf(stderr,
                          "usage: %s [--cores=N] [--conns=N] [--seed=S] "
                          "[--app=nginx|haproxy|both] [--nofaults]\n",

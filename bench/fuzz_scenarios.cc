@@ -20,6 +20,7 @@
 #include <sstream>
 #include <string>
 
+#include "bench_common.hh"
 #include "check/scenario.hh"
 
 namespace
@@ -65,20 +66,23 @@ main(int argc, char **argv)
 {
     using namespace fsim;
 
+    // Shared flags (--seed) come from BenchArgs; fuzzer-specific flags
+    // are consumed from its leftover-argument list.
+    BenchArgs args = BenchArgs::parse(argc, argv);
     int runs = 50;
-    std::uint64_t seed = 1;
+    std::uint64_t seed = args.seed != 0 ? args.seed : 1;
     std::string outDir = ".";
     std::string replayPath;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strncmp(argv[i], "--runs=", 7))
-            runs = std::atoi(argv[i] + 7);
-        else if (!std::strncmp(argv[i], "--seed=", 7))
-            seed = std::strtoull(argv[i] + 7, nullptr, 10);
-        else if (!std::strncmp(argv[i], "--out=", 6))
-            outDir = argv[i] + 6;
-        else if (!std::strncmp(argv[i], "--replay=", 9))
-            replayPath = argv[i] + 9;
-        else {
+    std::string v;
+    if (args.extraValue("--runs=", v))
+        runs = std::atoi(v.c_str());
+    if (args.extraValue("--out=", v))
+        outDir = v;
+    if (args.extraValue("--replay=", v))
+        replayPath = v;
+    for (const std::string &e : args.extra) {
+        if (e.compare(0, 7, "--runs=") && e.compare(0, 6, "--out=") &&
+            e.compare(0, 9, "--replay=")) {
             std::fprintf(stderr,
                          "usage: %s [--runs=N] [--seed=S] [--out=DIR] "
                          "[--replay=FILE]\n",

@@ -13,6 +13,31 @@ AppBase::AppBase(Machine &m)
 AppBase::~AppBase() = default;
 
 void
+AppBase::setAdmission(AdmissionController *adm, const OverloadConfig *cfg)
+{
+    adm_ = adm;
+    admCfg_ = cfg;
+}
+
+bool
+AppBase::connDegraded(int proc, int fd) const
+{
+    auto it = admState_.find(admKey(proc, fd));
+    return it != admState_.end() && it->second;
+}
+
+void
+AppBase::admRelease(int proc, int fd)
+{
+    auto it = admState_.find(admKey(proc, fd));
+    if (it == admState_.end())
+        return;
+    admState_.erase(it);
+    if (adm_)
+        adm_->release(proc);
+}
+
+void
 AppBase::start()
 {
     KernelStack &k = m_.kernel();
@@ -123,6 +148,35 @@ AppBase::runLoop(std::size_t idx, Tick start)
                 if (!r.sock) {
                     ps.deferredAccept.erase(fd);
                     break;
+                }
+                if (adm_ && adm_->enabled()) {
+                    // Health/control flows carry the packet priority
+                    // mark end to end; the SYN inherited it into the
+                    // TCB, so classification needs no payload peeking.
+                    AdmitClass cls = r.sock->prio
+                                         ? AdmitClass::kHealth
+                                         : AdmitClass::kNormal;
+                    AdmitDecision dec = adm_->decide(ps.proc, cls,
+                                                     r.sojourn);
+                    if (dec == AdmitDecision::kShed) {
+                        ++shedConns_;
+                        m_.tracer().emit(
+                            ps.core, TraceEventType::kAdmissionShed, t,
+                            static_cast<std::uint32_t>(ps.proc),
+                            static_cast<std::uint16_t>(cls));
+                        t = k.close(ps.proc, t, r.fd);
+                        if (i == kAcceptBatch - 1) {
+                            ps.deferredAccept.insert(fd);
+                            wake(ps.proc);
+                        }
+                        continue;
+                    }
+                    admState_[admKey(ps.proc, r.fd)] =
+                        (dec == AdmitDecision::kDegrade);
+                    if (dec == AdmitDecision::kDegrade)
+                        m_.tracer().emit(
+                            ps.core, TraceEventType::kAdmissionDegrade, t,
+                            static_cast<std::uint32_t>(ps.proc));
                 }
                 t = onAccepted(ps, r.fd, t);
                 // The request may have raced ahead of accept(); serve

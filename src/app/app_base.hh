@@ -8,10 +8,12 @@
 #ifndef FSIM_APP_APP_BASE_HH
 #define FSIM_APP_APP_BASE_HH
 
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "app/machine.hh"
+#include "overload/admission.hh"
 #include "sim/types.hh"
 
 namespace fsim
@@ -39,8 +41,20 @@ class AppBase
     void setAcceptMutex(bool on) { acceptMutex_ = on; }
     bool acceptMutex() const { return acceptMutex_; }
 
+    /**
+     * Arm the admission controller: every accepted connection is run
+     * through @p adm before being served, and shed connections are
+     * closed immediately without a response. Both pointers must outlive
+     * the app; pass null to disarm.
+     */
+    void setAdmission(AdmissionController *adm, const OverloadConfig *cfg);
+
     /** Requests fully served (response written). */
     std::uint64_t served() const { return served_; }
+    /** Subset of served() answered with the degraded brownout page. */
+    std::uint64_t servedDegraded() const { return servedDegraded_; }
+    /** Connections closed by the admission controller without service. */
+    std::uint64_t shedConns() const { return shedConns_; }
 
     Machine &machine() { return m_; }
 
@@ -70,11 +84,35 @@ class AppBase
     void wake(int proc, bool remote = false);
     Tick runLoop(std::size_t idx, Tick start);
 
+    /** Was this admitted connection marked for brownout service? */
+    bool connDegraded(int proc, int fd) const;
+    /**
+     * Forget an admitted connection and return its worker slot to the
+     * admission controller. Subclasses must call this on every path
+     * that closes a client connection; no-op for unadmitted fds.
+     */
+    void admRelease(int proc, int fd);
+
     Machine &m_;
     std::vector<ProcState> procs_;
     std::uint64_t served_ = 0;
+    std::uint64_t servedDegraded_ = 0;
+    std::uint64_t shedConns_ = 0;
     bool acceptMutex_ = false;
     std::size_t mutexHolder_ = 0;
+
+    AdmissionController *adm_ = nullptr;
+    const OverloadConfig *admCfg_ = nullptr;
+
+  private:
+    static std::uint64_t admKey(int proc, int fd)
+    {
+        return (static_cast<std::uint64_t>(proc) << 32) |
+               static_cast<std::uint32_t>(fd);
+    }
+
+    /** (proc,fd) -> degraded flag, for connections currently admitted. */
+    std::unordered_map<std::uint64_t, bool> admState_;
 };
 
 } // namespace fsim

@@ -1,5 +1,7 @@
 #include "app/http_load.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace fsim
@@ -91,6 +93,10 @@ HttpLoad::launch()
     conn.tx = FiveTuple{client, server, sport, cfg_.serverPort};
     conn.remaining = cfg_.requestsPerConn > 0 ? cfg_.requestsPerConn : 1;
     conn.epoch = nextEpoch_++;
+    conn.startTick = eq_.now();
+    conn.health =
+        cfg_.healthEvery > 0 &&
+        started_ % static_cast<std::uint64_t>(cfg_.healthEvery) == 0;
     std::uint64_t k = key(conn.tx.reversed());
     if (conns_.count(k)) {
         // Tuple still in flight (port space wrapped); just pick another.
@@ -100,6 +106,8 @@ HttpLoad::launch()
     auto emplaced = conns_.emplace(k, conn);
     Conn &c = emplaced.first->second;
     ++started_;
+    if (c.health)
+        ++healthStarted_;
 
     if (cfg_.timeout > 0) {
         std::uint64_t epoch = c.epoch;
@@ -128,6 +136,9 @@ HttpLoad::send(Conn &c, std::uint64_t k, std::uint8_t flags,
     pkt.connId = k;
     pkt.cookie = c.cookie;
     pkt.txSeq = c.txSeq++;
+    // Health probes mark their whole flow (DSCP/SO_PRIORITY analog) so
+    // kernel-level overload drops can spare them.
+    pkt.prio = c.health;
     wire_.transmit(pkt, eq_.now());
 }
 
@@ -156,7 +167,7 @@ HttpLoad::armRetx(std::uint64_t k, std::uint64_t epoch, State armed_state,
             send(c, k, kSyn, 0);
         } else {
             ++reqRetx_;
-            send(c, k, kAck | kPsh, cfg_.requestBytes);
+            send(c, k, kAck | kPsh, reqBytes(c));
         }
         Tick cap = cfg_.rtoMax > 0 ? cfg_.rtoMax : 8 * cfg_.rtoBase;
         Tick next = rto * 2 > cap ? cap : rto * 2;
@@ -167,7 +178,20 @@ HttpLoad::armRetx(std::uint64_t k, std::uint64_t epoch, State armed_state,
 void
 HttpLoad::finish(std::uint64_t k, bool ok)
 {
-    conns_.erase(k);
+    auto it = conns_.find(k);
+    if (it != conns_.end()) {
+        const Conn &c = it->second;
+        if (c.health) {
+            if (ok)
+                ++healthCompleted_;
+            else
+                ++healthFailed_;
+        }
+        if (ok)
+            latencySamples_.emplace_back(eq_.now(),
+                                         eq_.now() - c.startTick);
+        conns_.erase(it);
+    }
     if (ok)
         ++completed_;
     else
@@ -266,7 +290,7 @@ HttpLoad::onPacket(const Packet &pkt)
 void
 HttpLoad::sendRequest(Conn &c, std::uint64_t k)
 {
-    send(c, k, kAck | kPsh, cfg_.requestBytes);
+    send(c, k, kAck | kPsh, reqBytes(c));
     if (cfg_.rtoBase > 0)
         armRetx(k, c.epoch, State::kWaitResponse, c.rxResponses,
                 cfg_.rtoBase);
@@ -296,6 +320,37 @@ HttpLoad::requestThroughputSinceMark() const
     if (span <= 0.0)
         return 0.0;
     return static_cast<double>(responses_ - responsesAtMark_) / span;
+}
+
+Tick
+HttpLoad::latencyPercentileSinceMark(double p) const
+{
+    std::vector<Tick> lat;
+    for (const auto &s : latencySamples_)
+        if (s.first >= windowStart_)
+            lat.push_back(s.second);
+    if (lat.empty())
+        return 0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(lat.size() - 1) + 0.5);
+    std::nth_element(lat.begin(),
+                     lat.begin() + static_cast<std::ptrdiff_t>(idx),
+                     lat.end());
+    return lat[idx];
+}
+
+std::uint64_t
+HttpLoad::latencySamplesSinceMark() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : latencySamples_)
+        if (s.first >= windowStart_)
+            ++n;
+    return n;
 }
 
 } // namespace fsim

@@ -69,6 +69,15 @@ class HttpLoad
         /** Give up (connection fails) after this many retransmissions. */
         int maxRetx = 6;
         /** @} */
+
+        /** @name Health probes (0 = disabled) */
+        /** @{ */
+        /** Every Nth launched connection is a health probe. */
+        int healthEvery = 0;
+        /** Probe request payload; must be <= the server's configured
+         *  health_bytes so the admission controller classifies it. */
+        std::uint32_t healthRequestBytes = 32;
+        /** @} */
     };
 
     HttpLoad(EventQueue &eq, Wire &wire, const Config &cfg);
@@ -109,6 +118,19 @@ class HttpLoad
     double throughputSinceMark() const;
     /** Responses per simulated second since markWindow(). */
     double requestThroughputSinceMark() const;
+    /**
+     * Connect-to-last-byte latency percentile (0 < p <= 1) over
+     * connections completed since markWindow(); 0 if none completed.
+     */
+    Tick latencyPercentileSinceMark(double p) const;
+    /** Completed connections with a latency sample since markWindow(). */
+    std::uint64_t latencySamplesSinceMark() const;
+
+    /** @name Health-probe statistics */
+    /** @{ */
+    std::uint64_t healthStarted() const { return healthStarted_; }
+    std::uint64_t healthCompleted() const { return healthCompleted_; }
+    std::uint64_t healthFailed() const { return healthFailed_; }
     /** @} */
 
   private:
@@ -132,6 +154,8 @@ class HttpLoad
         std::uint32_t txSeq = 0;   //!< next transmit ordinal
         std::uint64_t rxResponses = 0; //!< progress marker for retx
         int retx = 0;              //!< retransmissions so far
+        bool health = false;       //!< health probe (tiny request)
+        Tick startTick = 0;        //!< launch time, for latency samples
     };
 
     static std::uint64_t key(const FiveTuple &rx);
@@ -178,6 +202,18 @@ class HttpLoad
     std::uint64_t retxGiveups_ = 0;
     std::uint64_t bytesReceived_ = 0;
     std::uint64_t nextEpoch_ = 1;
+    std::uint64_t healthStarted_ = 0;
+    std::uint64_t healthCompleted_ = 0;
+    std::uint64_t healthFailed_ = 0;
+
+    /** Per-conn request payload (health probes send the tiny one). */
+    std::uint32_t reqBytes(const Conn &c) const
+    {
+        return c.health ? cfg_.healthRequestBytes : cfg_.requestBytes;
+    }
+
+    /** (completion tick, connect-to-last-byte latency) per success. */
+    std::vector<std::pair<Tick, Tick>> latencySamples_;
 
     Tick windowStart_ = 0;
     std::uint64_t completedAtMark_ = 0;

@@ -30,6 +30,8 @@ Machine::Machine(EventQueue &eq, Wire &wire, const MachineConfig &cfg)
     nic_cfg.numQueues = cfg_.cores;
     nic_ = std::make_unique<Nic>(nic_cfg);
 
+    pressure_ = std::make_unique<PressureState>(cfg_.overload);
+
     KernelStack::Deps deps;
     deps.eq = &eq_;
     deps.cpu = cpu_.get();
@@ -40,6 +42,8 @@ Machine::Machine(EventQueue &eq, Wire &wire, const MachineConfig &cfg)
     deps.wire = &wire;
     deps.rng = &rng_;
     deps.tracer = tracer_.get();
+    deps.overload = &cfg_.overload;
+    deps.pressure = pressure_.get();
     kernel_ = std::make_unique<KernelStack>(deps, cfg_.kernel);
 
     for (int i = 0; i < cfg_.listenIps; ++i) {

@@ -18,6 +18,8 @@
 #include "kernel/kernel_stack.hh"
 #include "net/nic.hh"
 #include "net/wire.hh"
+#include "overload/overload_config.hh"
+#include "overload/pressure.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "sync/lock_registry.hh"
@@ -42,6 +44,8 @@ struct MachineConfig
     bool traceEnabled = true;
     /** Per-core trace ring capacity in events. */
     std::size_t traceRingCapacity = Tracer::kDefaultRingCapacity;
+    /** Overload-control knobs (src/overload); disabled by default. */
+    OverloadConfig overload;
 };
 
 /** One simulated server machine. */
@@ -63,6 +67,8 @@ class Machine
     Nic &nic() { return *nic_; }
     Rng &rng() { return rng_; }
     EventQueue &eventQueue() { return eq_; }
+    PressureState &pressure() { return *pressure_; }
+    const PressureState &pressure() const { return *pressure_; }
     const CycleCosts &costs() const { return costs_; }
     const MachineConfig &config() const { return cfg_; }
 
@@ -87,6 +93,7 @@ class Machine
     std::unique_ptr<CpuModel> cpu_;
     LockRegistry locks_;
     std::unique_ptr<Nic> nic_;
+    std::unique_ptr<PressureState> pressure_;
     std::unique_ptr<KernelStack> kernel_;
     std::vector<IpAddr> addrs_;
 

@@ -44,6 +44,7 @@ Proxy::closeSession(ProcState &ps, Session *s, Tick t)
     }
     if (s->clientFd >= 0) {
         sessions_.erase(skey(ps.proc, s->clientFd));
+        admRelease(ps.proc, s->clientFd);
         if (k.sockFromFd(ps.proc, s->clientFd))
             t = k.close(ps.proc, t, s->clientFd);
     }
@@ -228,7 +229,14 @@ Proxy::onConnReadable(ProcState &ps, int fd, Tick t)
         // passive close toward the backend (it FINed with the response),
         // active close toward the client.
         health_[s->backendIdx].consecFails = 0;
-        t = k.write(ps.proc, t, s->clientFd, responseBytes_);
+        std::uint32_t respBytes = responseBytes_;
+        if (connDegraded(ps.proc, s->clientFd)) {
+            // Brownout: relay a trimmed response to shed downstream work.
+            if (admCfg_)
+                respBytes = admCfg_->brownoutBytes;
+            ++servedDegraded_;
+        }
+        t = k.write(ps.proc, t, s->clientFd, respBytes);
         ++served_;
         return closeSession(ps, s, t);
     }

@@ -61,6 +61,11 @@ class Proxy : public AppBase
     }
     /** Sessions abandoned after exhausting retries. */
     std::uint64_t sessionFailures() const { return sessionFailures_; }
+    /** Is backend @p i currently ejected from the rotation? */
+    bool backendEjected(std::size_t i) const
+    {
+        return health_.at(i).ejected;
+    }
     /** @} */
 
   protected:

@@ -27,18 +27,31 @@ WebServer::onConnReadable(ProcState &ps, int fd, Tick t)
     t = r.t;
 
     if (r.bytes > 0) {
-        // Parse request + build response from the in-memory cache.
-        t += serviceCost();
-        t = k.write(ps.proc, t, fd, responseBytes_);
+        // Parse request + build response from the in-memory cache. Under
+        // brownout the degraded page is smaller and cheaper to build.
+        bool degraded = connDegraded(ps.proc, fd);
+        Tick cost = serviceCost();
+        std::uint32_t respBytes = responseBytes_;
+        if (degraded && admCfg_) {
+            cost /= admCfg_->brownoutCostDivisor;
+            respBytes = admCfg_->brownoutBytes;
+        }
+        t += cost;
+        t = k.write(ps.proc, t, fd, respBytes);
         ++served_;
+        if (degraded)
+            ++servedDegraded_;
         if (!keepAlive_) {
             // keep-alive off: active close right after the response.
+            admRelease(ps.proc, fd);
             t = k.close(ps.proc, t, fd);
         } else if (r.finSeen) {
+            admRelease(ps.proc, fd);
             t = k.close(ps.proc, t, fd);
         }
     } else if (r.finSeen) {
         // Client closed (keep-alive) or went away before the request.
+        admRelease(ps.proc, fd);
         t = k.close(ps.proc, t, fd);
     }
     return t;

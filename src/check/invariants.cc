@@ -2,9 +2,11 @@
 
 #include <cstdio>
 
+#include "app/app_base.hh"
 #include "app/http_load.hh"
 #include "app/machine.hh"
 #include "net/wire.hh"
+#include "overload/admission.hh"
 
 namespace fsim
 {
@@ -221,6 +223,82 @@ registerQuiesceInvariants(InvariantRegistry &reg, Machine &machine,
             return true;
         why = eqDetail("VFS live files after quiesce", vfs_live,
                        "listen-only baseline", baseline_files);
+        return false;
+    });
+}
+
+void
+registerOverloadInvariants(InvariantRegistry &reg,
+                           const AdmissionController &adm,
+                           Machine &machine, const AppBase &app)
+{
+    reg.add("admission-conservation", [&adm](Tick, std::string &why) {
+        std::uint64_t accounted = adm.admitted() + adm.degraded() +
+                                  adm.shed();
+        if (adm.offered() == accounted)
+            return true;
+        why = eqDetail("offered", adm.offered(),
+                       "admitted+degraded+shed", accounted);
+        return false;
+    });
+
+    reg.add("admission-inflight", [&adm](Tick, std::string &why) {
+        std::uint64_t entered = adm.admitted() + adm.degraded();
+        std::uint64_t accounted = adm.released() + adm.inflightTotal();
+        if (entered == accounted)
+            return true;
+        why = eqDetail("admitted+degraded", entered,
+                       "released+inflight", accounted);
+        return false;
+    });
+
+    reg.add("admission-release-underflow",
+            [&adm](Tick, std::string &why) {
+        if (adm.releaseUnderflows() == 0)
+            return true;
+        why = eqDetail("release underflows", adm.releaseUnderflows(),
+                       "expected", 0);
+        return false;
+    });
+
+    reg.add("admission-offered-accepts",
+            [&adm, &machine](Tick, std::string &why) {
+        const KernelStats &ks = machine.kernel().stats();
+        if (adm.offered() == ks.acceptedConns)
+            return true;
+        why = eqDetail("admission offered", adm.offered(),
+                       "kernel accepted", ks.acceptedConns);
+        return false;
+    });
+
+    reg.add("admission-app-shed", [&adm, &app](Tick, std::string &why) {
+        if (app.shedConns() == adm.shed())
+            return true;
+        why = eqDetail("app shed closes", app.shedConns(),
+                       "controller sheds", adm.shed());
+        return false;
+    });
+
+    reg.add("pressure-backlog-drops",
+            [&machine](Tick, std::string &why) {
+        const KernelStats &ks = machine.kernel().stats();
+        std::uint64_t ps = machine.pressure().backlogDrops();
+        if (ps == ks.backlogDropped)
+            return true;
+        why = eqDetail("pressure backlog drops", ps,
+                       "kernel backlogDropped", ks.backlogDropped);
+        return false;
+    });
+
+    reg.add("syn-gate-accounting", [&machine](Tick, std::string &why) {
+        // A disabled gate must never drop; the counter moving with the
+        // knob off would mean the gate check leaked into stock paths.
+        const KernelStats &ks = machine.kernel().stats();
+        if (machine.config().overload.synGate > 0 ||
+            ks.synGateDropped == 0)
+            return true;
+        why = eqDetail("SYN gate drops with gate disabled",
+                       ks.synGateDropped, "expected", 0);
         return false;
     });
 }

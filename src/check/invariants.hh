@@ -25,6 +25,8 @@
 namespace fsim
 {
 
+class AdmissionController;
+class AppBase;
 class Machine;
 class HttpLoad;
 class Wire;
@@ -130,6 +132,25 @@ void registerStandardInvariants(InvariantRegistry &reg, Machine &machine,
  */
 void registerQuiesceInvariants(InvariantRegistry &reg, Machine &machine,
                                HttpLoad &load);
+
+/**
+ * Register overload-control conservation checks (only meaningful when an
+ * admission controller is armed):
+ *
+ *  - admission-conservation: offered == admitted + degraded + shed
+ *  - admission-inflight: admitted + degraded == released + in-flight
+ *  - admission-release-underflow: no release() without an in-flight
+ *    connection
+ *  - admission-offered-accepts: every kernel-accepted connection went
+ *    through the admission gate (offered == KernelStats.acceptedConns)
+ *  - admission-app-shed: the app closed exactly the connections the
+ *    controller shed
+ *  - pressure-backlog-drops: PressureState and KernelStats agree on the
+ *    softirq-budget drop count
+ */
+void registerOverloadInvariants(InvariantRegistry &reg,
+                                const AdmissionController &adm,
+                                Machine &machine, const AppBase &app);
 
 } // namespace fsim
 

@@ -61,6 +61,13 @@ class Core
         return queues_[0].size() + queues_[1].size();
     }
 
+    /** Queued SoftIRQ tasks only (the netdev_max_backlog analogue the
+     *  overload subsystem budgets against). */
+    std::size_t softirqBacklog() const
+    {
+        return queues_[static_cast<int>(TaskPrio::kSoftIrq)].size();
+    }
+
   private:
     friend class CpuModel;
 

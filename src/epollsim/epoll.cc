@@ -52,6 +52,8 @@ EventPoll::wake(CoreId c, Tick t, int fd)
     if (!it->second) {
         it->second = true;
         ready_.push_back(fd);
+        if (ready_.size() > readyPeak_)
+            readyPeak_ = ready_.size();
         if (tracer_)
             tracer_->emit(c, TraceEventType::kEpollWake, end,
                           static_cast<std::uint32_t>(fd));

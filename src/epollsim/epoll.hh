@@ -64,6 +64,10 @@ class EventPoll
     std::size_t interestCount() const { return interest_.size(); }
     bool watching(int fd) const { return interest_.count(fd) != 0; }
 
+    /** Deepest the ready list ever got — a process-side pressure signal
+     *  (a worker whose ready list keeps growing is not keeping up). */
+    std::size_t readyPeak() const { return readyPeak_; }
+
   private:
     CacheModel &cache_;
     const CycleCosts &costs_;
@@ -74,6 +78,7 @@ class EventPoll
     /** fd -> currently linked on the ready list? */
     std::unordered_map<int, bool> interest_;
     std::deque<int> ready_;
+    std::size_t readyPeak_ = 0;
 };
 
 } // namespace fsim

@@ -249,32 +249,45 @@ serializeFaultPlan(const FaultPlan &plan)
         if (!s.empty())
             s += ";";
         s += faultKindName(e.kind);
-        s += "@" + numStr(e.startSec) + "-" + numStr(e.endSec);
+        s += '@';
+        s += numStr(e.startSec);
+        s += '-';
+        s += numStr(e.endSec);
         switch (e.kind) {
           case FaultKind::kLossBurst:
           case FaultKind::kReorder:
           case FaultKind::kDuplicate:
-            s += ":rate=" + numStr(e.rate);
-            if (e.kind == FaultKind::kReorder)
-                s += ",jitter=" + numStr(e.jitterUsec);
+            s += ":rate=";
+            s += numStr(e.rate);
+            if (e.kind == FaultKind::kReorder) {
+                s += ",jitter=";
+                s += numStr(e.jitterUsec);
+            }
             break;
           case FaultKind::kSynFlood:
-            s += ":rate=" + numStr(e.rate);
+            s += ":rate=";
+            s += numStr(e.rate);
             break;
           case FaultKind::kBackendSlow:
-            s += ":factor=" + numStr(e.factor) + ",target=" +
-                 std::to_string(e.target);
+            s += ":factor=";
+            s += numStr(e.factor);
+            s += ",target=";
+            s += std::to_string(e.target);
             break;
           case FaultKind::kBackendDown:
-            s += ":target=" + std::to_string(e.target);
+            s += ":target=";
+            s += std::to_string(e.target);
             break;
           case FaultKind::kAtrShrink:
-            s += ":size=" + std::to_string(e.tableSize);
+            s += ":size=";
+            s += std::to_string(e.tableSize);
             break;
         }
     }
-    if (plan.seed != FaultPlan{}.seed)
-        s += ";seed=" + std::to_string(plan.seed);
+    if (plan.seed != FaultPlan{}.seed) {
+        s += ";seed=";
+        s += std::to_string(plan.seed);
+    }
     return s;
 }
 

@@ -169,6 +169,40 @@ BenchJsonReport::str() const
                                    cfg.machine.kernel.synCookies);
         w.endObject();
 
+        const OverloadResult &ov = r.overload;
+        w.key("overload").beginObject();
+        w.key("enabled").value(ov.enabled);
+        w.key("spec").value(ov.spec);
+        w.key("offered").value(ov.offered);
+        w.key("admitted").value(ov.admitted);
+        w.key("degraded").value(ov.degraded);
+        w.key("shed").value(ov.shed);
+        w.key("shed_deadline").value(ov.shedDeadline);
+        w.key("shed_worker_cap").value(ov.shedWorkerCap);
+        w.key("shed_pressure").value(ov.shedPressure);
+        w.key("released").value(ov.released);
+        w.key("inflight").value(ov.inflight);
+        w.key("health_offered").value(ov.healthOffered);
+        w.key("health_admitted").value(ov.healthAdmitted);
+        w.key("served_degraded").value(ov.servedDegraded);
+        w.key("backlog_dropped").value(ov.backlogDropped);
+        w.key("syn_gate_dropped").value(ov.synGateDropped);
+        w.key("pressure_transitions").value(ov.pressureTransitions);
+        w.key("pressure_level").value(ov.pressureLevel);
+        w.key("pressure_peak").value(ov.pressurePeak);
+        w.key("softirq_depth_peak").value(ov.softirqDepthPeak);
+        w.key("accept_depth_peak").value(ov.acceptDepthPeak);
+        w.key("epoll_ready_peak").value(ov.epollReadyPeak);
+        w.key("latency_p50_ticks").value(static_cast<std::uint64_t>(
+            ov.latencyP50));
+        w.key("latency_p99_ticks").value(static_cast<std::uint64_t>(
+            ov.latencyP99));
+        w.key("latency_samples").value(ov.latencySamples);
+        w.key("health_probes_started").value(ov.healthProbesStarted);
+        w.key("health_probes_completed").value(ov.healthProbesCompleted);
+        w.key("health_probes_failed").value(ov.healthProbesFailed);
+        w.endObject();
+
         w.key("lock_windows").beginArray();
         for (const LockWindow &lw : r.lockWindows) {
             w.beginObject();

@@ -26,8 +26,10 @@ class BenchJsonReport
     /** Bump when the document layout changes incompatibly.
      *  v2: per-row "fingerprint" (hex string) and "invariants" object.
      *  v3: per-row "faults" block (armed fault plan) and per-window
-     *  "completed"/"goodput" + SYN-counter deltas in "lock_windows". */
-    static constexpr int kSchemaVersion = 3;
+     *  "completed"/"goodput" + SYN-counter deltas in "lock_windows".
+     *  v4: per-row "overload" block (admission counters, pressure
+     *  signals, latency percentiles). */
+    static constexpr int kSchemaVersion = 4;
 
     explicit BenchJsonReport(std::string bench_name);
 

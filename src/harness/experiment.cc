@@ -99,6 +99,16 @@ Testbed::Testbed(const ExperimentConfig &cfg)
     app_->setAcceptMutex(cfg_.acceptMutex);
     app_->start();
 
+    if (cfg_.machine.overload.enabled) {
+        // The controller reads the machine-owned PressureState; the app
+        // consults it once per accepted connection.
+        admission_ = std::make_unique<AdmissionController>(
+            machine_->config().overload, &machine_->pressure(),
+            machine_->numCores());
+        app_->setAdmission(admission_.get(),
+                           &machine_->config().overload);
+    }
+
     HttpLoad::Config lc;
     lc.serverAddrs = machine_->addrs();
     lc.serverPort = machine_->servicePort();
@@ -111,6 +121,9 @@ Testbed::Testbed(const ExperimentConfig &cfg)
     lc.rtoBase = cfg_.clientRtoBase;
     lc.rtoMax = cfg_.clientRtoMax;
     lc.maxRetx = cfg_.clientMaxRetx;
+    lc.healthEvery = cfg_.clientHealthEvery;
+    if (cfg_.machine.overload.healthRequestBytes > 0)
+        lc.healthRequestBytes = cfg_.machine.overload.healthRequestBytes;
     load_ = std::make_unique<HttpLoad>(*eq_, *wire_, lc);
 
     if (!cfg_.faults.empty()) {
@@ -127,8 +140,12 @@ Testbed::Testbed(const ExperimentConfig &cfg)
                 const_cast<Socket *>(s)->backlog = cfg_.listenBacklog;
     }
 
-    if (cfg_.checkLevel != CheckLevel::kOff)
+    if (cfg_.checkLevel != CheckLevel::kOff) {
         registerStandardInvariants(checks_, *machine_, *load_, *wire_);
+        if (admission_)
+            registerOverloadInvariants(checks_, *admission_, *machine_,
+                                       *app_);
+    }
 }
 
 Testbed::~Testbed() = default;
@@ -193,6 +210,30 @@ Testbed::currentFingerprint() const
     fp.mix(machine_->cpu().totalBusyTicks());
     fp.mix(machine_->cache().totalAccesses());
     fp.mix(machine_->cache().totalMisses());
+    // Overload-control state is simulated behavior too: a divergence in
+    // pressure transitions or admission decisions must flip the
+    // fingerprint even when the goodput happens to match.
+    fp.mix(ks.backlogDropped);
+    fp.mix(ks.synGateDropped);
+    fp.mix(machine_->pressure().transitions());
+    fp.mix(static_cast<std::uint64_t>(machine_->pressure().level()));
+    fp.mix(app_->servedDegraded());
+    fp.mix(app_->shedConns());
+    fp.mix(load_->healthStarted());
+    fp.mix(load_->healthCompleted());
+    fp.mix(load_->healthFailed());
+    if (admission_) {
+        fp.mix(admission_->offered());
+        fp.mix(admission_->admitted());
+        fp.mix(admission_->degraded());
+        fp.mix(admission_->shedDeadline());
+        fp.mix(admission_->shedWorkerCap());
+        fp.mix(admission_->shedPressure());
+        fp.mix(admission_->released());
+        fp.mix(admission_->healthOffered());
+        fp.mix(admission_->healthAdmitted());
+        fp.mix(admission_->releaseUnderflows());
+    }
     return fp.value();
 }
 
@@ -290,6 +331,44 @@ Testbed::collect()
 
     r.fingerprint = currentFingerprint();
     r.invariants = checks_.report();
+
+    // Overload-control block: admission run totals, pressure peaks, and
+    // the window's client-observed latency tail.
+    OverloadResult &ov = r.overload;
+    ov.enabled = cfg_.machine.overload.enabled;
+    ov.spec = serializeOverloadSpec(cfg_.machine.overload);
+    if (admission_) {
+        ov.offered = admission_->offered();
+        ov.admitted = admission_->admitted();
+        ov.degraded = admission_->degraded();
+        ov.shed = admission_->shed();
+        ov.shedDeadline = admission_->shedDeadline();
+        ov.shedWorkerCap = admission_->shedWorkerCap();
+        ov.shedPressure = admission_->shedPressure();
+        ov.released = admission_->released();
+        ov.inflight = admission_->inflightTotal();
+        ov.healthOffered = admission_->healthOffered();
+        ov.healthAdmitted = admission_->healthAdmitted();
+    }
+    ov.servedDegraded = app_->servedDegraded();
+    const PressureState &pr = machine_->pressure();
+    ov.backlogDropped = ks.backlogDropped;
+    ov.synGateDropped = ks.synGateDropped;
+    ov.pressureTransitions = pr.transitions();
+    ov.pressureLevel = static_cast<int>(pr.level());
+    ov.pressurePeak = static_cast<int>(pr.peakLevel());
+    ov.softirqDepthPeak = pr.softirqDepthPeak();
+    ov.acceptDepthPeak = pr.acceptDepthPeak();
+    for (int p = 0; p < machine_->numCores(); ++p) {
+        std::size_t rp = machine_->kernel().process(p).epoll->readyPeak();
+        ov.epollReadyPeak = std::max<std::uint64_t>(ov.epollReadyPeak, rp);
+    }
+    ov.latencyP50 = load_->latencyPercentileSinceMark(0.50);
+    ov.latencyP99 = load_->latencyPercentileSinceMark(0.99);
+    ov.latencySamples = load_->latencySamplesSinceMark();
+    ov.healthProbesStarted = load_->healthStarted();
+    ov.healthProbesCompleted = load_->healthCompleted();
+    ov.healthProbesFailed = load_->healthFailed();
     return r;
 }
 

@@ -23,6 +23,7 @@
 #include "fault/fault_injector.hh"
 #include "fault/fault_plan.hh"
 #include "kernel/kernel_config.hh"
+#include "overload/admission.hh"
 #include "sync/lock_registry.hh"
 #include "trace/trace_report.hh"
 
@@ -98,6 +99,14 @@ struct ExperimentConfig
      *  backend health ejection (haproxy app only). */
     Tick backendTimeout = 0;
     /** @} */
+
+    /** @name Overload control (src/overload) */
+    /** @{ */
+    /** Every Nth client connection is a tiny health probe (0 = none);
+     *  pair with machine.overload.healthRequestBytes so the server's
+     *  admission gate classifies them. */
+    int clientHealthEvery = 0;
+    /** @} */
 };
 
 /** Lock-stat deltas of one measurement sub-window. */
@@ -117,6 +126,53 @@ struct LockWindow
     std::uint64_t synCookiesSent = 0;
     std::uint64_t synCookiesValidated = 0;
     std::uint64_t acceptQueueRsts = 0;
+    /** @} */
+};
+
+/** Overload-control counters of one run (run totals, not deltas, except
+ *  the latency percentiles which cover the measurement window). */
+struct OverloadResult
+{
+    bool enabled = false;
+    /** Serialized OverloadConfig knobs ("" when disabled). */
+    std::string spec;
+
+    /** @name Admission (run totals) */
+    /** @{ */
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t shedDeadline = 0;
+    std::uint64_t shedWorkerCap = 0;
+    std::uint64_t shedPressure = 0;
+    std::uint64_t released = 0;
+    std::uint64_t inflight = 0;
+    std::uint64_t healthOffered = 0;
+    std::uint64_t healthAdmitted = 0;
+    std::uint64_t servedDegraded = 0;
+    /** @} */
+
+    /** @name Kernel + process pressure signals */
+    /** @{ */
+    std::uint64_t backlogDropped = 0;
+    std::uint64_t synGateDropped = 0;
+    std::uint64_t pressureTransitions = 0;
+    int pressureLevel = 0;       //!< final PressureLevel
+    int pressurePeak = 0;        //!< highest PressureLevel seen
+    std::uint64_t softirqDepthPeak = 0;
+    std::uint64_t acceptDepthPeak = 0;
+    std::uint64_t epollReadyPeak = 0;
+    /** @} */
+
+    /** @name Client-observed outcome (window-scoped latency) */
+    /** @{ */
+    Tick latencyP50 = 0;
+    Tick latencyP99 = 0;
+    std::uint64_t latencySamples = 0;
+    std::uint64_t healthProbesStarted = 0;
+    std::uint64_t healthProbesCompleted = 0;
+    std::uint64_t healthProbesFailed = 0;
     /** @} */
 };
 
@@ -166,6 +222,9 @@ struct ExperimentResult
     InvariantReport invariants;
     /** @} */
 
+    /** Overload-control signals (enabled=false when the run had none). */
+    OverloadResult overload;
+
     double maxUtil() const;
     double avgUtil() const;
     double minUtil() const;
@@ -189,6 +248,8 @@ class Testbed
     BackendPool *backends() { return backends_.get(); }
     FaultInjector *faults() { return faults_.get(); }
     InvariantRegistry &checks() { return checks_; }
+    /** Null unless cfg.machine.overload.enabled. */
+    AdmissionController *admission() { return admission_.get(); }
 
     /** Run warmup + measurement, return the measured window. */
     ExperimentResult run();
@@ -219,6 +280,7 @@ class Testbed
     std::unique_ptr<AppBase> app_;
     std::unique_ptr<HttpLoad> load_;
     std::unique_ptr<FaultInjector> faults_;
+    std::unique_ptr<AdmissionController> admission_;
     InvariantRegistry checks_;
 
     bool loadStarted_ = false;

@@ -476,11 +476,76 @@ KernelStack::packetArrived(const Packet &pkt)
 {
     int queue = d_.nic->classifyRx(pkt);
     CoreId core = queue;   // 1:1 IRQ affinity
+    // The budget refuses *new* work only: a dropped SYN costs the
+    // client one connection attempt, while a dropped request/ACK/FIN
+    // wedges a connection the kernel has already invested in (the
+    // client does not retransmit under give-up) — blind drops turn
+    // admitted work into waste precisely when cycles are scarcest.
+    if (pkt.has(kSyn) && !pkt.has(kAck) && !pkt.prio &&
+        softirqBudgetDrop(core))
+        return;
     Packet copy = pkt;
     d_.cpu->post(core, TaskPrio::kSoftIrq, [this, core, copy](Tick start) {
         Tick t = start + d_.costs->irqPerPacket;
         return netRx(core, copy, t, /*steered=*/false);
     });
+}
+
+bool
+KernelStack::softirqBudgetDrop(CoreId core)
+{
+    if (!d_.overload || !d_.overload->enabled ||
+        d_.overload->softirqBudget == 0)
+        return false;
+    std::size_t depth = d_.cpu->core(core).softirqBacklog();
+    if (d_.pressure)
+        d_.pressure->noteSoftirqDepth(depth);
+    if (depth < d_.overload->softirqBudget)
+        return false;
+    // netdev_max_backlog overflow: the packet dies at the NIC ring
+    // before any core cycle is charged. Bounding the SoftIRQ queue is
+    // what keeps packet processing from starving process context under
+    // sustained overload (receive livelock).
+    ++stats_.backlogDropped;
+    if (d_.pressure)
+        d_.pressure->noteBacklogDrop();
+    if (d_.tracer)
+        d_.tracer->emit(core, TraceEventType::kBacklogDrop,
+                        d_.eq->now(),
+                        static_cast<std::uint32_t>(depth));
+    return true;
+}
+
+bool
+KernelStack::synGateDrop(CoreId core, const Socket *listener)
+{
+    if (!d_.overload || !d_.overload->enabled ||
+        d_.overload->synGate == 0)
+        return false;
+    if (listener->acceptQueue.size() < d_.overload->synGate)
+        return false;
+    // The accept queue this SYN would eventually land on is already at
+    // the gate: refuse the connection *now*, before the handshake mints
+    // a TCB, a SYN queue slot, a SYN-ACK, and accept-path work. This is
+    // the receive-livelock defense — past saturation, the handshake
+    // cost of doomed connections is what starves the process context,
+    // and no app-level shed can recover cycles the kernel has already
+    // spent. The client sees silence, exactly like a listen-overflow
+    // drop.
+    ++stats_.synGateDropped;
+    if (d_.tracer)
+        d_.tracer->emit(core, TraceEventType::kSynGateDrop, d_.eq->now(),
+                        static_cast<std::uint32_t>(
+                            listener->acceptQueue.size()));
+    return true;
+}
+
+void
+KernelStack::noteAcceptOccupancy(const Socket *listener)
+{
+    if (d_.pressure)
+        d_.pressure->noteAcceptQueue(listener->acceptQueue.size(),
+                                     listener->backlog);
 }
 
 KernelStack::ListenLookup
@@ -564,6 +629,9 @@ KernelStack::netRx(CoreId core, const Packet &pkt, Tick t, bool steered)
             if (d_.tracer)
                 d_.tracer->emit(core, TraceEventType::kPacketSteered, t,
                                 static_cast<std::uint32_t>(target));
+            if (pkt.has(kSyn) && !pkt.has(kAck) && !pkt.prio &&
+                softirqBudgetDrop(target))
+                return t;
             Packet copy = pkt;
             d_.cpu->post(target, TaskPrio::kSoftIrq,
                          [this, target, copy](Tick start) {
@@ -658,6 +726,9 @@ KernelStack::handleSyn(CoreId core, const Packet &pkt, Tick t)
     Socket *listener = l.sock;
     listener->touch(core);
 
+    if (!pkt.prio && synGateDrop(core, listener))
+        return t;
+
     if (listener->synQueueLen >= cfg_.synBacklog) {
         if (!cfg_.synCookies) {
             // SYN queue full and no cookies: the kernel silently drops
@@ -694,6 +765,7 @@ KernelStack::handleSyn(CoreId core, const Packet &pkt, Tick t)
     conn->passive = true;
     conn->parentListen = listener;
     conn->timerCore = core;
+    conn->prio = pkt.prio;
     conn->touch(core);
     t += d_.costs->synProcess;
     t = listener->slock.runLocked(core, t, d_.costs->synQueueHold);
@@ -733,6 +805,7 @@ KernelStack::establishFromCookie(CoreId core, Socket *listener,
     conn->passive = true;
     conn->parentListen = listener;
     conn->timerCore = core;
+    conn->prio = pkt.prio;
     conn->touch(core);
     if (pkt.payload) {
         conn->rxPending += pkt.payload;
@@ -751,6 +824,7 @@ KernelStack::establishFromCookie(CoreId core, Socket *listener,
         ++stats_.acceptOverflows;
         ++stats_.acceptQueueRsts;
         ++stats_.rstSent;
+        noteAcceptOccupancy(listener);
         t += d_.costs->rstCost;
         Packet rst;
         rst.tuple = pkt.tuple.reversed();
@@ -758,7 +832,9 @@ KernelStack::establishFromCookie(CoreId core, Socket *listener,
         d_.wire->transmit(rst, t);
         return destroySocket(core, t, conn);
     }
+    conn->acceptEnqueueTick = t;
     listener->acceptQueue.push_back(conn);
+    noteAcceptOccupancy(listener);
     if (d_.tracer)
         d_.tracer->emit(
             core, TraceEventType::kQueueEnqueue, t,
@@ -873,6 +949,7 @@ KernelStack::handleEstablishedPacket(CoreId core, Socket *sock,
             ++stats_.acceptOverflows;
             ++stats_.acceptQueueRsts;
             ++stats_.rstSent;
+            noteAcceptOccupancy(listener);
             t += d_.costs->rstCost;
             Packet rst;
             rst.tuple = sock->rxTuple.reversed();
@@ -880,7 +957,9 @@ KernelStack::handleEstablishedPacket(CoreId core, Socket *sock,
             d_.wire->transmit(rst, t);
             return destroySocket(core, t, sock);
         }
+        sock->acceptEnqueueTick = t;
         listener->acceptQueue.push_back(sock);
+        noteAcceptOccupancy(listener);
         if (d_.tracer)
             d_.tracer->emit(
                 core, TraceEventType::kQueueEnqueue, t,
@@ -957,6 +1036,7 @@ KernelStack::accept(int proc, Tick t, int listen_fd)
         if (!global->acceptQueue.empty()) {
             conn = global->acceptQueue.front();
             global->acceptQueue.pop_front();
+            noteAcceptOccupancy(global);
             ++stats_.slowPathAccepts;
             if (d_.tracer)
                 d_.tracer->emit(
@@ -972,6 +1052,7 @@ KernelStack::accept(int proc, Tick t, int listen_fd)
         if (!lsock->acceptQueue.empty()) {
             conn = lsock->acceptQueue.front();
             lsock->acceptQueue.pop_front();
+            noteAcceptOccupancy(lsock);
             if (d_.tracer)
                 d_.tracer->emit(
                     core, TraceEventType::kQueueDequeue, t,
@@ -986,6 +1067,9 @@ KernelStack::accept(int proc, Tick t, int listen_fd)
     }
 
     conn->touch(core);
+    out.sojourn = t > conn->acceptEnqueueTick
+                      ? t - conn->acceptEnqueueTick
+                      : 0;
     t += d_.cache->access(core, conn->cacheObj, /*write=*/true,
                           d_.costs->tcbLines);
 

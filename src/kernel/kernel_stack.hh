@@ -28,6 +28,8 @@
 #include "kernel/timer_base.hh"
 #include "net/nic.hh"
 #include "net/wire.hh"
+#include "overload/overload_config.hh"
+#include "overload/pressure.hh"
 #include "sim/rng.hh"
 #include "tcp/established_table.hh"
 #include "tcp/listen_table.hh"
@@ -84,6 +86,15 @@ struct KernelStats
     std::uint64_t synRcvdReaped = 0;      //!< embryonic timeouts
     std::uint64_t acceptQueueRsts = 0;    //!< RSTs from accept overflow
     /** @} */
+
+    /** @name Overload pressure signals */
+    /** @{ */
+    /** Packets dropped by the per-core SoftIRQ backlog budget. */
+    std::uint64_t backlogDropped = 0;
+    /** Non-priority SYNs refused by the pressure-gated SYN ingress
+     *  (accept queue at OverloadConfig::synGate). */
+    std::uint64_t synGateDropped = 0;
+    /** @} */
 };
 
 /** The simulated kernel. */
@@ -103,6 +114,11 @@ class KernelStack
         Rng *rng;
         /** Optional observability hook; null disables kernel tracing. */
         Tracer *tracer = nullptr;
+        /** Optional overload knobs; null = stock behavior. */
+        const OverloadConfig *overload = nullptr;
+        /** Pressure sink the kernel feeds its overload signals into
+         *  (accept occupancy, budget drops); may be null. */
+        PressureState *pressure = nullptr;
     };
 
     KernelStack(const Deps &deps, const KernelConfig &cfg);
@@ -163,6 +179,9 @@ class KernelStack
         Socket *sock = nullptr;
         int fd = -1;
         Tick t = 0;
+        /** Ticks the connection waited in the accept queue (admission
+         *  deadline-shed signal; 0 when no socket was returned). */
+        Tick sojourn = 0;
     };
 
     /** Non-blocking accept() on listen fd @p listen_fd. */
@@ -226,6 +245,14 @@ class KernelStack
   private:
     /** SoftIRQ-context packet processing on @p core. */
     Tick netRx(CoreId core, const Packet &pkt, Tick t, bool steered);
+
+    /** True if the SoftIRQ backlog budget says to drop a packet bound
+     *  for @p core (accounts the drop and feeds the pressure state). */
+    bool softirqBudgetDrop(CoreId core);
+    bool synGateDrop(CoreId core, const Socket *listener);
+
+    /** Feed @p listener's accept-queue occupancy to the pressure sink. */
+    void noteAcceptOccupancy(const Socket *listener);
 
     Tick handleSyn(CoreId core, const Packet &pkt, Tick t);
     Tick handleEstablishedPacket(CoreId core, Socket *sock,

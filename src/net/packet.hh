@@ -70,6 +70,12 @@ struct Packet
     std::uint64_t connId = 0;    //!< debugging / endpoint matching aid
     std::uint32_t cookie = 0;    //!< SYN-cookie echo (0 = none)
     std::uint32_t txSeq = 0;     //!< per-connection transmit ordinal
+    /** Priority mark (the DSCP/SO_PRIORITY analog): health/control
+     *  flows set it on every packet so overload defenses that drop at
+     *  ingress — before any per-connection state exists — can still
+     *  spare them. Not part of the payload; wire-fault content hashes
+     *  ignore it. */
+    bool prio = false;
 
     bool has(TcpFlag f) const { return flags & f; }
     std::string str() const;

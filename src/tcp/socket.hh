@@ -112,6 +112,14 @@ struct Socket
     /** Next transmit ordinal stamped into outgoing packets (wire-fault
      *  decisions hash it so retransmissions draw independent fates). */
     std::uint32_t txSeqCounter = 0;
+    /** Tick at which this connection entered its listener's accept
+     *  queue; accept() derives the queue sojourn from it, which is the
+     *  signal the admission controller's deadline shed keys on. */
+    Tick acceptEnqueueTick = 0;
+    /** Flow carried the packet priority mark (health/control class);
+     *  inherited from the SYN so the admission controller can classify
+     *  the connection before any payload arrives. */
+    bool prio = false;
     /** @} */
 
     /** Per-socket lock (the paper's "slock" row). */

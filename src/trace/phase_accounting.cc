@@ -38,6 +38,11 @@ traceEventName(TraceEventType t)
       case TraceEventType::kPacketSteered:   return "packet_steered";
       case TraceEventType::kEpollWake:       return "epoll_wake";
       case TraceEventType::kAppWake:         return "app_wake";
+      case TraceEventType::kBacklogDrop:     return "backlog_drop";
+      case TraceEventType::kSynGateDrop:     return "syn_gate_drop";
+      case TraceEventType::kAdmissionShed:   return "admission_shed";
+      case TraceEventType::kAdmissionDegrade:
+                                             return "admission_degrade";
     }
     return "?";
 }

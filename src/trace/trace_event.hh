@@ -60,6 +60,10 @@ enum class TraceEventType : std::uint8_t
     kPacketSteered,      //!< RFD software steer, arg = target core
     kEpollWake,          //!< arg = fd made ready
     kAppWake,            //!< id = process, arg = 1 if remote wakeup
+    kBacklogDrop,        //!< SoftIRQ budget drop, arg = queue depth
+    kSynGateDrop,        //!< SYN ingress gate drop, arg = queue depth
+    kAdmissionShed,      //!< id = ShedReason, arg = worker
+    kAdmissionDegrade,   //!< brownout admission, arg = worker
 };
 
 /** Stable event-type name used by reports and the JSON exporter. */

@@ -150,9 +150,11 @@ TEST_F(OverflowFixture, FastsocketLocalListenOverflows)
     const KernelStats &ks = k.stats();
     EXPECT_GT(ks.acceptOverflows, 0u);
     EXPECT_EQ(ks.socketsCreated, ks.socketsDestroyed + k.liveSockets());
-    for (const Socket *s : k.allSockets())
-        if (s->kind == SockKind::kListen)
+    for (const Socket *s : k.allSockets()) {
+        if (s->kind == SockKind::kListen) {
             EXPECT_LE(s->acceptQueue.size(), s->backlog);
+        }
+    }
     (void)l0;
     (void)l1;
 }
@@ -183,9 +185,11 @@ TEST(TestbedOverflow, BacklogOverrideIsApplied)
     cfg.concurrencyPerCore = 10;
     cfg.listenBacklog = 7;
     Testbed bed(cfg);
-    for (const Socket *s : bed.machine().kernel().allSockets())
-        if (s->kind == SockKind::kListen)
+    for (const Socket *s : bed.machine().kernel().allSockets()) {
+        if (s->kind == SockKind::kListen) {
             EXPECT_EQ(s->backlog, 7u);
+        }
+    }
 }
 
 } // anonymous namespace

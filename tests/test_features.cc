@@ -62,8 +62,9 @@ TEST(RfdRule3, RandomizedBitsPreserveLocality)
     ExperimentResult r = bed.run();
     EXPECT_GT(r.served, 100u);
     for (const Socket *s : bed.machine().kernel().allSockets()) {
-        if (s->kind == SockKind::kConnection)
+        if (s->kind == SockKind::kConnection) {
             EXPECT_LE(s->touchedCount(), 1);
+        }
     }
 }
 

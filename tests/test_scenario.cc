@@ -25,12 +25,14 @@ TEST(Scenario, RandomScenariosAreValidByConstruction)
         EXPECT_GT(s.concurrencyPerCore, 0);
         EXPECT_GE(s.requestsPerConn, 1);
         EXPECT_LE(s.lossRate, 0.05);
-        if (s.lossRate > 0.0)
+        if (s.lossRate > 0.0) {
             EXPECT_GT(s.clientTimeoutSec, 0.0)
                 << "loss without a client timeout cannot drain";
-        if (s.localEstablished)
+        }
+        if (s.localEstablished) {
             EXPECT_TRUE(s.localListen && s.rfd)
                 << "feature lattice: E requires L and R";
+        }
         // Round-trip through the reproducer format.
         Scenario back;
         std::string err;

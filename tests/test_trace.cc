@@ -273,7 +273,7 @@ TEST(BenchJson, DocumentCarriesSchemaVersionAndRequiredKeys)
     std::string doc = report.str();
     // Golden schema: version stamp plus every top-level and per-row key
     // the downstream validator requires.
-    EXPECT_NE(doc.find("\"schema_version\":3"), std::string::npos);
+    EXPECT_NE(doc.find("\"schema_version\":4"), std::string::npos);
     EXPECT_NE(doc.find("\"bench\":\"unit_test\""), std::string::npos);
     for (const char *key :
          {"\"rows\"", "\"label\"", "\"config\"", "\"metrics\"",
@@ -292,6 +292,20 @@ TEST(BenchJson, DocumentCarriesSchemaVersionAndRequiredKeys)
           "\"syn_cookies\":false", "\"completed\"", "\"goodput\"",
           "\"syn_retransmits\"", "\"syn_cookies_sent\"",
           "\"syn_cookies_validated\"", "\"accept_queue_rsts\""})
+        EXPECT_NE(doc.find(key), std::string::npos) << key;
+    // v4: per-row overload block (disarmed here, so counters are zero
+    // but every key must still be present for the validator).
+    for (const char *key :
+         {"\"overload\"", "\"enabled\":false", "\"spec\":\"\"",
+          "\"offered\"", "\"admitted\"", "\"degraded\"", "\"shed\"",
+          "\"shed_deadline\"", "\"shed_worker_cap\"",
+          "\"shed_pressure\"", "\"released\"", "\"inflight\"",
+          "\"served_degraded\"", "\"backlog_dropped\"",
+          "\"syn_gate_dropped\"", "\"pressure_transitions\"",
+          "\"pressure_level\"", "\"pressure_peak\"",
+          "\"softirq_depth_peak\"", "\"accept_depth_peak\"",
+          "\"health_probes_started\"", "\"health_probes_completed\"",
+          "\"health_probes_failed\"", "\"latency_p99_ticks\""})
         EXPECT_NE(doc.find(key), std::string::npos) << key;
     // statWindows=2 produced two per-window lock-stat deltas.
     EXPECT_EQ(r.lockWindows.size(), 2u);

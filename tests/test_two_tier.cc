@@ -83,8 +83,9 @@ TEST(TwoTier, FastsocketInvariantsHoldOnBothTiers)
             EXPECT_EQ(cls->contentions, 0u)
                 << cls->name << " contended";
         for (const Socket *s : m->kernel().allSockets()) {
-            if (s->kind == SockKind::kConnection)
+            if (s->kind == SockKind::kConnection) {
                 EXPECT_LE(s->touchedCount(), 1);
+            }
         }
     }
 }

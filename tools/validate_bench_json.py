@@ -13,6 +13,10 @@ Checks (stdlib only, used by CI and by hand after editing the exporter):
   - (v3) per-row faults block is present and consistent (armed <=>
     non-empty plan) and lock windows carry completed/goodput plus the
     SYN-counter deltas
+  - (v4) per-row overload block is present and internally consistent:
+    enabled <=> non-empty spec, offered == admitted + degraded + shed,
+    the shed reasons decompose the total, admitted connections are all
+    released or in flight, and a disabled row sheds/drops nothing
 Exit status 0 iff every document passes.
 """
 
@@ -20,12 +24,27 @@ import json
 import re
 import sys
 
-KNOWN_SCHEMA_VERSIONS = (2, 3)
+KNOWN_SCHEMA_VERSIONS = (2, 3, 4)
 
 V3_WINDOW_KEYS = ("completed", "goodput", "syn_retransmits",
                   "syn_cookies_sent", "syn_cookies_validated",
                   "accept_queue_rsts")
 FAULTS_KEYS = ("plan", "armed", "syn_cookies")
+OVERLOAD_KEYS = ("enabled", "spec", "offered", "admitted", "degraded",
+                 "shed", "shed_deadline", "shed_worker_cap",
+                 "shed_pressure", "released", "inflight",
+                 "health_offered", "health_admitted", "served_degraded",
+                 "backlog_dropped", "syn_gate_dropped",
+                 "pressure_transitions", "pressure_level",
+                 "pressure_peak", "softirq_depth_peak",
+                 "accept_depth_peak", "epoll_ready_peak",
+                 "latency_p50_ticks", "latency_p99_ticks",
+                 "latency_samples", "health_probes_started",
+                 "health_probes_completed", "health_probes_failed")
+# Zero on a disabled row: no admission verdicts, no kernel gate drops.
+OVERLOAD_DISABLED_ZERO_KEYS = ("offered", "admitted", "degraded", "shed",
+                               "released", "inflight", "served_degraded",
+                               "backlog_dropped", "syn_gate_dropped")
 
 ROW_KEYS = ("label", "config", "metrics", "phases", "folded_stacks",
             "locks", "lock_windows", "queue_timelines", "trace",
@@ -116,6 +135,38 @@ def validate(path):
                 return fail(path, f"{where}.faults: armed="
                                   f"{faults['armed']!r} inconsistent with "
                                   f"plan {faults['plan']!r}")
+        if version >= 4:
+            ov = row.get("overload")
+            if not isinstance(ov, dict) or not require(
+                    ov, OVERLOAD_KEYS, path, f"{where}.overload"):
+                return fail(path, f"{where}.overload missing or malformed")
+            if not isinstance(ov["spec"], str):
+                return fail(path, f"{where}.overload.spec is not a string")
+            if bool(ov["enabled"]) != bool(ov["spec"]):
+                return fail(path, f"{where}.overload: enabled="
+                                  f"{ov['enabled']!r} inconsistent with "
+                                  f"spec {ov['spec']!r}")
+            if ov["offered"] != ov["admitted"] + ov["degraded"] + ov["shed"]:
+                return fail(path, f"{where}.overload: offered "
+                                  f"{ov['offered']} != admitted + degraded "
+                                  f"+ shed")
+            if ov["shed"] != (ov["shed_deadline"] + ov["shed_worker_cap"] +
+                              ov["shed_pressure"]):
+                return fail(path, f"{where}.overload: shed reasons do not "
+                                  f"decompose shed={ov['shed']}")
+            if (ov["admitted"] + ov["degraded"] !=
+                    ov["released"] + ov["inflight"]):
+                return fail(path, f"{where}.overload: admitted + degraded "
+                                  f"!= released + inflight")
+            if ov["health_admitted"] > ov["health_offered"]:
+                return fail(path, f"{where}.overload: health_admitted > "
+                                  f"health_offered")
+            if not ov["enabled"]:
+                dirty = [k for k in OVERLOAD_DISABLED_ZERO_KEYS if ov[k]]
+                if dirty:
+                    return fail(path, f"{where}.overload: disabled but "
+                                      f"non-zero {dirty}")
+
         for qname, samples in row["queue_timelines"].items():
             ticks = [s[0] for s in samples]
             if ticks != sorted(ticks):
