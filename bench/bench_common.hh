@@ -12,6 +12,7 @@
 #define FSIM_BENCH_BENCH_COMMON_HH
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +25,8 @@
 #include "overload/overload_config.hh"
 #include "stats/stats.hh"
 #include "stats/table.hh"
+#include "trace/perfetto_export.hh"
+#include "trace/span_forensics.hh"
 
 namespace fsim
 {
@@ -40,7 +43,9 @@ struct BenchArgs
     bool quick = false;
     bool trace = true;      //!< --notrace disables event/phase recording
     bool fingerprint = false;   //!< --fingerprint prints per-row hashes
+    bool forensics = false; //!< --forensics prints span-latency reports
     std::string jsonPath;   //!< --json=<path>; empty = no export
+    std::string perfettoPath;   //!< --perfetto=<path>; empty = none
     std::string faultsSpec; //!< --faults=<plan>; raw text for the report
     FaultPlan faults;       //!< parsed --faults plan (empty = none)
     std::string overloadSpec;   //!< --overload=<spec>; raw text
@@ -60,8 +65,12 @@ struct BenchArgs
                 a.trace = false;
             else if (!std::strcmp(argv[i], "--fingerprint"))
                 a.fingerprint = true;
+            else if (!std::strcmp(argv[i], "--forensics"))
+                a.forensics = true;
             else if (!std::strncmp(argv[i], "--json=", 7))
                 a.jsonPath = argv[i] + 7;
+            else if (!std::strncmp(argv[i], "--perfetto=", 11))
+                a.perfettoPath = argv[i] + 11;
             else if (!std::strncmp(argv[i], "--seed=", 7))
                 a.seed = std::strtoull(argv[i] + 7, nullptr, 10);
             else if (!std::strncmp(argv[i], "--faults=", 9)) {
@@ -134,6 +143,10 @@ struct BenchArgs
             cfg.machine.overload = overload;
         if (seed != 0)
             cfg.machine.seed = seed;
+        if (!trace)
+            cfg.machine.traceEnabled = false;
+        if (!perfettoPath.empty())
+            cfg.keepSpanTraces = true;
     }
 
     /**
@@ -166,6 +179,43 @@ struct BenchArgs
  * values, with or without --notrace) and write the JSON report when
  * --json was given.
  */
+/** "RFD+FDir_ATR" -> "rfd-fdir-atr" (per-row Perfetto file stems). */
+inline std::string
+sanitizeLabel(const std::string &label)
+{
+    std::string out;
+    for (char ch : label) {
+        if (std::isalnum(static_cast<unsigned char>(ch)))
+            out += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(ch)));
+        else if (!out.empty() && out.back() != '-')
+            out += '-';
+    }
+    while (!out.empty() && out.back() == '-')
+        out.pop_back();
+    return out.empty() ? "row" : out;
+}
+
+/** Per-row output path: base.json + "RSS" -> base.rss.json (single-row
+ *  reports keep the path untouched). */
+inline std::string
+perfettoRowPath(const std::string &base, const std::string &label,
+                std::size_t row_count)
+{
+    if (row_count <= 1)
+        return base;
+    std::size_t dot = base.rfind('.');
+    std::size_t slash = base.rfind('/');
+    std::string stem = base;
+    std::string ext;
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash)) {
+        stem = base.substr(0, dot);
+        ext = base.substr(dot);
+    }
+    return stem + "." + sanitizeLabel(label) + ext;
+}
+
 inline void
 finishJson(const BenchArgs &args, const BenchJsonReport &report)
 {
@@ -177,6 +227,50 @@ finishJson(const BenchArgs &args, const BenchJsonReport &report)
                         static_cast<unsigned long long>(
                             report.rowFingerprint(i)),
                         report.rowInvariants(i).summary().c_str());
+    }
+    if (args.forensics) {
+        for (std::size_t i = 0; i < report.rowCount(); ++i)
+            std::printf("%s", renderSpanForensics(
+                report.rowResult(i).spanForensics,
+                report.rowLabel(i)).c_str());
+    }
+    if (!args.perfettoPath.empty()) {
+        for (std::size_t i = 0; i < report.rowCount(); ++i) {
+            const ExperimentResult &r = report.rowResult(i);
+            if (!r.spanTraces) {
+                std::fprintf(stderr,
+                             "warning: --perfetto: row %s kept no span "
+                             "traces (tracing disabled?)\n",
+                             report.rowLabel(i).c_str());
+                continue;
+            }
+            const ExperimentConfig &cfg = report.rowConfig(i);
+            PerfettoMeta meta;
+            meta.bench = report.benchName();
+            meta.label = report.rowLabel(i);
+            meta.cores = cfg.machine.cores;
+            meta.rfd = cfg.machine.kernel.rfd;
+            std::string path = perfettoRowPath(args.perfettoPath,
+                                               report.rowLabel(i),
+                                               report.rowCount());
+            PerfettoStats st;
+            if (writePerfettoTrace(path, *r.spanTraces, meta, &st))
+                std::printf("wrote %s (%llu conns, %llu slices, "
+                            "%llu waits, %llu cross-core flows%s)\n",
+                            path.c_str(),
+                            static_cast<unsigned long long>(
+                                st.tracesExported),
+                            static_cast<unsigned long long>(
+                                st.durationEvents),
+                            static_cast<unsigned long long>(
+                                st.waitEvents),
+                            static_cast<unsigned long long>(
+                                st.flowPairs),
+                            st.truncated ? ", truncated" : "");
+            else
+                std::fprintf(stderr, "error: could not write %s\n",
+                             path.c_str());
+        }
     }
     if (args.jsonPath.empty())
         return;

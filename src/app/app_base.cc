@@ -164,6 +164,11 @@ AppBase::runLoop(std::size_t idx, Tick start)
                             ps.core, TraceEventType::kAdmissionShed, t,
                             static_cast<std::uint32_t>(ps.proc),
                             static_cast<std::uint16_t>(cls));
+                        if (m_.tracer().enabled())
+                            m_.tracer().connSpans().noteShed(
+                                r.sock->id,
+                                static_cast<std::uint8_t>(
+                                    adm_->lastShedReason()));
                         t = k.close(ps.proc, t, r.fd);
                         if (i == kAcceptBatch - 1) {
                             ps.deferredAccept.insert(fd);

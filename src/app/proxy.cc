@@ -168,7 +168,13 @@ Proxy::onBackendTimeout(std::uint64_t sid, Tick t)
         return closeSession(ps, s, t);
     }
     ++backendRetries_;
+    const Tick redisp_begin = t;
     t += serviceCost() / 2;   // re-dispatch decision
+    if (m_.tracer().enabled()) {
+        if (Socket *cs = k.sockFromFd(ps.proc, s->clientFd))
+            m_.tracer().connSpans().add(cs->id, ConnStage::kAppProcess,
+                                        ps.core, redisp_begin, t);
+    }
     return connectBackend(ps, s, t);
 }
 
@@ -200,7 +206,12 @@ Proxy::onConnReadable(ProcState &ps, int fd, Tick t)
         if (r.bytes > 0 && s->backendFd < 0) {
             // Got the request: pick a backend and connect (non-blocking).
             s->requestBytes = r.bytes;
+            const Tick proc_begin = t;
             t += serviceCost();
+            if (m_.tracer().enabled())
+                m_.tracer().connSpans().add(sock->id,
+                                            ConnStage::kAppProcess,
+                                            ps.core, proc_begin, t);
             return connectBackend(ps, s, t);
         } else if (r.finSeen && r.bytes == 0) {
             // Client hung up.

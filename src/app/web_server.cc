@@ -36,7 +36,11 @@ WebServer::onConnReadable(ProcState &ps, int fd, Tick t)
             cost /= admCfg_->brownoutCostDivisor;
             respBytes = admCfg_->brownoutBytes;
         }
+        const Tick proc_begin = t;
         t += cost;
+        if (m_.tracer().enabled())
+            m_.tracer().connSpans().add(sock->id, ConnStage::kAppProcess,
+                                        ps.core, proc_begin, t);
         t = k.write(ps.proc, t, fd, respBytes);
         ++served_;
         if (degraded)

@@ -38,6 +38,7 @@ EventPoll::ctlDel(CoreId c, Tick t, int fd)
                          ready_.end());
         interest_.erase(it);
     }
+    wakeTicks_.erase(fd);
     return end;
 }
 
@@ -54,11 +55,24 @@ EventPoll::wake(CoreId c, Tick t, int fd)
         ready_.push_back(fd);
         if (ready_.size() > readyPeak_)
             readyPeak_ = ready_.size();
-        if (tracer_)
+        if (tracer_ && tracer_->enabled()) {
             tracer_->emit(c, TraceEventType::kEpollWake, end,
                           static_cast<std::uint32_t>(fd));
+            wakeTicks_.emplace(fd, end);
+        }
     }
     return end;
+}
+
+Tick
+EventPoll::consumeWakeTick(int fd)
+{
+    auto it = wakeTicks_.find(fd);
+    if (it == wakeTicks_.end())
+        return 0;
+    Tick t = it->second;
+    wakeTicks_.erase(it);
+    return t;
 }
 
 Tick

@@ -68,6 +68,14 @@ class EventPoll
      *  (a worker whose ready list keeps growing is not keeping up). */
     std::size_t readyPeak() const { return readyPeak_; }
 
+    /**
+     * Tick of the earliest un-consumed wakeup on @p fd (0 = none), then
+     * forget it. Pure trace bookkeeping for the dispatch-latency span
+     * (wakeup -> the app's read syscall); never affects simulation
+     * state, and records nothing while tracing is disabled.
+     */
+    Tick consumeWakeTick(int fd);
+
   private:
     CacheModel &cache_;
     const CycleCosts &costs_;
@@ -79,6 +87,8 @@ class EventPoll
     std::unordered_map<int, bool> interest_;
     std::deque<int> ready_;
     std::size_t readyPeak_ = 0;
+    /** fd -> tick of its earliest pending wakeup (trace-only). */
+    std::unordered_map<int, Tick> wakeTicks_;
 };
 
 } // namespace fsim

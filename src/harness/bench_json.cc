@@ -71,6 +71,18 @@ BenchJsonReport::rowInvariants(std::size_t i) const
     return rows_.at(i).res.invariants;
 }
 
+const ExperimentConfig &
+BenchJsonReport::rowConfig(std::size_t i) const
+{
+    return rows_.at(i).cfg;
+}
+
+const ExperimentResult &
+BenchJsonReport::rowResult(std::size_t i) const
+{
+    return rows_.at(i).res;
+}
+
 std::string
 BenchJsonReport::str() const
 {
@@ -237,11 +249,67 @@ BenchJsonReport::str() const
         }
         w.endObject();
 
+        const SpanForensics &sf = r.spanForensics;
+        w.key("latency_stages").beginObject();
+        w.key("enabled").value(sf.enabled);
+        w.key("completed").value(sf.completed);
+        w.key("live").value(sf.live);
+        w.key("shed").value(sf.shed);
+        w.key("spans_recorded").value(sf.spansRecorded);
+        w.key("spans_dropped").value(sf.spansDropped);
+        w.key("traces_dropped").value(sf.tracesDropped);
+        w.key("dominant_tail_stage").value(sf.dominantTailStage);
+        w.key("stages").beginArray();
+        for (const StagePercentiles &sp : sf.stages) {
+            w.beginObject();
+            w.key("stage").value(connStageName(sp.stage));
+            w.key("count").value(sp.count);
+            w.key("p50").value(static_cast<std::uint64_t>(sp.p50));
+            w.key("p90").value(static_cast<std::uint64_t>(sp.p90));
+            w.key("p99").value(static_cast<std::uint64_t>(sp.p99));
+            w.key("p999").value(static_cast<std::uint64_t>(sp.p999));
+            w.key("max").value(static_cast<std::uint64_t>(sp.max));
+            w.key("total_ticks").value(sp.totalTicks);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("exemplars").beginArray();
+        for (const ExemplarBreakdown &ex : sf.exemplars) {
+            w.beginObject();
+            w.key("percentile").value(ex.percentile);
+            w.key("conn_id").value(ex.connId);
+            w.key("latency").value(static_cast<std::uint64_t>(
+                ex.latency));
+            w.key("unattributed").value(static_cast<std::uint64_t>(
+                ex.unattributed));
+            w.key("stages").beginObject();
+            for (int s = 0; s < kNumConnStages; ++s) {
+                if (ex.stageTicks[static_cast<std::size_t>(s)] == 0 &&
+                    ex.stageCounts[static_cast<std::size_t>(s)] == 0)
+                    continue;
+                w.key(connStageName(static_cast<ConnStage>(s)))
+                    .value(static_cast<std::uint64_t>(
+                        ex.stageTicks[static_cast<std::size_t>(s)]));
+            }
+            w.endObject();
+            w.key("cores").beginArray();
+            for (int c : ex.cores)
+                w.value(c);
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+
         w.key("trace").beginObject();
         w.key("window_span").value(static_cast<std::uint64_t>(
             r.windowSpan));
         w.key("events_recorded").value(r.traceEventsRecorded);
         w.key("events_overwritten").value(r.traceEventsOverwritten);
+        w.key("overwritten_per_core").beginArray();
+        for (std::uint64_t n : r.traceOverwrittenPerCore)
+            w.value(n);
+        w.endArray();
         w.key("untracked_cycles").value(r.phaseCycles.untracked);
         w.endObject();
 

@@ -28,10 +28,15 @@ class BenchJsonReport
      *  v3: per-row "faults" block (armed fault plan) and per-window
      *  "completed"/"goodput" + SYN-counter deltas in "lock_windows".
      *  v4: per-row "overload" block (admission counters, pressure
-     *  signals, latency percentiles). */
-    static constexpr int kSchemaVersion = 4;
+     *  signals, latency percentiles).
+     *  v5: per-row "latency_stages" block (span-forensics stage
+     *  percentiles + tail exemplars) and "overwritten_per_core" in the
+     *  "trace" block. */
+    static constexpr int kSchemaVersion = 5;
 
     explicit BenchJsonReport(std::string bench_name);
+
+    const std::string &benchName() const { return name_; }
 
     /** Record one experiment under display label @p label. */
     void addRow(const std::string &label, const ExperimentConfig &cfg,
@@ -44,6 +49,9 @@ class BenchJsonReport
     const std::string &rowLabel(std::size_t i) const;
     std::uint64_t rowFingerprint(std::size_t i) const;
     const InvariantReport &rowInvariants(std::size_t i) const;
+    /** Full row access (forensics rendering + Perfetto export). */
+    const ExperimentConfig &rowConfig(std::size_t i) const;
+    const ExperimentResult &rowResult(std::size_t i) const;
     /** @} */
 
     /** Render the full JSON document. */

@@ -1,6 +1,7 @@
 #include "harness/experiment.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "check/fingerprint.hh"
 #include "sim/logging.hh"
@@ -263,6 +264,7 @@ Testbed::markWindows()
     activeLocalMark_ = ks.activePktLocal;
     activeTotalMark_ = ks.activePktTotal;
     failedMark_ = load_->failed();
+    spanCompletedMark_ = machine_->tracer().connSpans().completedCount();
     markTick_ = eq_->now();
 }
 
@@ -328,6 +330,35 @@ Testbed::collect()
     }
     r.traceEventsRecorded = tr.eventsRecorded();
     r.traceEventsOverwritten = tr.eventsOverwritten();
+    for (int c = 0; c < machine_->numCores(); ++c)
+        r.traceOverwrittenPerCore.push_back(tr.eventsOverwritten(c));
+    if (r.traceEventsOverwritten > 0) {
+        std::fprintf(stderr,
+                     "warning: trace ring overflow: %llu events "
+                     "overwritten (oldest window events lost; raise "
+                     "machine.traceRingCapacity)\n",
+                     static_cast<unsigned long long>(
+                         r.traceEventsOverwritten));
+    }
+
+    // Per-connection span forensics over the window, plus the raw
+    // traces when the caller wants to export them (Perfetto).
+    const ConnSpanLog &sl = tr.connSpans();
+    r.spanForensics = buildSpanForensics(sl, spanCompletedMark_);
+    if (cfg_.keepSpanTraces && sl.enabled()) {
+        const auto &all = sl.completed();
+        std::size_t from = std::min(spanCompletedMark_, all.size());
+        r.spanTraces =
+            std::make_shared<const std::vector<ConnSpanTrace>>(
+                all.begin() + static_cast<std::ptrdiff_t>(from),
+                all.end());
+    }
+    if (!cfg_.machine.traceEnabled) {
+        // --notrace contract: a disabled span log must never have
+        // touched the allocator (the hooks are all gated on enabled()).
+        fsim_assert(sl.allocations() == 0 &&
+                    "span tracing allocated with tracing disabled");
+    }
 
     r.fingerprint = currentFingerprint();
     r.invariants = checks_.report();

@@ -25,6 +25,8 @@
 #include "kernel/kernel_config.hh"
 #include "overload/admission.hh"
 #include "sync/lock_registry.hh"
+#include "trace/conn_span.hh"
+#include "trace/span_forensics.hh"
 #include "trace/trace_report.hh"
 
 namespace fsim
@@ -106,6 +108,14 @@ struct ExperimentConfig
      *  pair with machine.overload.healthRequestBytes so the server's
      *  admission gate classifies them. */
     int clientHealthEvery = 0;
+    /** @} */
+
+    /** @name Span tracing (src/trace conn spans) */
+    /** @{ */
+    /** Copy the window's completed per-connection span traces into the
+     *  result (needed by the Perfetto exporter; forensics alone do
+     *  not). Meaningless when machine.traceEnabled is off. */
+    bool keepSpanTraces = false;
     /** @} */
 };
 
@@ -210,6 +220,15 @@ struct ExperimentResult
     std::map<std::string, std::vector<QueueSample>> queueTimelines;
     std::uint64_t traceEventsRecorded = 0;
     std::uint64_t traceEventsOverwritten = 0;
+    /** Ring-overflow attribution: events overwritten, per core. */
+    std::vector<std::uint64_t> traceOverwrittenPerCore;
+    /** Per-connection span forensics over the measurement window
+     *  (stage latency percentiles + tail exemplars; enabled=false when
+     *  tracing is off). */
+    SpanForensics spanForensics;
+    /** The window's completed span traces, kept only when
+     *  cfg.keepSpanTraces (shared: results are copied by value). */
+    std::shared_ptr<const std::vector<ConnSpanTrace>> spanTraces;
     /** @} */
 
     /** @name Correctness (src/check) */
@@ -295,6 +314,7 @@ class Testbed
     std::uint64_t rxMark_ = 0;
     std::uint64_t activeLocalMark_ = 0;
     std::uint64_t activeTotalMark_ = 0;
+    std::size_t spanCompletedMark_ = 0;
     Tick markTick_ = 0;
 };
 

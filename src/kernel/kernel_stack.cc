@@ -121,6 +121,13 @@ KernelStack::KernelStack(const Deps &deps, const KernelConfig &cfg)
 
 KernelStack::~KernelStack() = default;
 
+ConnSpanLog *
+KernelStack::spans() const
+{
+    return d_.tracer && d_.tracer->enabled() ? &d_.tracer->connSpans()
+                                             : nullptr;
+}
+
 // ---------------------------------------------------------------------
 // Setup-phase API
 // ---------------------------------------------------------------------
@@ -331,9 +338,12 @@ KernelStack::destroySocket(CoreId core, Tick t, Socket *sock)
     }
     d_.cache->freeObject(sock->cacheObj);
     ++stats_.socketsDestroyed;
-    if (d_.tracer && sock->kind == SockKind::kConnection)
+    if (d_.tracer && sock->kind == SockKind::kConnection) {
         d_.tracer->emit(core, TraceEventType::kConnClosed, t,
                         static_cast<std::uint32_t>(sock->id));
+        if (ConnSpanLog *sl = spans())
+            sl->close(sock->id, t);
+    }
     sockets_.erase(sock->id);
     return t;
 }
@@ -633,10 +643,21 @@ KernelStack::netRx(CoreId core, const Packet &pkt, Tick t, bool steered)
                 softirqBudgetDrop(target))
                 return t;
             Packet copy = pkt;
+            const Tick steer_t = t;
+            const CoreId steer_from = core;
             d_.cpu->post(target, TaskPrio::kSoftIrq,
-                         [this, target, copy](Tick start) {
-                             return netRx(target, copy, start,
-                                          /*steered=*/true);
+                         [this, target, copy, steer_t,
+                          steer_from](Tick start) {
+                             // Trace-only handoff context: lets the
+                             // packet handlers record the cross-core
+                             // transfer wait against the connection.
+                             steerTick_ = steer_t;
+                             steerFrom_ = steer_from;
+                             Tick end = netRx(target, copy, start,
+                                              /*steered=*/true);
+                             steerTick_ = 0;
+                             steerFrom_ = kInvalidCore;
+                             return end;
                          });
             return t;
         }
@@ -695,6 +716,7 @@ KernelStack::netRx(CoreId core, const Packet &pkt, Tick t, bool steered)
 Tick
 KernelStack::handleSyn(CoreId core, const Packet &pkt, Tick t)
 {
+    const Tick rx_begin = t;
     // Duplicate SYN (client retransmission): the connection may already
     // be in the handshake; just re-answer instead of minting a second
     // TCB for the same tuple.
@@ -768,7 +790,9 @@ KernelStack::handleSyn(CoreId core, const Packet &pkt, Tick t)
     conn->prio = pkt.prio;
     conn->touch(core);
     t += d_.costs->synProcess;
+    const Tick lk_begin = t;
     t = listener->slock.runLocked(core, t, d_.costs->synQueueHold);
+    const Tick lk_wait = listener->slock.lastWait();
     ++listener->synQueueLen;
 
     t = ehashFor(core).insert(core, t, conn);
@@ -779,7 +803,19 @@ KernelStack::handleSyn(CoreId core, const Packet &pkt, Tick t)
     if (cfg_.synRcvdJiffies > 0)
         t = armConnTimer(core, t, conn, cfg_.synRcvdJiffies);
 
-    return sendPacket(core, t, conn, kSyn | kAck, 0);
+    t = sendPacket(core, t, conn, kSyn | kAck, 0);
+    if (ConnSpanLog *sl = spans()) {
+        sl->open(conn->id, steerTick_ ? steerTick_ : rx_begin,
+                 /*passive=*/true);
+        if (steerTick_)
+            sl->add(conn->id, ConnStage::kCoreTransfer, core, steerTick_,
+                    rx_begin, static_cast<std::uint32_t>(steerFrom_));
+        sl->add(conn->id, ConnStage::kSynRx, core, rx_begin, t);
+        if (lk_wait)
+            sl->add(conn->id, ConnStage::kLockWait, core, lk_begin,
+                    lk_begin + lk_wait, listener->slock.classTraceId());
+    }
+    return t;
 }
 
 std::uint32_t
@@ -794,6 +830,7 @@ Tick
 KernelStack::establishFromCookie(CoreId core, Socket *listener,
                                  const Packet &pkt, Tick t)
 {
+    const Tick rx_begin = t;
     listener->touch(core);
     t += d_.costs->synCookieCost + d_.costs->establish;
     ++stats_.synCookiesValidated;
@@ -819,7 +856,23 @@ KernelStack::establishFromCookie(CoreId core, Socket *listener,
         d_.tracer->emit(core, TraceEventType::kConnEstablished, t,
                         static_cast<std::uint32_t>(conn->id));
 
+    const Tick lk_begin = t;
     t = listener->slock.runLocked(core, t, d_.costs->acceptQueuePushHold);
+    const Tick lk_wait = listener->slock.lastWait();
+    const auto record_handshake = [&](Tick end) {
+        ConnSpanLog *sl = spans();
+        if (!sl)
+            return;
+        sl->open(conn->id, steerTick_ ? steerTick_ : rx_begin,
+                 /*passive=*/true);
+        if (steerTick_)
+            sl->add(conn->id, ConnStage::kCoreTransfer, core, steerTick_,
+                    rx_begin, static_cast<std::uint32_t>(steerFrom_));
+        sl->add(conn->id, ConnStage::kHandshake, core, rx_begin, end);
+        if (lk_wait)
+            sl->add(conn->id, ConnStage::kLockWait, core, lk_begin,
+                    lk_begin + lk_wait, listener->slock.classTraceId());
+    };
     if (listener->acceptQueue.size() >= listener->backlog) {
         ++stats_.acceptOverflows;
         ++stats_.acceptQueueRsts;
@@ -830,9 +883,11 @@ KernelStack::establishFromCookie(CoreId core, Socket *listener,
         rst.tuple = pkt.tuple.reversed();
         rst.flags = kRst;
         d_.wire->transmit(rst, t);
+        record_handshake(t);
         return destroySocket(core, t, conn);
     }
     conn->acceptEnqueueTick = t;
+    conn->acceptEnqueueCore = core;
     listener->acceptQueue.push_back(conn);
     noteAcceptOccupancy(listener);
     if (d_.tracer)
@@ -840,13 +895,17 @@ KernelStack::establishFromCookie(CoreId core, Socket *listener,
             core, TraceEventType::kQueueEnqueue, t,
             static_cast<std::uint32_t>(listener->acceptQueue.size()),
             static_cast<std::uint16_t>(acceptQueueIdOf(listener)));
-    return wakeListen(core, t, listener);
+    t = wakeListen(core, t, listener);
+    record_handshake(t);
+    return t;
 }
 
 Tick
 KernelStack::handleEstablishedPacket(CoreId core, Socket *sock,
                                      const Packet &pkt, Tick t)
 {
+    const Tick rx_begin = t;
+    const std::uint64_t span_id = sock->id;
     sock->touch(core);
     t += d_.cache->access(core, sock->cacheObj, /*write=*/true,
                           d_.costs->tcbLines);
@@ -931,7 +990,30 @@ KernelStack::handleEstablishedPacket(CoreId core, Socket *sock,
         d_.tracer->emit(core, TraceEventType::kConnEstablished, t,
                         static_cast<std::uint32_t>(sock->id));
 
+    const Tick lk_begin = t;
     t = sock->slock.runLocked(core, t, hold);
+    const Tick lk_wait = sock->slock.lastWait();
+    // Record this SoftIRQ's work on the connection once, at whichever
+    // exit path runs — before any destroySocket finalizes the trace.
+    bool rx_recorded = false;
+    const auto record_rx = [&](Tick end) {
+        ConnSpanLog *sl = spans();
+        if (!sl || rx_recorded)
+            return;
+        rx_recorded = true;
+        if (steerTick_)
+            sl->add(span_id, ConnStage::kCoreTransfer, core, steerTick_,
+                    rx_begin, static_cast<std::uint32_t>(steerFrom_));
+        const ConnStage stage =
+            sock->state == TcpState::kEstablished &&
+                    prev_state == TcpState::kSynRcvd
+                ? ConnStage::kHandshake
+                : ConnStage::kSoftirqRx;
+        sl->add(span_id, stage, core, rx_begin, end);
+        if (lk_wait)
+            sl->add(span_id, ConnStage::kLockWait, core, lk_begin,
+                    lk_begin + lk_wait, sock->slock.classTraceId());
+    };
 
     if (pkt.payload && sock->state == TcpState::kEstablished) {
         // Refresh the connection's idle timer on every data segment; in
@@ -942,8 +1024,16 @@ KernelStack::handleEstablishedPacket(CoreId core, Socket *sock,
 
     if (wake_listener && sock->parentListen) {
         Socket *listener = sock->parentListen;
+        const Tick llk_begin = t;
         t = listener->slock.runLocked(core, t,
                                       d_.costs->acceptQueuePushHold);
+        const Tick llk_wait = listener->slock.lastWait();
+        if (llk_wait) {
+            if (ConnSpanLog *sl = spans())
+                sl->add(span_id, ConnStage::kLockWait, core, llk_begin,
+                        llk_begin + llk_wait,
+                        listener->slock.classTraceId());
+        }
         if (listener->acceptQueue.size() >= listener->backlog) {
             // Accept-queue overflow (somaxconn): reject the connection.
             ++stats_.acceptOverflows;
@@ -955,9 +1045,11 @@ KernelStack::handleEstablishedPacket(CoreId core, Socket *sock,
             rst.tuple = sock->rxTuple.reversed();
             rst.flags = kRst;
             d_.wire->transmit(rst, t);
+            record_rx(t);
             return destroySocket(core, t, sock);
         }
         sock->acceptEnqueueTick = t;
+        sock->acceptEnqueueCore = core;
         listener->acceptQueue.push_back(sock);
         noteAcceptOccupancy(listener);
         if (d_.tracer)
@@ -989,6 +1081,7 @@ KernelStack::handleEstablishedPacket(CoreId core, Socket *sock,
                      &sock->timer);
     }
 
+    record_rx(t);
     if (destroy)
         t = destroySocket(core, t, sock);
 
@@ -1019,6 +1112,10 @@ KernelStack::accept(int proc, Tick t, int listen_fd)
     fsim_assert(lsock && lsock->kind == SockKind::kListen);
 
     SyscallScope sc(d_.tracer, core, SyscallId::kAccept, t);
+    const Tick sys_begin = t;
+    Tick lk_begin = 0;
+    Tick lk_wait = 0;
+    std::uint16_t lk_cls = 0;
     t += d_.costs->syscallOverhead + d_.costs->acceptCost;
     // accept() writes the listener TCB (queue heads, counters), keeping
     // its cache line homed on the accepting core.
@@ -1031,8 +1128,11 @@ KernelStack::accept(int proc, Tick t, int listen_fd)
     // lock-free read when empty) so slow-path connections cannot starve
     // behind the always-busy local queue.
     if (lsock->isLocalListen && !global->acceptQueue.empty()) {
+        lk_begin = t;
         t = global->slock.runLocked(core, t,
                                     d_.costs->acceptQueuePushHold);
+        lk_wait = global->slock.lastWait();
+        lk_cls = global->slock.classTraceId();
         if (!global->acceptQueue.empty()) {
             conn = global->acceptQueue.front();
             global->acceptQueue.pop_front();
@@ -1047,8 +1147,11 @@ KernelStack::accept(int proc, Tick t, int listen_fd)
     }
 
     if (!conn) {
+        lk_begin = t;
         t = lsock->slock.runLocked(core, t,
                                    d_.costs->acceptQueuePushHold);
+        lk_wait = lsock->slock.lastWait();
+        lk_cls = lsock->slock.classTraceId();
         if (!lsock->acceptQueue.empty()) {
             conn = lsock->acceptQueue.front();
             lsock->acceptQueue.pop_front();
@@ -1074,7 +1177,7 @@ KernelStack::accept(int proc, Tick t, int listen_fd)
                           d_.costs->tcbLines);
 
     SocketFile *file = nullptr;
-    t = vfs_->allocSocketFile(core, t, conn, &file);
+    t = vfs_->allocSocketFile(core, t, conn, &file, conn->id);
     int fd = p.fds.alloc();
     t += d_.costs->fdBitmapCost;
     file->fd = fd;
@@ -1088,6 +1191,18 @@ KernelStack::accept(int proc, Tick t, int listen_fd)
     out.sock = conn;
     out.fd = fd;
     out.t = sc.done(t);
+    if (ConnSpanLog *sl = spans()) {
+        const CoreId qcore = conn->acceptEnqueueCore != kInvalidCore
+                                 ? conn->acceptEnqueueCore
+                                 : core;
+        sl->add(conn->id, ConnStage::kAcceptQueue, qcore,
+                conn->acceptEnqueueTick,
+                conn->acceptEnqueueTick + out.sojourn);
+        sl->add(conn->id, ConnStage::kAccept, core, sys_begin, out.t);
+        if (lk_wait)
+            sl->add(conn->id, ConnStage::kLockWait, core, lk_begin,
+                    lk_begin + lk_wait, lk_cls);
+    }
     return out;
 }
 
@@ -1103,6 +1218,9 @@ KernelStack::connect(int proc, Tick t, IpAddr dst, Port dport)
     IpAddr src = localAddrs_.front();
 
     SyscallScope sc(d_.tracer, core, SyscallId::kConnect, t);
+    const Tick sys_begin = t;
+    Tick pb_begin = 0;
+    Tick pb_wait = 0;
     t += d_.costs->syscallOverhead + d_.costs->connectCost +
          d_.costs->portAllocCost;
 
@@ -1133,9 +1251,11 @@ KernelStack::connect(int proc, Tick t, IpAddr dst, Port dport)
         // the Fastsocket build (any feature bit) patches it per-core.
         bool stock = cfg_.flavor == KernelFlavor::kBase2632 &&
                      !cfg_.fastVfs && !cfg_.localListen;
-        if (stock)
+        if (stock) {
+            pb_begin = t;
             t = portBindLock_.runLocked(core, t, d_.costs->portBindHold);
-        else
+            pb_wait = portBindLock_.lastWait();
+        } else
             t += d_.costs->portBindHold / 4;
         psrc = ports_.alloc(dst, dport);
     }
@@ -1154,8 +1274,11 @@ KernelStack::connect(int proc, Tick t, IpAddr dst, Port dport)
     sock->timerCore = core;
     sock->touch(core);
 
+    if (ConnSpanLog *sl = spans())
+        sl->open(sock->id, sys_begin, /*passive=*/false);
+
     SocketFile *file = nullptr;
-    t = vfs_->allocSocketFile(core, t, sock, &file);
+    t = vfs_->allocSocketFile(core, t, sock, &file, sock->id);
     int fd = p.fds.alloc();
     t += d_.costs->fdBitmapCost;
     file->fd = fd;
@@ -1172,6 +1295,12 @@ KernelStack::connect(int proc, Tick t, IpAddr dst, Port dport)
     out.sock = sock;
     out.fd = fd;
     out.t = sc.done(t);
+    if (ConnSpanLog *sl = spans()) {
+        sl->add(sock->id, ConnStage::kConnect, core, sys_begin, out.t);
+        if (pb_wait)
+            sl->add(sock->id, ConnStage::kLockWait, core, pb_begin,
+                    pb_begin + pb_wait, portBindLock_.classTraceId());
+    }
     return out;
 }
 
@@ -1201,16 +1330,29 @@ KernelStack::read(int proc, Tick t, int fd)
     fsim_assert(sock != nullptr);
 
     SyscallScope sc(d_.tracer, core, SyscallId::kRead, t);
+    const Tick sys_begin = t;
     t += d_.costs->syscallOverhead + d_.costs->readCost;
     t += d_.cache->access(core, sock->cacheObj, /*write=*/true,
                           d_.costs->tcbLines);
     sock->touch(core);
 
+    const Tick lk_begin = t;
     t = sock->slock.runLocked(core, t, d_.costs->slockHoldApp);
     out.bytes = sock->rxPending;
     sock->rxPending = 0;
     out.finSeen = sock->peerFin;
     out.t = sc.done(t);
+    if (ConnSpanLog *sl = spans()) {
+        const Tick wake_at = p.epoll->consumeWakeTick(fd);
+        if (wake_at > 0 && wake_at < sys_begin)
+            sl->add(sock->id, ConnStage::kDispatch, core, wake_at,
+                    sys_begin);
+        sl->add(sock->id, ConnStage::kAppRead, core, sys_begin, out.t);
+        if (sock->slock.lastWait())
+            sl->add(sock->id, ConnStage::kLockWait, core, lk_begin,
+                    lk_begin + sock->slock.lastWait(),
+                    sock->slock.classTraceId());
+    }
     return out;
 }
 
@@ -1223,18 +1365,29 @@ KernelStack::write(int proc, Tick t, int fd, std::uint32_t bytes)
     fsim_assert(sock != nullptr);
 
     SyscallScope sc(d_.tracer, core, SyscallId::kWrite, t);
+    const Tick sys_begin = t;
     t += d_.costs->syscallOverhead + d_.costs->writeCost;
     t += d_.cache->access(core, sock->cacheObj, /*write=*/true,
                           d_.costs->tcbLines);
     sock->touch(core);
 
+    const Tick lk_begin = t;
     t = sock->slock.runLocked(core, t, d_.costs->slockHoldApp);
 
     // Arm/refresh the retransmission timer from process context; without
     // locality this crosses cores into the SoftIRQ core's base.
     t = armConnTimer(core, t, sock, cfg_.keepaliveJiffies);
 
-    return sc.done(sendPacket(core, t, sock, kAck | kPsh, bytes));
+    const Tick end = sc.done(sendPacket(core, t, sock, kAck | kPsh,
+                                        bytes));
+    if (ConnSpanLog *sl = spans()) {
+        sl->add(sock->id, ConnStage::kAppWrite, core, sys_begin, end);
+        if (sock->slock.lastWait())
+            sl->add(sock->id, ConnStage::kLockWait, core, lk_begin,
+                    lk_begin + sock->slock.lastWait(),
+                    sock->slock.classTraceId());
+    }
+    return end;
 }
 
 Tick
@@ -1248,6 +1401,7 @@ KernelStack::close(int proc, Tick t, int fd)
     Socket *sock = static_cast<Socket *>(file->priv);
 
     SyscallScope sc(d_.tracer, core, SyscallId::kClose, t);
+    const Tick sys_begin = t;
     t += d_.costs->syscallOverhead + d_.costs->closeCost;
     sock->touch(core);
 
@@ -1256,7 +1410,9 @@ KernelStack::close(int proc, Tick t, int fd)
     p.fds.free(fd);
     t += d_.costs->fdBitmapCost;
     p.files.erase(it);
-    t = vfs_->freeSocketFile(core, t, file);
+    t = vfs_->freeSocketFile(core, t, file,
+                             sock->kind == SockKind::kConnection
+                                 ? sock->id : 0);
     sock->file = nullptr;
 
     if (sock->kind == SockKind::kListen) {
@@ -1270,8 +1426,22 @@ KernelStack::close(int proc, Tick t, int fd)
         return sc.done(t);
     }
 
+    const Tick lk_begin = t;
     t = sock->slock.runLocked(core, t, d_.costs->slockHoldApp);
     TcpState st = sock->state;
+
+    // The teardown span must land before destroySocket() retires the
+    // trace, so it is recorded per-branch rather than after the switch.
+    const std::uint64_t span_id = sock->id;
+    auto record_teardown = [&](Tick end) {
+        if (ConnSpanLog *sl = spans()) {
+            sl->add(span_id, ConnStage::kTeardown, core, sys_begin, end);
+            if (sock->slock.lastWait())
+                sl->add(span_id, ConnStage::kLockWait, core, lk_begin,
+                        lk_begin + sock->slock.lastWait(),
+                        sock->slock.classTraceId());
+        }
+    };
 
     switch (st) {
       case TcpState::kEstablished:
@@ -1286,12 +1456,15 @@ KernelStack::close(int proc, Tick t, int fd)
         break;
       case TcpState::kSynSent:
       case TcpState::kSynRcvd:
+        record_teardown(t);
         t = destroySocket(core, t, sock);
-        break;
+        return sc.done(t);
       default:
         break;
     }
-    return sc.done(t);
+    const Tick end = sc.done(t);
+    record_teardown(end);
+    return end;
 }
 
 std::vector<const Socket *>

@@ -41,6 +41,8 @@
 namespace fsim
 {
 
+class ConnSpanLog;
+
 /** Kernel-side state of one simulated process. */
 struct KProcess
 {
@@ -295,6 +297,9 @@ class KernelStack
     /** Stateless SYN-cookie value for a flow (nonzero by construction). */
     static std::uint32_t cookieFor(const FiveTuple &flow);
 
+    /** Span log when tracing is on, else null (hooks cost nothing). */
+    ConnSpanLog *spans() const;
+
     Deps d_;
     KernelConfig cfg_;
     KernelStats stats_;
@@ -321,6 +326,14 @@ class KernelStack
     std::unordered_map<std::uint64_t, std::uint32_t> rfdPortCursor_;
     /** Round-robin cursor for baseline listen-socket wakeups. */
     std::size_t wakeCursor_ = 0;
+
+    /** @name Span-trace context for RFD software steers
+     * Set around the synchronous SoftIRQ hop so the packet handlers can
+     * record the cross-core transfer wait; trace-only state. */
+    /** @{ */
+    Tick steerTick_ = 0;
+    CoreId steerFrom_ = kInvalidCore;
+    /** @} */
 };
 
 } // namespace fsim

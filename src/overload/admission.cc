@@ -31,18 +31,21 @@ AdmissionController::decide(int worker, AdmitClass cls, Tick sojourn)
             // accept queue; odds are it gave up (or will before the
             // response lands). Serving it is wasted work — shed.
             ++shedDeadline_;
+            lastShedReason_ = ShedReason::kDeadline;
             return AdmitDecision::kShed;
         }
         if (cfg_.workerCap > 0 &&
             inflight_[static_cast<std::size_t>(worker)] >=
                 static_cast<std::uint64_t>(cfg_.workerCap)) {
             ++shedWorkerCap_;
+            lastShedReason_ = ShedReason::kWorkerCap;
             return AdmitDecision::kShed;
         }
         PressureLevel lvl = pressure_ ? pressure_->level()
                                       : PressureLevel::kNominal;
         if (lvl == PressureLevel::kCritical) {
             ++shedPressure_;
+            lastShedReason_ = ShedReason::kPressure;
             return AdmitDecision::kShed;
         }
         if (lvl == PressureLevel::kElevated && cfg_.brownout) {

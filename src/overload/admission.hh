@@ -89,6 +89,10 @@ class AdmissionController
     std::uint64_t healthAdmitted() const { return healthAdmitted_; }
     /** release() calls with no in-flight connection (always a bug). */
     std::uint64_t releaseUnderflows() const { return releaseUnderflows_; }
+    /** Reason behind the most recent kShed decision (for span trace
+     *  attribution; meaningful only right after decide() returned
+     *  kShed). */
+    ShedReason lastShedReason() const { return lastShedReason_; }
     /** Currently admitted-but-unreleased connections of @p worker. */
     std::uint64_t inflight(int worker) const;
     std::uint64_t inflightTotal() const;
@@ -109,6 +113,7 @@ class AdmissionController
     std::uint64_t healthOffered_ = 0;
     std::uint64_t healthAdmitted_ = 0;
     std::uint64_t releaseUnderflows_ = 0;
+    ShedReason lastShedReason_ = ShedReason::kDeadline;
 };
 
 } // namespace fsim

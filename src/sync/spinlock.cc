@@ -101,6 +101,8 @@ SimSpinLock::runLocked(CoreId c, Tick t, Tick hold)
         }
     }
 
+    lastWait_ = wait;
+
     Tick grant = t + wait + baseCost_;
     // Pulling the lock word (and by extension the data it guards) from a
     // different core's cache delays the critical section further.

@@ -59,6 +59,17 @@ class SimSpinLock
     Tick busyUntil() const { return freeAt_; }
     CoreId lastHolder() const { return lastHolder_; }
 
+    /** Spin cycles paid by the most recent runLocked() call (0 when it
+     *  acquired uncontended) — lets callers attribute the wait to the
+     *  connection being serviced. */
+    Tick lastWait() const { return lastWait_; }
+
+    /** Trace id of the owning lock class (0 when unbound). */
+    std::uint16_t classTraceId() const
+    {
+        return cls_ ? cls_->traceId : 0;
+    }
+
   private:
     LockClassStats *cls_ = nullptr;
     CacheModel *cache_ = nullptr;
@@ -68,6 +79,7 @@ class SimSpinLock
 
     Tick stormCost_ = 0;
     Tick freeAt_ = 0;
+    Tick lastWait_ = 0;
     CoreId lastHolder_ = kInvalidCore;
     Tick lastT_ = 0;           //!< previous acquisition tick
     double gapEwma_ = 1e9;     //!< mean inter-acquisition gap estimate

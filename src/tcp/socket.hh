@@ -116,6 +116,10 @@ struct Socket
      *  queue; accept() derives the queue sojourn from it, which is the
      *  signal the admission controller's deadline shed keys on. */
     Tick acceptEnqueueTick = 0;
+    /** Core whose SoftIRQ context enqueued this connection into the
+     *  accept queue; span traces place the accept-queue sojourn on it
+     *  (where the connection actually waited). */
+    CoreId acceptEnqueueCore = kInvalidCore;
     /** Flow carried the packet priority mark (health/control class);
      *  inherited from the SYN so the admission controller can classify
      *  the connection before any payload arrives. */

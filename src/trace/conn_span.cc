@@ -1,0 +1,154 @@
+#include "trace/conn_span.hh"
+
+#include <algorithm>
+
+namespace fsim
+{
+
+const char *
+connStageName(ConnStage s)
+{
+    switch (s) {
+      case ConnStage::kSynRx: return "syn-rx";
+      case ConnStage::kHandshake: return "handshake";
+      case ConnStage::kSoftirqRx: return "softirq-rx";
+      case ConnStage::kAcceptQueue: return "accept-queue";
+      case ConnStage::kAccept: return "accept";
+      case ConnStage::kConnect: return "connect";
+      case ConnStage::kDispatch: return "dispatch";
+      case ConnStage::kAppRead: return "app-read";
+      case ConnStage::kAppProcess: return "app-process";
+      case ConnStage::kAppWrite: return "app-write";
+      case ConnStage::kTeardown: return "teardown";
+      case ConnStage::kVfs: return "vfs";
+      case ConnStage::kLockWait: return "lock-wait";
+      case ConnStage::kCoreTransfer: return "core-transfer";
+    }
+    return "?";
+}
+
+ConnStageKind
+connStageKind(ConnStage s)
+{
+    switch (s) {
+      case ConnStage::kAcceptQueue:
+      case ConnStage::kDispatch:
+      case ConnStage::kCoreTransfer:
+        return ConnStageKind::kWait;
+      case ConnStage::kVfs:
+      case ConnStage::kLockWait:
+        return ConnStageKind::kSub;
+      default:
+        return ConnStageKind::kExec;
+    }
+}
+
+Tick
+ConnSpanTrace::stageTicks(ConnStage s) const
+{
+    Tick total = 0;
+    for (const ConnSpan &sp : spans)
+        if (sp.stage == s)
+            total += sp.end - sp.begin;
+    return total;
+}
+
+Tick
+ConnSpanTrace::serviceLatency() const
+{
+    Tick last_write = 0;
+    Tick last_exec = openTick;
+    for (const ConnSpan &sp : spans) {
+        if (sp.stage == ConnStage::kAppWrite)
+            last_write = std::max(last_write, sp.end);
+        if (connStageKind(sp.stage) == ConnStageKind::kExec)
+            last_exec = std::max(last_exec, sp.end);
+    }
+    const Tick done = last_write ? last_write : last_exec;
+    return done > openTick ? done - openTick : 0;
+}
+
+void
+ConnSpanLog::open(std::uint64_t conn_id, Tick t, bool passive)
+{
+    if (!enabled_)
+        return;
+    ConnSpanTrace &tr = live_[conn_id];
+    tr.connId = conn_id;
+    tr.openTick = t;
+    tr.passive = passive;
+    ++opened_;
+    ++allocations_;
+}
+
+void
+ConnSpanLog::add(std::uint64_t conn_id, ConnStage stage, CoreId core,
+                 Tick begin, Tick end, std::uint32_t aux)
+{
+    if (!enabled_)
+        return;
+    auto it = live_.find(conn_id);
+    if (it == live_.end())
+        return; // stray work after teardown (e.g. duplicate packets)
+    ConnSpanTrace &tr = it->second;
+    if (end < begin)
+        end = begin;
+    if (connStageKind(stage) == ConnStageKind::kExec) {
+        if (execTicksPerCore_.size() <= static_cast<std::size_t>(core))
+            execTicksPerCore_.resize(core + 1, 0);
+        execTicksPerCore_[core] += end - begin;
+    }
+    if (tr.spans.size() >= kMaxSpansPerConn) {
+        ++spansDropped_;
+        return;
+    }
+    ConnSpan sp;
+    sp.begin = begin;
+    sp.end = end;
+    sp.aux = aux;
+    sp.core = static_cast<std::int16_t>(core);
+    sp.stage = stage;
+    tr.spans.push_back(sp);
+    ++spansRecorded_;
+    ++allocations_;
+}
+
+void
+ConnSpanLog::noteShed(std::uint64_t conn_id, std::uint8_t reason)
+{
+    if (!enabled_)
+        return;
+    auto it = live_.find(conn_id);
+    if (it != live_.end())
+        it->second.shedReason = reason;
+}
+
+void
+ConnSpanLog::close(std::uint64_t conn_id, Tick t)
+{
+    if (!enabled_)
+        return;
+    auto it = live_.find(conn_id);
+    if (it == live_.end())
+        return;
+    it->second.closeTick = t;
+    it->second.closed = true;
+    ++closedTotal_;
+    if (completed_.size() < kMaxRetainedTraces) {
+        completed_.push_back(std::move(it->second));
+        ++allocations_;
+    } else {
+        ++tracesDropped_;
+    }
+    live_.erase(it);
+}
+
+std::uint64_t
+ConnSpanLog::execSelfTicks(CoreId core) const
+{
+    if (static_cast<std::size_t>(core) >= execTicksPerCore_.size())
+        return 0;
+    return execTicksPerCore_[core];
+}
+
+} // namespace fsim

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Per-connection lifecycle span log: the simulator's answer to "where did
+ * THIS connection lose its time?".
+ *
+ * Every connection TCB minted by the kernel opens a ConnSpanTrace; hook
+ * points across the stack (SoftIRQ SYN/handshake processing, accept-queue
+ * sojourn, accept/connect/read/write/close syscalls, VFS allocation,
+ * epoll dispatch, lock spins, RFD cross-core transfers) append timestamped
+ * stage spans with the executing core. Aggregate phase accounting
+ * (PhaseAccounting) answers "where did the machine's cycles go"; this log
+ * answers the per-request question the paper's tail analysis needs.
+ *
+ * Stages come in three kinds:
+ *  - exec:  cycles a core actually spent on this connection. Per core,
+ *    exec spans never overlap (cores execute serially in virtual time),
+ *    so their per-core sum must reconcile with CpuModel busy ticks
+ *    (sum <= busy; the cross-check test pins it).
+ *  - wait:  elapsed time with no core charged (accept-queue sojourn,
+ *    epoll-wake-to-read dispatch delay, SoftIRQ backlog residency after a
+ *    software steer). Waits explain tails; they are excluded from the
+ *    exec reconciliation.
+ *  - sub:   a sub-interval of an enclosing exec span (lock spin, VFS
+ *    allocation) broken out for attribution. Also excluded from the
+ *    reconciliation sum, since the parent already covers the cycles.
+ *
+ * Determinism: completed traces are kept in completion order (a pure
+ * function of simulated events), never in pointer or hash order, so any
+ * report derived from the log is bit-stable for a given seed + config.
+ * Recording never charges virtual cycles and never touches simulated
+ * state, so results are identical with tracing on or off.
+ */
+
+#ifndef FSIM_TRACE_CONN_SPAN_HH
+#define FSIM_TRACE_CONN_SPAN_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace fsim
+{
+
+/** Connection lifecycle stage a span is attributed to. */
+enum class ConnStage : std::uint8_t
+{
+    kSynRx = 0,      //!< SoftIRQ: SYN processing (TCB mint + SYN-ACK)
+    kHandshake,      //!< SoftIRQ: final ACK / cookie ACK establishes
+    kSoftirqRx,      //!< SoftIRQ: any other packet on this connection
+    kAcceptQueue,    //!< wait: enqueue-to-dequeue accept-queue sojourn
+    kAccept,         //!< accept() syscall servicing this connection
+    kConnect,        //!< connect() syscall creating an active connection
+    kDispatch,       //!< wait: epoll wakeup to the app's read() syscall
+    kAppRead,        //!< read() syscall
+    kAppProcess,     //!< application service work between read and write
+    kAppWrite,       //!< write() syscall
+    kTeardown,       //!< close() syscall + FIN-path work
+    kVfs,            //!< sub: VFS socket-file alloc/free inside a syscall
+    kLockWait,       //!< sub: lock spin inside an enclosing stage
+    kCoreTransfer,   //!< wait: cross-core handoff (RFD software steer)
+};
+
+/** Total number of connection stages. */
+constexpr int kNumConnStages =
+    static_cast<int>(ConnStage::kCoreTransfer) + 1;
+
+/** How a stage's time relates to core busy cycles (see file header). */
+enum class ConnStageKind : std::uint8_t
+{
+    kExec = 0,
+    kWait,
+    kSub,
+};
+
+/** Stable lowercase stage name ("syn-rx", "accept-queue", ...). */
+const char *connStageName(ConnStage s);
+
+ConnStageKind connStageKind(ConnStage s);
+
+/** One timestamped stage interval of one connection. */
+struct ConnSpan
+{
+    Tick begin = 0;
+    Tick end = 0;
+    /** Stage-specific payload: peer core for kCoreTransfer, lock-class
+     *  trace id for kLockWait, VFS mode for kVfs, 0 otherwise. */
+    std::uint32_t aux = 0;
+    /** Core that executed (exec/sub) or hosts the waiting queue (wait). */
+    std::int16_t core = -1;
+    ConnStage stage = ConnStage::kSynRx;
+};
+
+/** The full recorded lifecycle of one connection. */
+struct ConnSpanTrace
+{
+    /** "Not shed by admission control" sentinel for shedReason. */
+    static constexpr std::uint8_t kNotShed = 0xff;
+
+    std::uint64_t connId = 0;
+    Tick openTick = 0;     //!< first kernel touch (SYN rx / connect)
+    Tick closeTick = 0;    //!< TCB destruction
+    bool passive = true;
+    bool closed = false;
+    /** ShedReason value when admission control shed this connection. */
+    std::uint8_t shedReason = kNotShed;
+    std::vector<ConnSpan> spans;
+
+    /** Sum of span durations recorded for @p s. */
+    Tick stageTicks(ConnStage s) const;
+
+    /**
+     * Service latency: open until the last response byte was written
+     * (end of the last kAppWrite span), falling back to the last exec
+     * span for connections that never produced a response. This is the
+     * server-side analogue of the client-observed latency, minus wire
+     * delay, and the ranking key for tail exemplars.
+     */
+    Tick serviceLatency() const;
+};
+
+/**
+ * Per-machine log of connection span traces (owned by the Tracer).
+ *
+ * All mutators are no-ops when disabled, and the allocation counter
+ * stays zero — the bench-mode "--notrace costs nothing" assert keys on
+ * that.
+ */
+class ConnSpanLog
+{
+  public:
+    /** Spans retained per connection before dropping (and counting). */
+    static constexpr std::size_t kMaxSpansPerConn = 96;
+    /** Completed traces retained before dropping whole traces. */
+    static constexpr std::size_t kMaxRetainedTraces = 1u << 18;
+
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    /** Begin a trace for @p conn_id (kernel TCB creation). */
+    void open(std::uint64_t conn_id, Tick t, bool passive);
+
+    /** Append one stage span; unknown ids are ignored (the trace may
+     *  already be finalized, e.g. stray packets after destruction). */
+    void add(std::uint64_t conn_id, ConnStage stage, CoreId core,
+             Tick begin, Tick end, std::uint32_t aux = 0);
+
+    /** Record an admission-control shed verdict on the trace. */
+    void noteShed(std::uint64_t conn_id, std::uint8_t reason);
+
+    /** Finalize the trace (TCB destruction) in completion order. */
+    void close(std::uint64_t conn_id, Tick t);
+
+    /** Completed traces, oldest first (completion order). */
+    const std::vector<ConnSpanTrace> &completed() const
+    {
+        return completed_;
+    }
+
+    std::size_t completedCount() const { return completed_.size(); }
+    std::size_t liveCount() const { return live_.size(); }
+
+    /** @name Accounting */
+    /** @{ */
+    std::uint64_t opened() const { return opened_; }
+    std::uint64_t closedTotal() const { return closedTotal_; }
+    std::uint64_t spansRecorded() const { return spansRecorded_; }
+    std::uint64_t spansDropped() const { return spansDropped_; }
+    std::uint64_t tracesDropped() const { return tracesDropped_; }
+    /** Heap activity caused by the log (trace + span insertions);
+     *  must be exactly zero when the log is disabled. */
+    std::uint64_t allocations() const { return allocations_; }
+    /** @} */
+
+    /**
+     * Total exec-span cycles recorded against @p core, across live,
+     * completed and retention-dropped traces. Reconciles against
+     * CpuModel::busyTicks(core): recorded exec time can never exceed
+     * what the core actually ran.
+     */
+    std::uint64_t execSelfTicks(CoreId core) const;
+
+  private:
+    bool enabled_ = true;
+    std::unordered_map<std::uint64_t, ConnSpanTrace> live_;
+    std::vector<ConnSpanTrace> completed_;
+    std::vector<std::uint64_t> execTicksPerCore_;
+
+    std::uint64_t opened_ = 0;
+    std::uint64_t closedTotal_ = 0;
+    std::uint64_t spansRecorded_ = 0;
+    std::uint64_t spansDropped_ = 0;
+    std::uint64_t tracesDropped_ = 0;
+    std::uint64_t allocations_ = 0;
+};
+
+} // namespace fsim
+
+#endif // FSIM_TRACE_CONN_SPAN_HH

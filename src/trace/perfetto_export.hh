@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Chrome trace-event (Perfetto-loadable) exporter for connection span
+ * traces: one track per simulated core carrying nested B/E duration
+ * events, async b/e spans for queue waits, and flow arrows (s/f) that
+ * follow a connection whenever consecutive exec spans land on different
+ * cores — RFD locality is literally visible as the absence of arrows.
+ */
+
+#ifndef FSIM_TRACE_PERFETTO_EXPORT_HH
+#define FSIM_TRACE_PERFETTO_EXPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/conn_span.hh"
+
+namespace fsim
+{
+
+/** Run identity stamped into otherData of the exported trace. */
+struct PerfettoMeta
+{
+    std::string bench;
+    std::string label;
+    int cores = 0;
+    /** Receive Flow Deliver enabled for this row (expectation: no
+     *  cross-core flow arrows when true). */
+    bool rfd = false;
+};
+
+/** Exporter statistics, returned for logging / assertions. */
+struct PerfettoStats
+{
+    std::uint64_t durationEvents = 0;
+    std::uint64_t waitEvents = 0;
+    std::uint64_t flowPairs = 0;       //!< cross-core s/f pairs emitted
+    std::uint64_t tracesExported = 0;
+    bool truncated = false;
+};
+
+/**
+ * Write @p traces as trace-event JSON to @p path. Timestamps are raw
+ * simulator ticks (integers; otherData.ts_unit records the unit).
+ * Exports at most @p max_traces connections (completion order) to keep
+ * files loadable. @return false on I/O error.
+ */
+bool writePerfettoTrace(const std::string &path,
+                        const std::vector<ConnSpanTrace> &traces,
+                        const PerfettoMeta &meta, PerfettoStats *stats,
+                        std::size_t max_traces = 20000);
+
+} // namespace fsim
+
+#endif // FSIM_TRACE_PERFETTO_EXPORT_HH

@@ -32,4 +32,10 @@ Tracer::eventsOverwritten() const
     return total;
 }
 
+std::uint64_t
+Tracer::eventsOverwritten(CoreId c) const
+{
+    return rings_.at(c).overwritten();
+}
+
 } // namespace fsim

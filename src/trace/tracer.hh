@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/types.hh"
+#include "trace/conn_span.hh"
 #include "trace/phase_accounting.hh"
 #include "trace/trace_event.hh"
 #include "trace/trace_ring.hh"
@@ -34,8 +35,13 @@ class Tracer
     explicit Tracer(int n_cores,
                     std::size_t ring_capacity = kDefaultRingCapacity);
 
-    /** Master switch; rings and phase charges both honor it. */
-    void setEnabled(bool on) { enabled_ = on; }
+    /** Master switch; rings, phase charges and the span log honor it. */
+    void
+    setEnabled(bool on)
+    {
+        enabled_ = on;
+        spans_.setEnabled(on);
+    }
     bool enabled() const { return enabled_; }
 
     /** Record an event into core @p c's ring. */
@@ -108,10 +114,18 @@ class Tracer
     std::uint64_t eventsRecorded() const;
     std::uint64_t eventsOverwritten() const;
 
+    /** Events overwritten in core @p c's ring alone. */
+    std::uint64_t eventsOverwritten(CoreId c) const;
+
+    /** Per-connection lifecycle span log. */
+    ConnSpanLog &connSpans() { return spans_; }
+    const ConnSpanLog &connSpans() const { return spans_; }
+
   private:
     bool enabled_ = true;
     std::vector<TraceRing> rings_;
     PhaseAccounting phases_;
+    ConnSpanLog spans_;
 };
 
 } // namespace fsim

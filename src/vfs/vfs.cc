@@ -1,13 +1,14 @@
 #include "vfs/vfs.hh"
 
 #include "sim/logging.hh"
+#include "trace/tracer.hh"
 
 namespace fsim
 {
 
 VfsLayer::VfsLayer(VfsMode mode, LockRegistry &locks, CacheModel &cache,
                    const CycleCosts &costs, int fine_buckets)
-    : mode_(mode), cache_(cache), costs_(costs)
+    : mode_(mode), cache_(cache), costs_(costs), tracer_(locks.tracer())
 {
     fsim_assert(fine_buckets > 0);
     LockClassStats *dcache = locks.getClass("dcache_lock");
@@ -50,8 +51,10 @@ VfsLayer::inodeBucket(std::uint64_t ino)
 }
 
 Tick
-VfsLayer::allocSocketFile(CoreId c, Tick t, void *sock, SocketFile **out)
+VfsLayer::allocSocketFile(CoreId c, Tick t, void *sock, SocketFile **out,
+                          std::uint64_t conn_id)
 {
+    const Tick begin = t;
     auto file = std::make_unique<SocketFile>();
     file->ino = nextIno_++;
     file->priv = sock;
@@ -83,12 +86,17 @@ VfsLayer::allocSocketFile(CoreId c, Tick t, void *sock, SocketFile **out)
     SocketFile *raw = file.get();
     files_.emplace(raw->ino, std::move(file));
     *out = raw;
+    if (conn_id && tracer_ && tracer_->enabled())
+        tracer_->connSpans().add(conn_id, ConnStage::kVfs, c, begin, t,
+                                 static_cast<std::uint32_t>(mode_));
     return t;
 }
 
 Tick
-VfsLayer::freeSocketFile(CoreId c, Tick t, SocketFile *file)
+VfsLayer::freeSocketFile(CoreId c, Tick t, SocketFile *file,
+                         std::uint64_t conn_id)
 {
+    const Tick begin = t;
     fsim_assert(file != nullptr);
     auto it = files_.find(file->ino);
     if (it == files_.end())
@@ -115,6 +123,9 @@ VfsLayer::freeSocketFile(CoreId c, Tick t, SocketFile *file)
 
     cache_.freeObject(file->cacheObj);
     files_.erase(it);
+    if (conn_id && tracer_ && tracer_->enabled())
+        tracer_->connSpans().add(conn_id, ConnStage::kVfs, c, begin, t,
+                                 static_cast<std::uint32_t>(mode_));
     return t;
 }
 

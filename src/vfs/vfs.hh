@@ -31,6 +31,8 @@
 namespace fsim
 {
 
+class Tracer;
+
 /** Which VFS implementation the simulated kernel runs. */
 enum class VfsMode
 {
@@ -70,12 +72,16 @@ class VfsLayer
      * Charges the mode's cycle and lock costs.
      *
      * @param[out] out The new file.
+     * @param conn_id Connection id for span attribution (0 = none,
+     *        e.g. listener setup); trace-only, never affects costs.
      * @return The tick at which the allocation completes.
      */
-    Tick allocSocketFile(CoreId c, Tick t, void *sock, SocketFile **out);
+    Tick allocSocketFile(CoreId c, Tick t, void *sock, SocketFile **out,
+                         std::uint64_t conn_id = 0);
 
     /** Destroy a socket file; inverse cost profile of alloc. */
-    Tick freeSocketFile(CoreId c, Tick t, SocketFile *file);
+    Tick freeSocketFile(CoreId c, Tick t, SocketFile *file,
+                        std::uint64_t conn_id = 0);
 
     /**
      * Enumerate all live socket files, as /proc/net readers (netstat,
@@ -94,6 +100,7 @@ class VfsLayer
     VfsMode mode_;
     CacheModel &cache_;
     const CycleCosts &costs_;
+    Tracer *tracer_;    //!< borrowed from the lock registry; may be null
 
     SimSpinLock dcacheLock_;    //!< global (2.6.32 mode)
     SimSpinLock inodeLock_;     //!< global (2.6.32 mode)

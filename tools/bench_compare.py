@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Diff two bench --json exports and flag regressions.
+
+Usage: bench_compare.py <baseline.json> <candidate.json>
+           [--threshold=0.05] [--metrics=cps,rps]
+
+Rows are matched by label (rows present in only one document are
+reported but are not regressions). For each matched row the selected
+metrics are compared against the baseline:
+
+  - throughput metrics (cps, rps, served): higher is better; a drop of
+    more than the noise threshold is a regression
+  - overload latency percentiles (latency_p50_ticks, latency_p99_ticks,
+    compared only when both rows have latency samples): lower is
+    better; a rise of more than the threshold is a regression
+
+Improvements beyond the threshold are reported as such, never fatal.
+Accepts any schema version from v2 on (the compared keys exist in all
+of them). Exit status: 0 = no regressions, 1 = at least one regression,
+2 = usage/IO error.
+"""
+
+import json
+import sys
+
+DEFAULT_THRESHOLD = 0.05
+HIGHER_BETTER = ("cps", "rps", "served")
+LOWER_BETTER = ("latency_p50_ticks", "latency_p99_ticks")
+MIN_SCHEMA = 2
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {path}: {e}", file=sys.stderr)
+        return None
+    version = doc.get("schema_version")
+    if not isinstance(version, int) or version < MIN_SCHEMA:
+        print(f"error: {path}: unsupported schema_version {version!r}",
+              file=sys.stderr)
+        return None
+    if not isinstance(doc.get("rows"), list):
+        print(f"error: {path}: missing rows", file=sys.stderr)
+        return None
+    return doc
+
+
+def metric_value(row, name):
+    """Fetch a metric by name; None when absent or not comparable."""
+    if name in HIGHER_BETTER:
+        v = row.get("metrics", {}).get(name)
+        return float(v) if isinstance(v, (int, float)) else None
+    if name in LOWER_BETTER:
+        ov = row.get("overload", {})
+        if not ov.get("latency_samples"):
+            return None     # no samples -> percentile is meaningless
+        v = ov.get(name)
+        return float(v) if isinstance(v, (int, float)) else None
+    return None
+
+
+def compare_rows(label, base, cand, metrics, threshold):
+    """Return (regressions, improvements) message lists for one row."""
+    regressions = []
+    improvements = []
+    for m in metrics:
+        bv = metric_value(base, m)
+        cv = metric_value(cand, m)
+        if bv is None or cv is None:
+            continue
+        if bv == 0:
+            continue    # cannot express a relative delta
+        delta = (cv - bv) / bv
+        lower_better = m in LOWER_BETTER
+        worse = -delta if not lower_better else delta
+        msg = (f"{label}: {m} {bv:.6g} -> {cv:.6g} "
+               f"({delta * 100.0:+.1f}%)")
+        if worse > threshold:
+            regressions.append(msg)
+        elif worse < -threshold:
+            improvements.append(msg)
+    return regressions, improvements
+
+
+def main(argv):
+    paths = []
+    threshold = DEFAULT_THRESHOLD
+    metrics = list(HIGHER_BETTER) + list(LOWER_BETTER)
+    for a in argv[1:]:
+        if a.startswith("--threshold="):
+            try:
+                threshold = float(a.split("=", 1)[1])
+            except ValueError:
+                print(f"error: bad threshold {a!r}", file=sys.stderr)
+                return 2
+        elif a.startswith("--metrics="):
+            metrics = [m for m in a.split("=", 1)[1].split(",") if m]
+        elif a.startswith("--"):
+            print(f"error: unknown flag {a!r}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(a)
+    if len(paths) != 2:
+        print(__doc__.strip())
+        return 2
+
+    base_doc = load(paths[0])
+    cand_doc = load(paths[1])
+    if base_doc is None or cand_doc is None:
+        return 2
+
+    base_rows = {r.get("label"): r for r in base_doc["rows"]}
+    cand_rows = {r.get("label"): r for r in cand_doc["rows"]}
+
+    regressions = []
+    improvements = []
+    compared = 0
+    for label, base in base_rows.items():
+        cand = cand_rows.get(label)
+        if cand is None:
+            print(f"note: row '{label}' only in baseline")
+            continue
+        compared += 1
+        reg, imp = compare_rows(label, base, cand, metrics, threshold)
+        regressions.extend(reg)
+        improvements.extend(imp)
+    for label in cand_rows:
+        if label not in base_rows:
+            print(f"note: row '{label}' only in candidate")
+
+    for msg in improvements:
+        print(f"IMPROVED   {msg}")
+    for msg in regressions:
+        print(f"REGRESSION {msg}")
+    print(f"compared {compared} rows "
+          f"({base_doc.get('bench')}) at threshold "
+          f"{threshold * 100.0:.1f}%: "
+          f"{len(regressions)} regressions, "
+          f"{len(improvements)} improvements")
+    if compared == 0:
+        print("error: no rows matched by label", file=sys.stderr)
+        return 2
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -17,6 +17,10 @@ Checks (stdlib only, used by CI and by hand after editing the exporter):
     enabled <=> non-empty spec, offered == admitted + degraded + shed,
     the shed reasons decompose the total, admitted connections are all
     released or in flight, and a disabled row sheds/drops nothing
+  - (v5) per-row latency_stages block (span forensics): stage rows
+    carry monotone p50 <= p90 <= p99 <= p999 <= max percentiles,
+    exemplars are structurally sound, and trace.overwritten_per_core
+    sums to trace.events_overwritten
 Exit status 0 iff every document passes.
 """
 
@@ -24,7 +28,7 @@ import json
 import re
 import sys
 
-KNOWN_SCHEMA_VERSIONS = (2, 3, 4)
+KNOWN_SCHEMA_VERSIONS = (2, 3, 4, 5)
 
 V3_WINDOW_KEYS = ("completed", "goodput", "syn_retransmits",
                   "syn_cookies_sent", "syn_cookies_validated",
@@ -54,6 +58,14 @@ METRIC_KEYS = ("cps", "rps", "served", "core_util")
 PHASE_KEYS = ("names", "per_core", "machine")
 TRACE_KEYS = ("window_span", "events_recorded", "events_overwritten")
 INVARIANT_KEYS = ("checks_run", "violations", "failed")
+LATENCY_STAGES_KEYS = ("enabled", "completed", "live", "shed",
+                       "spans_recorded", "spans_dropped",
+                       "traces_dropped", "dominant_tail_stage",
+                       "stages", "exemplars")
+STAGE_ROW_KEYS = ("stage", "count", "p50", "p90", "p99", "p999", "max",
+                  "total_ticks")
+EXEMPLAR_KEYS = ("percentile", "conn_id", "latency", "unattributed",
+                 "stages", "cores")
 
 FINGERPRINT_RE = re.compile(r"^0x[0-9a-f]{16}$")
 
@@ -166,6 +178,47 @@ def validate(path):
                 if dirty:
                     return fail(path, f"{where}.overload: disabled but "
                                       f"non-zero {dirty}")
+
+        if version >= 5:
+            ls = row.get("latency_stages")
+            if not isinstance(ls, dict) or not require(
+                    ls, LATENCY_STAGES_KEYS, path,
+                    f"{where}.latency_stages"):
+                return fail(path,
+                            f"{where}.latency_stages missing or malformed")
+            for s, st in enumerate(ls["stages"]):
+                sw = f"{where}.latency_stages.stages[{s}]"
+                if not require(st, STAGE_ROW_KEYS, path, sw):
+                    return False
+                if not (st["p50"] <= st["p90"] <= st["p99"] <=
+                        st["p999"] <= st["max"]):
+                    return fail(path, f"{sw} ({st['stage']}): "
+                                      f"percentiles not monotone")
+                if st["count"] <= 0:
+                    return fail(path, f"{sw} ({st['stage']}): "
+                                      f"count must be positive")
+            for e, ex in enumerate(ls["exemplars"]):
+                ew = f"{where}.latency_stages.exemplars[{e}]"
+                if not require(ex, EXEMPLAR_KEYS, path, ew):
+                    return False
+                if ex["percentile"] not in ("p50", "p99", "p999"):
+                    return fail(path, f"{ew}: bad percentile "
+                                      f"{ex['percentile']!r}")
+                if ex["unattributed"] > ex["latency"]:
+                    return fail(path, f"{ew}: unattributed > latency")
+                if not isinstance(ex["cores"], list):
+                    return fail(path, f"{ew}: cores is not a list")
+            if ls["enabled"] and ls["completed"] > 0 and not ls["stages"]:
+                return fail(path, f"{where}.latency_stages: completed "
+                                  f"connections but no stage rows")
+            opc = row["trace"].get("overwritten_per_core")
+            if not isinstance(opc, list):
+                return fail(path, f"{where}.trace.overwritten_per_core "
+                                  f"missing (v5)")
+            if sum(opc) != row["trace"]["events_overwritten"]:
+                return fail(path, f"{where}.trace: overwritten_per_core "
+                                  f"sums to {sum(opc)}, expected "
+                                  f"{row['trace']['events_overwritten']}")
 
         for qname, samples in row["queue_timelines"].items():
             ticks = [s[0] for s in samples]

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Structurally validate a --perfetto trace-event JSON export.
+
+Usage: validate_perfetto.py <trace.json> [...] [--require-flows]
+                            [--forbid-flows]
+
+Checks (stdlib only; CI runs this on every exported trace):
+  - the document is valid JSON with a traceEvents list and otherData
+  - duration events: per (pid, tid) track, B timestamps are monotonic
+    non-decreasing and every E matches the name of the innermost open B
+    (balanced nesting, no dangling opens)
+  - async wait spans: per (cat, id, name), b/e strictly alternate and
+    balance out
+  - flow arrows: every flow id has exactly one s and one f, and the f
+    does not precede its s in timestamp
+  - otherData.cross_core_flows matches the counted s events, and when
+    otherData.rfd is true the trace must contain no flow arrows at all
+  - --require-flows additionally fails traces with zero flow arrows
+    (used on the RSS row, where cross-core hops must be visible);
+    --forbid-flows fails traces with any
+Exit status 0 iff every trace passes.
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: FAIL: {msg}")
+    return False
+
+
+def validate(path, require_flows=False, forbid_flows=False):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail(path, "traceEvents missing or empty")
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        return fail(path, "otherData missing")
+
+    stacks = {}       # (pid, tid) -> [(name, ts), ...] open B events
+    last_b_ts = {}    # (pid, tid) -> last B timestamp
+    async_open = {}   # (cat, id, name) -> open depth
+    flow_s = {}       # id -> ts of s
+    flow_f = {}       # id -> ts of f
+    n_b = n_e = n_async = 0
+
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        where = f"traceEvents[{i}]"
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            return fail(path, f"{where}: missing/bad ts")
+        track = (ev.get("pid"), ev.get("tid"))
+        if ph == "B":
+            n_b += 1
+            if track in last_b_ts and ts < last_b_ts[track]:
+                return fail(path, f"{where}: B ts {ts} precedes previous "
+                                  f"B {last_b_ts[track]} on track {track}")
+            last_b_ts[track] = ts
+            stacks.setdefault(track, []).append((ev.get("name"), ts))
+        elif ph == "E":
+            n_e += 1
+            stack = stacks.get(track)
+            if not stack:
+                return fail(path, f"{where}: E with no open B on track "
+                                  f"{track}")
+            name, b_ts = stack.pop()
+            if ev.get("name") not in (None, name):
+                return fail(path, f"{where}: E '{ev.get('name')}' closes "
+                                  f"B '{name}'")
+            if ts < b_ts:
+                return fail(path, f"{where}: E ts {ts} precedes its B "
+                                  f"{b_ts}")
+        elif ph in ("b", "e"):
+            n_async += 1
+            key = (ev.get("cat"), ev.get("id"), ev.get("name"))
+            depth = async_open.get(key, 0)
+            if ph == "b":
+                if depth != 0:
+                    return fail(path, f"{where}: async b re-opens {key}")
+                async_open[key] = 1
+            else:
+                if depth != 1:
+                    return fail(path, f"{where}: async e without b {key}")
+                async_open[key] = 0
+        elif ph == "s":
+            fid = ev.get("id")
+            if fid in flow_s:
+                return fail(path, f"{where}: duplicate flow s id {fid}")
+            flow_s[fid] = ts
+        elif ph == "f":
+            fid = ev.get("id")
+            if fid in flow_f:
+                return fail(path, f"{where}: duplicate flow f id {fid}")
+            flow_f[fid] = ts
+        else:
+            return fail(path, f"{where}: unknown ph {ph!r}")
+
+    for track, stack in stacks.items():
+        if stack:
+            return fail(path, f"track {track}: {len(stack)} unclosed B "
+                              f"events ({stack[-1][0]!r} last)")
+    if n_b != n_e:
+        return fail(path, f"{n_b} B events vs {n_e} E events")
+    dangling = [k for k, d in async_open.items() if d]
+    if dangling:
+        return fail(path, f"{len(dangling)} unclosed async spans "
+                          f"({dangling[0]})")
+    if set(flow_s) != set(flow_f):
+        only_s = set(flow_s) - set(flow_f)
+        only_f = set(flow_f) - set(flow_s)
+        return fail(path, f"unpaired flow ids: {len(only_s)} without f, "
+                          f"{len(only_f)} without s")
+    for fid, s_ts in flow_s.items():
+        if flow_f[fid] < s_ts:
+            return fail(path, f"flow {fid}: f ts {flow_f[fid]} precedes "
+                              f"s ts {s_ts}")
+
+    declared = other.get("cross_core_flows")
+    if declared is not None and declared != len(flow_s):
+        return fail(path, f"otherData.cross_core_flows={declared} but "
+                          f"{len(flow_s)} s events counted")
+    if other.get("rfd") and flow_s:
+        return fail(path, f"rfd=true but {len(flow_s)} cross-core flow "
+                          f"arrows present")
+    if require_flows and not flow_s:
+        return fail(path, "--require-flows: no flow arrows in trace")
+    if forbid_flows and flow_s:
+        return fail(path, f"--forbid-flows: {len(flow_s)} flow arrows "
+                          f"present")
+
+    print(f"{path}: OK ({n_b} slices, {n_async // 2} waits, "
+          f"{len(flow_s)} flows, rfd={other.get('rfd')})")
+    return True
+
+
+def main(argv):
+    require_flows = "--require-flows" in argv[1:]
+    forbid_flows = "--forbid-flows" in argv[1:]
+    paths = [a for a in argv[1:] if not a.startswith("--")]
+    if not paths:
+        print(__doc__.strip())
+        return 2
+    ok = all(validate(p, require_flows, forbid_flows) for p in paths)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
