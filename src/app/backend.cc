@@ -59,16 +59,23 @@ BackendPool::onPacket(const Packet &pkt)
         return;
     }
     if (pkt.payload > 0) {
-        // Serve the request; FIN rides on the response (server closes
-        // after replying, keep-alive off).
-        reply.flags = kAck | kPsh | kFin;
+        // Serve the request; without keep-alive, FIN rides on the
+        // response (server closes after replying). With keep-alive the
+        // connection stays open until the peer hangs up.
+        reply.flags = kAck | kPsh;
+        if (!keepAlive_)
+            reply.flags |= kFin;
         reply.payload = responseBytes_;
         ++served_;
         wire_.transmit(reply, eq_.now() + service);
         return;
     }
     if (pkt.has(kFin)) {
+        // ACK the peer's FIN; a kept-alive backend also closes its own
+        // half now, so the active closer can reach TIME_WAIT.
         reply.flags = kAck;
+        if (keepAlive_)
+            reply.flags |= kFin;
         wire_.transmit(reply, eq_.now());
         return;
     }

@@ -35,6 +35,13 @@ class BackendPool
                 Tick service_delay = ticksFromUsec(100));
 
     std::uint64_t requestsServed() const { return served_; }
+
+    /**
+     * Keep-alive mode: responses no longer carry FIN, so the proxy side
+     * becomes the active closer of every backend connection — the
+     * configuration where its ephemeral ports linger in TIME_WAIT.
+     */
+    void setKeepAlive(bool ka) { keepAlive_ = ka; }
     /** Packets swallowed by outage windows. */
     std::uint64_t outageDrops() const { return outageDrops_; }
 
@@ -71,6 +78,7 @@ class BackendPool
     IpAddr last_;
     std::uint32_t responseBytes_;
     Tick serviceDelay_;
+    bool keepAlive_ = false;
     std::vector<FaultWindow> faults_;
     std::uint64_t served_ = 0;
     std::uint64_t outageDrops_ = 0;

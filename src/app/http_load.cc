@@ -82,27 +82,63 @@ HttpLoad::launch()
 {
     if (cfg_.maxConns > 0 && started_ >= cfg_.maxConns)
         return;   // bounded workload exhausted; let the loop drain
-    IpAddr server = cfg_.serverAddrs[serverCursor_++ %
-                                     cfg_.serverAddrs.size()];
-    std::size_t ci = clientCursor_++ % cfg_.clientIps;
-    IpAddr client = cfg_.clientBase + static_cast<IpAddr>(ci);
-    Port sport = nextPort_[ci];
-    nextPort_[ci] = sport >= 65535 ? 1024 : static_cast<Port>(sport + 1);
+
+    const Port port_lo = 1024;
+    const Port port_hi =
+        cfg_.clientPortSpan > 0
+            ? static_cast<Port>(
+                  std::min(65535, 1024 + cfg_.clientPortSpan - 1))
+            : 65535;
+
+    // Pick a free client 4-tuple; with a narrowed port span the whole
+    // space can be in flight, in which case the launch is skipped and
+    // retried shortly (rather than recursing forever).
+    IpAddr server = 0;
+    IpAddr client = 0;
+    Port sport = 0;
+    std::uint64_t k = 0;
+    const int span = port_hi - port_lo + 1;
+    const long max_tries =
+        static_cast<long>(cfg_.clientIps) * span;
+    bool found = false;
+    for (long tries = 0; tries < max_tries; ++tries) {
+        server = cfg_.serverAddrs[serverCursor_++ %
+                                  cfg_.serverAddrs.size()];
+        std::size_t ci = clientCursor_++ % cfg_.clientIps;
+        client = cfg_.clientBase + static_cast<IpAddr>(ci);
+        sport = nextPort_[ci];
+        nextPort_[ci] = sport >= port_hi ? port_lo
+                                         : static_cast<Port>(sport + 1);
+        k = key(FiveTuple{server, client, cfg_.serverPort, sport});
+        if (!conns_.count(k)) {
+            found = true;
+            break;
+        }
+    }
+    if (!found) {
+        ++launchSkips_;
+        eq_.scheduleIn(ticksFromUsec(100), [this] { launch(); });
+        return;
+    }
 
     Conn conn;
     conn.tx = FiveTuple{client, server, sport, cfg_.serverPort};
-    conn.remaining = cfg_.requestsPerConn > 0 ? cfg_.requestsPerConn : 1;
     conn.epoch = nextEpoch_++;
     conn.startTick = eq_.now();
     conn.health =
         cfg_.healthEvery > 0 &&
         started_ % static_cast<std::uint64_t>(cfg_.healthEvery) == 0;
-    std::uint64_t k = key(conn.tx.reversed());
-    if (conns_.count(k)) {
-        // Tuple still in flight (port space wrapped); just pick another.
-        launch();
-        return;
-    }
+    // Bresenham stripe: exactly longLivedPermille long-lived conns per
+    // 1000 launches, deterministically interleaved.
+    const std::uint64_t pm =
+        static_cast<std::uint64_t>(cfg_.longLivedPermille);
+    conn.longLived = !conn.health && pm > 0 &&
+                     ((started_ + 1) * pm) / 1000 >
+                         (started_ * pm) / 1000;
+    conn.remaining =
+        conn.longLived
+            ? std::max(1, cfg_.longLivedRequests)
+            : (cfg_.requestsPerConn > 0 ? cfg_.requestsPerConn : 1);
     auto emplaced = conns_.emplace(k, conn);
     Conn &c = emplaced.first->second;
     ++started_;
@@ -245,8 +281,20 @@ HttpLoad::onPacket(const Packet &pkt)
             --c.remaining;
             if (c.remaining > 0 && !pkt.has(kFin)) {
                 // Keep-alive: issue the next request on the same
-                // connection.
-                sendRequest(c, k);
+                // connection, after think time for long-lived conns.
+                if (c.longLived && cfg_.longLivedThink > 0) {
+                    std::uint64_t epoch = c.epoch;
+                    eq_.scheduleIn(cfg_.longLivedThink,
+                                   [this, k, epoch] {
+                                       auto it2 = conns_.find(k);
+                                       if (it2 == conns_.end() ||
+                                           it2->second.epoch != epoch)
+                                           return;
+                                       sendRequest(it2->second, k);
+                                   });
+                } else {
+                    sendRequest(c, k);
+                }
                 break;
             }
         }
@@ -255,11 +303,13 @@ HttpLoad::onPacket(const Packet &pkt)
             send(c, k, kAck | kFin, 0);
             c.state = State::kWaitLastAck;
         } else if (c.gotData && c.remaining <= 0) {
-            if (cfg_.requestsPerConn > 1) {
-                // Long-lived mode: the client closes first.
+            if (cfg_.requestsPerConn > 1 && cfg_.longLivedPermille == 0) {
+                // Uniform long-lived mode: the client closes first.
                 send(c, k, kAck | kFin, 0);
                 c.state = State::kClosing;
             } else {
+                // Short-lived (and mixed-mode conns, whose last request
+                // carried "Connection: close"): the server closes.
                 c.state = State::kWaitFin;
             }
         }
@@ -290,7 +340,13 @@ HttpLoad::onPacket(const Packet &pkt)
 void
 HttpLoad::sendRequest(Conn &c, std::uint64_t k)
 {
-    send(c, k, kAck | kPsh, reqBytes(c));
+    std::uint8_t flags = kAck | kPsh;
+    // Mixed-lifetime mode negotiates per request: only a long-lived
+    // conn's non-final requests omit the close header, so a keep-alive
+    // server still actively closes every other exchange.
+    if (cfg_.longLivedPermille > 0 && c.remaining <= 1)
+        flags |= kConnClose;
+    send(c, k, flags, reqBytes(c));
     if (cfg_.rtoBase > 0)
         armRetx(k, c.epoch, State::kWaitResponse, c.rxResponses,
                 cfg_.rtoBase);

@@ -78,6 +78,27 @@ class HttpLoad
          *  health_bytes so the admission controller classifies it. */
         std::uint32_t healthRequestBytes = 32;
         /** @} */
+
+        /** @name Mixed connection lifetimes (0 = uniform workload) */
+        /** @{ */
+        /** Long-lived connections per 1000 launches (deterministically
+         *  striped; 0 = mixed mode off, 1000 = all long-lived). A
+         *  long-lived conn issues longLivedRequests keep-alive requests
+         *  (pausing longLivedThink between them) and marks only its
+         *  last request "Connection: close". All other connections
+         *  carry the close header on their single request, so a
+         *  keep-alive server still takes the active-close (TIME_WAIT)
+         *  path for them. */
+        int longLivedPermille = 0;
+        /** Requests a long-lived connection issues before closing. */
+        int longLivedRequests = 8;
+        /** Idle think time between a long-lived conn's requests. */
+        Tick longLivedThink = 0;
+        /** Restrict each client IP's ephemeral ports to
+         *  [1024, 1024 + span) (0 = full range): shrinks the client
+         *  tuple space to force TIME_WAIT tuple-reuse pressure. */
+        int clientPortSpan = 0;
+        /** @} */
     };
 
     HttpLoad(EventQueue &eq, Wire &wire, const Config &cfg);
@@ -108,6 +129,9 @@ class HttpLoad
     std::uint64_t requestRetransmits() const { return reqRetx_; }
     /** Connections abandoned after maxRetx retransmissions. */
     std::uint64_t retxGiveups() const { return retxGiveups_; }
+    /** Launches skipped because the client tuple space was saturated
+     *  (every candidate 4-tuple still in flight). */
+    std::uint64_t launchSkips() const { return launchSkips_; }
     std::uint64_t inFlight() const { return conns_.size(); }
     /** Response payload bytes received (the "bytes served" oracle). */
     std::uint64_t bytesReceived() const { return bytesReceived_; }
@@ -155,6 +179,7 @@ class HttpLoad
         std::uint64_t rxResponses = 0; //!< progress marker for retx
         int retx = 0;              //!< retransmissions so far
         bool health = false;       //!< health probe (tiny request)
+        bool longLived = false;    //!< keep-alive multi-request conn
         Tick startTick = 0;        //!< launch time, for latency samples
     };
 
@@ -200,6 +225,7 @@ class HttpLoad
     std::uint64_t synRetx_ = 0;
     std::uint64_t reqRetx_ = 0;
     std::uint64_t retxGiveups_ = 0;
+    std::uint64_t launchSkips_ = 0;
     std::uint64_t bytesReceived_ = 0;
     std::uint64_t nextEpoch_ = 1;
     std::uint64_t healthStarted_ = 0;

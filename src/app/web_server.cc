@@ -45,8 +45,9 @@ WebServer::onConnReadable(ProcState &ps, int fd, Tick t)
         ++served_;
         if (degraded)
             ++servedDegraded_;
-        if (!keepAlive_) {
-            // keep-alive off: active close right after the response.
+        if (!keepAlive_ || r.connClose) {
+            // keep-alive off (or the request said "Connection: close"):
+            // active close right after the response.
             admRelease(ps.proc, fd);
             t = k.close(ps.proc, t, fd);
         } else if (r.finSeen) {

@@ -36,6 +36,19 @@ Scenario::toConfig() const
         kc.localEstablished = localEstablished;
         cfg.machine.kernel = kc;
     }
+    cfg.machine.kernel.twReuse = twReuse;
+    cfg.machine.kernel.twRecycle = twRecycle;
+    if (ephemeralPorts > 0)
+        cfg.machine.kernel.ephemeralPortHi = static_cast<Port>(
+            cfg.machine.kernel.ephemeralPortLo + ephemeralPorts - 1);
+    cfg.longLivedPermille = longLivedPermille;
+    cfg.longLivedRequests = longLivedRequests;
+    cfg.longLivedThink = ticksFromUsec(
+        static_cast<std::uint64_t>(longLivedThinkMsec * 1000.0));
+    cfg.clientPortSpan = clientPortSpan;
+    if (clientIps > 0)
+        cfg.clientIps = clientIps;
+    cfg.backendKeepAlive = backendKeepAlive;
     cfg.concurrencyPerCore = concurrencyPerCore;
     cfg.requestsPerConn = requestsPerConn;
     cfg.maxConns = maxConns;
@@ -85,6 +98,34 @@ randomScenario(Rng &rng)
     s.concurrencyPerCore = 8 + static_cast<int>(rng.range(93));
     s.requestsPerConn = 1 + static_cast<int>(rng.range(4));
     s.maxConns = 200 + rng.range(1801);
+
+    // Connection-lifetime pressure. Mixed lifetimes only make sense
+    // against the web server (the proxy tears each session down after
+    // one exchange); TIME_WAIT tuple collisions and ephemeral-port
+    // exhaustion each get their own dice.
+    if (s.app == AppKind::kNginx && rng.chance(0.3)) {
+        s.longLivedPermille = 100 + static_cast<int>(rng.range(801));
+        s.longLivedRequests = 2 + static_cast<int>(rng.range(3));
+        s.longLivedThinkMsec = 0.2 + rng.uniform() * 3.0;
+    }
+    if (s.app == AppKind::kNginx && rng.chance(0.2)) {
+        // Colliding four-tuples: fresh SYNs land on lingering entries.
+        // The conservative path drops those SYNs, so the client RTO
+        // retry is load-bearing for drain; recycle (half the time)
+        // admits them instead.
+        s.clientPortSpan = 8 << rng.range(3);
+        s.clientIps = 1 + static_cast<int>(rng.range(4));
+        s.clientRtoMsec = 2.0 + rng.uniform() * 10.0;
+        s.twRecycle = rng.chance(0.5);
+    }
+    if (s.app == AppKind::kHaproxy && rng.chance(0.2)) {
+        // Active-connect port pressure: keep-alive backends make the
+        // proxy the active closer, and a small ephemeral range turns
+        // the TIME_WAIT linger into EADDRNOTAVAIL unless reuse is on.
+        s.backendKeepAlive = true;
+        s.ephemeralPorts = 64 << rng.range(3);
+        s.twReuse = rng.chance(0.5);
+    }
     if (rng.chance(0.3)) {
         s.lossRate = rng.uniform() * 0.05;
         // Loss demands a give-up timer or stuck connections never drain.
@@ -186,6 +227,23 @@ serializeScenario(const Scenario &s)
     os << "acceptMutex = " << (s.acceptMutex ? 1 : 0) << "\n";
     os << "traceEnabled = " << (s.traceEnabled ? 1 : 0) << "\n";
     os << "maxSimSec = " << s.maxSimSec << "\n";
+    if (s.longLivedPermille > 0) {
+        os << "longLivedPermille = " << s.longLivedPermille << "\n";
+        os << "longLivedRequests = " << s.longLivedRequests << "\n";
+        os << "longLivedThinkMsec = " << s.longLivedThinkMsec << "\n";
+    }
+    if (s.clientPortSpan > 0)
+        os << "clientPortSpan = " << s.clientPortSpan << "\n";
+    if (s.clientIps > 0)
+        os << "clientIps = " << s.clientIps << "\n";
+    if (s.twReuse)
+        os << "twReuse = 1\n";
+    if (s.twRecycle)
+        os << "twRecycle = 1\n";
+    if (s.backendKeepAlive)
+        os << "backendKeepAlive = 1\n";
+    if (s.ephemeralPorts > 0)
+        os << "ephemeralPorts = " << s.ephemeralPorts << "\n";
     if (!s.faultPlan.empty())
         os << "faultPlan = " << s.faultPlan << "\n";
     if (s.synCookies)
@@ -275,6 +333,24 @@ parseScenario(const std::string &text, Scenario &out, std::string &err)
                 s.traceEnabled = std::stoi(val) != 0;
             else if (key == "maxSimSec")
                 s.maxSimSec = std::stod(val);
+            else if (key == "longLivedPermille")
+                s.longLivedPermille = std::stoi(val);
+            else if (key == "longLivedRequests")
+                s.longLivedRequests = std::stoi(val);
+            else if (key == "longLivedThinkMsec")
+                s.longLivedThinkMsec = std::stod(val);
+            else if (key == "clientPortSpan")
+                s.clientPortSpan = std::stoi(val);
+            else if (key == "clientIps")
+                s.clientIps = std::stoi(val);
+            else if (key == "twReuse")
+                s.twReuse = std::stoi(val) != 0;
+            else if (key == "twRecycle")
+                s.twRecycle = std::stoi(val) != 0;
+            else if (key == "backendKeepAlive")
+                s.backendKeepAlive = std::stoi(val) != 0;
+            else if (key == "ephemeralPorts")
+                s.ephemeralPorts = std::stoi(val);
             else if (key == "faultPlan")
                 s.faultPlan = val;
             else if (key == "synCookies")
@@ -311,6 +387,27 @@ parseScenario(const std::string &text, Scenario &out, std::string &err)
     }
     if (s.maxConns == 0) {
         err = "maxConns must be > 0 (fuzz runs must quiesce)";
+        return false;
+    }
+    if (s.longLivedPermille < 0 || s.longLivedPermille > 1000) {
+        err = "longLivedPermille out of [0,1000]";
+        return false;
+    }
+    if (s.longLivedPermille > 0 && s.longLivedRequests < 1) {
+        err = "longLivedRequests must be >= 1";
+        return false;
+    }
+    if (s.clientPortSpan > 0 && s.clientRtoMsec <= 0.0 && !s.twRecycle) {
+        err = "clientPortSpan > 0 requires clientRtoMsec > 0 or "
+              "twRecycle (TIME_WAIT SYN drops need a retry to drain)";
+        return false;
+    }
+    if (s.ephemeralPorts < 0 || s.ephemeralPorts > 28232) {
+        err = "ephemeralPorts out of range";
+        return false;
+    }
+    if (s.clientIps < 0 || s.clientPortSpan < 0) {
+        err = "clientIps/clientPortSpan must be >= 0";
         return false;
     }
     if (!s.faultPlan.empty()) {
@@ -468,6 +565,34 @@ shrinkCandidates(const Scenario &s)
     if (s.requestsPerConn > 1) {
         Scenario c = s;
         c.requestsPerConn = 1;
+        push(c);
+    }
+    if (s.longLivedPermille > 0) {
+        Scenario c = s;
+        c.longLivedPermille = 0;
+        c.longLivedThinkMsec = 0.0;
+        push(c);
+    }
+    if (s.clientPortSpan > 0 || s.clientIps > 0) {
+        Scenario c = s;
+        c.clientPortSpan = 0;
+        c.clientIps = 0;
+        c.twRecycle = false;
+        push(c);
+    } else if (s.twRecycle) {
+        Scenario c = s;
+        c.twRecycle = false;
+        push(c);
+    }
+    if (s.backendKeepAlive || s.ephemeralPorts > 0) {
+        Scenario c = s;
+        c.backendKeepAlive = false;
+        c.ephemeralPorts = 0;
+        c.twReuse = false;
+        push(c);
+    } else if (s.twReuse) {
+        Scenario c = s;
+        c.twReuse = false;
         push(c);
     }
     if (s.listenBacklog != 0) {

@@ -51,6 +51,27 @@ struct Scenario
     bool traceEnabled = true;
     double maxSimSec = 30.0;        //!< drain cap
 
+    /** @name Connection-lifetime shape (TIME_WAIT / mixed-lifetime) */
+    /** @{ */
+    int longLivedPermille = 0;   //!< per-1000 launches parked long-lived
+    int longLivedRequests = 2;   //!< requests per long-lived connection
+    double longLivedThinkMsec = 0.0;
+    /** Tiny client source-port space: four-tuples repeat fast, so fresh
+     *  SYNs keep landing on lingering TIME_WAIT entries. Requires
+     *  clientRtoMsec > 0 (conservative TW drops the SYN; the retry is
+     *  what lets the run drain). */
+    int clientPortSpan = 0;
+    int clientIps = 0;           //!< client IP count (0 = default 256)
+    bool twReuse = false;        //!< tcp_tw_reuse analog
+    bool twRecycle = false;      //!< tcp_tw_recycle analog
+    /** Keep-alive backends (haproxy): the proxy actively closes every
+     *  backend connection, putting its ephemeral ports in TIME_WAIT. */
+    bool backendKeepAlive = false;
+    /** Shrink the ephemeral range to this many ports (0 = default),
+     *  for connect()-side port-exhaustion pressure. */
+    int ephemeralPorts = 0;
+    /** @} */
+
     /** Fault plan in parseFaultPlan() text form (empty = no faults).
      *  A non-empty plan requires clientTimeoutSec > 0 so stuck
      *  connections still drain. */

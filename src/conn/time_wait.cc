@@ -1,0 +1,85 @@
+#include "conn/time_wait.hh"
+
+#include "sim/logging.hh"
+
+namespace fsim
+{
+
+TimeWaitTable::TimeWaitTable(int n_buckets)
+{
+    fsim_assert(n_buckets > 0);
+    fifos_.resize(n_buckets);
+}
+
+void
+TimeWaitTable::add(int bucket, const FiveTuple &tuple,
+                   std::uint64_t expires, bool holds_port)
+{
+    fsim_assert(bucket >= 0 && bucket < bucketCount());
+    TupleKey key{tuple};
+    std::uint64_t gen = nextGen_++;
+    auto [it, inserted] =
+        index_.emplace(key, IndexedEntry{{tuple, expires, holds_port},
+                                         bucket, gen});
+    // A tuple cannot linger twice: the old entry is always removed
+    // (recycled) before the tuple can complete another handshake.
+    fsim_assert(inserted);
+    (void)it;
+    fifos_[bucket].push_back(FifoSlot{key, gen});
+    if (index_.size() > peak_)
+        peak_ = index_.size();
+}
+
+const TimeWaitTable::Entry *
+TimeWaitTable::find(const FiveTuple &tuple) const
+{
+    auto it = index_.find(TupleKey{tuple});
+    return it == index_.end() ? nullptr : &it->second.entry;
+}
+
+bool
+TimeWaitTable::remove(const FiveTuple &tuple, Entry *out)
+{
+    auto it = index_.find(TupleKey{tuple});
+    if (it == index_.end())
+        return false;
+    if (out)
+        *out = it->second.entry;
+    // The FIFO slot goes stale and is skipped at reap/headExpiry time;
+    // eager middle-of-deque removal would be O(n) per recycled tuple.
+    index_.erase(it);
+    return true;
+}
+
+std::uint64_t
+TimeWaitTable::headExpiry(int bucket)
+{
+    fsim_assert(bucket >= 0 && bucket < bucketCount());
+    auto &fifo = fifos_[bucket];
+    while (!fifo.empty()) {
+        auto it = index_.find(fifo.front().key);
+        if (it != index_.end() && it->second.gen == fifo.front().gen)
+            return it->second.entry.expires;
+        fifo.pop_front();    // stale: removed, or a later re-add's entry
+    }
+    return 0;
+}
+
+std::uint64_t
+TimeWaitTable::reapExpired(int bucket, std::uint64_t now_jiffy,
+                           std::vector<Entry> &reaped)
+{
+    while (true) {
+        std::uint64_t head = headExpiry(bucket);
+        if (head == 0 || head > now_jiffy)
+            return head;
+        auto &fifo = fifos_[bucket];
+        auto it = index_.find(fifo.front().key);
+        fsim_assert(it != index_.end());
+        reaped.push_back(it->second.entry);
+        index_.erase(it);
+        fifo.pop_front();
+    }
+}
+
+} // namespace fsim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Compact TIME_WAIT table.
+ *
+ * Linux does not keep a full tcp_sock for a connection in TIME_WAIT: it
+ * swaps the TCB for a ~10x smaller inet_timewait_sock holding just the
+ * tuple, the timestamps and the expiry, threaded on a shared reaper
+ * timer. This table models that: when a connection enters TIME_WAIT its
+ * Socket is destroyed and replaced by a 32-byte Entry; one reaper timer
+ * per bucket (per core when the established tables are partitioned)
+ * replaces the per-socket timers, so a million lingering connections arm
+ * a handful of wheel entries instead of a million.
+ *
+ * Buckets use expiry-ordered FIFOs (the linger is a constant, so insert
+ * order is expiry order) plus a tuple-keyed index for the two packets a
+ * TIME_WAIT tuple can still see: a retransmitted FIN (re-ACK it) and a
+ * new SYN reusing the tuple (drop, or recycle under tcp_tw_recycle).
+ */
+
+#ifndef FSIM_CONN_TIME_WAIT_HH
+#define FSIM_CONN_TIME_WAIT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/types.hh"
+
+namespace fsim
+{
+
+/** Machine-wide registry of connections lingering in TIME_WAIT. */
+class TimeWaitTable
+{
+  public:
+    /** One lingering connection (the inet_timewait_sock analog). */
+    struct Entry
+    {
+        FiveTuple tuple;            //!< rx orientation (saddr = peer)
+        std::uint64_t expires = 0;  //!< absolute jiffy
+        /** Entry still owns the local ephemeral port (active close
+         *  without tcp_tw_reuse); the reaper must release it. */
+        bool holdsPort = false;
+    };
+
+    /**
+     * @param n_buckets One per core under per-core partitioning (entries
+     *                  bucketed by closing core), else 1.
+     */
+    explicit TimeWaitTable(int n_buckets);
+
+    /**
+     * Add a lingering tuple to @p bucket.
+     *
+     * The linger must be a per-table constant (entries of a bucket are
+     * kept in insert order and reaped from the head).
+     */
+    void add(int bucket, const FiveTuple &tuple, std::uint64_t expires,
+             bool holds_port);
+
+    /** Lookup a lingering entry (any bucket). @return nullptr if none. */
+    const Entry *find(const FiveTuple &tuple) const;
+
+    /**
+     * Remove a lingering entry (recycle-on-SYN, or tests).
+     *
+     * @return true and copy the entry to @p out if it existed.
+     */
+    bool remove(const FiveTuple &tuple, Entry *out = nullptr);
+
+    /**
+     * Pop every entry of @p bucket whose expiry is <= @p now_jiffy into
+     * @p reaped (in expiry order).
+     *
+     * @return expiry jiffy of the new head entry, or 0 if the bucket
+     *         emptied.
+     */
+    std::uint64_t reapExpired(int bucket, std::uint64_t now_jiffy,
+                              std::vector<Entry> &reaped);
+
+    /** Expiry of @p bucket's head entry (0 if empty); prunes any stale
+     *  head slots left by remove(). */
+    std::uint64_t headExpiry(int bucket);
+
+    std::size_t size() const { return index_.size(); }
+    std::size_t peakSize() const { return peak_; }
+    int bucketCount() const { return static_cast<int>(fifos_.size()); }
+
+    /** Approximate bytes held per lingering connection. */
+    static constexpr std::size_t kBytesPerEntry = sizeof(Entry);
+
+  private:
+    struct TupleKey
+    {
+        FiveTuple t;
+
+        bool operator==(const TupleKey &o) const { return t == o.t; }
+    };
+
+    struct TupleKeyHash
+    {
+        std::size_t
+        operator()(const TupleKey &k) const
+        {
+            // flowHash alone is 32-bit; fold in the raw fields so index
+            // collisions stay hash-map-internal.
+            std::uint64_t h = flowHash(k.t);
+            h = h * 0x9e3779b97f4a7c15ull + k.t.saddr;
+            h = h * 0x9e3779b97f4a7c15ull + k.t.daddr;
+            h = h * 0x9e3779b97f4a7c15ull +
+                ((static_cast<std::uint64_t>(k.t.sport) << 16) |
+                 k.t.dport);
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    struct IndexedEntry
+    {
+        Entry entry;
+        int bucket = 0;
+        /** Matches the FIFO slot of *this* lingering episode, so a slot
+         *  left stale by remove() cannot alias a later re-add of the
+         *  same tuple. */
+        std::uint64_t gen = 0;
+    };
+
+    struct FifoSlot
+    {
+        TupleKey key;
+        std::uint64_t gen = 0;
+    };
+
+    /** FIFO per bucket; stale entries (removed via the index) are
+     *  skipped lazily at reap time. */
+    std::vector<std::deque<FifoSlot>> fifos_;
+    std::unordered_map<TupleKey, IndexedEntry, TupleKeyHash> index_;
+    std::uint64_t nextGen_ = 1;
+    std::size_t peak_ = 0;
+};
+
+} // namespace fsim
+
+#endif // FSIM_CONN_TIME_WAIT_HH

@@ -54,6 +54,8 @@ struct CycleCosts
     Tick synProcess = 2600;          //!< request sock create + SYN-ACK build
     Tick establish = 3600;           //!< full TCB create on final ACK
     Tick ehashLookup = 220;          //!< established table probe
+    Tick ehashChainProbe = 60;       //!< per extra chain entry walked
+                                     //!< (tuple compare + next pointer)
     Tick ehashInsertHold = 260;      //!< bucket lock hold for insert/remove
     Tick acceptQueuePushHold = 320;  //!< listen slock hold to enqueue
     Tick slockHoldRx = 650;          //!< TCB processing under slock (softirq)

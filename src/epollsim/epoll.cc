@@ -31,13 +31,10 @@ EventPoll::ctlDel(CoreId c, Tick t, int fd)
 {
     t += costs_.epollCtl;
     Tick end = epLock_.runLocked(c, t, costs_.epollWakeHold);
-    auto it = interest_.find(fd);
-    if (it != interest_.end()) {
-        if (it->second)
-            ready_.erase(std::remove(ready_.begin(), ready_.end(), fd),
-                         ready_.end());
-        interest_.erase(it);
-    }
+    // Any pending ready entry is left in place and skipped lazily by
+    // wait(): an eager O(ready) scan here is quadratic when a worker
+    // closes fds while its ready list is deep (million-connection churn).
+    interest_.erase(fd);
     wakeTicks_.erase(fd);
     return end;
 }
@@ -86,7 +83,10 @@ EventPoll::wait(CoreId c, Tick t, std::vector<int> &out, int max_events)
         int fd = ready_.front();
         ready_.pop_front();
         auto it = interest_.find(fd);
-        if (it != interest_.end()) {
+        // The linked check matters: a stale entry left by ctlDel must not
+        // be delivered against a re-added fd of the same number (the new
+        // registration has its own wakeup or none at all).
+        if (it != interest_.end() && it->second) {
             it->second = false;
             out.push_back(fd);
         }

@@ -31,8 +31,12 @@ LocalEstablishedTable::LocalEstablishedTable(int n_cores, int n_buckets,
     fsim_assert(n_cores > 0);
     tables_.reserve(n_cores);
     for (int i = 0; i < n_cores; ++i) {
+        // Per-core tables are private to their owning core (RFD steers
+        // every packet of a connection to the inserting core), so they can
+        // grow with load; the global ehash cannot and its chains lengthen.
         tables_.push_back(std::make_unique<EstablishedTable>(
-            n_buckets, locks, cache, costs, "ehash.lock"));
+            n_buckets, locks, cache, costs, "ehash.lock",
+            /*resizable=*/true));
     }
 }
 

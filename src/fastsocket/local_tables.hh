@@ -59,6 +59,7 @@ class LocalEstablishedTable
                           CacheModel &cache, const CycleCosts &costs);
 
     EstablishedTable &table(CoreId c) { return *tables_.at(c); }
+    const EstablishedTable &table(CoreId c) const { return *tables_.at(c); }
 
     int numCores() const { return static_cast<int>(tables_.size()); }
 

@@ -215,6 +215,42 @@ BenchJsonReport::str() const
         w.key("health_probes_failed").value(ov.healthProbesFailed);
         w.endObject();
 
+        const ConnResult &cn = r.conn;
+        w.key("conn").beginObject();
+        w.key("tcb_live").value(cn.tcbLive);
+        w.key("tcb_live_peak").value(cn.tcbLivePeak);
+        w.key("tcb_created").value(cn.tcbCreated);
+        w.key("slab_bytes").value(cn.slabBytes);
+        w.key("bytes_per_conn").value(cn.bytesPerConn);
+        w.key("established_curr").value(cn.establishedCurr);
+        w.key("established_peak").value(cn.establishedPeak);
+        w.key("time_wait_curr").value(cn.timeWaitCurr);
+        w.key("time_wait_peak").value(cn.timeWaitPeak);
+        w.key("time_wait_entered").value(cn.timeWaitEntered);
+        w.key("time_wait_reaped").value(cn.timeWaitReaped);
+        w.key("time_wait_recycled").value(cn.timeWaitRecycled);
+        w.key("time_wait_reused").value(cn.timeWaitReused);
+        w.key("time_wait_syn_dropped").value(cn.timeWaitSynDropped);
+        w.key("time_wait_acks").value(cn.timeWaitAcks);
+        w.key("port_alloc_failures").value(cn.portAllocFailures);
+        w.key("ehash_lookups").value(cn.ehashLookups);
+        w.key("ehash_probes_walked").value(cn.ehashProbesWalked);
+        w.key("ehash_lookup_cycles").value(cn.ehashLookupCycles);
+        w.key("ehash_resizes").value(cn.ehashResizes);
+        w.key("avg_probe_len").value(cn.avgProbeLen);
+        w.key("cycles_per_lookup").value(cn.cyclesPerLookup);
+        w.key("ramp").beginArray();
+        for (const ConnRampPoint &rp : cn.ramp) {
+            w.beginObject();
+            w.key("live").value(rp.live);
+            w.key("bytes_per_conn").value(rp.bytesPerConn);
+            w.key("cycles_per_lookup").value(rp.cyclesPerLookup);
+            w.key("avg_probe_len").value(rp.avgProbeLen);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+
         w.key("lock_windows").beginArray();
         for (const LockWindow &lw : r.lockWindows) {
             w.beginObject();

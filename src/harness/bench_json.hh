@@ -31,8 +31,11 @@ class BenchJsonReport
      *  signals, latency percentiles).
      *  v5: per-row "latency_stages" block (span-forensics stage
      *  percentiles + tail exemplars) and "overwritten_per_core" in the
-     *  "trace" block. */
-    static constexpr int kSchemaVersion = 5;
+     *  "trace" block.
+     *  v6: per-row "conn" block (TCB arena bytes-per-connection,
+     *  TIME_WAIT lifecycle counters, port-allocation failures, ehash
+     *  lookup cost, optional connection-ramp checkpoints). */
+    static constexpr int kSchemaVersion = 6;
 
     explicit BenchJsonReport(std::string bench_name);
 

@@ -81,6 +81,7 @@ Testbed::Testbed(const ExperimentConfig &cfg)
         backends_ = std::make_unique<BackendPool>(
             *eq_, *wire_, bfirst, blast, cfg_.responseBytes,
             ticksFromUsec(100));
+        backends_->setKeepAlive(cfg_.backendKeepAlive);
         std::vector<IpAddr> baddrs;
         for (IpAddr a = bfirst; a <= blast; ++a)
             baddrs.push_back(a);
@@ -95,7 +96,8 @@ Testbed::Testbed(const ExperimentConfig &cfg)
         app_ = std::move(proxy);
     } else {
         app_ = std::make_unique<WebServer>(*machine_, cfg_.responseBytes,
-                                           cfg_.requestsPerConn > 1);
+                                           cfg_.requestsPerConn > 1 ||
+                                               cfg_.longLivedPermille > 0);
     }
     app_->setAcceptMutex(cfg_.acceptMutex);
     app_->start();
@@ -125,6 +127,12 @@ Testbed::Testbed(const ExperimentConfig &cfg)
     lc.healthEvery = cfg_.clientHealthEvery;
     if (cfg_.machine.overload.healthRequestBytes > 0)
         lc.healthRequestBytes = cfg_.machine.overload.healthRequestBytes;
+    lc.longLivedPermille = cfg_.longLivedPermille;
+    lc.longLivedRequests = cfg_.longLivedRequests;
+    lc.longLivedThink = cfg_.longLivedThink;
+    lc.clientPortSpan = cfg_.clientPortSpan;
+    if (cfg_.clientIps > 0)
+        lc.clientIps = cfg_.clientIps;
     load_ = std::make_unique<HttpLoad>(*eq_, *wire_, lc);
 
     if (!cfg_.faults.empty()) {
@@ -204,6 +212,23 @@ Testbed::currentFingerprint() const
     fp.mix(ks.synCookiesValidated);
     fp.mix(ks.synRcvdReaped);
     fp.mix(ks.acceptQueueRsts);
+    // Connection-lifetime subsystem counters: TW lifecycle decisions,
+    // port exhaustion, ehash probing work, and the arena census are all
+    // deterministic simulated behavior.
+    fp.mix(ks.establishedPeak);
+    fp.mix(ks.timeWaitEntered);
+    fp.mix(ks.timeWaitRecycled);
+    fp.mix(ks.timeWaitReused);
+    fp.mix(ks.timeWaitSynDropped);
+    fp.mix(ks.timeWaitAcks);
+    fp.mix(ks.portAllocFailures);
+    fp.mix(machine_->kernel().tcbArena().totalCreated());
+    fp.mix(machine_->kernel().tcbArena().peakLive());
+    fp.mix(machine_->kernel().timeWaitTable().peakSize());
+    fp.mix(machine_->kernel().ehashLookups());
+    fp.mix(machine_->kernel().ehashProbesWalked());
+    fp.mix(machine_->kernel().ehashLookupCycles());
+    fp.mix(machine_->kernel().ehashResizes());
     fp.mix(wire_->duplicated());
     fp.mix(load_->synRetransmits());
     fp.mix(load_->requestRetransmits());
@@ -400,6 +425,38 @@ Testbed::collect()
     ov.healthProbesStarted = load_->healthStarted();
     ov.healthProbesCompleted = load_->healthCompleted();
     ov.healthProbesFailed = load_->healthFailed();
+
+    // Connection-lifetime census: arena footprint, TIME_WAIT lifecycle,
+    // port pressure, and established-hash lookup cost (run totals).
+    ConnResult &cn = r.conn;
+    const KernelStack &k = machine_->kernel();
+    const TcbArena &arena = k.tcbArena();
+    cn.tcbLive = arena.live();
+    cn.tcbLivePeak = arena.peakLive();
+    cn.tcbCreated = arena.totalCreated();
+    cn.slabBytes = arena.slabBytes();
+    cn.bytesPerConn = arena.bytesPerConn();
+    cn.establishedCurr = ks.establishedCurr;
+    cn.establishedPeak = ks.establishedPeak;
+    cn.timeWaitCurr = k.timeWaitTable().size();
+    cn.timeWaitPeak = k.timeWaitTable().peakSize();
+    cn.timeWaitEntered = ks.timeWaitEntered;
+    cn.timeWaitReaped = ks.timeWaitReaped;
+    cn.timeWaitRecycled = ks.timeWaitRecycled;
+    cn.timeWaitReused = ks.timeWaitReused;
+    cn.timeWaitSynDropped = ks.timeWaitSynDropped;
+    cn.timeWaitAcks = ks.timeWaitAcks;
+    cn.portAllocFailures = ks.portAllocFailures;
+    cn.ehashLookups = k.ehashLookups();
+    cn.ehashProbesWalked = k.ehashProbesWalked();
+    cn.ehashLookupCycles = k.ehashLookupCycles();
+    cn.ehashResizes = k.ehashResizes();
+    if (cn.ehashLookups > 0) {
+        cn.avgProbeLen = static_cast<double>(cn.ehashProbesWalked) /
+                         static_cast<double>(cn.ehashLookups);
+        cn.cyclesPerLookup = static_cast<double>(cn.ehashLookupCycles) /
+                             static_cast<double>(cn.ehashLookups);
+    }
     return r;
 }
 

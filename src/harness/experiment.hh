@@ -55,6 +55,10 @@ struct ExperimentConfig
     /** Backend service port (a non-well-known port exercises RFD rule
      *  3, the precise listener probe). */
     Port backendPort = 80;
+    /** Keep-alive backends: responses carry no FIN, so the proxy
+     *  actively closes every backend connection and its ephemeral
+     *  ports linger in TIME_WAIT (tcp_tw_reuse pressure). */
+    bool backendKeepAlive = false;
     /** nginx accept mutex (paper 4.2.2 disables it under Fastsocket). */
     bool acceptMutex = false;
     std::uint32_t responseBytes = 64;
@@ -62,6 +66,21 @@ struct ExperimentConfig
     /** Requests per connection (1 = short-lived; >1 enables HTTP
      *  keep-alive on the web server and long-lived client behavior). */
     int requestsPerConn = 1;
+    /** @name Mixed connection lifetimes (0 = uniform workload) */
+    /** @{ */
+    /** Long-lived client connections per 1000 launches (keep-alive,
+     *  longLivedRequests requests with think time); the rest stay
+     *  short-lived "Connection: close" exchanges. Forces keep-alive on
+     *  the web server. See HttpLoad::Config. */
+    int longLivedPermille = 0;
+    int longLivedRequests = 8;
+    Tick longLivedThink = 0;
+    /** Client ephemeral ports per IP (0 = full range): narrows the
+     *  client tuple space for TIME_WAIT tuple-reuse pressure. */
+    int clientPortSpan = 0;
+    /** Client IP count (0 = HttpLoad default of 256). */
+    int clientIps = 0;
+    /** @} */
     /** Wire packet-loss probability (failure injection; 0 = off). */
     double lossRate = 0.0;
     /** Client give-up timeout (0 = none; required if lossRate > 0). */
@@ -186,6 +205,64 @@ struct OverloadResult
     /** @} */
 };
 
+/** One checkpoint of a connection-count ramp (bench_million_conn):
+ *  per-connection memory and lookup cost at a given live population. */
+struct ConnRampPoint
+{
+    std::uint64_t live = 0;          //!< live TCBs at the checkpoint
+    double bytesPerConn = 0.0;       //!< arena bytes / live peak so far
+    double cyclesPerLookup = 0.0;    //!< ehash lookup cycles (delta avg)
+    double avgProbeLen = 0.0;        //!< chain entries walked per lookup
+};
+
+/** Connection-lifetime census of one run (run totals and peaks, not
+ *  window deltas): TCB memory footprint, TIME_WAIT lifecycle counters,
+ *  ephemeral-port pressure, and established-hash lookup cost. */
+struct ConnResult
+{
+    /** @name TCB arena (memory footprint) */
+    /** @{ */
+    std::uint64_t tcbLive = 0;        //!< live sockets at collection
+    std::uint64_t tcbLivePeak = 0;    //!< arena high-water mark
+    std::uint64_t tcbCreated = 0;     //!< total sockets ever created
+    std::uint64_t slabBytes = 0;      //!< arena capacity bytes
+    double bytesPerConn = 0.0;        //!< slabBytes / tcbLivePeak
+    /** @} */
+
+    /** @name Established gauge + TIME_WAIT lifecycle */
+    /** @{ */
+    std::uint64_t establishedCurr = 0;
+    std::uint64_t establishedPeak = 0;
+    std::uint64_t timeWaitCurr = 0;
+    std::uint64_t timeWaitPeak = 0;
+    std::uint64_t timeWaitEntered = 0;
+    std::uint64_t timeWaitReaped = 0;
+    std::uint64_t timeWaitRecycled = 0;
+    std::uint64_t timeWaitReused = 0;
+    std::uint64_t timeWaitSynDropped = 0;
+    std::uint64_t timeWaitAcks = 0;
+    /** @} */
+
+    /** @name Ephemeral-port pressure */
+    /** @{ */
+    std::uint64_t portAllocFailures = 0;   //!< connect() EADDRNOTAVAIL
+    /** @} */
+
+    /** @name Established-hash lookup cost (global + per-core tables) */
+    /** @{ */
+    std::uint64_t ehashLookups = 0;
+    std::uint64_t ehashProbesWalked = 0;
+    std::uint64_t ehashLookupCycles = 0;
+    std::uint64_t ehashResizes = 0;
+    double avgProbeLen = 0.0;         //!< probesWalked / lookups
+    double cyclesPerLookup = 0.0;     //!< lookupCycles / lookups
+    /** @} */
+
+    /** Ramp checkpoints (filled by bench_million_conn; empty
+     *  elsewhere). */
+    std::vector<ConnRampPoint> ramp;
+};
+
 /** Measured outcome of one experiment. */
 struct ExperimentResult
 {
@@ -243,6 +320,9 @@ struct ExperimentResult
 
     /** Overload-control signals (enabled=false when the run had none). */
     OverloadResult overload;
+
+    /** Connection-lifetime census (arena, TIME_WAIT, ports, ehash). */
+    ConnResult conn;
 
     double maxUtil() const;
     double avgUtil() const;

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 
+#include "net/packet.hh"
 #include "vfs/vfs.hh"
 
 namespace fsim
@@ -83,6 +84,28 @@ struct KernelConfig
     double jiffyMsec = 1.0;
     /** Shortened 2*MSL for TIME_WAIT reaping, in jiffies. */
     std::uint64_t timeWaitJiffies = 20;
+    /** @name TIME_WAIT pressure relief (tcp_tw_reuse / tcp_tw_recycle) */
+    /** @{ */
+    /** Release the ephemeral source port of an actively-closed
+     *  connection as soon as it enters TIME_WAIT instead of holding it
+     *  for the full linger (tcp_tw_reuse; safe here because the
+     *  simulated network never reorders across connections). */
+    bool twReuse = false;
+    /** Allow a new SYN that matches a lingering TIME_WAIT tuple to
+     *  recycle the entry immediately (tcp_tw_recycle). Off by default:
+     *  the SYN is dropped and the client retries after the linger, the
+     *  stock conservative behavior. */
+    bool twRecycle = false;
+    /** @} */
+    /** @name Ephemeral port range (ip_local_port_range) */
+    /** @{ */
+    /** Inclusive range active connect() draws source ports from.
+     *  Shrinking it is how tests reproduce an active-connect proxy
+     *  running the machine out of ports against one backend. */
+    Port ephemeralPortLo = 32768;
+    Port ephemeralPortHi = 61000;
+    /** @} */
+
     /** Idle/keepalive timer horizon armed per data segment, jiffies. */
     std::uint64_t keepaliveJiffies = 3000;
 

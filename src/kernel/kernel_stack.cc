@@ -74,7 +74,8 @@ acceptQueueIdOf(const Socket *listener)
 } // namespace
 
 KernelStack::KernelStack(const Deps &deps, const KernelConfig &cfg)
-    : d_(deps), cfg_(cfg)
+    : d_(deps), cfg_(cfg),
+      ports_(cfg.ephemeralPortLo, cfg.ephemeralPortHi)
 {
     fsim_assert(d_.eq && d_.cpu && d_.cache && d_.locks && d_.costs &&
                 d_.nic && d_.wire && d_.rng);
@@ -117,6 +118,13 @@ KernelStack::KernelStack(const Deps &deps, const KernelConfig &cfg)
         timerBases_.back()->init(c, *d_.locks, *d_.cache, *d_.costs,
                                  *d_.cpu, jiffy_ticks);
     }
+
+    // TIME_WAIT entries are bucketed by closing core when the
+    // established tables are partitioned (each core reaps its own), else
+    // a single machine-wide bucket like the stock tw_death_row.
+    int tw_buckets = cfg_.localEstablished ? ncores : 1;
+    timeWait_ = std::make_unique<TimeWaitTable>(tw_buckets);
+    twReaperTimers_.assign(tw_buckets, TimerWheel::kInvalidTimer);
 }
 
 KernelStack::~KernelStack() = default;
@@ -166,13 +174,12 @@ KernelStack::killProcess(int proc)
             return false;
         };
         std::vector<Socket *> embryos;
-        for (auto &kv : sockets_) {
-            Socket *s = kv.second.get();
+        arena_.forEach([&](Socket *s) {
             if (s->kind == SockKind::kConnection && s->passive &&
                 s->state == TcpState::kSynRcvd && s->parentListen &&
                 dying(s->parentListen))
                 embryos.push_back(s);
-        }
+        });
         for (Socket *s : embryos) {
             if (s->parentListen->synQueueLen > 0)
                 --s->parentListen->synQueueLen;
@@ -190,7 +197,7 @@ KernelStack::killProcess(int proc)
             destroySocket(clone->homeCore, 0, queued);
         clone->acceptQueue.clear();
         ++stats_.socketsDestroyed;
-        sockets_.erase(clone->id);
+        arena_.destroy(clone);
     }
     p.localListens.clear();
 
@@ -200,7 +207,7 @@ KernelStack::killProcess(int proc)
             destroySocket(p.core, 0, queued);
         clone->acceptQueue.clear();
         ++stats_.socketsDestroyed;
-        sockets_.erase(clone->id);
+        arena_.destroy(clone);
     }
     p.reuseClones.clear();
 
@@ -304,19 +311,18 @@ KernelStack::localListen(int proc, IpAddr addr, Port port)
 Socket *
 KernelStack::newSocket()
 {
-    auto s = std::make_unique<Socket>();
+    Socket *s = arena_.create();
     ++stats_.socketsCreated;
     s->id = nextSockId_++;
     s->cacheObj = d_.cache->newObject();
     s->slock.init(d_.locks->getClass("slock"), d_.cache,
                   d_.costs->lockAcquireBase, d_.costs->lockHandoffStorm);
-    Socket *raw = s.get();
-    sockets_.emplace(raw->id, std::move(s));
-    return raw;
+    return s;
 }
 
 Tick
-KernelStack::destroySocket(CoreId core, Tick t, Socket *sock)
+KernelStack::destroySocket(CoreId core, Tick t, Socket *sock,
+                           bool release_port)
 {
     if (sock->timer != TimerWheel::kInvalidTimer) {
         t = cancelConnTimer(core, t, sock);
@@ -325,10 +331,15 @@ KernelStack::destroySocket(CoreId core, Tick t, Socket *sock)
         t = sock->ehashHome->remove(core, t, sock);
         sock->ehashHome = nullptr;
     }
-    if (sock->kind == SockKind::kConnection && !sock->passive &&
-        sock->rxTuple.dport != 0) {
+    if (sock->state == TcpState::kEstablished &&
+        stats_.establishedCurr > 0)
+        --stats_.establishedCurr;
+    if (release_port && sock->kind == SockKind::kConnection &&
+        !sock->passive && sock->rxTuple.dport != 0) {
         // Active connection: give the ephemeral source port back (under
-        // the global bind lock on the legacy kernels).
+        // the global bind lock on the legacy kernels). When the socket
+        // enters TIME_WAIT, the lingering entry inherits the port
+        // instead (release_port = false) and the reaper returns it.
         if (cfg_.flavor == KernelFlavor::kBase2632 && !cfg_.fastVfs &&
             !cfg_.localListen && !cfg_.rfd)
             t = portBindLock_.runLocked(core, t,
@@ -344,8 +355,89 @@ KernelStack::destroySocket(CoreId core, Tick t, Socket *sock)
         if (ConnSpanLog *sl = spans())
             sl->close(sock->id, t);
     }
-    sockets_.erase(sock->id);
+    arena_.destroy(sock);
     return t;
+}
+
+// ---------------------------------------------------------------------
+// TIME_WAIT lifecycle
+// ---------------------------------------------------------------------
+
+int
+KernelStack::twBucketFor(CoreId core) const
+{
+    return timeWait_->bucketCount() == 1 ? 0 : static_cast<int>(core);
+}
+
+void
+KernelStack::releaseTwPort(const TimeWaitTable::Entry &entry)
+{
+    // rx orientation: saddr/sport are the peer, dport the local
+    // ephemeral port the connect() path allocated.
+    ports_.release(entry.tuple.saddr, entry.tuple.sport,
+                   entry.tuple.dport);
+}
+
+Tick
+KernelStack::enterTimeWait(CoreId core, Tick t, Socket *sock)
+{
+    ++stats_.timeWaitEntered;
+    bool active = sock->kind == SockKind::kConnection && !sock->passive &&
+                  sock->rxTuple.dport != 0;
+    // tcp_tw_reuse gives the ephemeral port back immediately; otherwise
+    // the lingering entry owns it until the reaper runs, which is the
+    // port-exhaustion pressure an active-connect proxy feels.
+    bool holds_port = active && !cfg_.twReuse;
+    int bucket = twBucketFor(core);
+    std::uint64_t now = timerBases_.at(core)->jiffies();
+    timeWait_->add(bucket, sock->rxTuple, now + cfg_.timeWaitJiffies,
+                   holds_port);
+    // Swap the full TCB for the compact entry, like the kernel trading
+    // a tcp_sock for an inet_timewait_sock: the Socket dies now and the
+    // entry inherits the port when it holds one.
+    t = destroySocket(core, t, sock, /*release_port=*/!holds_port);
+    return armTwReaper(bucket, core, t);
+}
+
+Tick
+KernelStack::armTwReaper(int bucket, CoreId core, Tick t)
+{
+    if (twReaperTimers_.at(bucket) != TimerWheel::kInvalidTimer)
+        return t;   // armed for the current head or earlier (FIFO expiry)
+    std::uint64_t head = timeWait_->headExpiry(bucket);
+    if (head == 0)
+        return t;
+    CoreId base_core = timeWait_->bucketCount() == 1
+                           ? 0
+                           : static_cast<CoreId>(bucket);
+    TimerBase &base = *timerBases_.at(base_core);
+    std::uint64_t now = base.jiffies();
+    std::uint64_t delay = head > now ? head - now : 1;
+    return base.arm(core, t, delay,
+                    [this, bucket](CoreId c, Tick fire_t) {
+                        twReaperTimers_.at(bucket) =
+                            TimerWheel::kInvalidTimer;
+                        return reapTimeWait(bucket, c, fire_t);
+                    },
+                    &twReaperTimers_.at(bucket));
+}
+
+Tick
+KernelStack::reapTimeWait(int bucket, CoreId core, Tick t)
+{
+    CoreId base_core = timeWait_->bucketCount() == 1
+                           ? 0
+                           : static_cast<CoreId>(bucket);
+    std::uint64_t now = timerBases_.at(base_core)->jiffies();
+    std::vector<TimeWaitTable::Entry> reaped;
+    timeWait_->reapExpired(bucket, now, reaped);
+    for (const TimeWaitTable::Entry &e : reaped) {
+        if (e.holdsPort)
+            releaseTwPort(e);
+        ++stats_.timeWaitReaped;
+    }
+    t += static_cast<Tick>(reaped.size()) * d_.costs->timerOpHold;
+    return armTwReaper(bucket, core, t);
 }
 
 Tick
@@ -677,6 +769,23 @@ KernelStack::netRx(CoreId core, const Packet &pkt, Tick t, bool steered)
     }
 
     if (!l.sock) {
+        // A lingering TIME_WAIT tuple absorbs stray segments for the
+        // 2*MSL window: a retransmitted FIN (our last ACK was lost) is
+        // re-ACKed from the compact entry, everything else is dropped
+        // silently — never RST, the whole point of the linger.
+        if (timeWait_->find(pkt.tuple) != nullptr) {
+            if (pkt.has(kFin)) {
+                ++stats_.timeWaitAcks;
+                t += d_.costs->txPacket;
+                Packet ack;
+                ack.tuple = pkt.tuple.reversed();
+                ack.flags = kAck;
+                d_.nic->noteTx(ack, core);
+                d_.wire->transmit(ack, t);
+                ++stats_.txPackets;
+            }
+            return t;
+        }
         // SYN-cookie ACK: no TCB exists (the SYN was answered
         // statelessly), but a pure ACK whose echoed cookie matches the
         // flow mints the established socket right here — the stateless
@@ -729,6 +838,21 @@ KernelStack::handleSyn(CoreId core, const Packet &pkt, Tick t)
             return sendPacket(core, t, dup.sock, kSyn | kAck, 0);
         }
         return t;   // stale SYN into a live connection: drop
+    }
+
+    // A SYN reusing a tuple still lingering in TIME_WAIT: conservative
+    // stacks drop it (the client backs off and retries past the linger);
+    // tcp_tw_recycle lets the fresh handshake reclaim the entry at once.
+    if (timeWait_->find(pkt.tuple)) {
+        if (!cfg_.twRecycle) {
+            ++stats_.timeWaitSynDropped;
+            return t;
+        }
+        TimeWaitTable::Entry old;
+        timeWait_->remove(pkt.tuple, &old);
+        if (old.holdsPort)
+            releaseTwPort(old);
+        ++stats_.timeWaitRecycled;
     }
 
     ListenLookup l = lookupListener(core, pkt.tuple.daddr,
@@ -838,6 +962,8 @@ KernelStack::establishFromCookie(CoreId core, Socket *listener,
     Socket *conn = newSocket();
     conn->kind = SockKind::kConnection;
     conn->state = TcpState::kEstablished;
+    if (++stats_.establishedCurr > stats_.establishedPeak)
+        stats_.establishedPeak = stats_.establishedCurr;
     conn->rxTuple = pkt.tuple;
     conn->passive = true;
     conn->parentListen = listener;
@@ -846,6 +972,8 @@ KernelStack::establishFromCookie(CoreId core, Socket *listener,
     conn->touch(core);
     if (pkt.payload) {
         conn->rxPending += pkt.payload;
+        if (pkt.has(kConnClose))
+            conn->peerConnClose = true;
         t += d_.costs->dataSegment;
     }
 
@@ -920,10 +1048,14 @@ KernelStack::handleEstablishedPacket(CoreId core, Socket *sock,
       case TcpState::kSynRcvd:
         if (pkt.has(kAck)) {
             sock->state = TcpState::kEstablished;
+            if (++stats_.establishedCurr > stats_.establishedPeak)
+                stats_.establishedPeak = stats_.establishedCurr;
             if (sock->parentListen && sock->parentListen->synQueueLen > 0)
                 --sock->parentListen->synQueueLen;
             if (pkt.payload) {
                 sock->rxPending += pkt.payload;
+                if (pkt.has(kConnClose))
+                    sock->peerConnClose = true;
                 hold += d_.costs->dataSegment;
             }
             wake_listener = true;
@@ -933,6 +1065,8 @@ KernelStack::handleEstablishedPacket(CoreId core, Socket *sock,
       case TcpState::kSynSent:
         if (pkt.has(kSyn) && pkt.has(kAck)) {
             sock->state = TcpState::kEstablished;
+            if (++stats_.establishedCurr > stats_.establishedPeak)
+                stats_.establishedPeak = stats_.establishedCurr;
             wake_owner = true;
         } else if (pkt.has(kRst)) {
             destroy = true;
@@ -942,11 +1076,15 @@ KernelStack::handleEstablishedPacket(CoreId core, Socket *sock,
       case TcpState::kEstablished:
         if (pkt.payload) {
             sock->rxPending += pkt.payload;
+            if (pkt.has(kConnClose))
+                sock->peerConnClose = true;
             hold += d_.costs->dataSegment;
             wake_owner = true;
         }
         if (pkt.has(kFin)) {
             sock->state = TcpState::kCloseWait;
+            if (stats_.establishedCurr > 0)
+                --stats_.establishedCurr;
             sock->peerFin = true;
             wake_owner = true;
         }
@@ -1067,18 +1205,12 @@ KernelStack::handleEstablishedPacket(CoreId core, Socket *sock,
         t = sendPacket(core, t, sock, kAck, 0);
 
     if (entered_time_wait) {
-        // Cancel the idle timer and arm the (shortened) 2*MSL reaper on
-        // this core's base.
+        // Cancel the idle timer, then swap the TCB for a compact
+        // lingering entry on this core's TIME_WAIT bucket (the bucket's
+        // shared reaper replaces a per-socket 2*MSL timer).
         t = cancelConnTimer(core, t, sock);
-        sock->timerCore = core;
-        TimerBase &base = *timerBases_.at(core);
-        t = base.arm(core, t, cfg_.timeWaitJiffies,
-                     [this, sock](CoreId c, Tick fire_t) {
-                         sock->timer = TimerWheel::kInvalidTimer;
-                         ++stats_.timeWaitReaped;
-                         return destroySocket(c, fire_t, sock);
-                     },
-                     &sock->timer);
+        record_rx(t);
+        return enterTimeWait(core, t, sock);
     }
 
     record_rx(t);
@@ -1260,8 +1392,24 @@ KernelStack::connect(int proc, Tick t, IpAddr dst, Port dport)
         psrc = ports_.alloc(dst, dport);
     }
     if (psrc == 0) {
+        ++stats_.portAllocFailures;
         out.t = sc.done(t);
         return out;   // EADDRNOTAVAIL
+    }
+
+    // tcp_twsk_unique: with tcp_tw_reuse the port came back at close
+    // time, so this connect may pick a four-tuple whose old incarnation
+    // still lingers in TIME_WAIT. Kill the lingering entry and take
+    // over the tuple (safe here: the simulated peer is past 2*MSL
+    // concerns, and Linux permits it given timestamps).
+    if (cfg_.twReuse) {
+        TimeWaitTable::Entry old;
+        if (timeWait_->remove(FiveTuple{dst, src, dport, psrc}, &old)) {
+            // The entry cannot hold the port: a held port would never
+            // have been handed out by the allocator above.
+            fsim_assert(!old.holdsPort);
+            ++stats_.timeWaitReused;
+        }
     }
 
     Socket *sock = newSocket();
@@ -1341,6 +1489,7 @@ KernelStack::read(int proc, Tick t, int fd)
     out.bytes = sock->rxPending;
     sock->rxPending = 0;
     out.finSeen = sock->peerFin;
+    out.connClose = sock->peerConnClose;
     out.t = sc.done(t);
     if (ConnSpanLog *sl = spans()) {
         const Tick wake_at = p.epoll->consumeWakeTick(fd);
@@ -1447,6 +1596,7 @@ KernelStack::close(int proc, Tick t, int fd)
       case TcpState::kEstablished:
         // Active close: FIN, wait for the peer's ACK/FIN.
         sock->state = TcpState::kFinWait1;
+        --stats_.establishedCurr;
         t = sendPacket(core, t, sock, kFin | kAck, 0);
         break;
       case TcpState::kCloseWait:
@@ -1471,10 +1621,49 @@ std::vector<const Socket *>
 KernelStack::allSockets() const
 {
     std::vector<const Socket *> out;
-    out.reserve(sockets_.size());
-    for (const auto &kv : sockets_)
-        out.push_back(kv.second.get());
+    out.reserve(arena_.live());
+    arena_.forEach([&out](Socket *s) { out.push_back(s); });
     return out;
+}
+
+std::uint64_t
+KernelStack::ehashLookups() const
+{
+    std::uint64_t n = globalEhash_->lookups();
+    if (localEhash_)
+        for (int c = 0; c < localEhash_->numCores(); ++c)
+            n += localEhash_->table(c).lookups();
+    return n;
+}
+
+std::uint64_t
+KernelStack::ehashProbesWalked() const
+{
+    std::uint64_t n = globalEhash_->probesWalked();
+    if (localEhash_)
+        for (int c = 0; c < localEhash_->numCores(); ++c)
+            n += localEhash_->table(c).probesWalked();
+    return n;
+}
+
+std::uint64_t
+KernelStack::ehashLookupCycles() const
+{
+    std::uint64_t n = globalEhash_->lookupCycles();
+    if (localEhash_)
+        for (int c = 0; c < localEhash_->numCores(); ++c)
+            n += localEhash_->table(c).lookupCycles();
+    return n;
+}
+
+std::uint64_t
+KernelStack::ehashResizes() const
+{
+    std::uint64_t n = globalEhash_->resizes();
+    if (localEhash_)
+        for (int c = 0; c < localEhash_->numCores(); ++c)
+            n += localEhash_->table(c).resizes();
+    return n;
 }
 
 std::vector<std::string>
@@ -1493,8 +1682,7 @@ KernelStack::netstat() const
         }
         rows.push_back(buf);
     };
-    for (const auto &kv : sockets_)
-        emit(kv.second.get());
+    arena_.forEach([&emit](Socket *s) { emit(s); });
     return rows;
 }
 

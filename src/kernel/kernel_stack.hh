@@ -20,6 +20,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "conn/tcb_arena.hh"
+#include "conn/time_wait.hh"
 #include "cpu/core.hh"
 #include "epollsim/epoll.hh"
 #include "fastsocket/local_tables.hh"
@@ -78,6 +80,18 @@ struct KernelStats
     std::uint64_t socketsCreated = 0;   //!< every newSocket() call
     std::uint64_t socketsDestroyed = 0;
     std::uint64_t acceptOverflows = 0;  //!< somaxconn rejections
+
+    /** @name Connection-lifetime census (million-connection forensics) */
+    /** @{ */
+    std::uint64_t establishedCurr = 0;  //!< live ESTABLISHED gauge
+    std::uint64_t establishedPeak = 0;  //!< high-water mark of the gauge
+    std::uint64_t timeWaitEntered = 0;  //!< active closes that lingered
+    std::uint64_t timeWaitRecycled = 0; //!< entries recycled by a SYN
+    std::uint64_t timeWaitReused = 0;   //!< tuples reclaimed by connect()
+    std::uint64_t timeWaitSynDropped = 0; //!< SYNs refused by a linger
+    std::uint64_t timeWaitAcks = 0;     //!< FIN retransmits re-ACKed
+    std::uint64_t portAllocFailures = 0; //!< connect() EADDRNOTAVAIL
+    /** @} */
 
     /** @name SYN-flood / fault-injection visibility */
     /** @{ */
@@ -209,6 +223,7 @@ class KernelStack
     {
         std::uint32_t bytes = 0;
         bool finSeen = false;    //!< read() would return 0 (EOF)
+        bool connClose = false;  //!< request carried "Connection: close"
         Tick t = 0;
     };
 
@@ -235,7 +250,21 @@ class KernelStack
     ReceiveFlowDeliver *rfd() { return rfd_.get(); }
 
     /** Live sockets (leak checks / netstat example). */
-    std::size_t liveSockets() const { return sockets_.size(); }
+    std::size_t liveSockets() const { return arena_.live(); }
+
+    /** TCB slab arena (bytes-per-connection accounting). */
+    const TcbArena &tcbArena() const { return arena_; }
+
+    /** Lingering TIME_WAIT tuples (compact entries, not Sockets). */
+    const TimeWaitTable &timeWaitTable() const { return *timeWait_; }
+
+    /** @name Established-table cost counters, summed over all tables */
+    /** @{ */
+    std::uint64_t ehashLookups() const;
+    std::uint64_t ehashProbesWalked() const;
+    std::uint64_t ehashLookupCycles() const;
+    std::uint64_t ehashResizes() const;
+    /** @} */
 
     /** netstat-style dump rows: "proto state tuple". */
     std::vector<std::string> netstat() const;
@@ -277,7 +306,22 @@ class KernelStack
     EstablishedTable &ehashFor(CoreId core);
 
     Socket *newSocket();
-    Tick destroySocket(CoreId core, Tick t, Socket *sock);
+    Tick destroySocket(CoreId core, Tick t, Socket *sock,
+                       bool release_port = true);
+
+    /** @name TIME_WAIT lifecycle */
+    /** @{ */
+    /** TIME_WAIT bucket of connections owned by @p core. */
+    int twBucketFor(CoreId core) const;
+    /** Swap @p sock for a compact lingering entry; destroys the TCB. */
+    Tick enterTimeWait(CoreId core, Tick t, Socket *sock);
+    /** (Re-)arm @p bucket's reaper timer for its head expiry. */
+    Tick armTwReaper(int bucket, CoreId core, Tick t);
+    /** Reaper-timer body: release expired tuples (and held ports). */
+    Tick reapTimeWait(int bucket, CoreId core, Tick t);
+    /** Release the local ephemeral port a TIME_WAIT entry held. */
+    void releaseTwPort(const TimeWaitTable::Entry &entry);
+    /** @} */
 
     Tick sendPacket(CoreId core, Tick t, Socket *sock, std::uint8_t flags,
                     std::uint32_t payload);
@@ -317,7 +361,13 @@ class KernelStack
     std::vector<std::unique_ptr<TimerBase>> timerBases_;
 
     std::vector<std::unique_ptr<KProcess>> procs_;
-    std::unordered_map<std::uint64_t, std::unique_ptr<Socket>> sockets_;
+    /** Every live Socket lives in the slab arena (no side index: the
+     *  kernel always erases with the pointer in hand). */
+    TcbArena arena_;
+    std::unique_ptr<TimeWaitTable> timeWait_;
+    /** Per-bucket reaper timer on the bucket core's base (kInvalidTimer
+     *  while the bucket is empty). */
+    std::vector<TimerWheel::TimerId> twReaperTimers_;
     std::uint64_t nextSockId_ = 1;
 
     /** Local IPs this kernel serves (set by listen()). */

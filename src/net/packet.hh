@@ -31,6 +31,12 @@ enum TcpFlag : std::uint8_t
     kFin = 1 << 2,
     kRst = 1 << 3,
     kPsh = 1 << 4,
+    /** "Connection: close" request-header analog carried on a data
+     *  segment: the client tells a keep-alive server this is the flow's
+     *  last request, so the server takes the active-close (TIME_WAIT)
+     *  path after responding. Lets one server serve a mix of short- and
+     *  long-lived connections. */
+    kConnClose = 1 << 5,
 };
 
 /** Connection 4-tuple (TCP implied) as seen in a packet header. */

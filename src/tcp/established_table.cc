@@ -7,27 +7,88 @@
 namespace fsim
 {
 
+namespace
+{
+/** Resizing stops here: 1M buckets covers the bench's 2M-entry worst
+ *  case at load factor 2 without unbounded allocation. */
+constexpr std::size_t kMaxBuckets = 1u << 20;
+
+/**
+ * Decorrelate the bucket index from the NIC's RSS hash. The NIC picks
+ * the receive queue from flowHash too, so every flow landing on a core
+ * shares residue classes of that hash — masking it directly would leave
+ * a per-core table using only ~1/ncores of its buckets (chains ncores
+ * times longer than the load factor suggests). Linux dodges the same
+ * trap by giving the ehash its own secret (inet_ehashfn); a splitmix64
+ * finalizer plays that role here.
+ */
+std::uint32_t
+ehashMix(std::uint32_t h)
+{
+    std::uint64_t x = static_cast<std::uint64_t>(h) +
+                      0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::uint32_t>(x ^ (x >> 31));
+}
+} // namespace
+
 EstablishedTable::EstablishedTable(int n_buckets, LockRegistry &locks,
                                    CacheModel &cache,
                                    const CycleCosts &costs,
-                                   const char *lock_class)
-    : cache_(cache), costs_(costs)
+                                   const char *lock_class, bool resizable)
+    : cache_(cache), costs_(costs), lockClass_(locks.getClass(lock_class)),
+      resizable_(resizable)
 {
     fsim_assert(n_buckets > 0 && (n_buckets & (n_buckets - 1)) == 0);
     buckets_.resize(n_buckets);
     mask_ = static_cast<std::uint32_t>(n_buckets - 1);
-    LockClassStats *cls = locks.getClass(lock_class);
-    for (Bucket &b : buckets_) {
-        b.lock.init(cls, &cache_, costs_.lockAcquireBase,
-                    costs_.lockHandoffStorm);
-        b.cacheObj = cache_.newObject();
-    }
+    for (Bucket &b : buckets_)
+        initBucket(b);
+}
+
+void
+EstablishedTable::initBucket(Bucket &b)
+{
+    b.lock.init(lockClass_, &cache_, costs_.lockAcquireBase,
+                costs_.lockHandoffStorm);
+    b.cacheObj = cache_.newObject();
 }
 
 EstablishedTable::Bucket &
 EstablishedTable::bucketFor(const FiveTuple &tuple)
 {
-    return buckets_[flowHash(tuple) & mask_];
+    return buckets_[ehashMix(flowHash(tuple)) & mask_];
+}
+
+Tick
+EstablishedTable::maybeResize(CoreId, Tick t)
+{
+    // Double at load factor 1 so chains stay O(1) at any population —
+    // the per-core analog of Linux sizing the boot-time ehash so load
+    // stays well under a handful of entries per bucket.
+    if (!resizable_ || size_ <= buckets_.size() ||
+        buckets_.size() >= kMaxBuckets)
+        return t;
+
+    std::vector<Bucket> grown(buckets_.size() * 2);
+    for (Bucket &b : grown)
+        initBucket(b);
+    mask_ = static_cast<std::uint32_t>(grown.size() - 1);
+    std::size_t moved = 0;
+    for (Bucket &b : buckets_) {
+        for (Socket *s : b.chain) {
+            grown[ehashMix(flowHash(s->rxTuple)) & mask_].chain
+                .push_back(s);
+            ++moved;
+        }
+    }
+    buckets_ = std::move(grown);
+    ++resizes_;
+    // Rehash touches every entry once; only this core can observe the
+    // table (resizable tables are per-core private), so the cost is a
+    // straight-line walk rather than a lock storm.
+    return t + static_cast<Tick>(moved) * costs_.ehashChainProbe;
 }
 
 Tick
@@ -40,7 +101,7 @@ EstablishedTable::insert(CoreId c, Tick t, Socket *sock)
     Tick end = b.lock.runLocked(c, t, costs_.ehashInsertHold + penalty);
     b.chain.push_back(sock);
     ++size_;
-    return end;
+    return maybeResize(c, end);
 }
 
 Tick
@@ -62,14 +123,24 @@ EstablishedTable::lookup(CoreId c, Tick t, const FiveTuple &tuple)
 {
     Bucket &b = bucketFor(tuple);
     Lookup out;
+    Tick begin = t;
     t += costs_.ehashLookup;
     t += cache_.access(c, b.cacheObj, /*write=*/false);
+    std::uint64_t walked = 0;
     for (Socket *s : b.chain) {
         if (s->rxTuple == tuple) {
             out.sock = s;
             break;
         }
+        ++walked;
     }
+    // Each entry walked past the bucket head is another tuple compare
+    // plus a dependent pointer chase; this is where a fixed-size global
+    // ehash hurts at millions of connections (avg chain = size/buckets).
+    t += static_cast<Tick>(walked) * costs_.ehashChainProbe;
+    ++lookups_;
+    probesWalked_ += walked;
+    lookupCycles_ += static_cast<std::uint64_t>(t - begin);
     out.t = t;
     return out;
 }

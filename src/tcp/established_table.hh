@@ -8,6 +8,13 @@
  * section 3.2.2) — the same class is reused, and because each per-core
  * instance is only ever touched by its owning core, its lock acquisitions
  * never contend, exactly as the paper's design argues.
+ *
+ * Lookups charge a per-entry chain-walk cost on top of the base probe, so
+ * chain growth (millions of connections over a fixed bucket array) shows
+ * up as rising per-connection cycles. A table may opt into load-factor
+ * resizing; the global ehash is sized once at boot like the kernel's,
+ * while the private per-core tables may grow because no other core ever
+ * holds references into them.
  */
 
 #ifndef FSIM_TCP_ESTABLISHED_TABLE_HH
@@ -34,10 +41,14 @@ class EstablishedTable
     /**
      * @param n_buckets Power-of-two bucket count.
      * @param lock_class Lockstat class name ("ehash.lock").
+     * @param resizable Double the bucket array when the load factor
+     *                  exceeds 2 (per-core private tables only; the
+     *                  global ehash is boot-sized like the kernel's).
      */
     EstablishedTable(int n_buckets, LockRegistry &locks, CacheModel &cache,
                      const CycleCosts &costs,
-                     const char *lock_class = "ehash.lock");
+                     const char *lock_class = "ehash.lock",
+                     bool resizable = false);
 
     /**
      * Insert @p sock keyed by its rxTuple; charges the bucket lock.
@@ -64,6 +75,17 @@ class EstablishedTable
     Lookup lookup(CoreId c, Tick t, const FiveTuple &tuple);
 
     std::size_t size() const { return size_; }
+    std::size_t bucketCount() const { return buckets_.size(); }
+
+    /** @name Chain-walk cost counters (per-connection-cost forensics) */
+    /** @{ */
+    std::uint64_t lookups() const { return lookups_; }
+    /** Chain entries walked past the bucket head, summed over lookups. */
+    std::uint64_t probesWalked() const { return probesWalked_; }
+    /** Cycles charged to lookups (base + chain walk + cache). */
+    std::uint64_t lookupCycles() const { return lookupCycles_; }
+    std::uint64_t resizes() const { return resizes_; }
+    /** @} */
 
     /** All sockets (slow; for /proc walks and leak checks in tests). */
     std::vector<Socket *> all() const;
@@ -77,12 +99,20 @@ class EstablishedTable
     };
 
     Bucket &bucketFor(const FiveTuple &tuple);
+    void initBucket(Bucket &b);
+    Tick maybeResize(CoreId c, Tick t);
 
     CacheModel &cache_;
     const CycleCosts &costs_;
+    LockClassStats *lockClass_;
     std::vector<Bucket> buckets_;
     std::uint32_t mask_;
     std::size_t size_ = 0;
+    bool resizable_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t probesWalked_ = 0;
+    std::uint64_t lookupCycles_ = 0;
+    std::uint64_t resizes_ = 0;
 };
 
 } // namespace fsim

@@ -101,6 +101,9 @@ struct Socket
     std::uint32_t rxPending = 0;
     /** Peer sent FIN (connection is half-closed). */
     bool peerFin = false;
+    /** Peer requested "Connection: close" on a data segment (the flow's
+     *  last request; a keep-alive server should actively close). */
+    bool peerConnClose = false;
     /** Pending retransmission/keepalive timer (0 = none). */
     TimerWheel::TimerId timer = TimerWheel::kInvalidTimer;
     /** Core whose timer base holds the pending timer. */
@@ -130,6 +133,9 @@ struct Socket
     SimSpinLock slock;
     /** Cache object of the TCB itself. */
     std::uint64_t cacheObj = 0;
+    /** Slot in the owning TcbArena (kNoArenaSlot if heap-constructed). */
+    static constexpr std::uint32_t kNoArenaSlot = 0xffffffffu;
+    std::uint32_t arenaSlot = kNoArenaSlot;
 
     /** @name Cross-core census (for locality property checks) */
     /** @{ */

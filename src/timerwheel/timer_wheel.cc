@@ -16,9 +16,11 @@ TimerWheel::TimerId
 TimerWheel::add(std::uint64_t expires, Callback cb)
 {
     TimerId id = nextId_++;
-    nodes_.emplace(id, Node{expires, std::move(cb)});
+    auto [it, ok] = nodes_.emplace(id, Node{expires, std::move(cb),
+                                            kDetached, 0, 0});
+    (void)ok;
     ++liveCount_;
-    place(id, expires);
+    place(id, it->second);
     return id;
 }
 
@@ -28,8 +30,7 @@ TimerWheel::cancel(TimerId id)
     auto it = nodes_.find(id);
     if (it == nodes_.end())
         return false;
-    // The slot vectors may still hold stale references to this id; they are
-    // skipped lazily when their slot is visited.
+    detach(it->second);
     nodes_.erase(it);
     --liveCount_;
     return true;
@@ -41,39 +42,79 @@ TimerWheel::modify(TimerId id, std::uint64_t expires)
     auto it = nodes_.find(id);
     if (it == nodes_.end())
         return false;
+    detach(it->second);
     it->second.expires = expires;
-    place(id, expires);
+    place(id, it->second);
     return true;
 }
 
+TimerWheel::Slot &
+TimerWheel::slotAt(std::uint8_t level, std::uint32_t index)
+{
+    if (level == 0)
+        return tv1_[index];
+    return tvn_[level - 1][index];
+}
+
 void
-TimerWheel::place(TimerId id, std::uint64_t expires)
+TimerWheel::place(TimerId id, Node &node)
 {
     // Clamp far-future timers into the outermost level, like the kernel.
     constexpr std::uint64_t kMaxDelta =
         (1ull << (kTv1Bits + kLevels * kTvnBits)) - 1;
+    std::uint64_t expires = node.expires;
     if (expires > jiffy_ + kMaxDelta)
         expires = jiffy_ + kMaxDelta;
 
     std::uint64_t delta =
         expires > jiffy_ ? expires - jiffy_ : 0;
 
+    std::uint8_t level;
+    std::uint32_t index;
     if (delta == 0) {
         // Already (or about to be) expired: fire on the next tick.
-        tv1_[(jiffy_ + 1) & (kTv1Size - 1)].push_back(id);
+        level = 0;
+        index = (jiffy_ + 1) & (kTv1Size - 1);
     } else if (delta < kTv1Size) {
-        tv1_[expires & (kTv1Size - 1)].push_back(id);
+        level = 0;
+        index = expires & (kTv1Size - 1);
     } else {
-        for (std::uint32_t level = 0; level < kLevels; ++level) {
-            std::uint32_t shift = kTv1Bits + (level + 1) * kTvnBits;
-            if (delta < (1ull << shift) || level == kLevels - 1) {
-                std::uint32_t idx =
-                    (expires >> (shift - kTvnBits)) & (kTvnSize - 1);
-                tvn_[level][idx].push_back(id);
-                return;
+        level = kLevels;    // outermost unless a lower level fits
+        index = 0;
+        for (std::uint32_t l = 0; l < kLevels; ++l) {
+            std::uint32_t shift = kTv1Bits + (l + 1) * kTvnBits;
+            if (delta < (1ull << shift) || l == kLevels - 1) {
+                level = static_cast<std::uint8_t>(l + 1);
+                index = (expires >> (shift - kTvnBits)) & (kTvnSize - 1);
+                break;
             }
         }
     }
+
+    Slot &slot = slotAt(level, index);
+    node.level = level;
+    node.index = index;
+    node.pos = static_cast<std::uint32_t>(slot.size());
+    slot.push_back(id);
+}
+
+void
+TimerWheel::detach(Node &node)
+{
+    if (node.level == kDetached)
+        return;
+    Slot &slot = slotAt(node.level, node.index);
+    fsim_assert(node.pos < slot.size());
+    TimerId moved = slot.back();
+    slot[node.pos] = moved;
+    slot.pop_back();
+    if (node.pos < slot.size()) {
+        // Fix the swapped-in entry's recorded position.
+        auto mit = nodes_.find(moved);
+        fsim_assert(mit != nodes_.end());
+        mit->second.pos = node.pos;
+    }
+    node.level = kDetached;
 }
 
 void
@@ -81,11 +122,13 @@ TimerWheel::cascade(std::uint32_t level, std::uint32_t index)
 {
     Slot moved = std::move(tvn_[level][index]);
     tvn_[level][index].clear();
+    cascaded_ += moved.size();
     for (TimerId id : moved) {
         auto it = nodes_.find(id);
         if (it == nodes_.end())
-            continue;   // cancelled or already fired
-        place(id, it->second.expires);
+            continue;   // defensive; eager detach should prevent this
+        it->second.level = kDetached;
+        place(id, it->second);
     }
 }
 
@@ -106,12 +149,25 @@ TimerWheel::tickOnce()
 
     Slot due = std::move(tv1_[idx1]);
     tv1_[idx1].clear();
+    // The due batch is detached from the wheel: mark members so a
+    // cancel()/modify() issued by an earlier callback in this batch does
+    // not try to swap-pop inside the (already moved-out) vector.
+    for (TimerId id : due) {
+        auto it = nodes_.find(id);
+        if (it != nodes_.end())
+            it->second.level = kDetached;
+    }
     for (TimerId id : due) {
         auto it = nodes_.find(id);
         if (it == nodes_.end())
-            continue;   // stale reference
-        if (it->second.expires > jiffy_)
-            continue;   // re-armed to a later time; real entry elsewhere
+            continue;   // cancelled by an earlier callback in this batch
+        if (it->second.expires > jiffy_) {
+            // Re-armed to a later time by an earlier callback; if it is
+            // still detached, give it back a real slot.
+            if (it->second.level == kDetached)
+                place(id, it->second);
+            continue;
+        }
         Callback cb = std::move(it->second.cb);
         nodes_.erase(it);
         --liveCount_;
@@ -127,6 +183,18 @@ TimerWheel::advance(std::uint64_t to_jiffy)
     while (jiffy_ < to_jiffy)
         tickOnce();
     return fired_ - before;
+}
+
+std::size_t
+TimerWheel::slotEntries() const
+{
+    std::size_t n = 0;
+    for (const Slot &s : tv1_)
+        n += s.size();
+    for (const auto &level : tvn_)
+        for (const Slot &s : level)
+            n += s.size();
+    return n;
 }
 
 } // namespace fsim

@@ -7,6 +7,13 @@
  * jiffy at a time and cascading a higher-level slot down whenever the lower
  * index wraps. Each simulated core owns one wheel ("timer base"), protected
  * by the base.lock the paper's Table 1 reports on.
+ *
+ * Each node tracks its current slot position, so cancel() and modify()
+ * detach the slot entry eagerly in O(1) (swap-with-back). The earlier
+ * lazy-cancel scheme left stale ids in the slot vectors until the slot was
+ * next visited; under keepalive-timer churn (one mod_timer per data
+ * segment) with millions of live connections those stale entries grew
+ * without bound between cascades.
  */
 
 #ifndef FSIM_TIMERWHEEL_TIMER_WHEEL_HH
@@ -68,11 +75,28 @@ class TimerWheel
 
     std::uint64_t currentJiffy() const { return jiffy_; }
 
+    /**
+     * Total ids held across all slot vectors. With eager detach this
+     * equals pending() outside of a firing batch; the accessor exists so
+     * tests can assert slot memory stays bounded under cancel/modify
+     * churn.
+     */
+    std::size_t slotEntries() const;
+
+    /** Timers moved down a level by cascades so far (cost visibility). */
+    std::uint64_t cascaded() const { return cascaded_; }
+
   private:
+    /** Slot coordinates: level 0 is tv1, 1..kLevels are tvn_[level-1]. */
+    static constexpr std::uint8_t kDetached = 0xff;
+
     struct Node
     {
         std::uint64_t expires = 0;
         Callback cb;
+        std::uint8_t level = kDetached;
+        std::uint32_t index = 0;
+        std::uint32_t pos = 0;
     };
 
     static constexpr std::uint32_t kTv1Bits = 8;
@@ -83,7 +107,9 @@ class TimerWheel
 
     using Slot = std::vector<TimerId>;
 
-    void place(TimerId id, std::uint64_t expires);
+    Slot &slotAt(std::uint8_t level, std::uint32_t index);
+    void place(TimerId id, Node &node);
+    void detach(Node &node);
     void cascade(std::uint32_t level, std::uint32_t index);
     void tickOnce();
 
@@ -91,6 +117,7 @@ class TimerWheel
     TimerId nextId_ = 1;
     std::size_t liveCount_ = 0;
     std::size_t fired_ = 0;
+    std::uint64_t cascaded_ = 0;
 
     Slot tv1_[kTv1Size];
     Slot tvn_[kLevels][kTvnSize];

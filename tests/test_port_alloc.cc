@@ -113,6 +113,85 @@ TEST(PortAlloc, AllocForCoreExhaustsItsStripeOnly)
     EXPECT_NE(pa.allocForCore(1, 80, 1, 3), 0);
 }
 
+TEST(PortAlloc, WraparoundSearchTerminatesAndStaysExact)
+{
+    // The rotating next-fit hint wraps past hi_ constantly under churn;
+    // the search must terminate (never loop forever), never hand out an
+    // in-use port, and exhaust cleanly to 0 each cycle.
+    PortAllocator pa(40000, 40099);   // 100 ports
+    std::vector<Port> held;
+    for (int cycle = 0; cycle < 50; ++cycle) {
+        std::set<Port> got;
+        for (int i = 0; i < 100; ++i) {
+            Port p = pa.alloc(1, 80);
+            ASSERT_NE(p, 0) << "cycle " << cycle << " alloc " << i;
+            EXPECT_TRUE(got.insert(p).second)
+                << "port " << p << " aliased in cycle " << cycle;
+            held.push_back(p);
+        }
+        EXPECT_EQ(pa.alloc(1, 80), 0) << "exhaustion must return 0";
+        EXPECT_EQ(pa.inUseCount(), 100u);
+        for (Port p : held)
+            EXPECT_TRUE(pa.release(1, 80, p));
+        held.clear();
+        EXPECT_EQ(pa.inUseCount(), 0u);
+    }
+}
+
+TEST(PortAlloc, FragmentedReuseNeverAliases)
+{
+    // Release a scattered third of a full range, then refill: the
+    // allocator must hand back exactly the released ports, once each.
+    PortAllocator pa(50000, 50299);   // 300 ports
+    std::vector<Port> all;
+    for (int i = 0; i < 300; ++i) {
+        Port p = pa.alloc(9, 443);
+        ASSERT_NE(p, 0);
+        all.push_back(p);
+    }
+    std::set<Port> freed;
+    for (std::size_t i = 0; i < all.size(); i += 3) {
+        freed.insert(all[i]);
+        EXPECT_TRUE(pa.release(9, 443, all[i]));
+    }
+    std::set<Port> refilled;
+    for (std::size_t i = 0; i < freed.size(); ++i) {
+        Port p = pa.alloc(9, 443);
+        ASSERT_NE(p, 0);
+        EXPECT_TRUE(freed.count(p))
+            << "port " << p << " was not in the freed set";
+        EXPECT_TRUE(refilled.insert(p).second);
+    }
+    EXPECT_EQ(refilled, freed);
+    EXPECT_EQ(pa.alloc(9, 443), 0);
+    EXPECT_EQ(pa.inUseCount(), 300u);
+}
+
+TEST(PortAlloc, AllocForCoreWraparoundExhaustsCleanly)
+{
+    // The striped (RFD) search also wraps; exhaustion of one stripe
+    // must terminate with 0 while other stripes keep allocating, cycle
+    // after cycle.
+    PortAllocator pa(32768, 32799);   // 32 ports, 8 per core at mask 3
+    for (int cycle = 0; cycle < 20; ++cycle) {
+        std::vector<Port> got;
+        for (int i = 0; i < 8; ++i) {
+            Port p = pa.allocForCore(4, 80, 2, 3);
+            ASSERT_NE(p, 0);
+            EXPECT_EQ(p & 3, 2);
+            got.push_back(p);
+        }
+        EXPECT_EQ(pa.allocForCore(4, 80, 2, 3), 0);
+        Port probe = pa.allocForCore(4, 80, 3, 3);
+        EXPECT_NE(probe, 0)
+            << "other stripes unaffected by core 2's exhaustion";
+        EXPECT_TRUE(pa.release(4, 80, probe));
+        for (Port p : got)
+            EXPECT_TRUE(pa.release(4, 80, p));
+        EXPECT_EQ(pa.inUseCount(), 0u);
+    }
+}
+
 TEST(PortAlloc, MixedPoliciesCoexist)
 {
     PortAllocator pa(32768, 33000);

@@ -169,6 +169,80 @@ TEST(TimerWheel, NonZeroStartJiffy)
     EXPECT_TRUE(fired);
 }
 
+TEST(TimerWheelScale, MillionArmedTimersAllFireOnce)
+{
+    // bench_million_conn arms one keepalive timer per parked connection:
+    // over a million entries spread across every wheel level, cascading
+    // down as time passes. Each must fire exactly once, and the cascade
+    // machinery must actually engage.
+    constexpr std::uint64_t kTimers = 1'200'000;
+    constexpr std::uint64_t kHorizon = 600'000;
+    TimerWheel tw;
+    std::uint64_t fires = 0;
+    for (std::uint64_t i = 0; i < kTimers; ++i) {
+        // Deterministic spread over the horizon, dense near the start
+        // (tv1) and sparse at the deep levels.
+        std::uint64_t expiry = 1 + (i * 2654435761u) % kHorizon;
+        tw.add(expiry, [&fires] { ++fires; });
+    }
+    EXPECT_EQ(tw.pending(), kTimers);
+    std::uint64_t mid_fired = tw.advance(kHorizon / 2);
+    EXPECT_GT(mid_fired, 0u);
+    EXPECT_EQ(tw.advance(kHorizon + 1), kTimers - mid_fired);
+    EXPECT_EQ(fires, kTimers);
+    EXPECT_EQ(tw.pending(), 0u);
+    EXPECT_EQ(tw.slotEntries(), 0u);
+    EXPECT_GT(tw.cascaded(), 0u)
+        << "a 600k-jiffy horizon must exercise the outer levels";
+}
+
+TEST(TimerWheelScale, CancelModifyChurnKeepsSlotMemoryBounded)
+{
+    // Connection teardown cancels its pending timer and every data
+    // segment re-arms the idle timer: with eager O(1) removal the slot
+    // vectors must track live timers exactly instead of accumulating
+    // dead ids until the slot's jiffy comes around.
+    TimerWheel tw;
+    std::vector<TimerWheel::TimerId> ids;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 2000; ++i)
+            ids.push_back(tw.add(tw.currentJiffy() + 1000 + i, [] {}));
+        for (std::size_t i = 0; i < ids.size(); i += 2)
+            EXPECT_TRUE(tw.cancel(ids[i]));
+        for (std::size_t i = 1; i < ids.size(); i += 2)
+            EXPECT_TRUE(tw.modify(ids[i],
+                                  tw.currentJiffy() + 5000 + (i % 97)));
+        EXPECT_EQ(tw.slotEntries(), tw.pending())
+            << "cancel/modify must not leave ghost slot entries";
+        tw.advance(tw.currentJiffy() + 10000);
+        EXPECT_EQ(tw.pending(), 0u);
+        ids.clear();
+    }
+}
+
+TEST(TimerWheelScale, LongHorizonIndexOverflowIsSafe)
+{
+    // Slot indexing must stay correct when the jiffy counter crosses
+    // 2^32 (a 32-bit index truncation would misfile or lose timers) and
+    // far beyond.
+    for (std::uint64_t base :
+         {(1ull << 32) - 100, (1ull << 40) - 7, (1ull << 52) + 3}) {
+        TimerWheel tw(base);
+        std::vector<std::uint64_t> fired_at;
+        for (std::uint64_t d : {1ull, 200ull, 70'000ull, 9'000'000ull})
+            tw.add(base + d, [&fired_at, &tw] {
+                fired_at.push_back(tw.currentJiffy());
+            });
+        tw.advance(base + 9'000'001);
+        ASSERT_EQ(fired_at.size(), 4u) << "base=" << base;
+        EXPECT_EQ(fired_at[0], base + 1);
+        EXPECT_EQ(fired_at[1], base + 200);
+        EXPECT_EQ(fired_at[2], base + 70'000);
+        EXPECT_EQ(fired_at[3], base + 9'000'000);
+        EXPECT_EQ(tw.pending(), 0u);
+    }
+}
+
 /**
  * Differential property test: random add/cancel/modify sequences must
  * match a trivial map-based reference wheel, for several seeds.

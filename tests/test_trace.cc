@@ -273,7 +273,7 @@ TEST(BenchJson, DocumentCarriesSchemaVersionAndRequiredKeys)
     std::string doc = report.str();
     // Golden schema: version stamp plus every top-level and per-row key
     // the downstream validator requires.
-    EXPECT_NE(doc.find("\"schema_version\":5"), std::string::npos);
+    EXPECT_NE(doc.find("\"schema_version\":6"), std::string::npos);
     EXPECT_NE(doc.find("\"bench\":\"unit_test\""), std::string::npos);
     for (const char *key :
          {"\"rows\"", "\"label\"", "\"config\"", "\"metrics\"",
@@ -307,6 +307,26 @@ TEST(BenchJson, DocumentCarriesSchemaVersionAndRequiredKeys)
           "\"health_probes_started\"", "\"health_probes_completed\"",
           "\"health_probes_failed\"", "\"latency_p99_ticks\""})
         EXPECT_NE(doc.find(key), std::string::npos) << key;
+    // v6: per-row conn block (arena footprint, TIME_WAIT lifecycle,
+    // port pressure, ehash lookup cost, ramp checkpoints).
+    for (const char *key :
+         {"\"conn\"", "\"tcb_live\"", "\"tcb_live_peak\"",
+          "\"tcb_created\"", "\"slab_bytes\"", "\"bytes_per_conn\"",
+          "\"established_curr\"", "\"established_peak\"",
+          "\"time_wait_curr\"", "\"time_wait_peak\"",
+          "\"time_wait_entered\"", "\"time_wait_reaped\"",
+          "\"time_wait_recycled\"", "\"time_wait_syn_dropped\"",
+          "\"time_wait_acks\"", "\"port_alloc_failures\"",
+          "\"ehash_lookups\"", "\"ehash_probes_walked\"",
+          "\"ehash_lookup_cycles\"", "\"ehash_resizes\"",
+          "\"avg_probe_len\"", "\"cycles_per_lookup\"", "\"ramp\""})
+        EXPECT_NE(doc.find(key), std::string::npos) << key;
+    // The short-lived run actively closed connections, so the census
+    // must show TIME_WAIT traffic and a non-zero per-conn footprint.
+    EXPECT_GT(r.conn.tcbLivePeak, 0u);
+    EXPECT_GT(r.conn.bytesPerConn, 0.0);
+    EXPECT_GT(r.conn.timeWaitEntered, 0u);
+    EXPECT_GT(r.conn.ehashLookups, 0u);
     // statWindows=2 produced two per-window lock-stat deltas.
     EXPECT_EQ(r.lockWindows.size(), 2u);
 }

@@ -13,6 +13,9 @@ metrics are compared against the baseline:
   - overload latency percentiles (latency_p50_ticks, latency_p99_ticks,
     compared only when both rows have latency samples): lower is
     better; a rise of more than the threshold is a regression
+  - memory cost per connection (bytes_per_conn from the v6 conn block,
+    compared only when both rows held TCBs): lower is better; per-TCB
+    bloat gates exactly like a latency regression
 
 Improvements beyond the threshold are reported as such, never fatal.
 Accepts any schema version from v2 on (the compared keys exist in all
@@ -25,7 +28,8 @@ import sys
 
 DEFAULT_THRESHOLD = 0.05
 HIGHER_BETTER = ("cps", "rps", "served")
-LOWER_BETTER = ("latency_p50_ticks", "latency_p99_ticks")
+LOWER_BETTER = ("latency_p50_ticks", "latency_p99_ticks",
+                "bytes_per_conn")
 MIN_SCHEMA = 2
 
 
@@ -51,6 +55,12 @@ def metric_value(row, name):
     """Fetch a metric by name; None when absent or not comparable."""
     if name in HIGHER_BETTER:
         v = row.get("metrics", {}).get(name)
+        return float(v) if isinstance(v, (int, float)) else None
+    if name == "bytes_per_conn":
+        cn = row.get("conn", {})
+        if not cn.get("tcb_live_peak"):
+            return None     # no TCBs ever -> per-conn cost undefined
+        v = cn.get(name)
         return float(v) if isinstance(v, (int, float)) else None
     if name in LOWER_BETTER:
         ov = row.get("overload", {})

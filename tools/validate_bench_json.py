@@ -21,6 +21,11 @@ Checks (stdlib only, used by CI and by hand after editing the exporter):
     carry monotone p50 <= p90 <= p99 <= p999 <= max percentiles,
     exemplars are structurally sound, and trace.overwritten_per_core
     sums to trace.events_overwritten
+  - (v6) per-row conn block (connection-lifetime census): TCB arena
+    gauges vs peaks, bytes_per_conn > 0 whenever TCBs existed,
+    TIME_WAIT arithmetic (entered == reaped + recycled + reused +
+    still-lingering), ehash probe averages consistent with their
+    numerators, and structurally sound ramp checkpoints
 Exit status 0 iff every document passes.
 """
 
@@ -28,7 +33,7 @@ import json
 import re
 import sys
 
-KNOWN_SCHEMA_VERSIONS = (2, 3, 4, 5)
+KNOWN_SCHEMA_VERSIONS = (2, 3, 4, 5, 6)
 
 V3_WINDOW_KEYS = ("completed", "goodput", "syn_retransmits",
                   "syn_cookies_sent", "syn_cookies_validated",
@@ -66,6 +71,18 @@ STAGE_ROW_KEYS = ("stage", "count", "p50", "p90", "p99", "p999", "max",
                   "total_ticks")
 EXEMPLAR_KEYS = ("percentile", "conn_id", "latency", "unattributed",
                  "stages", "cores")
+
+CONN_KEYS = ("tcb_live", "tcb_live_peak", "tcb_created", "slab_bytes",
+             "bytes_per_conn", "established_curr", "established_peak",
+             "time_wait_curr", "time_wait_peak", "time_wait_entered",
+             "time_wait_reaped", "time_wait_recycled", "time_wait_reused",
+             "time_wait_syn_dropped", "time_wait_acks",
+             "port_alloc_failures", "ehash_lookups",
+             "ehash_probes_walked", "ehash_lookup_cycles",
+             "ehash_resizes", "avg_probe_len", "cycles_per_lookup",
+             "ramp")
+RAMP_KEYS = ("live", "bytes_per_conn", "cycles_per_lookup",
+             "avg_probe_len")
 
 FINGERPRINT_RE = re.compile(r"^0x[0-9a-f]{16}$")
 
@@ -219,6 +236,54 @@ def validate(path):
                 return fail(path, f"{where}.trace: overwritten_per_core "
                                   f"sums to {sum(opc)}, expected "
                                   f"{row['trace']['events_overwritten']}")
+
+        if version >= 6:
+            cn = row.get("conn")
+            if not isinstance(cn, dict) or not require(
+                    cn, CONN_KEYS, path, f"{where}.conn"):
+                return fail(path, f"{where}.conn missing or malformed")
+            if cn["tcb_live"] > cn["tcb_live_peak"]:
+                return fail(path, f"{where}.conn: tcb_live > peak")
+            if cn["established_curr"] > cn["established_peak"]:
+                return fail(path, f"{where}.conn: established_curr > "
+                                  f"peak")
+            if cn["time_wait_curr"] > cn["time_wait_peak"]:
+                return fail(path, f"{where}.conn: time_wait_curr > peak")
+            if cn["tcb_live_peak"] > cn["tcb_created"]:
+                return fail(path, f"{where}.conn: tcb_live_peak > "
+                                  f"tcb_created")
+            if cn["tcb_live_peak"] > 0 and cn["bytes_per_conn"] <= 0:
+                return fail(path, f"{where}.conn: TCBs existed but "
+                                  f"bytes_per_conn is "
+                                  f"{cn['bytes_per_conn']!r}")
+            # Every lingering entry left the table exactly one way (or
+            # is still in it at collection time).
+            accounted = (cn["time_wait_reaped"] +
+                         cn["time_wait_recycled"] +
+                         cn["time_wait_reused"] + cn["time_wait_curr"])
+            if cn["time_wait_entered"] < accounted:
+                return fail(path, f"{where}.conn: TIME_WAIT exits "
+                                  f"({accounted}) exceed entries "
+                                  f"({cn['time_wait_entered']})")
+            if cn["ehash_lookups"] == 0 and (cn["avg_probe_len"] != 0 or
+                                             cn["cycles_per_lookup"] != 0):
+                return fail(path, f"{where}.conn: probe averages with "
+                                  f"zero lookups")
+            if cn["ehash_lookups"] > 0:
+                avg = cn["ehash_probes_walked"] / cn["ehash_lookups"]
+                if abs(avg - cn["avg_probe_len"]) > 1e-6 * max(1.0, avg):
+                    return fail(path, f"{where}.conn: avg_probe_len "
+                                      f"{cn['avg_probe_len']!r} != "
+                                      f"probes/lookups {avg!r}")
+            ramp = cn["ramp"]
+            if not isinstance(ramp, list):
+                return fail(path, f"{where}.conn.ramp is not a list")
+            for p, pt in enumerate(ramp):
+                pw = f"{where}.conn.ramp[{p}]"
+                if not require(pt, RAMP_KEYS, path, pw):
+                    return False
+                if pt["live"] < 0 or pt["bytes_per_conn"] < 0:
+                    return fail(path, f"{pw}: negative gauge")
 
         for qname, samples in row["queue_timelines"].items():
             ticks = [s[0] for s in samples]
