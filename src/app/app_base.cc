@@ -1,9 +1,35 @@
 #include "app/app_base.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace fsim
 {
+
+namespace
+{
+
+/** Insert @p fd into a sorted-unique vector (no-op if present). */
+void
+sortedInsert(std::vector<int> &v, int fd)
+{
+    auto pos = std::lower_bound(v.begin(), v.end(), fd);
+    if (pos == v.end() || *pos != fd)
+        v.insert(pos, fd);
+}
+
+/** Erase @p fd from a sorted-unique vector (no-op if absent). */
+void
+sortedErase(std::vector<int> &v, int fd)
+{
+    auto pos = std::lower_bound(v.begin(), v.end(), fd);
+    if (pos != v.end() && *pos == fd)
+        v.erase(pos);
+}
+
+} // namespace
+
 
 AppBase::AppBase(Machine &m)
     : m_(m)
@@ -104,7 +130,11 @@ AppBase::runLoop(std::size_t idx, Tick start)
     Tick t = start + (ps.remoteWake ? m_.costs().schedWakeRemote
                                     : m_.costs().schedWakeLocal);
     ps.remoteWake = false;
-    std::vector<int> fds;
+    // Sticky scratch: the event loop runs once per wakeup, thousands of
+    // times per simulated second; a fresh vector each round is exactly
+    // the steady-state allocator churn the audit test forbids.
+    std::vector<int> &fds = ps.fdScratch;
+    fds.clear();
     t = k.epollWait(ps.proc, t, fds);
 
     // More events than maxevents? Come back for another round so one
@@ -116,10 +146,9 @@ AppBase::runLoop(std::size_t idx, Tick start)
 
     // Listen fds deferred from the previous round (accept batch limit).
     if (!ps.deferredAccept.empty()) {
-        std::vector<int> carry(ps.deferredAccept.begin(),
-                               ps.deferredAccept.end());
+        fds.insert(fds.begin(), ps.deferredAccept.begin(),
+                   ps.deferredAccept.end());
         ps.deferredAccept.clear();
-        fds.insert(fds.begin(), carry.begin(), carry.end());
     }
 
     for (int fd : fds) {
@@ -134,8 +163,8 @@ AppBase::runLoop(std::size_t idx, Tick start)
                 // path. Per-core listen queues (local_listen / reuseport
                 // clones) are exempt - only this process can drain them.
                 ProcState &holder = procs_[mutexHolder_];
-                holder.deferredAccept.insert(holder.listenFds.begin(),
-                                             holder.listenFds.end());
+                for (int lfd : holder.listenFds)
+                    sortedInsert(holder.deferredAccept, lfd);
                 wake(static_cast<int>(mutexHolder_));
                 continue;
             }
@@ -146,7 +175,7 @@ AppBase::runLoop(std::size_t idx, Tick start)
                 KernelStack::AcceptResult r = k.accept(ps.proc, t, fd);
                 t = r.t;
                 if (!r.sock) {
-                    ps.deferredAccept.erase(fd);
+                    sortedErase(ps.deferredAccept, fd);
                     break;
                 }
                 if (adm_ && adm_->enabled()) {
@@ -171,7 +200,7 @@ AppBase::runLoop(std::size_t idx, Tick start)
                                     adm_->lastShedReason()));
                         t = k.close(ps.proc, t, r.fd);
                         if (i == kAcceptBatch - 1) {
-                            ps.deferredAccept.insert(fd);
+                            sortedInsert(ps.deferredAccept, fd);
                             wake(ps.proc);
                         }
                         continue;
@@ -190,7 +219,7 @@ AppBase::runLoop(std::size_t idx, Tick start)
                     t = onConnReadable(ps, r.fd, t);
                 if (i == kAcceptBatch - 1) {
                     // Come back for the rest next round.
-                    ps.deferredAccept.insert(fd);
+                    sortedInsert(ps.deferredAccept, fd);
                     wake(ps.proc);
                 }
             }

@@ -67,7 +67,12 @@ class AppBase
         int proc = -1;
         CoreId core = kInvalidCore;
         std::unordered_set<int> listenFds;
-        std::unordered_set<int> deferredAccept;
+        /** Listen fds deferred to the next round (accept batch limit).
+         *  Sorted-unique sticky vector, not a hash set: inserts happen
+         *  on the accept hot path and must not allocate once warm. */
+        std::vector<int> deferredAccept;
+        /** epoll_wait output buffer, reused across loop iterations. */
+        std::vector<int> fdScratch;
         bool wakePending = false;
         bool remoteWake = false;
     };

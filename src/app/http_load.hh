@@ -19,12 +19,12 @@
 #define FSIM_APP_HTTP_LOAD_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "net/packet.hh"
 #include "net/wire.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
@@ -213,7 +213,9 @@ class HttpLoad
     std::size_t clientCursor_ = 0;
     std::vector<Port> nextPort_;    //!< per client IP
 
-    std::unordered_map<std::uint64_t, Conn> conns_;
+    /** Open-addressing map: per-connection insert/erase churn is the
+     *  load generator's hot path and must stay allocation-free. */
+    FlatMap<std::uint64_t, Conn> conns_;
 
     void sendRequest(Conn &c, std::uint64_t k);
 

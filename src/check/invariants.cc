@@ -148,7 +148,7 @@ registerStandardInvariants(InvariantRegistry &reg, Machine &machine,
         std::uint64_t total_files = 0;
         for (int p = 0; p < k.numProcesses(); ++p) {
             KProcess &proc = k.process(p);
-            std::size_t files = proc.files.size();
+            std::size_t files = proc.filesLive;
             int open = proc.fds.openCount();
             if (static_cast<std::size_t>(open) != files) {
                 char buf[128];

@@ -18,13 +18,13 @@ TimeWaitTable::add(int bucket, const FiveTuple &tuple,
     fsim_assert(bucket >= 0 && bucket < bucketCount());
     TupleKey key{tuple};
     std::uint64_t gen = nextGen_++;
-    auto [it, inserted] =
-        index_.emplace(key, IndexedEntry{{tuple, expires, holds_port},
-                                         bucket, gen});
+    auto [slot, inserted] =
+        index_.insert(key, IndexedEntry{{tuple, expires, holds_port},
+                                        bucket, gen});
     // A tuple cannot linger twice: the old entry is always removed
     // (recycled) before the tuple can complete another handshake.
     fsim_assert(inserted);
-    (void)it;
+    (void)slot;
     fifos_[bucket].push_back(FifoSlot{key, gen});
     if (index_.size() > peak_)
         peak_ = index_.size();
@@ -33,21 +33,22 @@ TimeWaitTable::add(int bucket, const FiveTuple &tuple,
 const TimeWaitTable::Entry *
 TimeWaitTable::find(const FiveTuple &tuple) const
 {
-    auto it = index_.find(TupleKey{tuple});
-    return it == index_.end() ? nullptr : &it->second.entry;
+    const IndexedEntry *ie = index_.find(TupleKey{tuple});
+    return ie ? &ie->entry : nullptr;
 }
 
 bool
 TimeWaitTable::remove(const FiveTuple &tuple, Entry *out)
 {
-    auto it = index_.find(TupleKey{tuple});
-    if (it == index_.end())
+    const TupleKey key{tuple};
+    const IndexedEntry *ie = index_.find(key);
+    if (!ie)
         return false;
     if (out)
-        *out = it->second.entry;
+        *out = ie->entry;
     // The FIFO slot goes stale and is skipped at reap/headExpiry time;
-    // eager middle-of-deque removal would be O(n) per recycled tuple.
-    index_.erase(it);
+    // eager middle-of-queue removal would be O(n) per recycled tuple.
+    index_.erase(key);
     return true;
 }
 
@@ -57,9 +58,9 @@ TimeWaitTable::headExpiry(int bucket)
     fsim_assert(bucket >= 0 && bucket < bucketCount());
     auto &fifo = fifos_[bucket];
     while (!fifo.empty()) {
-        auto it = index_.find(fifo.front().key);
-        if (it != index_.end() && it->second.gen == fifo.front().gen)
-            return it->second.entry.expires;
+        const IndexedEntry *ie = index_.find(fifo.front().key);
+        if (ie && ie->gen == fifo.front().gen)
+            return ie->entry.expires;
         fifo.pop_front();    // stale: removed, or a later re-add's entry
     }
     return 0;
@@ -74,10 +75,11 @@ TimeWaitTable::reapExpired(int bucket, std::uint64_t now_jiffy,
         if (head == 0 || head > now_jiffy)
             return head;
         auto &fifo = fifos_[bucket];
-        auto it = index_.find(fifo.front().key);
-        fsim_assert(it != index_.end());
-        reaped.push_back(it->second.entry);
-        index_.erase(it);
+        const TupleKey key = fifo.front().key;
+        const IndexedEntry *ie = index_.find(key);
+        fsim_assert(ie != nullptr);
+        reaped.push_back(ie->entry);
+        index_.erase(key);
         fifo.pop_front();
     }
 }

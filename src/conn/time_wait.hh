@@ -22,11 +22,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "net/packet.hh"
+#include "sim/flat_map.hh"
+#include "sim/ring_queue.hh"
 #include "sim/types.hh"
 
 namespace fsim
@@ -134,9 +134,10 @@ class TimeWaitTable
     };
 
     /** FIFO per bucket; stale entries (removed via the index) are
-     *  skipped lazily at reap time. */
-    std::vector<std::deque<FifoSlot>> fifos_;
-    std::unordered_map<TupleKey, IndexedEntry, TupleKeyHash> index_;
+     *  skipped lazily at reap time. Ring buffers and a flat map keep
+     *  the add/remove/reap churn off the allocator in steady state. */
+    std::vector<RingQueue<FifoSlot>> fifos_;
+    FlatMap<TupleKey, IndexedEntry, TupleKeyHash> index_;
     std::uint64_t nextGen_ = 1;
     std::size_t peak_ = 0;
 };

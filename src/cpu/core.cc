@@ -42,7 +42,7 @@ void
 CpuModel::runNext(CoreId c)
 {
     Core &core = cores_.at(c);
-    std::deque<Task> *q = nullptr;
+    RingQueue<Task> *q = nullptr;
     if (!core.queues_[0].empty())
         q = &core.queues_[0];
     else if (!core.queues_[1].empty())

@@ -14,13 +14,13 @@
 #define FSIM_CPU_CORE_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <vector>
 
 #include "cpu/cache_model.hh"
 #include "cpu/cycle_costs.hh"
+#include "sim/event_fn.hh"
 #include "sim/event_queue.hh"
+#include "sim/ring_queue.hh"
 #include "sim/types.hh"
 
 namespace fsim
@@ -35,8 +35,16 @@ enum class TaskPrio
     kProcess = 1,  //!< application process context
 };
 
-/** A unit of work: start tick in, finish tick out. */
-using Task = std::function<Tick(Tick)>;
+/**
+ * A unit of work: start tick in, finish tick out.
+ *
+ * Stored inline (no heap): the capture budget is sized by the largest
+ * post() site in the tree, the kernel's RFD steering closure
+ * [this, target, Packet, steer-timestamp, steer-from] in
+ * kernel_stack.cc (~72 bytes), with headroom for alignment padding.
+ */
+constexpr std::size_t kTaskCaptureMax = 88;
+using Task = InlineFn<Tick(Tick), kTaskCaptureMax>;
 
 class CpuModel;
 
@@ -72,7 +80,7 @@ class Core
     friend class CpuModel;
 
     CoreId id_ = kInvalidCore;
-    std::deque<Task> queues_[2];
+    RingQueue<Task> queues_[2];
     bool running_ = false;
     Tick busyUntil_ = 0;
     std::uint64_t busyTicks_ = 0;

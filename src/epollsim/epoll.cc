@@ -17,12 +17,29 @@ EventPoll::EventPoll(LockRegistry &locks, CacheModel &cache,
     readyListObj_ = cache_.newObject();
 }
 
+void
+EventPoll::ensureFd(int fd)
+{
+    fsim_assert(fd >= 0);
+    if (static_cast<std::size_t>(fd) >= interest_.size()) {
+        // Double rather than grow to fd+1: fd numbers climb to a
+        // high-water mark and recycle, so growth is a warm-up cost.
+        const std::size_t cap =
+            std::max<std::size_t>(fd + 1, interest_.size() * 2);
+        interest_.resize(cap, kUnwatched);
+        wakeTicks_.resize(cap, 0);
+    }
+}
+
 Tick
 EventPoll::ctlAdd(CoreId c, Tick t, int fd)
 {
     t += costs_.epollCtl;
     Tick end = epLock_.runLocked(c, t, costs_.epollWakeHold);
-    interest_[fd] = false;
+    ensureFd(fd);
+    if (interest_[fd] == kUnwatched)
+        ++interestCount_;
+    interest_[fd] = kWatched;
     return end;
 }
 
@@ -34,28 +51,32 @@ EventPoll::ctlDel(CoreId c, Tick t, int fd)
     // Any pending ready entry is left in place and skipped lazily by
     // wait(): an eager O(ready) scan here is quadratic when a worker
     // closes fds while its ready list is deep (million-connection churn).
-    interest_.erase(fd);
-    wakeTicks_.erase(fd);
+    if (watching(fd)) {
+        interest_[fd] = kUnwatched;
+        --interestCount_;
+    }
+    if (static_cast<std::size_t>(fd) < wakeTicks_.size())
+        wakeTicks_[fd] = 0;
     return end;
 }
 
 Tick
 EventPoll::wake(CoreId c, Tick t, int fd)
 {
-    auto it = interest_.find(fd);
-    if (it == interest_.end())
+    if (!watching(fd))
         return t;    // not watched; nothing to do
     Tick penalty = cache_.access(c, readyListObj_, /*write=*/true);
     Tick end = epLock_.runLocked(c, t, costs_.epollWakeHold + penalty);
-    if (!it->second) {
-        it->second = true;
+    if (interest_[fd] == kWatched) {
+        interest_[fd] = kLinked;
         ready_.push_back(fd);
         if (ready_.size() > readyPeak_)
             readyPeak_ = ready_.size();
         if (tracer_ && tracer_->enabled()) {
             tracer_->emit(c, TraceEventType::kEpollWake, end,
                           static_cast<std::uint32_t>(fd));
-            wakeTicks_.emplace(fd, end);
+            if (wakeTicks_[fd] == 0)    // keep the earliest wakeup
+                wakeTicks_[fd] = end;
         }
     }
     return end;
@@ -64,11 +85,10 @@ EventPoll::wake(CoreId c, Tick t, int fd)
 Tick
 EventPoll::consumeWakeTick(int fd)
 {
-    auto it = wakeTicks_.find(fd);
-    if (it == wakeTicks_.end())
+    if (fd < 0 || static_cast<std::size_t>(fd) >= wakeTicks_.size())
         return 0;
-    Tick t = it->second;
-    wakeTicks_.erase(it);
+    Tick t = wakeTicks_[fd];
+    wakeTicks_[fd] = 0;
     return t;
 }
 
@@ -82,12 +102,11 @@ EventPoll::wait(CoreId c, Tick t, std::vector<int> &out, int max_events)
            static_cast<int>(out.size()) < max_events) {
         int fd = ready_.front();
         ready_.pop_front();
-        auto it = interest_.find(fd);
         // The linked check matters: a stale entry left by ctlDel must not
         // be delivered against a re-added fd of the same number (the new
         // registration has its own wakeup or none at all).
-        if (it != interest_.end() && it->second) {
-            it->second = false;
+        if (interest_[fd] == kLinked) {
+            interest_[fd] = kWatched;
             out.push_back(fd);
         }
     }

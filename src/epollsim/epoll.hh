@@ -13,12 +13,11 @@
 #define FSIM_EPOLLSIM_EPOLL_HH
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "cpu/cache_model.hh"
 #include "cpu/cycle_costs.hh"
+#include "sim/ring_queue.hh"
 #include "sim/types.hh"
 #include "sync/lock_registry.hh"
 #include "sync/spinlock.hh"
@@ -61,8 +60,15 @@ class EventPoll
               int max_events = 64);
 
     bool hasReady() const { return !ready_.empty(); }
-    std::size_t interestCount() const { return interest_.size(); }
-    bool watching(int fd) const { return interest_.count(fd) != 0; }
+    std::size_t interestCount() const { return interestCount_; }
+
+    bool
+    watching(int fd) const
+    {
+        return fd >= 0 &&
+               static_cast<std::size_t>(fd) < interest_.size() &&
+               interest_[fd] != kUnwatched;
+    }
 
     /** Deepest the ready list ever got — a process-side pressure signal
      *  (a worker whose ready list keeps growing is not keeping up). */
@@ -83,12 +89,26 @@ class EventPoll
     SimSpinLock epLock_;
     std::uint64_t readyListObj_;
 
-    /** fd -> currently linked on the ready list? */
-    std::unordered_map<int, bool> interest_;
-    std::deque<int> ready_;
+    enum : std::uint8_t
+    {
+        kUnwatched = 0,
+        kWatched = 1,    //!< registered, not on the ready list
+        kLinked = 2,     //!< registered and linked on the ready list
+    };
+
+    /** Grow the fd-indexed tables to cover @p fd (sticky capacity). */
+    void ensureFd(int fd);
+
+    /** Watch state per fd. Dense fd-indexed arrays, not hash maps: fds
+     *  are small integers recycled by the fd table, and per-connection
+     *  map-node churn is exactly what the allocation audit forbids. */
+    std::vector<std::uint8_t> interest_;
+    std::size_t interestCount_ = 0;
+    RingQueue<int> ready_;
     std::size_t readyPeak_ = 0;
-    /** fd -> tick of its earliest pending wakeup (trace-only). */
-    std::unordered_map<int, Tick> wakeTicks_;
+    /** fd -> tick of its earliest pending wakeup (trace-only; 0 = none,
+     *  wakeups never happen at tick 0). */
+    std::vector<Tick> wakeTicks_;
 };
 
 } // namespace fsim

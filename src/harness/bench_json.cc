@@ -251,6 +251,26 @@ BenchJsonReport::str() const
         w.endArray();
         w.endObject();
 
+        // v7: DES-core throughput. The deterministic fields are always
+        // present; wall-clock numbers only when a wall-aware bench
+        // stamped them (same-seed exports must stay byte-identical).
+        w.key("sim_core").beginObject();
+        w.key("events_run").value(r.simEventsRun);
+        w.key("events_scheduled").value(r.simEventsScheduled);
+        w.key("sim_ticks").value(static_cast<std::uint64_t>(r.simTicks));
+        if (r.simWallSeconds > 0.0) {
+            const double sim_sec =
+                secondsFromTicks(r.simTicks);
+            w.key("wall_seconds").value(r.simWallSeconds);
+            w.key("events_per_sec")
+                .value(static_cast<double>(r.simEventsRun) /
+                       r.simWallSeconds);
+            if (sim_sec > 0.0)
+                w.key("wall_per_sim_sec")
+                    .value(r.simWallSeconds / sim_sec);
+        }
+        w.endObject();
+
         w.key("lock_windows").beginArray();
         for (const LockWindow &lw : r.lockWindows) {
             w.beginObject();

@@ -34,8 +34,12 @@ class BenchJsonReport
      *  "trace" block.
      *  v6: per-row "conn" block (TCB arena bytes-per-connection,
      *  TIME_WAIT lifecycle counters, port-allocation failures, ehash
-     *  lookup cost, optional connection-ramp checkpoints). */
-    static constexpr int kSchemaVersion = 6;
+     *  lookup cost, optional connection-ramp checkpoints).
+     *  v7: per-row "sim_core" block (DES-core throughput: events run /
+     *  scheduled and window ticks always; wall_seconds, events_per_sec
+     *  and wall_per_sim_sec only on rows stamped by a wall-clock-aware
+     *  bench, so same-seed exports stay byte-identical elsewhere). */
+    static constexpr int kSchemaVersion = 7;
 
     explicit BenchJsonReport(std::string bench_name);
 

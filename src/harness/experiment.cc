@@ -290,6 +290,8 @@ Testbed::markWindows()
     activeTotalMark_ = ks.activePktTotal;
     failedMark_ = load_->failed();
     spanCompletedMark_ = machine_->tracer().connSpans().completedCount();
+    eventsRunMark_ = eq_->executed();
+    eventsScheduledMark_ = eq_->scheduled();
     markTick_ = eq_->now();
 }
 
@@ -319,6 +321,10 @@ Testbed::collect()
     r.localPktProportion = at ? static_cast<double>(al) /
                                 static_cast<double>(at)
                               : 0.0;
+
+    r.simEventsRun = eq_->executed() - eventsRunMark_;
+    r.simEventsScheduled = eq_->scheduled() - eventsScheduledMark_;
+    r.simTicks = eq_->now() - markTick_;
 
     r.served = app_->served() - servedMark_;
     r.clientFailures = load_->failed() - failedMark_;

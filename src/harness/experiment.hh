@@ -324,6 +324,21 @@ struct ExperimentResult
     /** Connection-lifetime census (arena, TIME_WAIT, ports, ehash). */
     ConnResult conn;
 
+    /** @name DES-core throughput (schema v7 "sim_core" block) */
+    /** @{ */
+    /** Events executed / scheduled over the window (deterministic:
+     *  part of the same-seed contract like every counter above). */
+    std::uint64_t simEventsRun = 0;
+    std::uint64_t simEventsScheduled = 0;
+    /** Window span in ticks (same value as windowSpan for run(), but
+     *  filled even when tracing is off). */
+    Tick simTicks = 0;
+    /** Wall-clock seconds the window took. Stamped only by wall-aware
+     *  benches (bench_sim_core); 0 everywhere else so same-seed JSON
+     *  exports stay byte-identical across machines and runs. */
+    double simWallSeconds = 0.0;
+    /** @} */
+
     double maxUtil() const;
     double avgUtil() const;
     double minUtil() const;
@@ -395,6 +410,8 @@ class Testbed
     std::uint64_t activeLocalMark_ = 0;
     std::uint64_t activeTotalMark_ = 0;
     std::size_t spanCompletedMark_ = 0;
+    std::uint64_t eventsRunMark_ = 0;
+    std::uint64_t eventsScheduledMark_ = 0;
     Tick markTick_ = 0;
 };
 

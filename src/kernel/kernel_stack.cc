@@ -256,7 +256,7 @@ KernelStack::listen(int proc, IpAddr addr, Port port)
     int fd = p.fds.alloc();
     file->fd = fd;
     file->owner = proc;
-    p.files[fd] = file;
+    p.setFile(fd, file);
     lsock->watchers.emplace_back(proc, fd);
     p.epoll->ctlAdd(p.core, 0, fd);
 
@@ -291,13 +291,14 @@ KernelStack::localListen(int proc, IpAddr addr, Port port)
     // Re-point the process's listen fd at the clone: accept() checks the
     // global parent's queue first anyway (the starvation-avoidance order
     // of section 3.2.1).
-    for (auto &kv : p.files) {
-        if (kv.second->priv == global) {
-            kv.second->priv = clone;
-            clone->watchers.emplace_back(proc, kv.first);
+    for (int lfd = 0; lfd < static_cast<int>(p.files.size()); ++lfd) {
+        SocketFile *f = p.files[lfd];
+        if (f != nullptr && f->priv == global) {
+            f->priv = clone;
+            clone->watchers.emplace_back(proc, lfd);
             auto &w = global->watchers;
             w.erase(std::remove(w.begin(), w.end(),
-                                std::make_pair(proc, kv.first)),
+                                std::make_pair(proc, lfd)),
                     w.end());
             break;
         }
@@ -429,7 +430,10 @@ KernelStack::reapTimeWait(int bucket, CoreId core, Tick t)
                            ? 0
                            : static_cast<CoreId>(bucket);
     std::uint64_t now = timerBases_.at(base_core)->jiffies();
-    std::vector<TimeWaitTable::Entry> reaped;
+    // Sticky scratch: reapers run constantly under connection churn and
+    // must not re-grow a fresh vector on every firing.
+    std::vector<TimeWaitTable::Entry> &reaped = twReapScratch_;
+    reaped.clear();
     timeWait_->reapExpired(bucket, now, reaped);
     for (const TimeWaitTable::Entry &e : reaped) {
         if (e.holdsPort)
@@ -1228,10 +1232,10 @@ Socket *
 KernelStack::sockFromFd(int proc, int fd)
 {
     KProcess &p = *procs_.at(proc);
-    auto it = p.files.find(fd);
-    if (it == p.files.end())
+    SocketFile *file = p.fileAt(fd);
+    if (file == nullptr)
         return nullptr;
-    return static_cast<Socket *>(it->second->priv);
+    return static_cast<Socket *>(file->priv);
 }
 
 KernelStack::AcceptResult
@@ -1314,7 +1318,7 @@ KernelStack::accept(int proc, Tick t, int listen_fd)
     t += d_.costs->fdBitmapCost;
     file->fd = fd;
     file->owner = proc;
-    p.files[fd] = file;
+    p.setFile(fd, file);
     conn->file = file;
     conn->ownerProcess = proc;
     conn->ownerCore = core;
@@ -1431,7 +1435,7 @@ KernelStack::connect(int proc, Tick t, IpAddr dst, Port dport)
     t += d_.costs->fdBitmapCost;
     file->fd = fd;
     file->owner = proc;
-    p.files[fd] = file;
+    p.setFile(fd, file);
     sock->file = file;
 
     t = ehashFor(core).insert(core, t, sock);
@@ -1544,9 +1548,8 @@ KernelStack::close(int proc, Tick t, int fd)
 {
     KProcess &p = *procs_.at(proc);
     CoreId core = p.core;
-    auto it = p.files.find(fd);
-    fsim_assert(it != p.files.end());
-    SocketFile *file = it->second;
+    SocketFile *file = p.fileAt(fd);
+    fsim_assert(file != nullptr);
     Socket *sock = static_cast<Socket *>(file->priv);
 
     SyscallScope sc(d_.tracer, core, SyscallId::kClose, t);
@@ -1558,7 +1561,7 @@ KernelStack::close(int proc, Tick t, int fd)
     t = p.epoll->ctlDel(core, t, fd);
     p.fds.free(fd);
     t += d_.costs->fdBitmapCost;
-    p.files.erase(it);
+    p.clearFile(fd);
     t = vfs_->freeSocketFile(core, t, file,
                              sock->kind == SockKind::kConnection
                                  ? sock->id : 0);

@@ -14,6 +14,7 @@
 #ifndef FSIM_KERNEL_KERNEL_STACK_HH
 #define FSIM_KERNEL_KERNEL_STACK_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -53,7 +54,36 @@ struct KProcess
     bool alive = true;
     FdTable fds;
     std::unique_ptr<EventPoll> epoll;
-    std::unordered_map<int, SocketFile *> files;   //!< fd -> file
+    /** fd -> file. Dense fd-indexed with sticky capacity (nullptr =
+     *  closed slot): fds are small recycled integers, and per-connection
+     *  hash-map node churn is what the allocation audit forbids. */
+    std::vector<SocketFile *> files;
+    std::size_t filesLive = 0;   //!< non-null entries in files
+
+    SocketFile *
+    fileAt(int fd) const
+    {
+        return (fd >= 0 && static_cast<std::size_t>(fd) < files.size())
+                   ? files[fd]
+                   : nullptr;
+    }
+
+    void
+    setFile(int fd, SocketFile *file)
+    {
+        if (static_cast<std::size_t>(fd) >= files.size())
+            files.resize(std::max<std::size_t>(fd + 1, files.size() * 2),
+                         nullptr);
+        files[fd] = file;
+        ++filesLive;
+    }
+
+    void
+    clearFile(int fd)
+    {
+        files[fd] = nullptr;
+        --filesLive;
+    }
     /** Local listen clones created by this process (for crash cleanup). */
     std::vector<Socket *> localListens;
     /** Reuseport clones created by this process. */
@@ -365,6 +395,8 @@ class KernelStack
      *  kernel always erases with the pointer in hand). */
     TcbArena arena_;
     std::unique_ptr<TimeWaitTable> timeWait_;
+    /** Scratch for reapTimeWait (capacity reused across firings). */
+    std::vector<TimeWaitTable::Entry> twReapScratch_;
     /** Per-bucket reaper timer on the bucket core's base (kInvalidTimer
      *  while the bucket is empty). */
     std::vector<TimerWheel::TimerId> twReaperTimers_;

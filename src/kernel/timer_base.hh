@@ -14,10 +14,10 @@
 #define FSIM_KERNEL_TIMER_BASE_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "cpu/core.hh"
+#include "sim/event_fn.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 #include "sync/spinlock.hh"
@@ -30,9 +30,14 @@ namespace fsim
 class TimerBase
 {
   public:
+    /** Inline capture budget for timer callbacks: the kernel's arm
+     *  sites capture [this, socket-or-bucket] (16 bytes); the headroom
+     *  is bounded by TimerWheel::kWheelCaptureMax, which must fit
+     *  [TimerBase* + one Callback]. */
+    static constexpr std::size_t kTimerCaptureMax = 32;
     /** Timer callback: runs in timer-SoftIRQ context on the base's core;
      *  receives (core, tick) and returns the tick after its work. */
-    using Callback = std::function<Tick(CoreId, Tick)>;
+    using Callback = InlineFn<Tick(CoreId, Tick), kTimerCaptureMax>;
 
     TimerBase() = default;
 

@@ -1,0 +1,87 @@
+#include "sim/alloc_audit.hh"
+
+namespace fsim
+{
+
+namespace
+{
+
+// Plain globals: the simulator is single-threaded by design, and the
+// noteAlloc path must stay trivial — it runs inside operator new.
+bool g_armed = false;
+bool g_hooked = false;
+std::uint64_t g_allocs = 0;
+std::uint64_t g_frees = 0;
+std::uint64_t g_allocBytes = 0;
+
+} // namespace
+
+void
+AllocAudit::arm()
+{
+    g_armed = true;
+    g_allocs = 0;
+    g_frees = 0;
+    g_allocBytes = 0;
+}
+
+std::uint64_t
+AllocAudit::disarm()
+{
+    g_armed = false;
+    return g_allocs;
+}
+
+bool
+AllocAudit::armed()
+{
+    return g_armed;
+}
+
+std::uint64_t
+AllocAudit::allocs()
+{
+    return g_allocs;
+}
+
+std::uint64_t
+AllocAudit::frees()
+{
+    return g_frees;
+}
+
+std::uint64_t
+AllocAudit::allocBytes()
+{
+    return g_allocBytes;
+}
+
+bool
+AllocAudit::hooked()
+{
+    return g_hooked;
+}
+
+void
+AllocAudit::noteHooked()
+{
+    g_hooked = true;
+}
+
+void
+AllocAudit::noteAlloc(std::size_t bytes)
+{
+    if (g_armed) {
+        ++g_allocs;
+        g_allocBytes += bytes;
+    }
+}
+
+void
+AllocAudit::noteFree()
+{
+    if (g_armed)
+        ++g_frees;
+}
+
+} // namespace fsim

@@ -55,6 +55,33 @@ EstablishedTable::initBucket(Bucket &b)
     b.cacheObj = cache_.newObject();
 }
 
+void
+EstablishedTable::chainPushBack(Bucket &b, Socket *sock)
+{
+    sock->ehashNext = nullptr;
+    sock->ehashPrev = b.tail;
+    if (b.tail != nullptr)
+        b.tail->ehashNext = sock;
+    else
+        b.head = sock;
+    b.tail = sock;
+}
+
+void
+EstablishedTable::chainUnlink(Bucket &b, Socket *sock)
+{
+    if (sock->ehashPrev != nullptr)
+        sock->ehashPrev->ehashNext = sock->ehashNext;
+    else
+        b.head = sock->ehashNext;
+    if (sock->ehashNext != nullptr)
+        sock->ehashNext->ehashPrev = sock->ehashPrev;
+    else
+        b.tail = sock->ehashPrev;
+    sock->ehashNext = nullptr;
+    sock->ehashPrev = nullptr;
+}
+
 EstablishedTable::Bucket &
 EstablishedTable::bucketFor(const FiveTuple &tuple)
 {
@@ -77,10 +104,12 @@ EstablishedTable::maybeResize(CoreId, Tick t)
     mask_ = static_cast<std::uint32_t>(grown.size() - 1);
     std::size_t moved = 0;
     for (Bucket &b : buckets_) {
-        for (Socket *s : b.chain) {
-            grown[ehashMix(flowHash(s->rxTuple)) & mask_].chain
-                .push_back(s);
+        Socket *s = b.head;
+        while (s != nullptr) {
+            Socket *next = s->ehashNext;
+            chainPushBack(grown[ehashMix(flowHash(s->rxTuple)) & mask_], s);
             ++moved;
+            s = next;
         }
     }
     buckets_ = std::move(grown);
@@ -99,7 +128,7 @@ EstablishedTable::insert(CoreId c, Tick t, Socket *sock)
     // transfer penalty extends the hold the next waiter sees.
     Tick penalty = cache_.access(c, b.cacheObj, /*write=*/true);
     Tick end = b.lock.runLocked(c, t, costs_.ehashInsertHold + penalty);
-    b.chain.push_back(sock);
+    chainPushBack(b, sock);
     ++size_;
     return maybeResize(c, end);
 }
@@ -110,10 +139,12 @@ EstablishedTable::remove(CoreId c, Tick t, Socket *sock)
     Bucket &b = bucketFor(sock->rxTuple);
     Tick penalty = cache_.access(c, b.cacheObj, /*write=*/true);
     Tick end = b.lock.runLocked(c, t, costs_.ehashInsertHold + penalty);
-    auto pos = std::find(b.chain.begin(), b.chain.end(), sock);
-    if (pos != b.chain.end()) {
-        b.chain.erase(pos);
-        --size_;
+    for (Socket *s = b.head; s != nullptr; s = s->ehashNext) {
+        if (s == sock) {
+            chainUnlink(b, sock);
+            --size_;
+            break;
+        }
     }
     return end;
 }
@@ -127,7 +158,7 @@ EstablishedTable::lookup(CoreId c, Tick t, const FiveTuple &tuple)
     t += costs_.ehashLookup;
     t += cache_.access(c, b.cacheObj, /*write=*/false);
     std::uint64_t walked = 0;
-    for (Socket *s : b.chain) {
+    for (Socket *s = b.head; s != nullptr; s = s->ehashNext) {
         if (s->rxTuple == tuple) {
             out.sock = s;
             break;
@@ -151,7 +182,7 @@ EstablishedTable::all() const
     std::vector<Socket *> out;
     out.reserve(size_);
     for (const Bucket &b : buckets_)
-        for (Socket *s : b.chain)
+        for (Socket *s = b.head; s != nullptr; s = s->ehashNext)
             out.push_back(s);
     return out;
 }

@@ -91,14 +91,20 @@ class EstablishedTable
     std::vector<Socket *> all() const;
 
   private:
+    /** Chains are intrusive (Socket::ehashNext/ehashPrev), insertion-
+     *  ordered — same walk order as the vector they replaced, but
+     *  inserting into an empty bucket never allocates. */
     struct Bucket
     {
-        std::vector<Socket *> chain;
+        Socket *head = nullptr;
+        Socket *tail = nullptr;
         SimSpinLock lock;
         std::uint64_t cacheObj = 0;
     };
 
     Bucket &bucketFor(const FiveTuple &tuple);
+    static void chainPushBack(Bucket &b, Socket *sock);
+    static void chainUnlink(Bucket &b, Socket *sock);
     void initBucket(Bucket &b);
     Tick maybeResize(CoreId c, Tick t);
 

@@ -11,15 +11,24 @@ PortAllocator::PortAllocator(Port lo, Port hi)
     fsim_assert(lo_ > 0 && lo_ < hi_);
 }
 
+PortAllocator::PortSet &
+PortAllocator::setFor(std::uint64_t key)
+{
+    PortSet &set = used_[key];
+    if (set.bits.empty())
+        set.bits.resize((static_cast<std::size_t>(hi_) >> 6) + 1, 0);
+    return set;
+}
+
 Port
 PortAllocator::alloc(IpAddr dst, Port dport)
 {
-    auto &set = used_[dkey(dst, dport)];
+    PortSet &set = setFor(dkey(dst, dport));
     const std::uint32_t span = hi_ - lo_ + 1u;
     Port p = hint_;
     for (std::uint32_t i = 0; i < span; ++i) {
-        if (!set.count(p)) {
-            set.insert(p);
+        if (!set.test(p)) {
+            set.set(p);
             ++total_;
             hint_ = p == hi_ ? lo_ : static_cast<Port>(p + 1);
             return p;
@@ -36,7 +45,7 @@ PortAllocator::allocForCore(IpAddr dst, Port dport, CoreId core, Port mask)
     fsim_assert(((static_cast<std::uint32_t>(mask) + 1) &
                  static_cast<std::uint32_t>(mask)) == 0);
 
-    auto &set = used_[dkey(dst, dport)];
+    PortSet &set = setFor(dkey(dst, dport));
     const std::uint32_t stride = static_cast<std::uint32_t>(mask) + 1;
 
     // First candidate >= lo_ with (p & mask) == core.
@@ -62,8 +71,8 @@ PortAllocator::allocForCore(IpAddr dst, Port dport, CoreId core, Port mask)
             p = first;
             continue;
         }
-        if (!set.count(static_cast<Port>(p))) {
-            set.insert(static_cast<Port>(p));
+        if (!set.test(static_cast<Port>(p))) {
+            set.set(static_cast<Port>(p));
             ++total_;
             coreHints_[hkey] = static_cast<Port>(
                 p + stride > hi_ ? first : p + stride);
@@ -78,10 +87,10 @@ PortAllocator::allocForCore(IpAddr dst, Port dport, CoreId core, Port mask)
 bool
 PortAllocator::claim(IpAddr dst, Port dport, Port p)
 {
-    auto &set = used_[dkey(dst, dport)];
-    if (set.count(p))
+    PortSet &set = setFor(dkey(dst, dport));
+    if (set.test(p))
         return false;
-    set.insert(p);
+    set.set(p);
     ++total_;
     return true;
 }
@@ -90,13 +99,10 @@ bool
 PortAllocator::release(IpAddr dst, Port dport, Port p)
 {
     auto it = used_.find(dkey(dst, dport));
-    if (it == used_.end())
+    if (it == used_.end() || !it->second.test(p))
         return false;
-    if (!it->second.erase(p))
-        return false;
+    it->second.clear(p);
     --total_;
-    if (it->second.empty())
-        used_.erase(it);
     return true;
 }
 
@@ -104,7 +110,7 @@ bool
 PortAllocator::inUse(IpAddr dst, Port dport, Port p) const
 {
     auto it = used_.find(dkey(dst, dport));
-    return it != used_.end() && it->second.count(p) != 0;
+    return it != used_.end() && it->second.test(p);
 }
 
 } // namespace fsim

@@ -14,7 +14,7 @@
 
 #include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "net/packet.hh"
 #include "sim/types.hh"
@@ -68,10 +68,35 @@ class PortAllocator
         return (static_cast<std::uint64_t>(dst) << 16) | dport;
     }
 
+    /** Per-destination in-use bitmap. A hash set would allocate a node
+     *  per claimed port — once per connection, the exact churn the
+     *  allocation audit forbids. 8 KB per destination, sized lazily. */
+    struct PortSet
+    {
+        std::vector<std::uint64_t> bits;
+
+        bool
+        test(Port p) const
+        {
+            return !bits.empty() &&
+                   (bits[p >> 6] >> (p & 63)) & 1u;
+        }
+
+        void set(Port p) { bits[p >> 6] |= 1ull << (p & 63); }
+        void clear(Port p) { bits[p >> 6] &= ~(1ull << (p & 63)); }
+    };
+
+    /** Bitmap for @p key, sized to cover the ephemeral range. */
+    PortSet &setFor(std::uint64_t key);
+
     Port lo_;
     Port hi_;
     Port hint_;
-    std::unordered_map<std::uint64_t, std::unordered_set<Port>> used_;
+    /** Keyed by destination: a handful of long-lived entries (one per
+     *  backend), so the map itself sees no steady-state churn. Empty
+     *  sets are deliberately never erased — their capacity is the
+     *  recycled resource. */
+    std::unordered_map<std::uint64_t, PortSet> used_;
     std::unordered_map<std::uint64_t, Port> coreHints_;
     std::size_t total_ = 0;
 };

@@ -14,12 +14,12 @@
 #define FSIM_TCP_SOCKET_HH
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "net/packet.hh"
+#include "sim/ring_queue.hh"
 #include "sim/types.hh"
 #include "sync/spinlock.hh"
 #include "timerwheel/timer_wheel.hh"
@@ -71,8 +71,11 @@ struct Socket
     CoreId homeCore = kInvalidCore;
     /** For a local listen socket: the global listen socket it clones. */
     Socket *globalParent = nullptr;
-    /** Connections that completed the handshake, awaiting accept(). */
-    std::deque<Socket *> acceptQueue;
+    /** Connections that completed the handshake, awaiting accept().
+     *  A RingQueue, not a deque: a default-constructed libstdc++ deque
+     *  allocates its first block eagerly, which would charge every
+     *  arena-recycled TCB one hidden 512-byte allocation. */
+    RingQueue<Socket *> acceptQueue;
     /** Accept-queue capacity (somaxconn); overflow rejects connections. */
     std::size_t backlog = 512;
     /** SO_REUSEPORT clone owner process (kLinux313 flavor). */
@@ -112,6 +115,13 @@ struct Socket
     void *appCtx = nullptr;
     /** Established table this socket currently lives in (null if none). */
     class EstablishedTable *ehashHome = nullptr;
+    /** Intrusive ehash bucket-chain links, insertion-ordered. Chains
+     *  are intrusive rather than per-bucket vectors so inserting into a
+     *  never-before-used bucket does not heap-allocate (the audit
+     *  forbids per-connection allocation, and hashed bucket spread
+     *  means fresh buckets keep appearing deep into steady state). */
+    Socket *ehashNext = nullptr;
+    Socket *ehashPrev = nullptr;
     /** Next transmit ordinal stamped into outgoing packets (wire-fault
      *  decisions hash it so retransmissions draw independent fates). */
     std::uint32_t txSeqCounter = 0;

@@ -10,28 +10,82 @@ namespace fsim
 TimerWheel::TimerWheel(std::uint64_t start_jiffy)
     : jiffy_(start_jiffy)
 {
+    // Give every slot a sticky capacity up front: the first pushes into
+    // a fresh slot would otherwise heap-allocate, and timers keep
+    // wrapping into fresh slot indices deep into steady state, which
+    // the allocation audit forbids. tv1 wraps every 256 jiffies, so a
+    // short warm-up discovers its per-slot high-water marks; the outer
+    // levels wrap over minutes of simulated time — no warm-up covers a
+    // revolution, so they get enough capacity for every live socket's
+    // long-horizon (keepalive/embryonic) timer to share one slot.
+    // 16, not a token 1-2: tv1 occupancy is sub-1 on average but
+    // cascades dump whole outer-level slots across it, so rare slots
+    // see several entries — the next doubling threshold must sit above
+    // any occupancy the steady state can reach.
+    for (Slot &s : tv1_)
+        s.reserve(16);
+    for (auto &level : tvn_)
+        for (Slot &s : level)
+            s.reserve(256);
+}
+
+TimerWheel::Node *
+TimerWheel::nodeAt(TimerId id)
+{
+    const std::uint32_t idx = static_cast<std::uint32_t>(id);
+    if (idx == 0 || idx > nodes_.size())
+        return nullptr;
+    Node &n = nodes_[idx - 1];
+    if (!n.live || n.gen != static_cast<std::uint32_t>(id >> 32))
+        return nullptr;
+    return &n;
+}
+
+void
+TimerWheel::freeNode(TimerId id)
+{
+    const std::uint32_t idx = static_cast<std::uint32_t>(id) - 1;
+    Node &n = nodes_[idx];
+    n.cb.reset();
+    n.live = false;
+    n.level = kDetached;
+    ++n.gen;   // every outstanding handle to this slot goes stale
+    n.nextFree = freeHead_;
+    freeHead_ = idx;
 }
 
 TimerWheel::TimerId
 TimerWheel::add(std::uint64_t expires, Callback cb)
 {
-    TimerId id = nextId_++;
-    auto [it, ok] = nodes_.emplace(id, Node{expires, std::move(cb),
-                                            kDetached, 0, 0});
-    (void)ok;
+    std::uint32_t idx;
+    if (freeHead_ != kNoFree) {
+        idx = freeHead_;
+        freeHead_ = nodes_[idx].nextFree;
+    } else {
+        idx = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.emplace_back();
+    }
+    Node &n = nodes_[idx];
+    n.expires = expires;
+    n.cb = std::move(cb);
+    n.live = true;
+    n.level = kDetached;
+    n.nextFree = kNoFree;
+    const TimerId id =
+        (static_cast<TimerId>(n.gen) << 32) | (idx + 1);
     ++liveCount_;
-    place(id, it->second);
+    place(id, n);
     return id;
 }
 
 bool
 TimerWheel::cancel(TimerId id)
 {
-    auto it = nodes_.find(id);
-    if (it == nodes_.end())
+    Node *n = nodeAt(id);
+    if (!n)
         return false;
-    detach(it->second);
-    nodes_.erase(it);
+    detach(*n);
+    freeNode(id);
     --liveCount_;
     return true;
 }
@@ -39,12 +93,12 @@ TimerWheel::cancel(TimerId id)
 bool
 TimerWheel::modify(TimerId id, std::uint64_t expires)
 {
-    auto it = nodes_.find(id);
-    if (it == nodes_.end())
+    Node *n = nodeAt(id);
+    if (!n)
         return false;
-    detach(it->second);
-    it->second.expires = expires;
-    place(id, it->second);
+    detach(*n);
+    n->expires = expires;
+    place(id, *n);
     return true;
 }
 
@@ -110,9 +164,9 @@ TimerWheel::detach(Node &node)
     slot.pop_back();
     if (node.pos < slot.size()) {
         // Fix the swapped-in entry's recorded position.
-        auto mit = nodes_.find(moved);
-        fsim_assert(mit != nodes_.end());
-        mit->second.pos = node.pos;
+        Node *mn = nodeAt(moved);
+        fsim_assert(mn != nullptr);
+        mn->pos = node.pos;
     }
     node.level = kDetached;
 }
@@ -120,16 +174,25 @@ TimerWheel::detach(Node &node)
 void
 TimerWheel::cascade(std::uint32_t level, std::uint32_t index)
 {
-    Slot moved = std::move(tvn_[level][index]);
-    tvn_[level][index].clear();
-    cascaded_ += moved.size();
+    Slot &slot = tvn_[level][index];
+    cascaded_ += slot.size();
+    // place() may legally re-append into this same slot (clamped
+    // far-future timers), so iterate a scratch copy. The scratch's
+    // capacity is sticky (swapped back when done), keeping steady-state
+    // cascades allocation-free yet reentrancy-safe.
+    Slot moved;
+    moved.swap(cascadeScratch_);
+    moved.assign(slot.begin(), slot.end());
+    slot.clear();
     for (TimerId id : moved) {
-        auto it = nodes_.find(id);
-        if (it == nodes_.end())
+        Node *n = nodeAt(id);
+        if (!n)
             continue;   // defensive; eager detach should prevent this
-        it->second.level = kDetached;
-        place(id, it->second);
+        n->level = kDetached;
+        place(id, *n);
     }
+    moved.clear();
+    moved.swap(cascadeScratch_);
 }
 
 void
@@ -147,33 +210,38 @@ TimerWheel::tickOnce()
         }
     }
 
-    Slot due = std::move(tv1_[idx1]);
+    // The due batch is detached from the wheel: copy it to a reusable
+    // scratch and mark members so a cancel()/modify() issued by an
+    // earlier callback in this batch does not try to swap-pop inside
+    // the already-cleared slot vector.
+    Slot due;
+    due.swap(due_);
+    due.assign(tv1_[idx1].begin(), tv1_[idx1].end());
     tv1_[idx1].clear();
-    // The due batch is detached from the wheel: mark members so a
-    // cancel()/modify() issued by an earlier callback in this batch does
-    // not try to swap-pop inside the (already moved-out) vector.
     for (TimerId id : due) {
-        auto it = nodes_.find(id);
-        if (it != nodes_.end())
-            it->second.level = kDetached;
+        Node *n = nodeAt(id);
+        if (n)
+            n->level = kDetached;
     }
     for (TimerId id : due) {
-        auto it = nodes_.find(id);
-        if (it == nodes_.end())
+        Node *n = nodeAt(id);
+        if (!n)
             continue;   // cancelled by an earlier callback in this batch
-        if (it->second.expires > jiffy_) {
+        if (n->expires > jiffy_) {
             // Re-armed to a later time by an earlier callback; if it is
             // still detached, give it back a real slot.
-            if (it->second.level == kDetached)
-                place(id, it->second);
+            if (n->level == kDetached)
+                place(id, *n);
             continue;
         }
-        Callback cb = std::move(it->second.cb);
-        nodes_.erase(it);
+        Callback cb = std::move(n->cb);
+        freeNode(id);
         --liveCount_;
         ++fired_;
         cb();
     }
+    due.clear();
+    due.swap(due_);
 }
 
 std::size_t

@@ -14,15 +14,25 @@
  * next visited; under keepalive-timer churn (one mod_timer per data
  * segment) with millions of live connections those stale entries grew
  * without bound between cascades.
+ *
+ * Nodes live in a generation-tagged slab (a plain vector plus an
+ * intrusive free list) instead of a std::unordered_map: arming a timer in
+ * steady state recycles a slot instead of allocating a map node, which is
+ * what keeps the timer path inside the simulator's zero-allocation
+ * envelope. A TimerId encodes {slab index, generation}, so a stale handle
+ * (cancel of an already-fired timer whose slot was since reused) misses
+ * on the generation check exactly like it used to miss in the map.
+ * Callbacks are stored inline (InlineFn): the wheel's capture budget is
+ * sized by TimerBase's context wrapper [this, TimerBase::Callback].
  */
 
 #ifndef FSIM_TIMERWHEEL_TIMER_WHEEL_HH
 #define FSIM_TIMERWHEEL_TIMER_WHEEL_HH
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
+
+#include "sim/event_fn.hh"
 
 namespace fsim
 {
@@ -31,7 +41,12 @@ namespace fsim
 class TimerWheel
 {
   public:
-    using Callback = std::function<void()>;
+    /** Inline capture budget for wheel callbacks: fits TimerBase's
+     *  [this + contextful-callback] wrapper with nothing to spare —
+     *  grow TimerBase::kTimerCaptureMax first if a new arm site needs
+     *  more. */
+    static constexpr std::size_t kWheelCaptureMax = 64;
+    using Callback = InlineFn<void(), kWheelCaptureMax>;
     using TimerId = std::uint64_t;
 
     /** Sentinel for "no timer". */
@@ -86,17 +101,24 @@ class TimerWheel
     /** Timers moved down a level by cascades so far (cost visibility). */
     std::uint64_t cascaded() const { return cascaded_; }
 
+    /** Node-slab capacity (memory visibility for scale tests). */
+    std::size_t slabCapacity() const { return nodes_.size(); }
+
   private:
     /** Slot coordinates: level 0 is tv1, 1..kLevels are tvn_[level-1]. */
     static constexpr std::uint8_t kDetached = 0xff;
+    static constexpr std::uint32_t kNoFree = 0xffffffff;
 
     struct Node
     {
         std::uint64_t expires = 0;
         Callback cb;
-        std::uint8_t level = kDetached;
+        std::uint32_t gen = 0;
         std::uint32_t index = 0;
         std::uint32_t pos = 0;
+        std::uint32_t nextFree = kNoFree;
+        std::uint8_t level = kDetached;
+        bool live = false;
     };
 
     static constexpr std::uint32_t kTv1Bits = 8;
@@ -107,6 +129,12 @@ class TimerWheel
 
     using Slot = std::vector<TimerId>;
 
+    /** Slab lookup; nullptr when the handle is stale or invalid. */
+    Node *nodeAt(TimerId id);
+    /** Return a node to the free list; bumps its generation so every
+     *  outstanding handle to it goes stale. */
+    void freeNode(TimerId id);
+
     Slot &slotAt(std::uint8_t level, std::uint32_t index);
     void place(TimerId id, Node &node);
     void detach(Node &node);
@@ -114,14 +142,19 @@ class TimerWheel
     void tickOnce();
 
     std::uint64_t jiffy_;
-    TimerId nextId_ = 1;
     std::size_t liveCount_ = 0;
     std::size_t fired_ = 0;
     std::uint64_t cascaded_ = 0;
 
     Slot tv1_[kTv1Size];
     Slot tvn_[kLevels][kTvnSize];
-    std::unordered_map<TimerId, Node> nodes_;
+
+    std::vector<Node> nodes_;
+    std::uint32_t freeHead_ = kNoFree;
+    /** Scratch vectors (capacity reused across ticks; swapped into a
+     *  local during use so reentrant advance stays safe). */
+    Slot due_;
+    Slot cascadeScratch_;
 };
 
 } // namespace fsim

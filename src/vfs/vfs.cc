@@ -38,6 +38,12 @@ VfsLayer::VfsLayer(VfsMode mode, LockRegistry &locks, CacheModel &cache,
 
 VfsLayer::~VfsLayer() = default;
 
+VfsLayer::PoolSlot &
+VfsLayer::slotAt(std::uint32_t idx)
+{
+    return pool_[idx / kPoolChunk][idx % kPoolChunk];
+}
+
 SimSpinLock &
 VfsLayer::dcacheBucket(std::uint64_t ino)
 {
@@ -55,7 +61,19 @@ VfsLayer::allocSocketFile(CoreId c, Tick t, void *sock, SocketFile **out,
                           std::uint64_t conn_id)
 {
     const Tick begin = t;
-    auto file = std::make_unique<SocketFile>();
+    PoolSlot *slot;
+    if (poolFree_ != kPoolNone) {
+        slot = &slotAt(poolFree_);
+        poolFree_ = slot->nextFree;
+    } else {
+        if (poolUsed_ == pool_.size() * kPoolChunk)
+            pool_.push_back(std::make_unique<PoolSlot[]>(kPoolChunk));
+        slot = &slotAt(poolUsed_);
+        slot->selfIdx = poolUsed_++;
+    }
+    slot->live = true;
+    SocketFile *file = &slot->file;
+    *file = SocketFile{};
     file->ino = nextIno_++;
     file->priv = sock;
     file->cacheObj = cache_.newObject();
@@ -83,9 +101,8 @@ VfsLayer::allocSocketFile(CoreId c, Tick t, void *sock, SocketFile **out,
         break;
     }
 
-    SocketFile *raw = file.get();
-    files_.emplace(raw->ino, std::move(file));
-    *out = raw;
+    ++liveFiles_;
+    *out = file;
     if (conn_id && tracer_ && tracer_->enabled())
         tracer_->connSpans().add(conn_id, ConnStage::kVfs, c, begin, t,
                                  static_cast<std::uint32_t>(mode_));
@@ -98,8 +115,8 @@ VfsLayer::freeSocketFile(CoreId c, Tick t, SocketFile *file,
 {
     const Tick begin = t;
     fsim_assert(file != nullptr);
-    auto it = files_.find(file->ino);
-    if (it == files_.end())
+    PoolSlot *slot = reinterpret_cast<PoolSlot *>(file);
+    if (!slot->live)
         fsim_panic("double free of socket file ino=%llu",
                    (unsigned long long)file->ino);
 
@@ -122,7 +139,10 @@ VfsLayer::freeSocketFile(CoreId c, Tick t, SocketFile *file,
     }
 
     cache_.freeObject(file->cacheObj);
-    files_.erase(it);
+    slot->live = false;
+    slot->nextFree = poolFree_;
+    poolFree_ = slot->selfIdx;
+    --liveFiles_;
     if (conn_id && tracer_ && tracer_->enabled())
         tracer_->connSpans().add(conn_id, ConnStage::kVfs, c, begin, t,
                                  static_cast<std::uint32_t>(mode_));
@@ -133,9 +153,13 @@ std::vector<const SocketFile *>
 VfsLayer::procWalk() const
 {
     std::vector<const SocketFile *> out;
-    out.reserve(files_.size());
-    for (const auto &kv : files_)
-        out.push_back(kv.second.get());
+    out.reserve(liveFiles_);
+    // Slot order: deterministic, unlike the hash-map walk it replaces.
+    for (std::uint32_t i = 0; i < poolUsed_; ++i) {
+        const PoolSlot &slot = pool_[i / kPoolChunk][i % kPoolChunk];
+        if (slot.live)
+            out.push_back(&slot.file);
+    }
     return out;
 }
 

@@ -19,7 +19,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cpu/cache_model.hh"
@@ -90,12 +89,27 @@ class VfsLayer
     std::vector<const SocketFile *> procWalk() const;
 
     VfsMode mode() const { return mode_; }
-    std::uint64_t liveFiles() const { return files_.size(); }
+    std::uint64_t liveFiles() const { return liveFiles_; }
     std::uint64_t totalAllocs() const { return totalAllocs_; }
 
   private:
     SimSpinLock &dcacheBucket(std::uint64_t ino);
     SimSpinLock &inodeBucket(std::uint64_t ino);
+
+    /** Slab slot wrapping a SocketFile (file must stay first so a
+     *  SocketFile pointer converts back to its slot). */
+    struct PoolSlot
+    {
+        SocketFile file;
+        std::uint32_t nextFree = kPoolNone;
+        std::uint32_t selfIdx = 0;
+        bool live = false;
+    };
+
+    static constexpr std::uint32_t kPoolNone = 0xffffffffu;
+    static constexpr std::size_t kPoolChunk = 256;
+
+    PoolSlot &slotAt(std::uint32_t idx);
 
     VfsMode mode_;
     CacheModel &cache_;
@@ -109,7 +123,13 @@ class VfsLayer
 
     std::uint64_t nextIno_ = 1;
     std::uint64_t totalAllocs_ = 0;
-    std::unordered_map<std::uint64_t, std::unique_ptr<SocketFile>> files_;
+    std::uint64_t liveFiles_ = 0;
+
+    /** Socket files live in recycled slab chunks, not one heap object
+     *  per file: file alloc/free is the per-connection fast path. */
+    std::vector<std::unique_ptr<PoolSlot[]>> pool_;
+    std::uint32_t poolUsed_ = 0;       //!< slots ever handed out
+    std::uint32_t poolFree_ = kPoolNone;
 };
 
 } // namespace fsim

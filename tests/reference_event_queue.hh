@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The pre-ladder binary-heap event queue, kept verbatim as a test
+ * oracle.
+ *
+ * This is the std::priority_queue implementation the simulator shipped
+ * with through PR 6, frozen here so the differential property test
+ * (test_event_queue_diff.cc) and bench_sim_core can compare the ladder
+ * queue against the exact semantics every committed fingerprint was
+ * recorded under: absolute ticks, FIFO tie-break by sequence number,
+ * runUntil advancing now() to the limit. Do not "improve" it — its
+ * value is that it stays dumb and obviously correct.
+ */
+
+#ifndef FSIM_TESTS_REFERENCE_EVENT_QUEUE_HH
+#define FSIM_TESTS_REFERENCE_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace fsim
+{
+
+/** Minimum-time-first event queue: the original binary-heap core. */
+class ReferenceEventQueue
+{
+  public:
+    using Handler = std::function<void()>;
+
+    Tick now() const { return now_; }
+
+    void
+    schedule(Tick when, Handler fn)
+    {
+        if (when < now_)
+            when = now_;   // release-mode clamp, mirrored from EventQueue
+        heap_.push(Item{when, nextSeq_++, std::move(fn)});
+    }
+
+    void
+    scheduleIn(Tick delta, Handler fn)
+    {
+        schedule(now_ + delta, std::move(fn));
+    }
+
+    bool
+    runOne()
+    {
+        if (heap_.empty())
+            return false;
+        Item &top = const_cast<Item &>(heap_.top());
+        Tick when = top.when;
+        Handler fn = std::move(top.fn);
+        heap_.pop();
+        now_ = when;
+        ++executed_;
+        fn();
+        return true;
+    }
+
+    void
+    runUntil(Tick limit)
+    {
+        while (!heap_.empty() && heap_.top().when <= limit)
+            runOne();
+        if (now_ < limit)
+            now_ = limit;
+    }
+
+    std::uint64_t
+    runAll()
+    {
+        std::uint64_t n = 0;
+        while (runOne())
+            ++n;
+        return n;
+    }
+
+    std::size_t pending() const { return heap_.size(); }
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Item
+    {
+        Tick when;
+        std::uint64_t seq;
+        Handler fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace fsim
+
+#endif // FSIM_TESTS_REFERENCE_EVENT_QUEUE_HH

@@ -273,7 +273,7 @@ TEST(BenchJson, DocumentCarriesSchemaVersionAndRequiredKeys)
     std::string doc = report.str();
     // Golden schema: version stamp plus every top-level and per-row key
     // the downstream validator requires.
-    EXPECT_NE(doc.find("\"schema_version\":6"), std::string::npos);
+    EXPECT_NE(doc.find("\"schema_version\":7"), std::string::npos);
     EXPECT_NE(doc.find("\"bench\":\"unit_test\""), std::string::npos);
     for (const char *key :
          {"\"rows\"", "\"label\"", "\"config\"", "\"metrics\"",
@@ -321,6 +321,18 @@ TEST(BenchJson, DocumentCarriesSchemaVersionAndRequiredKeys)
           "\"ehash_lookup_cycles\"", "\"ehash_resizes\"",
           "\"avg_probe_len\"", "\"cycles_per_lookup\"", "\"ramp\""})
         EXPECT_NE(doc.find(key), std::string::npos) << key;
+    // v7: per-row sim_core block (DES-core throughput counters; the
+    // wall-clock trio only appears on wall-stamped rows, not here).
+    for (const char *key :
+         {"\"sim_core\"", "\"events_run\"", "\"events_scheduled\"",
+          "\"sim_ticks\""})
+        EXPECT_NE(doc.find(key), std::string::npos) << key;
+    EXPECT_EQ(doc.find("\"wall_seconds\""), std::string::npos);
+    // Window deltas: events scheduled during warmup may run inside the
+    // window, so run and scheduled need not be ordered — both just have
+    // to show the window did real work.
+    EXPECT_GT(r.simEventsRun, 0u);
+    EXPECT_GT(r.simEventsScheduled, 0u);
     // The short-lived run actively closed connections, so the census
     // must show TIME_WAIT traffic and a non-zero per-conn footprint.
     EXPECT_GT(r.conn.tcbLivePeak, 0u);

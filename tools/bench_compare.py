@@ -16,6 +16,9 @@ metrics are compared against the baseline:
   - memory cost per connection (bytes_per_conn from the v6 conn block,
     compared only when both rows held TCBs): lower is better; per-TCB
     bloat gates exactly like a latency regression
+  - DES-core throughput (events_per_sec, wall_per_sim_sec from the v7
+    sim_core block, compared only when both rows are wall-stamped):
+    events_per_sec higher is better, wall_per_sim_sec lower is better
 
 Improvements beyond the threshold are reported as such, never fatal.
 Accepts any schema version from v2 on (the compared keys exist in all
@@ -27,9 +30,9 @@ import json
 import sys
 
 DEFAULT_THRESHOLD = 0.05
-HIGHER_BETTER = ("cps", "rps", "served")
+HIGHER_BETTER = ("cps", "rps", "served", "events_per_sec")
 LOWER_BETTER = ("latency_p50_ticks", "latency_p99_ticks",
-                "bytes_per_conn")
+                "bytes_per_conn", "wall_per_sim_sec")
 MIN_SCHEMA = 2
 
 
@@ -53,6 +56,11 @@ def load(path):
 
 def metric_value(row, name):
     """Fetch a metric by name; None when absent or not comparable."""
+    if name in ("events_per_sec", "wall_per_sim_sec"):
+        # v7 sim_core: only wall-stamped rows carry these, so unstamped
+        # baselines/candidates simply skip the comparison.
+        v = row.get("sim_core", {}).get(name)
+        return float(v) if isinstance(v, (int, float)) else None
     if name in HIGHER_BETTER:
         v = row.get("metrics", {}).get(name)
         return float(v) if isinstance(v, (int, float)) else None

@@ -26,6 +26,11 @@ Checks (stdlib only, used by CI and by hand after editing the exporter):
     TIME_WAIT arithmetic (entered == reaped + recycled + reused +
     still-lingering), ehash probe averages consistent with their
     numerators, and structurally sound ramp checkpoints
+  - (v7) per-row sim_core block (DES-core throughput): events_run /
+    events_scheduled / sim_ticks always present and non-negative; the
+    wall-clock trio (wall_seconds, events_per_sec, wall_per_sim_sec)
+    appears all-or-none and, when present, is positive and consistent
+    (events_per_sec == events_run / wall_seconds)
 Exit status 0 iff every document passes.
 """
 
@@ -33,7 +38,7 @@ import json
 import re
 import sys
 
-KNOWN_SCHEMA_VERSIONS = (2, 3, 4, 5, 6)
+KNOWN_SCHEMA_VERSIONS = (2, 3, 4, 5, 6, 7)
 
 V3_WINDOW_KEYS = ("completed", "goodput", "syn_retransmits",
                   "syn_cookies_sent", "syn_cookies_validated",
@@ -71,6 +76,8 @@ STAGE_ROW_KEYS = ("stage", "count", "p50", "p90", "p99", "p999", "max",
                   "total_ticks")
 EXEMPLAR_KEYS = ("percentile", "conn_id", "latency", "unattributed",
                  "stages", "cores")
+
+SIM_CORE_KEYS = ("events_run", "events_scheduled", "sim_ticks")
 
 CONN_KEYS = ("tcb_live", "tcb_live_peak", "tcb_created", "slab_bytes",
              "bytes_per_conn", "established_curr", "established_peak",
@@ -284,6 +291,41 @@ def validate(path):
                     return False
                 if pt["live"] < 0 or pt["bytes_per_conn"] < 0:
                     return fail(path, f"{pw}: negative gauge")
+
+        if version >= 7:
+            sc = row.get("sim_core")
+            if not isinstance(sc, dict) or not require(
+                    sc, SIM_CORE_KEYS, path, f"{where}.sim_core"):
+                return fail(path, f"{where}.sim_core missing or malformed")
+            for k in SIM_CORE_KEYS:
+                if not isinstance(sc[k], int) or sc[k] < 0:
+                    return fail(path, f"{where}.sim_core.{k} malformed")
+            # Wall-clock trio: wall_seconds and events_per_sec appear
+            # together (wall-stamped rows only); wall_per_sim_sec rides
+            # along whenever simulated time actually advanced.
+            has_wall = "wall_seconds" in sc
+            if has_wall != ("events_per_sec" in sc):
+                return fail(path, f"{where}.sim_core: wall_seconds and "
+                                  f"events_per_sec must appear together")
+            if "wall_per_sim_sec" in sc and not has_wall:
+                return fail(path, f"{where}.sim_core: wall_per_sim_sec "
+                                  f"without wall_seconds")
+            if has_wall:
+                if sc["wall_seconds"] <= 0:
+                    return fail(path, f"{where}.sim_core: wall_seconds "
+                                      f"not positive")
+                want = sc["events_run"] / sc["wall_seconds"]
+                if abs(want - sc["events_per_sec"]) > 1e-6 * max(1.0, want):
+                    return fail(path, f"{where}.sim_core: events_per_sec "
+                                      f"{sc['events_per_sec']!r} != "
+                                      f"events_run/wall_seconds {want!r}")
+                if sc["sim_ticks"] > 0 and "wall_per_sim_sec" not in sc:
+                    return fail(path, f"{where}.sim_core: sim time "
+                                      f"advanced but wall_per_sim_sec "
+                                      f"missing")
+                if sc.get("wall_per_sim_sec", 1) <= 0:
+                    return fail(path, f"{where}.sim_core: "
+                                      f"wall_per_sim_sec not positive")
 
         for qname, samples in row["queue_timelines"].items():
             ticks = [s[0] for s in samples]
