@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,11 @@ namespace fsim
  * All flag handling lives here so a new shared flag lands in every bench
  * at once; bench-specific flags are consumed from `extra` (see
  * extraFlag/extraValue) instead of each bench re-walking argv.
+ *
+ * Unknown `--flag`s are rejected with a usage line and exit status 2: a
+ * typo like `--forensic` must never silently run the bench without the
+ * option the caller asked for. Benches with their own flags declare
+ * them via parse()'s allowlist ("--name" exact, "--name=" prefix).
  */
 struct BenchArgs
 {
@@ -55,7 +61,8 @@ struct BenchArgs
     std::vector<std::string> extra;
 
     static BenchArgs
-    parse(int argc, char **argv)
+    parse(int argc, char **argv,
+          std::initializer_list<const char *> allowed = {})
     {
         BenchArgs a;
         for (int i = 1; i < argc; ++i) {
@@ -99,11 +106,53 @@ struct BenchArgs
                                  "health_bytes, high, critical, low\n");
                     std::exit(2);
                 }
+            } else if (!std::strncmp(argv[i], "--", 2) &&
+                       !allowedMatch(argv[i], allowed)) {
+                usage(argv[0], argv[i], allowed);
+                std::exit(2);
             } else {
                 a.extra.push_back(argv[i]);
             }
         }
         return a;
+    }
+
+    /** True when @p arg matches an allowlist entry: entries ending in
+     *  '=' are prefix matches ("--runs=" accepts "--runs=50"), the rest
+     *  are exact matches ("--nofaults"). */
+    static bool
+    allowedMatch(const char *arg,
+                 std::initializer_list<const char *> allowed)
+    {
+        for (const char *spec : allowed) {
+            std::size_t n = std::strlen(spec);
+            if (n > 0 && spec[n - 1] == '=') {
+                if (!std::strncmp(arg, spec, n))
+                    return true;
+            } else if (!std::strcmp(arg, spec)) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    static void
+    usage(const char *prog, const char *bad,
+          std::initializer_list<const char *> allowed)
+    {
+        std::fprintf(stderr, "%s: unknown flag '%s'\n", prog, bad);
+        std::fprintf(stderr,
+                     "usage: %s [--quick] [--notrace] [--fingerprint] "
+                     "[--forensics] [--json=PATH] [--perfetto=PATH] "
+                     "[--seed=N] [--faults=PLAN] [--overload=SPEC]",
+                     prog);
+        for (const char *spec : allowed) {
+            std::size_t n = std::strlen(spec);
+            bool takesValue = n > 0 && spec[n - 1] == '=';
+            std::fprintf(stderr, " [%s%s]", spec,
+                         takesValue ? "..." : "");
+        }
+        std::fprintf(stderr, "\n");
     }
 
     /** Bench-specific boolean flag, e.g. extraFlag("--nofaults"). */

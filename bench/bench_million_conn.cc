@@ -47,7 +47,7 @@ int
 main(int argc, char **argv)
 {
     using namespace fsim;
-    BenchArgs args = BenchArgs::parse(argc, argv);
+    BenchArgs args = BenchArgs::parse(argc, argv, {"--target="});
 
     banner("Million-connection machine (nginx, 24 cores, open loop)",
            "Connection-count ramp: 90% of connections park in "

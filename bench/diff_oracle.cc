@@ -70,7 +70,8 @@ main(int argc, char **argv)
 
     // Shared flags (--seed) come from BenchArgs; oracle-specific flags
     // are consumed from its leftover-argument list.
-    BenchArgs args = BenchArgs::parse(argc, argv);
+    BenchArgs args = BenchArgs::parse(
+        argc, argv, {"--nofaults", "--cores=", "--conns=", "--app="});
     DifferentialWorkload wl;
     std::string app = "both";
     bool faults = !args.extraFlag("--nofaults");
@@ -83,16 +84,6 @@ main(int argc, char **argv)
         wl.maxConns = std::strtoull(v.c_str(), nullptr, 10);
     if (args.extraValue("--app=", v))
         app = v;
-    for (const std::string &e : args.extra) {
-        if (e != "--nofaults" && e.compare(0, 8, "--cores=") &&
-            e.compare(0, 8, "--conns=") && e.compare(0, 6, "--app=")) {
-            std::fprintf(stderr,
-                         "usage: %s [--cores=N] [--conns=N] [--seed=S] "
-                         "[--app=nginx|haproxy|both] [--nofaults]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
 
     int rc = 0;
     if (app == "nginx" || app == "both") {

@@ -68,7 +68,8 @@ main(int argc, char **argv)
 
     // Shared flags (--seed) come from BenchArgs; fuzzer-specific flags
     // are consumed from its leftover-argument list.
-    BenchArgs args = BenchArgs::parse(argc, argv);
+    BenchArgs args = BenchArgs::parse(
+        argc, argv, {"--runs=", "--out=", "--replay="});
     int runs = 50;
     std::uint64_t seed = args.seed != 0 ? args.seed : 1;
     std::string outDir = ".";
@@ -80,16 +81,6 @@ main(int argc, char **argv)
         outDir = v;
     if (args.extraValue("--replay=", v))
         replayPath = v;
-    for (const std::string &e : args.extra) {
-        if (e.compare(0, 7, "--runs=") && e.compare(0, 6, "--out=") &&
-            e.compare(0, 9, "--replay=")) {
-            std::fprintf(stderr,
-                         "usage: %s [--runs=N] [--seed=S] [--out=DIR] "
-                         "[--replay=FILE]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
 
     if (!replayPath.empty())
         return replay(replayPath);
@@ -103,13 +94,18 @@ main(int argc, char **argv)
     for (int i = 0; i < runs; ++i) {
         Scenario s = randomScenario(rng);
         ScenarioResult r = runScenario(s);
+        char fleet[32] = "";
+        if (s.fleetMachines > 0)
+            std::snprintf(fleet, sizeof(fleet), " fleet=%dx%d/%s",
+                          s.fleetMachines, s.fleetBalancers,
+                          s.fleetPolicy.c_str());
         std::printf("  [%3d/%d] cores=%d app=%s kernel=%-10s "
-                    "conns=%llu loss=%.3f : %s\n",
+                    "conns=%llu loss=%.3f%s : %s\n",
                     i + 1, runs, s.cores,
                     s.app == AppKind::kHaproxy ? "haproxy" : "nginx",
                     s.kernel.c_str(),
                     static_cast<unsigned long long>(s.maxConns),
-                    s.lossRate, r.summary().c_str());
+                    s.lossRate, fleet, r.summary().c_str());
         std::fflush(stdout);
         if (r.ok())
             continue;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "fault/fault_plan.hh"
+#include "fleet/fleet.hh"
 #include "harness/calibration.hh"
 #include "sim/logging.hh"
 
@@ -194,6 +195,64 @@ randomScenario(Rng &rng)
         if (rng.chance(0.5))
             s.clientRtoMsec = 2.0 + rng.uniform() * 10.0;
     }
+
+    if (rng.chance(0.15)) {
+        // Fleet tier: the same bounded workload steered across 2-4
+        // server machines by 1-2 L4 balancers, optionally with one
+        // fleet-orchestration event (crash, rolling restart, VIP loss).
+        s.fleetMachines = 2 + static_cast<int>(rng.range(3));
+        s.fleetBalancers = 1 + static_cast<int>(rng.range(2));
+        s.fleetPolicy = rng.chance(0.25) ? "rr" : "chash";
+        // N machines multiply the event volume; keep the run bounded.
+        s.cores = std::min(s.cores, 4);
+        s.maxConns = std::min<std::uint64_t>(s.maxConns, 1200);
+        // Crashes and failover strand in-flight connections across a
+        // real fabric: the give-up timer and the SYN retransmit are
+        // what let a closed loop drain past a blackholed window.
+        if (s.clientTimeoutSec <= 0.0)
+            s.clientTimeoutSec = 0.04 + rng.uniform() * 0.06;
+        if (s.clientRtoMsec <= 0.0)
+            s.clientRtoMsec = 3.0 + rng.uniform() * 9.0;
+        if (rng.chance(0.6)) {
+            FaultPlan plan;
+            if (!s.faultPlan.empty()) {
+                std::string perr;
+                bool ok = parseFaultPlan(s.faultPlan, plan, perr);
+                fsim_assert(ok);
+            } else {
+                plan.seed = rng.next() | 1;
+            }
+            FaultEvent ev;
+            ev.startSec = 0.002 + rng.uniform() * 0.02;
+            ev.endSec = ev.startSec + 0.004 + rng.uniform() * 0.02;
+            // lb_crash only when a peer exists to adopt the VIP;
+            // otherwise every client of that VIP is stuck until restore.
+            int pick = static_cast<int>(
+                rng.range(s.fleetBalancers > 1 ? 3 : 2));
+            switch (pick) {
+              case 0:
+                ev.kind = FaultKind::kMachineCrash;
+                ev.target =
+                    static_cast<int>(rng.range(s.fleetMachines));
+                ev.mode = rng.chance(0.5)
+                              ? FaultEvent::CrashMode::kRst
+                              : FaultEvent::CrashMode::kBlackhole;
+                break;
+              case 1:
+                ev.kind = FaultKind::kRollingRestart;
+                ev.drainMsec = 2.0 + rng.uniform() * 8.0;
+                ev.downMsec = 1.0 + rng.uniform() * 3.0;
+                break;
+              default:
+                ev.kind = FaultKind::kLbCrash;
+                ev.target =
+                    static_cast<int>(rng.range(s.fleetBalancers));
+                break;
+            }
+            plan.events.push_back(ev);
+            s.faultPlan = serializeFaultPlan(plan);
+        }
+    }
     return s;
 }
 
@@ -244,6 +303,11 @@ serializeScenario(const Scenario &s)
         os << "backendKeepAlive = 1\n";
     if (s.ephemeralPorts > 0)
         os << "ephemeralPorts = " << s.ephemeralPorts << "\n";
+    if (s.fleetMachines > 0) {
+        os << "fleetMachines = " << s.fleetMachines << "\n";
+        os << "fleetBalancers = " << s.fleetBalancers << "\n";
+        os << "fleetPolicy = " << s.fleetPolicy << "\n";
+    }
     if (!s.faultPlan.empty())
         os << "faultPlan = " << s.faultPlan << "\n";
     if (s.synCookies)
@@ -351,6 +415,12 @@ parseScenario(const std::string &text, Scenario &out, std::string &err)
                 s.backendKeepAlive = std::stoi(val) != 0;
             else if (key == "ephemeralPorts")
                 s.ephemeralPorts = std::stoi(val);
+            else if (key == "fleetMachines")
+                s.fleetMachines = std::stoi(val);
+            else if (key == "fleetBalancers")
+                s.fleetBalancers = std::stoi(val);
+            else if (key == "fleetPolicy")
+                s.fleetPolicy = val;
             else if (key == "faultPlan")
                 s.faultPlan = val;
             else if (key == "synCookies")
@@ -410,6 +480,18 @@ parseScenario(const std::string &text, Scenario &out, std::string &err)
         err = "clientIps/clientPortSpan must be >= 0";
         return false;
     }
+    if (s.fleetMachines < 0 || s.fleetMachines > 8) {
+        err = "fleetMachines out of [0,8]";
+        return false;
+    }
+    if (s.fleetBalancers < 1 || s.fleetBalancers > 4) {
+        err = "fleetBalancers out of [1,4]";
+        return false;
+    }
+    if (s.fleetPolicy != "chash" && s.fleetPolicy != "rr") {
+        err = "unknown fleetPolicy '" + s.fleetPolicy + "'";
+        return false;
+    }
     if (!s.faultPlan.empty()) {
         FaultPlan plan;
         std::string perr;
@@ -420,6 +502,29 @@ parseScenario(const std::string &text, Scenario &out, std::string &err)
         if (s.clientTimeoutSec <= 0.0) {
             err = "a fault plan requires clientTimeoutSec > 0";
             return false;
+        }
+        // Fleet orchestration events only mean something on the fleet
+        // topology, and their targets must exist (the orchestrator
+        // asserts the range).
+        for (const FaultEvent &ev : plan.events) {
+            if (ev.kind != FaultKind::kMachineCrash &&
+                ev.kind != FaultKind::kRollingRestart &&
+                ev.kind != FaultKind::kLbCrash)
+                continue;
+            if (s.fleetMachines <= 0) {
+                err = "fleet fault events require fleetMachines > 0";
+                return false;
+            }
+            if (ev.kind == FaultKind::kMachineCrash &&
+                ev.target >= s.fleetMachines) {
+                err = "machine_crash target out of range";
+                return false;
+            }
+            if (ev.kind == FaultKind::kLbCrash &&
+                ev.target >= s.fleetBalancers) {
+                err = "lb_crash target out of range";
+                return false;
+            }
         }
     }
     out = s;
@@ -436,10 +541,50 @@ struct OneRun
     InvariantReport invariants;
 };
 
+/** Drive @p bed until the bounded load drains or the sim-time cap. */
+template <typename Bed>
+bool
+driveUntilDrained(Bed &bed, const Scenario &s)
+{
+    EventQueue &eq = bed.eventQueue();
+    HttpLoad &load = bed.load();
+    const Tick cap = ticksFromSeconds(s.maxSimSec);
+    const Tick chunk = ticksFromSeconds(0.01);
+    bed.startLoad();
+    while (eq.now() < cap &&
+           (load.inFlight() > 0 || load.started() < s.maxConns))
+        bed.runUntilChecked(std::min(cap, eq.now() + chunk));
+    return load.inFlight() == 0 && load.started() >= s.maxConns;
+}
+
 OneRun
 runOnce(const Scenario &s)
 {
     ExperimentConfig cfg = s.toConfig();
+    OneRun r;
+
+    if (s.fleetMachines > 0) {
+        FleetConfig fc;
+        fc.base = cfg;
+        fc.serverMachines = s.fleetMachines;
+        fc.balancers = s.fleetBalancers;
+        bool ok = L4Balancer::policyFromName(s.fleetPolicy, fc.policy);
+        fsim_assert(ok);   // validity was enforced at parse time
+        // Long-lived think pauses must stay well inside the balancer's
+        // idle-flow GC horizon or mid-conversation flows get retired.
+        fc.flowIdleTimeoutMsec = std::max(
+            fc.flowIdleTimeoutMsec, 4.0 * s.longLivedThinkMsec + 100.0);
+        FleetTestbed bed(fc);
+        r.drained = driveUntilDrained(bed, s);
+        // No quiesce leak pass on the fleet: probe and flow-GC timers
+        // self-reschedule forever (runAll would never return), and a
+        // crashed generation legitimately strands its server TCBs.
+        bed.checks().runAll(bed.eventQueue().now());
+        r.fingerprint = bed.currentFingerprint();
+        r.invariants = bed.checks().report();
+        return r;
+    }
+
     Testbed bed(cfg);
 
     // Leak checks are only meaningful when every client connection runs
@@ -451,17 +596,7 @@ runOnce(const Scenario &s)
         registerQuiesceInvariants(quiesce, bed.machine(), bed.load());
 
     EventQueue &eq = bed.eventQueue();
-    HttpLoad &load = bed.load();
-    Tick cap = ticksFromSeconds(s.maxSimSec);
-    Tick chunk = ticksFromSeconds(0.01);
-
-    bed.startLoad();
-    while (eq.now() < cap &&
-           (load.inFlight() > 0 || load.started() < s.maxConns))
-        bed.runUntilChecked(std::min(cap, eq.now() + chunk));
-
-    OneRun r;
-    r.drained = load.inFlight() == 0 && load.started() >= s.maxConns;
+    r.drained = driveUntilDrained(bed, s);
     if (r.drained) {
         eq.runAll();
         quiesce.runAll(eq.now());
@@ -512,12 +647,98 @@ ScenarioResult::summary() const
 namespace
 {
 
+bool
+isFleetKind(FaultKind k)
+{
+    return k == FaultKind::kMachineCrash ||
+           k == FaultKind::kRollingRestart || k == FaultKind::kLbCrash;
+}
+
+/** Plan text minus the fleet-orchestration events ("" if none left). */
+std::string
+withoutFleetEvents(const std::string &planText)
+{
+    if (planText.empty())
+        return planText;
+    FaultPlan plan;
+    std::string err;
+    if (!parseFaultPlan(planText, plan, err))
+        return planText;
+    FaultPlan kept;
+    kept.seed = plan.seed;
+    for (const FaultEvent &ev : plan.events)
+        if (!isFleetKind(ev.kind))
+            kept.events.push_back(ev);
+    return serializeFaultPlan(kept);
+}
+
+/** Plan text with machine_crash targets clamped below @p machines. */
+std::string
+clampCrashTargets(const std::string &planText, int machines)
+{
+    if (planText.empty())
+        return planText;
+    FaultPlan plan;
+    std::string err;
+    if (!parseFaultPlan(planText, plan, err))
+        return planText;
+    for (FaultEvent &ev : plan.events)
+        if (ev.kind == FaultKind::kMachineCrash)
+            ev.target = std::min(ev.target, machines - 1);
+    return serializeFaultPlan(plan);
+}
+
+bool
+planHasKind(const std::string &planText, FaultKind kind)
+{
+    if (planText.empty())
+        return false;
+    FaultPlan plan;
+    std::string err;
+    if (!parseFaultPlan(planText, plan, err))
+        return false;
+    for (const FaultEvent &ev : plan.events)
+        if (ev.kind == kind)
+            return true;
+    return false;
+}
+
 /** Single-step shrink candidates of @p s, most aggressive first. */
 std::vector<Scenario>
 shrinkCandidates(const Scenario &s)
 {
     std::vector<Scenario> out;
     auto push = [&out](Scenario c) { out.push_back(std::move(c)); };
+
+    if (s.fleetMachines > 0) {
+        // Losing the whole fleet tier is the biggest simplification:
+        // back to the single-machine Testbed, shedding the fleet-only
+        // events (which are invalid without the tier). Then fewer
+        // machines, fewer balancers, and the default steering policy.
+        Scenario c = s;
+        c.fleetMachines = 0;
+        c.fleetBalancers = 1;
+        c.fleetPolicy = "chash";
+        c.faultPlan = withoutFleetEvents(s.faultPlan);
+        push(c);
+        if (s.fleetMachines > 2) {
+            Scenario d = s;
+            d.fleetMachines = 2;
+            d.faultPlan = clampCrashTargets(s.faultPlan, 2);
+            push(d);
+        }
+        if (s.fleetBalancers > 1 &&
+            !planHasKind(s.faultPlan, FaultKind::kLbCrash)) {
+            Scenario d = s;
+            d.fleetBalancers = 1;
+            push(d);
+        }
+        if (s.fleetPolicy != "chash") {
+            Scenario d = s;
+            d.fleetPolicy = "chash";
+            push(d);
+        }
+    }
 
     if (s.maxConns > 50) {
         Scenario c = s;

@@ -72,6 +72,18 @@ struct Scenario
     int ephemeralPorts = 0;
     /** @} */
 
+    /** @name Fleet tier (0 machines = classic single-machine Testbed)
+     *  When fleetMachines > 0 the scenario runs on a FleetTestbed:
+     *  clients -> L4 balancer VIPs -> N server machines over modeled
+     *  links. Drain deadlines and crash/restart timing ride in the
+     *  fault plan through the fleet event kinds (machine_crash,
+     *  rolling_restart, lb_crash); those kinds require the tier. */
+    /** @{ */
+    int fleetMachines = 0;
+    int fleetBalancers = 1;
+    std::string fleetPolicy = "chash";  //!< "chash" | "rr" steering
+    /** @} */
+
     /** Fault plan in parseFaultPlan() text form (empty = no faults).
      *  A non-empty plan requires clientTimeoutSec > 0 so stuck
      *  connections still drain. */
@@ -118,7 +130,8 @@ ScenarioResult runScenario(const Scenario &s);
 
 /**
  * Greedily shrink @p failing while @p fails still returns true, trying
- * at most @p budget candidate scenarios. Shrink moves: drop features
+ * at most @p budget candidate scenarios. Shrink moves: drop the fleet
+ * tier (then machines, balancers, steering policy), drop features
  * toward the baseline kernel, zero loss, shrink cores / concurrency /
  * maxConns / backlog, disable trace. Returns the smallest still-failing
  * scenario found (possibly @p failing itself).

@@ -22,6 +22,9 @@ constexpr KindName kKinds[] = {
     {FaultKind::kBackendSlow, "backend_slow"},
     {FaultKind::kBackendDown, "backend_down"},
     {FaultKind::kAtrShrink, "atr_shrink"},
+    {FaultKind::kMachineCrash, "machine_crash"},
+    {FaultKind::kRollingRestart, "rolling_restart"},
+    {FaultKind::kLbCrash, "lb_crash"},
 };
 
 std::string
@@ -183,10 +186,25 @@ parseFaultPlan(const std::string &text, FaultPlan &out, std::string &err)
                     else if (key == "size")
                         ev.tableSize = static_cast<std::uint32_t>(
                             std::stoul(val));
+                    else if (key == "mode") {
+                        if (val == "rst")
+                            ev.mode = FaultEvent::CrashMode::kRst;
+                        else if (val == "blackhole")
+                            ev.mode = FaultEvent::CrashMode::kBlackhole;
+                        else {
+                            err = "fault event '" + item + "': mode must "
+                                  "be rst or blackhole";
+                            return false;
+                        }
+                    } else if (key == "drain_ms")
+                        ev.drainMsec = std::stod(val);
+                    else if (key == "down_ms")
+                        ev.downMsec = std::stod(val);
                     else {
                         err = "fault event '" + item + "': unknown "
                               "parameter '" + key + "' (valid: rate, "
-                              "factor, target, jitter, size)";
+                              "factor, target, jitter, size, mode, "
+                              "drain_ms, down_ms)";
                         return false;
                     }
                 } catch (const std::exception &) {
@@ -229,6 +247,21 @@ parseFaultPlan(const std::string &text, FaultPlan &out, std::string &err)
                 (ev.tableSize & (ev.tableSize - 1)) != 0) {
                 err = "fault event '" + item + "': size must be a "
                       "power of two";
+                return false;
+            }
+            break;
+          case FaultKind::kMachineCrash:
+          case FaultKind::kLbCrash:
+            if (ev.target < 0) {
+                err = "fault event '" + item + "': needs target >= 0 "
+                      "(machine index)";
+                return false;
+            }
+            break;
+          case FaultKind::kRollingRestart:
+            if (ev.drainMsec <= 0.0 || ev.downMsec <= 0.0) {
+                err = "fault event '" + item + "': drain_ms and down_ms "
+                      "must be > 0";
                 return false;
             }
             break;
@@ -281,6 +314,23 @@ serializeFaultPlan(const FaultPlan &plan)
           case FaultKind::kAtrShrink:
             s += ":size=";
             s += std::to_string(e.tableSize);
+            break;
+          case FaultKind::kMachineCrash:
+            s += ":target=";
+            s += std::to_string(e.target);
+            s += ",mode=";
+            s += e.mode == FaultEvent::CrashMode::kRst ? "rst"
+                                                       : "blackhole";
+            break;
+          case FaultKind::kRollingRestart:
+            s += ":drain_ms=";
+            s += numStr(e.drainMsec);
+            s += ",down_ms=";
+            s += numStr(e.downMsec);
+            break;
+          case FaultKind::kLbCrash:
+            s += ":target=";
+            s += std::to_string(e.target);
             break;
         }
     }

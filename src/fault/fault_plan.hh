@@ -36,6 +36,15 @@ enum class FaultKind
     kBackendSlow,   //!< backend `target`: service delay x `factor`
     kBackendDown,   //!< backend `target`: crashed (requests vanish)
     kAtrShrink,     //!< NIC: clamp the ATR flow table to `tableSize`
+    /** Fleet kinds (consumed by src/fleet's orchestrator; a
+     *  single-machine FaultInjector counts them as ignored). */
+    kMachineCrash,    //!< server machine `target`: abrupt loss at start,
+                      //!< restart at window end; `mode` picks RST vs
+                      //!< blackhole behavior for packets to the corpse
+    kRollingRestart,  //!< drain->stop->restart->readmit sweep over every
+                      //!< server machine inside the window
+    kLbCrash,         //!< balancer `target`: lost at start (peer adopts
+                      //!< its VIP), back at window end
 };
 
 /** Text name of @p kind (the token the plan grammar uses). */
@@ -57,6 +66,13 @@ struct FaultEvent
     double jitterUsec = 200.0;
     /** atr_shrink table clamp, entries. */
     std::uint32_t tableSize = 64;
+    /** machine_crash corpse behavior: answer with RSTs or drop silently. */
+    enum class CrashMode { kRst, kBlackhole };
+    CrashMode mode = CrashMode::kRst;
+    /** rolling_restart per-machine drain deadline, milliseconds. */
+    double drainMsec = 50.0;
+    /** rolling_restart stop-to-restart downtime, milliseconds. */
+    double downMsec = 5.0;
 };
 
 /** A run's complete fault schedule. */

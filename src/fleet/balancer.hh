@@ -1,0 +1,284 @@
+/**
+ * @file
+ * L4 load balancer: full-NAT connection steering for the fleet tier.
+ *
+ * The balancer owns a VIP that clients connect to and a NAT source
+ * address the server machines reply to. Every client flow is steered to
+ * one server machine by consistent hashing over (clientIp, clientPort)
+ * with a bounded-load fallback walk (skip targets whose active-flow
+ * gauge exceeds factor x fleet average), or plain round-robin. Packets
+ * are rewritten in both directions — full NAT, not DSR, because the
+ * client matches responses by the exact tuple it connected on.
+ *
+ * Health is wire-level: periodic SYN probes (Packet::prio set, so the
+ * server's overload defenses spare them) from dedicated low ports on
+ * the NAT address. SYN-ACK within the timeout is a success; an RST or
+ * silence is a failure. The probe handshake is abandoned silently — a
+ * probe RST-ACK would wrongly *establish* the server's embryonic
+ * socket (the kernel promotes SYN_RCVD on any ACK-bearing segment), so
+ * fleet server kernels run with a short synRcvdJiffies reaper instead.
+ *
+ * Draining (rolling restarts) moves a target to kDraining: no new
+ * flows land on it, existing flows keep flowing, and finishDrain()
+ * reports how many were still active when the deadline expired.
+ *
+ * Determinism: steering is a pure function of flow key, ring seed and
+ * gauge state; the idle-flow GC sorts keys before retiring; no RNG, no
+ * wall clock. Same seed, same packet sequence, bit-identical counters.
+ */
+
+#ifndef FSIM_FLEET_BALANCER_HH
+#define FSIM_FLEET_BALANCER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hh"
+#include "net/wire.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace fsim
+{
+
+/** One L4 balancer instance (a fleet runs one or more, each with its
+ *  own VIP; a survivor adopts a crashed peer's VIP). */
+class L4Balancer
+{
+  public:
+    enum class Policy
+    {
+        kConsistentHash,    //!< vnode ring + bounded-load fallback walk
+        kRoundRobin,        //!< rotating cursor over healthy targets
+    };
+
+    /** Stable policy token ("chash" / "rr") for configs and JSON. */
+    static const char *policyName(Policy p);
+    static bool policyFromName(const std::string &s, Policy &out);
+
+    struct Config
+    {
+        IpAddr vip = 0;             //!< client-facing virtual IP
+        Port vipPort = 80;
+        IpAddr natIp = 0;           //!< source address servers reply to
+        Policy policy = Policy::kConsistentHash;
+        int vnodes = 64;            //!< ring entries per target
+        /** Bounded-load cap factor (c in ceil(c * avg)); 0 disables the
+         *  fallback walk. */
+        double boundedLoadFactor = 2.0;
+        std::size_t maxFlows = 1u << 15;    //!< flow-table capacity
+        Tick probeInterval = 0;     //!< 0 = probing disabled
+        Tick probeTimeout = 0;      //!< silence -> failure after this
+        int fallThreshold = 2;      //!< consecutive failures to eject
+        int riseThreshold = 1;      //!< consecutive successes to readmit
+        Tick flowIdleTimeout = 0;   //!< 0 = idle GC disabled
+        Tick gcPeriod = 0;
+        Tick forwardDelay = 0;      //!< per-packet rewrite/forward cost
+        std::uint64_t seed = 1;     //!< ring placement salt
+    };
+
+    /** A steerable server machine: its listen addresses and port. */
+    struct TargetSpec
+    {
+        std::vector<IpAddr> addrs;
+        Port port = 80;
+    };
+
+    enum class TargetState : std::uint8_t
+    {
+        kHealthy = 0,
+        kDraining,      //!< existing flows only; no new steering
+        kDown,          //!< ejected (probes) or stopped (admin)
+    };
+
+    L4Balancer(EventQueue &eq, Wire &fabric, const Config &cfg);
+
+    /** Register a target. Call for every machine before start(). */
+    void addTarget(const TargetSpec &spec);
+
+    /** Attach VIP + NAT handlers to the fabric (idempotent re-attach:
+     *  restores this balancer after a crash window by overwriting). */
+    void attachHandlers();
+
+    /** Build the ring and arm the probe and GC loops. */
+    void start();
+
+    /** Crash/restore this balancer. Down = drop everything unseen and
+     *  send no probes; the testbed blackholes the VIP/NAT addresses at
+     *  the fabric in the same step. */
+    void setDown(bool down);
+    bool down() const { return down_; }
+
+    /** @name Draining and admin state (rolling restarts) */
+    /** @{ */
+    /** Stop steering new flows to target @p m. */
+    void startDrain(int m);
+    /** Flows still active on target @p m. */
+    std::uint64_t activeFlows(int m) const;
+    /**
+     * Close the drain window for @p m: returns the number of flows
+     * still active (the un-drained loss the restart gate charges), and
+     * counts a completed drain when zero remain.
+     */
+    std::uint64_t finishDrain(int m);
+    /** Target @p m stopped on purpose (no ejection counted). */
+    void noteStopped(int m);
+    /** Target @p m restarted; it stays kDown until probes readmit it. */
+    void noteRestarted(int m);
+    bool healthy(int m) const;
+    /** @} */
+
+    /** Serve a crashed peer's VIP from this balancer (failover). */
+    void adoptVip(IpAddr vip);
+
+    /**
+     * Cross-tier pressure reuse: when set, targets whose pressure level
+     * (0=nominal 1=elevated 2=critical) reports critical are skipped in
+     * the first steering pass, like bounded-load overfull targets.
+     */
+    void setPressureProbe(std::function<int(int)> fn)
+    {
+        pressureFn_ = std::move(fn);
+    }
+
+    /** @name Counters (all deterministic; folded into fingerprints) */
+    /** @{ */
+    std::uint64_t flowsCreated() const { return flowsCreated_; }
+    std::uint64_t flowsRetired() const { return flowsRetired_; }
+    std::uint64_t flowsActive() const { return flows_.size(); }
+    std::uint64_t flowsActivePeak() const { return flowsActivePeak_; }
+    /** SYNs RST-ed because no healthy target existed. */
+    std::uint64_t shedNoBackend() const { return shedNoBackend_; }
+    /** SYNs RST-ed because the flow/NAT table was full. */
+    std::uint64_t shedCapacity() const { return shedCapacity_; }
+    /** Non-SYN packets with no flow, answered with a RST. */
+    std::uint64_t natRsts() const { return natRsts_; }
+    /** SYNs that reused a finished flow's tuple (TIME_WAIT recycle). */
+    std::uint64_t tupleReuse() const { return tupleReuse_; }
+    std::uint64_t boundedLoadFallbacks() const
+    {
+        return boundedLoadFallbacks_;
+    }
+    /** First-pass skips because the target reported critical pressure. */
+    std::uint64_t pressureAvoids() const { return pressureAvoids_; }
+    std::uint64_t probesSent() const { return probesSent_; }
+    std::uint64_t probeFailures() const { return probeFailures_; }
+    std::uint64_t ejections() const { return ejections_; }
+    std::uint64_t readmissions() const { return readmissions_; }
+    std::uint64_t drainsStarted() const { return drainsStarted_; }
+    std::uint64_t drainsCompleted() const { return drainsCompleted_; }
+    std::uint64_t undrainedFlows() const { return undrainedFlows_; }
+    std::uint64_t idleRetired() const { return idleRetired_; }
+    std::uint64_t forwardedC2s() const { return forwardedC2s_; }
+    std::uint64_t forwardedS2c() const { return forwardedS2c_; }
+    /** Packets dropped because this balancer was down. */
+    std::uint64_t downDrops() const { return downDrops_; }
+    /** @} */
+
+    int targetCount() const { return static_cast<int>(targets_.size()); }
+    TargetState targetState(int m) const { return targets_[m].state; }
+
+    /** Fold every counter into one word (for run fingerprints). */
+    std::uint64_t counterHash() const;
+
+  private:
+    struct Target
+    {
+        TargetSpec spec;
+        TargetState state = TargetState::kHealthy;
+        bool adminDown = false;
+        int consecFails = 0;
+        int consecOks = 0;
+        std::uint64_t active = 0;   //!< live flows steered here
+    };
+
+    struct Flow
+    {
+        IpAddr clientIp = 0;
+        Port clientPort = 0;
+        IpAddr vip = 0;             //!< VIP the client connected to
+        int machine = -1;
+        IpAddr serverAddr = 0;
+        Port natPort = 0;
+        Tick lastActivity = 0;
+        bool finC2s = false;
+        bool finS2c = false;
+    };
+
+    struct RingEntry
+    {
+        std::uint64_t hash;
+        int machine;
+    };
+
+    struct Probe
+    {
+        int machine = -1;
+    };
+
+    static std::uint64_t flowKey(IpAddr ip, Port port)
+    {
+        return (static_cast<std::uint64_t>(ip) << 16) | port;
+    }
+    static std::uint64_t mix64(std::uint64_t x);
+
+    void onVip(const Packet &pkt);
+    void onNat(const Packet &pkt);
+    void forwardC2s(Flow &f, const Packet &pkt);
+    void forwardS2c(Flow &f, const Packet &pkt);
+    void sendRstToClient(const Packet &cause);
+    void retire(std::uint64_t key);
+    int pickMachine(std::uint64_t key);
+    Port allocNatPort();
+    void rebuildRing();
+    void probeRound();
+    void sendProbe(int m);
+    void probeOk(int m);
+    void probeFail(int m);
+    void gcSweep();
+
+    EventQueue &eq_;
+    Wire &fabric_;
+    Config cfg_;
+    std::vector<IpAddr> vips_;      //!< own VIP first, then adopted
+    std::vector<Target> targets_;
+    std::vector<RingEntry> ring_;
+    std::unordered_map<std::uint64_t, Flow> flows_;
+    /** NAT port -> owning flow key (0 = free). */
+    std::vector<std::uint64_t> natOwner_;
+    std::unordered_map<Port, Probe> probes_;
+    std::function<int(int)> pressureFn_;
+    bool down_ = false;
+    bool started_ = false;
+    std::uint32_t natCursor_ = 0;
+    std::uint32_t rrCursor_ = 0;
+    std::uint64_t probeSeq_ = 0;
+
+    std::uint64_t flowsCreated_ = 0;
+    std::uint64_t flowsRetired_ = 0;
+    std::uint64_t flowsActivePeak_ = 0;
+    std::uint64_t shedNoBackend_ = 0;
+    std::uint64_t shedCapacity_ = 0;
+    std::uint64_t natRsts_ = 0;
+    std::uint64_t tupleReuse_ = 0;
+    std::uint64_t boundedLoadFallbacks_ = 0;
+    std::uint64_t pressureAvoids_ = 0;
+    std::uint64_t probesSent_ = 0;
+    std::uint64_t probeFailures_ = 0;
+    std::uint64_t ejections_ = 0;
+    std::uint64_t readmissions_ = 0;
+    std::uint64_t drainsStarted_ = 0;
+    std::uint64_t drainsCompleted_ = 0;
+    std::uint64_t undrainedFlows_ = 0;
+    std::uint64_t idleRetired_ = 0;
+    std::uint64_t forwardedC2s_ = 0;
+    std::uint64_t forwardedS2c_ = 0;
+    std::uint64_t downDrops_ = 0;
+};
+
+} // namespace fsim
+
+#endif // FSIM_FLEET_BALANCER_HH

@@ -1,0 +1,928 @@
+#include "fleet/fleet.hh"
+
+#include <algorithm>
+
+#include "check/fingerprint.hh"
+#include "sim/logging.hh"
+
+namespace fsim
+{
+
+namespace
+{
+
+std::map<std::string, LockClassStats>
+lockDeltaSat(const std::map<std::string, LockClassStats> &before,
+             const std::map<std::string, LockClassStats> &after)
+{
+    // Saturating per-class delta (a restarted machine's counters reset,
+    // so the plain subtraction Testbed uses could wrap here).
+    auto sat = [](std::uint64_t a, std::uint64_t b) {
+        return a > b ? a - b : 0;
+    };
+    std::map<std::string, LockClassStats> out;
+    for (const auto &kv : after) {
+        LockClassStats d = kv.second;
+        auto it = before.find(kv.first);
+        if (it != before.end()) {
+            d.acquisitions = sat(d.acquisitions, it->second.acquisitions);
+            d.contentions = sat(d.contentions, it->second.contentions);
+            d.waitTicks = sat(d.waitTicks, it->second.waitTicks);
+            d.holdTicks = sat(d.holdTicks, it->second.holdTicks);
+        }
+        out[kv.first] = d;
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+FleetTestbed::FleetTestbed(const FleetConfig &cfg)
+    : cfg_(cfg)
+{
+    fsim_assert(cfg_.serverMachines >= 1 && cfg_.serverMachines <= 64);
+    fsim_assert(cfg_.balancers >= 1 && cfg_.balancers <= 8);
+
+    // Hardening shorthands fold exactly like Testbed's.
+    if (cfg_.base.synCookies)
+        cfg_.base.machine.kernel.synCookies = true;
+    if (cfg_.base.synBacklog > 0)
+        cfg_.base.machine.kernel.synBacklog = cfg_.base.synBacklog;
+    // Balancer probes abandon their handshakes silently (a probe
+    // RST-ACK would *establish* the embryonic socket), so fleet server
+    // kernels always run the SYN_RCVD reaper.
+    if (cfg_.base.machine.kernel.synRcvdJiffies == 0)
+        cfg_.base.machine.kernel.synRcvdJiffies = 20;
+
+    drainPoll_ = ticksFromMsec(cfg_.drainPollMsec);
+    fsim_assert(drainPoll_ > 0);
+
+    eq_ = std::make_unique<EventQueue>();
+    fabric_ = std::make_unique<Wire>(*eq_, cfg_.base.wireDelay);
+    if (cfg_.base.lossRate > 0.0)
+        fabric_->setLossRate(cfg_.base.lossRate,
+                             cfg_.base.machine.seed ^ 0x10ad);
+
+    const int clientIps = cfg_.base.clientIps > 0 ? cfg_.base.clientIps
+                                                  : 256;
+    const IpAddr clientBase = HttpLoad::Config{}.clientBase;
+    if (cfg_.useLinks) {
+        Wire::LinkSpec front;
+        front.aFirst = clientBase;
+        front.aLast = clientBase + static_cast<IpAddr>(clientIps) - 1;
+        front.bFirst = vipAddr(0);
+        front.bLast = vipAddr(cfg_.balancers - 1);
+        front.latency = ticksFromUsec(cfg_.frontLinkLatencyUsec);
+        front.gbps = cfg_.frontLinkGbps;
+        fabric_->addLink(front);
+        for (int s = 0; s < cfg_.serverMachines; ++s) {
+            Wire::LinkSpec rack;
+            rack.aFirst = natAddr(0);
+            rack.aLast = natAddr(cfg_.balancers - 1);
+            rack.bFirst = machineBase(s);
+            rack.bLast = machineBase(s) + 0xff;
+            rack.latency = ticksFromUsec(cfg_.rackLinkLatencyUsec);
+            rack.gbps = cfg_.rackLinkGbps;
+            fabric_->addLink(rack);
+        }
+    }
+
+    if (cfg_.base.app == AppKind::kHaproxy) {
+        const IpAddr bfirst = 0x0a010001;   // 10.1.0.1 (shared tier)
+        const IpAddr blast =
+            bfirst + static_cast<IpAddr>(cfg_.base.backendCount - 1);
+        backends_ = std::make_unique<BackendPool>(
+            *eq_, *fabric_, bfirst, blast, cfg_.base.responseBytes,
+            ticksFromUsec(100));
+        backends_->setKeepAlive(cfg_.base.backendKeepAlive);
+        for (IpAddr a = bfirst; a <= blast; ++a)
+            backendAddrs_.push_back(a);
+    }
+
+    slots_.resize(cfg_.serverMachines);
+    for (int s = 0; s < cfg_.serverMachines; ++s)
+        buildGeneration(s);
+
+    // Balancers share one ring seed so every balancer steers a given
+    // flow to the same machine (the consistent-hash fleet property).
+    for (int k = 0; k < cfg_.balancers; ++k) {
+        L4Balancer::Config bc;
+        bc.vip = vipAddr(k);
+        bc.vipPort = 80;
+        bc.natIp = natAddr(k);
+        bc.policy = cfg_.policy;
+        bc.vnodes = cfg_.vnodes;
+        bc.boundedLoadFactor = cfg_.boundedLoadFactor;
+        bc.maxFlows = cfg_.maxFlowsPerBalancer;
+        bc.probeInterval = ticksFromMsec(cfg_.probeIntervalMsec);
+        bc.probeTimeout = ticksFromMsec(cfg_.probeTimeoutMsec);
+        bc.fallThreshold = cfg_.probeFallThreshold;
+        bc.riseThreshold = cfg_.probeRiseThreshold;
+        bc.flowIdleTimeout = ticksFromMsec(cfg_.flowIdleTimeoutMsec);
+        bc.gcPeriod = ticksFromMsec(cfg_.flowGcPeriodMsec);
+        bc.forwardDelay = ticksFromUsec(cfg_.forwardDelayUsec);
+        bc.seed = cfg_.base.machine.seed ^ 0xb417;
+        auto b = std::make_unique<L4Balancer>(*eq_, *fabric_, bc);
+        for (int s = 0; s < cfg_.serverMachines; ++s) {
+            L4Balancer::TargetSpec ts;
+            ts.addrs = slots_[s].gen.machine->addrs();
+            ts.port = slots_[s].gen.machine->servicePort();
+            b->addTarget(ts);
+        }
+        // Cross-tier overload reuse: steering consults each live
+        // machine's kernel pressure signal.
+        b->setPressureProbe([this](int m) {
+            if (!slots_[m].up)
+                return 0;
+            return static_cast<int>(
+                slots_[m].gen.machine->pressure().level());
+        });
+        b->attachHandlers();
+        b->start();
+        balancers_.push_back(std::move(b));
+    }
+    lbUp_.assign(cfg_.balancers, true);
+
+    HttpLoad::Config lc;
+    for (int k = 0; k < cfg_.balancers; ++k)
+        lc.serverAddrs.push_back(vipAddr(k));
+    lc.serverPort = 80;
+    lc.concurrency = cfg_.base.concurrencyPerCore *
+                     cfg_.base.machine.cores * cfg_.serverMachines;
+    lc.requestBytes = cfg_.base.requestBytes;
+    lc.requestsPerConn = cfg_.base.requestsPerConn;
+    lc.timeout = cfg_.base.clientTimeout;
+    lc.seed = cfg_.base.machine.seed ^ 0xabcdef;
+    lc.maxConns = cfg_.base.maxConns;
+    lc.rtoBase = cfg_.base.clientRtoBase;
+    lc.rtoMax = cfg_.base.clientRtoMax;
+    lc.maxRetx = cfg_.base.clientMaxRetx;
+    lc.healthEvery = cfg_.base.clientHealthEvery;
+    if (cfg_.base.machine.overload.healthRequestBytes > 0)
+        lc.healthRequestBytes =
+            cfg_.base.machine.overload.healthRequestBytes;
+    lc.longLivedPermille = cfg_.base.longLivedPermille;
+    lc.longLivedRequests = cfg_.base.longLivedRequests;
+    lc.longLivedThink = cfg_.base.longLivedThink;
+    lc.clientPortSpan = cfg_.base.clientPortSpan;
+    lc.clientIps = clientIps;
+    load_ = std::make_unique<HttpLoad>(*eq_, *fabric_, lc);
+
+    if (!cfg_.base.faults.empty()) {
+        // Wire/backend/flood events arm normally (floods hit the VIPs;
+        // fleet kinds are counted as ignored by the injector and
+        // consumed below). atr_shrink binds to machine 0's boot NIC.
+        faults_ = std::make_unique<FaultInjector>(
+            *eq_, *fabric_, slots_[0].gen.machine->nic(),
+            backends_.get(), cfg_.base.faults);
+        std::vector<IpAddr> vips;
+        for (int k = 0; k < cfg_.balancers; ++k)
+            vips.push_back(vipAddr(k));
+        faults_->arm(vips, 80);
+        armFleetFaults();
+    }
+
+    if (cfg_.base.checkLevel != CheckLevel::kOff) {
+        for (ServerSlot &sl : slots_) {
+            registerStandardInvariants(checks_, *sl.gen.machine, *load_,
+                                       *fabric_);
+            if (sl.gen.admission)
+                registerOverloadInvariants(checks_, *sl.gen.admission,
+                                           *sl.gen.machine, *sl.gen.app);
+        }
+        for (std::size_t k = 0; k < balancers_.size(); ++k) {
+            L4Balancer *b = balancers_[k].get();
+            checks_.add("fleet-flow-conservation",
+                        [b](Tick, std::string &why) {
+                if (b->flowsCreated() ==
+                    b->flowsRetired() + b->flowsActive())
+                    return true;
+                why = "created " + std::to_string(b->flowsCreated()) +
+                      " != retired " + std::to_string(b->flowsRetired()) +
+                      " + active " + std::to_string(b->flowsActive());
+                return false;
+            });
+            checks_.add("fleet-target-accounting",
+                        [b](Tick, std::string &why) {
+                std::uint64_t sum = 0;
+                for (int m = 0; m < b->targetCount(); ++m)
+                    sum += b->activeFlows(m);
+                if (sum == b->flowsActive())
+                    return true;
+                why = "per-target active " + std::to_string(sum) +
+                      " != flow table " +
+                      std::to_string(b->flowsActive());
+                return false;
+            });
+            checks_.add("fleet-drain-accounting",
+                        [b](Tick, std::string &why) {
+                if (b->drainsStarted() >= b->drainsCompleted())
+                    return true;
+                why = "drains completed " +
+                      std::to_string(b->drainsCompleted()) +
+                      " exceed started " +
+                      std::to_string(b->drainsStarted());
+                return false;
+            });
+        }
+    }
+
+    markWindows();
+}
+
+FleetTestbed::~FleetTestbed() = default;
+
+void
+FleetTestbed::buildGeneration(int s)
+{
+    ServerSlot &sl = slots_[s];
+    MachineConfig mc = cfg_.base.machine;
+    mc.baseAddr = machineBase(s);
+    mc.seed = cfg_.base.machine.seed ^
+              (0x5107ULL + static_cast<std::uint64_t>(s) * 0x9e3779b9ULL) ^
+              (static_cast<std::uint64_t>(sl.generation) * 0x85ebca6bULL);
+
+    Generation g;
+    g.port = std::make_unique<NetPort>(*fabric_);
+    g.machine = std::make_unique<Machine>(*eq_, *g.port, mc);
+
+    if (cfg_.base.app == AppKind::kHaproxy) {
+        auto proxy = std::make_unique<Proxy>(*g.machine, backendAddrs_,
+                                             cfg_.base.backendPort,
+                                             cfg_.base.responseBytes);
+        if (cfg_.base.backendTimeout > 0) {
+            Proxy::Tuning pt;
+            pt.backendTimeout = cfg_.base.backendTimeout;
+            proxy->setTuning(pt);
+        }
+        g.app = std::move(proxy);
+    } else {
+        g.app = std::make_unique<WebServer>(
+            *g.machine, cfg_.base.responseBytes,
+            cfg_.base.requestsPerConn > 1 ||
+                cfg_.base.longLivedPermille > 0);
+    }
+    g.app->setAcceptMutex(cfg_.base.acceptMutex);
+    g.app->start();
+
+    if (cfg_.base.machine.overload.enabled) {
+        g.admission = std::make_unique<AdmissionController>(
+            g.machine->config().overload, &g.machine->pressure(),
+            g.machine->numCores());
+        g.app->setAdmission(g.admission.get(),
+                            &g.machine->config().overload);
+    }
+
+    if (cfg_.base.listenBacklog > 0) {
+        for (const Socket *sock : g.machine->kernel().allSockets())
+            if (sock->kind == SockKind::kListen)
+                const_cast<Socket *>(sock)->backlog =
+                    cfg_.base.listenBacklog;
+    }
+
+    sl.gen = std::move(g);
+    // Fresh generation, fresh window marks (all its counters are 0).
+    sl.gen.machine->markWindow();
+    sl.phaseMark = PhaseSnapshot{};
+    sl.lockMark.clear();
+    sl.ksMark = KernelStats{};
+    sl.servedMark = 0;
+    sl.accessesMark = 0;
+    sl.missesMark = 0;
+}
+
+void
+FleetTestbed::armFleetFaults()
+{
+    for (const FaultEvent &e : cfg_.base.faults.events) {
+        const Tick start = ticksFromSeconds(e.startSec);
+        const Tick end = ticksFromSeconds(e.endSec);
+        switch (e.kind) {
+          case FaultKind::kMachineCrash: {
+            fsim_assert(e.target >= 0 &&
+                        e.target < cfg_.serverMachines);
+            const int t = e.target;
+            const FaultEvent::CrashMode mode = e.mode;
+            eq_->schedule(start, [this, t, mode] {
+                crashMachine(t, mode, /*admin=*/false);
+            });
+            eq_->schedule(end, [this, t] { restartMachine(t); });
+            break;
+          }
+          case FaultKind::kRollingRestart: {
+            const Tick drain = ticksFromMsec(e.drainMsec);
+            const Tick down = ticksFromMsec(e.downMsec);
+            eq_->schedule(start, [this, drain, down] {
+                beginRollingRestart(drain, down);
+            });
+            break;
+          }
+          case FaultKind::kLbCrash: {
+            fsim_assert(e.target >= 0 && e.target < cfg_.balancers);
+            const int t = e.target;
+            eq_->schedule(start, [this, t] { crashBalancer(t); });
+            eq_->schedule(end, [this, t] { restoreBalancer(t); });
+            break;
+          }
+          default:
+            break;    // armed on the FaultInjector
+        }
+    }
+}
+
+void
+FleetTestbed::crashMachine(int s, FaultEvent::CrashMode mode, bool admin)
+{
+    ServerSlot &sl = slots_.at(s);
+    if (!sl.up)
+        return;
+    sl.up = false;
+    if (!admin)
+        ++crashes_;
+
+    // TX side: the zombie kernel's future transmissions die at its port.
+    sl.gen.port->setTxOpen(false);
+    // RX side: the corpse either answers RSTs (power on, kernel gone)
+    // or eats packets (cable pulled). Wire re-resolves handlers at
+    // delivery, so even in-flight packets see the corpse.
+    const bool blackhole = mode == FaultEvent::CrashMode::kBlackhole;
+    for (IpAddr a : sl.gen.port->attachedAddrs()) {
+        if (blackhole) {
+            fabric_->attach(a, [this](const Packet &) {
+                ++blackholed_;
+            });
+        } else {
+            fabric_->attach(a, [this](const Packet &pkt) {
+                if (pkt.has(kRst))
+                    return;     // never RST a RST
+                Packet rst;
+                rst.tuple = pkt.tuple.reversed();
+                rst.flags = kRst;
+                rst.connId = pkt.connId;
+                ++corpseRsts_;
+                fabric_->transmit(rst, eq_->now());
+            });
+        }
+    }
+
+    if (admin) {
+        // Planned stop: balancers know. (Abrupt crashes are discovered
+        // through probe failures instead — that's the point.)
+        for (auto &b : balancers_)
+            b->noteStopped(s);
+    }
+}
+
+void
+FleetTestbed::restartMachine(int s)
+{
+    ServerSlot &sl = slots_.at(s);
+    if (sl.up)
+        return;
+
+    // Bank the dying generation's window contribution, then retire it
+    // as a zombie (run-total counters must stay reachable).
+    const KernelStats &ks = sl.gen.machine->kernel().stats();
+    carry_.served += sl.gen.app->served() - sl.servedMark;
+    carry_.slowPath += ks.slowPathAccepts - sl.ksMark.slowPathAccepts;
+    carry_.steered += ks.steeredPackets - sl.ksMark.steeredPackets;
+    carry_.rx += ks.rxPackets - sl.ksMark.rxPackets;
+    carry_.activeLocal += ks.activePktLocal - sl.ksMark.activePktLocal;
+    carry_.activeTotal += ks.activePktTotal - sl.ksMark.activePktTotal;
+    carry_.accesses +=
+        sl.gen.machine->cache().totalAccesses() - sl.accessesMark;
+    carry_.misses +=
+        sl.gen.machine->cache().totalMisses() - sl.missesMark;
+    retired_.push_back(std::move(sl.gen));
+
+    ++sl.generation;
+    buildGeneration(s);
+    sl.up = true;
+    ++restarts_;
+    for (auto &b : balancers_)
+        b->noteRestarted(s);
+
+    if (cfg_.base.checkLevel != CheckLevel::kOff) {
+        registerStandardInvariants(checks_, *sl.gen.machine, *load_,
+                                   *fabric_);
+        if (sl.gen.admission)
+            registerOverloadInvariants(checks_, *sl.gen.admission,
+                                       *sl.gen.machine, *sl.gen.app);
+    }
+}
+
+std::uint64_t
+FleetTestbed::totalActiveOn(int s) const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t k = 0; k < balancers_.size(); ++k)
+        if (lbUp_[k])
+            sum += balancers_[k]->activeFlows(s);
+    return sum;
+}
+
+void
+FleetTestbed::beginRollingRestart(Tick drainDeadline, Tick downtime)
+{
+    fsim_assert(drainDeadline > 0 && downtime > 0);
+    if (rollingActive_)
+        return;
+    rollingActive_ = true;
+    rollingIndex_ = 0;
+    rollingDrain_ = drainDeadline;
+    rollingDown_ = downtime;
+    advanceRolling();
+}
+
+void
+FleetTestbed::advanceRolling()
+{
+    // Skip slots that are already down (an independent crash window).
+    while (rollingIndex_ < static_cast<int>(slots_.size()) &&
+           !slots_[rollingIndex_].up)
+        ++rollingIndex_;
+    if (rollingIndex_ >= static_cast<int>(slots_.size())) {
+        rollingActive_ = false;
+        return;
+    }
+    const int s = rollingIndex_;
+    for (std::size_t k = 0; k < balancers_.size(); ++k)
+        if (lbUp_[k])
+            balancers_[k]->startDrain(s);
+    pollDrain(s, eq_->now() + rollingDrain_);
+}
+
+void
+FleetTestbed::pollDrain(int s, Tick deadline)
+{
+    eq_->scheduleIn(drainPoll_, [this, s, deadline] {
+        if (!slots_[s].up) {
+            // Crashed out from under the drain; close the books and
+            // move on (the crash window owns the restart).
+            for (std::size_t k = 0; k < balancers_.size(); ++k)
+                if (lbUp_[k])
+                    balancers_[k]->finishDrain(s);
+            ++rollingIndex_;
+            advanceRolling();
+            return;
+        }
+        if (totalActiveOn(s) > 0 && eq_->now() < deadline) {
+            pollDrain(s, deadline);
+            return;
+        }
+        for (std::size_t k = 0; k < balancers_.size(); ++k)
+            if (lbUp_[k])
+                balancers_[k]->finishDrain(s);
+        crashMachine(s, FaultEvent::CrashMode::kRst, /*admin=*/true);
+        eq_->scheduleIn(rollingDown_, [this, s] {
+            restartMachine(s);
+            pollReadmit(s);
+        });
+    });
+}
+
+void
+FleetTestbed::pollReadmit(int s)
+{
+    eq_->scheduleIn(drainPoll_, [this, s] {
+        bool ok = true;
+        for (std::size_t k = 0; k < balancers_.size(); ++k)
+            if (lbUp_[k])
+                ok = ok && balancers_[k]->healthy(s);
+        if (ok) {
+            ++rollingIndex_;
+            advanceRolling();
+        } else {
+            pollReadmit(s);
+        }
+    });
+}
+
+void
+FleetTestbed::crashBalancer(int k)
+{
+    if (!lbUp_.at(k))
+        return;
+    lbUp_[k] = false;
+    ++lbCrashes_;
+    balancers_[k]->setDown(true);
+    fabric_->attach(vipAddr(k),
+                    [this](const Packet &) { ++blackholed_; });
+    fabric_->attach(natAddr(k),
+                    [this](const Packet &) { ++blackholed_; });
+    // A surviving peer adopts the VIP after the detection lag.
+    eq_->scheduleIn(ticksFromMsec(cfg_.takeoverDelayMsec), [this, k] {
+        if (lbUp_[k])
+            return;     // restored before the failover fired
+        for (std::size_t kk = 0; kk < balancers_.size(); ++kk) {
+            if (lbUp_[kk]) {
+                balancers_[kk]->adoptVip(vipAddr(k));
+                ++vipTakeovers_;
+                return;
+            }
+        }
+    });
+}
+
+void
+FleetTestbed::restoreBalancer(int k)
+{
+    if (lbUp_.at(k))
+        return;
+    lbUp_[k] = true;
+    balancers_[k]->setDown(false);
+    // Re-attaching overwrites both the blackhole and any peer adoption.
+    balancers_[k]->attachHandlers();
+}
+
+void
+FleetTestbed::startLoad()
+{
+    if (loadStarted_)
+        return;
+    loadStarted_ = true;
+    if (cfg_.openLoopRate > 0.0)
+        load_->startOpenLoop(cfg_.openLoopRate);
+    else
+        load_->start();
+}
+
+void
+FleetTestbed::runUntilChecked(Tick limit)
+{
+    if (cfg_.base.checkLevel != CheckLevel::kPeriodic) {
+        eq_->runUntil(limit);
+        return;
+    }
+    Tick step = ticksFromSeconds(cfg_.base.checkIntervalSec);
+    if (step == 0)
+        step = 1;
+    while (eq_->now() < limit) {
+        eq_->runUntil(std::min(limit, eq_->now() + step));
+        checks_.runAll(eq_->now());
+    }
+}
+
+void
+FleetTestbed::markWindows()
+{
+    for (ServerSlot &sl : slots_) {
+        Machine &m = *sl.gen.machine;
+        m.markWindow();
+        sl.phaseMark = m.tracer().phaseSnapshot();
+        sl.lockMark = m.locks().snapshot();
+        sl.ksMark = m.kernel().stats();
+        sl.servedMark = sl.gen.app->served();
+        sl.accessesMark = m.cache().totalAccesses();
+        sl.missesMark = m.cache().totalMisses();
+    }
+    load_->markWindow();
+    completedMark_ = load_->completed();
+    failedMark_ = load_->failed();
+    eventsRunMark_ = eq_->executed();
+    eventsScheduledMark_ = eq_->scheduled();
+    markTick_ = eq_->now();
+    carry_ = WindowCarry{};
+}
+
+template <typename Fn>
+void
+FleetTestbed::forEachGeneration(Fn fn) const
+{
+    for (const ServerSlot &sl : slots_)
+        fn(sl.gen);
+    for (const Generation &g : retired_)
+        fn(g);
+}
+
+std::uint64_t
+FleetTestbed::currentFingerprint() const
+{
+    Fingerprint fp;
+    fp.mix(fabric_->seqHash());
+    fp.mix(eq_->now());
+    fp.mix(load_->started());
+    fp.mix(load_->completed());
+    fp.mix(load_->failed());
+    fp.mix(load_->responses());
+    fp.mix(load_->timeouts());
+    fp.mix(load_->bytesReceived());
+    fp.mix(load_->synRetransmits());
+    fp.mix(load_->requestRetransmits());
+    fp.mix(load_->retxGiveups());
+    fp.mix(load_->healthStarted());
+    fp.mix(load_->healthCompleted());
+    fp.mix(load_->healthFailed());
+    forEachGeneration([&fp](const Generation &g) {
+        const KernelStats &ks = g.machine->kernel().stats();
+        fp.mix(ks.rxPackets);
+        fp.mix(ks.txPackets);
+        fp.mix(ks.acceptedConns);
+        fp.mix(ks.rstSent);
+        fp.mix(ks.socketsCreated);
+        fp.mix(ks.socketsDestroyed);
+        fp.mix(ks.timeWaitEntered);
+        fp.mix(ks.synRcvdReaped);
+        fp.mix(ks.backlogDropped);
+        fp.mix(ks.synGateDropped);
+        fp.mix(g.machine->cpu().totalBusyTicks());
+        fp.mix(g.machine->pressure().transitions());
+        fp.mix(static_cast<std::uint64_t>(
+            g.machine->pressure().level()));
+        fp.mix(g.app->served());
+        fp.mix(g.app->servedDegraded());
+        fp.mix(g.app->shedConns());
+        fp.mix(g.port->txSuppressed());
+        if (g.admission) {
+            fp.mix(g.admission->offered());
+            fp.mix(g.admission->admitted());
+            fp.mix(g.admission->degraded());
+            fp.mix(g.admission->shed());
+            fp.mix(g.admission->released());
+        }
+    });
+    for (const auto &b : balancers_)
+        fp.mix(b->counterHash());
+    fp.mix(crashes_);
+    fp.mix(restarts_);
+    fp.mix(lbCrashes_);
+    fp.mix(vipTakeovers_);
+    fp.mix(corpseRsts_);
+    fp.mix(blackholed_);
+    return fp.value();
+}
+
+ExperimentResult
+FleetTestbed::collect()
+{
+    if (cfg_.base.checkLevel != CheckLevel::kOff)
+        checks_.runAll(eq_->now());
+
+    ExperimentResult r;
+    r.cps = load_->throughputSinceMark();
+    r.rps = load_->requestThroughputSinceMark();
+
+    const Tick span = eq_->now() - markTick_;
+    r.windowSpan = span;
+    r.simEventsRun = eq_->executed() - eventsRunMark_;
+    r.simEventsScheduled = eq_->scheduled() - eventsScheduledMark_;
+    r.simTicks = span;
+
+    // Per-machine window deltas (live generations; generations lost
+    // mid-window banked their deltas into carry_ at restart). Phases,
+    // locks and utilization cover live generations only.
+    std::uint64_t acc = carry_.accesses, mis = carry_.misses;
+    std::uint64_t at = carry_.activeTotal, al = carry_.activeLocal;
+    r.served = carry_.served;
+    r.slowPathAccepts = carry_.slowPath;
+    r.steeredPackets = carry_.steered;
+    r.rxPackets = carry_.rx;
+    PhaseSnapshot combined;
+    std::map<std::string, LockClassStats> lockSum;
+    int liveCores = 0;
+    for (ServerSlot &sl : slots_) {
+        Machine &m = *sl.gen.machine;
+        const KernelStats &ks = m.kernel().stats();
+        r.served += sl.gen.app->served() - sl.servedMark;
+        r.slowPathAccepts += ks.slowPathAccepts -
+                             sl.ksMark.slowPathAccepts;
+        r.steeredPackets += ks.steeredPackets -
+                            sl.ksMark.steeredPackets;
+        r.rxPackets += ks.rxPackets - sl.ksMark.rxPackets;
+        at += ks.activePktTotal - sl.ksMark.activePktTotal;
+        al += ks.activePktLocal - sl.ksMark.activePktLocal;
+        acc += m.cache().totalAccesses() - sl.accessesMark;
+        mis += m.cache().totalMisses() - sl.missesMark;
+
+        for (double u : m.utilizationSinceMark())
+            r.coreUtil.push_back(u);
+        liveCores += m.numCores();
+
+        std::map<std::string, LockClassStats> ld =
+            lockDeltaSat(sl.lockMark, m.locks().snapshot());
+        for (const auto &kv : ld) {
+            LockClassStats &dst = lockSum[kv.first];
+            dst.acquisitions += kv.second.acquisitions;
+            dst.contentions += kv.second.contentions;
+            dst.waitTicks += kv.second.waitTicks;
+            dst.holdTicks += kv.second.holdTicks;
+        }
+
+        PhaseSnapshot d = phaseDelta(sl.phaseMark,
+                                     m.tracer().phaseSnapshot());
+        for (const auto &row : d.perCore)
+            combined.perCore.push_back(row);
+        for (const auto &kv : d.folded)
+            combined.folded[kv.first] += kv.second;
+        combined.untracked += d.untracked;
+
+        r.traceEventsRecorded += m.tracer().eventsRecorded();
+        r.traceEventsOverwritten += m.tracer().eventsOverwritten();
+        for (int c = 0; c < m.numCores(); ++c)
+            r.traceOverwrittenPerCore.push_back(
+                m.tracer().eventsOverwritten(c));
+        if (!cfg_.base.machine.traceEnabled) {
+            fsim_assert(m.tracer().connSpans().allocations() == 0 &&
+                        "span tracing allocated with tracing disabled");
+        }
+    }
+    r.locks = lockSum;
+    r.l3MissRate = acc ? static_cast<double>(mis) /
+                         static_cast<double>(acc)
+                       : 0.0;
+    r.localPktProportion = at ? static_cast<double>(al) /
+                                static_cast<double>(at)
+                              : 0.0;
+    r.clientFailures = load_->failed() - failedMark_;
+
+    const double totalCycles = static_cast<double>(span) * liveCores;
+    if (totalCycles > 0) {
+        for (const auto &kv : r.locks)
+            r.lockCycleShare[kv.first] =
+                static_cast<double>(kv.second.waitTicks) / totalCycles;
+    }
+    r.phaseCycles = combined;
+    r.phases = phaseBreakdown(combined, span);
+    r.foldedStacks = foldedStacks(combined);
+
+    r.fingerprint = currentFingerprint();
+    r.invariants = checks_.report();
+
+    // Overload block: run totals summed over every machine generation
+    // (each controller's arithmetic identities survive summation).
+    OverloadResult &ov = r.overload;
+    ov.enabled = cfg_.base.machine.overload.enabled;
+    ov.spec = serializeOverloadSpec(cfg_.base.machine.overload);
+    forEachGeneration([&ov](const Generation &g) {
+        if (g.admission) {
+            ov.offered += g.admission->offered();
+            ov.admitted += g.admission->admitted();
+            ov.degraded += g.admission->degraded();
+            ov.shed += g.admission->shed();
+            ov.shedDeadline += g.admission->shedDeadline();
+            ov.shedWorkerCap += g.admission->shedWorkerCap();
+            ov.shedPressure += g.admission->shedPressure();
+            ov.released += g.admission->released();
+            ov.inflight += g.admission->inflightTotal();
+            ov.healthOffered += g.admission->healthOffered();
+            ov.healthAdmitted += g.admission->healthAdmitted();
+        }
+        ov.servedDegraded += g.app->servedDegraded();
+        const KernelStats &ks = g.machine->kernel().stats();
+        ov.backlogDropped += ks.backlogDropped;
+        ov.synGateDropped += ks.synGateDropped;
+        const PressureState &pr = g.machine->pressure();
+        ov.pressureTransitions += pr.transitions();
+        ov.pressurePeak = std::max(ov.pressurePeak,
+                                   static_cast<int>(pr.peakLevel()));
+        ov.softirqDepthPeak = std::max<std::uint64_t>(
+            ov.softirqDepthPeak, pr.softirqDepthPeak());
+        ov.acceptDepthPeak = std::max<std::uint64_t>(
+            ov.acceptDepthPeak, pr.acceptDepthPeak());
+        for (int p = 0; p < g.machine->numCores(); ++p) {
+            std::size_t rp =
+                g.machine->kernel().process(p).epoll->readyPeak();
+            ov.epollReadyPeak = std::max<std::uint64_t>(
+                ov.epollReadyPeak, rp);
+        }
+    });
+    for (const ServerSlot &sl : slots_) {
+        if (sl.up)
+            ov.pressureLevel = std::max(
+                ov.pressureLevel,
+                static_cast<int>(sl.gen.machine->pressure().level()));
+    }
+    ov.latencyP50 = load_->latencyPercentileSinceMark(0.50);
+    ov.latencyP99 = load_->latencyPercentileSinceMark(0.99);
+    ov.latencySamples = load_->latencySamplesSinceMark();
+    ov.healthProbesStarted = load_->healthStarted();
+    ov.healthProbesCompleted = load_->healthCompleted();
+    ov.healthProbesFailed = load_->healthFailed();
+
+    // Connection census: run totals over every generation.
+    ConnResult &cn = r.conn;
+    forEachGeneration([&cn](const Generation &g) {
+        const KernelStack &k = g.machine->kernel();
+        const KernelStats &ks = k.stats();
+        const TcbArena &arena = k.tcbArena();
+        cn.tcbLive += arena.live();
+        cn.tcbLivePeak += arena.peakLive();
+        cn.tcbCreated += arena.totalCreated();
+        cn.slabBytes += arena.slabBytes();
+        if (cn.bytesPerConn == 0)
+            cn.bytesPerConn = arena.bytesPerConn();
+        cn.establishedCurr += ks.establishedCurr;
+        cn.establishedPeak += ks.establishedPeak;
+        cn.timeWaitCurr += k.timeWaitTable().size();
+        cn.timeWaitPeak += k.timeWaitTable().peakSize();
+        cn.timeWaitEntered += ks.timeWaitEntered;
+        cn.timeWaitReaped += ks.timeWaitReaped;
+        cn.timeWaitRecycled += ks.timeWaitRecycled;
+        cn.timeWaitReused += ks.timeWaitReused;
+        cn.timeWaitSynDropped += ks.timeWaitSynDropped;
+        cn.timeWaitAcks += ks.timeWaitAcks;
+        cn.portAllocFailures += ks.portAllocFailures;
+        cn.ehashLookups += k.ehashLookups();
+        cn.ehashProbesWalked += k.ehashProbesWalked();
+        cn.ehashLookupCycles += k.ehashLookupCycles();
+        cn.ehashResizes += k.ehashResizes();
+    });
+    if (cn.ehashLookups > 0) {
+        cn.avgProbeLen = static_cast<double>(cn.ehashProbesWalked) /
+                         static_cast<double>(cn.ehashLookups);
+        cn.cyclesPerLookup =
+            static_cast<double>(cn.ehashLookupCycles) /
+            static_cast<double>(cn.ehashLookups);
+    }
+
+    // Fleet block.
+    FleetResult &fl = r.fleet;
+    fl.enabled = true;
+    fl.serverMachines = cfg_.serverMachines;
+    fl.balancers = cfg_.balancers;
+    fl.policy = L4Balancer::policyName(cfg_.policy);
+    for (const auto &b : balancers_) {
+        fl.flowsCreated += b->flowsCreated();
+        fl.flowsRetired += b->flowsRetired();
+        fl.flowsActive += b->flowsActive();
+        fl.flowsActivePeak += b->flowsActivePeak();
+        fl.tupleReuse += b->tupleReuse();
+        fl.idleRetired += b->idleRetired();
+        fl.forwardedC2s += b->forwardedC2s();
+        fl.forwardedS2c += b->forwardedS2c();
+        fl.shedNoBackend += b->shedNoBackend();
+        fl.shedCapacity += b->shedCapacity();
+        fl.natRsts += b->natRsts();
+        fl.boundedLoadFallbacks += b->boundedLoadFallbacks();
+        fl.pressureAvoids += b->pressureAvoids();
+        fl.probesSent += b->probesSent();
+        fl.probeFailures += b->probeFailures();
+        fl.ejections += b->ejections();
+        fl.readmissions += b->readmissions();
+        fl.drainsStarted += b->drainsStarted();
+        fl.drainsCompleted += b->drainsCompleted();
+        fl.undrainedFlows += b->undrainedFlows();
+    }
+    fl.restarts = restarts_;
+    fl.crashes = crashes_;
+    fl.lbCrashes = lbCrashes_;
+    fl.vipTakeovers = vipTakeovers_;
+    forEachGeneration([&fl](const Generation &g) {
+        fl.txSuppressed += g.port->txSuppressed();
+    });
+    fl.corpseRsts = corpseRsts_;
+    fl.blackholed = blackholed_;
+    fl.linkPackets = fabric_->linkPackets();
+    fl.linkQueuedTicks = fabric_->linkQueuedTicks();
+    const std::uint64_t winCompleted = load_->completed() -
+                                       completedMark_;
+    const std::uint64_t winFailed = r.clientFailures;
+    fl.requestSuccessRatio =
+        winCompleted + winFailed > 0
+            ? static_cast<double>(winCompleted) /
+                  static_cast<double>(winCompleted + winFailed)
+            : 0.0;
+    return r;
+}
+
+ExperimentResult
+FleetTestbed::run()
+{
+    startLoad();
+    runUntilChecked(eq_->now() + ticksFromSeconds(cfg_.base.warmupSec));
+    markWindows();
+
+    const int wins = std::max(1, cfg_.base.statWindows);
+    const Tick begin = eq_->now();
+    const Tick measure = ticksFromSeconds(cfg_.base.measureSec);
+    std::vector<LockWindow> windows;
+    std::uint64_t completedPrev = load_->completed();
+    for (int w = 0; w < wins; ++w) {
+        LockWindow lw;
+        lw.start = eq_->now();
+        runUntilChecked(begin + measure * (w + 1) / wins);
+        lw.end = eq_->now();
+        lw.completed = load_->completed() - completedPrev;
+        const double wsec = secondsFromTicks(lw.end - lw.start);
+        lw.goodput = wsec > 0.0
+                         ? static_cast<double>(lw.completed) / wsec
+                         : 0.0;
+        // Lock/SYN sub-window deltas stay empty at fleet scope (a
+        // restart resets one machine's share mid-window).
+        windows.push_back(std::move(lw));
+        completedPrev = load_->completed();
+    }
+
+    ExperimentResult r = collect();
+    r.lockWindows = std::move(windows);
+    return r;
+}
+
+ExperimentResult
+runFleetExperiment(const FleetConfig &cfg)
+{
+    FleetTestbed bed(cfg);
+    return bed.run();
+}
+
+} // namespace fsim

@@ -271,6 +271,49 @@ BenchJsonReport::str() const
         }
         w.endObject();
 
+        // v8: fleet tier. Always present; enabled=false (all counters
+        // zero) on single-machine rows so diff tooling sees the block
+        // vanish/appear explicitly rather than silently.
+        const FleetResult &fl = r.fleet;
+        w.key("fleet").beginObject();
+        w.key("enabled").value(fl.enabled);
+        w.key("server_machines").value(
+            static_cast<std::uint64_t>(fl.serverMachines));
+        w.key("balancers").value(
+            static_cast<std::uint64_t>(fl.balancers));
+        w.key("policy").value(fl.policy);
+        w.key("flows_created").value(fl.flowsCreated);
+        w.key("flows_retired").value(fl.flowsRetired);
+        w.key("flows_active").value(fl.flowsActive);
+        w.key("flows_active_peak").value(fl.flowsActivePeak);
+        w.key("tuple_reuse").value(fl.tupleReuse);
+        w.key("idle_retired").value(fl.idleRetired);
+        w.key("forwarded_c2s").value(fl.forwardedC2s);
+        w.key("forwarded_s2c").value(fl.forwardedS2c);
+        w.key("shed_no_backend").value(fl.shedNoBackend);
+        w.key("shed_capacity").value(fl.shedCapacity);
+        w.key("nat_rsts").value(fl.natRsts);
+        w.key("bounded_load_fallbacks").value(fl.boundedLoadFallbacks);
+        w.key("pressure_avoids").value(fl.pressureAvoids);
+        w.key("probes_sent").value(fl.probesSent);
+        w.key("probe_failures").value(fl.probeFailures);
+        w.key("ejections").value(fl.ejections);
+        w.key("readmissions").value(fl.readmissions);
+        w.key("drains_started").value(fl.drainsStarted);
+        w.key("drains_completed").value(fl.drainsCompleted);
+        w.key("undrained_flows").value(fl.undrainedFlows);
+        w.key("restarts").value(fl.restarts);
+        w.key("crashes").value(fl.crashes);
+        w.key("lb_crashes").value(fl.lbCrashes);
+        w.key("vip_takeovers").value(fl.vipTakeovers);
+        w.key("tx_suppressed").value(fl.txSuppressed);
+        w.key("corpse_rsts").value(fl.corpseRsts);
+        w.key("blackholed").value(fl.blackholed);
+        w.key("link_packets").value(fl.linkPackets);
+        w.key("link_queued_ticks").value(fl.linkQueuedTicks);
+        w.key("request_success_ratio").value(fl.requestSuccessRatio);
+        w.endObject();
+
         w.key("lock_windows").beginArray();
         for (const LockWindow &lw : r.lockWindows) {
             w.beginObject();

@@ -38,8 +38,12 @@ class BenchJsonReport
      *  v7: per-row "sim_core" block (DES-core throughput: events run /
      *  scheduled and window ticks always; wall_seconds, events_per_sec
      *  and wall_per_sim_sec only on rows stamped by a wall-clock-aware
-     *  bench, so same-seed exports stay byte-identical elsewhere). */
-    static constexpr int kSchemaVersion = 7;
+     *  bench, so same-seed exports stay byte-identical elsewhere).
+     *  v8: per-row "fleet" block (N-machine topology: balancer flow
+     *  table, steering/shed counters, health probing, drain/restart
+     *  orchestration, fabric-edge accounting, request success ratio;
+     *  enabled=false with zero counters on single-machine rows). */
+    static constexpr int kSchemaVersion = 8;
 
     explicit BenchJsonReport(std::string bench_name);
 

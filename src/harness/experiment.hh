@@ -263,6 +263,65 @@ struct ConnResult
     std::vector<ConnRampPoint> ramp;
 };
 
+/** Fleet-tier outcome (schema v8 "fleet" block; enabled=false and all
+ *  zero for single-machine runs). Counters are sums over every balancer
+ *  and, where machine-scoped, over every server machine generation. */
+struct FleetResult
+{
+    bool enabled = false;
+    int serverMachines = 0;
+    int balancers = 0;
+    std::string policy;                 //!< "chash" | "rr"
+
+    /** @name Balancer flow table */
+    /** @{ */
+    std::uint64_t flowsCreated = 0;
+    std::uint64_t flowsRetired = 0;
+    std::uint64_t flowsActive = 0;      //!< still open at collect()
+    std::uint64_t flowsActivePeak = 0;
+    std::uint64_t tupleReuse = 0;
+    std::uint64_t idleRetired = 0;
+    std::uint64_t forwardedC2s = 0;
+    std::uint64_t forwardedS2c = 0;
+    /** @} */
+
+    /** @name Steering and shedding */
+    /** @{ */
+    std::uint64_t shedNoBackend = 0;    //!< SYN RSTs: no healthy target
+    std::uint64_t shedCapacity = 0;     //!< SYN RSTs: flow table full
+    std::uint64_t natRsts = 0;          //!< non-SYN with no flow
+    std::uint64_t boundedLoadFallbacks = 0;
+    std::uint64_t pressureAvoids = 0;   //!< cross-tier pressure skips
+    /** @} */
+
+    /** @name Health, draining, orchestration */
+    /** @{ */
+    std::uint64_t probesSent = 0;
+    std::uint64_t probeFailures = 0;
+    std::uint64_t ejections = 0;
+    std::uint64_t readmissions = 0;
+    std::uint64_t drainsStarted = 0;
+    std::uint64_t drainsCompleted = 0;
+    std::uint64_t undrainedFlows = 0;   //!< active past drain deadline
+    std::uint64_t restarts = 0;         //!< machine generations started
+    std::uint64_t crashes = 0;          //!< abrupt (non-admin) losses
+    std::uint64_t lbCrashes = 0;
+    std::uint64_t vipTakeovers = 0;
+    /** @} */
+
+    /** @name Fabric-edge accounting */
+    /** @{ */
+    std::uint64_t txSuppressed = 0;     //!< zombie packets gated at ports
+    std::uint64_t corpseRsts = 0;       //!< RSTs answered for dead boxes
+    std::uint64_t blackholed = 0;       //!< packets eaten by dead boxes
+    std::uint64_t linkPackets = 0;
+    std::uint64_t linkQueuedTicks = 0;
+    /** @} */
+
+    /** completed / (completed + failed) over the measurement window. */
+    double requestSuccessRatio = 0.0;
+};
+
 /** Measured outcome of one experiment. */
 struct ExperimentResult
 {
@@ -323,6 +382,9 @@ struct ExperimentResult
 
     /** Connection-lifetime census (arena, TIME_WAIT, ports, ehash). */
     ConnResult conn;
+
+    /** Fleet tier (enabled=false for single-machine runs). */
+    FleetResult fleet;
 
     /** @name DES-core throughput (schema v7 "sim_core" block) */
     /** @{ */

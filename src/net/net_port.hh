@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-machine gateway onto a shared fleet fabric.
+ *
+ * A NetPort is-a Wire, so a Machine (and the KernelStack behind it) can
+ * be built against it unchanged, but every attach/transmit forwards to
+ * the real fabric. Its one extra power is TX gating: a crashed machine's
+ * port is closed, so packets its zombie kernel keeps emitting (timer
+ * retransmissions, delayed ACKs) silently die at the NIC edge instead of
+ * reaching the fleet — exactly the observable behavior of a powered-off
+ * box. RX-side death is modeled at the fabric by re-attaching the
+ * machine's addresses to a blackhole or RST-responder handler; Wire
+ * re-resolves handlers at delivery time, so in-flight packets follow.
+ */
+
+#ifndef FSIM_NET_NET_PORT_HH
+#define FSIM_NET_NET_PORT_HH
+
+#include <vector>
+
+#include "net/wire.hh"
+
+namespace fsim
+{
+
+/** Forwarding wire facade with a TX gate (machine power switch). */
+class NetPort : public Wire
+{
+  public:
+    explicit NetPort(Wire &fabric)
+        : Wire(fabric.eventQueue(), fabric.delay()), fabric_(fabric)
+    {
+    }
+
+    void
+    attach(IpAddr addr, Endpoint handler) override
+    {
+        addrs_.push_back(addr);
+        fabric_.attach(addr, std::move(handler));
+    }
+
+    void
+    attachRange(IpAddr first, IpAddr last, Endpoint handler) override
+    {
+        fabric_.attachRange(first, last, std::move(handler));
+    }
+
+    void
+    transmit(const Packet &pkt, Tick when) override
+    {
+        if (!txOpen_) {
+            ++txSuppressed_;
+            return;
+        }
+        fabric_.transmit(pkt, when);
+    }
+
+    /** Open/close the TX gate (crash = close; restart gets a new port). */
+    void setTxOpen(bool open) { txOpen_ = open; }
+    bool txOpen() const { return txOpen_; }
+
+    /** Packets a dead machine tried to emit. */
+    std::uint64_t txSuppressed() const { return txSuppressed_; }
+
+    /** Addresses attached through this port, in attach order. */
+    const std::vector<IpAddr> &attachedAddrs() const { return addrs_; }
+
+    Wire &fabric() { return fabric_; }
+
+  private:
+    Wire &fabric_;
+    bool txOpen_ = true;
+    std::uint64_t txSuppressed_ = 0;
+    std::vector<IpAddr> addrs_;
+};
+
+} // namespace fsim
+
+#endif // FSIM_NET_NET_PORT_HH

@@ -1,5 +1,8 @@
 #include "net/wire.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "sim/logging.hh"
 
 namespace fsim
@@ -34,6 +37,64 @@ Wire::lookup(IpAddr addr) const
             return &r.handler;
     }
     return nullptr;
+}
+
+void
+Wire::addLink(const LinkSpec &spec)
+{
+    fsim_assert(spec.aFirst <= spec.aLast);
+    fsim_assert(spec.bFirst <= spec.bLast);
+    fsim_assert(spec.gbps > 0.0);
+    Link l;
+    l.spec = spec;
+    // Integer serialization cost so same-seed runs are bit-identical:
+    // ticks to put 1024 wire bytes on a gbps-rate line.
+    l.ticksPer1024B = static_cast<Tick>(std::llround(
+        static_cast<double>(ticksFromSeconds(1.0)) * 1024.0 * 8.0 /
+        (spec.gbps * 1e9)));
+    if (l.ticksPer1024B < 1)
+        l.ticksPer1024B = 1;
+    links_.push_back(l);
+}
+
+namespace
+{
+
+bool
+inRange(IpAddr a, IpAddr first, IpAddr last)
+{
+    return a >= first && a <= last;
+}
+
+} // anonymous namespace
+
+Tick
+Wire::linkDelay(const Packet &pkt, Tick when)
+{
+    for (Link &l : links_) {
+        int dir;
+        if (inRange(pkt.tuple.saddr, l.spec.aFirst, l.spec.aLast) &&
+            inRange(pkt.tuple.daddr, l.spec.bFirst, l.spec.bLast)) {
+            dir = 0;
+        } else if (inRange(pkt.tuple.saddr, l.spec.bFirst, l.spec.bLast) &&
+                   inRange(pkt.tuple.daddr, l.spec.aFirst, l.spec.aLast)) {
+            dir = 1;
+        } else {
+            continue;
+        }
+        // Payload plus Ethernet/IP/TCP framing; ceil over 1 KiB quanta.
+        const std::uint64_t bytes =
+            static_cast<std::uint64_t>(pkt.payload) + 64;
+        const Tick ser = static_cast<Tick>(
+            (bytes * static_cast<std::uint64_t>(l.ticksPer1024B) + 1023) /
+            1024);
+        const Tick depart = std::max(when, l.busyUntil[dir]);
+        linkQueuedTicks_ += depart - when;
+        l.busyUntil[dir] = depart + ser;
+        ++linkPackets_;
+        return (depart - when) + ser + l.spec.latency;
+    }
+    return delay_;
 }
 
 void
@@ -150,10 +211,13 @@ Wire::transmit(const Packet &pkt, Tick when)
     if (faultChance(pkt, 0x4e04de4, reorder) && jitter > 0)
         extra = 1 + static_cast<Tick>(faultHash(pkt, 0x1177e4) %
                                       static_cast<std::uint64_t>(jitter));
-    deliverAt(pkt, when + delay_ + extra);
+    // One link-horizon charge per packet even when duplicated: the dup
+    // is a fault artifact, not a second serialization.
+    const Tick path = links_.empty() ? delay_ : linkDelay(pkt, when);
+    deliverAt(pkt, when + path + extra);
     if (faultChance(pkt, 0xd0bbe1, dup)) {
         ++duplicated_;
-        deliverAt(pkt, when + delay_ + extra + 1);
+        deliverAt(pkt, when + path + extra + 1);
     }
 }
 

@@ -5,7 +5,17 @@
  * The wire delivers packets to the endpoint registered for the destination
  * IP after a fixed one-way delay. Bandwidth is not a bottleneck in the
  * paper's short-lived-connection experiments (64 B pages on 10GbE), so the
- * wire models latency only.
+ * default wire models latency only.
+ *
+ * For fleet topologies (src/fleet) the same fabric generalizes two ways:
+ *  - addLink() declares a directed pair of address ranges with their own
+ *    propagation latency and line rate; packets crossing a link pay
+ *    store-and-forward serialization against a per-direction busy horizon
+ *    instead of the flat delay. With no links configured behavior is
+ *    bit-identical to the historical latency-only wire.
+ *  - attach/attachRange/transmit are virtual so a per-machine NetPort can
+ *    interpose (TX gating for crashed machines) while the kernel keeps
+ *    talking to a plain Wire*.
  */
 
 #ifndef FSIM_NET_WIRE_HH
@@ -35,12 +45,38 @@ class Wire
      * @param one_way_delay Propagation delay per direction, in ticks.
      */
     Wire(EventQueue &eq, Tick one_way_delay);
+    virtual ~Wire() = default;
 
-    /** Attach the receive handler for a destination IP. */
-    void attach(IpAddr addr, Endpoint handler);
+    /** Attach the receive handler for a destination IP. Re-attaching an
+     *  address overwrites the previous handler (machine restart relies
+     *  on this). */
+    virtual void attach(IpAddr addr, Endpoint handler);
 
     /** Attach one handler for a contiguous range [first, last]. */
-    void attachRange(IpAddr first, IpAddr last, Endpoint handler);
+    virtual void attachRange(IpAddr first, IpAddr last, Endpoint handler);
+
+    /** Driving event queue (NetPort forwards onto its fabric's queue). */
+    EventQueue &eventQueue() { return eq_; }
+
+    /**
+     * A directed link between two address sets: packets with
+     * saddr in [aFirst, aLast] and daddr in [bFirst, bLast] (or the
+     * reverse) traverse it, paying @p latency plus serialization at
+     * @p gbps against a per-direction busy horizon (store-and-forward;
+     * back-to-back packets queue behind each other). First matching
+     * link wins. Packets matching no link use the flat default delay.
+     */
+    struct LinkSpec
+    {
+        IpAddr aFirst = 0;
+        IpAddr aLast = 0;
+        IpAddr bFirst = 0;
+        IpAddr bLast = 0;
+        Tick latency = 0;
+        double gbps = 10.0;
+    };
+
+    void addLink(const LinkSpec &spec);
 
     /**
      * Drop each packet independently with probability @p rate (failure
@@ -80,7 +116,7 @@ class Wire
      * Delivery happens at @p when + delay. Packets to unknown addresses
      * are dropped and counted.
      */
-    void transmit(const Packet &pkt, Tick when);
+    virtual void transmit(const Packet &pkt, Tick when);
 
     std::uint64_t delivered() const { return delivered_; }
     std::uint64_t dropped() const { return dropped_; }
@@ -102,10 +138,15 @@ class Wire
      * perturb it.
      */
     std::uint64_t seqHash() const { return seqHash_.value(); }
+    /** Packets that crossed a configured link. */
+    std::uint64_t linkPackets() const { return linkPackets_; }
+    /** Total ticks packets waited behind a busy link direction. */
+    std::uint64_t linkQueuedTicks() const { return linkQueuedTicks_; }
     /** @} */
 
   private:
     const Endpoint *lookup(IpAddr addr) const;
+    Tick linkDelay(const Packet &pkt, Tick when);
     void deliverAt(const Packet &pkt, Tick when);
     std::uint64_t faultHash(const Packet &pkt, std::uint64_t salt) const;
     bool faultChance(const Packet &pkt, std::uint64_t salt,
@@ -118,6 +159,13 @@ class Wire
         Endpoint handler;
     };
 
+    struct Link
+    {
+        LinkSpec spec;
+        Tick ticksPer1024B = 0;  //!< serialization cost, integer math
+        Tick busyUntil[2] = {0, 0};   //!< per-direction line horizon
+    };
+
     EventQueue &eq_;
     Tick delay_;
     double lossRate_ = 0.0;
@@ -126,6 +174,9 @@ class Wire
     std::uint64_t faultSeed_ = 0;
     std::unordered_map<IpAddr, Endpoint> endpoints_;
     std::vector<Range> ranges_;
+    std::vector<Link> links_;
+    std::uint64_t linkPackets_ = 0;
+    std::uint64_t linkQueuedTicks_ = 0;
     std::uint64_t delivered_ = 0;
     std::uint64_t dropped_ = 0;
     std::uint64_t lost_ = 0;

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Fleet-tier integration: N machines behind the L4 balancer tier.
+ *
+ * Covers the FleetTestbed orchestration surface — steering, drain
+ * semantics, crash/restart with probe-driven ejection and readmission,
+ * VIP failover — plus fingerprint determinism on both kernels, and the
+ * single-machine Proxy's health breaker when a *backend machine*
+ * disappears mid-connection (full packet loss, not a brownout).
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/proxy.hh"
+#include "fleet/fleet.hh"
+
+namespace fsim
+{
+namespace
+{
+
+FleetConfig
+smallFleet(const KernelConfig &kernel, int machines = 3,
+           int balancers = 2)
+{
+    FleetConfig fc;
+    fc.serverMachines = machines;
+    fc.balancers = balancers;
+    fc.base.app = AppKind::kNginx;
+    fc.base.machine.cores = 2;
+    fc.base.machine.kernel = kernel;
+    fc.base.machine.traceEnabled = false;
+    fc.base.concurrencyPerCore = 20;
+    fc.base.warmupSec = 0.005;
+    fc.base.measureSec = 0.04;
+    fc.base.statWindows = 4;
+    fc.base.checkLevel = CheckLevel::kPeriodic;
+    fc.base.clientTimeout = ticksFromMsec(30);
+    fc.base.clientRtoBase = ticksFromUsec(8000);
+    return fc;
+}
+
+const KernelConfig kBothKernels[2] = {KernelConfig::base2632(),
+                                      KernelConfig::fastsocket()};
+
+TEST(Fleet, AddressPlanDoesNotOverlap)
+{
+    // 64 machines x 256 addrs, 8 VIPs, 8 NAT addrs: all disjoint.
+    EXPECT_LT(FleetTestbed::machineBase(63) + 0xff,
+              FleetTestbed::natAddr(0));
+    EXPECT_LT(FleetTestbed::natAddr(7), FleetTestbed::vipAddr(0));
+    for (int s = 1; s < 64; ++s)
+        EXPECT_GE(FleetTestbed::machineBase(s),
+                  FleetTestbed::machineBase(s - 1) + 0x100);
+}
+
+TEST(Fleet, EndToEndServiceAndFlowConservationBothKernels)
+{
+    for (const KernelConfig &k : kBothKernels) {
+        FleetTestbed bed(smallFleet(k));
+        ExperimentResult r = bed.run();
+        EXPECT_GT(r.served, 500u);
+        EXPECT_TRUE(r.fleet.enabled);
+        EXPECT_GT(r.fleet.flowsCreated, 0u);
+        EXPECT_EQ(r.fleet.flowsCreated,
+                  r.fleet.flowsRetired + r.fleet.flowsActive);
+        EXPECT_EQ(r.invariants.violationCount, 0u)
+            << r.invariants.summary();
+        // Consistent hash spreads flows across every machine.
+        for (int s = 0; s < bed.machineCount(); ++s) {
+            std::uint64_t on = 0;
+            for (int b = 0; b < bed.balancerCount(); ++b)
+                on += bed.balancer(b).activeFlows(s);
+            EXPECT_TRUE(bed.machineUp(s));
+            (void)on;
+        }
+    }
+}
+
+TEST(Fleet, SameSeedSameFingerprintBothKernels)
+{
+    for (const KernelConfig &k : kBothKernels) {
+        FleetConfig fc = smallFleet(k);
+        FleetTestbed a(fc);
+        FleetTestbed b(fc);
+        ExperimentResult ra = a.run();
+        ExperimentResult rb = b.run();
+        EXPECT_EQ(ra.fingerprint, rb.fingerprint);
+        EXPECT_EQ(a.currentFingerprint(), b.currentFingerprint());
+
+        FleetConfig other = fc;
+        other.base.machine.seed += 17;
+        FleetTestbed c(other);
+        ExperimentResult rc = c.run();
+        EXPECT_NE(ra.fingerprint, rc.fingerprint);
+    }
+}
+
+TEST(Fleet, RollingRestartDrainsEveryMachineWithoutLoss)
+{
+    for (const KernelConfig &k : kBothKernels) {
+        FleetTestbed bed(smallFleet(k));
+        EventQueue &eq = bed.eventQueue();
+        bed.startLoad();
+        bed.runUntilChecked(ticksFromMsec(5));
+        bed.beginRollingRestart(/*drainDeadline=*/ticksFromMsec(10),
+                                /*downtime=*/ticksFromMsec(2));
+        EXPECT_TRUE(bed.rollingRestartActive());
+        bed.runUntilChecked(eq.now() + ticksFromMsec(60));
+        EXPECT_FALSE(bed.rollingRestartActive());
+        EXPECT_EQ(bed.restarts(),
+                  static_cast<std::uint64_t>(bed.machineCount()));
+        ExperimentResult r = bed.collect();
+        // Planned drains wait for in-flight flows: nothing is killed.
+        EXPECT_EQ(r.fleet.undrainedFlows, 0u);
+        EXPECT_EQ(r.fleet.drainsStarted, r.fleet.drainsCompleted);
+        EXPECT_EQ(r.fleet.drainsCompleted,
+                  static_cast<std::uint64_t>(bed.machineCount() *
+                                             bed.balancerCount()));
+        // Every machine came back and was readmitted by probes.
+        for (int s = 0; s < bed.machineCount(); ++s) {
+            EXPECT_TRUE(bed.machineUp(s));
+            for (int b = 0; b < bed.balancerCount(); ++b)
+                EXPECT_TRUE(bed.balancer(b).healthy(s));
+        }
+        EXPECT_EQ(r.invariants.violationCount, 0u)
+            << r.invariants.summary();
+    }
+}
+
+TEST(Fleet, BlackholeCrashIsEjectedAndReadmittedAfterRestart)
+{
+    for (const KernelConfig &k : kBothKernels) {
+        FleetTestbed bed(smallFleet(k));
+        EventQueue &eq = bed.eventQueue();
+        bed.startLoad();
+        bed.runUntilChecked(ticksFromMsec(5));
+
+        bed.crashMachine(1, FaultEvent::CrashMode::kBlackhole);
+        EXPECT_FALSE(bed.machineUp(1));
+        // Probe failures must mark the target down on every balancer.
+        bed.runUntilChecked(eq.now() + ticksFromMsec(15));
+        for (int b = 0; b < bed.balancerCount(); ++b)
+            EXPECT_FALSE(bed.balancer(b).healthy(1));
+
+        const std::uint64_t beforeRestart = bed.load().completed();
+        bed.restartMachine(1);
+        bed.runUntilChecked(eq.now() + ticksFromMsec(20));
+        EXPECT_TRUE(bed.machineUp(1));
+        for (int b = 0; b < bed.balancerCount(); ++b)
+            EXPECT_TRUE(bed.balancer(b).healthy(1));
+        EXPECT_GT(bed.load().completed(), beforeRestart);
+
+        ExperimentResult r = bed.collect();
+        EXPECT_EQ(r.fleet.crashes, 1u);
+        EXPECT_EQ(r.fleet.restarts, 1u);
+        EXPECT_GE(r.fleet.ejections,
+                  static_cast<std::uint64_t>(bed.balancerCount()));
+        EXPECT_GE(r.fleet.readmissions,
+                  static_cast<std::uint64_t>(bed.balancerCount()));
+        EXPECT_GT(r.fleet.blackholed, 0u)
+            << "a blackhole corpse must swallow in-flight packets";
+        EXPECT_EQ(r.invariants.violationCount, 0u)
+            << r.invariants.summary();
+    }
+}
+
+TEST(Fleet, RstCrashAnswersInFlightPacketsWithResets)
+{
+    FleetTestbed bed(smallFleet(KernelConfig::fastsocket()));
+    EventQueue &eq = bed.eventQueue();
+    bed.startLoad();
+    bed.runUntilChecked(ticksFromMsec(5));
+    bed.crashMachine(0, FaultEvent::CrashMode::kRst);
+    bed.runUntilChecked(eq.now() + ticksFromMsec(10));
+    ExperimentResult r = bed.collect();
+    EXPECT_GT(r.fleet.corpseRsts, 0u)
+        << "an rst-mode corpse must answer in-flight packets";
+    EXPECT_EQ(r.fleet.blackholed, 0u);
+}
+
+TEST(Fleet, BalancerCrashFailsVipOverToPeer)
+{
+    for (const KernelConfig &k : kBothKernels) {
+        FleetTestbed bed(smallFleet(k));
+        EventQueue &eq = bed.eventQueue();
+        bed.startLoad();
+        bed.runUntilChecked(ticksFromMsec(5));
+
+        bed.crashBalancer(0);
+        // Past the takeover delay the peer owns VIP 0; the closed loop
+        // must keep completing connections addressed to it.
+        bed.runUntilChecked(eq.now() + ticksFromMsec(10));
+        EXPECT_EQ(bed.vipTakeovers(), 1u);
+        const std::uint64_t mid = bed.load().completed();
+        bed.runUntilChecked(eq.now() + ticksFromMsec(10));
+        EXPECT_GT(bed.load().completed(), mid);
+
+        bed.restoreBalancer(0);
+        bed.runUntilChecked(eq.now() + ticksFromMsec(10));
+        ExperimentResult r = bed.collect();
+        EXPECT_EQ(r.fleet.lbCrashes, 1u);
+        EXPECT_EQ(r.fleet.vipTakeovers, 1u);
+        EXPECT_EQ(r.invariants.violationCount, 0u)
+            << r.invariants.summary();
+    }
+}
+
+TEST(Fleet, DrainRefusesNewFlowsAndCompletesInFlight)
+{
+    FleetTestbed bed(smallFleet(KernelConfig::fastsocket()));
+    EventQueue &eq = bed.eventQueue();
+    bed.startLoad();
+    bed.runUntilChecked(ticksFromMsec(5));
+
+    for (int b = 0; b < bed.balancerCount(); ++b)
+        bed.balancer(b).startDrain(1);
+    // Give in-flight flows ample time to finish, then settle the drain.
+    bed.runUntilChecked(eq.now() + ticksFromMsec(10));
+    for (int b = 0; b < bed.balancerCount(); ++b) {
+        EXPECT_EQ(bed.balancer(b).activeFlows(1), 0u)
+            << "a draining target must bleed to zero active flows";
+        EXPECT_EQ(bed.balancer(b).finishDrain(1), 0u);
+    }
+    // Service continued on the remaining machines throughout.
+    const std::uint64_t before = bed.load().completed();
+    bed.runUntilChecked(eq.now() + ticksFromMsec(5));
+    EXPECT_GT(bed.load().completed(), before);
+}
+
+/**
+ * Satellite coverage: the single-machine Proxy's health breaker when a
+ * backend machine is lost outright mid-connection. The outage starts
+ * while sessions are in flight, so their backend legs go half-open and
+ * must be accounted as timeouts (not leaked); after the machine comes
+ * back, probe traffic readmits it.
+ */
+TEST(Fleet, ProxyEjectsAndReadmitsLostBackendMachineBothKernels)
+{
+    for (const KernelConfig &k : kBothKernels) {
+        ExperimentConfig cfg;
+        cfg.app = AppKind::kHaproxy;
+        cfg.machine.cores = 2;
+        cfg.machine.kernel = k;
+        cfg.machine.traceEnabled = false;
+        cfg.concurrencyPerCore = 30;
+        cfg.backendCount = 2;
+        cfg.backendTimeout = ticksFromMsec(2);
+        cfg.clientTimeout = ticksFromMsec(20);
+        cfg.warmupSec = 0.01;   // sessions in flight before the loss
+        cfg.measureSec = 0.08;
+        cfg.checkLevel = CheckLevel::kPeriodic;
+        std::string err;
+        // Backend machine 0 vanishes at t=10ms (mid-connection for the
+        // warmed-up closed loop) and returns at t=50ms.
+        ASSERT_TRUE(parseFaultPlan("backend_down@0.01-0.05:target=0",
+                                   cfg.faults, err))
+            << err;
+
+        Testbed bed(cfg);
+        ExperimentResult r = bed.run();
+        auto *px = dynamic_cast<Proxy *>(&bed.app());
+        ASSERT_NE(px, nullptr);
+
+        // Half-open backend legs are accounted, not leaked: the legs
+        // cut mid-exchange surface as timeouts, and the breaker trips.
+        EXPECT_GT(px->backendTimeouts(), 0u);
+        EXPECT_GE(px->backendEjections(), 1u);
+        // Recovery: the machine is probed back in and ends admitted.
+        EXPECT_GE(px->backendReadmissions(), 1u);
+        EXPECT_FALSE(px->backendEjected(0))
+            << "backend 0 must be readmitted after the outage ends";
+        EXPECT_FALSE(px->backendEjected(1));
+        // The un-lost backend carried the fleet through the outage.
+        EXPECT_GT(r.served, 200u);
+        EXPECT_EQ(r.invariants.violationCount, 0u)
+            << r.invariants.summary();
+    }
+}
+
+} // anonymous namespace
+} // namespace fsim

@@ -198,5 +198,104 @@ TEST(Scenario, RunScenarioEndToEnd)
     EXPECT_GT(r.invariants.checksRun, 0u);
 }
 
+TEST(Scenario, FleetKnobsRoundTripThroughSerialization)
+{
+    Scenario s;
+    s.fleetMachines = 3;
+    s.fleetBalancers = 2;
+    s.fleetPolicy = "rr";
+    s.clientTimeoutSec = 0.05;
+    s.faultPlan = "rolling_restart@0.003-0.004:drain_ms=4,down_ms=2";
+
+    Scenario back;
+    std::string err;
+    ASSERT_TRUE(parseScenario(serializeScenario(s), back, err)) << err;
+    EXPECT_EQ(back.fleetMachines, 3);
+    EXPECT_EQ(back.fleetBalancers, 2);
+    EXPECT_EQ(back.fleetPolicy, "rr");
+    EXPECT_EQ(back.faultPlan, s.faultPlan);
+
+    // The fleet block is elided entirely on single-machine scenarios.
+    Scenario plain;
+    EXPECT_EQ(serializeScenario(plain).find("fleet"), std::string::npos);
+}
+
+TEST(Scenario, ParseRejectsInvalidFleetCombos)
+{
+    Scenario out;
+    std::string err;
+    // Fleet event kinds demand the fleet tier...
+    EXPECT_FALSE(parseScenario(
+        "clientTimeoutSec = 0.05\n"
+        "faultPlan = machine_crash@0.01-0.02:target=0,mode=rst\n",
+        out, err));
+    // ...and in-range targets (the orchestrator asserts the range).
+    EXPECT_FALSE(parseScenario(
+        "fleetMachines = 2\n"
+        "clientTimeoutSec = 0.05\n"
+        "faultPlan = machine_crash@0.01-0.02:target=5,mode=rst\n",
+        out, err));
+    EXPECT_FALSE(parseScenario(
+        "fleetMachines = 2\n"
+        "fleetBalancers = 1\n"
+        "clientTimeoutSec = 0.05\n"
+        "faultPlan = lb_crash@0.01-0.02:target=1\n",
+        out, err));
+    EXPECT_FALSE(parseScenario("fleetMachines = 99\n", out, err));
+    EXPECT_FALSE(parseScenario("fleetPolicy = lru\n", out, err));
+    // The same knobs in valid combination parse fine.
+    EXPECT_TRUE(parseScenario(
+        "fleetMachines = 2\n"
+        "fleetBalancers = 2\n"
+        "clientTimeoutSec = 0.05\n"
+        "faultPlan = lb_crash@0.01-0.02:target=1\n",
+        out, err)) << err;
+}
+
+TEST(Scenario, ShrinkDropsFleetTierAndItsEventsFirst)
+{
+    Scenario big;
+    big.fleetMachines = 4;
+    big.fleetBalancers = 2;
+    big.fleetPolicy = "rr";
+    big.clientTimeoutSec = 0.05;
+    big.faultPlan = "machine_crash@0.01-0.02:target=3,mode=blackhole;"
+                    "loss_burst@0.01-0.02:rate=0.2";
+
+    // A predicate independent of the fleet: the shrinker must leave the
+    // tier behind and keep the scenario valid at every step.
+    auto fails = [](const Scenario &c) {
+        std::string err;
+        Scenario parsed;
+        EXPECT_TRUE(parseScenario(serializeScenario(c), parsed, err))
+            << err;
+        return c.lossRate == 0.0;   // always true here
+    };
+    Scenario out = shrinkScenario(big, fails, 200);
+    EXPECT_EQ(out.fleetMachines, 0);
+    // The fleet-only event went with the tier; nothing invalid remains.
+    EXPECT_EQ(out.faultPlan.find("machine_crash"), std::string::npos);
+}
+
+TEST(Scenario, RunFleetScenarioEndToEnd)
+{
+    Scenario s;
+    s.seed = 77;
+    s.cores = 2;
+    s.maxConns = 300;
+    s.concurrencyPerCore = 20;
+    s.kernel = "fastsocket";
+    s.fleetMachines = 2;
+    s.fleetBalancers = 2;
+    s.clientTimeoutSec = 0.05;
+    s.clientRtoMsec = 5.0;
+    s.faultPlan = "machine_crash@0.002-0.008:target=1,mode=rst";
+    ScenarioResult r = runScenario(s);
+    EXPECT_TRUE(r.ok()) << r.summary();
+    EXPECT_TRUE(r.drained);
+    EXPECT_TRUE(r.deterministic);
+    EXPECT_GT(r.invariants.checksRun, 0u);
+}
+
 } // anonymous namespace
 } // namespace fsim

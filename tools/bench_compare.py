@@ -19,6 +19,16 @@ metrics are compared against the baseline:
   - DES-core throughput (events_per_sec, wall_per_sim_sec from the v7
     sim_core block, compared only when both rows are wall-stamped):
     events_per_sec higher is better, wall_per_sim_sec lower is better
+  - fleet health (request_success_ratio higher is better,
+    flows_active_peak lower is better, from the v8 fleet block;
+    compared only on rows where the fleet tier is enabled)
+
+A metric that is present (or comparable) in the baseline but absent or
+gated out of the candidate is reported as an explicit MISSING
+regression — never silently skipped: a latency percentile that
+disappears because the candidate stopped sampling is a data loss, not
+a pass. The reverse direction (new in candidate) is reported as a
+note. Metrics absent from both sides are skipped.
 
 Improvements beyond the threshold are reported as such, never fatal.
 Accepts any schema version from v2 on (the compared keys exist in all
@@ -30,9 +40,11 @@ import json
 import sys
 
 DEFAULT_THRESHOLD = 0.05
-HIGHER_BETTER = ("cps", "rps", "served", "events_per_sec")
+HIGHER_BETTER = ("cps", "rps", "served", "events_per_sec",
+                 "request_success_ratio")
 LOWER_BETTER = ("latency_p50_ticks", "latency_p99_ticks",
-                "bytes_per_conn", "wall_per_sim_sec")
+                "bytes_per_conn", "wall_per_sim_sec",
+                "flows_active_peak")
 MIN_SCHEMA = 2
 
 
@@ -61,6 +73,13 @@ def metric_value(row, name):
         # baselines/candidates simply skip the comparison.
         v = row.get("sim_core", {}).get(name)
         return float(v) if isinstance(v, (int, float)) else None
+    if name in ("request_success_ratio", "flows_active_peak"):
+        # v8 fleet: meaningful only on rows with the fleet tier up.
+        fl = row.get("fleet", {})
+        if not fl.get("enabled"):
+            return None
+        v = fl.get(name)
+        return float(v) if isinstance(v, (int, float)) else None
     if name in HIGHER_BETTER:
         v = row.get("metrics", {}).get(name)
         return float(v) if isinstance(v, (int, float)) else None
@@ -86,7 +105,20 @@ def compare_rows(label, base, cand, metrics, threshold):
     for m in metrics:
         bv = metric_value(base, m)
         cv = metric_value(cand, m)
-        if bv is None or cv is None:
+        if bv is None and cv is None:
+            continue
+        # A one-sided metric is an explicit diff, never a silent skip:
+        # losing a comparable metric (stopped sampling, block gated
+        # out, older schema) is itself a regression; gaining one is
+        # worth a note but cannot fail the comparison.
+        if cv is None:
+            regressions.append(
+                f"{label}: {m} {bv:.6g} in baseline but MISSING "
+                f"(absent or gated) in candidate")
+            continue
+        if bv is None:
+            print(f"note: {label}: {m} {cv:.6g} in candidate has no "
+                  f"baseline value (absent or gated)")
             continue
         if bv == 0:
             continue    # cannot express a relative delta

@@ -31,6 +31,11 @@ Checks (stdlib only, used by CI and by hand after editing the exporter):
     wall-clock trio (wall_seconds, events_per_sec, wall_per_sim_sec)
     appears all-or-none and, when present, is positive and consistent
     (events_per_sec == events_run / wall_seconds)
+  - (v8) per-row fleet block (N-machine topology + L4 balancer tier):
+    always present; enabled=false rows carry all-zero counters; flow
+    conservation (created == retired + active), active <= active_peak,
+    drains started >= completed, probe failures <= probes sent, and
+    request_success_ratio in [0, 1]
 Exit status 0 iff every document passes.
 """
 
@@ -38,7 +43,7 @@ import json
 import re
 import sys
 
-KNOWN_SCHEMA_VERSIONS = (2, 3, 4, 5, 6, 7)
+KNOWN_SCHEMA_VERSIONS = (2, 3, 4, 5, 6, 7, 8)
 
 V3_WINDOW_KEYS = ("completed", "goodput", "syn_retransmits",
                   "syn_cookies_sent", "syn_cookies_validated",
@@ -78,6 +83,21 @@ EXEMPLAR_KEYS = ("percentile", "conn_id", "latency", "unattributed",
                  "stages", "cores")
 
 SIM_CORE_KEYS = ("events_run", "events_scheduled", "sim_ticks")
+
+FLEET_KEYS = ("enabled", "server_machines", "balancers", "policy",
+              "flows_created", "flows_retired", "flows_active",
+              "flows_active_peak", "tuple_reuse", "idle_retired",
+              "forwarded_c2s", "forwarded_s2c", "shed_no_backend",
+              "shed_capacity", "nat_rsts", "bounded_load_fallbacks",
+              "pressure_avoids", "probes_sent", "probe_failures",
+              "ejections", "readmissions", "drains_started",
+              "drains_completed", "undrained_flows", "restarts",
+              "crashes", "lb_crashes", "vip_takeovers", "tx_suppressed",
+              "corpse_rsts", "blackholed", "link_packets",
+              "link_queued_ticks", "request_success_ratio")
+# Zero on a single-machine (fleet-disabled) row: no balancer tier ran.
+FLEET_DISABLED_ZERO_KEYS = tuple(
+    k for k in FLEET_KEYS if k not in ("enabled", "policy"))
 
 CONN_KEYS = ("tcb_live", "tcb_live_peak", "tcb_created", "slab_bytes",
              "bytes_per_conn", "established_curr", "established_peak",
@@ -326,6 +346,44 @@ def validate(path):
                 if sc.get("wall_per_sim_sec", 1) <= 0:
                     return fail(path, f"{where}.sim_core: "
                                       f"wall_per_sim_sec not positive")
+
+        if version >= 8:
+            fl = row.get("fleet")
+            if not isinstance(fl, dict) or not require(
+                    fl, FLEET_KEYS, path, f"{where}.fleet"):
+                return fail(path, f"{where}.fleet missing or malformed")
+            if not isinstance(fl["policy"], str):
+                return fail(path, f"{where}.fleet.policy is not a "
+                                  f"string")
+            if not fl["enabled"]:
+                dirty = [k for k in FLEET_DISABLED_ZERO_KEYS if fl[k]]
+                if dirty:
+                    return fail(path, f"{where}.fleet: disabled but "
+                                      f"non-zero {dirty}")
+            else:
+                if fl["server_machines"] < 1 or fl["balancers"] < 1:
+                    return fail(path, f"{where}.fleet: enabled with "
+                                      f"empty topology")
+                # Every flow the balancer tier ever created either
+                # retired or is still in a flow table at collection.
+                if fl["flows_created"] != (fl["flows_retired"] +
+                                           fl["flows_active"]):
+                    return fail(path, f"{where}.fleet: flows_created "
+                                      f"{fl['flows_created']} != "
+                                      f"retired + active")
+                if fl["flows_active"] > fl["flows_active_peak"]:
+                    return fail(path, f"{where}.fleet: flows_active > "
+                                      f"flows_active_peak")
+                if fl["drains_completed"] > fl["drains_started"]:
+                    return fail(path, f"{where}.fleet: drains_completed "
+                                      f"> drains_started")
+                if fl["probe_failures"] > fl["probes_sent"]:
+                    return fail(path, f"{where}.fleet: probe_failures "
+                                      f"> probes_sent")
+                if not 0.0 <= fl["request_success_ratio"] <= 1.0:
+                    return fail(path, f"{where}.fleet: "
+                                      f"request_success_ratio outside "
+                                      f"[0, 1]")
 
         for qname, samples in row["queue_timelines"].items():
             ticks = [s[0] for s in samples]
