@@ -89,7 +89,9 @@ struct BenchArgs
                                  "valid fault event kinds: loss_burst, "
                                  "reorder, duplicate, syn_flood, "
                                  "backend_slow, backend_down, "
-                                 "atr_shrink\n");
+                                 "atr_shrink, machine_crash, "
+                                 "rolling_restart, lb_crash, "
+                                 "machine_degrade, net_partition\n");
                     std::exit(2);
                 }
             } else if (!std::strncmp(argv[i], "--overload=", 11)) {

@@ -228,7 +228,7 @@ randomScenario(Rng &rng)
             // lb_crash only when a peer exists to adopt the VIP;
             // otherwise every client of that VIP is stuck until restore.
             int pick = static_cast<int>(
-                rng.range(s.fleetBalancers > 1 ? 3 : 2));
+                rng.range(s.fleetBalancers > 1 ? 5 : 4));
             switch (pick) {
               case 0:
                 ev.kind = FaultKind::kMachineCrash;
@@ -242,6 +242,29 @@ randomScenario(Rng &rng)
                 ev.kind = FaultKind::kRollingRestart;
                 ev.drainMsec = 2.0 + rng.uniform() * 8.0;
                 ev.downMsec = 1.0 + rng.uniform() * 3.0;
+                break;
+              case 2:
+                // Gray machine: CPU slowdown + lossy/laggy NIC, with
+                // a flapping variant. factor stays > 1 so the event
+                // can never degenerate into the parser's no-op case.
+                ev.kind = FaultKind::kMachineDegrade;
+                ev.target =
+                    static_cast<int>(rng.range(s.fleetMachines));
+                ev.factor = 1.5 + rng.uniform() * 3.0;
+                ev.rate = rng.uniform() * 0.15;
+                ev.jitterUsec = 100.0 + rng.uniform() * 700.0;
+                if (rng.chance(0.4))
+                    ev.flapMsec = 2.0 + rng.uniform() * 5.0;
+                break;
+              case 3:
+                // Partition one balancer from one machine: always two
+                // distinct groups, and indices stay inside the fleet
+                // (resolveGroup aborts on a token naming nothing).
+                ev.kind = FaultKind::kNetPartition;
+                ev.partA = "lb" + std::to_string(
+                    rng.range(s.fleetBalancers));
+                ev.partB = "m" + std::to_string(
+                    rng.range(s.fleetMachines));
                 break;
               default:
                 ev.kind = FaultKind::kLbCrash;
@@ -506,10 +529,23 @@ parseScenario(const std::string &text, Scenario &out, std::string &err)
         // Fleet orchestration events only mean something on the fleet
         // topology, and their targets must exist (the orchestrator
         // asserts the range).
+        // Group tokens resolve against the fleet topology; resolveGroup
+        // aborts on a token that names nothing, so reject those here.
+        auto groupInRange = [&s](const std::string &tok) {
+            if (tok == "clients" || tok == "lbs" || tok == "ms")
+                return true;
+            if (tok.rfind("lb", 0) == 0 && tok.size() > 2)
+                return std::stoi(tok.substr(2)) < s.fleetBalancers;
+            if (tok.size() > 1 && tok[0] == 'm')
+                return std::stoi(tok.substr(1)) < s.fleetMachines;
+            return false;
+        };
         for (const FaultEvent &ev : plan.events) {
             if (ev.kind != FaultKind::kMachineCrash &&
                 ev.kind != FaultKind::kRollingRestart &&
-                ev.kind != FaultKind::kLbCrash)
+                ev.kind != FaultKind::kLbCrash &&
+                ev.kind != FaultKind::kMachineDegrade &&
+                ev.kind != FaultKind::kNetPartition)
                 continue;
             if (s.fleetMachines <= 0) {
                 err = "fleet fault events require fleetMachines > 0";
@@ -520,9 +556,19 @@ parseScenario(const std::string &text, Scenario &out, std::string &err)
                 err = "machine_crash target out of range";
                 return false;
             }
+            if (ev.kind == FaultKind::kMachineDegrade &&
+                (ev.target < 0 || ev.target >= s.fleetMachines)) {
+                err = "machine_degrade target out of range";
+                return false;
+            }
             if (ev.kind == FaultKind::kLbCrash &&
                 ev.target >= s.fleetBalancers) {
                 err = "lb_crash target out of range";
+                return false;
+            }
+            if (ev.kind == FaultKind::kNetPartition &&
+                (!groupInRange(ev.partA) || !groupInRange(ev.partB))) {
+                err = "net_partition group names nothing in this fleet";
                 return false;
             }
         }
@@ -651,7 +697,10 @@ bool
 isFleetKind(FaultKind k)
 {
     return k == FaultKind::kMachineCrash ||
-           k == FaultKind::kRollingRestart || k == FaultKind::kLbCrash;
+           k == FaultKind::kRollingRestart ||
+           k == FaultKind::kLbCrash ||
+           k == FaultKind::kMachineDegrade ||
+           k == FaultKind::kNetPartition;
 }
 
 /** Plan text minus the fleet-orchestration events ("" if none left). */
@@ -672,9 +721,10 @@ withoutFleetEvents(const std::string &planText)
     return serializeFaultPlan(kept);
 }
 
-/** Plan text with machine_crash targets clamped below @p machines. */
+/** Plan text with per-machine fleet targets clamped below @p machines:
+ *  crash/degrade target indices and partition "m<s>" group tokens. */
 std::string
-clampCrashTargets(const std::string &planText, int machines)
+clampFleetTargets(const std::string &planText, int machines)
 {
     if (planText.empty())
         return planText;
@@ -682,9 +732,20 @@ clampCrashTargets(const std::string &planText, int machines)
     std::string err;
     if (!parseFaultPlan(planText, plan, err))
         return planText;
-    for (FaultEvent &ev : plan.events)
-        if (ev.kind == FaultKind::kMachineCrash)
+    auto clampMachineTok = [machines](std::string &tok) {
+        if (tok != "ms" && tok.size() > 1 && tok[0] == 'm')
+            tok = "m" + std::to_string(std::min(
+                            std::stoi(tok.substr(1)), machines - 1));
+    };
+    for (FaultEvent &ev : plan.events) {
+        if (ev.kind == FaultKind::kMachineCrash ||
+            ev.kind == FaultKind::kMachineDegrade)
             ev.target = std::min(ev.target, machines - 1);
+        if (ev.kind == FaultKind::kNetPartition) {
+            clampMachineTok(ev.partA);
+            clampMachineTok(ev.partB);
+        }
+    }
     return serializeFaultPlan(plan);
 }
 
@@ -724,11 +785,14 @@ shrinkCandidates(const Scenario &s)
         if (s.fleetMachines > 2) {
             Scenario d = s;
             d.fleetMachines = 2;
-            d.faultPlan = clampCrashTargets(s.faultPlan, 2);
+            d.faultPlan = clampFleetTargets(s.faultPlan, 2);
             push(d);
         }
+        // Dropping to one balancer invalidates events that name a
+        // specific balancer (lb_crash target, partition lb<k> groups).
         if (s.fleetBalancers > 1 &&
-            !planHasKind(s.faultPlan, FaultKind::kLbCrash)) {
+            !planHasKind(s.faultPlan, FaultKind::kLbCrash) &&
+            !planHasKind(s.faultPlan, FaultKind::kNetPartition)) {
             Scenario d = s;
             d.fleetBalancers = 1;
             push(d);

@@ -78,6 +78,13 @@ CpuModel::runNext(CoreId c)
     Tick end = task(start);
     if (end < start)
         fsim_panic("task finished before it started");
+    // Gray-machine degrade: stretch the task's busy window. Integer
+    // math keeps same-seed runs bit-identical; stretching before the
+    // root phase frame closes keeps attributed cycles == busy ticks.
+    if (slowdownPermille_ > 1000) {
+        Tick work = end - start;
+        end += work * (slowdownPermille_ - 1000) / 1000;
+    }
     if (tracer_) {
         tracer_->popPhase(c, end);
         if (softirq)

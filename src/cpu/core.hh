@@ -123,6 +123,21 @@ class CpuModel
     void setTracer(Tracer *tracer) { tracer_ = tracer; }
     Tracer *tracer() { return tracer_; }
 
+    /**
+     * Degrade (or restore) the whole machine's execution speed: every
+     * task's charged cycles are stretched by @p permille / 1000 at
+     * completion (1000 = nominal, 4000 = 4x slower). Models a gray
+     * machine — thermal throttling, a noisy neighbor, a dying disk
+     * stalling the kernel — whose work still completes, just late.
+     * The stretch is applied before phase attribution closes, so the
+     * attributed-cycles == busy-ticks invariant holds while degraded.
+     */
+    void setSlowdownPermille(std::uint32_t permille)
+    {
+        slowdownPermille_ = permille < 1000 ? 1000 : permille;
+    }
+    std::uint32_t slowdownPermille() const { return slowdownPermille_; }
+
   private:
     void runNext(CoreId c);
 
@@ -130,6 +145,7 @@ class CpuModel
     CacheModel &cache_;
     const CycleCosts &costs_;
     Tracer *tracer_ = nullptr;
+    std::uint32_t slowdownPermille_ = 1000;
     std::vector<Core> cores_;
 };
 

@@ -82,6 +82,8 @@ FaultInjector::arm(const std::vector<IpAddr> &server_addrs,
           case FaultKind::kMachineCrash:
           case FaultKind::kRollingRestart:
           case FaultKind::kLbCrash:
+          case FaultKind::kMachineDegrade:
+          case FaultKind::kNetPartition:
             // Fleet orchestration: meaningless on a single machine.
             // The FleetTestbed consumes these itself before arming the
             // injector with the remaining wire/backend events.

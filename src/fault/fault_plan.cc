@@ -1,5 +1,7 @@
 #include "fault/fault_plan.hh"
 
+#include <cctype>
+#include <cmath>
 #include <sstream>
 
 namespace fsim
@@ -25,6 +27,8 @@ constexpr KindName kKinds[] = {
     {FaultKind::kMachineCrash, "machine_crash"},
     {FaultKind::kRollingRestart, "rolling_restart"},
     {FaultKind::kLbCrash, "lb_crash"},
+    {FaultKind::kMachineDegrade, "machine_degrade"},
+    {FaultKind::kNetPartition, "net_partition"},
 };
 
 std::string
@@ -82,6 +86,104 @@ numStr(double v)
     return os.str();
 }
 
+/** @name Strict numeric parsing
+ *  std::stod/stoi happily stop at the first bad character ("1.5x"
+ *  parses as 1.5) and accept inf/nan, which sail through range checks
+ *  like `0 <= start < end` (every NaN comparison is false). Plans are
+ *  user input, so every number must consume the whole token and be
+ *  finite; the caller reports the offending token.
+ */
+/** @{ */
+bool
+strictDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    try {
+        std::size_t pos = 0;
+        double v = std::stod(s, &pos);
+        if (pos != s.size() || !std::isfinite(v))
+            return false;
+        out = v;
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+bool
+strictInt(const std::string &s, int &out)
+{
+    if (s.empty())
+        return false;
+    try {
+        std::size_t pos = 0;
+        int v = std::stoi(s, &pos);
+        if (pos != s.size())
+            return false;
+        out = v;
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+bool
+strictU32(const std::string &s, std::uint32_t &out)
+{
+    if (s.empty() || s[0] == '-')
+        return false;
+    try {
+        std::size_t pos = 0;
+        unsigned long v = std::stoul(s, &pos);
+        if (pos != s.size() || v > 0xffffffffUL)
+            return false;
+        out = static_cast<std::uint32_t>(v);
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+bool
+strictU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty() || s[0] == '-')
+        return false;
+    try {
+        std::size_t pos = 0;
+        unsigned long long v = std::stoull(s, &pos);
+        if (pos != s.size())
+            return false;
+        out = v;
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+/** @} */
+
+/** net_partition group token: clients | lbs | ms | lb<k> | m<s>. */
+bool
+validGroupToken(const std::string &tok)
+{
+    if (tok == "clients" || tok == "lbs" || tok == "ms")
+        return true;
+    std::size_t digits = 0;
+    if (tok.compare(0, 2, "lb") == 0)
+        digits = 2;
+    else if (tok.compare(0, 1, "m") == 0)
+        digits = 1;
+    else
+        return false;
+    if (tok.size() == digits)
+        return false;
+    for (std::size_t i = digits; i < tok.size(); ++i)
+        if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+            return false;
+    return true;
+}
+
 } // anonymous namespace
 
 const char *
@@ -113,9 +215,7 @@ parseFaultPlan(const std::string &text, FaultPlan &out, std::string &err)
 
         // Plan-level seed: a bare "seed=N" element.
         if (item.compare(0, 5, "seed=") == 0) {
-            try {
-                plan.seed = std::stoull(trim(item.substr(5)));
-            } catch (const std::exception &) {
+            if (!strictU64(trim(item.substr(5)), plan.seed)) {
                 err = "bad fault plan seed '" + item + "'";
                 return false;
             }
@@ -147,11 +247,10 @@ parseFaultPlan(const std::string &text, FaultPlan &out, std::string &err)
                   "startSec-endSec";
             return false;
         }
-        try {
-            ev.startSec = std::stod(trim(window.substr(0, dash)));
-            ev.endSec = std::stod(trim(window.substr(dash + 1)));
-        } catch (const std::exception &) {
-            err = "fault event '" + item + "': bad window time";
+        if (!strictDouble(trim(window.substr(0, dash)), ev.startSec) ||
+            !strictDouble(trim(window.substr(dash + 1)), ev.endSec)) {
+            err = "fault event '" + item + "': bad window time '" +
+                  window + "' (want finite startSec-endSec)";
             return false;
         }
         if (ev.startSec < 0.0 || ev.endSec <= ev.startSec) {
@@ -174,42 +273,60 @@ parseFaultPlan(const std::string &text, FaultPlan &out, std::string &err)
                 }
                 std::string key = trim(kv.substr(0, eq));
                 std::string val = trim(kv.substr(eq + 1));
-                try {
-                    if (key == "rate")
-                        ev.rate = std::stod(val);
-                    else if (key == "factor")
-                        ev.factor = std::stod(val);
-                    else if (key == "target")
-                        ev.target = std::stoi(val);
-                    else if (key == "jitter")
-                        ev.jitterUsec = std::stod(val);
-                    else if (key == "size")
-                        ev.tableSize = static_cast<std::uint32_t>(
-                            std::stoul(val));
-                    else if (key == "mode") {
-                        if (val == "rst")
-                            ev.mode = FaultEvent::CrashMode::kRst;
-                        else if (val == "blackhole")
-                            ev.mode = FaultEvent::CrashMode::kBlackhole;
-                        else {
-                            err = "fault event '" + item + "': mode must "
-                                  "be rst or blackhole";
-                            return false;
-                        }
-                    } else if (key == "drain_ms")
-                        ev.drainMsec = std::stod(val);
-                    else if (key == "down_ms")
-                        ev.downMsec = std::stod(val);
+                bool numOk = true;
+                if (key == "rate")
+                    numOk = strictDouble(val, ev.rate);
+                else if (key == "factor")
+                    numOk = strictDouble(val, ev.factor);
+                else if (key == "target")
+                    numOk = strictInt(val, ev.target);
+                else if (key == "jitter")
+                    numOk = strictDouble(val, ev.jitterUsec);
+                else if (key == "size")
+                    numOk = strictU32(val, ev.tableSize);
+                else if (key == "mode") {
+                    if (val == "rst")
+                        ev.mode = FaultEvent::CrashMode::kRst;
+                    else if (val == "blackhole")
+                        ev.mode = FaultEvent::CrashMode::kBlackhole;
                     else {
-                        err = "fault event '" + item + "': unknown "
-                              "parameter '" + key + "' (valid: rate, "
-                              "factor, target, jitter, size, mode, "
-                              "drain_ms, down_ms)";
+                        err = "fault event '" + item + "': mode must "
+                              "be rst or blackhole";
                         return false;
                     }
-                } catch (const std::exception &) {
-                    err = "fault event '" + item + "': bad value for '" +
-                          key + "'";
+                } else if (key == "drain_ms")
+                    numOk = strictDouble(val, ev.drainMsec);
+                else if (key == "down_ms")
+                    numOk = strictDouble(val, ev.downMsec);
+                else if (key == "flap_ms")
+                    numOk = strictDouble(val, ev.flapMsec);
+                else if (key == "a") {
+                    if (!validGroupToken(val)) {
+                        err = "fault event '" + item + "': bad group "
+                              "token '" + val + "' for 'a' (valid: "
+                              "clients, lbs, ms, lb<k>, m<s>)";
+                        return false;
+                    }
+                    ev.partA = val;
+                } else if (key == "b") {
+                    if (!validGroupToken(val)) {
+                        err = "fault event '" + item + "': bad group "
+                              "token '" + val + "' for 'b' (valid: "
+                              "clients, lbs, ms, lb<k>, m<s>)";
+                        return false;
+                    }
+                    ev.partB = val;
+                } else {
+                    err = "fault event '" + item + "': unknown "
+                          "parameter '" + key + "' (valid: rate, "
+                          "factor, target, jitter, size, mode, "
+                          "drain_ms, down_ms, flap_ms, a, b)";
+                    return false;
+                }
+                if (!numOk) {
+                    err = "fault event '" + item + "': bad value '" +
+                          val + "' for '" + key + "' (must be a whole, "
+                          "finite number)";
                     return false;
                 }
             }
@@ -262,6 +379,41 @@ parseFaultPlan(const std::string &text, FaultPlan &out, std::string &err)
             if (ev.drainMsec <= 0.0 || ev.downMsec <= 0.0) {
                 err = "fault event '" + item + "': drain_ms and down_ms "
                       "must be > 0";
+                return false;
+            }
+            break;
+          case FaultKind::kMachineDegrade:
+            if (ev.target < 0) {
+                err = "fault event '" + item + "': needs target >= 0 "
+                      "(machine index)";
+                return false;
+            }
+            if (ev.factor < 1.0) {
+                err = "fault event '" + item + "': machine_degrade "
+                      "needs factor >= 1 (CPU slowdown multiplier)";
+                return false;
+            }
+            if (ev.rate < 0.0 || ev.rate >= 1.0) {
+                err = "fault event '" + item + "': rate (NIC egress "
+                      "loss) must be in [0, 1)";
+                return false;
+            }
+            if (ev.jitterUsec < 0.0 || ev.flapMsec < 0.0) {
+                err = "fault event '" + item + "': jitter and flap_ms "
+                      "must be >= 0";
+                return false;
+            }
+            if (ev.factor == 1.0 && ev.rate == 0.0 &&
+                ev.jitterUsec == 0.0) {
+                err = "fault event '" + item + "': degrade is a no-op "
+                      "(factor=1, rate=0, jitter=0)";
+                return false;
+            }
+            break;
+          case FaultKind::kNetPartition:
+            if (ev.partA == ev.partB) {
+                err = "fault event '" + item + "': partition groups "
+                      "'a' and 'b' must differ";
                 return false;
             }
             break;
@@ -331,6 +483,24 @@ serializeFaultPlan(const FaultPlan &plan)
           case FaultKind::kLbCrash:
             s += ":target=";
             s += std::to_string(e.target);
+            break;
+          case FaultKind::kMachineDegrade:
+            s += ":target=";
+            s += std::to_string(e.target);
+            s += ",factor=";
+            s += numStr(e.factor);
+            s += ",rate=";
+            s += numStr(e.rate);
+            s += ",jitter=";
+            s += numStr(e.jitterUsec);
+            s += ",flap_ms=";
+            s += numStr(e.flapMsec);
+            break;
+          case FaultKind::kNetPartition:
+            s += ":a=";
+            s += e.partA;
+            s += ",b=";
+            s += e.partB;
             break;
         }
     }

@@ -45,6 +45,14 @@ enum class FaultKind
                       //!< server machine inside the window
     kLbCrash,         //!< balancer `target`: lost at start (peer adopts
                       //!< its VIP), back at window end
+    kMachineDegrade,  //!< server machine `target` goes gray: CPU runs
+                      //!< `factor`x slower, its NIC drops `rate` of
+                      //!< egress and adds `jitter` usec of delay;
+                      //!< `flap_ms` > 0 oscillates healthy<->degraded
+                      //!< on that period instead of staying degraded
+    kNetPartition,    //!< blackhole both directions between address
+                      //!< groups `a` and `b` (clients|lbs|ms|lb<k>|m<s>)
+                      //!< for the window; the link heals at window end
 };
 
 /** Text name of @p kind (the token the plan grammar uses). */
@@ -73,6 +81,15 @@ struct FaultEvent
     double drainMsec = 50.0;
     /** rolling_restart stop-to-restart downtime, milliseconds. */
     double downMsec = 5.0;
+    /** machine_degrade flap period, milliseconds (0 = steady gray). A
+     *  flapping machine alternates degraded/healthy half-periods,
+     *  starting degraded at window open. */
+    double flapMsec = 0.0;
+    /** net_partition endpoint groups. Tokens: "clients" (the client
+     *  edge), "lbs" (every balancer), "ms" (every server machine),
+     *  "lb<k>" (balancer k), "m<s>" (server machine s). */
+    std::string partA = "lb0";
+    std::string partB = "ms";
 };
 
 /** A run's complete fault schedule. */

@@ -5,6 +5,7 @@
 
 #include "check/fingerprint.hh"
 #include "sim/logging.hh"
+#include "trace/incident_log.hh"
 
 namespace fsim
 {
@@ -25,6 +26,12 @@ const char *
 L4Balancer::policyName(Policy p)
 {
     return p == Policy::kConsistentHash ? "chash" : "rr";
+}
+
+const char *
+L4Balancer::healthModeName(HealthMode m)
+{
+    return m == HealthMode::kBinary ? "binary" : "score";
 }
 
 bool
@@ -57,7 +64,33 @@ L4Balancer::L4Balancer(EventQueue &eq, Wire &fabric, const Config &cfg)
 {
     fsim_assert(cfg_.vip != 0 && cfg_.natIp != 0);
     fsim_assert(cfg_.vip != cfg_.natIp);
-    fsim_assert(cfg_.maxFlows > 0 && cfg_.maxFlows < kNatSpan);
+    // Config validation is user-facing (fsim_fatal, not panic): these
+    // are the PR 8 calibration gotchas promoted to hard errors.
+    if (cfg_.maxFlows == 0 || cfg_.maxFlows >= kNatSpan)
+        fsim_fatal(
+            "L4Balancer: maxFlows=%zu is outside [1, %u): every flow "
+            "pins one NAT source port and only ports %u-65535 are "
+            "NAT-allocatable. Size the table to at least "
+            "offered_rate x client_give_up / balancers, capped at %u.",
+            cfg_.maxFlows, kNatSpan, kNatBase, kNatSpan - 1);
+    if (cfg_.probeInterval > 0 &&
+        (cfg_.probeTimeout == 0 ||
+         cfg_.probeTimeout >= cfg_.probeInterval))
+        fsim_fatal(
+            "L4Balancer: probeTimeout=%llu ticks must sit in "
+            "(0, probeInterval=%llu): each probe must resolve before "
+            "the next round is scheduled or health decisions lag a "
+            "full round and saturated-but-alive targets flap. Raise "
+            "probeInterval or lower probeTimeout (and leave probe "
+            "grace for handshake replies queued behind softirq work).",
+            static_cast<unsigned long long>(cfg_.probeTimeout),
+            static_cast<unsigned long long>(cfg_.probeInterval));
+    if (cfg_.healthMode == HealthMode::kScore &&
+        cfg_.probeInterval == 0)
+        fsim_fatal(
+            "L4Balancer: healthMode=score requires probing "
+            "(probeInterval > 0): the score is built from probe RTT "
+            "evidence.");
     vips_.push_back(cfg_.vip);
 }
 
@@ -115,6 +148,10 @@ L4Balancer::start()
     if (cfg_.probeInterval > 0) {
         fsim_assert(cfg_.probeTimeout > 0 &&
                     cfg_.probeTimeout < cfg_.probeInterval);
+        if (scoreMode())
+            scorer_ = HealthScorer(cfg_.score,
+                                   static_cast<int>(targets_.size()),
+                                   cfg_.probeTimeout);
         eq_.scheduleIn(cfg_.probeInterval, [this] { probeRound(); });
     }
     if (cfg_.gcPeriod > 0 && cfg_.flowIdleTimeout > 0)
@@ -223,6 +260,28 @@ L4Balancer::pickMachine(std::uint64_t key)
             static_cast<double>(flows_.size() + 1) / healthyCount));
 
     const int n = static_cast<int>(targets_.size());
+    // Slow-start readmission: a freshly readmitted target accepts only
+    // a deterministic hash-fraction of first-pass keys until its ramp
+    // completes (the second pass ignores the ramp, so capacity is never
+    // stranded). Keyed per (flow, target) so the accepted subset is
+    // stable across rounds and both balancers agree.
+    auto rampSkip = [this](std::uint64_t key, int m) {
+        if (!scoreMode() || !started_)
+            return false;
+        const double share = scorer_.steerShare(m);
+        if (share >= 1.0)
+            return false;
+        const std::uint64_t h = mix64(
+            key ^ cfg_.seed ^
+            (0x5a10c0deULL + static_cast<std::uint64_t>(m) *
+                                 0x9e3779b97f4a7c15ULL));
+        const double u = static_cast<double>(h >> 11) *
+                         (1.0 / 9007199254740992.0);
+        if (u < share)
+            return false;
+        ++rampSkips_;
+        return true;
+    };
     // First pass skips overfull and pressure-critical targets; with
     // factor >= 1 the cap exceeds the healthy average, so some healthy
     // target is always under it — but a pressure veto can exclude them
@@ -251,6 +310,8 @@ L4Balancer::pickMachine(std::uint64_t key)
                     ++pressureAvoids_;
                     continue;
                 }
+                if (pass == 0 && rampSkip(key, m))
+                    continue;
                 return m;
             }
         } else {
@@ -267,6 +328,8 @@ L4Balancer::pickMachine(std::uint64_t key)
                     ++pressureAvoids_;
                     continue;
                 }
+                if (pass == 0 && rampSkip(key, m))
+                    continue;
                 rrCursor_ = (m + 1) % n;
                 return m;
             }
@@ -311,6 +374,8 @@ L4Balancer::forwardC2s(Flow &f, const Packet &pkt)
                           : Port{80};
     fabric_.transmit(out, eq_.now() + cfg_.forwardDelay);
     ++forwardedC2s_;
+    if (scoreMode() && pkt.has(kSyn) && !pkt.has(kAck) && f.machine >= 0)
+        scorer_.noteRequestSent(f.machine);
 }
 
 void
@@ -323,6 +388,8 @@ L4Balancer::forwardS2c(Flow &f, const Packet &pkt)
     out.tuple.dport = f.clientPort;
     fabric_.transmit(out, eq_.now() + cfg_.forwardDelay);
     ++forwardedS2c_;
+    if (scoreMode() && pkt.has(kSyn) && pkt.has(kAck) && f.machine >= 0)
+        scorer_.noteRequestAcked(f.machine);
 }
 
 void
@@ -418,9 +485,10 @@ L4Balancer::onNat(const Packet &pkt)
         if (it == probes_.end())
             return;     // late reply; the deadline already decided
         const int m = it->second.machine;
+        const Tick rtt = eq_.now() - it->second.sent;
         probes_.erase(it);
         if (pkt.has(kSyn) && pkt.has(kAck))
-            probeOk(m);
+            probeOk(m, rtt);
         else
             probeFail(m);
         return;
@@ -446,10 +514,73 @@ void
 L4Balancer::probeRound()
 {
     if (!down_) {
+        // probeTimeout < probeInterval, so every probe of the previous
+        // round has resolved by now: the evidence window is complete.
+        if (scoreMode())
+            scoreRound();
         for (int m = 0; m < static_cast<int>(targets_.size()); ++m)
             sendProbe(m);
     }
     eq_.scheduleIn(cfg_.probeInterval, [this] { probeRound(); });
+}
+
+void
+L4Balancer::scoreRound()
+{
+    const int n = static_cast<int>(targets_.size());
+    scorer_.setRoundTick(eq_.now());
+    std::vector<bool> healthy(n, false), candidate(n, false);
+    for (int m = 0; m < n; ++m) {
+        const Target &t = targets_[m];
+        healthy[m] = t.state == TargetState::kHealthy;
+        candidate[m] = t.state == TargetState::kDown && !t.adminDown;
+    }
+    scorer_.evaluateRound(healthy, candidate, verdicts_);
+
+    int downCount = 0;
+    for (const Target &t : targets_)
+        if (t.state != TargetState::kHealthy)
+            ++downCount;
+
+    for (int m = 0; m < n; ++m) {
+        Target &t = targets_[m];
+        const HealthScorer::Verdict &v = verdicts_[m];
+        if (v.ejectable && t.state == TargetState::kHealthy) {
+            // Cap: never let peer-relative ejection empty the fleet. A
+            // correlated slowdown (which ejecting cannot fix) stops at
+            // the fraction; the worst offenders went first because the
+            // eviction order is target order and streaks mature first
+            // on the machines that turned gray first.
+            const double after =
+                static_cast<double>(downCount + 1) /
+                static_cast<double>(n);
+            if (after > cfg_.score.maxEjectFraction) {
+                ++ejectionsCapped_;
+                continue;
+            }
+            t.state = TargetState::kDown;
+            t.consecFails = 0;
+            t.consecOks = 0;
+            ++downCount;
+            ++ejections_;
+            ++scoreEjections_;
+            scorer_.noteEjected(m);
+            if (incidents_) {
+                incidents_->noteDetect(m, scorer_.detectTick(m));
+                incidents_->noteEject(m, eq_.now());
+            }
+        } else if (v.readmittable && t.state == TargetState::kDown &&
+                   !t.adminDown) {
+            t.state = TargetState::kHealthy;
+            t.consecFails = 0;
+            t.consecOks = 0;
+            --downCount;
+            ++readmissions_;
+            scorer_.noteReadmitted(m);
+            if (incidents_)
+                incidents_->noteRecover(m, eq_.now());
+        }
+    }
 }
 
 void
@@ -460,7 +591,7 @@ L4Balancer::sendProbe(int m)
     ++probeSeq_;
     if (probes_.count(pp))
         return;     // slice wrapped onto an unanswered probe; skip
-    probes_[pp] = Probe{m};
+    probes_[pp] = Probe{m, eq_.now()};
     ++probesSent_;
 
     const Target &t = targets_[m];
@@ -485,8 +616,13 @@ L4Balancer::sendProbe(int m)
 }
 
 void
-L4Balancer::probeOk(int m)
+L4Balancer::probeOk(int m, Tick rtt)
 {
+    if (scoreMode()) {
+        // State flips happen in scoreRound(); here only evidence lands.
+        scorer_.noteProbeRtt(m, rtt);
+        return;
+    }
     Target &t = targets_[m];
     t.consecFails = 0;
     if (t.state == TargetState::kDown && !t.adminDown) {
@@ -494,6 +630,8 @@ L4Balancer::probeOk(int m)
             t.state = TargetState::kHealthy;
             t.consecOks = 0;
             ++readmissions_;
+            if (incidents_)
+                incidents_->noteRecover(m, eq_.now());
         }
     } else {
         t.consecOks = 0;
@@ -504,13 +642,24 @@ void
 L4Balancer::probeFail(int m)
 {
     ++probeFailures_;
+    if (scoreMode()) {
+        scorer_.noteProbeTimeout(m);
+        return;
+    }
     Target &t = targets_[m];
     t.consecOks = 0;
-    if (t.state == TargetState::kHealthy &&
-        ++t.consecFails >= cfg_.fallThreshold) {
-        t.state = TargetState::kDown;
-        t.consecFails = 0;
-        ++ejections_;
+    if (t.state == TargetState::kHealthy) {
+        if (t.consecFails == 0)
+            t.failStreakStart = eq_.now();
+        if (++t.consecFails >= cfg_.fallThreshold) {
+            t.state = TargetState::kDown;
+            t.consecFails = 0;
+            ++ejections_;
+            if (incidents_) {
+                incidents_->noteDetect(m, t.failStreakStart);
+                incidents_->noteEject(m, eq_.now());
+            }
+        }
     }
 }
 
@@ -557,6 +706,11 @@ L4Balancer::counterHash() const
     fp.mix(forwardedC2s_);
     fp.mix(forwardedS2c_);
     fp.mix(downDrops_);
+    fp.mix(scoreEjections_);
+    fp.mix(rampSkips_);
+    fp.mix(ejectionsCapped_);
+    if (scoreMode() && started_)
+        fp.mix(scorer_.stateHash());
     for (const Target &t : targets_) {
         fp.mix(static_cast<std::uint64_t>(t.state));
         fp.mix(t.active);

@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fleet/health.hh"
 #include "net/packet.hh"
 #include "net/wire.hh"
 #include "sim/event_queue.hh"
@@ -43,6 +44,8 @@
 
 namespace fsim
 {
+
+class IncidentLog;
 
 /** One L4 balancer instance (a fleet runs one or more, each with its
  *  own VIP; a survivor adopts a crashed peer's VIP). */
@@ -59,6 +62,15 @@ class L4Balancer
     static const char *policyName(Policy p);
     static bool policyFromName(const std::string &s, Policy &out);
 
+    /** How probe evidence becomes eject/readmit decisions. */
+    enum class HealthMode
+    {
+        kBinary,    //!< consecutive silent probes eject (PR 8 behavior)
+        kScore,     //!< EWMA RTT + success-ratio outlier scoring
+    };
+
+    static const char *healthModeName(HealthMode m);
+
     struct Config
     {
         IpAddr vip = 0;             //!< client-facing virtual IP
@@ -74,6 +86,10 @@ class L4Balancer
         Tick probeTimeout = 0;      //!< silence -> failure after this
         int fallThreshold = 2;      //!< consecutive failures to eject
         int riseThreshold = 1;      //!< consecutive successes to readmit
+        /** kScore swaps the binary fall/rise machine for latency-aware
+         *  outlier scoring (requires probing enabled). */
+        HealthMode healthMode = HealthMode::kBinary;
+        HealthScoreConfig score;    //!< kScore knobs
         Tick flowIdleTimeout = 0;   //!< 0 = idle GC disabled
         Tick gcPeriod = 0;
         Tick forwardDelay = 0;      //!< per-packet rewrite/forward cost
@@ -144,6 +160,13 @@ class L4Balancer
         pressureFn_ = std::move(fn);
     }
 
+    /** Stamp detect/eject/recover moments onto fleet incidents (the
+     *  target index doubles as the fleet machine slot). */
+    void setIncidentLog(IncidentLog *log) { incidents_ = log; }
+
+    /** The health scorer (valid after start() in kScore mode). */
+    const HealthScorer &scorer() const { return scorer_; }
+
     /** @name Counters (all deterministic; folded into fingerprints) */
     /** @{ */
     std::uint64_t flowsCreated() const { return flowsCreated_; }
@@ -168,6 +191,13 @@ class L4Balancer
     std::uint64_t probeFailures() const { return probeFailures_; }
     std::uint64_t ejections() const { return ejections_; }
     std::uint64_t readmissions() const { return readmissions_; }
+    /** Ejections decided by the score outlier machine (subset of
+     *  ejections()). */
+    std::uint64_t scoreEjections() const { return scoreEjections_; }
+    /** First-pass steering skips while a readmitted target ramped. */
+    std::uint64_t rampSkips() const { return rampSkips_; }
+    /** Score-mode ejections vetoed by the eject-fraction cap. */
+    std::uint64_t ejectionsCapped() const { return ejectionsCapped_; }
     std::uint64_t drainsStarted() const { return drainsStarted_; }
     std::uint64_t drainsCompleted() const { return drainsCompleted_; }
     std::uint64_t undrainedFlows() const { return undrainedFlows_; }
@@ -192,6 +222,7 @@ class L4Balancer
         bool adminDown = false;
         int consecFails = 0;
         int consecOks = 0;
+        Tick failStreakStart = 0;   //!< first failure of the streak
         std::uint64_t active = 0;   //!< live flows steered here
     };
 
@@ -217,6 +248,7 @@ class L4Balancer
     struct Probe
     {
         int machine = -1;
+        Tick sent = 0;      //!< for RTT scoring
     };
 
     static std::uint64_t flowKey(IpAddr ip, Port port)
@@ -235,14 +267,23 @@ class L4Balancer
     Port allocNatPort();
     void rebuildRing();
     void probeRound();
+    void scoreRound();
     void sendProbe(int m);
-    void probeOk(int m);
+    void probeOk(int m, Tick rtt);
     void probeFail(int m);
     void gcSweep();
+
+    bool scoreMode() const
+    {
+        return cfg_.healthMode == HealthMode::kScore;
+    }
 
     EventQueue &eq_;
     Wire &fabric_;
     Config cfg_;
+    HealthScorer scorer_;
+    std::vector<HealthScorer::Verdict> verdicts_;
+    IncidentLog *incidents_ = nullptr;
     std::vector<IpAddr> vips_;      //!< own VIP first, then adopted
     std::vector<Target> targets_;
     std::vector<RingEntry> ring_;
@@ -270,6 +311,9 @@ class L4Balancer
     std::uint64_t probeFailures_ = 0;
     std::uint64_t ejections_ = 0;
     std::uint64_t readmissions_ = 0;
+    std::uint64_t scoreEjections_ = 0;
+    std::uint64_t rampSkips_ = 0;
+    std::uint64_t ejectionsCapped_ = 0;
     std::uint64_t drainsStarted_ = 0;
     std::uint64_t drainsCompleted_ = 0;
     std::uint64_t undrainedFlows_ = 0;

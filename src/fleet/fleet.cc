@@ -1,6 +1,8 @@
 #include "fleet/fleet.hh"
 
 #include <algorithm>
+#include <cctype>
+#include <string>
 
 #include "check/fingerprint.hh"
 #include "sim/logging.hh"
@@ -118,6 +120,8 @@ FleetTestbed::FleetTestbed(const FleetConfig &cfg)
         bc.probeTimeout = ticksFromMsec(cfg_.probeTimeoutMsec);
         bc.fallThreshold = cfg_.probeFallThreshold;
         bc.riseThreshold = cfg_.probeRiseThreshold;
+        bc.healthMode = cfg_.healthMode;
+        bc.score = cfg_.healthScore;
         bc.flowIdleTimeout = ticksFromMsec(cfg_.flowIdleTimeoutMsec);
         bc.gcPeriod = ticksFromMsec(cfg_.flowGcPeriodMsec);
         bc.forwardDelay = ticksFromUsec(cfg_.forwardDelayUsec);
@@ -137,6 +141,7 @@ FleetTestbed::FleetTestbed(const FleetConfig &cfg)
             return static_cast<int>(
                 slots_[m].gen.machine->pressure().level());
         });
+        b->setIncidentLog(&incidents_);
         b->attachHandlers();
         b->start();
         balancers_.push_back(std::move(b));
@@ -281,6 +286,10 @@ FleetTestbed::buildGeneration(int s)
     }
 
     sl.gen = std::move(g);
+    // A gray fault is the slot's environment, not one generation's
+    // state: a restart mid-degrade comes back just as sick.
+    if (sl.degraded)
+        applyDegrade(s);
     // Fresh generation, fresh window marks (all its counters are 0).
     sl.gen.machine->markWindow();
     sl.phaseMark = PhaseSnapshot{};
@@ -289,6 +298,42 @@ FleetTestbed::buildGeneration(int s)
     sl.servedMark = 0;
     sl.accessesMark = 0;
     sl.missesMark = 0;
+}
+
+std::vector<std::pair<IpAddr, IpAddr>>
+FleetTestbed::resolveGroup(const std::string &tok) const
+{
+    std::vector<std::pair<IpAddr, IpAddr>> out;
+    if (tok == "clients") {
+        const int clientIps = cfg_.base.clientIps > 0
+                                  ? cfg_.base.clientIps
+                                  : 256;
+        const IpAddr base = HttpLoad::Config{}.clientBase;
+        out.emplace_back(base,
+                         base + static_cast<IpAddr>(clientIps) - 1);
+    } else if (tok == "lbs") {
+        out.emplace_back(vipAddr(0), vipAddr(cfg_.balancers - 1));
+        out.emplace_back(natAddr(0), natAddr(cfg_.balancers - 1));
+    } else if (tok == "ms") {
+        // machineBase blocks are contiguous 0x100 strides.
+        out.emplace_back(machineBase(0),
+                         machineBase(cfg_.serverMachines - 1) + 0xff);
+    } else if (tok.rfind("lb", 0) == 0 && tok.size() > 2) {
+        const int k = std::stoi(tok.substr(2));
+        if (k >= 0 && k < cfg_.balancers) {
+            out.emplace_back(vipAddr(k), vipAddr(k));
+            out.emplace_back(natAddr(k), natAddr(k));
+        }
+    } else if (tok.size() > 1 && tok[0] == 'm') {
+        const int s = std::stoi(tok.substr(1));
+        if (s >= 0 && s < cfg_.serverMachines)
+            out.emplace_back(machineBase(s), machineBase(s) + 0xff);
+    }
+    if (out.empty())
+        fsim_fatal("net_partition: group '%s' names nothing in a fleet "
+                   "of %d machines / %d balancers",
+                   tok.c_str(), cfg_.serverMachines, cfg_.balancers);
+    return out;
 }
 
 void
@@ -303,10 +348,15 @@ FleetTestbed::armFleetFaults()
                         e.target < cfg_.serverMachines);
             const int t = e.target;
             const FaultEvent::CrashMode mode = e.mode;
+            const int id = incidents_.open(IncidentKind::kMachineCrash,
+                                           t, start);
             eq_->schedule(start, [this, t, mode] {
                 crashMachine(t, mode, /*admin=*/false);
             });
-            eq_->schedule(end, [this, t] { restartMachine(t); });
+            eq_->schedule(end, [this, t, id] {
+                restartMachine(t);
+                incidents_.noteCleared(id, eq_->now());
+            });
             break;
           }
           case FaultKind::kRollingRestart: {
@@ -320,14 +370,134 @@ FleetTestbed::armFleetFaults()
           case FaultKind::kLbCrash: {
             fsim_assert(e.target >= 0 && e.target < cfg_.balancers);
             const int t = e.target;
+            // Balancer incidents never collide with machine-slot stamp
+            // routing (targets_ indices are < 64).
+            const int id = incidents_.open(IncidentKind::kLbCrash,
+                                           1000 + t, start);
             eq_->schedule(start, [this, t] { crashBalancer(t); });
-            eq_->schedule(end, [this, t] { restoreBalancer(t); });
+            eq_->schedule(end, [this, t, id] {
+                restoreBalancer(t);
+                incidents_.noteCleared(id, eq_->now());
+            });
+            break;
+          }
+          case FaultKind::kMachineDegrade: {
+            fsim_assert(e.target >= 0 &&
+                        e.target < cfg_.serverMachines);
+            const int t = e.target;
+            const std::uint32_t permille = static_cast<std::uint32_t>(
+                e.factor * 1000.0 + 0.5);
+            const double loss = e.rate;
+            const Tick delay = ticksFromUsec(e.jitterUsec);
+            const Tick half = e.flapMsec > 0
+                                  ? ticksFromMsec(e.flapMsec) / 2
+                                  : 0;
+            const int id = incidents_.open(
+                half > 0 ? IncidentKind::kMachineFlap
+                         : IncidentKind::kMachineDegrade,
+                t, start);
+            if (half > 0) {
+                // Pre-scheduled oscillation: degraded on even
+                // half-periods, nominally healthy on odd ones.
+                int phase = 0;
+                for (Tick at = start; at < end; at += half, ++phase) {
+                    const bool on = phase % 2 == 0;
+                    eq_->schedule(at,
+                                  [this, t, on, permille, loss, delay] {
+                        ++flapTransitions_;
+                        if (on)
+                            degradeMachine(t, permille, loss, delay);
+                        else
+                            clearDegrade(t);
+                    });
+                }
+            } else {
+                eq_->schedule(start, [this, t, permille, loss, delay] {
+                    degradeMachine(t, permille, loss, delay);
+                });
+            }
+            eq_->schedule(end, [this, t, id] {
+                clearDegrade(t);
+                incidents_.noteCleared(id, eq_->now());
+            });
+            break;
+          }
+          case FaultKind::kNetPartition: {
+            const auto as = resolveGroup(e.partA);
+            const auto bs = resolveGroup(e.partB);
+            for (const auto &ra : as) {
+                for (const auto &rb : bs) {
+                    Wire::PartitionSpec p;
+                    p.aFirst = ra.first;
+                    p.aLast = ra.second;
+                    p.bFirst = rb.first;
+                    p.bLast = rb.second;
+                    p.start = start;
+                    p.end = end;
+                    fabric_->addPartition(p);
+                    ++partitionsArmed_;
+                }
+            }
+            // A single-machine side pins the incident to that slot so
+            // eject/recover stamps land; group-to-group partitions stay
+            // fleet-wide (-1).
+            auto singleMachine = [this](const std::string &tok) {
+                if (tok.size() < 2 || tok[0] != 'm' ||
+                    !std::isdigit(static_cast<unsigned char>(tok[1])))
+                    return -1;
+                const int s = std::stoi(tok.substr(1));
+                return s < cfg_.serverMachines ? s : -1;
+            };
+            int target = singleMachine(e.partA);
+            if (target < 0)
+                target = singleMachine(e.partB);
+            const int id = incidents_.open(IncidentKind::kNetPartition,
+                                           target, start);
+            eq_->schedule(end, [this, id] {
+                incidents_.noteCleared(id, eq_->now());
+            });
             break;
           }
           default:
             break;    // armed on the FaultInjector
         }
     }
+}
+
+void
+FleetTestbed::applyDegrade(int s)
+{
+    ServerSlot &sl = slots_.at(s);
+    sl.gen.machine->cpu().setSlowdownPermille(
+        sl.degraded ? sl.slowPermille : 1000);
+    const std::uint64_t seed =
+        cfg_.base.machine.seed ^
+        (0xde64adeULL + static_cast<std::uint64_t>(s) * 0x9e3779b9ULL);
+    sl.gen.port->setDegrade(sl.degraded ? sl.nicLoss : 0.0,
+                            sl.degraded ? sl.nicDelay : 0, seed);
+}
+
+void
+FleetTestbed::degradeMachine(int s, std::uint32_t permille,
+                             double nicLoss, Tick nicDelay)
+{
+    ServerSlot &sl = slots_.at(s);
+    sl.degraded = true;
+    sl.slowPermille = permille < 1000 ? 1000 : permille;
+    sl.nicLoss = nicLoss;
+    sl.nicDelay = nicDelay;
+    ++degradesApplied_;
+    applyDegrade(s);
+}
+
+void
+FleetTestbed::clearDegrade(int s)
+{
+    ServerSlot &sl = slots_.at(s);
+    if (!sl.degraded)
+        return;
+    sl.degraded = false;
+    applyDegrade(s);
 }
 
 void
@@ -633,6 +803,8 @@ FleetTestbed::currentFingerprint() const
         fp.mix(g.app->servedDegraded());
         fp.mix(g.app->shedConns());
         fp.mix(g.port->txSuppressed());
+        fp.mix(g.port->degradeDropped());
+        fp.mix(g.port->degradeDelayed());
         if (g.admission) {
             fp.mix(g.admission->offered());
             fp.mix(g.admission->admitted());
@@ -649,6 +821,11 @@ FleetTestbed::currentFingerprint() const
     fp.mix(vipTakeovers_);
     fp.mix(corpseRsts_);
     fp.mix(blackholed_);
+    fp.mix(degradesApplied_);
+    fp.mix(flapTransitions_);
+    fp.mix(partitionsArmed_);
+    fp.mix(fabric_->partitionDropped());
+    fp.mix(incidents_.hash());
     return fp.value();
 }
 
@@ -862,18 +1039,50 @@ FleetTestbed::collect()
         fl.drainsStarted += b->drainsStarted();
         fl.drainsCompleted += b->drainsCompleted();
         fl.undrainedFlows += b->undrainedFlows();
+        fl.scoreEjections += b->scoreEjections();
+        fl.rampSkips += b->rampSkips();
+        fl.ejectionsCapped += b->ejectionsCapped();
     }
+    fl.healthMode = L4Balancer::healthModeName(cfg_.healthMode);
     fl.restarts = restarts_;
     fl.crashes = crashes_;
     fl.lbCrashes = lbCrashes_;
     fl.vipTakeovers = vipTakeovers_;
     forEachGeneration([&fl](const Generation &g) {
         fl.txSuppressed += g.port->txSuppressed();
+        fl.degradeDropped += g.port->degradeDropped();
+        fl.degradeDelayed += g.port->degradeDelayed();
     });
     fl.corpseRsts = corpseRsts_;
     fl.blackholed = blackholed_;
     fl.linkPackets = fabric_->linkPackets();
     fl.linkQueuedTicks = fabric_->linkQueuedTicks();
+    fl.degradesApplied = degradesApplied_;
+    fl.flapTransitions = flapTransitions_;
+    fl.partitionsArmed = partitionsArmed_;
+    fl.partitionDropped = fabric_->partitionDropped();
+    fl.incidentsTotal = incidents_.count();
+    double mttdSum = 0.0, mttrSum = 0.0;
+    for (const Incident &inc : incidents_.incidents()) {
+        if (inc.detected) {
+            ++fl.incidentsDetected;
+            mttdSum += secondsFromTicks(inc.detectAt - inc.injectAt) *
+                       1000.0;
+        }
+        if (inc.recovered) {
+            ++fl.incidentsRecovered;
+            mttrSum += secondsFromTicks(inc.recoverAt - inc.injectAt) *
+                       1000.0;
+        }
+    }
+    fl.mttdMsMean = fl.incidentsDetected
+                        ? mttdSum / static_cast<double>(
+                                        fl.incidentsDetected)
+                        : 0.0;
+    fl.mttrMsMean = fl.incidentsRecovered
+                        ? mttrSum / static_cast<double>(
+                                        fl.incidentsRecovered)
+                        : 0.0;
     const std::uint64_t winCompleted = load_->completed() -
                                        completedMark_;
     const std::uint64_t winFailed = r.clientFailures;

@@ -43,6 +43,7 @@
 #include "fleet/balancer.hh"
 #include "harness/experiment.hh"
 #include "net/net_port.hh"
+#include "trace/incident_log.hh"
 
 namespace fsim
 {
@@ -74,6 +75,10 @@ struct FleetConfig
     double probeTimeoutMsec = 1.0;
     int probeFallThreshold = 2;
     int probeRiseThreshold = 1;
+    /** kScore replaces the binary fall/rise machine with latency-aware
+     *  outlier scoring (catches gray degradation binary probes miss). */
+    L4Balancer::HealthMode healthMode = L4Balancer::HealthMode::kBinary;
+    HealthScoreConfig healthScore;
     /** @} */
 
     /** @name Draining / failover */
@@ -132,7 +137,19 @@ class FleetTestbed
     bool rollingRestartActive() const { return rollingActive_; }
     void crashBalancer(int k);
     void restoreBalancer(int k);
+    /** Gray degradation: CPU work stretched by @p permille/1000, NIC
+     *  egress dropping @p nicLoss of packets and delaying the rest by
+     *  @p nicDelay. Survives a restart of the slot (the fault is the
+     *  machine's environment, not one generation's state). */
+    void degradeMachine(int s, std::uint32_t permille, double nicLoss,
+                        Tick nicDelay);
+    void clearDegrade(int s);
+    bool machineDegraded(int s) const { return slots_[s].degraded; }
     /** @} */
+
+    /** Incident ledger (inject -> detect -> eject -> recover stamps;
+     *  balancers write the detection-side stamps). */
+    const IncidentLog &incidents() const { return incidents_; }
 
     /** Start client load (idempotent; run() calls it). */
     void startLoad();
@@ -153,6 +170,9 @@ class FleetTestbed
     std::uint64_t restarts() const { return restarts_; }
     std::uint64_t lbCrashes() const { return lbCrashes_; }
     std::uint64_t vipTakeovers() const { return vipTakeovers_; }
+    std::uint64_t degradesApplied() const { return degradesApplied_; }
+    std::uint64_t flapTransitions() const { return flapTransitions_; }
+    std::uint64_t partitionsArmed() const { return partitionsArmed_; }
     /** @} */
 
     /** @name Address plan (stable; tests depend on it) */
@@ -180,6 +200,14 @@ class FleetTestbed
         Generation gen;
         int generation = 0;     //!< 0 = original boot
         bool up = true;
+        /** @name Active gray-degradation parameters (re-applied to a
+         *  fresh generation if the slot restarts mid-fault) */
+        /** @{ */
+        bool degraded = false;
+        std::uint32_t slowPermille = 1000;
+        double nicLoss = 0.0;
+        Tick nicDelay = 0;
+        /** @} */
         /** @name Window marks for the slot's current generation */
         /** @{ */
         PhaseSnapshot phaseMark;
@@ -206,6 +234,11 @@ class FleetTestbed
 
     void buildGeneration(int s);
     void armFleetFaults();
+    void applyDegrade(int s);
+    /** Group token ("clients", "lbs", "ms", "lb<k>", "m<s>") to fabric
+     *  address ranges (first, last). */
+    std::vector<std::pair<IpAddr, IpAddr>>
+    resolveGroup(const std::string &tok) const;
     void advanceRolling();
     void pollDrain(int s, Tick deadline);
     void pollReadmit(int s);
@@ -238,6 +271,10 @@ class FleetTestbed
     std::uint64_t vipTakeovers_ = 0;
     std::uint64_t corpseRsts_ = 0;
     std::uint64_t blackholed_ = 0;
+    std::uint64_t degradesApplied_ = 0;
+    std::uint64_t flapTransitions_ = 0;
+    std::uint64_t partitionsArmed_ = 0;
+    IncidentLog incidents_;
 
     /** @name Fleet-level measurement marks */
     /** @{ */

@@ -1,0 +1,224 @@
+#include "fleet/health.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "check/fingerprint.hh"
+#include "sim/logging.hh"
+
+namespace fsim
+{
+
+namespace
+{
+
+/** Lower median of a sorted vector (deterministic for even sizes). */
+double
+lowerMedian(std::vector<double> &v)
+{
+    fsim_assert(!v.empty());
+    std::sort(v.begin(), v.end());
+    return v[(v.size() - 1) / 2];
+}
+
+} // anonymous namespace
+
+HealthScorer::HealthScorer(const HealthScoreConfig &cfg, int targets,
+                           Tick probe_timeout)
+    : cfg_(cfg), probeTimeout_(probe_timeout), targets_(targets)
+{
+    fsim_assert(targets > 0);
+    fsim_assert(probe_timeout > 0);
+    fsim_assert(cfg_.rttAlpha > 0.0 && cfg_.rttAlpha <= 1.0);
+    fsim_assert(cfg_.successAlpha > 0.0 && cfg_.successAlpha <= 1.0);
+    fsim_assert(cfg_.outlierRounds >= 1 && cfg_.clearRounds >= 1);
+    fsim_assert(cfg_.clearFraction > 0.0 && cfg_.clearFraction <= 1.0);
+    fsim_assert(cfg_.rampRounds >= 1);
+}
+
+void
+HealthScorer::noteProbeRtt(int m, Tick rtt)
+{
+    TargetHealth &t = targets_.at(m);
+    const double sample = static_cast<double>(rtt);
+    t.rttEwma = t.hasRtt
+                    ? (1.0 - cfg_.rttAlpha) * t.rttEwma +
+                          cfg_.rttAlpha * sample
+                    : sample;
+    t.hasRtt = true;
+    ++t.winProbeOk;
+}
+
+void
+HealthScorer::noteProbeTimeout(int m)
+{
+    TargetHealth &t = targets_.at(m);
+    const double sample = cfg_.timeoutPenalty *
+                          static_cast<double>(probeTimeout_);
+    t.rttEwma = t.hasRtt
+                    ? (1.0 - cfg_.rttAlpha) * t.rttEwma +
+                          cfg_.rttAlpha * sample
+                    : sample;
+    t.hasRtt = true;
+    ++t.winProbeBad;
+}
+
+void
+HealthScorer::noteRequestSent(int m)
+{
+    ++targets_.at(m).winDataSent;
+}
+
+void
+HealthScorer::noteRequestAcked(int m)
+{
+    ++targets_.at(m).winDataAcked;
+}
+
+void
+HealthScorer::foldWindow(TargetHealth &t)
+{
+    // Data handshake replies lag their SYNs across round boundaries (a
+    // degraded NIC adds up to a full probe interval of delay), so this
+    // round's acks answer for the PREVIOUS round's steered SYNs; naive
+    // same-round accounting reads acked > sent right after an ejection
+    // (in-flight replies, zero sends) and drives the EWMA above 1 —
+    // i.e. a negative score that readmits a still-sick machine. Probe
+    // handshakes resolve within their own round (the probe deadline is
+    // shorter than the round) and count as same-round mini-requests.
+    const double denom = static_cast<double>(
+        t.prevDataSent + t.winProbeOk + t.winProbeBad);
+    if (denom > 0.0) {
+        const double num = std::min(
+            denom,
+            static_cast<double>(t.winDataAcked + t.winProbeOk));
+        t.successEwma = (1.0 - cfg_.successAlpha) * t.successEwma +
+                        cfg_.successAlpha * (num / denom);
+    }
+    t.score = (t.hasRtt ? t.rttEwma / static_cast<double>(probeTimeout_)
+                        : 0.0) +
+              2.0 * (1.0 - t.successEwma);
+}
+
+void
+HealthScorer::evaluateRound(const std::vector<bool> &healthy,
+                            const std::vector<bool> &candidate,
+                            std::vector<Verdict> &out)
+{
+    const int n = targetCount();
+    fsim_assert(static_cast<int>(healthy.size()) == n);
+    fsim_assert(static_cast<int>(candidate.size()) == n);
+    out.assign(n, Verdict{});
+
+    for (TargetHealth &t : targets_)
+        foldWindow(t);
+
+    // Peer-relative band from the healthy population only: a target
+    // already ejected must not drag the median toward its own misery.
+    std::vector<double> peers;
+    for (int m = 0; m < n; ++m)
+        if (healthy[m])
+            peers.push_back(targets_[m].score);
+    double median = 0.0, mad = 0.0;
+    if (!peers.empty()) {
+        std::vector<double> sorted = peers;
+        median = lowerMedian(sorted);
+        std::vector<double> dev;
+        dev.reserve(peers.size());
+        for (double s : peers)
+            dev.push_back(std::fabs(s - median));
+        mad = lowerMedian(dev);
+    }
+    const double deviation = std::max(cfg_.madK * mad,
+                                      cfg_.minDeviation);
+    const double band = median + deviation;
+    // Readmission band is tighter (Schmitt trigger): an ejected target
+    // carries no data traffic, so its probe-only evidence reads better
+    // than the loaded peers' — clearing at the ejection band would
+    // flap a steadily gray machine in and out of the steering set.
+    const double clearBand = median + cfg_.clearFraction * deviation;
+
+    for (int m = 0; m < n; ++m) {
+        TargetHealth &t = targets_[m];
+        Verdict &v = out[m];
+        if (healthy[m]) {
+            if (t.rampRound < cfg_.rampRounds)
+                ++t.rampRound;
+            v.outlier = t.score > band;
+            if (v.outlier) {
+                if (t.outlierStreak == 0)
+                    t.detectTick = roundTick_;
+                ++t.outlierStreak;
+            } else {
+                t.outlierStreak = 0;
+            }
+            t.clearStreak = 0;
+            v.ejectable = t.outlierStreak >= cfg_.outlierRounds;
+        } else if (candidate[m]) {
+            // Readmission: a round counts as clear when every probe of
+            // the window came back AND the blended score sits inside
+            // the healthy band (a gray machine answering probes slowly
+            // keeps failing this).
+            const bool responsive = t.winProbeOk > 0 &&
+                                    t.winProbeBad == 0;
+            const bool clear = responsive && t.score <= clearBand;
+            t.clearStreak = clear ? t.clearStreak + 1 : 0;
+            t.outlierStreak = 0;
+            v.readmittable = t.clearStreak >= cfg_.clearRounds;
+        } else {
+            // Admin-down / draining: no verdicts, streaks idle.
+            t.outlierStreak = 0;
+            t.clearStreak = 0;
+        }
+        t.prevDataSent = t.winDataSent;
+        t.winDataSent = 0;
+        t.winDataAcked = 0;
+        t.winProbeOk = 0;
+        t.winProbeBad = 0;
+    }
+}
+
+void
+HealthScorer::noteReadmitted(int m)
+{
+    TargetHealth &t = targets_.at(m);
+    t.rampRound = 0;
+    t.clearStreak = 0;
+    t.outlierStreak = 0;
+}
+
+void
+HealthScorer::noteEjected(int m)
+{
+    TargetHealth &t = targets_.at(m);
+    t.clearStreak = 0;
+    t.outlierStreak = 0;
+}
+
+double
+HealthScorer::steerShare(int m) const
+{
+    const TargetHealth &t = targets_.at(m);
+    if (t.rampRound >= cfg_.rampRounds)
+        return 1.0;
+    return static_cast<double>(t.rampRound + 1) /
+           static_cast<double>(cfg_.rampRounds);
+}
+
+std::uint64_t
+HealthScorer::stateHash() const
+{
+    Fingerprint fp;
+    for (const TargetHealth &t : targets_) {
+        fp.mix(t.rttEwma);
+        fp.mix(t.successEwma);
+        fp.mix(t.score);
+        fp.mix(static_cast<std::uint64_t>(t.outlierStreak));
+        fp.mix(static_cast<std::uint64_t>(t.clearStreak));
+        fp.mix(static_cast<std::uint64_t>(
+            std::min(t.rampRound, cfg_.rampRounds)));
+    }
+    return fp.value();
+}
+
+} // namespace fsim

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Latency-aware health scoring for the balancer tier.
+ *
+ * The binary probe state machine (consecutive silent probes => eject)
+ * only sees total failure. A gray machine — slow CPU, lossy NIC,
+ * flapping — keeps answering probes inside the timeout while its tail
+ * latency destroys the short-lived-connection workload. The scorer
+ * replaces the threshold with peer-relative statistics:
+ *
+ *   score(m) = rttEwma(m) / probeTimeout + 2 * (1 - successEwma(m))
+ *
+ * where rttEwma blends answered-probe RTTs (an unanswered probe counts
+ * as a timeoutPenalty * probeTimeout sample) and successEwma blends
+ * each round's request success ratio: this round's data SYN-ACKs
+ * against the previous round's steered SYNs (replies lag their SYNs
+ * across round boundaries), plus the probe handshakes themselves, so
+ * a drained target still produces evidence. A target is an *outlier*
+ * when its score exceeds the
+ * healthy-peer lower median by more than max(madK * MAD, minDeviation)
+ * — peer-relative, so no absolute latency threshold needs tuning and a
+ * fleet-wide slowdown (which ejecting cannot fix) ejects nobody.
+ *
+ * Decisions are hysteresis-guarded streaks: outlierRounds consecutive
+ * outlier rounds to report ejectable, clearRounds consecutive
+ * responsive + in-band rounds to report readmittable (against a
+ * clearFraction-tightened band, so eject/readmit form a Schmitt
+ * trigger instead of oscillating on a steady gray fault), and a fresh
+ * readmission re-enters through a slow-start ramp (steerShare grows
+ * linearly over rampRounds) so a still-sick machine receives a trickle,
+ * not a thundering herd. The balancer owns the actual state flips (and
+ * the eject-fraction cap); the scorer is pure bookkeeping over probe
+ * and forwarding evidence, which keeps it unit-testable.
+ *
+ * Everything is deterministic: EWMA updates happen in event order,
+ * round evaluation in target order, no RNG anywhere.
+ */
+
+#ifndef FSIM_FLEET_HEALTH_HH
+#define FSIM_FLEET_HEALTH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace fsim
+{
+
+/** Scoring + hysteresis knobs (defaults tuned for the chaos bench). */
+struct HealthScoreConfig
+{
+    double rttAlpha = 0.3;          //!< EWMA weight of a new RTT sample
+    double successAlpha = 0.3;      //!< EWMA weight of a round's ratio
+    /** Unanswered probe counts as this many probeTimeouts of RTT. */
+    double timeoutPenalty = 2.0;
+    double madK = 4.0;              //!< outlier threshold multiplier
+    /** Absolute deviation floor added under k*MAD: when the healthy
+     *  peers agree tightly, MAD approaches 0 and any noise would eject
+     *  someone. (In probeTimeout-normalized score units.) */
+    double minDeviation = 0.35;
+    int outlierRounds = 3;          //!< consecutive rounds to eject
+    int clearRounds = 4;            //!< consecutive rounds to readmit
+    /** Readmission band as a fraction of the ejection band's deviation
+     *  (Schmitt-trigger hysteresis). An ejected target stops carrying
+     *  data traffic, so its probe-only evidence looks cleaner than the
+     *  loaded peers' — readmitting at the same band it was ejected at
+     *  makes a steadily gray machine oscillate eject/readmit forever.
+     *  Clearing must beat the stricter band. */
+    double clearFraction = 0.5;
+    /** Never score-eject past this fraction of the target set: a
+     *  partition that grays out half the fleet must not empty it. */
+    double maxEjectFraction = 0.5;
+    int rampRounds = 8;             //!< slow-start rounds to full share
+};
+
+/** Per-target evidence accumulator + round evaluator. */
+class HealthScorer
+{
+  public:
+    HealthScorer() = default;
+    HealthScorer(const HealthScoreConfig &cfg, int targets,
+                 Tick probe_timeout);
+
+    /** @name Evidence (called as probes/forwards resolve) */
+    /** @{ */
+    void noteProbeRtt(int m, Tick rtt);     //!< answered probe
+    void noteProbeTimeout(int m);           //!< silent (or RST) probe
+    void noteRequestSent(int m);            //!< data SYN steered to m
+    void noteRequestAcked(int m);           //!< data SYN-ACK back from m
+    /** @} */
+
+    /** One target's round classification. */
+    struct Verdict
+    {
+        bool outlier = false;       //!< healthy target out of band
+        bool ejectable = false;     //!< outlier streak hit the threshold
+        bool readmittable = false;  //!< down target's clear streak hit
+    };
+
+    /**
+     * Close the evidence window and classify every target.
+     *
+     * @param healthy    targets currently in the steering set (the
+     *                   peer population the median/MAD come from).
+     * @param candidate  down targets eligible for readmission (not
+     *                   admin-stopped).
+     * @param out        resized and filled, one Verdict per target.
+     */
+    void evaluateRound(const std::vector<bool> &healthy,
+                       const std::vector<bool> &candidate,
+                       std::vector<Verdict> &out);
+
+    /** The balancer readmitted @p m: restart its slow-start ramp. */
+    void noteReadmitted(int m);
+
+    /** The balancer ejected @p m (score or binary path): reset streaks
+     *  so a later readmission starts clean. */
+    void noteEjected(int m);
+
+    /** Steering share in [0,1]; < 1 while the readmission ramp runs. */
+    double steerShare(int m) const;
+
+    /** Current (last-evaluated) score; timeouts-normalized units. */
+    double score(int m) const { return targets_.at(m).score; }
+    int outlierStreak(int m) const { return targets_.at(m).outlierStreak; }
+    int clearStreak(int m) const { return targets_.at(m).clearStreak; }
+    /** Tick of the first outlier round of the current streak (valid
+     *  while outlierStreak > 0; detection timestamp for incidents). */
+    Tick detectTick(int m) const { return targets_.at(m).detectTick; }
+    void setRoundTick(Tick t) { roundTick_ = t; }
+
+    int targetCount() const { return static_cast<int>(targets_.size()); }
+
+    /** Fold scorer state into a run fingerprint. */
+    std::uint64_t stateHash() const;
+
+  private:
+    struct TargetHealth
+    {
+        double rttEwma = 0.0;       //!< ticks
+        bool hasRtt = false;
+        double successEwma = 1.0;
+        /** @name Request window: acks lag their SYNs across round
+         *  boundaries, so a round's acks answer for the previous
+         *  round's sends (see foldWindow). */
+        /** @{ */
+        std::uint64_t winDataSent = 0;
+        std::uint64_t winDataAcked = 0;
+        std::uint64_t prevDataSent = 0;
+        /** @} */
+        double score = 0.0;
+        int outlierStreak = 0;
+        int clearStreak = 0;
+        Tick detectTick = 0;
+        /** Rounds since readmission; >= rampRounds = full share. */
+        int rampRound = 1 << 20;
+        /** Probe evidence seen this round (for readmission candidacy). */
+        int winProbeOk = 0;
+        int winProbeBad = 0;
+    };
+
+    void foldWindow(TargetHealth &t);
+
+    HealthScoreConfig cfg_;
+    Tick probeTimeout_ = 1;
+    Tick roundTick_ = 0;
+    std::vector<TargetHealth> targets_;
+};
+
+} // namespace fsim
+
+#endif // FSIM_FLEET_HEALTH_HH

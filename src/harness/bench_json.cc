@@ -312,6 +312,22 @@ BenchJsonReport::str() const
         w.key("link_packets").value(fl.linkPackets);
         w.key("link_queued_ticks").value(fl.linkQueuedTicks);
         w.key("request_success_ratio").value(fl.requestSuccessRatio);
+        // v9: gray-failure detection and incident MTTR summary.
+        w.key("health_mode").value(fl.healthMode);
+        w.key("score_ejections").value(fl.scoreEjections);
+        w.key("ramp_skips").value(fl.rampSkips);
+        w.key("ejections_capped").value(fl.ejectionsCapped);
+        w.key("degrades_applied").value(fl.degradesApplied);
+        w.key("flap_transitions").value(fl.flapTransitions);
+        w.key("partitions_armed").value(fl.partitionsArmed);
+        w.key("degrade_dropped").value(fl.degradeDropped);
+        w.key("degrade_delayed").value(fl.degradeDelayed);
+        w.key("partition_dropped").value(fl.partitionDropped);
+        w.key("incidents_total").value(fl.incidentsTotal);
+        w.key("incidents_detected").value(fl.incidentsDetected);
+        w.key("incidents_recovered").value(fl.incidentsRecovered);
+        w.key("mttd_ms_mean").value(fl.mttdMsMean);
+        w.key("mttr_ms_mean").value(fl.mttrMsMean);
         w.endObject();
 
         w.key("lock_windows").beginArray();

@@ -42,8 +42,12 @@ class BenchJsonReport
      *  v8: per-row "fleet" block (N-machine topology: balancer flow
      *  table, steering/shed counters, health probing, drain/restart
      *  orchestration, fabric-edge accounting, request success ratio;
-     *  enabled=false with zero counters on single-machine rows). */
-    static constexpr int kSchemaVersion = 8;
+     *  enabled=false with zero counters on single-machine rows).
+     *  v9: gray-failure fields in "fleet" (health_mode, score-based
+     *  ejection/ramp counters, degrade/flap/partition accounting, and
+     *  the incident ledger summary: counts + mean time-to-detect and
+     *  time-to-recover in milliseconds). */
+    static constexpr int kSchemaVersion = 9;
 
     explicit BenchJsonReport(std::string bench_name);
 

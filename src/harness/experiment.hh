@@ -320,6 +320,27 @@ struct FleetResult
 
     /** completed / (completed + failed) over the measurement window. */
     double requestSuccessRatio = 0.0;
+
+    /** @name Gray-failure detection (schema v9) */
+    /** @{ */
+    std::string healthMode;             //!< "binary" | "score"
+    std::uint64_t scoreEjections = 0;   //!< outlier-score ejections
+    std::uint64_t rampSkips = 0;        //!< slow-start steering skips
+    std::uint64_t ejectionsCapped = 0;  //!< vetoed by eject-fraction cap
+    std::uint64_t degradesApplied = 0;  //!< gray-degrade applications
+    std::uint64_t flapTransitions = 0;  //!< flap mode toggles fired
+    std::uint64_t partitionsArmed = 0;  //!< partition range pairs armed
+    std::uint64_t degradeDropped = 0;   //!< NIC-degrade egress losses
+    std::uint64_t degradeDelayed = 0;   //!< NIC-degrade delayed packets
+    std::uint64_t partitionDropped = 0; //!< blackholed by partitions
+    std::uint64_t incidentsTotal = 0;
+    std::uint64_t incidentsDetected = 0;
+    std::uint64_t incidentsRecovered = 0;
+    /** Mean inject->detect over detected incidents, ms (0 if none). */
+    double mttdMsMean = 0.0;
+    /** Mean inject->recover over recovered incidents, ms (0 if none). */
+    double mttrMsMean = 0.0;
+    /** @} */
 };
 
 /** Measured outcome of one experiment. */

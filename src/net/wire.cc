@@ -115,6 +115,15 @@ Wire::addFaultWindow(const FaultWindow &w)
     faultWindows_.push_back(w);
 }
 
+void
+Wire::addPartition(const PartitionSpec &p)
+{
+    fsim_assert(p.aFirst <= p.aLast);
+    fsim_assert(p.bFirst <= p.bLast);
+    fsim_assert(p.start < p.end);
+    partitions_.push_back(p);
+}
+
 std::uint64_t
 Wire::faultHash(const Packet &pkt, std::uint64_t salt) const
 {
@@ -186,6 +195,19 @@ Wire::transmit(const Packet &pkt, Tick when)
     if (lossRate_ > 0.0 && lossRng_.chance(lossRate_)) {
         ++lost_;
         return;
+    }
+    for (const PartitionSpec &p : partitions_) {
+        if (when < p.start || when >= p.end)
+            continue;
+        const bool ab = inRange(pkt.tuple.saddr, p.aFirst, p.aLast) &&
+                        inRange(pkt.tuple.daddr, p.bFirst, p.bLast);
+        const bool ba = inRange(pkt.tuple.saddr, p.bFirst, p.bLast) &&
+                        inRange(pkt.tuple.daddr, p.aFirst, p.aLast);
+        if (ab || ba) {
+            ++lost_;
+            ++partitionDropped_;
+            return;
+        }
     }
     // Combine all fault windows covering the transmit tick. Rates combine
     // via max so overlapping windows stay within [0, 1).

@@ -107,6 +107,31 @@ class Wire
 
     void addFaultWindow(const FaultWindow &w);
 
+    /**
+     * A scheduled network partition: while [start, end) is open, every
+     * packet between address set A and address set B (either direction)
+     * vanishes on the wire. Unlike a fault window's probabilistic loss
+     * this is total — the severed-link / misprogrammed-ACL failure mode
+     * — and it heals by itself when the window closes. In-flight
+     * packets that departed before the cut still arrive (the partition
+     * is evaluated at transmit time, like the fault windows).
+     */
+    struct PartitionSpec
+    {
+        IpAddr aFirst = 0;
+        IpAddr aLast = 0;
+        IpAddr bFirst = 0;
+        IpAddr bLast = 0;
+        Tick start = 0;
+        Tick end = 0;
+    };
+
+    void addPartition(const PartitionSpec &p);
+
+    /** Packets blackholed by an open partition window (also counted
+     *  in lost() so packet conservation holds unchanged). */
+    std::uint64_t partitionDropped() const { return partitionDropped_; }
+
     /** Seed folded into every content-hash fault decision. */
     void setFaultSeed(std::uint64_t seed) { faultSeed_ = seed; }
 
@@ -171,6 +196,8 @@ class Wire
     double lossRate_ = 0.0;
     Rng lossRng_{99};
     std::vector<FaultWindow> faultWindows_;
+    std::vector<PartitionSpec> partitions_;
+    std::uint64_t partitionDropped_ = 0;
     std::uint64_t faultSeed_ = 0;
     std::unordered_map<IpAddr, Endpoint> endpoints_;
     std::vector<Range> ranges_;

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py.
+
+Focus: the NaN-poisoning rule. float('nan') passes an
+isinstance(v, (int, float)) check and every comparison against it is
+False, so before the as_float() guard a candidate whose metric went
+NaN (or +/-inf) sailed through the regression gate as a silent pass.
+These tests pin the fixed behavior: a non-finite candidate value
+inside a present block is an explicit MISSING regression (exit 1),
+and a non-finite *baseline* value downgrades to a note, exactly like
+an absent metric.
+
+Usage: test_bench_compare.py <path-to-bench_compare.py>
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TOOL = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+    os.path.dirname(__file__), os.pardir, "tools", "bench_compare.py")
+
+FAILURES = []
+
+
+def base_doc():
+    return {
+        "schema_version": 9,
+        "bench": "unit",
+        "rows": [{
+            "label": "row/a",
+            "metrics": {"cps": 100.0, "rps": 200.0, "served": 1000},
+            "overload": {"latency_samples": 0},
+            "conn": {"tcb_live_peak": 0},
+            "sim_core": {},
+            "fleet": {
+                "enabled": True,
+                "request_success_ratio": 0.99,
+                "flows_active_peak": 50,
+                "incidents_detected": 3,
+                "incidents_recovered": 3,
+                "mttd_ms_mean": 4.0,
+                "mttr_ms_mean": 120.0,
+            },
+        }],
+    }
+
+
+def run_compare(base, cand, *flags):
+    with tempfile.TemporaryDirectory() as d:
+        bp = os.path.join(d, "base.json")
+        cp = os.path.join(d, "cand.json")
+        with open(bp, "w") as f:
+            json.dump(base, f)   # allow_nan=True is the default:
+        with open(cp, "w") as f:  # NaN round-trips through json
+            json.dump(cand, f)
+        proc = subprocess.run(
+            [sys.executable, TOOL, bp, cp, *flags],
+            capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def check(name, cond, detail=""):
+    if cond:
+        print(f"ok   {name}")
+    else:
+        print(f"FAIL {name} {detail}")
+        FAILURES.append(name)
+
+
+def main():
+    base = base_doc()
+
+    rc, out = run_compare(base, copy.deepcopy(base))
+    check("identical docs pass", rc == 0, out)
+
+    cand = copy.deepcopy(base)
+    cand["rows"][0]["metrics"]["cps"] = float("nan")
+    rc, out = run_compare(base, cand)
+    check("NaN candidate cps is a regression", rc == 1, out)
+    check("NaN candidate cps reported as MISSING", "MISSING" in out, out)
+
+    cand = copy.deepcopy(base)
+    cand["rows"][0]["metrics"]["cps"] = float("inf")
+    rc, out = run_compare(base, cand)
+    check("inf candidate cps is a regression", rc == 1, out)
+
+    cand = copy.deepcopy(base)
+    cand["rows"][0]["fleet"]["mttr_ms_mean"] = float("nan")
+    rc, out = run_compare(base, cand)
+    check("NaN candidate mttr_ms_mean is a regression", rc == 1, out)
+    check("NaN mttr reported as MISSING",
+          "mttr_ms_mean" in out and "MISSING" in out, out)
+
+    cand = copy.deepcopy(base)
+    del cand["rows"][0]["metrics"]["cps"]
+    rc, out = run_compare(base, cand)
+    check("absent candidate cps is a regression", rc == 1, out)
+
+    # A poisoned BASELINE downgrades to a note (candidate gained a
+    # metric the baseline never measured) — it must not fail the gate.
+    poisoned = copy.deepcopy(base)
+    poisoned["rows"][0]["metrics"]["cps"] = float("nan")
+    rc, out = run_compare(poisoned, copy.deepcopy(base))
+    check("NaN baseline cps is a note, not a regression", rc == 0, out)
+
+    # Real regressions still fire through the numeric path.
+    cand = copy.deepcopy(base)
+    cand["rows"][0]["metrics"]["cps"] = 50.0
+    rc, out = run_compare(base, cand)
+    check("true cps drop is a regression", rc == 1, out)
+
+    cand = copy.deepcopy(base)
+    cand["rows"][0]["fleet"]["mttr_ms_mean"] = 500.0
+    rc, out = run_compare(base, cand)
+    check("mttr rise is a regression (lower is better)", rc == 1, out)
+
+    # Gating: mean over zero incidents is not a datum on either side.
+    both = copy.deepcopy(base)
+    both["rows"][0]["fleet"]["incidents_recovered"] = 0
+    both["rows"][0]["fleet"]["mttr_ms_mean"] = 0.0
+    rc, out = run_compare(both, copy.deepcopy(both))
+    check("zero-incident mttr is skipped", rc == 0, out)
+
+    if FAILURES:
+        print(f"{len(FAILURES)} failure(s): {FAILURES}")
+        return 1
+    print("all bench_compare unit tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

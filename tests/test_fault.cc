@@ -31,11 +31,17 @@ TEST(FaultPlan, ParsesEveryKindAndRoundTrips)
         "backend_slow@0.01-0.03:factor=6,target=1;"
         "backend_down@0.01-0.03:target=0;"
         "atr_shrink@0.01-0.03:size=64;"
+        "machine_crash@0.03-0.04:target=2,mode=blackhole;"
+        "rolling_restart@0.04-0.06:drain_ms=4,down_ms=2;"
+        "lb_crash@0.05-0.06:target=1;"
+        "machine_degrade@0.06-0.08:"
+        "target=1,factor=2.5,rate=0.08,jitter=500,flap_ms=4;"
+        "net_partition@0.07-0.09:a=lb0,b=m1;"
         "seed=42";
     FaultPlan plan;
     std::string err;
     ASSERT_TRUE(parseFaultPlan(text, plan, err)) << err;
-    ASSERT_EQ(plan.events.size(), 7u);
+    ASSERT_EQ(plan.events.size(), 12u);
     EXPECT_EQ(plan.seed, 42u);
     EXPECT_TRUE(plan.has(FaultKind::kSynFlood));
     EXPECT_TRUE(plan.has(FaultKind::kAtrShrink));
@@ -44,6 +50,16 @@ TEST(FaultPlan, ParsesEveryKindAndRoundTrips)
     EXPECT_DOUBLE_EQ(plan.events[1].jitterUsec, 300.0);
     EXPECT_EQ(plan.events[4].target, 1);
     EXPECT_EQ(plan.events[6].tableSize, 64u);
+    EXPECT_EQ(plan.events[7].mode, FaultEvent::CrashMode::kBlackhole);
+    EXPECT_DOUBLE_EQ(plan.events[8].drainMsec, 4.0);
+    EXPECT_DOUBLE_EQ(plan.events[8].downMsec, 2.0);
+    EXPECT_EQ(plan.events[9].target, 1);
+    EXPECT_DOUBLE_EQ(plan.events[10].factor, 2.5);
+    EXPECT_DOUBLE_EQ(plan.events[10].rate, 0.08);
+    EXPECT_DOUBLE_EQ(plan.events[10].jitterUsec, 500.0);
+    EXPECT_DOUBLE_EQ(plan.events[10].flapMsec, 4.0);
+    EXPECT_EQ(plan.events[11].partA, "lb0");
+    EXPECT_EQ(plan.events[11].partB, "m1");
 
     // serialize -> parse is the identity on the event list.
     FaultPlan again;
@@ -59,6 +75,19 @@ TEST(FaultPlan, ParsesEveryKindAndRoundTrips)
             << i;
         EXPECT_DOUBLE_EQ(again.events[i].rate, plan.events[i].rate) << i;
         EXPECT_EQ(again.events[i].target, plan.events[i].target) << i;
+        EXPECT_DOUBLE_EQ(again.events[i].factor,
+                         plan.events[i].factor) << i;
+        EXPECT_DOUBLE_EQ(again.events[i].jitterUsec,
+                         plan.events[i].jitterUsec) << i;
+        EXPECT_DOUBLE_EQ(again.events[i].flapMsec,
+                         plan.events[i].flapMsec) << i;
+        EXPECT_DOUBLE_EQ(again.events[i].drainMsec,
+                         plan.events[i].drainMsec) << i;
+        EXPECT_DOUBLE_EQ(again.events[i].downMsec,
+                         plan.events[i].downMsec) << i;
+        EXPECT_EQ(again.events[i].mode, plan.events[i].mode) << i;
+        EXPECT_EQ(again.events[i].partA, plan.events[i].partA) << i;
+        EXPECT_EQ(again.events[i].partB, plan.events[i].partB) << i;
     }
 }
 
@@ -80,7 +109,9 @@ TEST(FaultPlan, UnknownKindErrorListsValidKinds)
     ASSERT_FALSE(parseFaultPlan("meteor_strike@0-1:rate=0.5", plan, err));
     for (const char *kind :
          {"loss_burst", "reorder", "duplicate", "syn_flood",
-          "backend_slow", "backend_down", "atr_shrink"})
+          "backend_slow", "backend_down", "atr_shrink",
+          "machine_crash", "rolling_restart", "lb_crash",
+          "machine_degrade", "net_partition"})
         EXPECT_NE(err.find(kind), std::string::npos) << err;
 }
 
@@ -104,6 +135,26 @@ TEST(FaultPlan, RejectsMalformedEvents)
     EXPECT_FALSE(parseFaultPlan("backend_slow@0-1:factor=0.5", plan, err));
     // ATR clamp must be a power of two.
     EXPECT_FALSE(parseFaultPlan("atr_shrink@0-1:size=100", plan, err));
+    // Degrades must name a machine, keep loss a valid probability,
+    // actually slow something down, and never go negative.
+    EXPECT_FALSE(parseFaultPlan("machine_degrade@0-1:factor=2", plan,
+                                err));
+    EXPECT_FALSE(parseFaultPlan(
+        "machine_degrade@0-1:target=0,factor=0.5", plan, err));
+    EXPECT_FALSE(parseFaultPlan(
+        "machine_degrade@0-1:target=0,rate=1.0", plan, err));
+    EXPECT_FALSE(parseFaultPlan(
+        "machine_degrade@0-1:target=0,factor=1,rate=0,jitter=0", plan,
+        err));
+    EXPECT_NE(err.find("no-op"), std::string::npos) << err;
+    EXPECT_FALSE(parseFaultPlan(
+        "machine_degrade@0-1:target=0,flap_ms=-1", plan, err));
+    // Partition groups must be known tokens and must differ.
+    EXPECT_FALSE(parseFaultPlan("net_partition@0-1:a=lb0,b=lb0", plan,
+                                err));
+    EXPECT_FALSE(parseFaultPlan("net_partition@0-1:a=tower7,b=ms",
+                                plan, err));
+    EXPECT_NE(err.find("tower7"), std::string::npos) << err;
 }
 
 // ---------------------------------------------------------------- wire

@@ -228,6 +228,107 @@ TEST(Fleet, DrainRefusesNewFlowsAndCompletesInFlight)
     EXPECT_GT(bed.load().completed(), before);
 }
 
+TEST(Fleet, BalancerConfigValidationDies)
+{
+    EventQueue eq;
+    Wire fabric(eq, ticksFromUsec(10));
+    L4Balancer::Config base;
+    base.vip = FleetTestbed::vipAddr(0);
+    base.natIp = FleetTestbed::natAddr(0);
+
+    // Flow table must fit the NAT-allocatable port span.
+    L4Balancer::Config noFlows = base;
+    noFlows.maxFlows = 0;
+    EXPECT_DEATH({ L4Balancer lb(eq, fabric, noFlows); (void)lb; },
+                 "maxFlows");
+
+    // Each probe must resolve before the next round fires.
+    L4Balancer::Config lateProbe = base;
+    lateProbe.probeInterval = ticksFromMsec(2);
+    lateProbe.probeTimeout = ticksFromMsec(2);
+    EXPECT_DEATH({ L4Balancer lb(eq, fabric, lateProbe); (void)lb; },
+                 "probeTimeout");
+
+    // Score mode is built from probe evidence; probing can't be off.
+    L4Balancer::Config blindScore = base;
+    blindScore.healthMode = L4Balancer::HealthMode::kScore;
+    blindScore.probeInterval = 0;
+    EXPECT_DEATH({ L4Balancer lb(eq, fabric, blindScore); (void)lb; },
+                 "requires probing");
+}
+
+/**
+ * A flapping gray machine (healthy<->degraded every half flap period)
+ * must be held out by hysteresis, not ejected and readmitted once per
+ * flap cycle: the clear streak resets every time a degraded half-period
+ * taints a probe round, so readmission waits for the fault to end.
+ */
+TEST(Fleet, FlappingDegradeHoldsEjectionWithoutOscillating)
+{
+    for (const KernelConfig &k : kBothKernels) {
+        FleetConfig fc = smallFleet(k);
+        fc.healthMode = L4Balancer::HealthMode::kScore;
+        fc.base.measureSec = 0.055;
+        std::string err;
+        // 24ms flapping degrade on machine 1: ~5ms flap period against
+        // 2ms probe rounds, so probes sample both phases.
+        ASSERT_TRUE(parseFaultPlan(
+            "machine_degrade@0.008-0.032:"
+            "target=1,factor=3,rate=0.25,jitter=600,flap_ms=5",
+            fc.base.faults, err))
+            << err;
+
+        FleetTestbed bed(fc);
+        ExperimentResult r = bed.run();
+        EXPECT_GT(r.fleet.flapTransitions, 0u) << "flap transitions must fire";
+        const std::uint64_t lbs =
+            static_cast<std::uint64_t>(bed.balancerCount());
+        // Detected at all...
+        EXPECT_GE(r.fleet.scoreEjections, lbs)
+            << "every balancer should eject the flapping machine once";
+        // ...but held: ~5 flap cycles must not each cost an ejection.
+        EXPECT_LE(r.fleet.scoreEjections, 2 * lbs)
+            << "hysteresis failed: one ejection per flap cycle";
+        EXPECT_GE(r.fleet.readmissions, lbs);
+        // The fault cleared 23ms before the run ended: readmitted.
+        for (int b = 0; b < bed.balancerCount(); ++b)
+            EXPECT_TRUE(bed.balancer(b).healthy(1));
+        EXPECT_EQ(r.invariants.violationCount, 0u)
+            << r.invariants.summary();
+    }
+}
+
+TEST(Fleet, DegradeAndPartitionKeepSameSeedRunsIdentical)
+{
+    for (const KernelConfig &k : kBothKernels) {
+        FleetConfig fc = smallFleet(k);
+        fc.healthMode = L4Balancer::HealthMode::kScore;
+        std::string err;
+        ASSERT_TRUE(parseFaultPlan(
+            "machine_degrade@0.008-0.030:"
+            "target=1,factor=2.5,rate=0.1,jitter=500,flap_ms=5;"
+            "net_partition@0.012-0.025:a=lb0,b=m2",
+            fc.base.faults, err))
+            << err;
+
+        FleetTestbed a(fc);
+        FleetTestbed b(fc);
+        ExperimentResult ra = a.run();
+        ExperimentResult rb = b.run();
+        EXPECT_EQ(ra.fingerprint, rb.fingerprint)
+            << "degrade/partition arming must stay deterministic";
+        EXPECT_GT(ra.fleet.degradesApplied, 0u);
+        EXPECT_GT(ra.fleet.partitionDropped, 0u)
+            << "the partition window should blackhole lb0<->m2 traffic";
+
+        FleetConfig other = fc;
+        other.base.machine.seed += 29;
+        FleetTestbed c(other);
+        ExperimentResult rc = c.run();
+        EXPECT_NE(ra.fingerprint, rc.fingerprint);
+    }
+}
+
 /**
  * Satellite coverage: the single-machine Proxy's health breaker when a
  * backend machine is lost outright mid-connection. The outage starts

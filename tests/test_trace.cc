@@ -273,7 +273,7 @@ TEST(BenchJson, DocumentCarriesSchemaVersionAndRequiredKeys)
     std::string doc = report.str();
     // Golden schema: version stamp plus every top-level and per-row key
     // the downstream validator requires.
-    EXPECT_NE(doc.find("\"schema_version\":8"), std::string::npos);
+    EXPECT_NE(doc.find("\"schema_version\":9"), std::string::npos);
     EXPECT_NE(doc.find("\"bench\":\"unit_test\""), std::string::npos);
     for (const char *key :
          {"\"rows\"", "\"label\"", "\"config\"", "\"metrics\"",

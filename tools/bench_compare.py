@@ -22,13 +22,19 @@ metrics are compared against the baseline:
   - fleet health (request_success_ratio higher is better,
     flows_active_peak lower is better, from the v8 fleet block;
     compared only on rows where the fleet tier is enabled)
+  - incident response (mttd_ms_mean / mttr_ms_mean from the v9 fleet
+    block, compared only when both rows detected / recovered at least
+    one incident): lower is better
 
 A metric that is present (or comparable) in the baseline but absent or
 gated out of the candidate is reported as an explicit MISSING
 regression — never silently skipped: a latency percentile that
 disappears because the candidate stopped sampling is a data loss, not
-a pass. The reverse direction (new in candidate) is reported as a
-note. Metrics absent from both sides are skipped.
+a pass. A non-finite value (NaN/inf) inside a present block is treated
+the same way: NaN compares false against every threshold, so without
+this rule a corrupted candidate metric would silently pass. The
+reverse direction (new in candidate) is reported as a note. Metrics
+absent from both sides are skipped.
 
 Improvements beyond the threshold are reported as such, never fatal.
 Accepts any schema version from v2 on (the compared keys exist in all
@@ -37,6 +43,7 @@ of them). Exit status: 0 = no regressions, 1 = at least one regression,
 """
 
 import json
+import math
 import sys
 
 DEFAULT_THRESHOLD = 0.05
@@ -44,8 +51,18 @@ HIGHER_BETTER = ("cps", "rps", "served", "events_per_sec",
                  "request_success_ratio")
 LOWER_BETTER = ("latency_p50_ticks", "latency_p99_ticks",
                 "bytes_per_conn", "wall_per_sim_sec",
-                "flows_active_peak")
+                "flows_active_peak", "mttd_ms_mean", "mttr_ms_mean")
 MIN_SCHEMA = 2
+
+
+def as_float(v):
+    """Numeric AND finite, else None. NaN/inf inside a present block
+    must not reach the threshold comparison (every comparison against
+    NaN is False, which would silently pass); mapping it to None turns
+    it into an explicit MISSING regression instead."""
+    if isinstance(v, (int, float)) and math.isfinite(v):
+        return float(v)
+    return None
 
 
 def load(path):
@@ -71,30 +88,35 @@ def metric_value(row, name):
     if name in ("events_per_sec", "wall_per_sim_sec"):
         # v7 sim_core: only wall-stamped rows carry these, so unstamped
         # baselines/candidates simply skip the comparison.
-        v = row.get("sim_core", {}).get(name)
-        return float(v) if isinstance(v, (int, float)) else None
+        return as_float(row.get("sim_core", {}).get(name))
     if name in ("request_success_ratio", "flows_active_peak"):
         # v8 fleet: meaningful only on rows with the fleet tier up.
         fl = row.get("fleet", {})
         if not fl.get("enabled"):
             return None
-        v = fl.get(name)
-        return float(v) if isinstance(v, (int, float)) else None
+        return as_float(fl.get(name))
+    if name in ("mttd_ms_mean", "mttr_ms_mean"):
+        # v9 incidents: a mean over zero incidents is not a datum.
+        fl = row.get("fleet", {})
+        if not fl.get("enabled"):
+            return None
+        gate = ("incidents_detected" if name == "mttd_ms_mean"
+                else "incidents_recovered")
+        if not fl.get(gate):
+            return None
+        return as_float(fl.get(name))
     if name in HIGHER_BETTER:
-        v = row.get("metrics", {}).get(name)
-        return float(v) if isinstance(v, (int, float)) else None
+        return as_float(row.get("metrics", {}).get(name))
     if name == "bytes_per_conn":
         cn = row.get("conn", {})
         if not cn.get("tcb_live_peak"):
             return None     # no TCBs ever -> per-conn cost undefined
-        v = cn.get(name)
-        return float(v) if isinstance(v, (int, float)) else None
+        return as_float(cn.get(name))
     if name in LOWER_BETTER:
         ov = row.get("overload", {})
         if not ov.get("latency_samples"):
             return None     # no samples -> percentile is meaningless
-        v = ov.get(name)
-        return float(v) if isinstance(v, (int, float)) else None
+        return as_float(ov.get(name))
     return None
 
 

@@ -36,6 +36,11 @@ Checks (stdlib only, used by CI and by hand after editing the exporter):
     conservation (created == retired + active), active <= active_peak,
     drains started >= completed, probe failures <= probes sent, and
     request_success_ratio in [0, 1]
+  - (v9) gray-failure fields inside the fleet block: health_mode is
+    "binary"/"score" on enabled rows, score_ejections <= ejections,
+    incident funnel is monotone (recovered <= detected <= total), and
+    MTTD/MTTR means are non-negative and zero when nothing was
+    detected/recovered
 Exit status 0 iff every document passes.
 """
 
@@ -43,7 +48,7 @@ import json
 import re
 import sys
 
-KNOWN_SCHEMA_VERSIONS = (2, 3, 4, 5, 6, 7, 8)
+KNOWN_SCHEMA_VERSIONS = (2, 3, 4, 5, 6, 7, 8, 9)
 
 V3_WINDOW_KEYS = ("completed", "goodput", "syn_retransmits",
                   "syn_cookies_sent", "syn_cookies_validated",
@@ -95,9 +100,19 @@ FLEET_KEYS = ("enabled", "server_machines", "balancers", "policy",
               "crashes", "lb_crashes", "vip_takeovers", "tx_suppressed",
               "corpse_rsts", "blackholed", "link_packets",
               "link_queued_ticks", "request_success_ratio")
+# v9 additions (required only when schema_version >= 9).
+FLEET_V9_KEYS = ("health_mode", "score_ejections", "ramp_skips",
+                 "ejections_capped", "degrades_applied",
+                 "flap_transitions", "partitions_armed",
+                 "degrade_dropped", "degrade_delayed",
+                 "partition_dropped", "incidents_total",
+                 "incidents_detected", "incidents_recovered",
+                 "mttd_ms_mean", "mttr_ms_mean")
 # Zero on a single-machine (fleet-disabled) row: no balancer tier ran.
 FLEET_DISABLED_ZERO_KEYS = tuple(
     k for k in FLEET_KEYS if k not in ("enabled", "policy"))
+FLEET_V9_DISABLED_ZERO_KEYS = tuple(
+    k for k in FLEET_V9_KEYS if k != "health_mode")
 
 CONN_KEYS = ("tcb_live", "tcb_live_peak", "tcb_created", "slab_bytes",
              "bytes_per_conn", "established_curr", "established_peak",
@@ -384,6 +399,41 @@ def validate(path):
                     return fail(path, f"{where}.fleet: "
                                       f"request_success_ratio outside "
                                       f"[0, 1]")
+
+        if version >= 9:
+            fl = row["fleet"]
+            if not require(fl, FLEET_V9_KEYS, path, f"{where}.fleet"):
+                return False
+            if not isinstance(fl["health_mode"], str):
+                return fail(path, f"{where}.fleet.health_mode is not "
+                                  f"a string")
+            if not fl["enabled"]:
+                dirty = [k for k in FLEET_V9_DISABLED_ZERO_KEYS
+                         if fl[k]]
+                if dirty:
+                    return fail(path, f"{where}.fleet: disabled but "
+                                      f"non-zero {dirty}")
+            else:
+                if fl["health_mode"] not in ("binary", "score"):
+                    return fail(path, f"{where}.fleet.health_mode "
+                                      f"{fl['health_mode']!r} not "
+                                      f"binary/score")
+                if fl["score_ejections"] > fl["ejections"]:
+                    return fail(path, f"{where}.fleet: score_ejections "
+                                      f"> ejections")
+                if not (fl["incidents_recovered"] <=
+                        fl["incidents_detected"] <=
+                        fl["incidents_total"]):
+                    return fail(path, f"{where}.fleet: incident funnel "
+                                      f"not monotone (recovered <= "
+                                      f"detected <= total)")
+                for mk, ck in (("mttd_ms_mean", "incidents_detected"),
+                               ("mttr_ms_mean", "incidents_recovered")):
+                    if fl[mk] < 0:
+                        return fail(path, f"{where}.fleet.{mk} negative")
+                    if fl[ck] == 0 and fl[mk] != 0:
+                        return fail(path, f"{where}.fleet.{mk} non-zero "
+                                          f"with {ck} == 0")
 
         for qname, samples in row["queue_timelines"].items():
             ticks = [s[0] for s in samples]
