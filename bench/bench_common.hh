@@ -24,8 +24,10 @@
 #include "harness/bench_json.hh"
 #include "harness/experiment.hh"
 #include "overload/overload_config.hh"
+#include "stats/metrics.hh"
 #include "stats/stats.hh"
 #include "stats/table.hh"
+#include "trace/fleet_trace.hh"
 #include "trace/perfetto_export.hh"
 #include "trace/span_forensics.hh"
 
@@ -52,6 +54,7 @@ struct BenchArgs
     bool forensics = false; //!< --forensics prints span-latency reports
     std::string jsonPath;   //!< --json=<path>; empty = no export
     std::string perfettoPath;   //!< --perfetto=<path>; empty = none
+    std::string metricsPath;    //!< --metrics=<path>; Prometheus text
     std::string faultsSpec; //!< --faults=<plan>; raw text for the report
     FaultPlan faults;       //!< parsed --faults plan (empty = none)
     std::string overloadSpec;   //!< --overload=<spec>; raw text
@@ -78,6 +81,8 @@ struct BenchArgs
                 a.jsonPath = argv[i] + 7;
             else if (!std::strncmp(argv[i], "--perfetto=", 11))
                 a.perfettoPath = argv[i] + 11;
+            else if (!std::strncmp(argv[i], "--metrics=", 10))
+                a.metricsPath = argv[i] + 10;
             else if (!std::strncmp(argv[i], "--seed=", 7))
                 a.seed = std::strtoull(argv[i] + 7, nullptr, 10);
             else if (!std::strncmp(argv[i], "--faults=", 9)) {
@@ -146,7 +151,8 @@ struct BenchArgs
         std::fprintf(stderr,
                      "usage: %s [--quick] [--notrace] [--fingerprint] "
                      "[--forensics] [--json=PATH] [--perfetto=PATH] "
-                     "[--seed=N] [--faults=PLAN] [--overload=SPEC]",
+                     "[--metrics=PATH] [--seed=N] [--faults=PLAN] "
+                     "[--overload=SPEC]",
                      prog);
         for (const char *spec : allowed) {
             std::size_t n = std::strlen(spec);
@@ -280,10 +286,41 @@ finishJson(const BenchArgs &args, const BenchJsonReport &report)
                         report.rowInvariants(i).summary().c_str());
     }
     if (args.forensics) {
-        for (std::size_t i = 0; i < report.rowCount(); ++i)
-            std::printf("%s", renderSpanForensics(
-                report.rowResult(i).spanForensics,
-                report.rowLabel(i)).c_str());
+        for (std::size_t i = 0; i < report.rowCount(); ++i) {
+            // Fleet rows print the end-to-end critical-path breakdown
+            // instead of the single-machine stage table (which a
+            // FleetTestbed collect does not populate).
+            if (report.rowResult(i).fleetTrace.enabled)
+                std::printf("%s", renderFleetTraceReport(
+                    report.rowResult(i).fleetTrace,
+                    report.rowLabel(i)).c_str());
+            else
+                std::printf("%s", renderSpanForensics(
+                    report.rowResult(i).spanForensics,
+                    report.rowLabel(i)).c_str());
+        }
+    }
+    if (!args.metricsPath.empty()) {
+        for (std::size_t i = 0; i < report.rowCount(); ++i) {
+            const MetricsSnapshot &ts = report.rowResult(i).timeseries;
+            if (!ts.enabled || ts.series.empty()) {
+                std::fprintf(stderr,
+                             "warning: --metrics: row %s sampled no "
+                             "series (tracing disabled or not a fleet "
+                             "bench?)\n",
+                             report.rowLabel(i).c_str());
+                continue;
+            }
+            std::string path = perfettoRowPath(args.metricsPath,
+                                               report.rowLabel(i),
+                                               report.rowCount());
+            if (writePrometheusText(path, ts))
+                std::printf("wrote %s (%zu series)\n", path.c_str(),
+                            ts.series.size());
+            else
+                std::fprintf(stderr, "error: could not write %s\n",
+                             path.c_str());
+        }
     }
     if (!args.perfettoPath.empty()) {
         for (std::size_t i = 0; i < report.rowCount(); ++i) {

@@ -3,9 +3,29 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "trace/fleet_trace.hh"
 
 namespace fsim
 {
+
+namespace
+{
+
+/** Deterministic nonzero trace id from a connection epoch (splitmix64
+ *  finalizer). Epochs are globally unique per attempt, so trace ids
+ *  are too; retransmissions of one attempt share the epoch and hence
+ *  the id, while a timeout relaunch draws a fresh one. */
+std::uint64_t
+traceIdFromEpoch(std::uint64_t epoch)
+{
+    std::uint64_t x = epoch + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x ? x : 1;
+}
+
+} // namespace
 
 HttpLoad::HttpLoad(EventQueue &eq, Wire &wire, const Config &cfg)
     : eq_(eq), wire_(wire), cfg_(cfg), rng_(cfg.seed)
@@ -128,6 +148,7 @@ HttpLoad::launch()
     Conn conn;
     conn.tx = FiveTuple{client, server, sport, cfg_.serverPort};
     conn.epoch = nextEpoch_++;
+    conn.traceId = traceIdFromEpoch(conn.epoch);
     conn.startTick = eq_.now();
     conn.health =
         cfg_.healthEvery > 0 &&
@@ -147,6 +168,8 @@ HttpLoad::launch()
     ++started_;
     if (c.health)
         ++healthStarted_;
+    if (traceLog_)
+        traceLog_->clientStart(c.traceId, eq_.now());
 
     if (cfg_.timeout > 0) {
         std::uint64_t epoch = c.epoch;
@@ -178,6 +201,7 @@ HttpLoad::send(Conn &c, std::uint64_t k, std::uint8_t flags,
     // Health probes mark their whole flow (DSCP/SO_PRIORITY analog) so
     // kernel-level overload drops can spare them.
     pkt.prio = c.health;
+    pkt.traceId = c.traceId;
     wire_.transmit(pkt, eq_.now());
 }
 
@@ -228,6 +252,8 @@ HttpLoad::finish(std::uint64_t k, bool ok)
         if (ok)
             latencySamples_.emplace_back(eq_.now(),
                                          eq_.now() - c.startTick);
+        if (traceLog_)
+            traceLog_->clientEnd(c.traceId, eq_.now(), ok);
         conns_.erase(k);
     }
     if (ok)

@@ -31,6 +31,8 @@
 namespace fsim
 {
 
+class FleetTraceLog;
+
 /** Closed- or open-loop HTTP client fleet. */
 class HttpLoad
 {
@@ -150,6 +152,23 @@ class HttpLoad
     /** Completed connections with a latency sample since markWindow(). */
     std::uint64_t latencySamplesSinceMark() const;
 
+    /** All (completion tick, latency) samples, completion order — the
+     *  metrics layer and the SLO tracker window over these. */
+    const std::vector<std::pair<Tick, Tick>> &latencySamples() const
+    {
+        return latencySamples_;
+    }
+
+    /**
+     * Attach the fleet trace collector. Every launched connection mints
+     * a deterministic nonzero trace id (a mix of its epoch, so retries
+     * of one attempt share the id while a timeout relaunch gets a fresh
+     * one) and stamps it on every packet; start/finish report the
+     * client hop to @p log. Pure recording — simulated behavior and
+     * fingerprints are identical with or without a log attached.
+     */
+    void setTraceLog(FleetTraceLog *log) { traceLog_ = log; }
+
     /** @name Health-probe statistics */
     /** @{ */
     std::uint64_t healthStarted() const { return healthStarted_; }
@@ -181,6 +200,8 @@ class HttpLoad
         bool health = false;       //!< health probe (tiny request)
         bool longLived = false;    //!< keep-alive multi-request conn
         Tick startTick = 0;        //!< launch time, for latency samples
+        /** End-to-end trace context stamped on every packet. */
+        std::uint64_t traceId = 0;
     };
 
     static std::uint64_t key(const FiveTuple &rx);
@@ -204,6 +225,7 @@ class HttpLoad
     Wire &wire_;
     Config cfg_;
     Rng rng_;
+    FleetTraceLog *traceLog_ = nullptr;
 
     bool closedLoop_ = true;
     bool openLoopActive_ = false;

@@ -203,6 +203,11 @@ randomScenario(Rng &rng)
         s.fleetMachines = 2 + static_cast<int>(rng.range(3));
         s.fleetBalancers = 1 + static_cast<int>(rng.range(2));
         s.fleetPolicy = rng.chance(0.25) ? "rr" : "chash";
+        // Half the fleet runs arm the observability layer too: the
+        // double-run then proves SLO burn accounting deterministic
+        // (incidents fold into the fingerprint) and per-chunk metric
+        // sampling perturbation-free.
+        s.sloMetrics = rng.chance(0.5);
         // N machines multiply the event volume; keep the run bounded.
         s.cores = std::min(s.cores, 4);
         s.maxConns = std::min<std::uint64_t>(s.maxConns, 1200);
@@ -330,6 +335,8 @@ serializeScenario(const Scenario &s)
         os << "fleetMachines = " << s.fleetMachines << "\n";
         os << "fleetBalancers = " << s.fleetBalancers << "\n";
         os << "fleetPolicy = " << s.fleetPolicy << "\n";
+        if (s.sloMetrics)
+            os << "sloMetrics = 1\n";
     }
     if (!s.faultPlan.empty())
         os << "faultPlan = " << s.faultPlan << "\n";
@@ -444,6 +451,8 @@ parseScenario(const std::string &text, Scenario &out, std::string &err)
                 s.fleetBalancers = std::stoi(val);
             else if (key == "fleetPolicy")
                 s.fleetPolicy = val;
+            else if (key == "sloMetrics")
+                s.sloMetrics = std::stoi(val) != 0;
             else if (key == "faultPlan")
                 s.faultPlan = val;
             else if (key == "synCookies")
@@ -509,6 +518,10 @@ parseScenario(const std::string &text, Scenario &out, std::string &err)
     }
     if (s.fleetBalancers < 1 || s.fleetBalancers > 4) {
         err = "fleetBalancers out of [1,4]";
+        return false;
+    }
+    if (s.sloMetrics && s.fleetMachines <= 0) {
+        err = "sloMetrics requires fleetMachines > 0";
         return false;
     }
     if (s.fleetPolicy != "chash" && s.fleetPolicy != "rr") {
@@ -616,18 +629,79 @@ runOnce(const Scenario &s)
         fc.balancers = s.fleetBalancers;
         bool ok = L4Balancer::policyFromName(s.fleetPolicy, fc.policy);
         fsim_assert(ok);   // validity was enforced at parse time
+        fc.sloEnabled = s.sloMetrics;
         // Long-lived think pauses must stay well inside the balancer's
         // idle-flow GC horizon or mid-conversation flows get retired.
         fc.flowIdleTimeoutMsec = std::max(
             fc.flowIdleTimeoutMsec, 4.0 * s.longLivedThinkMsec + 100.0);
         FleetTestbed bed(fc);
-        r.drained = driveUntilDrained(bed, s);
+        {
+            // Fleet drive loop: same chunked cadence as
+            // driveUntilDrained, but when the observability layer is
+            // armed every chunk boundary also feeds the SLO tracker
+            // and samples the metrics registry — the fuzzer's own
+            // sub-window clock, since run() is bypassed here.
+            EventQueue &eq = bed.eventQueue();
+            HttpLoad &load = bed.load();
+            const Tick cap = ticksFromSeconds(s.maxSimSec);
+            const Tick chunk = ticksFromSeconds(0.01);
+            bed.startLoad();
+            while (eq.now() < cap &&
+                   (load.inFlight() > 0 || load.started() < s.maxConns)) {
+                const Tick wstart = eq.now();
+                bed.runUntilChecked(std::min(cap, eq.now() + chunk));
+                if (s.sloMetrics)
+                    bed.sampleObservability(wstart, eq.now());
+            }
+            r.drained =
+                load.inFlight() == 0 && load.started() >= s.maxConns;
+        }
         // No quiesce leak pass on the fleet: probe and flow-GC timers
         // self-reschedule forever (runAll would never return), and a
         // crashed generation legitimately strands its server TCBs.
         bed.checks().runAll(bed.eventQueue().now());
+        if (cfg.machine.traceEnabled) {
+            // Stitching invariant: collect() reconciles every machine
+            // span against the client-minted trace ids. After a full
+            // drain no successful request may be missing its server
+            // span, no id may be born twice, and no span may disagree
+            // with its balancer flow's byte accounting.
+            ExperimentResult fr = bed.collect();
+            const FleetTraceLog &log = bed.traceLog();
+            InvariantRegistry stitch;
+            stitch.add("trace-stitch-lossless",
+                       [&](Tick, std::string &why) {
+                           std::uint64_t unstitched = 0;
+                           for (const auto &kv : log.records())
+                               if (kv.second.clientDone && kv.second.ok &&
+                                   !kv.second.stitched)
+                                   ++unstitched;
+                           if (fr.fleet.traceOrphans == 0 &&
+                               fr.fleet.traceDuplicates == 0 &&
+                               unstitched == 0)
+                               return true;
+                           why = "orphans=" +
+                                 std::to_string(fr.fleet.traceOrphans) +
+                                 " duplicates=" +
+                                 std::to_string(fr.fleet.traceDuplicates) +
+                                 " unstitched-ok=" +
+                                 std::to_string(unstitched);
+                           return false;
+                       });
+            stitch.add("trace-span-reconcile",
+                       [&](Tick, std::string &why) {
+                           if (fr.fleet.spanReconcileViolations == 0)
+                               return true;
+                           why = "span reconcile violations=" +
+                                 std::to_string(
+                                     fr.fleet.spanReconcileViolations);
+                           return false;
+                       });
+            stitch.runAll(bed.eventQueue().now());
+            r.invariants = stitch.report();
+        }
         r.fingerprint = bed.currentFingerprint();
-        r.invariants = bed.checks().report();
+        r.invariants.merge(bed.checks().report());
         return r;
     }
 
@@ -780,8 +854,14 @@ shrinkCandidates(const Scenario &s)
         c.fleetMachines = 0;
         c.fleetBalancers = 1;
         c.fleetPolicy = "chash";
+        c.sloMetrics = false;   // fleet-only knob
         c.faultPlan = withoutFleetEvents(s.faultPlan);
         push(c);
+        if (s.sloMetrics) {
+            Scenario d = s;
+            d.sloMetrics = false;
+            push(d);
+        }
         if (s.fleetMachines > 2) {
             Scenario d = s;
             d.fleetMachines = 2;
@@ -831,11 +911,15 @@ shrinkCandidates(const Scenario &s)
         c.faultPlan.clear();
         c.synCookies = false;
         c.synBacklog = 0;
-        c.clientRtoMsec = 0.0;
+        // The RTO can only go if nothing else depends on the retry
+        // (tiny port spans drain through retransmitted SYNs).
+        if (s.clientPortSpan == 0 || s.twRecycle)
+            c.clientRtoMsec = 0.0;
         if (s.lossRate == 0.0)
             c.clientTimeoutSec = 0.0;
         push(c);
-    } else if (s.clientRtoMsec > 0.0) {
+    } else if (s.clientRtoMsec > 0.0 &&
+               (s.clientPortSpan == 0 || s.twRecycle)) {
         Scenario c = s;
         c.clientRtoMsec = 0.0;
         push(c);

@@ -82,6 +82,14 @@ struct Scenario
     int fleetMachines = 0;
     int fleetBalancers = 1;
     std::string fleetPolicy = "chash";  //!< "chash" | "rr" steering
+    /** Arm the SLO burn-rate tracker + per-window metrics sampling on
+     *  the fleet (requires fleetMachines > 0). SLO incidents fold into
+     *  the fingerprint, so the double-run also proves the whole
+     *  observability layer deterministic; the stitching invariant
+     *  (every ok request joins exactly one balancer flow and one
+     *  server span, no orphans/duplicates) is checked after drain
+     *  whenever tracing is on. */
+    bool sloMetrics = false;
     /** @} */
 
     /** Fault plan in parseFaultPlan() text form (empty = no faults).

@@ -41,9 +41,10 @@ enum class TaskPrio
  * Stored inline (no heap): the capture budget is sized by the largest
  * post() site in the tree, the kernel's RFD steering closure
  * [this, target, Packet, steer-timestamp, steer-from] in
- * kernel_stack.cc (~72 bytes), with headroom for alignment padding.
+ * kernel_stack.cc (~80 bytes now that the Packet carries the 8-byte
+ * distributed trace context), with headroom for alignment padding.
  */
-constexpr std::size_t kTaskCaptureMax = 88;
+constexpr std::size_t kTaskCaptureMax = 96;
 using Task = InlineFn<Tick(Tick), kTaskCaptureMax>;
 
 class CpuModel;

@@ -5,6 +5,7 @@
 
 #include "check/fingerprint.hh"
 #include "sim/logging.hh"
+#include "trace/fleet_trace.hh"
 #include "trace/incident_log.hh"
 
 namespace fsim
@@ -372,8 +373,13 @@ L4Balancer::forwardC2s(Flow &f, const Packet &pkt)
     out.tuple.dport = f.machine >= 0
                           ? targets_[f.machine].spec.port
                           : Port{80};
+    // Restamp from the flow entry: the trace context rides the NAT
+    // state, not just the packet copy, so the rewrite can never drop it.
+    out.traceId = f.traceId;
     fabric_.transmit(out, eq_.now() + cfg_.forwardDelay);
     ++forwardedC2s_;
+    if (traceLog_)
+        traceLog_->lbForward(f.traceId);
     if (scoreMode() && pkt.has(kSyn) && !pkt.has(kAck) && f.machine >= 0)
         scorer_.noteRequestSent(f.machine);
 }
@@ -386,8 +392,11 @@ L4Balancer::forwardS2c(Flow &f, const Packet &pkt)
     out.tuple.sport = cfg_.vipPort;
     out.tuple.daddr = f.clientIp;
     out.tuple.dport = f.clientPort;
+    out.traceId = f.traceId;
     fabric_.transmit(out, eq_.now() + cfg_.forwardDelay);
     ++forwardedS2c_;
+    if (traceLog_)
+        traceLog_->lbForward(f.traceId);
     if (scoreMode() && pkt.has(kSyn) && pkt.has(kAck) && f.machine >= 0)
         scorer_.noteRequestAcked(f.machine);
 }
@@ -412,6 +421,21 @@ L4Balancer::onVip(const Packet &pkt)
             retire(key);
             it = flows_.end();
         } else {
+            if (freshSyn && pkt.traceId != 0 &&
+                pkt.traceId != f.traceId) {
+                // Tuple recycled while the old flow never observed its
+                // teardown (FINs lost on the wire, or the client gave
+                // up without one). The new connection legitimately
+                // rides the existing NAT state, but the trace context
+                // must follow the new request — adopting the SYN's id
+                // keeps the forwardC2s restamp from branding every
+                // downstream span with the dead predecessor's trace.
+                ++tupleReuse_;
+                f.traceId = pkt.traceId;
+                if (traceLog_)
+                    traceLog_->lbIngress(f.traceId, eq_.now(), lbId_,
+                                         f.machine);
+            }
             f.lastActivity = eq_.now();
             if (pkt.has(kFin))
                 f.finC2s = true;
@@ -461,9 +485,12 @@ L4Balancer::onVip(const Packet &pkt)
     f.serverAddr = addrs[natPort % addrs.size()];
     f.natPort = natPort;
     f.lastActivity = eq_.now();
+    f.traceId = pkt.traceId;
     natOwner_[natPort] = key;
     ++targets_[m].active;
     ++flowsCreated_;
+    if (traceLog_)
+        traceLog_->lbIngress(f.traceId, eq_.now(), lbId_, m);
     auto ins = flows_.emplace(key, f);
     if (flows_.size() > flowsActivePeak_)
         flowsActivePeak_ = flows_.size();

@@ -45,6 +45,7 @@
 namespace fsim
 {
 
+class FleetTraceLog;
 class IncidentLog;
 
 /** One L4 balancer instance (a fleet runs one or more, each with its
@@ -164,6 +165,16 @@ class L4Balancer
      *  target index doubles as the fleet machine slot). */
     void setIncidentLog(IncidentLog *log) { incidents_ = log; }
 
+    /** Attach the fleet trace collector: flow creation reports LB
+     *  ingress (as balancer @p lb_id), every NAT rewrite counts a
+     *  forward. Recording only — steering and forwarding behavior are
+     *  identical with or without a log attached. */
+    void setTraceLog(FleetTraceLog *log, int lb_id)
+    {
+        traceLog_ = log;
+        lbId_ = lb_id;
+    }
+
     /** The health scorer (valid after start() in kScore mode). */
     const HealthScorer &scorer() const { return scorer_; }
 
@@ -237,6 +248,10 @@ class L4Balancer
         Tick lastActivity = 0;
         bool finC2s = false;
         bool finS2c = false;
+        /** Trace context captured from the flow-creating SYN and
+         *  restamped onto every rewritten packet, so the context
+         *  survives the full-NAT rewrite in both directions. */
+        std::uint64_t traceId = 0;
     };
 
     struct RingEntry
@@ -284,6 +299,8 @@ class L4Balancer
     HealthScorer scorer_;
     std::vector<HealthScorer::Verdict> verdicts_;
     IncidentLog *incidents_ = nullptr;
+    FleetTraceLog *traceLog_ = nullptr;
+    int lbId_ = 0;
     std::vector<IpAddr> vips_;      //!< own VIP first, then adopted
     std::vector<Target> targets_;
     std::vector<RingEntry> ring_;

@@ -142,6 +142,7 @@ FleetTestbed::FleetTestbed(const FleetConfig &cfg)
                 slots_[m].gen.machine->pressure().level());
         });
         b->setIncidentLog(&incidents_);
+        b->setTraceLog(&traceLog_, k);
         b->attachHandlers();
         b->start();
         balancers_.push_back(std::move(b));
@@ -172,6 +173,8 @@ FleetTestbed::FleetTestbed(const FleetConfig &cfg)
     lc.clientPortSpan = cfg_.base.clientPortSpan;
     lc.clientIps = clientIps;
     load_ = std::make_unique<HttpLoad>(*eq_, *fabric_, lc);
+    load_->setTraceLog(&traceLog_);
+    setupObservability();
 
     if (!cfg_.base.faults.empty()) {
         // Wire/backend/flood events arm normally (floods hit the VIPs;
@@ -512,6 +515,10 @@ FleetTestbed::crashMachine(int s, FaultEvent::CrashMode mode, bool admin)
 
     // TX side: the zombie kernel's future transmissions die at its port.
     sl.gen.port->setTxOpen(false);
+    // The dying kernel's TCBs will never destruct, so their span
+    // traces would stay live forever; finalize them abnormally now so
+    // end-to-end trace stitching still sees the work they performed.
+    sl.gen.machine->tracer().connSpans().closeAllLive(eq_->now());
     // RX side: the corpse either answers RSTs (power on, kernel gone)
     // or eats packets (cable pulled). Wire re-resolves handlers at
     // delivery, so even in-flight packets see the corpse.
@@ -753,6 +760,161 @@ FleetTestbed::markWindows()
     eventsScheduledMark_ = eq_->scheduled();
     markTick_ = eq_->now();
     carry_ = WindowCarry{};
+
+    // Re-seed the observability cursors so warmup traffic never leaks
+    // into the first sampled window or the SLO burn state.
+    obsCompletedPrev_ = load_->completed();
+    obsFailedPrev_ = load_->failed();
+    obsShedPrev_ = currentShedTotal();
+    latCursor_ = load_->latencySamples().size();
+    for (std::size_t s = 0; s < slots_.size(); ++s)
+        obsServedPrev_[s] = slots_[s].gen.app->served();
+}
+
+std::uint64_t
+FleetTestbed::currentShedTotal() const
+{
+    std::uint64_t shed = 0;
+    for (const auto &b : balancers_)
+        shed += b->shedNoBackend() + b->shedCapacity();
+    forEachGeneration([&shed](const Generation &g) {
+        if (g.admission)
+            shed += g.admission->shed();
+    });
+    return shed;
+}
+
+void
+FleetTestbed::setupObservability()
+{
+    // Recording infrastructure follows the span-trace master switch:
+    // --notrace must leave both logs allocation-free.
+    const bool rec = cfg_.base.machine.traceEnabled;
+    traceLog_.setEnabled(rec);
+    metrics_.setEnabled(rec);
+    const int wins = std::max(1, cfg_.base.statWindows);
+    metrics_.setSamplePeriod(
+        ticksFromSeconds(cfg_.base.measureSec) / wins);
+
+    for (int k = 0; k < cfg_.balancers; ++k)
+        mid_.lbFlows.push_back(metrics_.addGauge(
+            "lb" + std::to_string(k) + ".flows"));
+    for (int s = 0; s < cfg_.serverMachines; ++s) {
+        const std::string p = "m" + std::to_string(s);
+        mid_.mCps.push_back(metrics_.addGauge(p + ".cps"));
+        mid_.mEstablished.push_back(
+            metrics_.addGauge(p + ".established"));
+        mid_.mTimeWait.push_back(metrics_.addGauge(p + ".time_wait"));
+        mid_.mPressure.push_back(metrics_.addGauge(p + ".pressure"));
+    }
+    mid_.completed = metrics_.addCounter("fleet.completed");
+    mid_.failed = metrics_.addCounter("fleet.failed");
+    mid_.shed = metrics_.addCounter("fleet.shed");
+    mid_.upMachines = metrics_.addGauge("fleet.up_machines");
+    mid_.healthyTargets = metrics_.addGauge("fleet.healthy_targets");
+    mid_.successRatio = metrics_.addGauge("fleet.success_ratio");
+    mid_.latency = metrics_.addHistogram("client.latency_ticks");
+    mid_.fastBurn = metrics_.addGauge("slo.fast_burn");
+    mid_.slowBurn = metrics_.addGauge("slo.slow_burn");
+    obsServedPrev_.assign(static_cast<std::size_t>(cfg_.serverMachines),
+                          0);
+
+    // SLO tracking is config-gated, not trace-gated: it consumes only
+    // aggregate load counters, so it stays live under --notrace.
+    if (cfg_.sloEnabled) {
+        slo_ = std::make_unique<SloTracker>(cfg_.slo);
+        slo_->setIncidentLog(&incidents_);
+    }
+}
+
+void
+FleetTestbed::sampleObservability(Tick wstart, Tick wend)
+{
+    // Window deltas from cumulative client-side counters.
+    const std::uint64_t completed = load_->completed();
+    const std::uint64_t failed = load_->failed();
+    const std::uint64_t dOk = completed - obsCompletedPrev_;
+    const std::uint64_t dFail = failed - obsFailedPrev_;
+    obsCompletedPrev_ = completed;
+    obsFailedPrev_ = failed;
+
+    // Latency samples appended since the previous sub-window feed both
+    // the latency histogram and the latency-SLO miss count.
+    const auto &lat = load_->latencySamples();
+    std::uint64_t latMisses = 0;
+    for (; latCursor_ < lat.size(); ++latCursor_) {
+        metrics_.observe(mid_.latency, lat[latCursor_].second);
+        if (cfg_.slo.latencyObjective > 0 &&
+            lat[latCursor_].second > cfg_.slo.latencyObjective)
+            ++latMisses;
+    }
+
+    // The SLO tracker runs even when the metrics registry is disabled
+    // (--notrace): burn alerts are a control-plane product, not a
+    // recording product.
+    if (slo_)
+        slo_->addWindow(wend, dOk, dFail, latMisses);
+
+    metrics_.add(mid_.completed, dOk);
+    metrics_.add(mid_.failed, dFail);
+    const std::uint64_t shed = currentShedTotal();
+    metrics_.add(mid_.shed, shed - obsShedPrev_);
+    obsShedPrev_ = shed;
+
+    for (std::size_t k = 0; k < balancers_.size(); ++k)
+        metrics_.set(mid_.lbFlows[k],
+                     static_cast<double>(balancers_[k]->flowsActive()));
+
+    const double wsec = secondsFromTicks(wend - wstart);
+    int up = 0;
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+        const ServerSlot &sl = slots_[s];
+        if (sl.up)
+            ++up;
+        const KernelStack &k = sl.gen.machine->kernel();
+        metrics_.set(mid_.mEstablished[s],
+                     static_cast<double>(k.stats().establishedCurr));
+        metrics_.set(mid_.mTimeWait[s],
+                     static_cast<double>(k.timeWaitTable().size()));
+        metrics_.set(mid_.mPressure[s],
+                     static_cast<double>(static_cast<int>(
+                         sl.gen.machine->pressure().level())));
+        // A restart swaps in a fresh generation whose served() restarts
+        // at zero; treat the post-restart count as the window's delta.
+        const std::uint64_t served = sl.gen.app->served();
+        const std::uint64_t d = served >= obsServedPrev_[s]
+                                    ? served - obsServedPrev_[s]
+                                    : served;
+        obsServedPrev_[s] = served;
+        metrics_.set(mid_.mCps[s],
+                     wsec > 0.0 ? static_cast<double>(d) / wsec : 0.0);
+    }
+    metrics_.set(mid_.upMachines, static_cast<double>(up));
+
+    int healthy = 0;
+    if (!balancers_.empty()) {
+        const L4Balancer &b0 = *balancers_.front();
+        for (int m = 0; m < b0.targetCount(); ++m)
+            if (b0.healthy(m))
+                ++healthy;
+    }
+    metrics_.set(mid_.healthyTargets, static_cast<double>(healthy));
+    const std::uint64_t tot = dOk + dFail;
+    metrics_.set(mid_.successRatio,
+                 tot > 0 ? static_cast<double>(dOk) /
+                               static_cast<double>(tot)
+                         : 1.0);
+    if (slo_) {
+        double fb = 0.0;
+        double sb = 0.0;
+        for (const SloObjective &o : slo_->objectives()) {
+            fb = std::max(fb, o.fastBurn);
+            sb = std::max(sb, o.slowBurn);
+        }
+        metrics_.set(mid_.fastBurn, fb);
+        metrics_.set(mid_.slowBurn, sb);
+    }
+    metrics_.sample(wend);
 }
 
 template <typename Fn>
@@ -1091,6 +1253,56 @@ FleetTestbed::collect()
             ? static_cast<double>(winCompleted) /
                   static_cast<double>(winCompleted + winFailed)
             : 0.0;
+
+    // Distributed-trace stitching: join every machine-side connection
+    // span that carries a trace context onto its client/LB record.
+    // Zombie generations contribute too — a span served by a machine
+    // that later crashed still belongs to its end-to-end trace.
+    // In-flight spans join too: a server stuck in FIN retransmission
+    // after its NAT flow died (balancer failover mid-teardown) still
+    // served its request; orderly-closed spans outrank these.
+    forEachGeneration([this](const Generation &g) {
+        const ConnSpanLog &sl = g.machine->tracer().connSpans();
+        for (const ConnSpanTrace &tr : sl.completed())
+            if (tr.traceId != 0)
+                traceLog_.stitchMachineSpan(tr);
+        for (const ConnSpanTrace *tr : sl.liveSnapshot())
+            if (tr->traceId != 0)
+                traceLog_.stitchMachineSpan(*tr);
+    });
+    fl.tracesStarted = traceLog_.clientStarts();
+    fl.tracesCompleted = traceLog_.clientCompleted();
+    fl.tracesStitched = traceLog_.machineSpansStitched();
+    fl.traceOrphans = traceLog_.orphans();
+    fl.traceDuplicates = traceLog_.duplicates();
+
+    // Span/CPU reconciliation, fleet-wide: recorded exec-span cycles on
+    // a core can never exceed what that core actually ran.
+    forEachGeneration([&fl](const Generation &g) {
+        Machine &m = *g.machine;
+        for (int c = 0; c < m.numCores(); ++c)
+            if (m.tracer().connSpans().execSelfTicks(c) >
+                m.cpu().core(c).busyTicks())
+                ++fl.spanReconcileViolations;
+    });
+
+    if (slo_) {
+        fl.sloFastAlerts = slo_->fastAlerts();
+        fl.sloSlowAlerts = slo_->slowAlerts();
+        const Tick first = slo_->firstFastAlert();
+        fl.sloFirstFastAlertMs =
+            first > 0 ? secondsFromTicks(first) * 1000.0 : 0.0;
+    }
+
+    if (!cfg_.base.machine.traceEnabled) {
+        fsim_assert(traceLog_.allocations() == 0 &&
+                    "fleet tracing allocated with tracing disabled");
+        fsim_assert(metrics_.allocations() == 0 &&
+                    "metrics sampled with tracing disabled");
+    }
+    r.timeseries = metrics_.snapshot();
+    r.fleetTrace = buildFleetTraceForensics(
+        traceLog_, ticksFromUsec(cfg_.forwardDelayUsec));
     return r;
 }
 
@@ -1118,6 +1330,7 @@ FleetTestbed::run()
                          : 0.0;
         // Lock/SYN sub-window deltas stay empty at fleet scope (a
         // restart resets one machine's share mid-window).
+        sampleObservability(lw.start, lw.end);
         windows.push_back(std::move(lw));
         completedPrev = load_->completed();
     }

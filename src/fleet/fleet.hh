@@ -43,6 +43,9 @@
 #include "fleet/balancer.hh"
 #include "harness/experiment.hh"
 #include "net/net_port.hh"
+#include "overload/slo.hh"
+#include "stats/metrics.hh"
+#include "trace/fleet_trace.hh"
 #include "trace/incident_log.hh"
 
 namespace fsim
@@ -102,6 +105,13 @@ struct FleetConfig
      *  closed loop (the diurnal-curve benches reshape it over time via
      *  HttpLoad::setOpenLoopRate). */
     double openLoopRate = 0.0;
+
+    /** @name SLO burn-rate tracking (independent of tracing: evaluates
+     *  aggregate load counters, so it works under --notrace too) */
+    /** @{ */
+    bool sloEnabled = false;
+    SloConfig slo;
+    /** @} */
 };
 
 /** An N-machine, B-balancer simulated fleet with fault orchestration. */
@@ -150,6 +160,22 @@ class FleetTestbed
     /** Incident ledger (inject -> detect -> eject -> recover stamps;
      *  balancers write the detection-side stamps). */
     const IncidentLog &incidents() const { return incidents_; }
+
+    /** End-to-end trace collector (client + balancer hops stream in
+     *  live; machine spans are stitched at collect()). */
+    const FleetTraceLog &traceLog() const { return traceLog_; }
+
+    /** Fleet metrics registry (sampled once per stat sub-window). */
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    /** SLO burn tracker (null unless cfg.sloEnabled). */
+    const SloTracker *slo() const { return slo_.get(); }
+
+    /** Per stat sub-window: feed the SLO tracker and sample every
+     *  registered metric. Recording only. run() calls it once per
+     *  sub-window; external drivers (the scenario fuzzer) that bypass
+     *  run() call it on their own cadence. */
+    void sampleObservability(Tick wstart, Tick wend);
 
     /** Start client load (idempotent; run() calls it). */
     void startLoad();
@@ -235,6 +261,9 @@ class FleetTestbed
     void buildGeneration(int s);
     void armFleetFaults();
     void applyDegrade(int s);
+    void setupObservability();
+    /** Run-total shed across balancers + every admission generation. */
+    std::uint64_t currentShedTotal() const;
     /** Group token ("clients", "lbs", "ms", "lb<k>", "m<s>") to fabric
      *  address ranges (first, last). */
     std::vector<std::pair<IpAddr, IpAddr>>
@@ -275,6 +304,44 @@ class FleetTestbed
     std::uint64_t flapTransitions_ = 0;
     std::uint64_t partitionsArmed_ = 0;
     IncidentLog incidents_;
+    FleetTraceLog traceLog_;
+    MetricsRegistry metrics_;
+    std::unique_ptr<SloTracker> slo_;
+
+    /** @name Metric slots + sampling cursors */
+    /** @{ */
+    struct MetricIds
+    {
+        std::vector<MetricsRegistry::MetricId> lbFlows;
+        std::vector<MetricsRegistry::MetricId> mCps;
+        std::vector<MetricsRegistry::MetricId> mEstablished;
+        std::vector<MetricsRegistry::MetricId> mTimeWait;
+        std::vector<MetricsRegistry::MetricId> mPressure;
+        MetricsRegistry::MetricId completed =
+            MetricsRegistry::kInvalidMetric;
+        MetricsRegistry::MetricId failed =
+            MetricsRegistry::kInvalidMetric;
+        MetricsRegistry::MetricId shed = MetricsRegistry::kInvalidMetric;
+        MetricsRegistry::MetricId upMachines =
+            MetricsRegistry::kInvalidMetric;
+        MetricsRegistry::MetricId healthyTargets =
+            MetricsRegistry::kInvalidMetric;
+        MetricsRegistry::MetricId successRatio =
+            MetricsRegistry::kInvalidMetric;
+        MetricsRegistry::MetricId latency =
+            MetricsRegistry::kInvalidMetric;
+        MetricsRegistry::MetricId fastBurn =
+            MetricsRegistry::kInvalidMetric;
+        MetricsRegistry::MetricId slowBurn =
+            MetricsRegistry::kInvalidMetric;
+    };
+    MetricIds mid_;
+    std::size_t latCursor_ = 0;     //!< into load_->latencySamples()
+    std::uint64_t obsCompletedPrev_ = 0;
+    std::uint64_t obsFailedPrev_ = 0;
+    std::uint64_t obsShedPrev_ = 0;
+    std::vector<std::uint64_t> obsServedPrev_;
+    /** @} */
 
     /** @name Fleet-level measurement marks */
     /** @{ */

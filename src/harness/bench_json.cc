@@ -328,6 +328,71 @@ BenchJsonReport::str() const
         w.key("incidents_recovered").value(fl.incidentsRecovered);
         w.key("mttd_ms_mean").value(fl.mttdMsMean);
         w.key("mttr_ms_mean").value(fl.mttrMsMean);
+        // v10: distributed-trace stitching gates + SLO burn alerts.
+        w.key("traces_started").value(fl.tracesStarted);
+        w.key("traces_completed").value(fl.tracesCompleted);
+        w.key("traces_stitched").value(fl.tracesStitched);
+        w.key("trace_orphans").value(fl.traceOrphans);
+        w.key("trace_duplicates").value(fl.traceDuplicates);
+        w.key("span_reconcile_violations").value(
+            fl.spanReconcileViolations);
+        w.key("slo_fast_alerts").value(fl.sloFastAlerts);
+        w.key("slo_slow_alerts").value(fl.sloSlowAlerts);
+        w.key("slo_first_fast_alert_ms").value(fl.sloFirstFastAlertMs);
+        w.endObject();
+
+        // v10: sampled metrics time series (one point per stat
+        // sub-window; empty series list when sampling never ran).
+        const MetricsSnapshot &ts = r.timeseries;
+        w.key("timeseries").beginObject();
+        w.key("enabled").value(ts.enabled);
+        w.key("sample_period").value(
+            static_cast<std::uint64_t>(ts.samplePeriod));
+        w.key("series").beginArray();
+        for (const MetricSeries &s : ts.series) {
+            w.beginObject();
+            w.key("name").value(s.name);
+            w.key("kind").value(metricKindName(s.kind));
+            w.key("points").beginArray();
+            for (const auto &pt : s.points) {
+                w.beginArray();
+                w.value(static_cast<std::uint64_t>(pt.first));
+                w.value(pt.second);
+                w.endArray();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+
+        // v10: end-to-end critical-path forensics over stitched fleet
+        // traces.
+        const FleetTraceForensics &ft = r.fleetTrace;
+        w.key("fleet_trace").beginObject();
+        w.key("enabled").value(ft.enabled);
+        w.key("traces_completed").value(ft.tracesCompleted);
+        w.key("orphans").value(ft.orphans);
+        w.key("duplicates").value(ft.duplicates);
+        w.key("stitched").value(ft.stitched);
+        w.key("e2e_p50").value(static_cast<std::uint64_t>(ft.e2eP50));
+        w.key("e2e_p99").value(static_cast<std::uint64_t>(ft.e2eP99));
+        w.key("e2e_p999").value(static_cast<std::uint64_t>(ft.e2eP999));
+        w.key("dominant_p50").value(ft.dominantP50);
+        w.key("dominant_p99").value(ft.dominantP99);
+        w.key("dominant_p999").value(ft.dominantP999);
+        w.key("hops").beginArray();
+        for (const FleetHopStat &h : ft.hops) {
+            w.beginObject();
+            w.key("hop").value(h.hop);
+            w.key("p50").value(static_cast<std::uint64_t>(h.p50));
+            w.key("p99").value(static_cast<std::uint64_t>(h.p99));
+            w.key("p999").value(static_cast<std::uint64_t>(h.p999));
+            w.key("max").value(static_cast<std::uint64_t>(h.max));
+            w.key("share").value(h.share);
+            w.endObject();
+        }
+        w.endArray();
         w.endObject();
 
         w.key("lock_windows").beginArray();

@@ -46,8 +46,13 @@ class BenchJsonReport
      *  v9: gray-failure fields in "fleet" (health_mode, score-based
      *  ejection/ramp counters, degrade/flap/partition accounting, and
      *  the incident ledger summary: counts + mean time-to-detect and
-     *  time-to-recover in milliseconds). */
-    static constexpr int kSchemaVersion = 9;
+     *  time-to-recover in milliseconds).
+     *  v10: distributed-tracing gates in "fleet" (traces_* stitching
+     *  counters, span_reconcile_violations, slo_* burn-alert fields),
+     *  per-row "timeseries" block (sampled metric series: name, kind,
+     *  [tick, value] points) and "fleet_trace" block (end-to-end hop
+     *  decomposition percentiles + dominant critical-path hops). */
+    static constexpr int kSchemaVersion = 10;
 
     explicit BenchJsonReport(std::string bench_name);
 

@@ -24,8 +24,10 @@
 #include "fault/fault_plan.hh"
 #include "kernel/kernel_config.hh"
 #include "overload/admission.hh"
+#include "stats/metrics.hh"
 #include "sync/lock_registry.hh"
 #include "trace/conn_span.hh"
+#include "trace/fleet_trace.hh"
 #include "trace/span_forensics.hh"
 #include "trace/trace_report.hh"
 
@@ -341,6 +343,24 @@ struct FleetResult
     /** Mean inject->recover over recovered incidents, ms (0 if none). */
     double mttrMsMean = 0.0;
     /** @} */
+
+    /** @name End-to-end tracing + SLO (schema v10) */
+    /** @{ */
+    std::uint64_t tracesStarted = 0;    //!< client hops recorded
+    std::uint64_t tracesCompleted = 0;  //!< client finishes (ok + fail)
+    std::uint64_t tracesStitched = 0;   //!< with a machine span joined
+    /** Completed-ok traces with no balancer record (gate: must be 0). */
+    std::uint64_t traceOrphans = 0;
+    /** Trace-id collisions between attempts (gate: must be 0). */
+    std::uint64_t traceDuplicates = 0;
+    /** (generation, core) pairs whose recorded exec-span ticks exceed
+     *  the core's busy ticks (gate: must be 0). */
+    std::uint64_t spanReconcileViolations = 0;
+    std::uint64_t sloFastAlerts = 0;    //!< fast-burn arm firings
+    std::uint64_t sloSlowAlerts = 0;    //!< slow-burn arm firings
+    /** Earliest fast-burn alert, ms from run start (0 = never). */
+    double sloFirstFastAlertMs = 0.0;
+    /** @} */
 };
 
 /** Measured outcome of one experiment. */
@@ -406,6 +426,14 @@ struct ExperimentResult
 
     /** Fleet tier (enabled=false for single-machine runs). */
     FleetResult fleet;
+
+    /** Sampled metrics time series (schema v10 "timeseries" block;
+     *  enabled=false and empty when the run had no registry). */
+    MetricsSnapshot timeseries;
+
+    /** Fleet-wide end-to-end critical-path forensics (enabled=false
+     *  outside traced fleet runs). */
+    FleetTraceForensics fleetTrace;
 
     /** @name DES-core throughput (schema v7 "sim_core" block) */
     /** @{ */

@@ -493,6 +493,7 @@ KernelStack::sendPacket(CoreId core, Tick t, Socket *sock,
     pkt.flags = flags;
     pkt.payload = payload;
     pkt.connId = sock->id;
+    pkt.traceId = sock->traceId;
     pkt.txSeq = sock->txSeqCounter++;
     t += d_.costs->txPacket;
     d_.nic->noteTx(pkt, core);   // XPS: transmit on the local queue
@@ -916,6 +917,7 @@ KernelStack::handleSyn(CoreId core, const Packet &pkt, Tick t)
     conn->parentListen = listener;
     conn->timerCore = core;
     conn->prio = pkt.prio;
+    conn->traceId = pkt.traceId;
     conn->touch(core);
     t += d_.costs->synProcess;
     const Tick lk_begin = t;
@@ -935,6 +937,7 @@ KernelStack::handleSyn(CoreId core, const Packet &pkt, Tick t)
     if (ConnSpanLog *sl = spans()) {
         sl->open(conn->id, steerTick_ ? steerTick_ : rx_begin,
                  /*passive=*/true);
+        sl->setTraceId(conn->id, conn->traceId);
         if (steerTick_)
             sl->add(conn->id, ConnStage::kCoreTransfer, core, steerTick_,
                     rx_begin, static_cast<std::uint32_t>(steerFrom_));
@@ -973,6 +976,7 @@ KernelStack::establishFromCookie(CoreId core, Socket *listener,
     conn->parentListen = listener;
     conn->timerCore = core;
     conn->prio = pkt.prio;
+    conn->traceId = pkt.traceId;
     conn->touch(core);
     if (pkt.payload) {
         conn->rxPending += pkt.payload;
@@ -997,6 +1001,7 @@ KernelStack::establishFromCookie(CoreId core, Socket *listener,
             return;
         sl->open(conn->id, steerTick_ ? steerTick_ : rx_begin,
                  /*passive=*/true);
+        sl->setTraceId(conn->id, conn->traceId);
         if (steerTick_)
             sl->add(conn->id, ConnStage::kCoreTransfer, core, steerTick_,
                     rx_begin, static_cast<std::uint32_t>(steerFrom_));

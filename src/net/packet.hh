@@ -82,6 +82,14 @@ struct Packet
      *  spare them. Not part of the payload; wire-fault content hashes
      *  ignore it. */
     bool prio = false;
+    /** Distributed trace context (0 = none): stamped by the client on
+     *  every packet of a request, carried across the balancer's NAT
+     *  rewrite and inherited by server TCBs, so LB-side and
+     *  machine-side spans stitch into one end-to-end trace. Like prio
+     *  and connId, it is metadata: wire-fault content hashes and the
+     *  delivery-sequence fingerprint both ignore it, so tracing can
+     *  never change a packet's fate. */
+    std::uint64_t traceId = 0;
 
     bool has(TcpFlag f) const { return flags & f; }
     std::string str() const;

@@ -225,10 +225,11 @@ class InlineFn<R(Args...), Cap>
 /**
  * Event-queue handler: the capture budget covers every schedule() site
  * in the tree; the binding site is the wire's delivery closure
- * [this, Packet] (8 + 48 bytes). Raising this inflates every pending
+ * [this, Packet] (8 + 56 bytes — the Packet carries the 8-byte
+ * distributed trace context). Raising this inflates every pending
  * event node, so prefer shrinking captures first.
  */
-constexpr std::size_t kEventCaptureMax = 56;
+constexpr std::size_t kEventCaptureMax = 64;
 using EventFn = InlineFn<void(), kEventCaptureMax>;
 
 } // namespace fsim

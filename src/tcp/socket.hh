@@ -137,6 +137,11 @@ struct Socket
      *  inherited from the SYN so the admission controller can classify
      *  the connection before any payload arrives. */
     bool prio = false;
+    /** Distributed trace context inherited from the SYN (or the
+     *  cookie-validated ACK), like prio; stamped back onto every packet
+     *  this socket transmits so the reply path carries the same
+     *  end-to-end trace id the client minted. 0 = untraced. */
+    std::uint64_t traceId = 0;
     /** @} */
 
     /** Per-socket lock (the paper's "slock" row). */

@@ -114,6 +114,16 @@ ConnSpanLog::add(std::uint64_t conn_id, ConnStage stage, CoreId core,
 }
 
 void
+ConnSpanLog::setTraceId(std::uint64_t conn_id, std::uint64_t trace_id)
+{
+    if (!enabled_)
+        return;
+    auto it = live_.find(conn_id);
+    if (it != live_.end())
+        it->second.traceId = trace_id;
+}
+
+void
 ConnSpanLog::noteShed(std::uint64_t conn_id, std::uint8_t reason)
 {
     if (!enabled_)
@@ -141,6 +151,47 @@ ConnSpanLog::close(std::uint64_t conn_id, Tick t)
         ++tracesDropped_;
     }
     live_.erase(it);
+}
+
+void
+ConnSpanLog::closeAllLive(Tick t)
+{
+    if (!enabled_ || live_.empty())
+        return;
+    // live_ is a hash map; sort the keys so crash finalization is
+    // deterministic regardless of insertion history.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(live_.size());
+    for (const auto &kv : live_)
+        ids.push_back(kv.first);
+    std::sort(ids.begin(), ids.end());
+    for (std::uint64_t id : ids) {
+        auto it = live_.find(id);
+        it->second.closeTick = t;
+        // closed stays false: no orderly teardown was observed.
+        ++closedTotal_;
+        if (completed_.size() < kMaxRetainedTraces) {
+            completed_.push_back(std::move(it->second));
+            ++allocations_;
+        } else {
+            ++tracesDropped_;
+        }
+        live_.erase(it);
+    }
+}
+
+std::vector<const ConnSpanTrace *>
+ConnSpanLog::liveSnapshot() const
+{
+    std::vector<const ConnSpanTrace *> out;
+    out.reserve(live_.size());
+    for (const auto &kv : live_)
+        out.push_back(&kv.second);
+    std::sort(out.begin(), out.end(),
+              [](const ConnSpanTrace *a, const ConnSpanTrace *b) {
+                  return a->connId < b->connId;
+              });
+    return out;
 }
 
 std::uint64_t

@@ -99,6 +99,11 @@ struct ConnSpanTrace
     static constexpr std::uint8_t kNotShed = 0xff;
 
     std::uint64_t connId = 0;
+    /** End-to-end distributed trace context (Packet::traceId) this
+     *  connection belongs to; 0 when the client did not mint one
+     *  (probes, backend-side connections). The fleet stitcher joins
+     *  machine-side traces to LB/client records on this key. */
+    std::uint64_t traceId = 0;
     Tick openTick = 0;     //!< first kernel touch (SYN rx / connect)
     Tick closeTick = 0;    //!< TCB destruction
     bool passive = true;
@@ -149,8 +154,24 @@ class ConnSpanLog
     /** Record an admission-control shed verdict on the trace. */
     void noteShed(std::uint64_t conn_id, std::uint8_t reason);
 
+    /** Attach the distributed trace context (kernel TCB inherit). */
+    void setTraceId(std::uint64_t conn_id, std::uint64_t trace_id);
+
     /** Finalize the trace (TCB destruction) in completion order. */
     void close(std::uint64_t conn_id, Tick t);
+
+    /** Finalize every still-live trace at @p t (machine death: the
+     *  TCBs never destruct, so their spans would otherwise leak).
+     *  Traces keep closed=false to mark the abnormal finalization;
+     *  processed in ascending conn-id order for determinism. */
+    void closeAllLive(Tick t);
+
+    /** Deterministic snapshot of still-open traces (connections in
+     *  flight at collection time), ascending conn-id order. A span
+     *  does not need an orderly close to join an end-to-end trace —
+     *  e.g. a server stuck retransmitting its FIN through a NAT flow
+     *  that died in a balancer failover still served the request. */
+    std::vector<const ConnSpanTrace *> liveSnapshot() const;
 
     /** Completed traces, oldest first (completion order). */
     const std::vector<ConnSpanTrace> &completed() const

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Fleet-wide distributed request tracing: the end-to-end complement of
+ * ConnSpanLog. A request in the fleet tier crosses client -> L4
+ * balancer (full NAT) -> server machine -> backend; each hop only sees
+ * its own slice. The 64-bit trace context the client mints
+ * (Packet::traceId) survives the NAT rewrite and is inherited by the
+ * server TCB, so the hop records collected here stitch into one
+ * end-to-end trace per request — the "where did THIS p999 request
+ * spend its time, fleet-wide?" answer LiveStack-style cluster
+ * simulation needs.
+ *
+ * The log is recording-only: it schedules no events, charges no
+ * virtual cycles, and never touches simulated state, so results (and
+ * run fingerprints) are identical with tracing on or off. All mutators
+ * are no-ops when disabled and the allocation counter stays zero — the
+ * same "--notrace costs nothing" discipline ConnSpanLog follows.
+ */
+
+#ifndef FSIM_TRACE_FLEET_TRACE_HH
+#define FSIM_TRACE_FLEET_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+#include "trace/conn_span.hh"
+
+namespace fsim
+{
+
+/** One end-to-end request trace, stitched across fleet hops. */
+struct FleetTrace
+{
+    std::uint64_t traceId = 0;
+
+    /** @name Client hop (HttpLoad) */
+    /** @{ */
+    Tick clientStart = 0;       //!< launch (SYN minted)
+    Tick clientEnd = 0;         //!< closed-loop finish (ok or failed)
+    bool clientDone = false;
+    bool ok = false;
+    /** @} */
+
+    /** @name Balancer hop (L4 full NAT) */
+    /** @{ */
+    int lbId = -1;              //!< first balancer that created a flow
+    Tick lbIngress = 0;         //!< first SYN arrival at a VIP
+    std::uint32_t lbFlows = 0;  //!< flow entries created (failover -> >1)
+    std::uint32_t lbForwards = 0;   //!< packets NAT-rewritten, both ways
+    int serverSlot = -1;        //!< machine slot the flow steered to
+    /** @} */
+
+    /** @name Server-machine hop (stitched from ConnSpanLog) */
+    /** @{ */
+    bool stitched = false;
+    bool serverOrderly = false; //!< span closed via TCB destruction
+    Tick serverOpen = 0;        //!< TCB mint (SYN rx)
+    Tick serverClose = 0;       //!< TCB destruction
+    Tick serverService = 0;     //!< ConnSpanTrace::serviceLatency
+    Tick serverExec = 0;        //!< sum of exec-stage spans
+    /** @} */
+
+    Tick e2eLatency() const
+    {
+        return clientEnd > clientStart ? clientEnd - clientStart : 0;
+    }
+};
+
+/**
+ * Fleet-scope trace collector, owned by FleetTestbed. The client and
+ * the balancers push hop records as they happen; the testbed stitches
+ * machine-side spans in at collect time (matching on
+ * ConnSpanTrace::traceId).
+ */
+class FleetTraceLog
+{
+  public:
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    /** Client minted @p trace_id and sent the first SYN. */
+    void clientStart(std::uint64_t trace_id, Tick t);
+
+    /** Client finished the request (closed loop: success or give-up). */
+    void clientEnd(std::uint64_t trace_id, Tick t, bool ok);
+
+    /** A balancer created a flow for @p trace_id steered to
+     *  @p server_slot. Called again on failover (the retransmitted SYN
+     *  lands on the adopting balancer); first call wins the ingress
+     *  stamp, every call counts a flow. */
+    void lbIngress(std::uint64_t trace_id, Tick t, int lb, int slot);
+
+    /** A balancer NAT-rewrote one packet of @p trace_id (either
+     *  direction). */
+    void lbForward(std::uint64_t trace_id);
+
+    /**
+     * Join a machine-side span trace. When two machine spans claim the
+     * same trace id (a reaped half-open TCB on the pre-failover
+     * machine plus the one that actually served), the span with the
+     * larger service latency wins — deterministically the serving one.
+     */
+    void stitchMachineSpan(const ConnSpanTrace &tr);
+
+    /** @name Accounting (all deterministic) */
+    /** @{ */
+    std::uint64_t clientStarts() const { return clientStarts_; }
+    std::uint64_t clientCompleted() const { return clientCompleted_; }
+    /** Second clientStart on an already-finished id: a trace-id
+     *  collision between distinct attempts. Must stay zero. */
+    std::uint64_t duplicates() const { return duplicates_; }
+    /** Machine spans joined to a record. */
+    std::uint64_t machineSpansStitched() const { return stitched_; }
+    /** Heap activity caused by the log; exactly zero when disabled. */
+    std::uint64_t allocations() const { return allocations_; }
+    /** @} */
+
+    /** Completed-ok traces with no balancer record: the trace context
+     *  was lost in flight. Must stay zero. */
+    std::uint64_t orphans() const;
+
+    const std::unordered_map<std::uint64_t, FleetTrace> &records() const
+    {
+        return records_;
+    }
+
+    /** Deterministic view: completed traces sorted by (clientStart,
+     *  traceId). Reports and exports iterate this, never the map. */
+    std::vector<const FleetTrace *> sortedCompleted() const;
+
+  private:
+    FleetTrace *find(std::uint64_t trace_id);
+
+    bool enabled_ = true;
+    std::unordered_map<std::uint64_t, FleetTrace> records_;
+    std::uint64_t clientStarts_ = 0;
+    std::uint64_t clientCompleted_ = 0;
+    std::uint64_t duplicates_ = 0;
+    std::uint64_t stitched_ = 0;
+    std::uint64_t allocations_ = 0;
+};
+
+/** Per-hop latency distribution over completed traces (ticks). */
+struct FleetHopStat
+{
+    std::string hop;        //!< "wire", "lb-ingress", "lb-nat", ...
+    Tick p50 = 0;
+    Tick p99 = 0;
+    Tick p999 = 0;
+    Tick max = 0;
+    /** Share of summed end-to-end latency attributed to this hop. */
+    double share = 0.0;
+};
+
+/** End-to-end critical-path summary (the fleet --forensics block). */
+struct FleetTraceForensics
+{
+    bool enabled = false;
+    std::uint64_t tracesCompleted = 0;  //!< ok client finishes
+    std::uint64_t orphans = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t stitched = 0;         //!< with a machine span joined
+    Tick e2eP50 = 0;
+    Tick e2eP99 = 0;
+    Tick e2eP999 = 0;
+    /** Hop stats in fixed order: wire, lb-ingress, lb-nat, server-exec,
+     *  backend-rtt. */
+    std::vector<FleetHopStat> hops;
+    /** Hop with the largest slice of the exemplar trace picked at each
+     *  end-to-end latency percentile. */
+    std::string dominantP50;
+    std::string dominantP99;
+    std::string dominantP999;
+};
+
+/**
+ * Build the critical-path summary over @p log's completed-ok traces.
+ * @p forward_delay is the balancer's per-packet rewrite cost, used to
+ * attribute lb-ingress (first SYN) and lb-nat (every further rewrite)
+ * time.
+ */
+FleetTraceForensics buildFleetTraceForensics(const FleetTraceLog &log,
+                                             Tick forward_delay);
+
+/** Human-readable report (the fleet --forensics output). */
+std::string renderFleetTraceReport(const FleetTraceForensics &f,
+                                   const std::string &label);
+
+} // namespace fsim
+
+#endif // FSIM_TRACE_FLEET_TRACE_HH

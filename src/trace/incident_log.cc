@@ -19,6 +19,8 @@ incidentKindName(IncidentKind kind)
         return "net_partition";
       case IncidentKind::kLbCrash:
         return "lb_crash";
+      case IncidentKind::kSloBurn:
+        return "slo_burn";
     }
     return "?";
 }
@@ -69,6 +71,16 @@ IncidentLog::noteDetect(int target, Tick t)
     if (inc && !inc->detected) {
         inc->detected = true;
         inc->detectAt = t;
+    }
+}
+
+void
+IncidentLog::noteDetectById(int id, Tick t)
+{
+    Incident &inc = incidents_.at(id);
+    if (!inc.detected) {
+        inc.detected = true;
+        inc.detectAt = t;
     }
 }
 

@@ -34,6 +34,7 @@ enum class IncidentKind : std::uint8_t
     kMachineFlap,       //!< oscillating degrade
     kNetPartition,
     kLbCrash,
+    kSloBurn,           //!< error-budget burn-rate alert (SLO layer)
 };
 
 const char *incidentKindName(IncidentKind kind);
@@ -77,6 +78,11 @@ class IncidentLog
     void noteEject(int target, Tick t);
     void noteRecover(int target, Tick t);
     /** @} */
+
+    /** Direct by-id detect stamp, for openers that hold their incident
+     *  id (the SLO burn tracker): no target routing, no risk of
+     *  absorbing another fault's stamps. First call wins. */
+    void noteDetectById(int id, Tick t);
 
     const std::vector<Incident> &incidents() const { return incidents_; }
     std::size_t count() const { return incidents_.size(); }

@@ -225,4 +225,129 @@ writePerfettoTrace(const std::string &path,
     return w.writeFile(path);
 }
 
+namespace
+{
+
+/** Fleet track plan: distinct pids so Perfetto renders one process
+ *  lane per simulated box. Machines stay below 74 (slots <= 64), so
+ *  the ranges never collide. */
+constexpr int kClientPid = 1;
+constexpr int kMachinePidBase = 10;
+constexpr int kLbPidBase = 100;
+
+void
+writeProcessName(JsonWriter &w, int pid, const std::string &name)
+{
+    w.beginObject();
+    w.key("name").value("process_name");
+    w.key("ph").value("M");
+    w.key("pid").value(pid);
+    w.key("tid").value(0);
+    w.key("args").beginObject();
+    w.key("name").value(name);
+    w.endObject();
+    w.endObject();
+}
+
+/** Async hop span (ph b/e) or flow endpoint (s/f) on a fleet track. */
+void
+writeFleetEvent(JsonWriter &w, char ph, Tick ts, int pid,
+                std::uint64_t id, const char *name, const char *cat)
+{
+    w.beginObject();
+    w.key("name").value(name);
+    w.key("cat").value(cat);
+    w.key("ph").value(std::string(1, ph));
+    w.key("ts").value(static_cast<std::uint64_t>(ts));
+    w.key("pid").value(pid);
+    w.key("tid").value(0);
+    w.key("id").value(id);
+    w.endObject();
+}
+
+} // namespace
+
+bool
+writeFleetPerfettoTrace(const std::string &path, const FleetTraceLog &log,
+                        const FleetPerfettoMeta &meta, PerfettoStats *stats,
+                        std::size_t max_traces)
+{
+    PerfettoStats st;
+    const std::vector<const FleetTrace *> done = log.sortedCompleted();
+    const std::size_t n = std::min(done.size(), max_traces);
+    st.truncated = n < done.size();
+    st.tracesExported = n;
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+
+    writeProcessName(w, kClientPid, "clients");
+    for (int b = 0; b < std::max(meta.balancers, 1); ++b)
+        writeProcessName(w, kLbPidBase + b, "lb " + std::to_string(b));
+    for (int m = 0; m < std::max(meta.machines, 1); ++m)
+        writeProcessName(w, kMachinePidBase + m,
+                         "machine " + std::to_string(m));
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const FleetTrace &tr = *done[i];
+        const Tick end = std::max(tr.clientEnd, tr.clientStart);
+        writeFleetEvent(w, 'b', tr.clientStart, kClientPid, tr.traceId,
+                        "request", "fleet");
+        writeFleetEvent(w, 'e', end, kClientPid, tr.traceId, "request",
+                        "fleet");
+        st.waitEvents += 2;
+
+        const bool haveLb = tr.lbFlows > 0 && tr.lbId >= 0;
+        if (haveLb) {
+            const int pid = kLbPidBase + tr.lbId;
+            const Tick lb_end = std::max(end, tr.lbIngress);
+            writeFleetEvent(w, 'b', tr.lbIngress, pid, tr.traceId, "lb",
+                            "fleet");
+            writeFleetEvent(w, 'e', lb_end, pid, tr.traceId, "lb",
+                            "fleet");
+            st.waitEvents += 2;
+        }
+
+        if (tr.stitched && tr.serverSlot >= 0) {
+            const int pid = kMachinePidBase + tr.serverSlot;
+            const Tick close = std::max(tr.serverClose, tr.serverOpen);
+            writeFleetEvent(w, 'b', tr.serverOpen, pid, tr.traceId,
+                            "server", "fleet");
+            writeFleetEvent(w, 'e', close, pid, tr.traceId, "server",
+                            "fleet");
+            st.waitEvents += 2;
+            // Cross-machine arrow: balancer admission -> server TCB
+            // mint. Causality orders the mint after the ingress, so
+            // the f endpoint never precedes its s.
+            if (haveLb && tr.serverOpen >= tr.lbIngress) {
+                writeFleetEvent(w, 's', tr.lbIngress,
+                                kLbPidBase + tr.lbId, tr.traceId,
+                                "steer", "fleet-flow");
+                writeFleetEvent(w, 'f', tr.serverOpen, pid, tr.traceId,
+                                "steer", "fleet-flow");
+                ++st.flowPairs;
+            }
+        }
+    }
+
+    w.endArray();
+    w.key("otherData").beginObject();
+    w.key("bench").value(meta.bench);
+    w.key("label").value(meta.label);
+    w.key("machines").value(meta.machines);
+    w.key("balancers").value(meta.balancers);
+    w.key("rfd").value(false);
+    w.key("ts_unit").value("ticks");
+    w.key("traces_exported").value(st.tracesExported);
+    w.key("cross_core_flows").value(st.flowPairs);
+    w.key("truncated").value(st.truncated);
+    w.endObject();
+    w.endObject();
+
+    if (stats)
+        *stats = st;
+    return w.writeFile(path);
+}
+
 } // namespace fsim

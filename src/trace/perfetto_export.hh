@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "trace/conn_span.hh"
+#include "trace/fleet_trace.hh"
 
 namespace fsim
 {
@@ -50,6 +51,30 @@ bool writePerfettoTrace(const std::string &path,
                         const std::vector<ConnSpanTrace> &traces,
                         const PerfettoMeta &meta, PerfettoStats *stats,
                         std::size_t max_traces = 20000);
+
+/** Run identity for a fleet-scope export. */
+struct FleetPerfettoMeta
+{
+    std::string bench;
+    std::string label;
+    int machines = 0;
+    int balancers = 0;
+};
+
+/**
+ * Write @p log's completed end-to-end traces as trace-event JSON: one
+ * process track per client fleet / balancer / machine, an async span
+ * per hop ("request" on the client track, "lb" on the balancer that
+ * admitted the flow, "server" on the machine that served it) and a
+ * cross-machine flow arrow from the balancer's ingress to the server
+ * TCB mint for every stitched trace. Timestamps are raw ticks.
+ * @return false on I/O error.
+ */
+bool writeFleetPerfettoTrace(const std::string &path,
+                             const FleetTraceLog &log,
+                             const FleetPerfettoMeta &meta,
+                             PerfettoStats *stats,
+                             std::size_t max_traces = 4096);
 
 } // namespace fsim
 

@@ -117,6 +117,39 @@ def main():
     cand["rows"][0]["fleet"]["mttr_ms_mean"] = 500.0
     rc, out = run_compare(base, cand)
     check("mttr rise is a regression (lower is better)", rc == 1, out)
+    check("mttr regression names its gate direction",
+          "lower is better" in out, out)
+    check("mttr regression reports gate-relative percentage as worse",
+          "worse" in out, out)
+
+    cand = copy.deepcopy(base)
+    cand["rows"][0]["metrics"]["cps"] = 50.0
+    rc, out = run_compare(base, cand)
+    check("cps regression names its gate direction",
+          "higher is better" in out, out)
+
+    # v10 time series: the final sampled value compares by name, with
+    # the direction chosen by the ts:/ts-: prefix, and a series the
+    # candidate stopped sampling is an explicit MISSING regression.
+    ts_base = copy.deepcopy(base)
+    ts_base["rows"][0]["timeseries"] = {
+        "enabled": True, "sample_period": 1000,
+        "series": [{"name": "m0.time_wait", "kind": "gauge",
+                    "points": [[1000, 50], [2000, 60]]}]}
+    ts_cand = copy.deepcopy(ts_base)
+    ts_cand["rows"][0]["timeseries"]["series"][0]["points"] = \
+        [[1000, 50], [2000, 90]]
+    rc, out = run_compare(ts_base, ts_cand, "--metrics=ts-:m0.time_wait")
+    check("lower-better time-series rise is a regression",
+          rc == 1 and "lower is better" in out, out)
+    rc, out = run_compare(ts_base, ts_cand, "--metrics=ts:m0.time_wait")
+    check("same rise improves under the higher-better prefix",
+          rc == 0 and "IMPROVED" in out, out)
+    ts_cand = copy.deepcopy(ts_base)
+    ts_cand["rows"][0]["timeseries"]["series"] = []
+    rc, out = run_compare(ts_base, ts_cand, "--metrics=ts-:m0.time_wait")
+    check("missing time-series metric is an explicit regression",
+          rc == 1 and "MISSING" in out, out)
 
     # Gating: mean over zero incidents is not a datum on either side.
     both = copy.deepcopy(base)

@@ -273,7 +273,7 @@ TEST(BenchJson, DocumentCarriesSchemaVersionAndRequiredKeys)
     std::string doc = report.str();
     // Golden schema: version stamp plus every top-level and per-row key
     // the downstream validator requires.
-    EXPECT_NE(doc.find("\"schema_version\":9"), std::string::npos);
+    EXPECT_NE(doc.find("\"schema_version\":10"), std::string::npos);
     EXPECT_NE(doc.find("\"bench\":\"unit_test\""), std::string::npos);
     for (const char *key :
          {"\"rows\"", "\"label\"", "\"config\"", "\"metrics\"",
@@ -328,6 +328,12 @@ TEST(BenchJson, DocumentCarriesSchemaVersionAndRequiredKeys)
           "\"sim_ticks\""})
         EXPECT_NE(doc.find(key), std::string::npos) << key;
     EXPECT_EQ(doc.find("\"wall_seconds\""), std::string::npos);
+    // v10: timeseries + fleet_trace blocks are present on every row
+    // (disabled and empty on single-machine rows like this one).
+    for (const char *key :
+         {"\"timeseries\"", "\"sample_period\"", "\"series\"",
+          "\"fleet_trace\"", "\"hops\""})
+        EXPECT_NE(doc.find(key), std::string::npos) << key;
     // Window deltas: events scheduled during warmup may run inside the
     // window, so run and scheduled need not be ordered — both just have
     // to show the window did real work.

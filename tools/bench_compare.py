@@ -25,6 +25,20 @@ metrics are compared against the baseline:
   - incident response (mttd_ms_mean / mttr_ms_mean from the v9 fleet
     block, compared only when both rows detected / recovered at least
     one incident): lower is better
+  - burn-alert reaction time (slo_first_fast_alert_ms from the v10
+    fleet block, compared only when both rows fired at least one fast
+    alert): lower is better
+  - sampled time series (v10 "timeseries" block) by name: pass
+    --metrics=ts:<series> (higher is better) or ts-:<series> (lower is
+    better) to compare the final sampled value of that series, e.g.
+    --metrics=ts-:m0.time_wait. A series the baseline sampled but the
+    candidate does not is an explicit MISSING regression.
+
+Sign convention: the percentage in every REGRESSION / IMPROVED line is
+the magnitude of the move measured against the metric's gate, and the
+message names the gate direction ("lower is better" / "higher is
+better") — so "12.0% worse; lower is better" always means the value
+rose, and a reader never has to remember which way a metric gates.
 
 A metric that is present (or comparable) in the baseline but absent or
 gated out of the candidate is reported as an explicit MISSING
@@ -51,8 +65,13 @@ HIGHER_BETTER = ("cps", "rps", "served", "events_per_sec",
                  "request_success_ratio")
 LOWER_BETTER = ("latency_p50_ticks", "latency_p99_ticks",
                 "bytes_per_conn", "wall_per_sim_sec",
-                "flows_active_peak", "mttd_ms_mean", "mttr_ms_mean")
+                "flows_active_peak", "mttd_ms_mean", "mttr_ms_mean",
+                "slo_first_fast_alert_ms")
 MIN_SCHEMA = 2
+
+
+def is_lower_better(name):
+    return name in LOWER_BETTER or name.startswith("ts-:")
 
 
 def as_float(v):
@@ -85,6 +104,22 @@ def load(path):
 
 def metric_value(row, name):
     """Fetch a metric by name; None when absent or not comparable."""
+    if name.startswith("ts:") or name.startswith("ts-:"):
+        # v10 timeseries: final sampled value of the named series.
+        ts = row.get("timeseries", {})
+        if not ts.get("enabled"):
+            return None
+        want = name.split(":", 1)[1]
+        for se in ts.get("series", []):
+            if se.get("name") == want and se.get("points"):
+                return as_float(se["points"][-1][1])
+        return None
+    if name == "slo_first_fast_alert_ms":
+        # v10 SLO: reaction time exists only once a fast alert fired.
+        fl = row.get("fleet", {})
+        if not fl.get("enabled") or not fl.get("slo_fast_alerts"):
+            return None
+        return as_float(fl.get(name))
     if name in ("events_per_sec", "wall_per_sim_sec"):
         # v7 sim_core: only wall-stamped rows carry these, so unstamped
         # baselines/candidates simply skip the comparison.
@@ -145,14 +180,19 @@ def compare_rows(label, base, cand, metrics, threshold):
         if bv == 0:
             continue    # cannot express a relative delta
         delta = (cv - bv) / bv
-        lower_better = m in LOWER_BETTER
-        worse = -delta if not lower_better else delta
-        msg = (f"{label}: {m} {bv:.6g} -> {cv:.6g} "
-               f"({delta * 100.0:+.1f}%)")
+        lower_better = is_lower_better(m)
+        # Measure against the gate so the reported percentage always
+        # means the same thing: positive = worse, for every metric.
+        worse = delta if lower_better else -delta
+        gate = "lower is better" if lower_better else "higher is better"
         if worse > threshold:
-            regressions.append(msg)
+            regressions.append(
+                f"{label}: {m} {bv:.6g} -> {cv:.6g} "
+                f"({abs(worse) * 100.0:.1f}% worse; {gate})")
         elif worse < -threshold:
-            improvements.append(msg)
+            improvements.append(
+                f"{label}: {m} {bv:.6g} -> {cv:.6g} "
+                f"({abs(worse) * 100.0:.1f}% better; {gate})")
     return regressions, improvements
 
 

@@ -1,7 +1,12 @@
 #!/usr/bin/env python3
 """Validate a bench --json export against the versioned schema.
 
-Usage: validate_bench_json.py <file.json> [<file.json> ...]
+Usage: validate_bench_json.py [--quiet] <file.json> [<file.json> ...]
+
+Every violation in every file is reported (one line each) before the
+exit status is decided -- a document with three problems prints three
+lines, not just the first. With --quiet, per-file OK lines are
+suppressed and only violations print.
 
 Checks (stdlib only, used by CI and by hand after editing the exporter):
   - schema_version is the known version
@@ -41,6 +46,13 @@ Checks (stdlib only, used by CI and by hand after editing the exporter):
     incident funnel is monotone (recovered <= detected <= total), and
     MTTD/MTTR means are non-negative and zero when nothing was
     detected/recovered
+  - (v10) distributed-tracing fields inside the fleet block (trace
+    accounting is monotone: stitched/orphans/duplicates <= completed
+    <= started, burn-alert timestamp present iff an alert fired),
+    per-row timeseries block (known metric kinds, strictly monotone
+    sample ticks, positive sample period when enabled), and per-row
+    fleet_trace block (hop decomposition: monotone p50 <= p99 <= p999
+    <= max per hop, shares in [0, 1], dominant hops named by a hop row)
 Exit status 0 iff every document passes.
 """
 
@@ -48,7 +60,7 @@ import json
 import re
 import sys
 
-KNOWN_SCHEMA_VERSIONS = (2, 3, 4, 5, 6, 7, 8, 9)
+KNOWN_SCHEMA_VERSIONS = (2, 3, 4, 5, 6, 7, 8, 9, 10)
 
 V3_WINDOW_KEYS = ("completed", "goodput", "syn_retransmits",
                   "syn_cookies_sent", "syn_cookies_validated",
@@ -108,11 +120,27 @@ FLEET_V9_KEYS = ("health_mode", "score_ejections", "ramp_skips",
                  "partition_dropped", "incidents_total",
                  "incidents_detected", "incidents_recovered",
                  "mttd_ms_mean", "mttr_ms_mean")
+# v10 additions: distributed-trace stitching + SLO burn alerts.
+FLEET_V10_KEYS = ("traces_started", "traces_completed",
+                  "traces_stitched", "trace_orphans",
+                  "trace_duplicates", "span_reconcile_violations",
+                  "slo_fast_alerts", "slo_slow_alerts",
+                  "slo_first_fast_alert_ms")
 # Zero on a single-machine (fleet-disabled) row: no balancer tier ran.
 FLEET_DISABLED_ZERO_KEYS = tuple(
     k for k in FLEET_KEYS if k not in ("enabled", "policy"))
 FLEET_V9_DISABLED_ZERO_KEYS = tuple(
     k for k in FLEET_V9_KEYS if k != "health_mode")
+FLEET_V10_DISABLED_ZERO_KEYS = FLEET_V10_KEYS
+
+TIMESERIES_KEYS = ("enabled", "sample_period", "series")
+SERIES_KEYS = ("name", "kind", "points")
+METRIC_KINDS = ("counter", "gauge", "histogram")
+FLEET_TRACE_KEYS = ("enabled", "traces_completed", "orphans",
+                    "duplicates", "stitched", "e2e_p50", "e2e_p99",
+                    "e2e_p999", "dominant_p50", "dominant_p99",
+                    "dominant_p999", "hops")
+HOP_ROW_KEYS = ("hop", "p50", "p99", "p999", "max", "share")
 
 CONN_KEYS = ("tcb_live", "tcb_live_peak", "tcb_created", "slab_bytes",
              "bytes_per_conn", "established_curr", "established_peak",
@@ -129,347 +157,502 @@ RAMP_KEYS = ("live", "bytes_per_conn", "cycles_per_lookup",
 FINGERPRINT_RE = re.compile(r"^0x[0-9a-f]{16}$")
 
 
-def fail(path, msg):
-    print(f"{path}: FAIL: {msg}")
-    return False
+class Checker:
+    """Accumulates violations for one document; never stops at the
+    first problem, so a broken exporter shows its full damage in one
+    validator run."""
+
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+
+    def fail(self, msg):
+        self.errors.append(msg)
+        return False
+
+    def require(self, obj, keys, where):
+        ok = True
+        for k in keys:
+            if k not in obj:
+                ok = self.fail(f"{where} missing key '{k}'")
+        return ok
+
+    def ok(self):
+        return not self.errors
 
 
-def require(obj, keys, path, where):
-    for k in keys:
-        if k not in obj:
-            return fail(path, f"{where} missing key '{k}'")
-    return True
+def check_phases(c, row, where):
+    names = row["phases"].get("names", [])
+    for cr, fracs in enumerate(row["phases"].get("per_core", [])):
+        if len(fracs) != len(names):
+            c.fail(f"{where} core {cr}: {len(fracs)} fractions vs "
+                   f"{len(names)} names")
+            continue
+        total = sum(fracs)
+        if abs(total - 1.0) > 1e-6:
+            c.fail(f"{where} core {cr}: phase fractions sum to "
+                   f"{total!r}, not 1.0")
 
 
-def validate(path):
-    with open(path) as f:
-        doc = json.load(f)
-
-    version = doc.get("schema_version")
-    if version not in KNOWN_SCHEMA_VERSIONS:
-        return fail(path, f"schema_version {version!r}, expected one of "
-                          f"{KNOWN_SCHEMA_VERSIONS}")
-    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
-        return fail(path, "missing/empty 'bench' name")
-    rows = doc.get("rows")
-    if not isinstance(rows, list) or not rows:
-        return fail(path, "'rows' missing or empty")
-
-    for i, row in enumerate(rows):
-        where = f"rows[{i}]"
-        if not require(row, ROW_KEYS, path, where):
-            return False
-        if not require(row["config"], CONFIG_KEYS, path, f"{where}.config"):
-            return False
-        if not require(row["metrics"], METRIC_KEYS, path,
-                       f"{where}.metrics"):
-            return False
-        if not require(row["phases"], PHASE_KEYS, path, f"{where}.phases"):
-            return False
-        if not require(row["trace"], TRACE_KEYS, path, f"{where}.trace"):
-            return False
-
-        names = row["phases"]["names"]
-        for c, fracs in enumerate(row["phases"]["per_core"]):
-            if len(fracs) != len(names):
-                return fail(path, f"{where} core {c}: {len(fracs)} "
-                                  f"fractions vs {len(names)} names")
-            total = sum(fracs)
-            if abs(total - 1.0) > 1e-6:
-                return fail(path, f"{where} core {c}: phase fractions "
-                                  f"sum to {total!r}, not 1.0")
-        for fs in row["folded_stacks"]:
-            if "stack" not in fs or "cycles" not in fs:
-                return fail(path, f"{where}: malformed folded stack {fs!r}")
-        for w, win in enumerate(row["lock_windows"]):
-            if not all(k in win for k in ("start", "end", "locks")):
-                return fail(path, f"{where}.lock_windows[{w}] malformed")
-            if win["end"] < win["start"]:
-                return fail(path, f"{where}.lock_windows[{w}] end < start")
-            if version >= 3:
-                missing = [k for k in V3_WINDOW_KEYS if k not in win]
-                if missing:
-                    return fail(path, f"{where}.lock_windows[{w}] missing "
-                                      f"v3 keys {missing}")
-                if win["goodput"] < 0 or win["completed"] < 0:
-                    return fail(path, f"{where}.lock_windows[{w}] "
-                                      f"negative completed/goodput")
-
+def check_lock_windows(c, row, where, version):
+    for w, win in enumerate(row["lock_windows"]):
+        if not all(k in win for k in ("start", "end", "locks")):
+            c.fail(f"{where}.lock_windows[{w}] malformed")
+            continue
+        if win["end"] < win["start"]:
+            c.fail(f"{where}.lock_windows[{w}] end < start")
         if version >= 3:
-            faults = row.get("faults")
-            if not isinstance(faults, dict) or not require(
-                    faults, FAULTS_KEYS, path, f"{where}.faults"):
-                return fail(path, f"{where}.faults missing or malformed")
-            if not isinstance(faults["plan"], str):
-                return fail(path, f"{where}.faults.plan is not a string")
-            if bool(faults["armed"]) != bool(faults["plan"]):
-                return fail(path, f"{where}.faults: armed="
-                                  f"{faults['armed']!r} inconsistent with "
-                                  f"plan {faults['plan']!r}")
-        if version >= 4:
-            ov = row.get("overload")
-            if not isinstance(ov, dict) or not require(
-                    ov, OVERLOAD_KEYS, path, f"{where}.overload"):
-                return fail(path, f"{where}.overload missing or malformed")
-            if not isinstance(ov["spec"], str):
-                return fail(path, f"{where}.overload.spec is not a string")
-            if bool(ov["enabled"]) != bool(ov["spec"]):
-                return fail(path, f"{where}.overload: enabled="
-                                  f"{ov['enabled']!r} inconsistent with "
-                                  f"spec {ov['spec']!r}")
-            if ov["offered"] != ov["admitted"] + ov["degraded"] + ov["shed"]:
-                return fail(path, f"{where}.overload: offered "
-                                  f"{ov['offered']} != admitted + degraded "
-                                  f"+ shed")
-            if ov["shed"] != (ov["shed_deadline"] + ov["shed_worker_cap"] +
-                              ov["shed_pressure"]):
-                return fail(path, f"{where}.overload: shed reasons do not "
-                                  f"decompose shed={ov['shed']}")
-            if (ov["admitted"] + ov["degraded"] !=
-                    ov["released"] + ov["inflight"]):
-                return fail(path, f"{where}.overload: admitted + degraded "
-                                  f"!= released + inflight")
-            if ov["health_admitted"] > ov["health_offered"]:
-                return fail(path, f"{where}.overload: health_admitted > "
-                                  f"health_offered")
-            if not ov["enabled"]:
-                dirty = [k for k in OVERLOAD_DISABLED_ZERO_KEYS if ov[k]]
-                if dirty:
-                    return fail(path, f"{where}.overload: disabled but "
-                                      f"non-zero {dirty}")
+            missing = [k for k in V3_WINDOW_KEYS if k not in win]
+            if missing:
+                c.fail(f"{where}.lock_windows[{w}] missing v3 keys "
+                       f"{missing}")
+                continue
+            if win["goodput"] < 0 or win["completed"] < 0:
+                c.fail(f"{where}.lock_windows[{w}] negative "
+                       f"completed/goodput")
 
-        if version >= 5:
-            ls = row.get("latency_stages")
-            if not isinstance(ls, dict) or not require(
-                    ls, LATENCY_STAGES_KEYS, path,
-                    f"{where}.latency_stages"):
-                return fail(path,
-                            f"{where}.latency_stages missing or malformed")
-            for s, st in enumerate(ls["stages"]):
-                sw = f"{where}.latency_stages.stages[{s}]"
-                if not require(st, STAGE_ROW_KEYS, path, sw):
-                    return False
-                if not (st["p50"] <= st["p90"] <= st["p99"] <=
-                        st["p999"] <= st["max"]):
-                    return fail(path, f"{sw} ({st['stage']}): "
-                                      f"percentiles not monotone")
-                if st["count"] <= 0:
-                    return fail(path, f"{sw} ({st['stage']}): "
-                                      f"count must be positive")
-            for e, ex in enumerate(ls["exemplars"]):
-                ew = f"{where}.latency_stages.exemplars[{e}]"
-                if not require(ex, EXEMPLAR_KEYS, path, ew):
-                    return False
-                if ex["percentile"] not in ("p50", "p99", "p999"):
-                    return fail(path, f"{ew}: bad percentile "
-                                      f"{ex['percentile']!r}")
-                if ex["unattributed"] > ex["latency"]:
-                    return fail(path, f"{ew}: unattributed > latency")
-                if not isinstance(ex["cores"], list):
-                    return fail(path, f"{ew}: cores is not a list")
-            if ls["enabled"] and ls["completed"] > 0 and not ls["stages"]:
-                return fail(path, f"{where}.latency_stages: completed "
-                                  f"connections but no stage rows")
-            opc = row["trace"].get("overwritten_per_core")
-            if not isinstance(opc, list):
-                return fail(path, f"{where}.trace.overwritten_per_core "
-                                  f"missing (v5)")
-            if sum(opc) != row["trace"]["events_overwritten"]:
-                return fail(path, f"{where}.trace: overwritten_per_core "
-                                  f"sums to {sum(opc)}, expected "
-                                  f"{row['trace']['events_overwritten']}")
 
-        if version >= 6:
-            cn = row.get("conn")
-            if not isinstance(cn, dict) or not require(
-                    cn, CONN_KEYS, path, f"{where}.conn"):
-                return fail(path, f"{where}.conn missing or malformed")
-            if cn["tcb_live"] > cn["tcb_live_peak"]:
-                return fail(path, f"{where}.conn: tcb_live > peak")
-            if cn["established_curr"] > cn["established_peak"]:
-                return fail(path, f"{where}.conn: established_curr > "
-                                  f"peak")
-            if cn["time_wait_curr"] > cn["time_wait_peak"]:
-                return fail(path, f"{where}.conn: time_wait_curr > peak")
-            if cn["tcb_live_peak"] > cn["tcb_created"]:
-                return fail(path, f"{where}.conn: tcb_live_peak > "
-                                  f"tcb_created")
-            if cn["tcb_live_peak"] > 0 and cn["bytes_per_conn"] <= 0:
-                return fail(path, f"{where}.conn: TCBs existed but "
-                                  f"bytes_per_conn is "
-                                  f"{cn['bytes_per_conn']!r}")
-            # Every lingering entry left the table exactly one way (or
-            # is still in it at collection time).
-            accounted = (cn["time_wait_reaped"] +
-                         cn["time_wait_recycled"] +
-                         cn["time_wait_reused"] + cn["time_wait_curr"])
-            if cn["time_wait_entered"] < accounted:
-                return fail(path, f"{where}.conn: TIME_WAIT exits "
-                                  f"({accounted}) exceed entries "
-                                  f"({cn['time_wait_entered']})")
-            if cn["ehash_lookups"] == 0 and (cn["avg_probe_len"] != 0 or
-                                             cn["cycles_per_lookup"] != 0):
-                return fail(path, f"{where}.conn: probe averages with "
-                                  f"zero lookups")
-            if cn["ehash_lookups"] > 0:
-                avg = cn["ehash_probes_walked"] / cn["ehash_lookups"]
-                if abs(avg - cn["avg_probe_len"]) > 1e-6 * max(1.0, avg):
-                    return fail(path, f"{where}.conn: avg_probe_len "
-                                      f"{cn['avg_probe_len']!r} != "
-                                      f"probes/lookups {avg!r}")
-            ramp = cn["ramp"]
-            if not isinstance(ramp, list):
-                return fail(path, f"{where}.conn.ramp is not a list")
-            for p, pt in enumerate(ramp):
-                pw = f"{where}.conn.ramp[{p}]"
-                if not require(pt, RAMP_KEYS, path, pw):
-                    return False
-                if pt["live"] < 0 or pt["bytes_per_conn"] < 0:
-                    return fail(path, f"{pw}: negative gauge")
+def check_faults(c, row, where):
+    faults = row.get("faults")
+    if not isinstance(faults, dict):
+        c.fail(f"{where}.faults missing or malformed")
+        return
+    if not c.require(faults, FAULTS_KEYS, f"{where}.faults"):
+        return
+    if not isinstance(faults["plan"], str):
+        c.fail(f"{where}.faults.plan is not a string")
+        return
+    if bool(faults["armed"]) != bool(faults["plan"]):
+        c.fail(f"{where}.faults: armed={faults['armed']!r} inconsistent "
+               f"with plan {faults['plan']!r}")
 
-        if version >= 7:
-            sc = row.get("sim_core")
-            if not isinstance(sc, dict) or not require(
-                    sc, SIM_CORE_KEYS, path, f"{where}.sim_core"):
-                return fail(path, f"{where}.sim_core missing or malformed")
-            for k in SIM_CORE_KEYS:
-                if not isinstance(sc[k], int) or sc[k] < 0:
-                    return fail(path, f"{where}.sim_core.{k} malformed")
-            # Wall-clock trio: wall_seconds and events_per_sec appear
-            # together (wall-stamped rows only); wall_per_sim_sec rides
-            # along whenever simulated time actually advanced.
-            has_wall = "wall_seconds" in sc
-            if has_wall != ("events_per_sec" in sc):
-                return fail(path, f"{where}.sim_core: wall_seconds and "
-                                  f"events_per_sec must appear together")
-            if "wall_per_sim_sec" in sc and not has_wall:
-                return fail(path, f"{where}.sim_core: wall_per_sim_sec "
-                                  f"without wall_seconds")
-            if has_wall:
-                if sc["wall_seconds"] <= 0:
-                    return fail(path, f"{where}.sim_core: wall_seconds "
-                                      f"not positive")
-                want = sc["events_run"] / sc["wall_seconds"]
-                if abs(want - sc["events_per_sec"]) > 1e-6 * max(1.0, want):
-                    return fail(path, f"{where}.sim_core: events_per_sec "
-                                      f"{sc['events_per_sec']!r} != "
-                                      f"events_run/wall_seconds {want!r}")
-                if sc["sim_ticks"] > 0 and "wall_per_sim_sec" not in sc:
-                    return fail(path, f"{where}.sim_core: sim time "
-                                      f"advanced but wall_per_sim_sec "
-                                      f"missing")
-                if sc.get("wall_per_sim_sec", 1) <= 0:
-                    return fail(path, f"{where}.sim_core: "
-                                      f"wall_per_sim_sec not positive")
 
-        if version >= 8:
-            fl = row.get("fleet")
-            if not isinstance(fl, dict) or not require(
-                    fl, FLEET_KEYS, path, f"{where}.fleet"):
-                return fail(path, f"{where}.fleet missing or malformed")
-            if not isinstance(fl["policy"], str):
-                return fail(path, f"{where}.fleet.policy is not a "
-                                  f"string")
-            if not fl["enabled"]:
-                dirty = [k for k in FLEET_DISABLED_ZERO_KEYS if fl[k]]
-                if dirty:
-                    return fail(path, f"{where}.fleet: disabled but "
-                                      f"non-zero {dirty}")
-            else:
-                if fl["server_machines"] < 1 or fl["balancers"] < 1:
-                    return fail(path, f"{where}.fleet: enabled with "
-                                      f"empty topology")
-                # Every flow the balancer tier ever created either
-                # retired or is still in a flow table at collection.
-                if fl["flows_created"] != (fl["flows_retired"] +
-                                           fl["flows_active"]):
-                    return fail(path, f"{where}.fleet: flows_created "
-                                      f"{fl['flows_created']} != "
-                                      f"retired + active")
-                if fl["flows_active"] > fl["flows_active_peak"]:
-                    return fail(path, f"{where}.fleet: flows_active > "
-                                      f"flows_active_peak")
-                if fl["drains_completed"] > fl["drains_started"]:
-                    return fail(path, f"{where}.fleet: drains_completed "
-                                      f"> drains_started")
-                if fl["probe_failures"] > fl["probes_sent"]:
-                    return fail(path, f"{where}.fleet: probe_failures "
-                                      f"> probes_sent")
-                if not 0.0 <= fl["request_success_ratio"] <= 1.0:
-                    return fail(path, f"{where}.fleet: "
-                                      f"request_success_ratio outside "
-                                      f"[0, 1]")
+def check_overload(c, row, where):
+    ov = row.get("overload")
+    if not isinstance(ov, dict):
+        c.fail(f"{where}.overload missing or malformed")
+        return
+    if not c.require(ov, OVERLOAD_KEYS, f"{where}.overload"):
+        return
+    if not isinstance(ov["spec"], str):
+        c.fail(f"{where}.overload.spec is not a string")
+        return
+    if bool(ov["enabled"]) != bool(ov["spec"]):
+        c.fail(f"{where}.overload: enabled={ov['enabled']!r} "
+               f"inconsistent with spec {ov['spec']!r}")
+    if ov["offered"] != ov["admitted"] + ov["degraded"] + ov["shed"]:
+        c.fail(f"{where}.overload: offered {ov['offered']} != admitted "
+               f"+ degraded + shed")
+    if ov["shed"] != (ov["shed_deadline"] + ov["shed_worker_cap"] +
+                      ov["shed_pressure"]):
+        c.fail(f"{where}.overload: shed reasons do not decompose "
+               f"shed={ov['shed']}")
+    if ov["admitted"] + ov["degraded"] != ov["released"] + ov["inflight"]:
+        c.fail(f"{where}.overload: admitted + degraded != released + "
+               f"inflight")
+    if ov["health_admitted"] > ov["health_offered"]:
+        c.fail(f"{where}.overload: health_admitted > health_offered")
+    if not ov["enabled"]:
+        dirty = [k for k in OVERLOAD_DISABLED_ZERO_KEYS if ov[k]]
+        if dirty:
+            c.fail(f"{where}.overload: disabled but non-zero {dirty}")
 
-        if version >= 9:
-            fl = row["fleet"]
-            if not require(fl, FLEET_V9_KEYS, path, f"{where}.fleet"):
-                return False
-            if not isinstance(fl["health_mode"], str):
-                return fail(path, f"{where}.fleet.health_mode is not "
-                                  f"a string")
-            if not fl["enabled"]:
-                dirty = [k for k in FLEET_V9_DISABLED_ZERO_KEYS
-                         if fl[k]]
-                if dirty:
-                    return fail(path, f"{where}.fleet: disabled but "
-                                      f"non-zero {dirty}")
-            else:
-                if fl["health_mode"] not in ("binary", "score"):
-                    return fail(path, f"{where}.fleet.health_mode "
-                                      f"{fl['health_mode']!r} not "
-                                      f"binary/score")
-                if fl["score_ejections"] > fl["ejections"]:
-                    return fail(path, f"{where}.fleet: score_ejections "
-                                      f"> ejections")
-                if not (fl["incidents_recovered"] <=
-                        fl["incidents_detected"] <=
-                        fl["incidents_total"]):
-                    return fail(path, f"{where}.fleet: incident funnel "
-                                      f"not monotone (recovered <= "
-                                      f"detected <= total)")
-                for mk, ck in (("mttd_ms_mean", "incidents_detected"),
-                               ("mttr_ms_mean", "incidents_recovered")):
-                    if fl[mk] < 0:
-                        return fail(path, f"{where}.fleet.{mk} negative")
-                    if fl[ck] == 0 and fl[mk] != 0:
-                        return fail(path, f"{where}.fleet.{mk} non-zero "
-                                          f"with {ck} == 0")
 
-        for qname, samples in row["queue_timelines"].items():
-            ticks = [s[0] for s in samples]
-            if ticks != sorted(ticks):
-                return fail(path, f"{where}.queue_timelines[{qname}] "
-                                  f"ticks not monotonic")
+def check_latency_stages(c, row, where):
+    ls = row.get("latency_stages")
+    if not isinstance(ls, dict):
+        c.fail(f"{where}.latency_stages missing or malformed")
+        return
+    if not c.require(ls, LATENCY_STAGES_KEYS, f"{where}.latency_stages"):
+        return
+    for s, st in enumerate(ls["stages"]):
+        sw = f"{where}.latency_stages.stages[{s}]"
+        if not c.require(st, STAGE_ROW_KEYS, sw):
+            continue
+        if not (st["p50"] <= st["p90"] <= st["p99"] <=
+                st["p999"] <= st["max"]):
+            c.fail(f"{sw} ({st['stage']}): percentiles not monotone")
+        if st["count"] <= 0:
+            c.fail(f"{sw} ({st['stage']}): count must be positive")
+    for e, ex in enumerate(ls["exemplars"]):
+        ew = f"{where}.latency_stages.exemplars[{e}]"
+        if not c.require(ex, EXEMPLAR_KEYS, ew):
+            continue
+        if ex["percentile"] not in ("p50", "p99", "p999"):
+            c.fail(f"{ew}: bad percentile {ex['percentile']!r}")
+        if ex["unattributed"] > ex["latency"]:
+            c.fail(f"{ew}: unattributed > latency")
+        if not isinstance(ex["cores"], list):
+            c.fail(f"{ew}: cores is not a list")
+    if ls["enabled"] and ls["completed"] > 0 and not ls["stages"]:
+        c.fail(f"{where}.latency_stages: completed connections but no "
+               f"stage rows")
+    opc = row["trace"].get("overwritten_per_core")
+    if not isinstance(opc, list):
+        c.fail(f"{where}.trace.overwritten_per_core missing (v5)")
+    elif sum(opc) != row["trace"]["events_overwritten"]:
+        c.fail(f"{where}.trace: overwritten_per_core sums to "
+               f"{sum(opc)}, expected "
+               f"{row['trace']['events_overwritten']}")
 
-        fp = row["fingerprint"]
-        if not isinstance(fp, str) or not FINGERPRINT_RE.match(fp):
-            return fail(path, f"{where}.fingerprint {fp!r} is not a "
-                              f"0x + 16-hex-digit string")
-        inv = row["invariants"]
-        if not require(inv, INVARIANT_KEYS, path, f"{where}.invariants"):
-            return False
-        if not isinstance(inv["checks_run"], int) or inv["checks_run"] < 0:
-            return fail(path, f"{where}.invariants.checks_run malformed")
-        if not isinstance(inv["violations"], int) or inv["violations"] < 0:
-            return fail(path, f"{where}.invariants.violations malformed")
-        if not isinstance(inv["failed"], list) or any(
-                not isinstance(n, str) for n in inv["failed"]):
-            return fail(path, f"{where}.invariants.failed malformed")
-        if (inv["violations"] == 0) != (len(inv["failed"]) == 0):
-            return fail(path, f"{where}.invariants: violations="
-                              f"{inv['violations']} but failed list has "
-                              f"{len(inv['failed'])} entries")
 
-    print(f"{path}: OK ({doc['bench']}, {len(rows)} rows, "
-          f"schema v{doc['schema_version']})")
-    return True
+def check_conn(c, row, where):
+    cn = row.get("conn")
+    if not isinstance(cn, dict):
+        c.fail(f"{where}.conn missing or malformed")
+        return
+    if not c.require(cn, CONN_KEYS, f"{where}.conn"):
+        return
+    if cn["tcb_live"] > cn["tcb_live_peak"]:
+        c.fail(f"{where}.conn: tcb_live > peak")
+    if cn["established_curr"] > cn["established_peak"]:
+        c.fail(f"{where}.conn: established_curr > peak")
+    if cn["time_wait_curr"] > cn["time_wait_peak"]:
+        c.fail(f"{where}.conn: time_wait_curr > peak")
+    if cn["tcb_live_peak"] > cn["tcb_created"]:
+        c.fail(f"{where}.conn: tcb_live_peak > tcb_created")
+    if cn["tcb_live_peak"] > 0 and cn["bytes_per_conn"] <= 0:
+        c.fail(f"{where}.conn: TCBs existed but bytes_per_conn is "
+               f"{cn['bytes_per_conn']!r}")
+    # Every lingering entry left the table exactly one way (or is
+    # still in it at collection time).
+    accounted = (cn["time_wait_reaped"] + cn["time_wait_recycled"] +
+                 cn["time_wait_reused"] + cn["time_wait_curr"])
+    if cn["time_wait_entered"] < accounted:
+        c.fail(f"{where}.conn: TIME_WAIT exits ({accounted}) exceed "
+               f"entries ({cn['time_wait_entered']})")
+    if cn["ehash_lookups"] == 0 and (cn["avg_probe_len"] != 0 or
+                                     cn["cycles_per_lookup"] != 0):
+        c.fail(f"{where}.conn: probe averages with zero lookups")
+    if cn["ehash_lookups"] > 0:
+        avg = cn["ehash_probes_walked"] / cn["ehash_lookups"]
+        if abs(avg - cn["avg_probe_len"]) > 1e-6 * max(1.0, avg):
+            c.fail(f"{where}.conn: avg_probe_len "
+                   f"{cn['avg_probe_len']!r} != probes/lookups {avg!r}")
+    ramp = cn["ramp"]
+    if not isinstance(ramp, list):
+        c.fail(f"{where}.conn.ramp is not a list")
+        return
+    for p, pt in enumerate(ramp):
+        pw = f"{where}.conn.ramp[{p}]"
+        if not c.require(pt, RAMP_KEYS, pw):
+            continue
+        if pt["live"] < 0 or pt["bytes_per_conn"] < 0:
+            c.fail(f"{pw}: negative gauge")
+
+
+def check_sim_core(c, row, where):
+    sc = row.get("sim_core")
+    if not isinstance(sc, dict):
+        c.fail(f"{where}.sim_core missing or malformed")
+        return
+    if not c.require(sc, SIM_CORE_KEYS, f"{where}.sim_core"):
+        return
+    for k in SIM_CORE_KEYS:
+        if not isinstance(sc[k], int) or sc[k] < 0:
+            c.fail(f"{where}.sim_core.{k} malformed")
+            return
+    # Wall-clock trio: wall_seconds and events_per_sec appear together
+    # (wall-stamped rows only); wall_per_sim_sec rides along whenever
+    # simulated time actually advanced.
+    has_wall = "wall_seconds" in sc
+    if has_wall != ("events_per_sec" in sc):
+        c.fail(f"{where}.sim_core: wall_seconds and events_per_sec "
+               f"must appear together")
+        return
+    if "wall_per_sim_sec" in sc and not has_wall:
+        c.fail(f"{where}.sim_core: wall_per_sim_sec without "
+               f"wall_seconds")
+    if has_wall:
+        if sc["wall_seconds"] <= 0:
+            c.fail(f"{where}.sim_core: wall_seconds not positive")
+            return
+        want = sc["events_run"] / sc["wall_seconds"]
+        if abs(want - sc["events_per_sec"]) > 1e-6 * max(1.0, want):
+            c.fail(f"{where}.sim_core: events_per_sec "
+                   f"{sc['events_per_sec']!r} != events_run/"
+                   f"wall_seconds {want!r}")
+        if sc["sim_ticks"] > 0 and "wall_per_sim_sec" not in sc:
+            c.fail(f"{where}.sim_core: sim time advanced but "
+                   f"wall_per_sim_sec missing")
+        if sc.get("wall_per_sim_sec", 1) <= 0:
+            c.fail(f"{where}.sim_core: wall_per_sim_sec not positive")
+
+
+def check_fleet(c, row, where, version):
+    fl = row.get("fleet")
+    if not isinstance(fl, dict):
+        c.fail(f"{where}.fleet missing or malformed")
+        return
+    if not c.require(fl, FLEET_KEYS, f"{where}.fleet"):
+        return
+    if not isinstance(fl["policy"], str):
+        c.fail(f"{where}.fleet.policy is not a string")
+        return
+    if not fl["enabled"]:
+        dirty = [k for k in FLEET_DISABLED_ZERO_KEYS if fl[k]]
+        if dirty:
+            c.fail(f"{where}.fleet: disabled but non-zero {dirty}")
+    else:
+        if fl["server_machines"] < 1 or fl["balancers"] < 1:
+            c.fail(f"{where}.fleet: enabled with empty topology")
+        # Every flow the balancer tier ever created either retired or
+        # is still in a flow table at collection.
+        if fl["flows_created"] != fl["flows_retired"] + fl["flows_active"]:
+            c.fail(f"{where}.fleet: flows_created "
+                   f"{fl['flows_created']} != retired + active")
+        if fl["flows_active"] > fl["flows_active_peak"]:
+            c.fail(f"{where}.fleet: flows_active > flows_active_peak")
+        if fl["drains_completed"] > fl["drains_started"]:
+            c.fail(f"{where}.fleet: drains_completed > drains_started")
+        if fl["probe_failures"] > fl["probes_sent"]:
+            c.fail(f"{where}.fleet: probe_failures > probes_sent")
+        if not 0.0 <= fl["request_success_ratio"] <= 1.0:
+            c.fail(f"{where}.fleet: request_success_ratio outside "
+                   f"[0, 1]")
+
+    if version >= 9:
+        check_fleet_v9(c, fl, where)
+    if version >= 10:
+        check_fleet_v10(c, fl, where)
+
+
+def check_fleet_v9(c, fl, where):
+    if not c.require(fl, FLEET_V9_KEYS, f"{where}.fleet"):
+        return
+    if not isinstance(fl["health_mode"], str):
+        c.fail(f"{where}.fleet.health_mode is not a string")
+        return
+    if not fl["enabled"]:
+        dirty = [k for k in FLEET_V9_DISABLED_ZERO_KEYS if fl[k]]
+        if dirty:
+            c.fail(f"{where}.fleet: disabled but non-zero {dirty}")
+        return
+    if fl["health_mode"] not in ("binary", "score"):
+        c.fail(f"{where}.fleet.health_mode {fl['health_mode']!r} not "
+               f"binary/score")
+    if fl["score_ejections"] > fl["ejections"]:
+        c.fail(f"{where}.fleet: score_ejections > ejections")
+    if not (fl["incidents_recovered"] <= fl["incidents_detected"] <=
+            fl["incidents_total"]):
+        c.fail(f"{where}.fleet: incident funnel not monotone "
+               f"(recovered <= detected <= total)")
+    for mk, ck in (("mttd_ms_mean", "incidents_detected"),
+                   ("mttr_ms_mean", "incidents_recovered")):
+        if fl[mk] < 0:
+            c.fail(f"{where}.fleet.{mk} negative")
+        if fl[ck] == 0 and fl[mk] != 0:
+            c.fail(f"{where}.fleet.{mk} non-zero with {ck} == 0")
+
+
+def check_fleet_v10(c, fl, where):
+    if not c.require(fl, FLEET_V10_KEYS, f"{where}.fleet"):
+        return
+    if not fl["enabled"]:
+        dirty = [k for k in FLEET_V10_DISABLED_ZERO_KEYS if fl[k]]
+        if dirty:
+            c.fail(f"{where}.fleet: disabled but non-zero {dirty}")
+        return
+    # Trace accounting is a funnel: a trace completes at most once and
+    # stitches/orphans/duplicates never outnumber what was seen.
+    if fl["traces_completed"] > fl["traces_started"]:
+        c.fail(f"{where}.fleet: traces_completed > traces_started")
+    if fl["traces_stitched"] > fl["traces_started"]:
+        c.fail(f"{where}.fleet: traces_stitched > traces_started")
+    if fl["trace_orphans"] > fl["traces_completed"]:
+        c.fail(f"{where}.fleet: trace_orphans > traces_completed")
+    if fl["slo_first_fast_alert_ms"] < 0:
+        c.fail(f"{where}.fleet.slo_first_fast_alert_ms negative")
+    if fl["slo_fast_alerts"] == 0 and fl["slo_first_fast_alert_ms"] != 0:
+        c.fail(f"{where}.fleet: slo_first_fast_alert_ms non-zero with "
+               f"slo_fast_alerts == 0")
+    if fl["slo_fast_alerts"] > 0 and fl["slo_first_fast_alert_ms"] <= 0:
+        c.fail(f"{where}.fleet: slo_fast_alerts fired but "
+               f"slo_first_fast_alert_ms is not positive")
+
+
+def check_timeseries(c, row, where):
+    ts = row.get("timeseries")
+    if not isinstance(ts, dict):
+        c.fail(f"{where}.timeseries missing or malformed")
+        return
+    if not c.require(ts, TIMESERIES_KEYS, f"{where}.timeseries"):
+        return
+    if not isinstance(ts["series"], list):
+        c.fail(f"{where}.timeseries.series is not a list")
+        return
+    if not ts["enabled"] and ts["series"]:
+        c.fail(f"{where}.timeseries: disabled but carries "
+               f"{len(ts['series'])} series")
+    if ts["enabled"] and ts["series"] and ts["sample_period"] <= 0:
+        c.fail(f"{where}.timeseries: sampled series with non-positive "
+               f"sample_period")
+    for s, se in enumerate(ts["series"]):
+        sw = f"{where}.timeseries.series[{s}]"
+        if not c.require(se, SERIES_KEYS, sw):
+            continue
+        if not isinstance(se["name"], str) or not se["name"]:
+            c.fail(f"{sw}: missing/empty name")
+            continue
+        if se["kind"] not in METRIC_KINDS:
+            c.fail(f"{sw} ({se['name']}): unknown kind {se['kind']!r}")
+        pts = se["points"]
+        if not isinstance(pts, list):
+            c.fail(f"{sw} ({se['name']}): points is not a list")
+            continue
+        if any(not isinstance(p, list) or len(p) != 2 for p in pts):
+            c.fail(f"{sw} ({se['name']}): points are not [tick, value] "
+                   f"pairs")
+            continue
+        ticks = [p[0] for p in pts]
+        if any(b <= a for a, b in zip(ticks, ticks[1:])):
+            c.fail(f"{sw} ({se['name']}): sample ticks not strictly "
+                   f"monotone")
+
+
+def check_fleet_trace(c, row, where):
+    ft = row.get("fleet_trace")
+    if not isinstance(ft, dict):
+        c.fail(f"{where}.fleet_trace missing or malformed")
+        return
+    if not c.require(ft, FLEET_TRACE_KEYS, f"{where}.fleet_trace"):
+        return
+    if not isinstance(ft["hops"], list):
+        c.fail(f"{where}.fleet_trace.hops is not a list")
+        return
+    if not ft["enabled"]:
+        if ft["traces_completed"] or ft["stitched"] or ft["hops"]:
+            c.fail(f"{where}.fleet_trace: disabled but carries data")
+        return
+    if not (ft["e2e_p50"] <= ft["e2e_p99"] <= ft["e2e_p999"]):
+        c.fail(f"{where}.fleet_trace: e2e percentiles not monotone")
+    hop_names = set()
+    for h, hop in enumerate(ft["hops"]):
+        hw = f"{where}.fleet_trace.hops[{h}]"
+        if not c.require(hop, HOP_ROW_KEYS, hw):
+            continue
+        hop_names.add(hop["hop"])
+        if not (hop["p50"] <= hop["p99"] <= hop["p999"] <= hop["max"]):
+            c.fail(f"{hw} ({hop['hop']}): percentiles not monotone")
+        if not 0.0 <= hop["share"] <= 1.0:
+            c.fail(f"{hw} ({hop['hop']}): share outside [0, 1]")
+    for q in ("dominant_p50", "dominant_p99", "dominant_p999"):
+        name = ft[q]
+        if not isinstance(name, str):
+            c.fail(f"{where}.fleet_trace.{q} is not a string")
+        elif ft["hops"] and name not in hop_names and name != "-":
+            c.fail(f"{where}.fleet_trace.{q} {name!r} names no hop row")
+
+
+def check_row_tail(c, row, where):
+    for qname, samples in row["queue_timelines"].items():
+        ticks = [s[0] for s in samples]
+        if ticks != sorted(ticks):
+            c.fail(f"{where}.queue_timelines[{qname}] ticks not "
+                   f"monotonic")
+
+    fp = row["fingerprint"]
+    if not isinstance(fp, str) or not FINGERPRINT_RE.match(fp):
+        c.fail(f"{where}.fingerprint {fp!r} is not a 0x + 16-hex-digit "
+               f"string")
+    inv = row["invariants"]
+    if not c.require(inv, INVARIANT_KEYS, f"{where}.invariants"):
+        return
+    if not isinstance(inv["checks_run"], int) or inv["checks_run"] < 0:
+        c.fail(f"{where}.invariants.checks_run malformed")
+    if not isinstance(inv["violations"], int) or inv["violations"] < 0:
+        c.fail(f"{where}.invariants.violations malformed")
+    if not isinstance(inv["failed"], list) or any(
+            not isinstance(n, str) for n in inv["failed"]):
+        c.fail(f"{where}.invariants.failed malformed")
+        return
+    if (inv["violations"] == 0) != (len(inv["failed"]) == 0):
+        c.fail(f"{where}.invariants: violations={inv['violations']} "
+               f"but failed list has {len(inv['failed'])} entries")
+
+
+def validate(path, quiet=False):
+    c = Checker(path)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        c.fail(f"unreadable: {e}")
+        doc = None
+
+    if doc is not None:
+        version = doc.get("schema_version")
+        if version not in KNOWN_SCHEMA_VERSIONS:
+            c.fail(f"schema_version {version!r}, expected one of "
+                   f"{KNOWN_SCHEMA_VERSIONS}")
+        else:
+            if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+                c.fail("missing/empty 'bench' name")
+            rows = doc.get("rows")
+            if not isinstance(rows, list) or not rows:
+                c.fail("'rows' missing or empty")
+                rows = []
+            for i, row in enumerate(rows):
+                where = f"rows[{i}]"
+                if not c.require(row, ROW_KEYS, where):
+                    continue
+                structural = (
+                    c.require(row["config"], CONFIG_KEYS,
+                              f"{where}.config") &
+                    c.require(row["metrics"], METRIC_KEYS,
+                              f"{where}.metrics") &
+                    c.require(row["phases"], PHASE_KEYS,
+                              f"{where}.phases") &
+                    c.require(row["trace"], TRACE_KEYS,
+                              f"{where}.trace"))
+                if not structural:
+                    continue
+                check_phases(c, row, where)
+                for fs in row["folded_stacks"]:
+                    if "stack" not in fs or "cycles" not in fs:
+                        c.fail(f"{where}: malformed folded stack {fs!r}")
+                check_lock_windows(c, row, where, version)
+                if version >= 3:
+                    check_faults(c, row, where)
+                if version >= 4:
+                    check_overload(c, row, where)
+                if version >= 5:
+                    check_latency_stages(c, row, where)
+                if version >= 6:
+                    check_conn(c, row, where)
+                if version >= 7:
+                    check_sim_core(c, row, where)
+                if version >= 8:
+                    check_fleet(c, row, where, version)
+                if version >= 10:
+                    check_timeseries(c, row, where)
+                    check_fleet_trace(c, row, where)
+                check_row_tail(c, row, where)
+
+    for msg in c.errors:
+        print(f"{path}: FAIL: {msg}")
+    if c.ok() and not quiet:
+        print(f"{path}: OK ({doc['bench']}, {len(doc['rows'])} rows, "
+              f"schema v{doc['schema_version']})")
+    return c.ok()
 
 
 def main(argv):
-    if len(argv) < 2:
+    quiet = False
+    paths = []
+    for a in argv[1:]:
+        if a == "--quiet":
+            quiet = True
+        elif a.startswith("-"):
+            print(f"unknown option {a!r}")
+            return 2
+        else:
+            paths.append(a)
+    if not paths:
         print(__doc__.strip())
         return 2
-    return 0 if all(validate(p) for p in argv[1:]) else 1
+    results = [validate(p, quiet) for p in paths]
+    return 0 if all(results) else 1
 
 
 if __name__ == "__main__":
